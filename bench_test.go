@@ -1,0 +1,213 @@
+package mainline
+
+// One testing.B benchmark per reproduced figure (paper §6). These run the
+// same harnesses as cmd/mainline-bench at reduced scale so `go test
+// -bench=.` finishes in minutes; use the CLI for paper-scale sweeps.
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"mainline/internal/bench"
+	"mainline/internal/export"
+	"mainline/internal/workload/tpcc"
+)
+
+// BenchmarkFig01DataTransformCost measures the three Figure 1 export paths
+// end to end (in-memory Arrow, CSV dump+parse, row wire protocol).
+func BenchmarkFig01DataTransformCost(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := bench.Fig1(20000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			t.Print(benchWriter{b})
+		}
+	}
+}
+
+// BenchmarkFig10TPCCThroughput runs the TPC-C sweep (Figure 10) with the
+// three transformation configurations.
+func BenchmarkFig10TPCCThroughput(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := bench.DefaultFig10Config()
+		cfg.Workers = []int{1, 2, 4}
+		cfg.Duration = 300 * time.Millisecond
+		t, err := bench.Fig10(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			t.Print(benchWriter{b})
+		}
+	}
+}
+
+// BenchmarkFig11RowVsColumn measures raw insert/update speed for the
+// simulated row store vs the columnar layout (Figure 11).
+func BenchmarkFig11RowVsColumn(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := bench.Fig11([]int{1, 8, 32, 64}, 40000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			t.Print(benchWriter{b})
+		}
+	}
+}
+
+// BenchmarkFig12Transformation measures the four block-transformation
+// algorithms across emptiness levels (Figure 12a), including the phase
+// breakdown (12b).
+func BenchmarkFig12Transformation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := bench.Fig12(bench.VariantMixed, 4, 0, []int{0, 5, 20, 60})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			res.Table.Print(benchWriter{b})
+		}
+	}
+}
+
+// BenchmarkFig12FixedVsVarlen runs the layout variants (Figures 12c/12d).
+func BenchmarkFig12FixedVsVarlen(b *testing.B) {
+	for _, variant := range []bench.LayoutVariant{bench.VariantFixed, bench.VariantVarlen} {
+		b.Run(variant.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := bench.Fig12(variant, 4, 0, []int{5, 40}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig13WriteAmplification counts tuple movements for snapshot vs
+// approximate vs optimal compaction (Figure 13).
+func BenchmarkFig13WriteAmplification(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := bench.Fig13(bench.VariantMixed, 8, 0, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			t.Print(benchWriter{b})
+		}
+	}
+}
+
+// BenchmarkFig14CompactionGroupSize sweeps group sizes (Figure 14).
+func BenchmarkFig14CompactionGroupSize(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := bench.Fig14(bench.VariantMixed, 8, 0, []int{1, 2, 4, 8}, []int{5, 20, 60})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			t.Print(benchWriter{b})
+		}
+	}
+}
+
+// BenchmarkFig15DataExport measures the four export mechanisms against
+// frozen fractions (Figure 15).
+func BenchmarkFig15DataExport(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := bench.Fig15(20000, []int{0, 50, 100})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			t.Print(benchWriter{b})
+		}
+	}
+}
+
+// BenchmarkTPCCNewOrder micro-measures the New-Order profile alone.
+func BenchmarkTPCCNewOrder(b *testing.B) {
+	eng, err := Open(Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer eng.Close()
+	mgr, _, _, cat := eng.Internals()
+	db, err := tpcc.NewDatabase(mgr, cat, tpcc.DefaultConfig(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, err := tpcc.Load(db, 42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	wk := tpcc.NewWorker(db, p, 1, 7)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := wk.NewOrder(); err != nil && err != tpcc.ErrUserAbort {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExportProtocols measures steady-state fetch bandwidth per
+// protocol on a frozen table (the Figure 15 100%-frozen points, isolated).
+func BenchmarkExportProtocols(b *testing.B) {
+	eng, err := Open(Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer eng.Close()
+	tbl, err := eng.CreateTable("t", NewSchema(
+		Field{Name: "id", Type: INT64},
+		Field{Name: "payload", Type: STRING},
+	))
+	if err != nil {
+		b.Fatal(err)
+	}
+	tx := eng.Begin()
+	row := tbl.NewRow()
+	for i := 0; i < 50000; i++ {
+		row.Reset()
+		row.SetInt64(0, int64(i))
+		row.SetVarlen(1, []byte(fmt.Sprintf("payload-%d-abcdefghijklmnop", i)))
+		if _, err := tbl.Insert(tx, row); err != nil {
+			b.Fatal(err)
+		}
+	}
+	eng.Commit(tx)
+	if !eng.FreezeAll(100) {
+		b.Fatal("freeze failed")
+	}
+	mgr, _, _, cat := eng.Internals()
+	srv := export.NewServer(mgr, cat)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	for _, proto := range []export.Protocol{export.ProtoFlight, export.ProtoVectorized, export.ProtoPGWire} {
+		b.Run(proto.String(), func(b *testing.B) {
+			var bytes int64
+			for i := 0; i < b.N; i++ {
+				res, err := export.Fetch(addr, proto, "t")
+				if err != nil {
+					b.Fatal(err)
+				}
+				bytes += res.Bytes
+			}
+			b.SetBytes(bytes / int64(b.N))
+		})
+	}
+}
+
+// benchWriter routes table output through b.Logf so it shows only with -v.
+type benchWriter struct{ b *testing.B }
+
+func (w benchWriter) Write(p []byte) (int, error) {
+	w.b.Logf("%s", p)
+	return len(p), nil
+}

@@ -1,0 +1,109 @@
+// Command mainline-bench regenerates the paper's evaluation figures
+// (§6: Figures 1 and 10–15) at a configurable scale and prints each as an
+// aligned table. Absolute numbers depend on the host; the shapes —
+// orderings, crossovers, rough factors — are the reproduction target
+// (see EXPERIMENTS.md).
+//
+// Usage:
+//
+//	mainline-bench [flags] fig1|fig10|fig11|fig12|fig13|fig14|fig15|all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"mainline/internal/bench"
+	"mainline/internal/benchutil"
+)
+
+func main() {
+	var (
+		scale    = flag.Float64("scale", 1.0, "multiply default workload sizes")
+		blocks   = flag.Int("blocks", 16, "blocks per transformation microbenchmark")
+		perBlock = flag.Int("per-block", 0, "tuples per block (0 = full 1MB capacity)")
+		rows     = flag.Int("rows", 200000, "LINEITEM rows for fig1/fig15")
+		ops      = flag.Int("ops", 400000, "operations per fig11 point")
+		duration = flag.Duration("duration", 2*time.Second, "seconds per fig10 point")
+		workers  = flag.String("workers", "1,2,4,8", "fig10 worker counts")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: mainline-bench [flags] fig1|fig10|fig11|fig12|fig13|fig14|fig15|all")
+		os.Exit(2)
+	}
+	s := func(n int) int {
+		v := int(float64(n) * *scale)
+		if v < 1 {
+			v = 1
+		}
+		return v
+	}
+	target := flag.Arg(0)
+	run := func(name string, fn func() (*benchutil.Table, error)) {
+		if target != "all" && target != name {
+			return
+		}
+		start := time.Now()
+		t, err := fn()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s failed: %v\n", name, err)
+			os.Exit(1)
+		}
+		t.Print(os.Stdout)
+		fmt.Printf("  (%s in %s)\n", name, time.Since(start).Round(time.Millisecond))
+	}
+
+	run("fig1", func() (*benchutil.Table, error) { return bench.Fig1(s(*rows)) })
+	run("fig10", func() (*benchutil.Table, error) {
+		cfg := bench.DefaultFig10Config()
+		cfg.Duration = *duration
+		cfg.Workers = parseInts(*workers)
+		return bench.Fig10(cfg)
+	})
+	run("fig11", func() (*benchutil.Table, error) { return bench.Fig11(nil, s(*ops)) })
+	run("fig12", func() (*benchutil.Table, error) {
+		// Main panel (mixed layout) plus the fixed/varlen variants (12c/d).
+		res, err := bench.Fig12(bench.VariantMixed, s(*blocks), *perBlock, nil)
+		if err != nil {
+			return nil, err
+		}
+		res.Table.Print(os.Stdout)
+		resC, err := bench.Fig12(bench.VariantFixed, s(*blocks), *perBlock, nil)
+		if err != nil {
+			return nil, err
+		}
+		resC.Table.Print(os.Stdout)
+		resD, err := bench.Fig12(bench.VariantVarlen, s(*blocks), *perBlock, nil)
+		return resD.Table, err
+	})
+	run("fig13", func() (*benchutil.Table, error) {
+		return bench.Fig13(bench.VariantMixed, s(*blocks), *perBlock, nil)
+	})
+	run("fig14", func() (*benchutil.Table, error) {
+		return bench.Fig14(bench.VariantMixed, s(*blocks), *perBlock, []int{1, 2, 4, 8, 16}, nil)
+	})
+	run("fig15", func() (*benchutil.Table, error) { return bench.Fig15(s(*rows), nil) })
+}
+
+func parseInts(s string) []int {
+	var out []int
+	cur := 0
+	has := false
+	for i := 0; i <= len(s); i++ {
+		if i == len(s) || s[i] == ',' {
+			if has {
+				out = append(out, cur)
+			}
+			cur, has = 0, false
+			continue
+		}
+		if s[i] >= '0' && s[i] <= '9' {
+			cur = cur*10 + int(s[i]-'0')
+			has = true
+		}
+	}
+	return out
+}

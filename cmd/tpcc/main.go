@@ -1,0 +1,120 @@
+// Command tpcc loads and drives the TPC-C workload against the engine,
+// optionally with the background transformation pipeline, and reports
+// throughput, block-state coverage, and consistency — the interactive
+// version of the paper's §6.1 experiment.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"mainline/internal/catalog"
+	"mainline/internal/gc"
+	"mainline/internal/storage"
+	"mainline/internal/transform"
+	"mainline/internal/txn"
+	"mainline/internal/workload/tpcc"
+)
+
+func main() {
+	var (
+		warehouses = flag.Int("warehouses", 4, "number of warehouses")
+		workers    = flag.Int("workers", 4, "worker goroutines (one home warehouse each)")
+		duration   = flag.Duration("duration", 5*time.Second, "measurement duration")
+		mode       = flag.String("transform", "gather", "transformation: off|gather|dictionary")
+		full       = flag.Bool("full-scale", false, "spec-size database (100K items, 3K customers/district)")
+		threshold  = flag.Duration("threshold", 10*time.Millisecond, "cold-block threshold")
+	)
+	flag.Parse()
+
+	reg := storage.NewRegistry()
+	mgr := txn.NewManager(reg)
+	cat := catalog.New(reg)
+	cfg := tpcc.DefaultConfig(*warehouses)
+	if *full {
+		cfg = tpcc.Full(*warehouses)
+	}
+	db, err := tpcc.NewDatabase(mgr, cat, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("loading %d warehouses (%d items, %d customers/district)...\n",
+		cfg.Warehouses, cfg.Items, cfg.CustomersPerDistrict)
+	t0 := time.Now()
+	p, err := tpcc.Load(db, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("loaded in %v\n", time.Since(t0).Round(time.Millisecond))
+
+	g := gc.New(mgr)
+	obs := transform.NewObserver()
+	for _, tbl := range db.OrderTables() {
+		obs.Watch(tbl.DataTable)
+	}
+	g.SetObserver(obs)
+	tcfg := transform.DefaultConfig()
+	tcfg.Threshold = *threshold
+	tcfg.OnMove = db.OnTupleMove()
+	var tr *transform.Transformer
+	switch *mode {
+	case "off":
+	case "gather":
+		tcfg.Mode = transform.ModeGather
+		tr = transform.New(mgr, g, obs, tcfg)
+	case "dictionary":
+		tcfg.Mode = transform.ModeDictionary
+		tr = transform.New(mgr, g, obs, tcfg)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown -transform %q\n", *mode)
+		os.Exit(2)
+	}
+
+	g.Start(10 * time.Millisecond)
+	if tr != nil {
+		tr.Start(10 * time.Millisecond)
+	}
+	fmt.Printf("running %d workers for %v (transform=%s)...\n", *workers, *duration, *mode)
+	res := tpcc.Run(db, p, *workers, *duration, 99)
+	if tr != nil {
+		tr.Stop()
+	}
+	g.Stop()
+
+	fmt.Printf("\nthroughput: %.0f txn/s (committed %d, aborted %d)\n", res.Throughput(), res.Total(), res.Aborted)
+	names := []string{"new-order", "payment", "order-status", "delivery", "stock-level"}
+	for i, n := range res.Committed {
+		fmt.Printf("  %-13s %8d (%.1f%%)\n", names[i], n, 100*float64(n)/float64(res.Total()))
+	}
+	total, frozen, cooling := 0, 0, 0
+	for _, tbl := range db.OrderTables() {
+		for _, b := range tbl.Blocks() {
+			if b.InsertHead() == 0 {
+				continue
+			}
+			total++
+			switch b.State() {
+			case storage.StateFrozen:
+				frozen++
+			case storage.StateCooling:
+				cooling++
+			}
+		}
+	}
+	if total > 0 {
+		fmt.Printf("cold-table blocks: %d total, %.0f%% frozen, %.0f%% cooling\n",
+			total, 100*float64(frozen)/float64(total), 100*float64(cooling)/float64(total))
+	}
+	if tr != nil {
+		st := tr.Stats()
+		fmt.Printf("pipeline: %d compactions, %d moves, %d frozen, %d recycled, %d preemptions\n",
+			st.GroupsCompacted, st.TuplesMoved, st.BlocksFrozen, st.BlocksRecycled, st.Preemptions)
+	}
+	if err := tpcc.CheckConsistency(db); err != nil {
+		log.Fatalf("consistency FAILED: %v", err)
+	}
+	fmt.Println("consistency checks passed")
+}

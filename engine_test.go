@@ -1,0 +1,319 @@
+package mainline
+
+import (
+	"bytes"
+	"fmt"
+	"path/filepath"
+	"testing"
+
+	"mainline/internal/arrow"
+	"mainline/internal/storage"
+)
+
+func itemSchema() *Schema {
+	return NewSchema(
+		Field{Name: "id", Type: INT64},
+		Field{Name: "name", Type: STRING, Nullable: true},
+		Field{Name: "price", Type: INT64},
+	)
+}
+
+func openEngine(t *testing.T, opts Options) *Engine {
+	t.Helper()
+	eng, err := Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = eng.Close() })
+	return eng
+}
+
+func loadItems(t *testing.T, eng *Engine, tbl *Table, n int) []TupleSlot {
+	t.Helper()
+	slots := make([]TupleSlot, 0, n)
+	for i := 0; i < n; i++ {
+		tx := eng.Begin()
+		row := tbl.NewRow()
+		row.SetInt64(0, int64(i))
+		row.SetVarlen(1, []byte(fmt.Sprintf("item-%d-with-some-padding", i)))
+		row.SetInt64(2, int64(i*100))
+		slot, err := tbl.Insert(tx, row)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng.Commit(tx)
+		slots = append(slots, slot)
+	}
+	return slots
+}
+
+func TestEngineEndToEnd(t *testing.T) {
+	eng := openEngine(t, Options{})
+	tbl, err := eng.CreateTable("item", itemSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	slots := loadItems(t, eng, tbl, 100)
+
+	// Point read through a named projection.
+	proj, err := tbl.ProjectionOf("price", "id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx := eng.Begin()
+	out := proj.NewRow()
+	found, err := tbl.Select(tx, slots[42], out)
+	if err != nil || !found {
+		t.Fatalf("select: %v %v", found, err)
+	}
+	if out.Int64(0) != 4200 || out.Int64(1) != 42 {
+		t.Fatalf("projected read: %d %d", out.Int64(0), out.Int64(1))
+	}
+	eng.Commit(tx)
+
+	// Unknown column errors.
+	if _, err := tbl.ProjectionOf("nope"); err == nil {
+		t.Fatal("unknown column accepted")
+	}
+	// Duplicate table errors.
+	if _, err := eng.CreateTable("item", itemSchema()); err == nil {
+		t.Fatal("duplicate table accepted")
+	}
+	if eng.Table("missing") != nil {
+		t.Fatal("missing table resolved")
+	}
+	if eng.Table("item") == nil {
+		t.Fatal("existing table not resolved")
+	}
+}
+
+func TestEngineFreezeAllAndExport(t *testing.T) {
+	eng := openEngine(t, Options{})
+	tbl, _ := eng.CreateTable("item", itemSchema())
+	loadItems(t, eng, tbl, 500)
+
+	if !eng.FreezeAll(100) {
+		t.Fatalf("FreezeAll failed; states %v", eng.BlockStates("item"))
+	}
+	states := eng.BlockStates("item")
+	if states[3] == 0 {
+		t.Fatalf("no frozen blocks: %v", states)
+	}
+
+	tx := eng.Begin()
+	var buf bytes.Buffer
+	written, frozen, materialized, err := tbl.ExportIPC(&buf, tx)
+	eng.Commit(tx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if written == 0 || frozen == 0 || materialized != 0 {
+		t.Fatalf("export: written=%d frozen=%d materialized=%d", written, frozen, materialized)
+	}
+
+	// The stream parses back to the same data.
+	tab, err := arrow.ReadTable(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.NumRows() != 500 {
+		t.Fatalf("exported rows = %d", tab.NumRows())
+	}
+	sum := int64(0)
+	for _, rb := range tab.Batches {
+		s, err := arrow.SumInt64(rb.Column("price"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum += s
+	}
+	want := int64(0)
+	for i := 0; i < 500; i++ {
+		want += int64(i * 100)
+	}
+	if sum != want {
+		t.Fatalf("price sum = %d, want %d", sum, want)
+	}
+}
+
+func TestEngineExportHotMaterializes(t *testing.T) {
+	eng := openEngine(t, Options{})
+	tbl, _ := eng.CreateTable("item", itemSchema())
+	loadItems(t, eng, tbl, 50)
+	tx := eng.Begin()
+	var buf bytes.Buffer
+	_, frozen, materialized, err := tbl.ExportIPC(&buf, tx)
+	eng.Commit(tx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frozen != 0 || materialized == 0 {
+		t.Fatalf("hot export: frozen=%d materialized=%d", frozen, materialized)
+	}
+	tab, err := arrow.ReadTable(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.NumRows() != 50 {
+		t.Fatalf("rows = %d", tab.NumRows())
+	}
+}
+
+func TestEngineWriteThawsFrozenBlock(t *testing.T) {
+	eng := openEngine(t, Options{})
+	tbl, _ := eng.CreateTable("item", itemSchema())
+	slots := loadItems(t, eng, tbl, 100)
+	if !eng.FreezeAll(100) {
+		t.Fatal("freeze failed")
+	}
+	tx := eng.Begin()
+	proj, _ := tbl.ProjectionOf("price")
+	u := proj.NewRow()
+	u.SetInt64(0, 999999)
+	if err := tbl.Update(tx, slots[0], u); err != nil {
+		t.Fatal(err)
+	}
+	eng.Commit(tx)
+	states := eng.BlockStates("item")
+	if states[0] == 0 {
+		t.Fatalf("no hot block after write: %v", states)
+	}
+	// Re-freeze works.
+	if !eng.FreezeAll(100) {
+		t.Fatal("re-freeze failed")
+	}
+	tx2 := eng.Begin()
+	out := proj.NewRow()
+	found, _ := tbl.Select(tx2, slots[0], out)
+	eng.Commit(tx2)
+	if !found || out.Int64(0) != 999999 {
+		t.Fatalf("post-refreeze read: %d", out.Int64(0))
+	}
+}
+
+func TestEngineDurableCommitAndRecovery(t *testing.T) {
+	dir := t.TempDir()
+	logPath := filepath.Join(dir, "wal.log")
+	eng, err := Open(Options{LogPath: logPath, Background: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl, _ := eng.CreateTable("item", itemSchema())
+	tx := eng.Begin()
+	row := tbl.NewRow()
+	row.SetInt64(0, 7)
+	row.SetVarlen(1, []byte("durable"))
+	row.SetInt64(2, 700)
+	if _, err := tbl.Insert(tx, row); err != nil {
+		t.Fatal(err)
+	}
+	eng.CommitDurable(tx)
+	if err := eng.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Fresh engine, same schema, replay.
+	eng2 := openEngine(t, Options{})
+	tbl2, _ := eng2.CreateTable("item", itemSchema())
+	if err := eng2.Recover(logPath); err != nil {
+		t.Fatal(err)
+	}
+	tx2 := eng2.Begin()
+	count := tbl2.CountVisible(tx2)
+	eng2.Commit(tx2)
+	if count != 1 {
+		t.Fatalf("recovered %d rows", count)
+	}
+}
+
+func TestEngineDictionaryTransform(t *testing.T) {
+	eng := openEngine(t, Options{TransformMode: TransformDictionary})
+	tbl, _ := eng.CreateTable("item", itemSchema())
+	// Low-cardinality names.
+	for i := 0; i < 200; i++ {
+		tx := eng.Begin()
+		row := tbl.NewRow()
+		row.SetInt64(0, int64(i))
+		row.SetVarlen(1, []byte(fmt.Sprintf("category-%d-long-enough-to-spill", i%4)))
+		row.SetInt64(2, int64(i))
+		if _, err := tbl.Insert(tx, row); err != nil {
+			t.Fatal(err)
+		}
+		eng.Commit(tx)
+	}
+	if !eng.FreezeAll(100) {
+		t.Fatal("freeze failed")
+	}
+	tx := eng.Begin()
+	var buf bytes.Buffer
+	_, frozen, _, err := tbl.ExportIPC(&buf, tx)
+	eng.Commit(tx)
+	if err != nil || frozen == 0 {
+		t.Fatalf("export: %v frozen=%d", err, frozen)
+	}
+	tab, err := arrow.ReadTable(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The exported name column is dictionary-encoded.
+	col := tab.Batches[0].Column("name")
+	if col == nil || col.Type != arrow.DICT32 {
+		t.Fatalf("name column type: %v", col)
+	}
+	if col.Dict.Length != 4 {
+		t.Fatalf("dictionary entries = %d", col.Dict.Length)
+	}
+	for i := 0; i < col.Length; i++ {
+		want := fmt.Sprintf("category-%d-long-enough-to-spill", tab.Batches[0].Column("id").Int64(i)%4)
+		if col.Str(i) != want {
+			t.Fatalf("row %d dict value %q", i, col.Str(i))
+		}
+	}
+}
+
+func TestEngineTransformStatsAndStates(t *testing.T) {
+	eng := openEngine(t, Options{})
+	tbl, _ := eng.CreateTable("item", itemSchema())
+	slots := loadItems(t, eng, tbl, 300)
+	// Delete a third to force compaction movement.
+	tx := eng.Begin()
+	for i := 0; i < len(slots); i += 3 {
+		if err := tbl.Delete(tx, slots[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	eng.Commit(tx)
+	if !eng.FreezeAll(100) {
+		t.Fatal("freeze failed")
+	}
+	st := eng.TransformStats()
+	if st.BlocksFrozen == 0 || st.GroupsCompacted == 0 {
+		t.Fatalf("stats: %+v", st)
+	}
+	tx2 := eng.Begin()
+	if got := tbl.CountVisible(tx2); got != 200 {
+		t.Fatalf("visible = %d", got)
+	}
+	eng.Commit(tx2)
+}
+
+func TestEngineIndexHelpers(t *testing.T) {
+	eng := openEngine(t, Options{})
+	tbl, _ := eng.CreateTable("item", itemSchema())
+	idx := NewBTreeIndex()
+	tbl.AddIndex("pk", idx)
+	if tbl.Index("pk") == nil || tbl.Index("missing") != nil {
+		t.Fatal("index registry broken")
+	}
+	slots := loadItems(t, eng, tbl, 10)
+	for i, s := range slots {
+		key := NewKeyBuilder(8).Int64(int64(i)).Clone()
+		idx.Insert(key, s)
+	}
+	key := NewKeyBuilder(8).Int64(7).Clone()
+	got, ok := idx.GetOne(key)
+	if !ok || got != slots[7] {
+		t.Fatal("index lookup failed")
+	}
+	_ = storage.TupleSlot(0)
+}

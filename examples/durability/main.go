@@ -1,0 +1,105 @@
+// Durability: commit transactions through the write-ahead log with group
+// commit, "crash" (discard the engine), and recover the database from the
+// log into a fresh engine (§3.4).
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+)
+
+import "mainline"
+
+func main() {
+	dir, err := os.MkdirTemp("", "mainline-durability")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	logPath := filepath.Join(dir, "wal.log")
+
+	// First life: write with logging enabled.
+	eng, err := mainline.Open(mainline.Options{LogPath: logPath, Background: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	accounts, err := eng.CreateTable("accounts", mainline.NewSchema(
+		mainline.Field{Name: "id", Type: mainline.INT64},
+		mainline.Field{Name: "owner", Type: mainline.STRING},
+		mainline.Field{Name: "balance", Type: mainline.INT64},
+	))
+	if err != nil {
+		log.Fatal(err)
+	}
+	var slots []mainline.TupleSlot
+	for i := 0; i < 100; i++ {
+		tx := eng.Begin()
+		row := accounts.NewRow()
+		row.SetInt64(0, int64(i))
+		row.SetVarlen(1, []byte(fmt.Sprintf("owner-%d", i)))
+		row.SetInt64(2, 1000)
+		slot, err := accounts.Insert(tx, row)
+		if err != nil {
+			log.Fatal(err)
+		}
+		slots = append(slots, slot)
+		// CommitDurable blocks until the group commit fsyncs.
+		eng.CommitDurable(tx)
+	}
+	// A transfer and a deletion, both durable.
+	tx := eng.Begin()
+	bal, _ := accounts.ProjectionOf("balance")
+	u := bal.NewRow()
+	u.SetInt64(0, 250)
+	if err := accounts.Update(tx, slots[0], u); err != nil {
+		log.Fatal(err)
+	}
+	u.SetInt64(0, 1750)
+	if err := accounts.Update(tx, slots[1], u); err != nil {
+		log.Fatal(err)
+	}
+	if err := accounts.Delete(tx, slots[99]); err != nil {
+		log.Fatal(err)
+	}
+	eng.CommitDurable(tx)
+	if err := eng.Close(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("wrote 101 durable transactions, crashing...")
+
+	// Second life: fresh engine, same schema, replay the log.
+	eng2, err := mainline.Open(mainline.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer eng2.Close()
+	accounts2, err := eng2.CreateTable("accounts", mainline.NewSchema(
+		mainline.Field{Name: "id", Type: mainline.INT64},
+		mainline.Field{Name: "owner", Type: mainline.STRING},
+		mainline.Field{Name: "balance", Type: mainline.INT64},
+	))
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := eng2.Recover(logPath); err != nil {
+		log.Fatal(err)
+	}
+
+	check := eng2.Begin()
+	count := 0
+	total := int64(0)
+	proj, _ := accounts2.ProjectionOf("id", "balance")
+	_ = accounts2.Scan(check, proj, func(_ mainline.TupleSlot, row *mainline.Row) bool {
+		count++
+		total += row.Int64(1)
+		return true
+	})
+	eng2.Commit(check)
+	fmt.Printf("recovered %d accounts, total balance %d\n", count, total)
+	if count != 99 || total != 99*1000 {
+		log.Fatalf("recovery mismatch: want 99 accounts / %d total", 99*1000)
+	}
+	fmt.Println("recovery verified: the transfer and the delete both replayed")
+}

@@ -1,0 +1,275 @@
+package arrow
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTypeWidths(t *testing.T) {
+	cases := []struct {
+		typ   TypeID
+		width int
+	}{
+		{INT8, 1}, {INT16, 2}, {INT32, 4}, {INT64, 8}, {FLOAT64, 8},
+		{STRING, -1}, {BINARY, -1}, {BOOL, -1}, {DICT32, -1},
+	}
+	for _, c := range cases {
+		if got := c.typ.ByteWidth(); got != c.width {
+			t.Errorf("%s.ByteWidth() = %d, want %d", c.typ, got, c.width)
+		}
+	}
+	if !STRING.VarLen() || !BINARY.VarLen() || INT64.VarLen() {
+		t.Fatal("VarLen classification wrong")
+	}
+}
+
+func TestInt64Builder(t *testing.T) {
+	b := NewBuilder(INT64)
+	vals := []int64{0, 1, -1, 1 << 40, -(1 << 40)}
+	for _, v := range vals {
+		b.AppendInt64(v)
+	}
+	a := b.Finish()
+	if a.Length != len(vals) || a.NullCount != 0 {
+		t.Fatalf("len=%d nulls=%d", a.Length, a.NullCount)
+	}
+	for i, v := range vals {
+		if a.Int64(i) != v {
+			t.Fatalf("a.Int64(%d) = %d, want %d", i, a.Int64(i), v)
+		}
+		if a.IsNull(i) {
+			t.Fatalf("value %d null", i)
+		}
+	}
+	if len(a.Values)%8 != 0 {
+		t.Fatalf("values buffer not 8-byte padded: %d", len(a.Values))
+	}
+}
+
+func TestNullsMaterializeLazily(t *testing.T) {
+	b := NewBuilder(INT32)
+	b.AppendInt32(7)
+	b.AppendNull()
+	b.AppendInt32(9)
+	a := b.Finish()
+	if a.NullCount != 1 {
+		t.Fatalf("NullCount = %d", a.NullCount)
+	}
+	if a.IsNull(0) || !a.IsNull(1) || a.IsNull(2) {
+		t.Fatal("null positions wrong")
+	}
+	if a.Int32(0) != 7 || a.Int32(2) != 9 {
+		t.Fatal("values wrong around null")
+	}
+	if a.Int32(1) != 0 {
+		t.Fatal("null slot should be zeroed")
+	}
+}
+
+func TestStringBuilderOffsets(t *testing.T) {
+	b := NewBuilder(STRING)
+	vals := []string{"JOE", "", "MARK", "a-longer-string-value", ""}
+	for _, v := range vals {
+		b.AppendString(v)
+	}
+	a := b.Finish()
+	for i, v := range vals {
+		if got := a.Str(i); got != v {
+			t.Fatalf("Str(%d) = %q, want %q", i, got, v)
+		}
+		if a.ValueLen(i) != len(v) {
+			t.Fatalf("ValueLen(%d) = %d, want %d", i, a.ValueLen(i), len(v))
+		}
+	}
+	// Offsets are monotonically non-decreasing, starting at 0.
+	if a.offset(0) != 0 {
+		t.Fatal("first offset not zero")
+	}
+	for i := 0; i < a.Length; i++ {
+		if a.offset(i+1) < a.offset(i) {
+			t.Fatal("offsets not monotone")
+		}
+	}
+}
+
+func TestStringNulls(t *testing.T) {
+	b := NewBuilder(STRING)
+	b.AppendString("x")
+	b.AppendNull()
+	b.AppendString("y")
+	a := b.Finish()
+	if !a.IsNull(1) || a.ValueLen(1) != 0 {
+		t.Fatal("null string should be zero-length")
+	}
+	if a.Str(0) != "x" || a.Str(2) != "y" {
+		t.Fatal("values around null corrupted")
+	}
+}
+
+func TestBoolBuilder(t *testing.T) {
+	b := NewBuilder(BOOL)
+	pattern := []bool{true, false, true, true, false, false, true, false, true}
+	for _, v := range pattern {
+		b.AppendBool(v)
+	}
+	a := b.Finish()
+	for i, v := range pattern {
+		if a.Bool(i) != v {
+			t.Fatalf("Bool(%d) = %v want %v", i, a.Bool(i), v)
+		}
+	}
+}
+
+func TestDictionaryBuilder(t *testing.T) {
+	b := NewBuilder(DICT32)
+	vals := []string{"red", "green", "red", "blue", "green", "red"}
+	for _, v := range vals {
+		b.AppendString(v)
+	}
+	a := b.Finish()
+	if a.Dict == nil {
+		t.Fatal("no dictionary")
+	}
+	if a.Dict.Length != 3 {
+		t.Fatalf("dictionary has %d entries, want 3", a.Dict.Length)
+	}
+	for i, v := range vals {
+		if a.Str(i) != v {
+			t.Fatalf("Str(%d) = %q, want %q", i, a.Str(i), v)
+		}
+	}
+	// Same value must map to same code.
+	if a.Int32(0) != a.Int32(2) || a.Int32(2) != a.Int32(5) {
+		t.Fatal("repeated values got different codes")
+	}
+}
+
+func TestFloatAndSmallInts(t *testing.T) {
+	fb := NewBuilder(FLOAT64)
+	fb.AppendFloat64(3.25)
+	fb.AppendFloat64(-0.5)
+	fa := fb.Finish()
+	if fa.Float64(0) != 3.25 || fa.Float64(1) != -0.5 {
+		t.Fatal("float round-trip failed")
+	}
+	b8 := NewBuilder(INT8)
+	b8.AppendInt8(-128)
+	b8.AppendInt8(127)
+	a8 := b8.Finish()
+	if a8.Int8(0) != -128 || a8.Int8(1) != 127 {
+		t.Fatal("int8 round-trip failed")
+	}
+	b16 := NewBuilder(INT16)
+	b16.AppendInt16(-30000)
+	a16 := b16.Finish()
+	if a16.Int16(0) != -30000 {
+		t.Fatal("int16 round-trip failed")
+	}
+}
+
+func TestRecordBatchValidation(t *testing.T) {
+	schema := NewSchema(Field{"id", INT64, false}, Field{"name", STRING, true})
+	ids := NewBuilder(INT64)
+	names := NewBuilder(STRING)
+	ids.AppendInt64(1)
+	ids.AppendInt64(2)
+	names.AppendString("a")
+	names.AppendString("b")
+	rb, err := NewRecordBatch(schema, []*Array{ids.Finish(), names.Finish()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rb.NumRows != 2 {
+		t.Fatalf("NumRows = %d", rb.NumRows)
+	}
+	if rb.Column("name").Str(1) != "b" {
+		t.Fatal("Column lookup wrong")
+	}
+	if rb.Column("missing") != nil {
+		t.Fatal("missing column should be nil")
+	}
+
+	// Length mismatch must fail.
+	short := NewBuilder(STRING)
+	short.AppendString("only-one")
+	ids2 := NewBuilder(INT64)
+	ids2.AppendInt64(1)
+	ids2.AppendInt64(2)
+	if _, err := NewRecordBatch(schema, []*Array{ids2.Finish(), short.Finish()}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	// Type mismatch must fail.
+	f := NewBuilder(FLOAT64)
+	f.AppendFloat64(1)
+	f2 := NewBuilder(STRING)
+	f2.AppendString("x")
+	if _, err := NewRecordBatch(schema, []*Array{f.Finish(), f2.Finish()}); err == nil {
+		t.Fatal("type mismatch accepted")
+	}
+}
+
+func TestTableAppend(t *testing.T) {
+	schema := NewSchema(Field{"v", INT64, false})
+	other := NewSchema(Field{"v", INT32, false})
+	tb := &Table{Schema: schema}
+	b := NewBuilder(INT64)
+	b.AppendInt64(5)
+	rb, _ := NewRecordBatch(schema, []*Array{b.Finish()})
+	if err := tb.AppendBatch(rb); err != nil {
+		t.Fatal(err)
+	}
+	if tb.NumRows() != 1 {
+		t.Fatalf("NumRows = %d", tb.NumRows())
+	}
+	b2 := NewBuilder(INT32)
+	b2.AppendInt32(5)
+	rb2, _ := NewRecordBatch(other, []*Array{b2.Finish()})
+	if err := tb.AppendBatch(rb2); err == nil {
+		t.Fatal("incompatible batch accepted")
+	}
+}
+
+// Property: any []int64 round-trips through a builder.
+func TestQuickInt64RoundTrip(t *testing.T) {
+	f := func(vals []int64) bool {
+		b := NewBuilder(INT64)
+		for _, v := range vals {
+			b.AppendInt64(v)
+		}
+		a := b.Finish()
+		if a.Length != len(vals) {
+			return false
+		}
+		for i, v := range vals {
+			if a.Int64(i) != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: any [][]byte round-trips through both STRING and DICT32 builders.
+func TestQuickVarlenRoundTrip(t *testing.T) {
+	f := func(vals [][]byte) bool {
+		s := NewBuilder(BINARY)
+		d := NewBuilder(DICT32)
+		for _, v := range vals {
+			s.AppendBytes(v)
+			d.AppendBytes(v)
+		}
+		sa, da := s.Finish(), d.Finish()
+		for i, v := range vals {
+			if string(sa.Bytes(i)) != string(v) || string(da.Bytes(i)) != string(v) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

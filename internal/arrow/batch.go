@@ -1,0 +1,77 @@
+package arrow
+
+import "fmt"
+
+// RecordBatch is a collection of equal-length arrays conforming to a schema
+// — the unit of data interchange in Arrow and the unit our storage engine
+// emits per frozen block.
+type RecordBatch struct {
+	Schema  *Schema
+	Columns []*Array
+	NumRows int
+}
+
+// NewRecordBatch validates column/schema agreement and builds a batch.
+func NewRecordBatch(schema *Schema, cols []*Array) (*RecordBatch, error) {
+	if len(cols) != schema.NumFields() {
+		return nil, fmt.Errorf("arrow: %d columns for %d fields", len(cols), schema.NumFields())
+	}
+	rows := 0
+	for i, c := range cols {
+		if c.Type != schema.Fields[i].Type {
+			return nil, fmt.Errorf("arrow: column %d type %s != field type %s", i, c.Type, schema.Fields[i].Type)
+		}
+		if i == 0 {
+			rows = c.Length
+		} else if c.Length != rows {
+			return nil, fmt.Errorf("arrow: column %d length %d != %d", i, c.Length, rows)
+		}
+		if err := c.validate(); err != nil {
+			return nil, err
+		}
+	}
+	return &RecordBatch{Schema: schema, Columns: cols, NumRows: rows}, nil
+}
+
+// Column returns the array for the named field, or nil.
+func (rb *RecordBatch) Column(name string) *Array {
+	idx := rb.Schema.FieldIndex(name)
+	if idx < 0 {
+		return nil
+	}
+	return rb.Columns[idx]
+}
+
+// DataSize returns total buffer bytes across all columns.
+func (rb *RecordBatch) DataSize() int {
+	n := 0
+	for _, c := range rb.Columns {
+		n += c.DataSize()
+	}
+	return n
+}
+
+// Table is an ordered collection of record batches sharing a schema; the
+// shape of a fully frozen storage table.
+type Table struct {
+	Schema  *Schema
+	Batches []*RecordBatch
+}
+
+// NumRows sums the rows of all batches.
+func (t *Table) NumRows() int {
+	n := 0
+	for _, b := range t.Batches {
+		n += b.NumRows
+	}
+	return n
+}
+
+// AppendBatch adds a batch after checking schema compatibility.
+func (t *Table) AppendBatch(b *RecordBatch) error {
+	if !t.Schema.Equal(b.Schema) {
+		return fmt.Errorf("arrow: batch schema %s incompatible with table schema %s", b.Schema, t.Schema)
+	}
+	t.Batches = append(t.Batches, b)
+	return nil
+}

@@ -1,0 +1,103 @@
+package arrow
+
+import "fmt"
+
+// Minimal compute kernels. Examples and export clients use these to
+// demonstrate analytics running directly over engine-emitted buffers — the
+// paper's Figure 15 client passes exported data through a trivial compute
+// step, as the client computation itself is irrelevant to the measurement.
+
+// SumInt64 sums a non-null-skipping INT64 column; nulls contribute zero
+// (their buffer slots are zeroed by the builders and the storage engine).
+func SumInt64(a *Array) (int64, error) {
+	if a.Type != INT64 {
+		return 0, fmt.Errorf("arrow/compute: SumInt64 on %s", a.Type)
+	}
+	var sum int64
+	for i := 0; i < a.Length; i++ {
+		if a.IsValid(i) {
+			sum += a.Int64(i)
+		}
+	}
+	return sum, nil
+}
+
+// SumFloat64 sums a FLOAT64 column, skipping nulls.
+func SumFloat64(a *Array) (float64, error) {
+	if a.Type != FLOAT64 {
+		return 0, fmt.Errorf("arrow/compute: SumFloat64 on %s", a.Type)
+	}
+	var sum float64
+	for i := 0; i < a.Length; i++ {
+		if a.IsValid(i) {
+			sum += a.Float64(i)
+		}
+	}
+	return sum, nil
+}
+
+// MinMaxInt64 returns the extrema of an INT64 column; ok is false if every
+// value is null or the column is empty.
+func MinMaxInt64(a *Array) (minV, maxV int64, ok bool, err error) {
+	if a.Type != INT64 {
+		return 0, 0, false, fmt.Errorf("arrow/compute: MinMaxInt64 on %s", a.Type)
+	}
+	for i := 0; i < a.Length; i++ {
+		if a.IsNull(i) {
+			continue
+		}
+		v := a.Int64(i)
+		if !ok {
+			minV, maxV, ok = v, v, true
+			continue
+		}
+		if v < minV {
+			minV = v
+		}
+		if v > maxV {
+			maxV = v
+		}
+	}
+	return minV, maxV, ok, nil
+}
+
+// FilterInt64 returns the indices i where pred(value[i]) holds; nulls never
+// match. The result is a selection vector in ascending order.
+func FilterInt64(a *Array, pred func(int64) bool) ([]int, error) {
+	if a.Type != INT64 {
+		return nil, fmt.Errorf("arrow/compute: FilterInt64 on %s", a.Type)
+	}
+	var sel []int
+	for i := 0; i < a.Length; i++ {
+		if a.IsValid(i) && pred(a.Int64(i)) {
+			sel = append(sel, i)
+		}
+	}
+	return sel, nil
+}
+
+// CountValid returns the number of non-null values.
+func CountValid(a *Array) int { return a.Length - a.NullCount }
+
+// Checksum folds every buffer of every column of a batch into a 64-bit FNV-1a
+// hash. Export clients use it to validate that bytes survived the wire, and
+// as the stand-in "compute" over exported data.
+func Checksum(rb *RecordBatch) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(p []byte) {
+		for _, b := range p {
+			h ^= uint64(b)
+			h *= prime64
+		}
+	}
+	for _, c := range rb.Columns {
+		for _, buf := range arrayBufs(c) {
+			mix(buf)
+		}
+	}
+	return h
+}

@@ -1,0 +1,91 @@
+package arrow
+
+import "testing"
+
+func TestSumInt64(t *testing.T) {
+	b := NewBuilder(INT64)
+	b.AppendInt64(10)
+	b.AppendNull()
+	b.AppendInt64(-3)
+	a := b.Finish()
+	sum, err := SumInt64(a)
+	if err != nil || sum != 7 {
+		t.Fatalf("sum = %d err = %v", sum, err)
+	}
+	f := NewBuilder(FLOAT64)
+	f.AppendFloat64(1)
+	if _, err := SumInt64(f.Finish()); err == nil {
+		t.Fatal("type check missing")
+	}
+}
+
+func TestSumFloat64(t *testing.T) {
+	b := NewBuilder(FLOAT64)
+	b.AppendFloat64(1.5)
+	b.AppendFloat64(2.5)
+	b.AppendNull()
+	sum, err := SumFloat64(b.Finish())
+	if err != nil || sum != 4.0 {
+		t.Fatalf("sum = %f err = %v", sum, err)
+	}
+}
+
+func TestMinMaxInt64(t *testing.T) {
+	b := NewBuilder(INT64)
+	for _, v := range []int64{5, -2, 9, 0} {
+		b.AppendInt64(v)
+	}
+	lo, hi, ok, err := MinMaxInt64(b.Finish())
+	if err != nil || !ok || lo != -2 || hi != 9 {
+		t.Fatalf("minmax = %d %d ok=%v err=%v", lo, hi, ok, err)
+	}
+	empty := NewBuilder(INT64)
+	empty.AppendNull()
+	_, _, ok, err = MinMaxInt64(empty.Finish())
+	if err != nil || ok {
+		t.Fatal("all-null column should report !ok")
+	}
+}
+
+func TestFilterInt64(t *testing.T) {
+	b := NewBuilder(INT64)
+	for i := int64(0); i < 10; i++ {
+		b.AppendInt64(i)
+	}
+	sel, err := FilterInt64(b.Finish(), func(v int64) bool { return v%3 == 0 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{0, 3, 6, 9}
+	if len(sel) != len(want) {
+		t.Fatalf("sel = %v", sel)
+	}
+	for i := range want {
+		if sel[i] != want[i] {
+			t.Fatalf("sel = %v, want %v", sel, want)
+		}
+	}
+}
+
+func TestChecksumDetectsChange(t *testing.T) {
+	_, rb := sampleBatch(t, 20)
+	c1 := Checksum(rb)
+	rb.Columns[0].Values[0] ^= 0xFF
+	if Checksum(rb) == c1 {
+		t.Fatal("checksum blind to mutation")
+	}
+	rb.Columns[0].Values[0] ^= 0xFF
+	if Checksum(rb) != c1 {
+		t.Fatal("checksum not deterministic")
+	}
+}
+
+func TestCountValid(t *testing.T) {
+	b := NewBuilder(INT64)
+	b.AppendInt64(1)
+	b.AppendNull()
+	b.AppendInt64(2)
+	if got := CountValid(b.Finish()); got != 2 {
+		t.Fatalf("CountValid = %d", got)
+	}
+}

@@ -1,0 +1,101 @@
+package arrow
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestCSVRoundTrip(t *testing.T) {
+	schema, rb := sampleBatch(t, 40)
+	tab := &Table{Schema: schema, Batches: []*RecordBatch{rb}}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, tab); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf, schema, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumRows() != 40 {
+		t.Fatalf("NumRows = %d", got.NumRows())
+	}
+	// Values survive (nulls in the name column come back as empty strings —
+	// CSV cannot distinguish them, which is part of why CSV is a lossy,
+	// costly interchange format).
+	ri := 0
+	for _, b := range got.Batches {
+		for i := 0; i < b.NumRows; i++ {
+			if b.Columns[0].Int64(i) != rb.Columns[0].Int64(ri) {
+				t.Fatalf("row %d id mismatch", ri)
+			}
+			wantName := ""
+			if !rb.Columns[1].IsNull(ri) {
+				wantName = rb.Columns[1].Str(ri)
+			}
+			if b.Columns[1].Str(i) != wantName {
+				t.Fatalf("row %d name mismatch", ri)
+			}
+			if b.Columns[3].Str(i) != rb.Columns[3].Str(ri) {
+				t.Fatalf("row %d color mismatch", ri)
+			}
+			ri++
+		}
+	}
+}
+
+func TestCSVNullableInt(t *testing.T) {
+	// Two columns: a single all-null column would serialize as a blank CSV
+	// line, which encoding/csv skips — an inherent CSV ambiguity.
+	schema := NewSchema(Field{"k", INT64, false}, Field{"v", INT64, true})
+	k := NewBuilder(INT64)
+	b := NewBuilder(INT64)
+	k.AppendInt64(10)
+	b.AppendInt64(1)
+	k.AppendInt64(11)
+	b.AppendNull()
+	k.AppendInt64(12)
+	b.AppendInt64(3)
+	rb, _ := NewRecordBatch(schema, []*Array{k.Finish(), b.Finish()})
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, &Table{Schema: schema, Batches: []*RecordBatch{rb}}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf, schema, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := got.Batches[0].Columns[1]
+	if !col.IsNull(1) || col.IsNull(0) || col.IsNull(2) {
+		t.Fatal("null int did not round-trip")
+	}
+}
+
+func TestCSVHeaderMismatch(t *testing.T) {
+	schema := NewSchema(Field{"a", INT64, false}, Field{"b", INT64, false})
+	if _, err := ReadCSV(strings.NewReader("a\n1\n"), schema, 0); err == nil {
+		t.Fatal("header mismatch accepted")
+	}
+}
+
+func TestCSVParseError(t *testing.T) {
+	schema := NewSchema(Field{"a", INT64, false})
+	if _, err := ReadCSV(strings.NewReader("a\nnot-a-number\n"), schema, 0); err == nil {
+		t.Fatal("parse error not reported")
+	}
+}
+
+func TestCSVEmptyTable(t *testing.T) {
+	schema := NewSchema(Field{"a", INT64, false})
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, &Table{Schema: schema}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf, schema, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumRows() != 0 {
+		t.Fatalf("NumRows = %d", got.NumRows())
+	}
+}

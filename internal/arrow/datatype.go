@@ -1,0 +1,148 @@
+// Package arrow implements the subset of the Apache Arrow columnar
+// in-memory format that the storage engine targets (paper §2.2): 8-byte
+// aligned contiguous buffers, separate validity bitmaps, variable-length
+// values as an offsets array into a contiguous byte buffer, and
+// dictionary-encoded columns. It also provides an IPC-like stream framing so
+// record batches can move between processes with zero re-encoding of the
+// underlying buffers (§5), plus CSV import/export used by the Figure 1
+// baseline.
+//
+// This is a from-scratch implementation against the published format
+// description; it does not depend on the Arrow C++/Go libraries (the module
+// is stdlib-only). Framing metadata uses a simple binary header instead of
+// flatbuffers — see DESIGN.md "Substitutions".
+package arrow
+
+import "fmt"
+
+// TypeID enumerates the physical types supported by this implementation.
+type TypeID uint8
+
+// Supported physical types.
+const (
+	INVALID TypeID = iota
+	BOOL           // 1 bit per value in a packed bitmap
+	INT8
+	INT16
+	INT32
+	INT64
+	FLOAT64
+	STRING // variable-length UTF-8: int32 offsets + byte values
+	BINARY // variable-length bytes: int32 offsets + byte values
+	DICT32 // dictionary-encoded strings: int32 codes + string dictionary
+)
+
+// String implements fmt.Stringer.
+func (t TypeID) String() string {
+	switch t {
+	case BOOL:
+		return "bool"
+	case INT8:
+		return "int8"
+	case INT16:
+		return "int16"
+	case INT32:
+		return "int32"
+	case INT64:
+		return "int64"
+	case FLOAT64:
+		return "float64"
+	case STRING:
+		return "string"
+	case BINARY:
+		return "binary"
+	case DICT32:
+		return "dictionary<int32,string>"
+	default:
+		return "invalid"
+	}
+}
+
+// ByteWidth returns the fixed byte width of the type's value buffer, or -1
+// for variable-length and bit-packed types.
+func (t TypeID) ByteWidth() int {
+	switch t {
+	case INT8:
+		return 1
+	case INT16:
+		return 2
+	case INT32:
+		return 4
+	case INT64, FLOAT64:
+		return 8
+	default:
+		return -1
+	}
+}
+
+// FixedWidth reports whether values of the type occupy a fixed number of
+// bytes in a contiguous buffer.
+func (t TypeID) FixedWidth() bool { return t.ByteWidth() > 0 }
+
+// VarLen reports whether the type stores values through an offsets buffer.
+func (t TypeID) VarLen() bool { return t == STRING || t == BINARY }
+
+// Field describes one column of a schema.
+type Field struct {
+	Name     string
+	Type     TypeID
+	Nullable bool
+}
+
+// String renders the field as a DDL-ish fragment.
+func (f Field) String() string {
+	null := " NOT NULL"
+	if f.Nullable {
+		null = ""
+	}
+	return fmt.Sprintf("%s %s%s", f.Name, f.Type, null)
+}
+
+// Schema is an ordered list of fields, mirroring Arrow's table-like metadata
+// imposed on collections of buffers (paper Figure 2).
+type Schema struct {
+	Fields []Field
+}
+
+// NewSchema builds a schema from fields.
+func NewSchema(fields ...Field) *Schema {
+	return &Schema{Fields: fields}
+}
+
+// NumFields returns the number of columns.
+func (s *Schema) NumFields() int { return len(s.Fields) }
+
+// FieldIndex returns the index of the named field or -1.
+func (s *Schema) FieldIndex(name string) int {
+	for i, f := range s.Fields {
+		if f.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Equal reports deep equality of two schemas.
+func (s *Schema) Equal(o *Schema) bool {
+	if s.NumFields() != o.NumFields() {
+		return false
+	}
+	for i := range s.Fields {
+		if s.Fields[i] != o.Fields[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the schema like a CREATE TABLE body.
+func (s *Schema) String() string {
+	out := "("
+	for i, f := range s.Fields {
+		if i > 0 {
+			out += ", "
+		}
+		out += f.String()
+	}
+	return out + ")"
+}

@@ -1,0 +1,138 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"mainline/internal/benchutil"
+	"mainline/internal/catalog"
+	"mainline/internal/gc"
+	"mainline/internal/storage"
+	"mainline/internal/transform"
+	"mainline/internal/txn"
+	"mainline/internal/workload/tpcc"
+)
+
+// Fig10Config scales the TPC-C experiment.
+type Fig10Config struct {
+	Workers  []int
+	Duration time.Duration
+	// TPCC is the per-warehouse database scale.
+	TPCC func(warehouses int) tpcc.Config
+}
+
+// DefaultFig10Config mirrors the paper's sweep at laptop scale.
+func DefaultFig10Config() Fig10Config {
+	return Fig10Config{
+		Workers:  []int{1, 2, 4, 8},
+		Duration: time.Second,
+		TPCC:     tpcc.DefaultConfig,
+	}
+}
+
+// Fig10 reproduces the OLTP-performance experiment (Figure 10): TPC-C
+// throughput versus worker threads under three transformation
+// configurations (disabled, varlen gather, dictionary compression), plus
+// the fraction of blocks cooling/frozen at the end of each run (10b).
+// The transformation targets the tables generating cold data: ORDER,
+// ORDER_LINE, HISTORY, ITEM (§6.1), with the paper's aggressive 10 ms
+// threshold.
+func Fig10(cfg Fig10Config) (*benchutil.Table, error) {
+	t := &benchutil.Table{
+		Title:  "Figure 10 — TPC-C throughput and block-state coverage",
+		Note:   fmt.Sprintf("%v per point, one warehouse per worker, threshold 10ms", cfg.Duration),
+		Header: []string{"workers", "config", "txn/s", "aborted", "%frozen", "%cooling"},
+	}
+	type config struct {
+		name string
+		mode transform.Mode
+		on   bool
+	}
+	configs := []config{
+		{"no-transform", transform.ModeGather, false},
+		{"gather", transform.ModeGather, true},
+		{"dictionary", transform.ModeDictionary, true},
+	}
+	for _, workers := range cfg.Workers {
+		for _, c := range configs {
+			row, err := runFig10Point(cfg, workers, c.mode, c.on)
+			if err != nil {
+				return nil, fmt.Errorf("fig10 %s @%d workers: %w", c.name, workers, err)
+			}
+			t.AddRow(append([]string{fmt.Sprintf("%d", workers), c.name}, row...)...)
+		}
+	}
+	return t, nil
+}
+
+func runFig10Point(cfg Fig10Config, workers int, mode transform.Mode, transformOn bool) ([]string, error) {
+	reg := storage.NewRegistry()
+	mgr := txn.NewManager(reg)
+	cat := catalog.New(reg)
+	db, err := tpcc.NewDatabase(mgr, cat, cfg.TPCC(workers))
+	if err != nil {
+		return nil, err
+	}
+	p, err := tpcc.Load(db, 42)
+	if err != nil {
+		return nil, err
+	}
+
+	g := gc.New(mgr)
+	obs := transform.NewObserver()
+	for _, tbl := range db.OrderTables() {
+		obs.Watch(tbl.DataTable)
+	}
+	g.SetObserver(obs)
+	tcfg := transform.DefaultConfig()
+	tcfg.Mode = mode
+	// Tuple movements must maintain the indexes (the paper's write
+	// amplification); without this, relocated tuples leave stale entries.
+	tcfg.OnMove = db.OnTupleMove()
+	tr := transform.New(mgr, g, obs, tcfg)
+
+	// Background threads as in the paper: one GC and (optionally) one
+	// transformation thread.
+	g.Start(10 * time.Millisecond)
+	if transformOn {
+		tr.Start(10 * time.Millisecond)
+	}
+	res := tpcc.Run(db, p, workers, cfg.Duration, 99)
+	if transformOn {
+		tr.Stop()
+	}
+	g.Stop()
+
+	if err := tpcc.CheckConsistency(db); err != nil {
+		return nil, err
+	}
+
+	// Block-state coverage over the transformation-target tables (10b).
+	total, frozen, cooling := 0, 0, 0
+	for _, tbl := range db.OrderTables() {
+		for _, b := range tbl.Blocks() {
+			if b.InsertHead() == 0 {
+				continue
+			}
+			total++
+			switch b.State() {
+			case storage.StateFrozen:
+				frozen++
+			case storage.StateCooling:
+				cooling++
+			}
+		}
+	}
+	pct := func(n int) string {
+		if total == 0 {
+			return "n/a"
+		}
+		return fmt.Sprintf("%.0f%%", 100*float64(n)/float64(total))
+	}
+	return []string{
+		benchutil.OpsPerSec(res.Total(), res.Elapsed),
+		fmt.Sprintf("%d", res.Aborted),
+		pct(frozen),
+		pct(cooling),
+	}, nil
+}

@@ -1,0 +1,73 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"mainline/internal/benchutil"
+	"mainline/internal/storage"
+	"mainline/internal/txn"
+	"mainline/internal/workload/synthetic"
+)
+
+// Fig11 reproduces the row-vs-column microbenchmark (Figure 11): raw
+// insert and update throughput as the number of 8-byte attributes grows,
+// comparing the columnar layout against the simulated row-store (one wide
+// column). Updates modify `attrs` attributes in the update runs, matching
+// the paper's x-axis ("for updates, it is the number of attributes
+// updated").
+func Fig11(attrCounts []int, opsPerPoint int) (*benchutil.Table, error) {
+	if attrCounts == nil {
+		attrCounts = []int{1, 2, 4, 8, 16, 32, 64}
+	}
+	t := &benchutil.Table{
+		Title:  fmt.Sprintf("Figure 11 — Row vs. column raw storage speed (%d ops/point)", opsPerPoint),
+		Header: []string{"#attrs", "row insert", "col insert", "row update", "col update"},
+	}
+	const batch = 256
+	// Updates on a wide table need enough preloaded tuples.
+	preload := opsPerPoint / 4
+	if preload < 1000 {
+		preload = 1000
+	}
+	for _, attrs := range attrCounts {
+		var cells []string
+		// Inserts.
+		for _, kind := range []synthetic.LayoutKind{synthetic.RowStore, synthetic.ColumnStore} {
+			reg := storage.NewRegistry()
+			mgr := txn.NewManager(reg)
+			table, err := synthetic.NewTable(reg, kind, attrs, 1)
+			if err != nil {
+				return nil, err
+			}
+			t0 := time.Now()
+			done, err := synthetic.RunInserts(mgr, table, kind, attrs, opsPerPoint, batch, 5)
+			if err != nil {
+				return nil, err
+			}
+			cells = append(cells, benchutil.OpsPerSec(int64(done), time.Since(t0)))
+		}
+		// Updates (modifying `attrs` attributes, as the paper plots).
+		for _, kind := range []synthetic.LayoutKind{synthetic.RowStore, synthetic.ColumnStore} {
+			reg := storage.NewRegistry()
+			mgr := txn.NewManager(reg)
+			table, err := synthetic.NewTable(reg, kind, attrs, 1)
+			if err != nil {
+				return nil, err
+			}
+			slots, err := synthetic.Populate(mgr, table, kind, attrs, preload, 6)
+			if err != nil {
+				return nil, err
+			}
+			t0 := time.Now()
+			done, err := synthetic.RunUpdates(mgr, table, kind, attrs, attrs, opsPerPoint, batch, slots, 7)
+			if err != nil {
+				return nil, err
+			}
+			cells = append(cells, benchutil.OpsPerSec(int64(done), time.Since(t0)))
+		}
+		t.AddRow(append([]string{fmt.Sprintf("%d", attrs)},
+			cells[0], cells[1], cells[2], cells[3])...)
+	}
+	return t, nil
+}

@@ -1,0 +1,129 @@
+// Package benchutil provides the small reporting toolkit the figure
+// harnesses share: aligned-column tables (the textual stand-in for the
+// paper's plots) and unit formatting.
+package benchutil
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+)
+
+// Table is a titled grid of results; one per reproduced figure.
+type Table struct {
+	Title  string
+	Note   string
+	Header []string
+	Rows   [][]string
+}
+
+// AddRow appends a formatted row.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// Print renders the table with aligned columns.
+func (t *Table) Print(w io.Writer) {
+	fmt.Fprintf(w, "\n== %s ==\n", t.Title)
+	if t.Note != "" {
+		fmt.Fprintf(w, "   %s\n", t.Note)
+	}
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			if i < len(widths) {
+				parts[i] = pad(c, widths[i])
+			} else {
+				parts[i] = c
+			}
+		}
+		fmt.Fprintf(w, "  %s\n", strings.Join(parts, "  "))
+	}
+	line(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// OpsPerSec formats an operations-per-second rate.
+func OpsPerSec(ops int64, d time.Duration) string {
+	if d <= 0 {
+		return "n/a"
+	}
+	rate := float64(ops) / d.Seconds()
+	switch {
+	case rate >= 1e6:
+		return fmt.Sprintf("%.2fM/s", rate/1e6)
+	case rate >= 1e3:
+		return fmt.Sprintf("%.1fK/s", rate/1e3)
+	default:
+		return fmt.Sprintf("%.0f/s", rate)
+	}
+}
+
+// MBps formats a bandwidth.
+func MBps(bytes int64, d time.Duration) string {
+	if d <= 0 {
+		return "n/a"
+	}
+	return fmt.Sprintf("%.1f MB/s", float64(bytes)/(1<<20)/d.Seconds())
+}
+
+// Seconds formats a duration in seconds with sensible precision.
+func Seconds(d time.Duration) string {
+	s := d.Seconds()
+	switch {
+	case s >= 100:
+		return fmt.Sprintf("%.0fs", s)
+	case s >= 1:
+		return fmt.Sprintf("%.2fs", s)
+	case s >= 0.001:
+		return fmt.Sprintf("%.2fms", s*1000)
+	default:
+		return fmt.Sprintf("%.0fµs", s*1e6)
+	}
+}
+
+// Ratio formats a/b with a × suffix.
+func Ratio(a, b float64) string {
+	if b == 0 {
+		return "n/a"
+	}
+	return fmt.Sprintf("%.1fx", a/b)
+}
+
+// Count formats large counts compactly.
+func Count(n int64) string {
+	switch {
+	case n >= 10_000_000:
+		return fmt.Sprintf("%.1fM", float64(n)/1e6)
+	case n >= 10_000:
+		return fmt.Sprintf("%.1fK", float64(n)/1e3)
+	default:
+		return fmt.Sprintf("%d", n)
+	}
+}

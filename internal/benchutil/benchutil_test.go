@@ -1,0 +1,63 @@
+package benchutil
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTablePrint(t *testing.T) {
+	tb := &Table{
+		Title:  "Demo",
+		Note:   "a note",
+		Header: []string{"col-a", "b"},
+	}
+	tb.AddRow("1", "two")
+	tb.AddRow("longer-cell", "x")
+	var sb strings.Builder
+	tb.Print(&sb)
+	out := sb.String()
+	for _, want := range []string{"== Demo ==", "a note", "col-a", "longer-cell", "two"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+	// Columns are aligned: the header and the separator line up.
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) < 5 {
+		t.Fatalf("too few lines: %d", len(lines))
+	}
+}
+
+func TestFormatting(t *testing.T) {
+	if got := OpsPerSec(2_000_000, time.Second); got != "2.00M/s" {
+		t.Fatalf("OpsPerSec = %q", got)
+	}
+	if got := OpsPerSec(1500, time.Second); got != "1.5K/s" {
+		t.Fatalf("OpsPerSec = %q", got)
+	}
+	if got := OpsPerSec(10, 0); got != "n/a" {
+		t.Fatalf("OpsPerSec zero-duration = %q", got)
+	}
+	if got := MBps(10<<20, time.Second); got != "10.0 MB/s" {
+		t.Fatalf("MBps = %q", got)
+	}
+	if got := Seconds(1500 * time.Millisecond); got != "1.50s" {
+		t.Fatalf("Seconds = %q", got)
+	}
+	if got := Seconds(2 * time.Millisecond); got != "2.00ms" {
+		t.Fatalf("Seconds = %q", got)
+	}
+	if got := Ratio(10, 2); got != "5.0x" {
+		t.Fatalf("Ratio = %q", got)
+	}
+	if got := Ratio(1, 0); got != "n/a" {
+		t.Fatalf("Ratio = %q", got)
+	}
+	if got := Count(12_345_678); got != "12.3M" {
+		t.Fatalf("Count = %q", got)
+	}
+	if got := Count(42); got != "42" {
+		t.Fatalf("Count = %q", got)
+	}
+}

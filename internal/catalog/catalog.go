@@ -1,0 +1,131 @@
+// Package catalog maps logical schemas onto the storage engine: it derives
+// block layouts from Arrow schemas, tracks tables by name and ID, attaches
+// indexes, and implements the zero-copy export of frozen blocks as Arrow
+// record batches (§5) with transactional materialization as the fallback
+// for hot blocks.
+package catalog
+
+import (
+	"fmt"
+	"sync"
+
+	"mainline/internal/arrow"
+	"mainline/internal/core"
+	"mainline/internal/index"
+	"mainline/internal/storage"
+)
+
+// Table couples a DataTable with its logical Arrow schema and any indexes.
+type Table struct {
+	*core.DataTable
+	Schema *arrow.Schema
+
+	mu      sync.RWMutex
+	indexes map[string]index.Index
+}
+
+// AddIndex attaches a named index; the caller maintains it on writes.
+func (t *Table) AddIndex(name string, idx index.Index) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.indexes[name] = idx
+}
+
+// Index returns a named index or nil.
+func (t *Table) Index(name string) index.Index {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.indexes[name]
+}
+
+// Catalog is the table registry.
+type Catalog struct {
+	reg *storage.Registry
+
+	mu     sync.RWMutex
+	byName map[string]*Table
+	byID   map[uint32]*Table
+	nextID uint32
+}
+
+// New creates an empty catalog over the block registry.
+func New(reg *storage.Registry) *Catalog {
+	return &Catalog{reg: reg, byName: make(map[string]*Table), byID: make(map[uint32]*Table), nextID: 1}
+}
+
+// LayoutForSchema derives the physical block layout for an Arrow schema.
+// BOOL columns are rejected: the engine stores fixed-width and varlen
+// attributes only (bit-packed columns cannot be updated in place).
+func LayoutForSchema(schema *arrow.Schema) (*storage.BlockLayout, error) {
+	attrs := make([]storage.AttrDef, 0, schema.NumFields())
+	for _, f := range schema.Fields {
+		switch {
+		case f.Type.FixedWidth():
+			attrs = append(attrs, storage.FixedAttr(uint16(f.Type.ByteWidth())))
+		case f.Type == arrow.STRING || f.Type == arrow.BINARY || f.Type == arrow.DICT32:
+			attrs = append(attrs, storage.VarlenAttr())
+		default:
+			return nil, fmt.Errorf("catalog: column %s: unsupported type %s", f.Name, f.Type)
+		}
+	}
+	return storage.NewBlockLayout(attrs)
+}
+
+// CreateTable registers a new table with the given schema.
+func (c *Catalog) CreateTable(name string, schema *arrow.Schema) (*Table, error) {
+	layout, err := LayoutForSchema(schema)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, exists := c.byName[name]; exists {
+		return nil, fmt.Errorf("catalog: table %q exists", name)
+	}
+	id := c.nextID
+	c.nextID++
+	t := &Table{
+		DataTable: core.NewDataTable(c.reg, layout, id, name),
+		Schema:    schema,
+		indexes:   make(map[string]index.Index),
+	}
+	c.byName[name] = t
+	c.byID[id] = t
+	return t, nil
+}
+
+// Table resolves a table by name (nil if absent).
+func (c *Catalog) Table(name string) *Table {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.byName[name]
+}
+
+// TableByID resolves a table by catalog ID.
+func (c *Catalog) TableByID(id uint32) *Table {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.byID[id]
+}
+
+// Tables snapshots the registered tables.
+func (c *Catalog) Tables() []*Table {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]*Table, 0, len(c.byName))
+	for _, t := range c.byName {
+		out = append(out, t)
+	}
+	return out
+}
+
+// DataTables returns the id → DataTable map recovery needs.
+func (c *Catalog) DataTables() map[uint32]*core.DataTable {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make(map[uint32]*core.DataTable, len(c.byID))
+	for id, t := range c.byID {
+		out[id] = t.DataTable
+	}
+	return out
+}

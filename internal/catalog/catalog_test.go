@@ -1,0 +1,194 @@
+package catalog
+
+import (
+	"fmt"
+	"testing"
+
+	"mainline/internal/arrow"
+	"mainline/internal/gc"
+	"mainline/internal/index"
+	"mainline/internal/storage"
+	"mainline/internal/transform"
+	"mainline/internal/txn"
+)
+
+func testCatalog(t *testing.T) (*txn.Manager, *Catalog) {
+	t.Helper()
+	reg := storage.NewRegistry()
+	return txn.NewManager(reg), New(reg)
+}
+
+func sampleSchema() *arrow.Schema {
+	return arrow.NewSchema(
+		arrow.Field{Name: "id", Type: arrow.INT64},
+		arrow.Field{Name: "name", Type: arrow.STRING, Nullable: true},
+		arrow.Field{Name: "qty", Type: arrow.INT16},
+	)
+}
+
+func TestLayoutForSchema(t *testing.T) {
+	layout, err := LayoutForSchema(sampleSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if layout.NumColumns() != 3 {
+		t.Fatalf("columns = %d", layout.NumColumns())
+	}
+	if layout.AttrSize(0) != 8 || !layout.IsVarlen(1) || layout.AttrSize(2) != 2 {
+		t.Fatal("attribute mapping wrong")
+	}
+	// BOOL is rejected (bit-packed columns cannot be updated in place).
+	_, err = LayoutForSchema(arrow.NewSchema(arrow.Field{Name: "b", Type: arrow.BOOL}))
+	if err == nil {
+		t.Fatal("BOOL column accepted")
+	}
+}
+
+func TestCatalogRegistry(t *testing.T) {
+	_, cat := testCatalog(t)
+	tbl, err := cat.CreateTable("orders", sampleSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cat.Table("orders") != tbl || cat.TableByID(tbl.ID) != tbl {
+		t.Fatal("lookup broken")
+	}
+	if cat.Table("missing") != nil || cat.TableByID(999) != nil {
+		t.Fatal("phantom lookups")
+	}
+	if _, err := cat.CreateTable("orders", sampleSchema()); err == nil {
+		t.Fatal("duplicate accepted")
+	}
+	if len(cat.Tables()) != 1 {
+		t.Fatal("Tables() wrong")
+	}
+	if cat.DataTables()[tbl.ID] != tbl.DataTable {
+		t.Fatal("DataTables() wrong")
+	}
+}
+
+func TestTableIndexes(t *testing.T) {
+	_, cat := testCatalog(t)
+	tbl, _ := cat.CreateTable("t", sampleSchema())
+	idx := index.NewBTree()
+	tbl.AddIndex("pk", idx)
+	if tbl.Index("pk") == nil || tbl.Index("nope") != nil {
+		t.Fatal("index registry broken")
+	}
+}
+
+func loadRows(t *testing.T, mgr *txn.Manager, tbl *Table, n int) {
+	t.Helper()
+	tx := mgr.Begin()
+	row := tbl.AllColumnsProjection().NewRow()
+	for i := 0; i < n; i++ {
+		row.Reset()
+		row.SetInt64(0, int64(i))
+		if i%5 == 0 {
+			row.SetNull(1)
+		} else {
+			row.SetVarlen(1, []byte(fmt.Sprintf("value-%d-padded-to-spill", i)))
+		}
+		row.SetInt16(2, int16(i%100))
+		if _, err := tbl.Insert(tx, row); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mgr.Commit(tx, nil)
+}
+
+func freeze(t *testing.T, mgr *txn.Manager, tbl *Table) {
+	t.Helper()
+	g := gc.New(mgr)
+	obs := transform.NewObserver()
+	obs.Watch(tbl.DataTable)
+	g.SetObserver(obs)
+	tr := transform.New(mgr, g, obs, transform.DefaultConfig())
+	for i := 0; i < 20; i++ {
+		g.RunOnce()
+		tr.ForcePass()
+	}
+}
+
+func TestExportBlockZeroCopyRejectsHot(t *testing.T) {
+	mgr, cat := testCatalog(t)
+	tbl, _ := cat.CreateTable("t", sampleSchema())
+	loadRows(t, mgr, tbl, 10)
+	if _, err := tbl.ExportBlockZeroCopy(tbl.Blocks()[0]); err == nil {
+		t.Fatal("zero-copy export of hot block accepted")
+	}
+}
+
+func TestExportZeroCopyMatchesMaterialized(t *testing.T) {
+	mgr, cat := testCatalog(t)
+	tbl, _ := cat.CreateTable("t", sampleSchema())
+	loadRows(t, mgr, tbl, 500)
+
+	// Materialize while hot.
+	tx := mgr.Begin()
+	hotBatches, frozen, mat, err := tbl.ExportBatches(tx)
+	mgr.Commit(tx, nil)
+	if err != nil || frozen != 0 || mat == 0 {
+		t.Fatalf("hot export: %v frozen=%d mat=%d", err, frozen, mat)
+	}
+
+	freeze(t, mgr, tbl)
+	tx2 := mgr.Begin()
+	coldBatches, frozen2, mat2, err := tbl.ExportBatches(tx2)
+	mgr.Commit(tx2, nil)
+	if err != nil || frozen2 == 0 || mat2 != 0 {
+		t.Fatalf("cold export: %v frozen=%d mat=%d", err, frozen2, mat2)
+	}
+
+	// Same logical contents either way.
+	collect := func(batches []*arrow.RecordBatch) map[int64]string {
+		out := map[int64]string{}
+		for _, rb := range batches {
+			id := rb.Column("id")
+			name := rb.Column("name")
+			for i := 0; i < rb.NumRows; i++ {
+				v := ""
+				if name.IsValid(i) {
+					v = name.Str(i)
+				}
+				out[id.Int64(i)] = v
+			}
+		}
+		return out
+	}
+	hot, cold := collect(hotBatches), collect(coldBatches)
+	if len(hot) != 500 || len(cold) != 500 {
+		t.Fatalf("rows: hot=%d cold=%d", len(hot), len(cold))
+	}
+	for k, v := range hot {
+		if cold[k] != v {
+			t.Fatalf("row %d: hot %q cold %q", k, v, cold[k])
+		}
+	}
+	// Null counts surface in the zero-copy arrays.
+	nameCol := coldBatches[0].Column("name")
+	if nameCol.NullCount == 0 {
+		t.Fatal("null count lost in zero-copy export")
+	}
+}
+
+func TestExportZeroCopySharesMemory(t *testing.T) {
+	mgr, cat := testCatalog(t)
+	tbl, _ := cat.CreateTable("t", sampleSchema())
+	loadRows(t, mgr, tbl, 100)
+	freeze(t, mgr, tbl)
+	b := tbl.Blocks()[0]
+	rb, err := tbl.ExportBlockZeroCopy(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The fixed column's buffer must alias block memory: mutating the raw
+	// block shows through (proof of zero-copy; done on a quiesced block).
+	raw := b.FrozenFixedData(0)
+	old := raw[0]
+	raw[0] ^= 0xFF
+	if rb.Columns[0].Values[0] == old {
+		t.Fatal("zero-copy export copied the buffer")
+	}
+	raw[0] = old
+}

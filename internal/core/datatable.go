@@ -1,0 +1,437 @@
+// Package core implements the paper's Data Table API (§3.1): the
+// abstraction layer through which transactions read and write tuples. It
+// materializes the correct tuple version for hot blocks by copying the
+// latest version and replaying before-images down the version chain, and
+// elides that work entirely for frozen blocks, which are read in place
+// under the block's reader counter (§4.1).
+package core
+
+import (
+	"errors"
+	"sync"
+
+	"mainline/internal/storage"
+	"mainline/internal/txn"
+)
+
+// Errors surfaced by Data Table operations.
+var (
+	// ErrWriteConflict is returned when a transaction tries to write a tuple
+	// whose newest version it cannot see — the paper disallows write-write
+	// conflicts to avoid cascading rollbacks.
+	ErrWriteConflict = errors.New("core: write-write conflict")
+	// ErrNotFound is returned for writes against a tuple whose latest
+	// version is deleted or absent.
+	ErrNotFound = errors.New("core: tuple not found")
+	// ErrTxnFinished is returned when operating on a finished transaction.
+	ErrTxnFinished = errors.New("core: transaction already finished")
+	// ErrSlotOccupied is returned by InsertIntoSlot when the target slot has
+	// a live version chain (compaction lost a race).
+	ErrSlotOccupied = errors.New("core: slot occupied")
+)
+
+// DataTable is one table's storage: a set of blocks sharing a layout, an
+// insertion point, and the MVCC read/write protocol.
+type DataTable struct {
+	// ID is the catalog identifier used in redo records.
+	ID uint32
+	// Name is the table's human-readable name.
+	Name string
+
+	reg    *storage.Registry
+	layout *storage.BlockLayout
+
+	mu     sync.RWMutex
+	blocks []*storage.Block
+	tail   *storage.Block
+
+	// allColumns is the identity projection, reused for full-row reads.
+	allColumns *storage.Projection
+}
+
+// NewDataTable creates a table with the given layout and one empty block.
+func NewDataTable(reg *storage.Registry, layout *storage.BlockLayout, id uint32, name string) *DataTable {
+	t := &DataTable{ID: id, Name: name, reg: reg, layout: layout}
+	t.allColumns = storage.MustProjection(layout, layout.AllColumns())
+	t.tail = storage.NewBlock(reg, layout)
+	t.blocks = []*storage.Block{t.tail}
+	return t
+}
+
+// Layout returns the table's block layout.
+func (t *DataTable) Layout() *storage.BlockLayout { return t.layout }
+
+// Registry returns the block registry backing the table.
+func (t *DataTable) Registry() *storage.Registry { return t.reg }
+
+// AllColumnsProjection returns the shared identity projection.
+func (t *DataTable) AllColumnsProjection() *storage.Projection { return t.allColumns }
+
+// Blocks returns a snapshot of the table's block list.
+func (t *DataTable) Blocks() []*storage.Block {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return append([]*storage.Block(nil), t.blocks...)
+}
+
+// NumBlocks reports the current block count.
+func (t *DataTable) NumBlocks() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.blocks)
+}
+
+// RemoveBlock detaches an emptied block from the table and retires it from
+// the registry (compaction recycles blocks; paper §4.3 Phase 1).
+func (t *DataTable) RemoveBlock(b *storage.Block) {
+	t.mu.Lock()
+	for i, x := range t.blocks {
+		if x == b {
+			t.blocks = append(t.blocks[:i], t.blocks[i+1:]...)
+			break
+		}
+	}
+	if t.tail == b {
+		if n := len(t.blocks); n > 0 {
+			t.tail = t.blocks[n-1]
+		} else {
+			t.tail = storage.NewBlock(t.reg, t.layout)
+			t.blocks = append(t.blocks, t.tail)
+		}
+	}
+	t.mu.Unlock()
+	t.reg.Retire(b)
+}
+
+// allocateSlot reserves an insertion slot, growing the table when the tail
+// block fills.
+func (t *DataTable) allocateSlot() (*storage.Block, uint32) {
+	for {
+		t.mu.RLock()
+		tail := t.tail
+		t.mu.RUnlock()
+		if slot, ok := tail.TryAllocateSlot(); ok {
+			return tail, slot
+		}
+		t.mu.Lock()
+		if t.tail == tail { // nobody else grew the table yet
+			nb := storage.NewBlock(t.reg, t.layout)
+			t.blocks = append(t.blocks, nb)
+			t.tail = nb
+		}
+		t.mu.Unlock()
+	}
+}
+
+// Insert adds a tuple with the values of row (columns absent from the
+// projection become null) and returns its slot.
+func (t *DataTable) Insert(tx *txn.Transaction, row *storage.ProjectedRow) (storage.TupleSlot, error) {
+	if tx.Finished() {
+		return 0, ErrTxnFinished
+	}
+	block, offset := t.allocateSlot()
+	block.MarkHot()
+	slot := storage.NewTupleSlot(block.ID, offset)
+
+	// Install the version chain before any in-place state becomes visible.
+	rec := tx.NewUndoRecord(storage.KindInsert, slot, nil)
+	if !block.CASVersionPtr(offset, nil, rec) {
+		// Fresh slots have no chain; this cannot happen unless slots are
+		// reused incorrectly.
+		return 0, ErrSlotOccupied
+	}
+	t.writeRow(block, offset, row)
+	block.SetAllocated(offset, true)
+	tx.LogRedo(t.ID, slot, storage.KindInsert, row.Clone())
+	return slot, nil
+}
+
+// InsertIntoSlot places a tuple at a specific recycled slot — the
+// compactor's primitive for filling gaps (§4.3 Phase 1). Unlike Insert it
+// fails if the slot still has a version chain or is allocated.
+func (t *DataTable) InsertIntoSlot(tx *txn.Transaction, slot storage.TupleSlot, row *storage.ProjectedRow) error {
+	if tx.Finished() {
+		return ErrTxnFinished
+	}
+	block := t.reg.BlockFor(slot)
+	if block == nil {
+		return ErrNotFound
+	}
+	offset := slot.Offset()
+	if block.Allocated(offset) {
+		return ErrSlotOccupied
+	}
+	rec := tx.NewUndoRecord(storage.KindInsert, slot, nil)
+	if !block.CASVersionPtr(offset, nil, rec) {
+		return ErrSlotOccupied
+	}
+	block.MarkHot()
+	t.writeRow(block, offset, row)
+	block.SetAllocated(offset, true)
+	if offset >= block.InsertHead() {
+		block.SetInsertHead(offset + 1)
+	}
+	tx.LogRedo(t.ID, slot, storage.KindInsert, row.Clone())
+	return nil
+}
+
+// writeRow stores row's values; unprojected columns become null.
+func (t *DataTable) writeRow(block *storage.Block, offset uint32, row *storage.ProjectedRow) {
+	for i, col := range row.P.Cols {
+		switch {
+		case row.IsNull(i):
+			block.WriteNull(col, offset)
+		case t.layout.IsVarlen(col):
+			block.WriteVarlen(col, offset, row.Varlen(i))
+		default:
+			block.WriteFixed(col, offset, row.FixedBytes(i))
+		}
+	}
+	// Full-width rows (the common case) cover every column in order; only
+	// partial projections need the null-fill pass.
+	if row.P.NumCols() == t.layout.NumColumns() {
+		return
+	}
+	for c := 0; c < t.layout.NumColumns(); c++ {
+		if row.P.IndexOf(storage.ColumnID(c)) < 0 {
+			block.WriteNull(storage.ColumnID(c), offset)
+		}
+	}
+}
+
+// canWrite implements the paper's no-write-write-conflict rule: the newest
+// version must be ours, or committed no later than our snapshot.
+func canWrite(tx *txn.Transaction, head *storage.UndoRecord) bool {
+	if head == nil {
+		return true
+	}
+	ts := head.Timestamp()
+	if ts == tx.TxnTs() {
+		return true // our own previous write
+	}
+	if txn.IsUncommitted(ts) {
+		return false
+	}
+	return ts <= tx.StartTs()
+}
+
+// Update applies the values in update to the tuple at slot, installing a
+// before-image delta on the version chain. The delta covers exactly the
+// updated columns (paper: deltas are physical before-images of the modified
+// attributes).
+func (t *DataTable) Update(tx *txn.Transaction, slot storage.TupleSlot, update *storage.ProjectedRow) error {
+	if tx.Finished() {
+		return ErrTxnFinished
+	}
+	block := t.reg.BlockFor(slot)
+	if block == nil {
+		return ErrNotFound
+	}
+	block.MarkHot()
+	offset := slot.Offset()
+
+	head := block.VersionPtr(offset)
+	if !canWrite(tx, head) {
+		return ErrWriteConflict
+	}
+	if !block.Allocated(offset) {
+		return ErrNotFound // latest version is deleted
+	}
+
+	// Capture the before-image of exactly the columns being modified.
+	delta := update.P.NewRow()
+	t.readInPlace(block, offset, delta)
+
+	rec := tx.NewUndoRecord(storage.KindUpdate, slot, delta)
+	rec.SetNext(head)
+	if !block.CASVersionPtr(offset, head, rec) {
+		return ErrWriteConflict // another writer raced us
+	}
+
+	// In-place update after the record is published: any reader that copies
+	// torn bytes finds this record on the chain and repairs its copy with
+	// the before-image.
+	for i, col := range update.P.Cols {
+		switch {
+		case update.IsNull(i):
+			block.WriteNull(col, offset)
+		case t.layout.IsVarlen(col):
+			block.WriteVarlen(col, offset, update.Varlen(i))
+		default:
+			block.WriteFixed(col, offset, update.FixedBytes(i))
+		}
+	}
+	tx.LogRedo(t.ID, slot, storage.KindUpdate, update.Clone())
+	return nil
+}
+
+// Delete removes the tuple at slot by clearing its allocation bit; contents
+// stay in place for older snapshots (paper: deletes update the allocation
+// bitmap instead of the contents).
+func (t *DataTable) Delete(tx *txn.Transaction, slot storage.TupleSlot) error {
+	if tx.Finished() {
+		return ErrTxnFinished
+	}
+	block := t.reg.BlockFor(slot)
+	if block == nil {
+		return ErrNotFound
+	}
+	block.MarkHot()
+	offset := slot.Offset()
+	head := block.VersionPtr(offset)
+	if !canWrite(tx, head) {
+		return ErrWriteConflict
+	}
+	if !block.Allocated(offset) {
+		return ErrNotFound
+	}
+	rec := tx.NewUndoRecord(storage.KindDelete, slot, nil)
+	rec.SetNext(head)
+	if !block.CASVersionPtr(offset, head, rec) {
+		return ErrWriteConflict
+	}
+	block.SetAllocated(offset, false)
+	tx.LogRedo(t.ID, slot, storage.KindDelete, nil)
+	return nil
+}
+
+// readInPlace copies the current in-place values of out's projected columns.
+// Varlen values are copied out of block-owned memory.
+func (t *DataTable) readInPlace(block *storage.Block, offset uint32, out *storage.ProjectedRow) {
+	for i, col := range out.P.Cols {
+		if !block.IsValid(col, offset) {
+			out.SetNull(i)
+			continue
+		}
+		if t.layout.IsVarlen(col) {
+			v := block.ReadVarlen(col, offset)
+			out.SetVarlen(i, append([]byte(nil), v...))
+		} else {
+			copy(out.FixedBytes(i), block.AttrBytes(col, offset))
+			out.Nulls.Clear(i)
+		}
+	}
+}
+
+// Select materializes the version of the tuple at slot visible to tx into
+// out. found is false when the tuple does not exist in tx's snapshot.
+func (t *DataTable) Select(tx *txn.Transaction, slot storage.TupleSlot, out *storage.ProjectedRow) (found bool, err error) {
+	block := t.reg.BlockFor(slot)
+	if block == nil {
+		return false, nil
+	}
+	offset := slot.Offset()
+	if offset >= block.InsertHead() {
+		return false, nil
+	}
+
+	// Fast path: frozen blocks are read in place with no version checks —
+	// the early materialization the paper elides for cold blocks.
+	if block.BeginInPlaceRead() {
+		if !block.Allocated(offset) {
+			block.EndInPlaceRead()
+			return false, nil
+		}
+		t.readInPlace(block, offset, out)
+		block.EndInPlaceRead()
+		return true, nil
+	}
+
+	return t.selectVersioned(tx, block, offset, out)
+}
+
+// selectVersioned runs the paper's hot-block read protocol: copy the latest
+// version under a version-pointer stability check, then traverse the chain
+// applying before-images until reaching a visible version.
+func (t *DataTable) selectVersioned(tx *txn.Transaction, block *storage.Block, offset uint32, out *storage.ProjectedRow) (bool, error) {
+	var head *storage.UndoRecord
+	var present bool
+	for {
+		head = block.VersionPtr(offset)
+		present = block.Allocated(offset)
+		out.Reset()
+		t.readInPlace(block, offset, out)
+		if block.VersionPtr(offset) == head {
+			break
+		}
+		// A writer published a new version mid-copy; retry. (GC unlinking
+		// cannot re-link the same head, so pointer equality is sufficient.)
+	}
+
+	for rec := head; rec != nil; rec = rec.Next() {
+		ts := rec.Timestamp()
+		if ts == tx.TxnTs() || txn.Visible(ts, tx.StartTs()) {
+			break
+		}
+		switch rec.Kind {
+		case storage.KindUpdate:
+			rec.Delta.ApplyDeltaTo(out)
+		case storage.KindInsert:
+			present = false
+		case storage.KindDelete:
+			present = true
+		}
+	}
+	return present, nil
+}
+
+// Scan visits every tuple visible to tx, materializing proj's columns into
+// row and invoking fn. fn must not retain row. Frozen blocks are scanned in
+// place; hot blocks reconstruct versions per slot. Returning false from fn
+// stops the scan.
+func (t *DataTable) Scan(tx *txn.Transaction, proj *storage.Projection, fn func(slot storage.TupleSlot, row *storage.ProjectedRow) bool) error {
+	row := proj.NewRow()
+	for _, block := range t.Blocks() {
+		if !t.scanBlock(tx, block, proj, row, fn) {
+			return nil
+		}
+	}
+	return nil
+}
+
+// scanBlock scans one block; returns false if fn stopped the scan.
+func (t *DataTable) scanBlock(tx *txn.Transaction, block *storage.Block, proj *storage.Projection, row *storage.ProjectedRow, fn func(storage.TupleSlot, *storage.ProjectedRow) bool) bool {
+	if block.BeginInPlaceRead() {
+		defer block.EndInPlaceRead()
+		n := uint32(block.FrozenRows())
+		for s := uint32(0); s < n; s++ {
+			if !block.Allocated(s) {
+				continue
+			}
+			row.Reset()
+			t.readInPlace(block, s, row)
+			if !fn(storage.NewTupleSlot(block.ID, s), row) {
+				return false
+			}
+		}
+		return true
+	}
+	head := block.InsertHead()
+	for s := uint32(0); s < head; s++ {
+		// Slots with no chain and no allocation are invisible to everyone.
+		if !block.Allocated(s) && block.VersionPtr(s) == nil {
+			continue
+		}
+		row.Reset()
+		found, err := t.selectVersioned(tx, block, s, row)
+		if err != nil || !found {
+			continue
+		}
+		if !fn(storage.NewTupleSlot(block.ID, s), row) {
+			return false
+		}
+	}
+	return true
+}
+
+// CountVisible returns the number of tuples visible to tx (test helper and
+// consistency checks).
+func (t *DataTable) CountVisible(tx *txn.Transaction) int {
+	count := 0
+	proj := storage.MustProjection(t.layout, []storage.ColumnID{0})
+	_ = t.Scan(tx, proj, func(storage.TupleSlot, *storage.ProjectedRow) bool {
+		count++
+		return true
+	})
+	return count
+}

@@ -1,0 +1,593 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+
+	"mainline/internal/storage"
+	"mainline/internal/txn"
+)
+
+// testEnv wires a registry, manager, and a two-column table (int64, varlen).
+func testEnv(t *testing.T) (*txn.Manager, *DataTable) {
+	t.Helper()
+	reg := storage.NewRegistry()
+	layout, err := storage.NewBlockLayout([]storage.AttrDef{storage.FixedAttr(8), storage.VarlenAttr()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := txn.NewManager(reg)
+	table := NewDataTable(reg, layout, 1, "test")
+	return m, table
+}
+
+func insertRow(t *testing.T, m *txn.Manager, table *DataTable, id int64, name string) storage.TupleSlot {
+	t.Helper()
+	tx := m.Begin()
+	row := table.AllColumnsProjection().NewRow()
+	row.SetInt64(0, id)
+	row.SetVarlen(1, []byte(name))
+	slot, err := table.Insert(tx, row)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Commit(tx, nil)
+	return slot
+}
+
+func readRow(t *testing.T, m *txn.Manager, table *DataTable, slot storage.TupleSlot) (int64, string, bool) {
+	t.Helper()
+	tx := m.Begin()
+	defer m.Commit(tx, nil)
+	out := table.AllColumnsProjection().NewRow()
+	found, err := table.Select(tx, slot, out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !found {
+		return 0, "", false
+	}
+	return out.Int64(0), string(out.Varlen(1)), true
+}
+
+func TestInsertSelect(t *testing.T) {
+	m, table := testEnv(t)
+	slot := insertRow(t, m, table, 101, "JOE")
+	id, name, ok := readRow(t, m, table, slot)
+	if !ok || id != 101 || name != "JOE" {
+		t.Fatalf("got (%d, %q, %v)", id, name, ok)
+	}
+}
+
+func TestInsertNotVisibleToConcurrentSnapshot(t *testing.T) {
+	m, table := testEnv(t)
+	early := m.Begin() // snapshot before the insert
+	slot := insertRow(t, m, table, 1, "x")
+	out := table.AllColumnsProjection().NewRow()
+	found, _ := table.Select(early, slot, out)
+	if found {
+		t.Fatal("snapshot sees later insert")
+	}
+	m.Commit(early, nil)
+	// A new transaction sees it.
+	if _, _, ok := readRow(t, m, table, slot); !ok {
+		t.Fatal("committed insert invisible to new txn")
+	}
+}
+
+func TestUncommittedInsertInvisible(t *testing.T) {
+	m, table := testEnv(t)
+	writer := m.Begin()
+	row := table.AllColumnsProjection().NewRow()
+	row.SetInt64(0, 5)
+	row.SetVarlen(1, []byte("pending"))
+	slot, err := table.Insert(writer, row)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Another transaction must not see it...
+	if _, _, ok := readRow(t, m, table, slot); ok {
+		t.Fatal("uncommitted insert visible")
+	}
+	// ...but the writer sees its own write.
+	own := table.AllColumnsProjection().NewRow()
+	found, _ := table.Select(writer, slot, own)
+	if !found || own.Int64(0) != 5 {
+		t.Fatal("writer cannot see own insert")
+	}
+	m.Commit(writer, nil)
+}
+
+func TestUpdateVersionVisibility(t *testing.T) {
+	m, table := testEnv(t)
+	slot := insertRow(t, m, table, 1, "JOE")
+
+	// Reader with a snapshot before the update.
+	early := m.Begin()
+
+	writer := m.Begin()
+	upd := storage.MustProjection(table.Layout(), []storage.ColumnID{1}).NewRow()
+	upd.SetVarlen(0, []byte("ANNA"))
+	if err := table.Update(writer, slot, upd); err != nil {
+		t.Fatal(err)
+	}
+
+	// Early reader still sees JOE (uncommitted update invisible).
+	out := table.AllColumnsProjection().NewRow()
+	found, _ := table.Select(early, slot, out)
+	if !found || string(out.Varlen(1)) != "JOE" {
+		t.Fatalf("early reader sees %q", out.Varlen(1))
+	}
+	m.Commit(writer, nil)
+	// Early reader STILL sees JOE: snapshot isolation.
+	out.Reset()
+	found, _ = table.Select(early, slot, out)
+	if !found || string(out.Varlen(1)) != "JOE" {
+		t.Fatalf("after commit, early reader sees %q", out.Varlen(1))
+	}
+	m.Commit(early, nil)
+	// Fresh reader sees ANNA.
+	_, name, ok := readRow(t, m, table, slot)
+	if !ok || name != "ANNA" {
+		t.Fatalf("fresh reader sees %q", name)
+	}
+}
+
+func TestWriteWriteConflict(t *testing.T) {
+	m, table := testEnv(t)
+	slot := insertRow(t, m, table, 1, "v")
+	t1 := m.Begin()
+	t2 := m.Begin()
+	upd := storage.MustProjection(table.Layout(), []storage.ColumnID{0})
+	u1 := upd.NewRow()
+	u1.SetInt64(0, 100)
+	if err := table.Update(t1, slot, u1); err != nil {
+		t.Fatal(err)
+	}
+	u2 := upd.NewRow()
+	u2.SetInt64(0, 200)
+	if err := table.Update(t2, slot, u2); err != ErrWriteConflict {
+		t.Fatalf("concurrent update err = %v, want conflict", err)
+	}
+	m.Commit(t1, nil)
+	// t2's snapshot predates t1's commit: still a conflict (first-updater wins).
+	if err := table.Update(t2, slot, u2); err != ErrWriteConflict {
+		t.Fatalf("post-commit update err = %v, want conflict", err)
+	}
+	m.Abort(t2)
+	// A fresh transaction may update.
+	t3 := m.Begin()
+	u3 := upd.NewRow()
+	u3.SetInt64(0, 300)
+	if err := table.Update(t3, slot, u3); err != nil {
+		t.Fatalf("fresh update err = %v", err)
+	}
+	m.Commit(t3, nil)
+	id, _, _ := readRow(t, m, table, slot)
+	if id != 300 {
+		t.Fatalf("final id = %d", id)
+	}
+}
+
+func TestOwnWriteChaining(t *testing.T) {
+	m, table := testEnv(t)
+	slot := insertRow(t, m, table, 1, "a")
+	tx := m.Begin()
+	upd := storage.MustProjection(table.Layout(), []storage.ColumnID{0})
+	for i := int64(0); i < 5; i++ {
+		u := upd.NewRow()
+		u.SetInt64(0, 10+i)
+		if err := table.Update(tx, slot, u); err != nil {
+			t.Fatalf("own update %d: %v", i, err)
+		}
+	}
+	out := table.AllColumnsProjection().NewRow()
+	found, _ := table.Select(tx, slot, out)
+	if !found || out.Int64(0) != 14 {
+		t.Fatalf("own read = %d", out.Int64(0))
+	}
+	m.Commit(tx, nil)
+	id, _, _ := readRow(t, m, table, slot)
+	if id != 14 {
+		t.Fatalf("committed id = %d", id)
+	}
+}
+
+func TestDeleteVisibility(t *testing.T) {
+	m, table := testEnv(t)
+	slot := insertRow(t, m, table, 1, "gone")
+	early := m.Begin()
+	deleter := m.Begin()
+	if err := table.Delete(deleter, slot); err != nil {
+		t.Fatal(err)
+	}
+	m.Commit(deleter, nil)
+	// Early snapshot still sees the tuple.
+	out := table.AllColumnsProjection().NewRow()
+	found, _ := table.Select(early, slot, out)
+	if !found || string(out.Varlen(1)) != "gone" {
+		t.Fatal("early reader lost deleted tuple")
+	}
+	m.Commit(early, nil)
+	// New snapshot does not.
+	if _, _, ok := readRow(t, m, table, slot); ok {
+		t.Fatal("deleted tuple visible to new txn")
+	}
+	// Updating a deleted tuple fails.
+	tx := m.Begin()
+	u := storage.MustProjection(table.Layout(), []storage.ColumnID{0}).NewRow()
+	u.SetInt64(0, 9)
+	if err := table.Update(tx, slot, u); err != ErrNotFound {
+		t.Fatalf("update deleted: %v", err)
+	}
+	if err := table.Delete(tx, slot); err != ErrNotFound {
+		t.Fatalf("double delete: %v", err)
+	}
+	m.Abort(tx)
+}
+
+func TestAbortedInsertInvisible(t *testing.T) {
+	m, table := testEnv(t)
+	tx := m.Begin()
+	row := table.AllColumnsProjection().NewRow()
+	row.SetInt64(0, 77)
+	row.SetVarlen(1, []byte("phantom"))
+	slot, err := table.Insert(tx, row)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Abort(tx)
+	if _, _, ok := readRow(t, m, table, slot); ok {
+		t.Fatal("aborted insert visible")
+	}
+}
+
+func TestAbortedUpdateRestores(t *testing.T) {
+	m, table := testEnv(t)
+	slot := insertRow(t, m, table, 1, "original-rather-long-value")
+	tx := m.Begin()
+	u := storage.MustProjection(table.Layout(), []storage.ColumnID{1}).NewRow()
+	u.SetVarlen(0, []byte("scribbled-over-with-junk"))
+	if err := table.Update(tx, slot, u); err != nil {
+		t.Fatal(err)
+	}
+	m.Abort(tx)
+	_, name, ok := readRow(t, m, table, slot)
+	if !ok || name != "original-rather-long-value" {
+		t.Fatalf("after abort: %q", name)
+	}
+}
+
+func TestScanVisibleSet(t *testing.T) {
+	m, table := testEnv(t)
+	var slots []storage.TupleSlot
+	for i := 0; i < 20; i++ {
+		slots = append(slots, insertRow(t, m, table, int64(i), fmt.Sprintf("row-%d", i)))
+	}
+	// Delete the even rows.
+	tx := m.Begin()
+	for i := 0; i < 20; i += 2 {
+		if err := table.Delete(tx, slots[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m.Commit(tx, nil)
+
+	reader := m.Begin()
+	sum := int64(0)
+	count := 0
+	proj := storage.MustProjection(table.Layout(), []storage.ColumnID{0})
+	err := table.Scan(reader, proj, func(_ storage.TupleSlot, row *storage.ProjectedRow) bool {
+		sum += row.Int64(0)
+		count++
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Commit(reader, nil)
+	if count != 10 {
+		t.Fatalf("scan count = %d", count)
+	}
+	if sum != 1+3+5+7+9+11+13+15+17+19 {
+		t.Fatalf("scan sum = %d", sum)
+	}
+}
+
+func TestScanEarlyStop(t *testing.T) {
+	m, table := testEnv(t)
+	for i := 0; i < 10; i++ {
+		insertRow(t, m, table, int64(i), "x")
+	}
+	tx := m.Begin()
+	defer m.Commit(tx, nil)
+	n := 0
+	proj := storage.MustProjection(table.Layout(), []storage.ColumnID{0})
+	_ = table.Scan(tx, proj, func(storage.TupleSlot, *storage.ProjectedRow) bool {
+		n++
+		return n < 3
+	})
+	if n != 3 {
+		t.Fatalf("visited %d", n)
+	}
+}
+
+func TestMultiBlockGrowth(t *testing.T) {
+	m, table := testEnv(t)
+	// Force growth past one block by faking a small remaining capacity.
+	table.Blocks()[0].SetInsertHead(table.Layout().NumSlots - 2)
+	for i := 0; i < 10; i++ {
+		insertRow(t, m, table, int64(i), "x")
+	}
+	if table.NumBlocks() < 2 {
+		t.Fatalf("blocks = %d, want growth", table.NumBlocks())
+	}
+	tx := m.Begin()
+	defer m.Commit(tx, nil)
+	if got := table.CountVisible(tx); got != 10 {
+		t.Fatalf("visible = %d", got)
+	}
+}
+
+func TestInsertIntoSlotForCompaction(t *testing.T) {
+	m, table := testEnv(t)
+	slot := insertRow(t, m, table, 1, "victim")
+	// Delete it and let the chain be "pruned" (simulate GC).
+	tx := m.Begin()
+	if err := table.Delete(tx, slot); err != nil {
+		t.Fatal(err)
+	}
+	m.Commit(tx, nil)
+	block := table.Registry().BlockFor(slot)
+	block.SetVersionPtr(slot.Offset(), nil) // GC truncation stand-in
+
+	// Occupied slots are refused.
+	other := insertRow(t, m, table, 2, "occupied")
+	tx2 := m.Begin()
+	row := table.AllColumnsProjection().NewRow()
+	row.SetInt64(0, 3)
+	row.SetVarlen(0+1, []byte("recycled"))
+	if err := table.InsertIntoSlot(tx2, other, row); err != ErrSlotOccupied {
+		t.Fatalf("occupied: %v", err)
+	}
+	// The empty slot is reusable.
+	if err := table.InsertIntoSlot(tx2, slot, row); err != nil {
+		t.Fatal(err)
+	}
+	m.Commit(tx2, nil)
+	id, name, ok := readRow(t, m, table, slot)
+	if !ok || id != 3 || name != "recycled" {
+		t.Fatalf("recycled read: %d %q %v", id, name, ok)
+	}
+}
+
+func TestFrozenInPlaceRead(t *testing.T) {
+	m, table := testEnv(t)
+	slot := insertRow(t, m, table, 42, "cold-value-longer-than-12")
+	block := table.Registry().BlockFor(slot)
+	// Simulate the transformer: chain pruned, block frozen.
+	block.SetVersionPtr(slot.Offset(), nil)
+	block.SetFrozenMeta(int(block.InsertHead()), make([]*storage.FrozenVarlen, table.Layout().NumColumns()), make([]int, table.Layout().NumColumns()))
+	block.SetState(storage.StateFrozen)
+
+	id, name, ok := readRow(t, m, table, slot)
+	if !ok || id != 42 || name != "cold-value-longer-than-12" {
+		t.Fatalf("frozen read: %d %q %v", id, name, ok)
+	}
+	// Writing flips the block hot.
+	tx := m.Begin()
+	u := storage.MustProjection(table.Layout(), []storage.ColumnID{0}).NewRow()
+	u.SetInt64(0, 43)
+	if err := table.Update(tx, slot, u); err != nil {
+		t.Fatal(err)
+	}
+	m.Commit(tx, nil)
+	if block.State() != storage.StateHot {
+		t.Fatalf("block state after write: %s", block.State())
+	}
+}
+
+func TestSelectMissing(t *testing.T) {
+	m, table := testEnv(t)
+	tx := m.Begin()
+	defer m.Commit(tx, nil)
+	out := table.AllColumnsProjection().NewRow()
+	// Unknown block.
+	if found, _ := table.Select(tx, storage.NewTupleSlot(999999, 0), out); found {
+		t.Fatal("found tuple in unknown block")
+	}
+	// Unallocated slot in a real block.
+	b := table.Blocks()[0]
+	if found, _ := table.Select(tx, storage.NewTupleSlot(b.ID, 17), out); found {
+		t.Fatal("found tuple in never-used slot")
+	}
+}
+
+func TestFinishedTxnRejected(t *testing.T) {
+	m, table := testEnv(t)
+	slot := insertRow(t, m, table, 1, "x")
+	tx := m.Begin()
+	m.Commit(tx, nil)
+	row := table.AllColumnsProjection().NewRow()
+	if _, err := table.Insert(tx, row); err != ErrTxnFinished {
+		t.Fatalf("insert: %v", err)
+	}
+	if err := table.Update(tx, slot, row); err != ErrTxnFinished {
+		t.Fatalf("update: %v", err)
+	}
+	if err := table.Delete(tx, slot); err != ErrTxnFinished {
+		t.Fatalf("delete: %v", err)
+	}
+}
+
+// Snapshot-isolation stress: concurrent transfers preserve the total sum for
+// every reader — readers never observe a partially applied transfer.
+func TestConcurrentTransfersInvariant(t *testing.T) {
+	m, table := testEnv(t)
+	const accounts = 16
+	const workers = 4
+	const transfers = 300
+	slots := make([]storage.TupleSlot, accounts)
+	for i := range slots {
+		slots[i] = insertRow(t, m, table, 1000, fmt.Sprintf("acct-%d", i))
+	}
+	proj := storage.MustProjection(table.Layout(), []storage.ColumnID{0})
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	// Reader goroutine continuously validates the invariant.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			tx := m.Begin()
+			sum := int64(0)
+			out := proj.NewRow()
+			for _, s := range slots {
+				found, _ := table.Select(tx, s, out)
+				if found {
+					sum += out.Int64(0)
+				}
+			}
+			m.Commit(tx, nil)
+			if sum != accounts*1000 {
+				t.Errorf("invariant broken: sum = %d", sum)
+				return
+			}
+		}
+	}()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			rng := uint64(seed)*2654435761 + 1
+			next := func(n int) int {
+				rng ^= rng << 13
+				rng ^= rng >> 7
+				rng ^= rng << 17
+				return int(rng % uint64(n))
+			}
+			for i := 0; i < transfers; i++ {
+				from, to := next(accounts), next(accounts)
+				if from == to {
+					continue
+				}
+				tx := m.Begin()
+				out := proj.NewRow()
+				okF, _ := table.Select(tx, slots[from], out)
+				fromBal := out.Int64(0)
+				okT, _ := table.Select(tx, slots[to], out)
+				toBal := out.Int64(0)
+				if !okF || !okT {
+					m.Abort(tx)
+					continue
+				}
+				u := proj.NewRow()
+				u.SetInt64(0, fromBal-7)
+				if table.Update(tx, slots[from], u) != nil {
+					m.Abort(tx)
+					continue
+				}
+				u.SetInt64(0, toBal+7)
+				if table.Update(tx, slots[to], u) != nil {
+					m.Abort(tx)
+					continue
+				}
+				m.Commit(tx, nil)
+			}
+		}(w)
+	}
+	// Wait for writers, then stop the reader.
+	done := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(done)
+	}()
+	writersDone := make(chan struct{})
+	go func() {
+		// Writers are wg members 2..; simplest: poll final sum after all work.
+		<-done
+		close(writersDone)
+	}()
+	// Let writers finish, then stop reader.
+	for i := 0; i < workers*transfers; i++ {
+		select {
+		case <-writersDone:
+			i = workers * transfers
+		default:
+		}
+	}
+	close(stop)
+	<-done
+
+	// Final sum must be exact.
+	tx := m.Begin()
+	sum := int64(0)
+	out := proj.NewRow()
+	for _, s := range slots {
+		if found, _ := table.Select(tx, s, out); found {
+			sum += out.Int64(0)
+		}
+	}
+	m.Commit(tx, nil)
+	if sum != accounts*1000 {
+		t.Fatalf("final sum = %d", sum)
+	}
+}
+
+func TestVarlenUpdateInlineToSpill(t *testing.T) {
+	m, table := testEnv(t)
+	slot := insertRow(t, m, table, 1, "tiny")
+	tx := m.Begin()
+	u := storage.MustProjection(table.Layout(), []storage.ColumnID{1}).NewRow()
+	long := bytes.Repeat([]byte("x"), 100)
+	u.SetVarlen(0, long)
+	if err := table.Update(tx, slot, u); err != nil {
+		t.Fatal(err)
+	}
+	m.Commit(tx, nil)
+	_, name, _ := readRow(t, m, table, slot)
+	if name != string(long) {
+		t.Fatalf("spilled update read %d bytes", len(name))
+	}
+	// And back to inline.
+	tx2 := m.Begin()
+	u2 := storage.MustProjection(table.Layout(), []storage.ColumnID{1}).NewRow()
+	u2.SetVarlen(0, []byte("sm"))
+	if err := table.Update(tx2, slot, u2); err != nil {
+		t.Fatal(err)
+	}
+	m.Commit(tx2, nil)
+	_, name, _ = readRow(t, m, table, slot)
+	if name != "sm" {
+		t.Fatalf("inline update read %q", name)
+	}
+}
+
+func TestNullColumns(t *testing.T) {
+	m, table := testEnv(t)
+	tx := m.Begin()
+	// Insert covering only column 0: column 1 becomes null.
+	proj := storage.MustProjection(table.Layout(), []storage.ColumnID{0})
+	row := proj.NewRow()
+	row.SetInt64(0, 5)
+	slot, err := table.Insert(tx, row)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Commit(tx, nil)
+	reader := m.Begin()
+	out := table.AllColumnsProjection().NewRow()
+	found, _ := table.Select(reader, slot, out)
+	m.Commit(reader, nil)
+	if !found || !out.IsNull(1) || out.IsNull(0) {
+		t.Fatal("null column handling wrong")
+	}
+}

@@ -1,0 +1,275 @@
+package export
+
+import (
+	"fmt"
+	"testing"
+
+	"mainline/internal/arrow"
+	"mainline/internal/catalog"
+	"mainline/internal/gc"
+	"mainline/internal/storage"
+	"mainline/internal/transform"
+	"mainline/internal/txn"
+)
+
+type env struct {
+	mgr   *txn.Manager
+	cat   *catalog.Catalog
+	table *catalog.Table
+	g     *gc.GarbageCollector
+	tr    *transform.Transformer
+}
+
+func newEnv(t *testing.T) *env {
+	t.Helper()
+	reg := storage.NewRegistry()
+	mgr := txn.NewManager(reg)
+	cat := catalog.New(reg)
+	schema := arrow.NewSchema(
+		arrow.Field{Name: "id", Type: arrow.INT64},
+		arrow.Field{Name: "name", Type: arrow.STRING, Nullable: true},
+		arrow.Field{Name: "qty", Type: arrow.INT32},
+	)
+	table, err := cat.CreateTable("orders", schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := gc.New(mgr)
+	obs := transform.NewObserver()
+	obs.Watch(table.DataTable)
+	g.SetObserver(obs)
+	cfg := transform.DefaultConfig()
+	tr := transform.New(mgr, g, obs, cfg)
+	return &env{mgr: mgr, cat: cat, table: table, g: g, tr: tr}
+}
+
+func (e *env) load(t *testing.T, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		tx := e.mgr.Begin()
+		row := e.table.AllColumnsProjection().NewRow()
+		row.SetInt64(0, int64(i))
+		if i%7 == 3 {
+			row.SetNull(1)
+		} else {
+			row.SetVarlen(1, []byte(fmt.Sprintf("customer-%d-some-longer-name", i)))
+		}
+		row.SetInt32(2, int32(i%100))
+		if _, err := e.table.Insert(tx, row); err != nil {
+			t.Fatal(err)
+		}
+		e.mgr.Commit(tx, nil)
+	}
+}
+
+func (e *env) freezeAll(t *testing.T) {
+	t.Helper()
+	for i := 0; i < 20; i++ {
+		e.g.RunOnce()
+		e.tr.ForcePass()
+	}
+	for _, b := range e.table.Blocks() {
+		if b.InsertHead() > 0 && b.State() != storage.StateFrozen {
+			t.Fatalf("block %d not frozen: %s", b.ID, b.State())
+		}
+	}
+}
+
+func (e *env) serve(t *testing.T) string {
+	t.Helper()
+	srv := NewServer(e.mgr, e.cat)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Close)
+	return addr
+}
+
+func verifyTable(t *testing.T, tab *arrow.Table, n int) {
+	t.Helper()
+	if tab.NumRows() != n {
+		t.Fatalf("rows = %d, want %d", tab.NumRows(), n)
+	}
+	seen := 0
+	for _, rb := range tab.Batches {
+		id := rb.Column("id")
+		name := rb.Column("name")
+		qty := rb.Column("qty")
+		for i := 0; i < rb.NumRows; i++ {
+			v := id.Int64(i)
+			if qty.Int32(i) != int32(v%100) {
+				t.Fatalf("row id=%d qty=%d", v, qty.Int32(i))
+			}
+			if v%7 == 3 {
+				if !name.IsNull(i) {
+					t.Fatalf("row %d: null lost (%q)", v, name.Str(i))
+				}
+			} else if name.Str(i) != fmt.Sprintf("customer-%d-some-longer-name", v) {
+				t.Fatalf("row %d name %q", v, name.Str(i))
+			}
+			seen++
+		}
+	}
+	if seen != n {
+		t.Fatalf("verified %d rows", seen)
+	}
+}
+
+func TestAllProtocolsFrozen(t *testing.T) {
+	e := newEnv(t)
+	const n = 1000
+	e.load(t, n)
+	e.freezeAll(t)
+	addr := e.serve(t)
+	for _, proto := range []Protocol{ProtoPGWire, ProtoVectorized, ProtoFlight} {
+		t.Run(proto.String(), func(t *testing.T) {
+			res, err := Fetch(addr, proto, "orders")
+			if err != nil {
+				t.Fatal(err)
+			}
+			verifyTable(t, res.Table, n)
+			if res.Bytes == 0 || res.Elapsed <= 0 {
+				t.Fatalf("stats: %+v", res)
+			}
+		})
+	}
+}
+
+func TestAllProtocolsHot(t *testing.T) {
+	e := newEnv(t)
+	const n = 500
+	e.load(t, n) // never frozen: exercises the materialization path
+	addr := e.serve(t)
+	for _, proto := range []Protocol{ProtoPGWire, ProtoVectorized, ProtoFlight} {
+		res, err := Fetch(addr, proto, "orders")
+		if err != nil {
+			t.Fatalf("%s: %v", proto, err)
+		}
+		verifyTable(t, res.Table, n)
+	}
+}
+
+func TestRDMAExport(t *testing.T) {
+	e := newEnv(t)
+	const n = 800
+	e.load(t, n)
+	e.freezeAll(t)
+	client := NewRDMAClient(1 << 20)
+	res, err := RDMAExport(e.mgr, e.table, client)
+	if err != nil {
+		t.Fatal(err)
+	}
+	verifyTable(t, res.Table, n)
+	if res.Bytes == 0 {
+		t.Fatal("no bytes accounted")
+	}
+	// Mutating the engine afterwards must not corrupt the client's copy
+	// (the region owns its bytes).
+	tx := e.mgr.Begin()
+	var slot storage.TupleSlot
+	b := e.table.Blocks()[0]
+	b.IterateAllocated(func(s uint32) bool { slot = storage.NewTupleSlot(b.ID, s); return false })
+	u := storage.MustProjection(e.table.Layout(), []storage.ColumnID{0}).NewRow()
+	u.SetInt64(0, -12345)
+	if err := e.table.Update(tx, slot, u); err != nil {
+		t.Fatal(err)
+	}
+	e.mgr.Commit(tx, nil)
+	verifyTable(t, res.Table, n)
+}
+
+func TestRDMABandwidthCap(t *testing.T) {
+	e := newEnv(t)
+	e.load(t, 200)
+	e.freezeAll(t)
+	client := NewRDMAClient(1 << 20)
+	client.Bandwidth = 1 << 20 // 1 MB/s: transfer must take measurable time
+	res, err := RDMAExport(e.mgr, e.table, client)
+	if err != nil {
+		t.Fatal(err)
+	}
+	minElapsed := float64(res.Bytes) / float64(1<<20)
+	if res.Elapsed.Seconds() < minElapsed*0.9 {
+		t.Fatalf("bandwidth cap not applied: %v for %d bytes", res.Elapsed, res.Bytes)
+	}
+}
+
+func TestUnknownTable(t *testing.T) {
+	e := newEnv(t)
+	addr := e.serve(t)
+	if _, err := Fetch(addr, ProtoFlight, "missing"); err == nil {
+		t.Fatal("fetch of missing table succeeded")
+	}
+}
+
+func TestMixedFrozenHotExport(t *testing.T) {
+	e := newEnv(t)
+	e.load(t, 600)
+	e.freezeAll(t)
+	// Touch one block: it thaws, export must mix zero-copy and materialize.
+	b := e.table.Blocks()[0]
+	var slot storage.TupleSlot
+	b.IterateAllocated(func(s uint32) bool { slot = storage.NewTupleSlot(b.ID, s); return false })
+	tx := e.mgr.Begin()
+	u := storage.MustProjection(e.table.Layout(), []storage.ColumnID{2}).NewRow()
+	u.SetInt32(0, 42)
+	if err := e.table.Update(tx, slot, u); err != nil {
+		t.Fatal(err)
+	}
+	e.mgr.Commit(tx, nil)
+
+	addr := e.serve(t)
+	res, err := Fetch(addr, ProtoFlight, "orders")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Table.NumRows() != 600 {
+		t.Fatalf("rows = %d", res.Table.NumRows())
+	}
+	// The updated tuple arrives with its new value.
+	found := false
+	for _, rb := range res.Table.Batches {
+		id := rb.Column("id")
+		qty := rb.Column("qty")
+		for i := 0; i < rb.NumRows; i++ {
+			if qty.Int32(i) == 42 && id.Int64(i)%100 != 42 {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Fatal("hot update not visible in export")
+	}
+}
+
+func TestProtocolOrderingOnColdData(t *testing.T) {
+	// Sanity for Figure 15's shape at micro scale: flight moves at least
+	// as fast as vectorized, which beats pgwire, on a fully frozen table.
+	// (Timing-based: generous tolerance, skipped under -short.)
+	if testing.Short() {
+		t.Skip("timing-sensitive")
+	}
+	e := newEnv(t)
+	const n = 20000
+	e.load(t, n)
+	e.freezeAll(t)
+	addr := e.serve(t)
+	timing := map[Protocol]float64{}
+	for _, proto := range []Protocol{ProtoFlight, ProtoVectorized, ProtoPGWire} {
+		best := 1e18
+		for trial := 0; trial < 3; trial++ {
+			res, err := Fetch(addr, proto, "orders")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if sec := res.Elapsed.Seconds(); sec < best {
+				best = sec
+			}
+		}
+		timing[proto] = best
+	}
+	if timing[ProtoPGWire] < timing[ProtoFlight] {
+		t.Logf("warning: pgwire (%v) beat flight (%v) at this scale", timing[ProtoPGWire], timing[ProtoFlight])
+	}
+}

@@ -1,0 +1,272 @@
+package gc
+
+import (
+	"testing"
+	"time"
+
+	"mainline/internal/core"
+	"mainline/internal/storage"
+	"mainline/internal/txn"
+)
+
+func testEnv(t *testing.T) (*txn.Manager, *core.DataTable, *GarbageCollector) {
+	t.Helper()
+	reg := storage.NewRegistry()
+	layout, err := storage.NewBlockLayout([]storage.AttrDef{storage.FixedAttr(8), storage.VarlenAttr()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := txn.NewManager(reg)
+	table := core.NewDataTable(reg, layout, 1, "gc-test")
+	return m, table, New(m)
+}
+
+func insert(t *testing.T, m *txn.Manager, table *core.DataTable, id int64) storage.TupleSlot {
+	t.Helper()
+	tx := m.Begin()
+	row := table.AllColumnsProjection().NewRow()
+	row.SetInt64(0, id)
+	row.SetVarlen(1, []byte("value-long-enough-to-spill"))
+	slot, err := table.Insert(tx, row)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Commit(tx, nil)
+	return slot
+}
+
+func update(t *testing.T, m *txn.Manager, table *core.DataTable, slot storage.TupleSlot, id int64) {
+	t.Helper()
+	tx := m.Begin()
+	u := storage.MustProjection(table.Layout(), []storage.ColumnID{0}).NewRow()
+	u.SetInt64(0, id)
+	if err := table.Update(tx, slot, u); err != nil {
+		t.Fatal(err)
+	}
+	m.Commit(tx, nil)
+}
+
+func TestGCUnlinksInvisibleChains(t *testing.T) {
+	m, table, g := testEnv(t)
+	slot := insert(t, m, table, 1)
+	for i := int64(2); i <= 5; i++ {
+		update(t, m, table, slot, i)
+	}
+	block := table.Registry().BlockFor(slot)
+	if block.VersionPtr(slot.Offset()) == nil {
+		t.Fatal("expected a version chain before GC")
+	}
+	st := g.RunOnce()
+	if st.Drained != 5 {
+		t.Fatalf("drained = %d", st.Drained)
+	}
+	if st.Unlinked != 5 {
+		t.Fatalf("unlinked = %d", st.Unlinked)
+	}
+	if block.VersionPtr(slot.Offset()) != nil {
+		t.Fatal("chain not truncated")
+	}
+	// Data untouched by pruning.
+	tx := m.Begin()
+	out := table.AllColumnsProjection().NewRow()
+	found, _ := table.Select(tx, slot, out)
+	m.Commit(tx, nil)
+	if !found || out.Int64(0) != 5 {
+		t.Fatalf("post-GC read: %d found=%v", out.Int64(0), found)
+	}
+}
+
+func TestGCRespectsActiveReaders(t *testing.T) {
+	m, table, g := testEnv(t)
+	slot := insert(t, m, table, 1)
+	reader := m.Begin() // holds a snapshot at version 1
+	update(t, m, table, slot, 2)
+
+	st := g.RunOnce()
+	// The update's record is still needed by reader: chain must survive.
+	block := table.Registry().BlockFor(slot)
+	if block.VersionPtr(slot.Offset()) == nil {
+		t.Fatal("chain pruned while reader needs it")
+	}
+	_ = st
+	out := table.AllColumnsProjection().NewRow()
+	found, _ := table.Select(reader, slot, out)
+	if !found || out.Int64(0) != 1 {
+		t.Fatalf("reader sees %d", out.Int64(0))
+	}
+	m.Commit(reader, nil)
+	// Now the chain can go.
+	g.RunOnce()
+	g.RunOnce()
+	if block.VersionPtr(slot.Offset()) != nil {
+		t.Fatal("chain survived after reader finished")
+	}
+}
+
+func TestGCTwoPhaseDeallocation(t *testing.T) {
+	m, table, g := testEnv(t)
+	pool := m.SegmentPool()
+	slot := insert(t, m, table, 1)
+	update(t, m, table, slot, 2)
+	if pool.Outstanding() == 0 {
+		t.Fatal("expected outstanding segments")
+	}
+	// First run unlinks but must NOT deallocate in the same pass.
+	g.RunOnce()
+	_, dealloc := g.Pending()
+	if dealloc == 0 {
+		t.Fatal("nothing pending deallocation after unlink")
+	}
+	if pool.Outstanding() == 0 {
+		t.Fatal("segments deallocated in unlink pass")
+	}
+	// Second run (no new active txns) releases the segments.
+	g.RunOnce()
+	if pool.Outstanding() != 0 {
+		t.Fatalf("outstanding = %d after epoch passed", pool.Outstanding())
+	}
+	_, deallocated := g.Totals()
+	if deallocated != 2 {
+		t.Fatalf("deallocated = %d", deallocated)
+	}
+}
+
+func TestGCDeallocWaitsForEpoch(t *testing.T) {
+	m, table, g := testEnv(t)
+	pool := m.SegmentPool()
+	slot := insert(t, m, table, 1)
+	update(t, m, table, slot, 2)
+	// A transaction alive at unlink time may still be traversing the
+	// records; deallocation must wait until it finishes.
+	straggler := m.Begin()
+	g.RunOnce() // unlink happens here, with straggler active
+	g.RunOnce()
+	if pool.Outstanding() == 0 {
+		t.Fatal("segments freed while straggler active")
+	}
+	m.Commit(straggler, nil)
+	g.RunOnce()
+	g.RunOnce()
+	if pool.Outstanding() != 0 {
+		t.Fatalf("outstanding = %d", pool.Outstanding())
+	}
+}
+
+func TestDeferredActions(t *testing.T) {
+	m, _, g := testEnv(t)
+	ran := false
+	blocker := m.Begin()
+	g.RegisterAction(func() { ran = true })
+	g.RunOnce()
+	if ran {
+		t.Fatal("action ran while registration-time txn active")
+	}
+	m.Commit(blocker, nil)
+	st := g.RunOnce()
+	if !ran || st.ActionsRun != 1 {
+		t.Fatalf("action not run: ran=%v stats=%+v", ran, st)
+	}
+}
+
+func TestDeferredActionOrdering(t *testing.T) {
+	m, _, g := testEnv(t)
+	var order []int
+	g.RegisterAction(func() { order = append(order, 1) })
+	g.RegisterAction(func() { order = append(order, 2) })
+	g.RegisterAction(func() { order = append(order, 3) })
+	_ = m
+	g.RunOnce()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+type recordingObserver struct {
+	mods []struct {
+		slot  storage.TupleSlot
+		kind  storage.RecordKind
+		epoch uint64
+	}
+}
+
+func (r *recordingObserver) ObserveModification(slot storage.TupleSlot, kind storage.RecordKind, epoch uint64) {
+	r.mods = append(r.mods, struct {
+		slot  storage.TupleSlot
+		kind  storage.RecordKind
+		epoch uint64
+	}{slot, kind, epoch})
+}
+
+func TestAccessObservation(t *testing.T) {
+	m, table, g := testEnv(t)
+	obs := &recordingObserver{}
+	g.SetObserver(obs)
+	slot := insert(t, m, table, 1)
+	update(t, m, table, slot, 2)
+	tx := m.Begin()
+	if err := table.Delete(tx, slot); err != nil {
+		t.Fatal(err)
+	}
+	m.Commit(tx, nil)
+	g.RunOnce()
+	if len(obs.mods) != 3 {
+		t.Fatalf("observed %d modifications", len(obs.mods))
+	}
+	kinds := map[storage.RecordKind]int{}
+	for _, mod := range obs.mods {
+		if mod.slot != slot {
+			t.Fatalf("observed wrong slot %v", mod.slot)
+		}
+		if mod.epoch == 0 {
+			t.Fatal("epoch missing")
+		}
+		kinds[mod.kind]++
+	}
+	if kinds[storage.KindInsert] != 1 || kinds[storage.KindUpdate] != 1 || kinds[storage.KindDelete] != 1 {
+		t.Fatalf("kinds = %v", kinds)
+	}
+}
+
+func TestGCKeepsNewerSuffix(t *testing.T) {
+	m, table, g := testEnv(t)
+	slot := insert(t, m, table, 1)
+	update(t, m, table, slot, 2)
+	g.RunOnce() // prune fully
+	g.RunOnce()
+
+	// Build a chain straddling the watermark: old committed update (will be
+	// prunable) + reader pinning it + newer update (must be kept).
+	update(t, m, table, slot, 3)
+	reader := m.Begin()
+	update(t, m, table, slot, 4)
+	block := table.Registry().BlockFor(slot)
+	g.RunOnce()
+	// The newest record (id 3->4 before-image) must survive for reader.
+	head := block.VersionPtr(slot.Offset())
+	if head == nil {
+		t.Fatal("whole chain pruned")
+	}
+	out := table.AllColumnsProjection().NewRow()
+	found, _ := table.Select(reader, slot, out)
+	if !found || out.Int64(0) != 3 {
+		t.Fatalf("reader sees %d, want 3", out.Int64(0))
+	}
+	m.Commit(reader, nil)
+}
+
+func TestGCBackgroundLoop(t *testing.T) {
+	m, table, g := testEnv(t)
+	slot := insert(t, m, table, 1)
+	update(t, m, table, slot, 2)
+	g.Start(time.Millisecond)
+	defer g.Stop()
+	deadline := time.Now().Add(2 * time.Second)
+	block := table.Registry().BlockFor(slot)
+	for time.Now().Before(deadline) {
+		if block.VersionPtr(slot.Offset()) == nil {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatal("background GC never pruned the chain")
+}

@@ -1,0 +1,393 @@
+package index
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"mainline/internal/storage"
+)
+
+func TestKeyBuilderOrdering(t *testing.T) {
+	enc := func(v int64) []byte { return NewKeyBuilder(8).Int64(v).Clone() }
+	vals := []int64{-(1 << 62), -1000, -1, 0, 1, 42, 1 << 62}
+	for i := 1; i < len(vals); i++ {
+		if bytes.Compare(enc(vals[i-1]), enc(vals[i])) >= 0 {
+			t.Fatalf("Int64 order broken between %d and %d", vals[i-1], vals[i])
+		}
+	}
+	encS := func(s string) []byte { return NewKeyBuilder(8).String(s).Clone() }
+	strs := []string{"", "a", "aa", "ab", "b", "ba"}
+	for i := 1; i < len(strs); i++ {
+		if bytes.Compare(encS(strs[i-1]), encS(strs[i])) >= 0 {
+			t.Fatalf("String order broken between %q and %q", strs[i-1], strs[i])
+		}
+	}
+}
+
+// Property: composite (int64, string) keys sort like their logical tuples.
+func TestQuickCompositeKeyOrder(t *testing.T) {
+	f := func(a1, a2 int64, s1, s2 string) bool {
+		k1 := NewKeyBuilder(16).Int64(a1).String(s1).Clone()
+		k2 := NewKeyBuilder(16).Int64(a2).String(s2).Clone()
+		logical := 0
+		switch {
+		case a1 < a2:
+			logical = -1
+		case a1 > a2:
+			logical = 1
+		default:
+			switch {
+			case s1 < s2:
+				logical = -1
+			case s1 > s2:
+				logical = 1
+			}
+		}
+		return sign(bytes.Compare(k1, k2)) == logical
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func sign(v int) int {
+	switch {
+	case v < 0:
+		return -1
+	case v > 0:
+		return 1
+	default:
+		return 0
+	}
+}
+
+func TestKeyBuilderEmbeddedZeros(t *testing.T) {
+	k1 := NewKeyBuilder(8).String("a\x00b").Clone()
+	k2 := NewKeyBuilder(8).String("a\x00c").Clone()
+	k3 := NewKeyBuilder(8).String("a").Clone()
+	if bytes.Compare(k3, k1) >= 0 || bytes.Compare(k1, k2) >= 0 {
+		t.Fatal("embedded zero ordering broken")
+	}
+}
+
+func TestPrefixEnd(t *testing.T) {
+	if got := PrefixEnd([]byte{1, 2, 3}); !bytes.Equal(got, []byte{1, 2, 4}) {
+		t.Fatalf("PrefixEnd = %v", got)
+	}
+	if got := PrefixEnd([]byte{1, 0xFF}); !bytes.Equal(got, []byte{2}) {
+		t.Fatalf("PrefixEnd = %v", got)
+	}
+	if got := PrefixEnd([]byte{0xFF, 0xFF}); got != nil {
+		t.Fatalf("PrefixEnd = %v", got)
+	}
+}
+
+func slotOf(i int) storage.TupleSlot { return storage.NewTupleSlot(uint64(i+1), 0) }
+
+func TestBTreeBasicOps(t *testing.T) {
+	tr := NewBTree()
+	key := func(i int) []byte { return NewKeyBuilder(8).Int64(int64(i)).Clone() }
+	const n = 1000
+	perm := rand.New(rand.NewSource(1)).Perm(n)
+	for _, i := range perm {
+		tr.Insert(key(i), slotOf(i))
+	}
+	if tr.Len() != n {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	for i := 0; i < n; i++ {
+		got, ok := tr.GetOne(key(i))
+		if !ok || got != slotOf(i) {
+			t.Fatalf("Get(%d) = %v %v", i, got, ok)
+		}
+	}
+	if _, ok := tr.GetOne(key(n + 5)); ok {
+		t.Fatal("found missing key")
+	}
+	// Ordered full scan.
+	prev := -1
+	count := 0
+	tr.Scan(key(0), nil, func(k []byte, _ storage.TupleSlot) bool {
+		count++
+		cur := int(int64(bytesToUint(k)) - (1 << 62)) // not used for order check
+		_ = cur
+		if prev >= 0 && bytes.Compare(key(prev), k) > 0 {
+			t.Fatal("scan out of order")
+		}
+		prev++
+		return true
+	})
+	if count != n {
+		t.Fatalf("scan visited %d", count)
+	}
+}
+
+func bytesToUint(b []byte) uint64 {
+	var v uint64
+	for _, x := range b[:8] {
+		v = v<<8 | uint64(x)
+	}
+	return v
+}
+
+func TestBTreeRangeScan(t *testing.T) {
+	tr := NewBTree()
+	key := func(i int) []byte { return NewKeyBuilder(8).Int64(int64(i)).Clone() }
+	for i := 0; i < 500; i++ {
+		tr.Insert(key(i), slotOf(i))
+	}
+	var got []int
+	tr.Scan(key(100), key(110), func(k []byte, s storage.TupleSlot) bool {
+		got = append(got, int(s.BlockID()-1))
+		return true
+	})
+	if len(got) != 10 || got[0] != 100 || got[9] != 109 {
+		t.Fatalf("range scan = %v", got)
+	}
+	// Early stop.
+	count := 0
+	tr.Scan(key(0), nil, func([]byte, storage.TupleSlot) bool {
+		count++
+		return count < 7
+	})
+	if count != 7 {
+		t.Fatalf("early stop visited %d", count)
+	}
+}
+
+func TestBTreeDuplicatesAndDelete(t *testing.T) {
+	tr := NewBTree()
+	k := NewKeyBuilder(8).String("dup").Clone()
+	tr.Insert(k, slotOf(1))
+	tr.Insert(k, slotOf(2))
+	tr.Insert(k, slotOf(1)) // duplicate pair ignored
+	if got := tr.Get(k); len(got) != 2 {
+		t.Fatalf("dup values = %v", got)
+	}
+	if tr.Len() != 2 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	if !tr.Delete(k, slotOf(1)) {
+		t.Fatal("delete failed")
+	}
+	if got := tr.Get(k); len(got) != 1 || got[0] != slotOf(2) {
+		t.Fatalf("after delete: %v", got)
+	}
+	if tr.Delete(k, slotOf(99)) {
+		t.Fatal("deleted missing value")
+	}
+	if !tr.Delete(k, 0) { // remove all
+		t.Fatal("delete-all failed")
+	}
+	if tr.Get(k) != nil || tr.Len() != 0 {
+		t.Fatal("key survived delete-all")
+	}
+}
+
+func TestBTreeInsertUnique(t *testing.T) {
+	tr := NewBTree()
+	k := NewKeyBuilder(8).Int64(7).Clone()
+	if !tr.InsertUnique(k, slotOf(1)) {
+		t.Fatal("first unique insert failed")
+	}
+	if tr.InsertUnique(k, slotOf(2)) {
+		t.Fatal("duplicate unique insert succeeded")
+	}
+	got, _ := tr.GetOne(k)
+	if got != slotOf(1) {
+		t.Fatal("value clobbered")
+	}
+}
+
+// Property: the tree agrees with a reference map under random operations.
+func TestQuickBTreeVsModel(t *testing.T) {
+	f := func(ops []uint16) bool {
+		tr := NewBTree()
+		model := map[string]storage.TupleSlot{}
+		for _, op := range ops {
+			i := int(op % 512)
+			k := NewKeyBuilder(8).Int64(int64(i)).Clone()
+			switch (op / 512) % 3 {
+			case 0:
+				tr.Insert(k, slotOf(i))
+				model[string(k)] = slotOf(i)
+			case 1:
+				tr.Delete(k, 0)
+				delete(model, string(k))
+			case 2:
+				got, ok := tr.GetOne(k)
+				want, wantOK := model[string(k)]
+				if ok != wantOK || (ok && got != want) {
+					return false
+				}
+			}
+		}
+		// Full scan equals sorted model.
+		var keys []string
+		for k := range model {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		i := 0
+		ok := true
+		tr.Scan([]byte{}, nil, func(k []byte, s storage.TupleSlot) bool {
+			if i >= len(keys) || string(k) != keys[i] || s != model[keys[i]] {
+				ok = false
+				return false
+			}
+			i++
+			return true
+		})
+		return ok && i == len(keys)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBTreeConcurrentReaders(t *testing.T) {
+	tr := NewBTree()
+	key := func(i int) []byte { return NewKeyBuilder(8).Int64(int64(i)).Clone() }
+	for i := 0; i < 5000; i++ {
+		tr.Insert(key(i), slotOf(i))
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				idx := (i * 37) % 5000
+				if got, ok := tr.GetOne(key(idx)); !ok || got != slotOf(idx) {
+					t.Errorf("concurrent read wrong at %d", idx)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+func TestShardedSemantics(t *testing.T) {
+	s := NewSharded(8, 8)
+	// Keys: (warehouse int64, counter int64).
+	key := func(w, c int) []byte {
+		return NewKeyBuilder(16).Int64(int64(w)).Int64(int64(c)).Clone()
+	}
+	for w := 0; w < 4; w++ {
+		for c := 0; c < 100; c++ {
+			s.Insert(key(w, c), slotOf(w*1000+c))
+		}
+	}
+	if s.Len() != 400 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	// Point reads.
+	got, ok := s.GetOne(key(2, 50))
+	if !ok || got != slotOf(2050) {
+		t.Fatal("sharded get wrong")
+	}
+	// Same-prefix range scan (single shard path).
+	var seen []int
+	s.Scan(key(1, 10), key(1, 20), func(_ []byte, v storage.TupleSlot) bool {
+		seen = append(seen, int(v.BlockID()-1))
+		return true
+	})
+	if len(seen) != 10 || seen[0] != 1010 {
+		t.Fatalf("same-shard scan = %v", seen)
+	}
+	// Cross-shard scan (merge path) still yields global order.
+	var keys [][]byte
+	s.Scan(key(0, 0), nil, func(k []byte, _ storage.TupleSlot) bool {
+		keys = append(keys, append([]byte(nil), k...))
+		return true
+	})
+	if len(keys) != 400 {
+		t.Fatalf("cross-shard scan visited %d", len(keys))
+	}
+	for i := 1; i < len(keys); i++ {
+		if bytes.Compare(keys[i-1], keys[i]) > 0 {
+			t.Fatal("cross-shard scan out of order")
+		}
+	}
+	// Unique inserts respect per-key uniqueness.
+	if !s.InsertUnique(key(9, 9), slotOf(1)) || s.InsertUnique(key(9, 9), slotOf(2)) {
+		t.Fatal("sharded unique semantics wrong")
+	}
+	// Delete.
+	if !s.Delete(key(2, 50), slotOf(2050)) {
+		t.Fatal("sharded delete failed")
+	}
+	if _, ok := s.GetOne(key(2, 50)); ok {
+		t.Fatal("deleted key still present")
+	}
+}
+
+func TestShardedConcurrentWriters(t *testing.T) {
+	s := NewSharded(16, 8)
+	var wg sync.WaitGroup
+	const workers = 8
+	const per = 2000
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				k := NewKeyBuilder(16).Int64(int64(w)).Int64(int64(i)).Clone()
+				s.Insert(k, slotOf(w*per+i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if s.Len() != workers*per {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	for w := 0; w < workers; w++ {
+		for i := 0; i < per; i += 97 {
+			k := NewKeyBuilder(16).Int64(int64(w)).Int64(int64(i)).Clone()
+			got, ok := s.GetOne(k)
+			if !ok || got != slotOf(w*per+i) {
+				t.Fatalf("lost key %d/%d", w, i)
+			}
+		}
+	}
+}
+
+func TestBTreeLargeSplits(t *testing.T) {
+	tr := NewBTree()
+	const n = 50000
+	for i := 0; i < n; i++ {
+		k := NewKeyBuilder(8).Int64(int64((i * 7919) % n)).Clone()
+		tr.Insert(k, slotOf(i))
+	}
+	// Spot check deep-tree lookups.
+	for i := 0; i < n; i += 1013 {
+		k := NewKeyBuilder(8).Int64(int64(i)).Clone()
+		if _, ok := tr.GetOne(k); !ok {
+			t.Fatalf("missing key %d", i)
+		}
+	}
+}
+
+func TestShardedPrefixScan(t *testing.T) {
+	s := NewSharded(4, 8)
+	for c := 0; c < 20; c++ {
+		k := NewKeyBuilder(16).Int64(7).Int64(int64(c)).Clone()
+		s.Insert(k, slotOf(c))
+	}
+	prefix := NewKeyBuilder(8).Int64(7).Clone()
+	count := 0
+	s.ScanPrefix(prefix, func([]byte, storage.TupleSlot) bool {
+		count++
+		return true
+	})
+	if count != 20 {
+		t.Fatalf("prefix scan visited %d", count)
+	}
+	_ = fmt.Sprint() // keep fmt import if unused elsewhere
+}

@@ -1,0 +1,441 @@
+package storage
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"mainline/internal/util"
+)
+
+// BlockState is the lifecycle flag coordinating user transactions, in-place
+// readers, and the background transformation process (paper §4.1–§4.3).
+//
+//	Hot      — relaxed format, may contain gaps and arena varlens; all reads
+//	           materialize through the version chain.
+//	Cooling  — the transformer intends to freeze; user transactions may
+//	           preempt back to Hot by CAS.
+//	Freezing — exclusive lock held by the gather phase; writers wait.
+//	Frozen   — canonical Arrow; readers access in place under the reader
+//	           counter; the first writer flips the block back to Hot.
+type BlockState uint32
+
+// Block lifecycle states.
+const (
+	StateHot BlockState = iota
+	StateCooling
+	StateFreezing
+	StateFrozen
+)
+
+// String names the state.
+func (s BlockState) String() string {
+	switch s {
+	case StateHot:
+		return "hot"
+	case StateCooling:
+		return "cooling"
+	case StateFreezing:
+		return "freezing"
+	case StateFrozen:
+		return "frozen"
+	default:
+		return "invalid"
+	}
+}
+
+// FrozenVarlen holds the canonical Arrow buffers for one variable-length
+// column of a frozen block, produced by the gather phase: length+1 int32
+// offsets and the contiguous values they index (paper Figure 3).
+type FrozenVarlen struct {
+	Offsets []byte // (n+1) little-endian int32, 8-byte padded
+	Values  []byte // contiguous value bytes, 8-byte padded
+}
+
+// FrozenDict holds the dictionary-compressed form of a varlen column — the
+// paper's alternative gather target (§4.4): a sorted dictionary plus one
+// int32 code per tuple, as found in Parquet/ORC.
+type FrozenDict struct {
+	Codes       []byte // n little-endian int32 codes, 8-byte padded
+	DictOffsets []byte // (m+1) int32 offsets into DictValues, 8-byte padded
+	DictValues  []byte // sorted unique values, concatenated
+	NumEntries  int    // m, the dictionary cardinality (padding-safe)
+}
+
+// Block is one 1 MB storage unit of a table. All tuple data lives in the
+// raw buffer laid out per the table's BlockLayout; transactional metadata —
+// version-chain heads, the allocation bitmap, per-column validity — lives in
+// adjacent atomic structures (Go cannot hide pointers inside byte buffers;
+// see DESIGN.md). The gather phase serializes validity into the buffer's
+// reserved bitmap regions so frozen blocks expose Arrow-compliant memory.
+type Block struct {
+	// ID is the registry-issued identifier packed into TupleSlots.
+	ID uint64
+	// Layout describes the block's columns; shared across the table.
+	Layout *BlockLayout
+
+	buf   []byte
+	state atomic.Uint32
+	// readers counts in-place readers of a frozen block; it acts as a
+	// reader-writer lock together with the state flag (paper Figure 7).
+	readers atomic.Int32
+	// insertHead is the next never-used slot; user inserts only append.
+	insertHead atomic.Uint32
+
+	// versions holds the version-chain head per slot — the paper's extra
+	// Arrow column of physical pointers, invisible to external readers.
+	versions []atomic.Pointer[UndoRecord]
+	// allocated marks slots holding a live latest-version tuple. Deletes
+	// clear it; older readers reconstruct existence from the chain.
+	allocated util.AtomicBitmap
+	// validity marks non-null attributes, one bitmap per column.
+	validity []util.AtomicBitmap
+
+	// arenaMu guards hot varlen arena appends.
+	arenaMu sync.Mutex
+	arena   [][]byte
+
+	// frozen gather outputs, one per column (nil for fixed-width columns).
+	frozenVar []*FrozenVarlen
+	// frozenDict holds dictionary-compressed columns when the transformer
+	// ran in dictionary mode (nil otherwise).
+	frozenDict []*FrozenDict
+	// nullCounts per column, computed by the gather phase.
+	nullCounts []int
+	// frozenRows is the tuple count at freeze time (slots 0..frozenRows-1
+	// are contiguous and present after compaction).
+	frozenRows int
+}
+
+// NewBlock allocates a block for the layout and registers it.
+func NewBlock(reg *Registry, layout *BlockLayout) *Block {
+	n := int(layout.NumSlots)
+	b := &Block{
+		Layout:     layout,
+		buf:        reg.pool.get(),
+		versions:   make([]atomic.Pointer[UndoRecord], n),
+		allocated:  util.NewAtomicBitmap(n),
+		validity:   make([]util.AtomicBitmap, layout.NumColumns()),
+		frozenVar:  make([]*FrozenVarlen, layout.NumColumns()),
+		frozenDict: make([]*FrozenDict, layout.NumColumns()),
+		nullCounts: make([]int, layout.NumColumns()),
+	}
+	for i := range b.validity {
+		b.validity[i] = util.NewAtomicBitmap(n)
+	}
+	b.ID = reg.Register(b)
+	return b
+}
+
+// --- State machine ----------------------------------------------------------
+
+// State returns the current lifecycle state.
+func (b *Block) State() BlockState { return BlockState(b.state.Load()) }
+
+// CASState transitions from -> to atomically; reports success.
+func (b *Block) CASState(from, to BlockState) bool {
+	return b.state.CompareAndSwap(uint32(from), uint32(to))
+}
+
+// SetState forcibly stores the state (used by the transformer inside its
+// exclusive critical section and by recovery).
+func (b *Block) SetState(s BlockState) { b.state.Store(uint32(s)) }
+
+// BeginInPlaceRead registers an in-place reader if the block is frozen.
+// Returns true on success; the caller must pair with EndInPlaceRead. The
+// counter-then-recheck dance closes the race with a writer flipping the
+// block hot between the state check and the increment.
+func (b *Block) BeginInPlaceRead() bool {
+	b.readers.Add(1)
+	if b.State() == StateFrozen {
+		return true
+	}
+	b.readers.Add(-1)
+	return false
+}
+
+// EndInPlaceRead releases an in-place reader registration.
+func (b *Block) EndInPlaceRead() { b.readers.Add(-1) }
+
+// MarkHot transitions the block to Hot before a write, whatever state it is
+// in: Cooling is preempted by CAS, Frozen requires draining lingering
+// readers, Freezing must be waited out (the gather critical section is
+// bounded and short).
+func (b *Block) MarkHot() {
+	for {
+		switch b.State() {
+		case StateHot:
+			return
+		case StateCooling:
+			if b.CASState(StateCooling, StateHot) {
+				return
+			}
+		case StateFrozen:
+			if b.CASState(StateFrozen, StateHot) {
+				// Spin until lingering in-place readers leave (paper §4.1).
+				for b.readers.Load() > 0 {
+					runtime.Gosched()
+				}
+				return
+			}
+		case StateFreezing:
+			runtime.Gosched()
+		}
+	}
+}
+
+// --- Slot management ---------------------------------------------------------
+
+// TryAllocateSlot reserves the next never-used slot for insertion. Reports
+// the slot offset, or false when the block is full. Reserved slots are not
+// yet visible: the inserter must install the version chain and set the
+// allocation bit.
+func (b *Block) TryAllocateSlot() (uint32, bool) {
+	for {
+		cur := b.insertHead.Load()
+		if cur >= b.Layout.NumSlots {
+			return 0, false
+		}
+		if b.insertHead.CompareAndSwap(cur, cur+1) {
+			return cur, true
+		}
+	}
+}
+
+// InsertHead returns the next never-used slot offset (== number of slots
+// ever allocated).
+func (b *Block) InsertHead() uint32 { return b.insertHead.Load() }
+
+// SetInsertHead forces the insertion head; the compactor uses it when
+// rebuilding a block's occupancy, and tests use it to fabricate states.
+func (b *Block) SetInsertHead(v uint32) { b.insertHead.Store(v) }
+
+// Allocated reports whether slot holds a live latest-version tuple.
+func (b *Block) Allocated(slot uint32) bool { return b.allocated.Test(int(slot)) }
+
+// SetAllocated toggles the allocation bit for slot.
+func (b *Block) SetAllocated(slot uint32, v bool) { b.allocated.Assign(int(slot), v) }
+
+// FilledSlots counts allocated slots.
+func (b *Block) FilledSlots() int { return b.allocated.CountOnes(int(b.Layout.NumSlots)) }
+
+// EmptySlotsIn counts unallocated slots among the first n.
+func (b *Block) EmptySlotsIn(n int) int { return n - b.allocated.CountOnes(n) }
+
+// IterateAllocated visits allocated slots in [0, InsertHead).
+func (b *Block) IterateAllocated(fn func(slot uint32) bool) {
+	n := int(b.InsertHead())
+	b.allocated.IterateSet(n, func(i int) bool { return fn(uint32(i)) })
+}
+
+// VersionPtr loads the version-chain head for slot.
+func (b *Block) VersionPtr(slot uint32) *UndoRecord { return b.versions[slot].Load() }
+
+// CASVersionPtr installs rec as the new chain head if the head is still old.
+func (b *Block) CASVersionPtr(slot uint32, old, rec *UndoRecord) bool {
+	return b.versions[slot].CompareAndSwap(old, rec)
+}
+
+// SetVersionPtr stores the chain head unconditionally (GC truncation of a
+// fully-invisible chain).
+func (b *Block) SetVersionPtr(slot uint32, rec *UndoRecord) { b.versions[slot].Store(rec) }
+
+// HasActiveVersions reports whether any slot still carries a version chain —
+// the gather phase's "single-pass scan" for concurrent modification (§4.3).
+func (b *Block) HasActiveVersions() bool {
+	for i := range b.versions {
+		if b.versions[i].Load() != nil {
+			return true
+		}
+	}
+	return false
+}
+
+// --- Attribute access ---------------------------------------------------------
+
+// fixedRegion returns the whole data region of column col.
+func (b *Block) fixedRegion(col ColumnID) []byte {
+	off := b.Layout.dataOff[col]
+	size := b.Layout.AttrSize(col)
+	return b.buf[off : off+int(b.Layout.NumSlots)*size]
+}
+
+// AttrBytes returns the in-block bytes of (col, slot): the fixed value for
+// fixed-width columns or the 16-byte VarlenEntry for varlen columns.
+func (b *Block) AttrBytes(col ColumnID, slot uint32) []byte {
+	size := b.Layout.AttrSize(col)
+	off := b.Layout.dataOff[col] + int(slot)*size
+	return b.buf[off : off+size]
+}
+
+// IsValid reports the validity (non-null) bit of (col, slot).
+func (b *Block) IsValid(col ColumnID, slot uint32) bool {
+	return b.validity[col].Test(int(slot))
+}
+
+// SetValid assigns the validity bit of (col, slot).
+func (b *Block) SetValid(col ColumnID, slot uint32, v bool) {
+	b.validity[col].Assign(int(slot), v)
+}
+
+// WriteFixed stores raw fixed-width bytes into (col, slot) and marks it
+// valid. src length must equal the attribute size.
+func (b *Block) WriteFixed(col ColumnID, slot uint32, src []byte) {
+	copy(b.AttrBytes(col, slot), src)
+	b.SetValid(col, slot, true)
+}
+
+// WriteNull marks (col, slot) null and zeroes its storage so gathered Arrow
+// buffers are deterministic.
+func (b *Block) WriteNull(col ColumnID, slot uint32) {
+	dst := b.AttrBytes(col, slot)
+	for i := range dst {
+		dst[i] = 0
+	}
+	b.SetValid(col, slot, false)
+}
+
+// WriteVarlen stores a variable-length value into (col, slot): inline when
+// it fits 12 bytes, otherwise spilled to the block's hot arena. This is the
+// relaxed format's constant-time varlen update (§4.1).
+func (b *Block) WriteVarlen(col ColumnID, slot uint32, val []byte) {
+	entry := b.AttrBytes(col, slot)
+	if len(val) <= VarlenInlineLimit {
+		varlenEntryPutInline(entry, val)
+	} else {
+		owned := append([]byte(nil), val...)
+		b.arenaMu.Lock()
+		idx := len(b.arena)
+		b.arena = append(b.arena, owned)
+		b.arenaMu.Unlock()
+		varlenEntryPutSpilled(entry, uint32(len(val)), owned[:4], makeArenaHandle(idx))
+	}
+	b.SetValid(col, slot, true)
+}
+
+// ReadVarlen resolves the variable-length value of (col, slot). The result
+// aliases block-owned memory (entry bytes, arena, or frozen buffer); callers
+// materializing a version copy it into their own buffers.
+func (b *Block) ReadVarlen(col ColumnID, slot uint32) []byte {
+	entry := b.AttrBytes(col, slot)
+	if varlenEntryIsInline(entry) {
+		return varlenEntryInline(entry)
+	}
+	size := varlenEntrySize(entry)
+	h := varlenEntryHandle(entry)
+	if handleIsFrozen(h) {
+		off := handleValue(h)
+		fv := b.frozenVar[col]
+		// Bounds-check rather than trust the entry: a hot reader racing an
+		// in-place writer can observe a torn entry; the version chain's
+		// before-image repairs its copy, this just keeps the read safe.
+		if fv == nil || off+uint64(size) > uint64(len(fv.Values)) {
+			return nil
+		}
+		return fv.Values[off : off+uint64(size)]
+	}
+	idx := handleValue(h)
+	b.arenaMu.Lock()
+	var v []byte
+	if idx < uint64(len(b.arena)) {
+		v = b.arena[idx]
+	}
+	b.arenaMu.Unlock()
+	return v
+}
+
+// VarlenPrefix returns the entry's stored prefix for fast filtering without
+// chasing the value (paper Figure 6).
+func (b *Block) VarlenPrefix(col ColumnID, slot uint32) []byte {
+	return varlenEntryPrefix(b.AttrBytes(col, slot))
+}
+
+// RewriteVarlenEntry re-encodes the entry of (col, slot) to reference the
+// frozen values buffer at off. Gather-phase only (exclusive access).
+func (b *Block) RewriteVarlenEntry(col ColumnID, slot uint32, val []byte, off int) {
+	entry := b.AttrBytes(col, slot)
+	if len(val) <= VarlenInlineLimit {
+		varlenEntryPutInline(entry, val)
+		return
+	}
+	varlenEntryPutSpilled(entry, uint32(len(val)), val[:4], makeFrozenHandle(off))
+}
+
+// ArenaSize reports the number of live hot-arena values (observability and
+// tests of gather-phase reclamation).
+func (b *Block) ArenaSize() int {
+	b.arenaMu.Lock()
+	defer b.arenaMu.Unlock()
+	return len(b.arena)
+}
+
+// ReleaseArena drops the hot arena after gather has rewritten every entry.
+// The caller must guarantee exclusive access (Freezing) and defer actual
+// reuse until concurrent readers are proven gone (the GC's deferred-action
+// mechanism); under Go the runtime collects the backing memory once old
+// readers drop their references.
+func (b *Block) ReleaseArena() {
+	b.arenaMu.Lock()
+	b.arena = nil
+	b.arenaMu.Unlock()
+}
+
+// --- Frozen (canonical Arrow) accessors --------------------------------------
+
+// SetFrozenMeta records gather outputs: the contiguous varlen buffers, null
+// counts, and the frozen row count. Gather-phase only.
+func (b *Block) SetFrozenMeta(rows int, frozenVar []*FrozenVarlen, nullCounts []int) {
+	b.frozenRows = rows
+	for i := range frozenVar {
+		b.frozenVar[i] = frozenVar[i]
+	}
+	copy(b.nullCounts, nullCounts)
+}
+
+// FrozenRows returns the tuple count recorded at freeze time.
+func (b *Block) FrozenRows() int { return b.frozenRows }
+
+// NullCount returns the gather-computed null count for col.
+func (b *Block) NullCount(col ColumnID) int { return b.nullCounts[col] }
+
+// FrozenVarlenCol returns the canonical Arrow buffers for a varlen column.
+func (b *Block) FrozenVarlenCol(col ColumnID) *FrozenVarlen { return b.frozenVar[col] }
+
+// SetFrozenDict records a dictionary-compressed column. Gather-phase only.
+func (b *Block) SetFrozenDict(col ColumnID, d *FrozenDict) { b.frozenDict[col] = d }
+
+// SetFrozenVarlenAlias publishes the frozen values buffer for col before
+// entries are rewritten to reference it, so concurrent readers resolve
+// frozen handles mid-gather (§4.3: reads proceed during the critical
+// section).
+func (b *Block) SetFrozenVarlenAlias(col ColumnID, fv *FrozenVarlen) { b.frozenVar[col] = fv }
+
+// FrozenDictCol returns the dictionary form of a varlen column, or nil if
+// the column was gathered without compression.
+func (b *Block) FrozenDictCol(col ColumnID) *FrozenDict { return b.frozenDict[col] }
+
+// FrozenFixedData returns the column's value buffer covering the first
+// FrozenRows tuples — raw block memory, zero-copy.
+func (b *Block) FrozenFixedData(col ColumnID) []byte {
+	size := b.Layout.AttrSize(col)
+	return b.fixedRegion(col)[:b.frozenRows*size]
+}
+
+// WriteFrozenValidity serializes column col's atomic validity bits for the
+// first rows slots into the block's reserved bitmap region and returns the
+// Arrow-compliant bytes. Gather-phase only.
+func (b *Block) WriteFrozenValidity(col ColumnID, rows int) util.Bitmap {
+	dst := util.Bitmap(b.buf[b.Layout.validOff[col] : b.Layout.validOff[col]+util.BitmapBytes(int(b.Layout.NumSlots))])
+	b.validity[col].SnapshotInto(dst, rows)
+	return dst[:util.BitmapBytes(rows)]
+}
+
+// FrozenValidity returns the serialized validity bitmap region for col.
+func (b *Block) FrozenValidity(col ColumnID) util.Bitmap {
+	off := b.Layout.validOff[col]
+	return util.Bitmap(b.buf[off : off+util.BitmapBytes(b.frozenRows)])
+}
+
+// RawData exposes the block's backing buffer (simulated-RDMA export reads
+// block memory directly).
+func (b *Block) RawData() []byte { return b.buf }

@@ -1,0 +1,158 @@
+package storage
+
+import (
+	"fmt"
+
+	"mainline/internal/util"
+)
+
+// ColumnID indexes a column within a table's layout.
+type ColumnID uint16
+
+// Attribute sizes supported by the engine. Variable-length attributes
+// occupy a fixed 16-byte VarlenEntry in the block (paper Figure 6).
+const (
+	// VarlenAttrSize is the in-block footprint of a variable-length value.
+	VarlenAttrSize = 16
+	// versionPtrSize accounts for the version-chain column the paper adds to
+	// each block (an extra Arrow column invisible to external readers). We
+	// store the pointers Go-side, but budget their space in layout math so
+	// block capacities match the paper's.
+	versionPtrSize = 8
+	// blockHeaderReserve approximates the block header (layout id, state
+	// word, counters) when computing slot capacity.
+	blockHeaderReserve = 64
+)
+
+// AttrDef declares one column: its in-block size and whether it is
+// variable-length. Fixed sizes are 1, 2, 4, 8, or any multiple of 8 up to
+// MaxFixedAttrSize — wide attributes let experiments model a row-store as
+// one column holding a whole tuple (paper §6.1 "Row vs. Column").
+type AttrDef struct {
+	Size   uint16
+	Varlen bool
+}
+
+// MaxFixedAttrSize caps wide fixed attributes.
+const MaxFixedAttrSize = 4096
+
+// FixedAttr declares a fixed-width column of the given byte size.
+func FixedAttr(size uint16) AttrDef { return AttrDef{Size: size} }
+
+// VarlenAttr declares a variable-length column.
+func VarlenAttr() AttrDef { return AttrDef{Size: VarlenAttrSize, Varlen: true} }
+
+// BlockLayout is the paper's per-table layout object (§3.2): the number of
+// slots in a block, the attribute sizes, and the byte offset of every column
+// region from the head of the block. It is computed once at table creation
+// and shared by every block of the table.
+//
+// Raw block interior (offsets all 8-byte aligned):
+//
+//	[ allocation bitmap ][ col0 validity ][ col0 data ][ col1 validity ] ...
+type BlockLayout struct {
+	Attrs     []AttrDef
+	NumSlots  uint32
+	allocOff  int   // offset of the allocation bitmap
+	validOff  []int // per-column validity bitmap offset
+	dataOff   []int // per-column data region offset
+	usedBytes int
+}
+
+// NewBlockLayout computes the layout for the given attributes, fitting the
+// maximum slot count into BlockSize. It returns an error for empty or
+// oversized tuple shapes.
+func NewBlockLayout(attrs []AttrDef) (*BlockLayout, error) {
+	if len(attrs) == 0 {
+		return nil, fmt.Errorf("storage: layout needs at least one column")
+	}
+	tupleBytes := 0
+	for i, a := range attrs {
+		switch {
+		case a.Varlen && a.Size != VarlenAttrSize:
+			return nil, fmt.Errorf("storage: varlen column %d must have size %d", i, VarlenAttrSize)
+		case !a.Varlen && !validFixedSize(a.Size):
+			return nil, fmt.Errorf("storage: column %d has unsupported size %d", i, a.Size)
+		}
+		tupleBytes += int(a.Size)
+	}
+	tupleBytes += versionPtrSize
+
+	// Bits per tuple: data bytes, one validity bit per column, one
+	// allocation bit. Start from the upper bound and shrink until the
+	// aligned layout fits.
+	bitsPerTuple := tupleBytes*8 + len(attrs) + 1
+	slots := (BlockSize - blockHeaderReserve) * 8 / bitsPerTuple
+	if slots > MaxSlotsPerBlock {
+		slots = MaxSlotsPerBlock
+	}
+	for slots > 0 {
+		l := computeOffsets(attrs, uint32(slots))
+		if l.usedBytes <= BlockSize {
+			return l, nil
+		}
+		slots--
+	}
+	return nil, fmt.Errorf("storage: tuple of %d bytes does not fit a block", tupleBytes)
+}
+
+func validFixedSize(s uint16) bool {
+	switch s {
+	case 1, 2, 4, 8:
+		return true
+	}
+	return s > 8 && s <= MaxFixedAttrSize && s%8 == 0
+}
+
+func computeOffsets(attrs []AttrDef, slots uint32) *BlockLayout {
+	l := &BlockLayout{
+		Attrs:    attrs,
+		NumSlots: slots,
+		validOff: make([]int, len(attrs)),
+		dataOff:  make([]int, len(attrs)),
+	}
+	off := blockHeaderReserve
+	l.allocOff = off
+	off += util.BitmapBytes(int(slots))
+	// Reserve the version-pointer column's worth of space to mirror the
+	// paper's block budget even though the pointers live Go-side.
+	off += util.Align8(int(slots) * versionPtrSize)
+	for i, a := range attrs {
+		l.validOff[i] = off
+		off += util.BitmapBytes(int(slots))
+		l.dataOff[i] = off
+		off += util.Align8(int(slots) * int(a.Size))
+	}
+	l.usedBytes = off
+	return l
+}
+
+// NumColumns returns the number of columns in the layout.
+func (l *BlockLayout) NumColumns() int { return len(l.Attrs) }
+
+// AttrSize returns the in-block byte size of column col.
+func (l *BlockLayout) AttrSize(col ColumnID) int { return int(l.Attrs[col].Size) }
+
+// IsVarlen reports whether column col is variable-length.
+func (l *BlockLayout) IsVarlen(col ColumnID) bool { return l.Attrs[col].Varlen }
+
+// TupleBytes returns the per-tuple data footprint (excluding bitmaps).
+func (l *BlockLayout) TupleBytes() int {
+	n := versionPtrSize
+	for _, a := range l.Attrs {
+		n += int(a.Size)
+	}
+	return n
+}
+
+// UsedBytes reports how much of the block the layout occupies.
+func (l *BlockLayout) UsedBytes() int { return l.usedBytes }
+
+// AllColumns returns the identity projection [0, 1, ... n-1].
+func (l *BlockLayout) AllColumns() []ColumnID {
+	cols := make([]ColumnID, l.NumColumns())
+	for i := range cols {
+		cols[i] = ColumnID(i)
+	}
+	return cols
+}

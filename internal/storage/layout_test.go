@@ -1,0 +1,127 @@
+package storage
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestLayoutPaperGeometry(t *testing.T) {
+	// The paper's transformation microbenchmark table: one 8-byte fixed
+	// column plus one varlen column gives ~32K tuples per 1 MB block (§6.2).
+	layout, err := NewBlockLayout([]AttrDef{FixedAttr(8), VarlenAttr()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if layout.NumSlots < 30000 || layout.NumSlots > 34000 {
+		t.Fatalf("slots = %d, want ~32K like the paper", layout.NumSlots)
+	}
+	if layout.UsedBytes() > BlockSize {
+		t.Fatalf("layout overflows block: %d", layout.UsedBytes())
+	}
+}
+
+func TestLayoutValidation(t *testing.T) {
+	if _, err := NewBlockLayout(nil); err == nil {
+		t.Fatal("empty layout accepted")
+	}
+	if _, err := NewBlockLayout([]AttrDef{{Size: 3}}); err == nil {
+		t.Fatal("size-3 attribute accepted")
+	}
+	if _, err := NewBlockLayout([]AttrDef{{Size: 8, Varlen: true}}); err == nil {
+		t.Fatal("varlen with wrong size accepted")
+	}
+}
+
+func TestLayoutOffsetsAligned(t *testing.T) {
+	layout, err := NewBlockLayout([]AttrDef{
+		FixedAttr(1), FixedAttr(2), FixedAttr(4), FixedAttr(8), VarlenAttr(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if layout.allocOff%8 != 0 {
+		t.Fatal("alloc bitmap misaligned")
+	}
+	for i := range layout.Attrs {
+		if layout.validOff[i]%8 != 0 {
+			t.Fatalf("col %d validity misaligned", i)
+		}
+		if layout.dataOff[i]%8 != 0 {
+			t.Fatalf("col %d data misaligned", i)
+		}
+	}
+	// Regions must not overlap and must stay in bounds.
+	prevEnd := layout.allocOff
+	for i, a := range layout.Attrs {
+		if layout.validOff[i] < prevEnd {
+			t.Fatalf("col %d validity overlaps", i)
+		}
+		if layout.dataOff[i] < layout.validOff[i] {
+			t.Fatalf("col %d data before validity", i)
+		}
+		prevEnd = layout.dataOff[i] + int(layout.NumSlots)*int(a.Size)
+	}
+	if prevEnd > BlockSize {
+		t.Fatalf("layout ends at %d > block size", prevEnd)
+	}
+}
+
+func TestLayoutWideTuples(t *testing.T) {
+	// 64 8-byte attributes (Figure 11's widest row-vs-column point).
+	attrs := make([]AttrDef, 64)
+	for i := range attrs {
+		attrs[i] = FixedAttr(8)
+	}
+	layout, err := NewBlockLayout(attrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if layout.NumSlots == 0 {
+		t.Fatal("no slots for wide tuple")
+	}
+	// Rough capacity check: 64*8 + 8 version bytes = 520 B/tuple -> ~2000.
+	if layout.NumSlots < 1500 || layout.NumSlots > 2100 {
+		t.Fatalf("slots = %d, outside expected range", layout.NumSlots)
+	}
+}
+
+// Property: any valid attribute mix produces a layout that fits the block
+// and never overlaps regions.
+func TestLayoutQuickFits(t *testing.T) {
+	sizes := []uint16{1, 2, 4, 8}
+	f := func(spec []byte) bool {
+		if len(spec) == 0 {
+			return true
+		}
+		if len(spec) > 100 {
+			spec = spec[:100]
+		}
+		attrs := make([]AttrDef, len(spec))
+		for i, s := range spec {
+			if s%5 == 4 {
+				attrs[i] = VarlenAttr()
+			} else {
+				attrs[i] = FixedAttr(sizes[s%4])
+			}
+		}
+		layout, err := NewBlockLayout(attrs)
+		if err != nil {
+			return false
+		}
+		return layout.UsedBytes() <= BlockSize && layout.NumSlots > 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllColumns(t *testing.T) {
+	layout, _ := NewBlockLayout([]AttrDef{FixedAttr(8), FixedAttr(4), VarlenAttr()})
+	cols := layout.AllColumns()
+	if len(cols) != 3 || cols[0] != 0 || cols[2] != 2 {
+		t.Fatalf("AllColumns = %v", cols)
+	}
+	if layout.TupleBytes() != 8+4+16+8 {
+		t.Fatalf("TupleBytes = %d", layout.TupleBytes())
+	}
+}

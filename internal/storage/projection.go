@@ -1,0 +1,239 @@
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"mainline/internal/util"
+)
+
+// Projection describes a subset of a layout's columns laid out as a compact
+// row: fixed-width attributes packed into one byte buffer, variable-length
+// attributes carried as byte-slice references. It is the shape of delta
+// records (before-images), redo records (after-images), and materialized
+// tuples handed to transactions — the paper's ProjectedRow concept.
+//
+// A Projection is computed once and shared; ProjectedRows instantiated from
+// it are cheap (one buffer allocation) and reusable.
+type Projection struct {
+	Layout *BlockLayout
+	Cols   []ColumnID
+
+	fixedOff  []int // per projected column: offset into the fixed buffer, -1 if varlen
+	varIdx    []int // per projected column: index into vars, -1 if fixed
+	fixedSize int
+	numVarlen int
+}
+
+// NewProjection builds a projection of cols over layout. Column IDs must be
+// valid and unique.
+func NewProjection(layout *BlockLayout, cols []ColumnID) (*Projection, error) {
+	p := &Projection{
+		Layout:   layout,
+		Cols:     append([]ColumnID(nil), cols...),
+		fixedOff: make([]int, len(cols)),
+		varIdx:   make([]int, len(cols)),
+	}
+	seen := make(map[ColumnID]bool, len(cols))
+	for i, c := range cols {
+		if int(c) >= layout.NumColumns() {
+			return nil, fmt.Errorf("storage: projection column %d out of range", c)
+		}
+		if seen[c] {
+			return nil, fmt.Errorf("storage: projection column %d duplicated", c)
+		}
+		seen[c] = true
+		if layout.IsVarlen(c) {
+			p.fixedOff[i] = -1
+			p.varIdx[i] = p.numVarlen
+			p.numVarlen++
+		} else {
+			p.fixedOff[i] = p.fixedSize
+			p.varIdx[i] = -1
+			p.fixedSize += layout.AttrSize(c)
+		}
+	}
+	return p, nil
+}
+
+// MustProjection is NewProjection that panics on error; for statically
+// correct call sites (tests, generated plans).
+func MustProjection(layout *BlockLayout, cols []ColumnID) *Projection {
+	p, err := NewProjection(layout, cols)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// NumCols returns the number of projected columns.
+func (p *Projection) NumCols() int { return len(p.Cols) }
+
+// IndexOf returns the projection-local index of column c, or -1.
+func (p *Projection) IndexOf(c ColumnID) int {
+	for i, col := range p.Cols {
+		if col == c {
+			return i
+		}
+	}
+	return -1
+}
+
+// NewRow allocates a ProjectedRow for this projection.
+func (p *Projection) NewRow() *ProjectedRow {
+	return &ProjectedRow{
+		P:     p,
+		Nulls: util.NewBitmap(len(p.Cols)),
+		fixed: make([]byte, p.fixedSize),
+		vars:  make([][]byte, p.numVarlen),
+	}
+}
+
+// ProjectedRow is a materialized partial tuple: values for each projected
+// column plus a null bitmap. The zero value is not usable; obtain rows from
+// Projection.NewRow.
+type ProjectedRow struct {
+	P     *Projection
+	Nulls util.Bitmap
+	fixed []byte
+	vars  [][]byte
+}
+
+// Reset clears all values and nulls for reuse.
+func (r *ProjectedRow) Reset() {
+	r.Nulls.ZeroAll()
+	for i := range r.fixed {
+		r.fixed[i] = 0
+	}
+	for i := range r.vars {
+		r.vars[i] = nil
+	}
+}
+
+// IsNull reports whether projected column i is null.
+func (r *ProjectedRow) IsNull(i int) bool { return r.Nulls.Test(i) }
+
+// SetNull marks projected column i null (and zeroes fixed storage so
+// downstream Arrow buffers stay deterministic).
+func (r *ProjectedRow) SetNull(i int) {
+	r.Nulls.Set(i)
+	if off := r.P.fixedOff[i]; off >= 0 {
+		size := r.P.Layout.AttrSize(r.P.Cols[i])
+		for j := 0; j < size; j++ {
+			r.fixed[off+j] = 0
+		}
+	} else {
+		r.vars[r.P.varIdx[i]] = nil
+	}
+}
+
+// setValid clears the null bit.
+func (r *ProjectedRow) setValid(i int) { r.Nulls.Clear(i) }
+
+// FixedBytes returns the raw storage for fixed-width projected column i.
+func (r *ProjectedRow) FixedBytes(i int) []byte {
+	off := r.P.fixedOff[i]
+	size := r.P.Layout.AttrSize(r.P.Cols[i])
+	return r.fixed[off : off+size]
+}
+
+// SetInt64 stores v into projected column i (must be an 8-byte column).
+func (r *ProjectedRow) SetInt64(i int, v int64) {
+	binary.LittleEndian.PutUint64(r.FixedBytes(i), uint64(v))
+	r.setValid(i)
+}
+
+// Int64 loads projected column i as int64.
+func (r *ProjectedRow) Int64(i int) int64 {
+	return int64(binary.LittleEndian.Uint64(r.FixedBytes(i)))
+}
+
+// SetInt32 stores v into projected column i (must be a 4-byte column).
+func (r *ProjectedRow) SetInt32(i int, v int32) {
+	binary.LittleEndian.PutUint32(r.FixedBytes(i), uint32(v))
+	r.setValid(i)
+}
+
+// Int32 loads projected column i as int32.
+func (r *ProjectedRow) Int32(i int) int32 {
+	return int32(binary.LittleEndian.Uint32(r.FixedBytes(i)))
+}
+
+// SetInt16 stores v into projected column i (must be a 2-byte column).
+func (r *ProjectedRow) SetInt16(i int, v int16) {
+	binary.LittleEndian.PutUint16(r.FixedBytes(i), uint16(v))
+	r.setValid(i)
+}
+
+// Int16 loads projected column i as int16.
+func (r *ProjectedRow) Int16(i int) int16 {
+	return int16(binary.LittleEndian.Uint16(r.FixedBytes(i)))
+}
+
+// SetInt8 stores v into projected column i (must be a 1-byte column).
+func (r *ProjectedRow) SetInt8(i int, v int8) {
+	r.FixedBytes(i)[0] = byte(v)
+	r.setValid(i)
+}
+
+// Int8 loads projected column i as int8.
+func (r *ProjectedRow) Int8(i int) int8 { return int8(r.FixedBytes(i)[0]) }
+
+// SetVarlen stores a variable-length value into projected column i. The row
+// references val without copying; callers that reuse val must copy first.
+func (r *ProjectedRow) SetVarlen(i int, val []byte) {
+	r.vars[r.P.varIdx[i]] = val
+	r.setValid(i)
+}
+
+// Varlen returns the variable-length value of projected column i.
+func (r *ProjectedRow) Varlen(i int) []byte {
+	return r.vars[r.P.varIdx[i]]
+}
+
+// CopyFrom copies all values from src, which must share the projection.
+func (r *ProjectedRow) CopyFrom(src *ProjectedRow) {
+	copy(r.fixed, src.fixed)
+	copy(r.Nulls, src.Nulls)
+	copy(r.vars, src.vars)
+}
+
+// Clone returns a deep copy of the row's fixed storage (varlen values are
+// shared by reference — they are immutable once written).
+func (r *ProjectedRow) Clone() *ProjectedRow {
+	c := r.P.NewRow()
+	c.CopyFrom(r)
+	return c
+}
+
+// ApplyDeltaTo overlays this row's values onto dst for every column present
+// in both projections. Used when replaying before-images onto a
+// materialized tuple during version-chain traversal.
+func (r *ProjectedRow) ApplyDeltaTo(dst *ProjectedRow) {
+	for i, c := range r.P.Cols {
+		j := dst.P.IndexOf(c)
+		if j < 0 {
+			continue
+		}
+		if r.IsNull(i) {
+			dst.SetNull(j)
+			continue
+		}
+		if r.P.fixedOff[i] >= 0 {
+			copy(dst.FixedBytes(j), r.FixedBytes(i))
+			dst.setValid(j)
+		} else {
+			dst.SetVarlen(j, r.Varlen(i))
+		}
+	}
+}
+
+// SizeBytes estimates the row's memory footprint (for write-set accounting
+// in the compaction-group experiments).
+func (r *ProjectedRow) SizeBytes() int {
+	n := len(r.fixed) + len(r.Nulls)
+	for _, v := range r.vars {
+		n += len(v)
+	}
+	return n
+}

@@ -1,0 +1,98 @@
+package storage
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTupleSlotPacking(t *testing.T) {
+	cases := []struct {
+		block  uint64
+		offset uint32
+	}{
+		{1, 0}, {1, 1}, {42, 12345}, {1 << 43, MaxSlotsPerBlock - 1},
+	}
+	for _, c := range cases {
+		s := NewTupleSlot(c.block, c.offset)
+		if s.BlockID() != c.block || s.Offset() != c.offset {
+			t.Errorf("pack(%d,%d) -> (%d,%d)", c.block, c.offset, s.BlockID(), s.Offset())
+		}
+		if !s.Valid() {
+			t.Errorf("slot %v should be valid", s)
+		}
+	}
+	var zero TupleSlot
+	if zero.Valid() {
+		t.Fatal("zero slot must be invalid")
+	}
+}
+
+func TestTupleSlotQuickRoundTrip(t *testing.T) {
+	f := func(block uint64, offset uint32) bool {
+		block %= 1 << BlockIDBits
+		offset %= MaxSlotsPerBlock
+		s := NewTupleSlot(block, offset)
+		return s.BlockID() == block && s.Offset() == offset
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRegistryLookup(t *testing.T) {
+	reg := NewRegistry()
+	layout, err := NewBlockLayout([]AttrDef{FixedAttr(8)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1 := NewBlock(reg, layout)
+	b2 := NewBlock(reg, layout)
+	if b1.ID == 0 || b1.ID == b2.ID {
+		t.Fatalf("IDs: %d %d", b1.ID, b2.ID)
+	}
+	if reg.Lookup(b1.ID) != b1 || reg.Lookup(b2.ID) != b2 {
+		t.Fatal("lookup returned wrong block")
+	}
+	if reg.Lookup(9999999) != nil {
+		t.Fatal("unknown ID should be nil")
+	}
+	slot := NewTupleSlot(b2.ID, 5)
+	if reg.BlockFor(slot) != b2 {
+		t.Fatal("BlockFor wrong")
+	}
+}
+
+func TestRegistryRetire(t *testing.T) {
+	reg := NewRegistry()
+	layout, _ := NewBlockLayout([]AttrDef{FixedAttr(8)})
+	b := NewBlock(reg, layout)
+	id := b.ID
+	reg.Retire(b)
+	if reg.Lookup(id) != nil {
+		t.Fatal("retired block still resolvable")
+	}
+	// Buffer is recycled: next block reuses pooled memory, zeroed.
+	nb := NewBlock(reg, layout)
+	for _, x := range nb.buf[:64] {
+		if x != 0 {
+			t.Fatal("recycled buffer not zeroed")
+		}
+	}
+}
+
+func TestRegistryManyBlocks(t *testing.T) {
+	reg := NewRegistry()
+	// Cross a chunk boundary to exercise directory growth. Register bare
+	// Block structs to avoid allocating gigabytes of real buffers.
+	blocks := make([]*Block, 0, registryChunkSize+10)
+	for i := 0; i < registryChunkSize+10; i++ {
+		b := &Block{}
+		b.ID = reg.Register(b)
+		blocks = append(blocks, b)
+	}
+	for _, b := range blocks {
+		if reg.Lookup(b.ID) != b {
+			t.Fatalf("block %d lost", b.ID)
+		}
+	}
+}

@@ -1,0 +1,71 @@
+package storage
+
+import "sync/atomic"
+
+// RecordKind distinguishes the three delta-record shapes (paper §3.1):
+// updates carry a before-image of the modified attributes; inserts and
+// deletes toggle the tuple's allocation state instead of its contents.
+type RecordKind uint8
+
+// Delta record kinds.
+const (
+	KindUpdate RecordKind = iota
+	KindInsert
+	KindDelete
+)
+
+// String names the kind for diagnostics.
+func (k RecordKind) String() string {
+	switch k {
+	case KindUpdate:
+		return "update"
+	case KindInsert:
+		return "insert"
+	case KindDelete:
+		return "delete"
+	default:
+		return "unknown"
+	}
+}
+
+// UndoRecord is one delta on a tuple's version chain: a physical
+// before-image of the modified attributes, stamped with the commit timestamp
+// of the transaction that installed it. Chains are ordered newest-to-oldest
+// and the head pointer lives in the block's version column.
+//
+// Records are allocated from a transaction's undo buffer (fixed-size
+// segments drawn from a pool) and never move while reachable: the version
+// chain holds direct pointers into them.
+type UndoRecord struct {
+	ts   atomic.Uint64
+	next atomic.Pointer[UndoRecord]
+
+	// Slot is the tuple this delta applies to.
+	Slot TupleSlot
+	// Kind classifies the operation that produced this record.
+	Kind RecordKind
+	// Delta holds the before-image of the modified attributes for updates;
+	// nil for inserts and deletes.
+	Delta *ProjectedRow
+}
+
+// Timestamp returns the record's commit timestamp (which carries the
+// uncommitted flag bit while its transaction is in flight).
+func (r *UndoRecord) Timestamp() uint64 { return r.ts.Load() }
+
+// SetTimestamp stores ts; called at install time (uncommitted value) and in
+// the commit critical section (final value).
+func (r *UndoRecord) SetTimestamp(ts uint64) { r.ts.Store(ts) }
+
+// Next returns the next-older record in the chain.
+func (r *UndoRecord) Next() *UndoRecord { return r.next.Load() }
+
+// SetNext links the next-older record; used when installing at a chain head
+// and by the GC when truncating.
+func (r *UndoRecord) SetNext(n *UndoRecord) { r.next.Store(n) }
+
+// CompareAndSwapNext CASes the next pointer; the GC uses it to truncate a
+// chain exactly once even with concurrent GC workers.
+func (r *UndoRecord) CompareAndSwapNext(old, new *UndoRecord) bool {
+	return r.next.CompareAndSwap(old, new)
+}

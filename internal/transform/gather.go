@@ -1,0 +1,191 @@
+package transform
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"mainline/internal/storage"
+	"mainline/internal/util"
+)
+
+// Mode selects the gather phase's target format (§4.4 Alternative Formats).
+type Mode int
+
+// Gather targets.
+const (
+	// ModeGather copies variable-length values into a contiguous buffer —
+	// canonical Arrow.
+	ModeGather Mode = iota
+	// ModeDictionary builds a sorted dictionary and an int32 code array —
+	// the Parquet/ORC-style compressed layout; an order of magnitude more
+	// expensive than the plain gather.
+	ModeDictionary
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	if m == ModeDictionary {
+		return "dictionary"
+	}
+	return "gather"
+}
+
+// GatherBlock runs the Phase-2 critical section on a block already in the
+// Freezing state: it copies varlen values into contiguous Arrow buffers (or
+// a dictionary), rewrites every VarlenEntry to reference the new storage,
+// serializes validity bitmaps into the block, computes null counts, and
+// marks the block Frozen. Reads may proceed concurrently — only physical
+// value locations change, never logical content (§4.3).
+func GatherBlock(block *storage.Block, mode Mode) error {
+	if block.State() != storage.StateFreezing {
+		return fmt.Errorf("transform: gather on %s block", block.State())
+	}
+	layout := block.Layout
+	rows := block.FilledSlots()
+	// Compaction left tuples logically contiguous; verify before trusting
+	// slot order.
+	for s := uint32(0); s < uint32(rows); s++ {
+		if !block.Allocated(s) {
+			return fmt.Errorf("transform: gap at slot %d of %d; block not compacted", s, rows)
+		}
+	}
+
+	nullCounts := make([]int, layout.NumColumns())
+	frozen := make([]*storage.FrozenVarlen, layout.NumColumns())
+	for c := 0; c < layout.NumColumns(); c++ {
+		col := storage.ColumnID(c)
+		valid := 0
+		for s := uint32(0); s < uint32(rows); s++ {
+			if block.IsValid(col, s) {
+				valid++
+			}
+		}
+		nullCounts[c] = rows - valid
+		if !layout.IsVarlen(col) {
+			block.WriteFrozenValidity(col, rows)
+			continue
+		}
+		var err error
+		if mode == ModeDictionary {
+			frozen[c], err = gatherDictionary(block, col, rows)
+		} else {
+			frozen[c], err = gatherContiguous(block, col, rows)
+		}
+		if err != nil {
+			return err
+		}
+		block.WriteFrozenValidity(col, rows)
+	}
+	block.SetFrozenMeta(rows, frozen, nullCounts)
+	// The pre-gather arena is unreachable once entries are rewritten; the
+	// engine defers actual reclamation through the GC's action queue (the
+	// caller registers it), and under Go the runtime frees the memory when
+	// the last old reader drops its reference.
+	block.ReleaseArena()
+	block.SetState(storage.StateFrozen)
+	return nil
+}
+
+// gatherContiguous builds the offsets+values pair for one varlen column and
+// rewrites the column's entries to point into it. The values buffer is
+// fully allocated and published before any entry is rewritten, so a reader
+// that observes a rewritten entry always resolves through valid memory.
+func gatherContiguous(block *storage.Block, col storage.ColumnID, rows int) (*storage.FrozenVarlen, error) {
+	total := 0
+	for s := uint32(0); s < uint32(rows); s++ {
+		if block.IsValid(col, s) {
+			total += len(block.ReadVarlen(col, s))
+		}
+	}
+	values := make([]byte, util.Align8(total))
+	offsets := make([]byte, 0, util.Align8((rows+1)*4))
+	fv := &storage.FrozenVarlen{Values: values}
+	block.SetFrozenVarlenAlias(col, fv)
+
+	off := 0
+	for s := uint32(0); s < uint32(rows); s++ {
+		offsets = binary.LittleEndian.AppendUint32(offsets, uint32(off))
+		if !block.IsValid(col, s) {
+			continue
+		}
+		v := block.ReadVarlen(col, s)
+		n := copy(values[off:], v)
+		// Rewrite after the copy so the entry's prefix/inline bytes come
+		// from the new, stable buffer.
+		block.RewriteVarlenEntry(col, s, values[off:off+n:off+n], off)
+		off += n
+	}
+	offsets = binary.LittleEndian.AppendUint32(offsets, uint32(off))
+	fv.Offsets = pad8(offsets)
+	return fv, nil
+}
+
+// gatherDictionary builds the sorted dictionary + code array for one varlen
+// column (§4.4): one scan to collect the sorted value set, a second to emit
+// codes and rewrite entries against dictionary storage. It returns the
+// values-buffer alias installed for frozen-handle resolution.
+func gatherDictionary(block *storage.Block, col storage.ColumnID, rows int) (*storage.FrozenVarlen, error) {
+	// Scan 1: sorted set of distinct values.
+	set := make(map[string]struct{}, rows)
+	for s := uint32(0); s < uint32(rows); s++ {
+		if block.IsValid(col, s) {
+			set[string(block.ReadVarlen(col, s))] = struct{}{}
+		}
+	}
+	words := make([]string, 0, len(set))
+	for w := range set {
+		words = append(words, w)
+	}
+	sort.Strings(words)
+
+	dictValues := make([]byte, 0)
+	dictOffsets := make([]byte, 0, util.Align8((len(words)+1)*4))
+	codeOf := make(map[string]int32, len(words))
+	valueOff := make(map[string]int, len(words))
+	for i, w := range words {
+		dictOffsets = binary.LittleEndian.AppendUint32(dictOffsets, uint32(len(dictValues)))
+		codeOf[w] = int32(i)
+		valueOff[w] = len(dictValues)
+		dictValues = append(dictValues, w...)
+	}
+	dictOffsets = binary.LittleEndian.AppendUint32(dictOffsets, uint32(len(dictValues)))
+	dictValues = pad8(dictValues)
+
+	d := &storage.FrozenDict{
+		DictOffsets: pad8(dictOffsets),
+		DictValues:  dictValues,
+		NumEntries:  len(words),
+	}
+	// ReadVarlen resolves frozen handles through FrozenVarlenCol: alias the
+	// dictionary values buffer there before rewriting any entry.
+	alias := &storage.FrozenVarlen{Values: dictValues}
+	block.SetFrozenVarlenAlias(col, alias)
+
+	// Scan 2: codes + entry rewrite against the dictionary buffer.
+	codes := make([]byte, 0, util.Align8(rows*4))
+	for s := uint32(0); s < uint32(rows); s++ {
+		if !block.IsValid(col, s) {
+			codes = binary.LittleEndian.AppendUint32(codes, 0)
+			continue
+		}
+		w := string(block.ReadVarlen(col, s))
+		code, ok := codeOf[w]
+		if !ok {
+			return nil, fmt.Errorf("transform: value appeared during dictionary build")
+		}
+		codes = binary.LittleEndian.AppendUint32(codes, uint32(code))
+		off := valueOff[w]
+		block.RewriteVarlenEntry(col, s, dictValues[off:off+len(w):off+len(w)], off)
+	}
+	d.Codes = pad8(codes)
+	block.SetFrozenDict(col, d)
+	return alias, nil
+}
+
+func pad8(b []byte) []byte {
+	for len(b)%8 != 0 {
+		b = append(b, 0)
+	}
+	return b
+}

@@ -1,0 +1,109 @@
+// Package transform implements the paper's block transformation pipeline
+// (§4): the access observer that identifies cooling blocks from GC-harvested
+// statistics, the two-phase hybrid transformation — Phase 1 transactional
+// compaction with the approximate (and optional optimal) block-selection
+// algorithm, Phase 2 in-place variable-length gather under the multi-stage
+// hot/cooling/freezing/frozen lock — and the dictionary-compression
+// alternative gather target.
+package transform
+
+import (
+	"sync"
+	"time"
+
+	"mainline/internal/core"
+	"mainline/internal/storage"
+)
+
+// Observer collects block modification times from the garbage collector's
+// pass over undo records (§4.2). It never runs on the transaction critical
+// path: the time of a GC invocation stands in for the modification time —
+// never early, late by at most one GC period.
+type Observer struct {
+	mu     sync.Mutex
+	tables []*core.DataTable
+	// lastMod maps block ID to the wall-clock time of the GC run that last
+	// observed a modification in it.
+	lastMod map[uint64]time.Time
+	// firstSeen is when a block entered observation (bulk-loaded blocks
+	// cool from their registration time).
+	firstSeen map[uint64]time.Time
+
+	// now is injectable for tests.
+	now func() time.Time
+}
+
+// NewObserver creates an empty observer.
+func NewObserver() *Observer {
+	return &Observer{
+		lastMod:   make(map[uint64]time.Time),
+		firstSeen: make(map[uint64]time.Time),
+		now:       time.Now,
+	}
+}
+
+// Watch registers a table for cold-block detection.
+func (o *Observer) Watch(t *core.DataTable) {
+	o.mu.Lock()
+	o.tables = append(o.tables, t)
+	o.mu.Unlock()
+}
+
+// ObserveModification implements gc.AccessObserver: the GC reports each
+// undo record's slot and kind with the GC-run epoch. Only the block
+// identity and the wall-clock arrival matter for cooling detection.
+func (o *Observer) ObserveModification(slot storage.TupleSlot, _ storage.RecordKind, _ uint64) {
+	o.mu.Lock()
+	o.lastMod[slot.BlockID()] = o.now()
+	o.mu.Unlock()
+}
+
+// ColdGroup pairs a table with blocks of that table deemed cold.
+type ColdGroup struct {
+	Table  *core.DataTable
+	Blocks []*storage.Block
+}
+
+// Sweep scans watched tables for hot blocks that have not been modified for
+// at least threshold and returns them grouped by table (compaction groups
+// only ever mix blocks with the same layout — the paper groups per table).
+// Swept blocks are dropped from the modification map so they are not
+// re-reported until touched again.
+func (o *Observer) Sweep(threshold time.Duration) []ColdGroup {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	now := o.now()
+	var groups []ColdGroup
+	for _, table := range o.tables {
+		var cold []*storage.Block
+		for _, b := range table.Blocks() {
+			if b.State() != storage.StateHot {
+				continue
+			}
+			if b.InsertHead() == 0 {
+				continue // nothing to freeze
+			}
+			last, touched := o.lastMod[b.ID]
+			if !touched {
+				first, seen := o.firstSeen[b.ID]
+				if !seen && threshold > 0 {
+					o.firstSeen[b.ID] = now
+					continue
+				}
+				last = first
+			}
+			if now.Sub(last) >= threshold {
+				cold = append(cold, b)
+				delete(o.lastMod, b.ID)
+				delete(o.firstSeen, b.ID)
+			}
+		}
+		if len(cold) > 0 {
+			groups = append(groups, ColdGroup{Table: table, Blocks: cold})
+		}
+	}
+	return groups
+}
+
+// SetClock overrides the observer's clock (tests).
+func (o *Observer) SetClock(now func() time.Time) { o.now = now }

@@ -1,0 +1,128 @@
+package txn
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"mainline/internal/storage"
+)
+
+// UndoSegmentCap is the number of undo records per buffer segment. The
+// paper sizes segments at 4096 bytes; 64 records of ~64 bytes of header
+// plus out-of-line deltas occupy the same order of space.
+const UndoSegmentCap = 64
+
+// UndoSegment is one fixed-capacity slab of undo records. Records never
+// move once handed out — version chains hold direct pointers into the
+// segment — so buffers grow by linking additional segments instead of
+// reallocating (paper §3.1).
+type UndoSegment struct {
+	records [UndoSegmentCap]storage.UndoRecord
+	used    int
+}
+
+// SegmentPool recycles undo segments. Segments are returned by the garbage
+// collector only after the epoch protocol proves no transaction can still
+// hold a pointer into them, at which point zeroing and reuse are safe.
+type SegmentPool struct {
+	pool        sync.Pool
+	outstanding atomic.Int64
+}
+
+// NewSegmentPool creates an undo-segment pool.
+func NewSegmentPool() *SegmentPool {
+	p := &SegmentPool{}
+	p.pool.New = func() any { return new(UndoSegment) }
+	return p
+}
+
+// Get vends a clean segment.
+func (p *SegmentPool) Get() *UndoSegment {
+	p.outstanding.Add(1)
+	return p.pool.Get().(*UndoSegment)
+}
+
+// Put zeroes and recycles a segment.
+func (p *SegmentPool) Put(s *UndoSegment) {
+	for i := 0; i < s.used; i++ {
+		r := &s.records[i]
+		r.SetTimestamp(0)
+		r.SetNext(nil)
+		r.Slot = 0
+		r.Kind = 0
+		r.Delta = nil
+	}
+	s.used = 0
+	p.outstanding.Add(-1)
+	p.pool.Put(s)
+}
+
+// Outstanding reports segments currently checked out; tests assert the GC
+// eventually returns every segment.
+func (p *SegmentPool) Outstanding() int64 { return p.outstanding.Load() }
+
+// UndoBuffer is a transaction's append-only delta store: a linked list of
+// fixed-size segments. It is single-writer (the owning transaction).
+type UndoBuffer struct {
+	pool     *SegmentPool
+	segments []*UndoSegment
+	count    int
+}
+
+// NewUndoBuffer creates an empty buffer drawing from pool.
+func NewUndoBuffer(pool *SegmentPool) *UndoBuffer {
+	return &UndoBuffer{pool: pool}
+}
+
+// NewRecord reserves the next undo record slot. The returned pointer is
+// stable for the record's lifetime.
+func (b *UndoBuffer) NewRecord() *storage.UndoRecord {
+	var seg *UndoSegment
+	if n := len(b.segments); n > 0 && b.segments[n-1].used < UndoSegmentCap {
+		seg = b.segments[n-1]
+	} else {
+		seg = b.pool.Get()
+		b.segments = append(b.segments, seg)
+	}
+	rec := &seg.records[seg.used]
+	seg.used++
+	b.count++
+	return rec
+}
+
+// Len returns the number of records written (the transaction's write-set
+// size, reported by the compaction-group experiments).
+func (b *UndoBuffer) Len() int { return b.count }
+
+// Iterate visits records oldest-first.
+func (b *UndoBuffer) Iterate(fn func(*storage.UndoRecord) bool) {
+	for _, seg := range b.segments {
+		for i := 0; i < seg.used; i++ {
+			if !fn(&seg.records[i]) {
+				return
+			}
+		}
+	}
+}
+
+// IterateReverse visits records newest-first (rollback order).
+func (b *UndoBuffer) IterateReverse(fn func(*storage.UndoRecord) bool) {
+	for si := len(b.segments) - 1; si >= 0; si-- {
+		seg := b.segments[si]
+		for i := seg.used - 1; i >= 0; i-- {
+			if !fn(&seg.records[i]) {
+				return
+			}
+		}
+	}
+}
+
+// Release returns every segment to the pool. Only the garbage collector
+// calls this, after the epoch protocol clears the buffer for reuse.
+func (b *UndoBuffer) Release() {
+	for _, seg := range b.segments {
+		b.pool.Put(seg)
+	}
+	b.segments = nil
+	b.count = 0
+}

@@ -1,0 +1,213 @@
+package txn
+
+import (
+	"sync"
+
+	"mainline/internal/storage"
+)
+
+// CommitHook receives committed transactions whose redo buffers must be made
+// durable; the WAL implements it. The hook must eventually invoke the
+// transaction's durable callback.
+type CommitHook func(*Transaction)
+
+// Manager is the transaction engine: it issues timestamps, tracks active
+// transactions (the "transactions table" the GC consults for the oldest
+// active start timestamp), runs the small commit critical section, and
+// executes the abort protocol.
+type Manager struct {
+	ts  TimestampSource
+	reg *storage.Registry
+
+	pool *SegmentPool
+
+	// commitMu is the paper's small critical section serializing commit
+	// timestamp assignment with undo-record stamping (§3.1).
+	commitMu sync.Mutex
+
+	activeMu sync.Mutex
+	active   map[uint64]*Transaction // keyed by start timestamp
+
+	completedMu sync.Mutex
+	completed   []*Transaction
+
+	commitHook CommitHook
+}
+
+// NewManager builds a transaction manager over the block registry.
+func NewManager(reg *storage.Registry) *Manager {
+	return &Manager{
+		reg:    reg,
+		pool:   NewSegmentPool(),
+		active: make(map[uint64]*Transaction),
+	}
+}
+
+// SetCommitHook installs the WAL's commit hook; nil disables logging (the
+// durable callback then fires synchronously at commit).
+func (m *Manager) SetCommitHook(h CommitHook) { m.commitHook = h }
+
+// Registry returns the block registry transactions resolve slots through.
+func (m *Manager) Registry() *storage.Registry { return m.reg }
+
+// SegmentPool exposes the undo segment pool (GC reclamation, tests).
+func (m *Manager) SegmentPool() *SegmentPool { return m.pool }
+
+// Begin starts a transaction: start and in-flight commit timestamps come
+// from the same counter, the latter with its sign bit flipped (§3.1).
+func (m *Manager) Begin() *Transaction {
+	m.activeMu.Lock()
+	start := m.ts.Next()
+	t := &Transaction{
+		mgr:   m,
+		start: start,
+		txnTs: MakeUncommitted(start),
+		undo:  NewUndoBuffer(m.pool),
+	}
+	m.active[start] = t
+	m.activeMu.Unlock()
+	return t
+}
+
+// Commit finishes a transaction: inside the critical section it draws the
+// commit timestamp, stamps every undo record with it, and hands the redo
+// buffer to the log manager's queue. durableCallback (optional) fires when
+// the commit record reaches disk; with logging disabled it fires
+// immediately. The rest of the system treats the transaction as committed
+// as soon as this returns (§3.4).
+func (m *Manager) Commit(t *Transaction, durableCallback func()) uint64 {
+	if t.Finished() {
+		panic("txn: commit on finished transaction")
+	}
+	t.readOnly = t.undo.Len() == 0 && len(t.redo) == 0
+	t.durableCallback = durableCallback
+
+	m.commitMu.Lock()
+	commitTs := m.ts.Next()
+	t.commit = commitTs
+	t.undo.Iterate(func(r *storage.UndoRecord) bool {
+		r.SetTimestamp(commitTs)
+		return true
+	})
+	t.committed = true
+	hook := m.commitHook
+	m.commitMu.Unlock()
+
+	// Hand the redo buffer to the log manager's flush queue. Read-only
+	// transactions also obtain a commit record (paper: guards speculative
+	// read anomalies); the log manager skips writing it but still fires the
+	// callback.
+	if hook != nil {
+		hook(t)
+	} else {
+		t.InvokeDurableCallback()
+	}
+
+	m.retire(t)
+	return commitTs
+}
+
+// Abort rolls back a transaction. In-place state is restored newest-first;
+// records are then "committed" with a fresh abort timestamp rather than
+// unlinked, closing the A-B-A race the paper describes: any reader that
+// copied the aborted version necessarily has a snapshot older than the
+// abort timestamp, so it applies the (now idempotent) before-image; readers
+// that start later observe the restored tuple and stop at the record.
+func (m *Manager) Abort(t *Transaction) {
+	if t.Finished() {
+		panic("txn: abort on finished transaction")
+	}
+	t.undo.IterateReverse(func(r *storage.UndoRecord) bool {
+		m.rollback(r)
+		return true
+	})
+	abortTs := m.ts.Next()
+	t.commit = abortTs
+	t.undo.Iterate(func(r *storage.UndoRecord) bool {
+		r.SetTimestamp(abortTs)
+		return true
+	})
+	t.aborted = true
+	t.redo = nil
+	m.retire(t)
+}
+
+// rollback restores the in-place effect of one undo record.
+func (m *Manager) rollback(r *storage.UndoRecord) {
+	block := m.reg.BlockFor(r.Slot)
+	if block == nil {
+		return
+	}
+	slot := r.Slot.Offset()
+	switch r.Kind {
+	case storage.KindInsert:
+		// The tuple never existed: hide it again.
+		block.SetAllocated(slot, false)
+	case storage.KindDelete:
+		// The delete never happened: restore liveness.
+		block.SetAllocated(slot, true)
+	case storage.KindUpdate:
+		delta := r.Delta
+		for i, col := range delta.P.Cols {
+			switch {
+			case delta.IsNull(i):
+				block.WriteNull(col, slot)
+			case delta.P.Layout.IsVarlen(col):
+				block.WriteVarlen(col, slot, delta.Varlen(i))
+			default:
+				block.WriteFixed(col, slot, delta.FixedBytes(i))
+			}
+		}
+	}
+}
+
+// retire removes t from the active table and queues it for the GC.
+func (m *Manager) retire(t *Transaction) {
+	m.activeMu.Lock()
+	delete(m.active, t.start)
+	m.activeMu.Unlock()
+	m.completedMu.Lock()
+	m.completed = append(m.completed, t)
+	m.completedMu.Unlock()
+}
+
+// OldestActiveTs returns the smallest start timestamp among active
+// transactions, or the current time if none are active — the GC's
+// visibility watermark (§3.3).
+func (m *Manager) OldestActiveTs() uint64 {
+	m.activeMu.Lock()
+	defer m.activeMu.Unlock()
+	if len(m.active) == 0 {
+		return m.ts.Current() + 1
+	}
+	oldest := ^uint64(0)
+	for start := range m.active {
+		if start < oldest {
+			oldest = start
+		}
+	}
+	return oldest
+}
+
+// ActiveCount reports the number of in-flight transactions.
+func (m *Manager) ActiveCount() int {
+	m.activeMu.Lock()
+	defer m.activeMu.Unlock()
+	return len(m.active)
+}
+
+// Timestamp draws a fresh timestamp (GC unlink stamps, deferred actions).
+func (m *Manager) Timestamp() uint64 { return m.ts.Next() }
+
+// CurrentTime returns the counter without advancing it.
+func (m *Manager) CurrentTime() uint64 { return m.ts.Current() }
+
+// DrainCompleted removes and returns all transactions finished since the
+// previous call, in completion order — the GC's work queue.
+func (m *Manager) DrainCompleted() []*Transaction {
+	m.completedMu.Lock()
+	out := m.completed
+	m.completed = nil
+	m.completedMu.Unlock()
+	return out
+}

@@ -1,0 +1,39 @@
+// Package txn implements the paper's multi-version concurrency control
+// engine (§3.1): timestamp management with a single global counter,
+// undo/redo buffers built from fixed-size segments, transaction contexts,
+// and a manager providing snapshot-isolation begin/commit/abort with the
+// paper's restore-then-commit abort protocol.
+package txn
+
+import "sync/atomic"
+
+// UncommittedFlag is the sign bit the paper flips to mark a transaction's
+// in-flight commit timestamp. Timestamps compare unsigned, so flagged values
+// are enormous and never visible to any reader.
+const UncommittedFlag = uint64(1) << 63
+
+// MakeUncommitted returns the in-flight commit timestamp for a transaction
+// with the given start timestamp.
+func MakeUncommitted(start uint64) uint64 { return start | UncommittedFlag }
+
+// IsUncommitted reports whether ts carries the uncommitted flag.
+func IsUncommitted(ts uint64) bool { return ts&UncommittedFlag != 0 }
+
+// Visible reports whether a version stamped recTs is visible to a reader
+// with snapshot timestamp readTs. Uncommitted stamps are never visible
+// (unsigned comparison does the work); committed stamps are visible when
+// they are no newer than the snapshot.
+func Visible(recTs, readTs uint64) bool { return recTs <= readTs }
+
+// TimestampSource is the single counter from which start, commit, abort,
+// and unlink timestamps are all drawn (paper: "a timestamp pair ... that it
+// generates from the same counter").
+type TimestampSource struct {
+	time atomic.Uint64
+}
+
+// Next returns a fresh, strictly increasing timestamp.
+func (s *TimestampSource) Next() uint64 { return s.time.Add(1) }
+
+// Current returns the most recently issued timestamp without advancing.
+func (s *TimestampSource) Current() uint64 { return s.time.Load() }

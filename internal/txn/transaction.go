@@ -1,0 +1,113 @@
+package txn
+
+import (
+	"mainline/internal/storage"
+)
+
+// RedoRecord is one after-image queued for write-ahead logging (§3.4).
+type RedoRecord struct {
+	// TableID names the table in catalog terms.
+	TableID uint32
+	// Slot is the tuple the change applies to.
+	Slot storage.TupleSlot
+	// Kind classifies the change.
+	Kind storage.RecordKind
+	// After holds the after-image of the written attributes (nil for
+	// deletes).
+	After *storage.ProjectedRow
+}
+
+// Transaction is the per-transaction context: snapshot timestamp, in-flight
+// commit timestamp, undo buffer (version-chain deltas), and redo buffer
+// (log after-images). A Transaction is single-threaded — only its owning
+// goroutine touches it — while the records it publishes into version chains
+// are read concurrently.
+type Transaction struct {
+	mgr *Manager
+
+	start  uint64
+	txnTs  uint64 // start | UncommittedFlag while in flight
+	commit uint64 // final commit (or abort) timestamp
+
+	undo *UndoBuffer
+	redo []RedoRecord
+
+	committed bool
+	aborted   bool
+	readOnly  bool
+
+	// unlinkTs is stamped by the GC when it unlinks this transaction's
+	// records; deallocation waits for the epoch to pass it (§3.3).
+	unlinkTs uint64
+
+	// durableCallback fires when the log manager has persisted the commit
+	// record (§3.4); nil when logging is disabled.
+	durableCallback func()
+}
+
+// StartTs returns the transaction's snapshot timestamp.
+func (t *Transaction) StartTs() uint64 { return t.start }
+
+// TxnTs returns the in-flight (uncommitted-flagged) commit timestamp that
+// stamps this transaction's undo records.
+func (t *Transaction) TxnTs() uint64 { return t.txnTs }
+
+// CommitTs returns the final commit timestamp (0 before commit).
+func (t *Transaction) CommitTs() uint64 { return t.commit }
+
+// Committed reports whether Commit succeeded.
+func (t *Transaction) Committed() bool { return t.committed }
+
+// Aborted reports whether the transaction rolled back.
+func (t *Transaction) Aborted() bool { return t.aborted }
+
+// Finished reports whether the transaction has completed either way.
+func (t *Transaction) Finished() bool { return t.committed || t.aborted }
+
+// WriteSetSize returns the number of undo records installed — the metric
+// Figure 14b reports for compaction transactions.
+func (t *Transaction) WriteSetSize() int { return t.undo.Len() }
+
+// NewUndoRecord reserves an undo record stamped with the transaction's
+// in-flight timestamp. The caller links it into a version chain.
+func (t *Transaction) NewUndoRecord(kind storage.RecordKind, slot storage.TupleSlot, delta *storage.ProjectedRow) *storage.UndoRecord {
+	rec := t.undo.NewRecord()
+	rec.SetTimestamp(t.txnTs)
+	rec.Slot = slot
+	rec.Kind = kind
+	rec.Delta = delta
+	rec.SetNext(nil)
+	return rec
+}
+
+// LogRedo appends an after-image to the transaction's redo buffer. The log
+// manager serializes it on commit.
+func (t *Transaction) LogRedo(tableID uint32, slot storage.TupleSlot, kind storage.RecordKind, after *storage.ProjectedRow) {
+	t.redo = append(t.redo, RedoRecord{TableID: tableID, Slot: slot, Kind: kind, After: after})
+}
+
+// RedoRecords exposes the redo buffer to the log manager.
+func (t *Transaction) RedoRecords() []RedoRecord { return t.redo }
+
+// UndoIterate visits undo records oldest-first (GC, tests).
+func (t *Transaction) UndoIterate(fn func(*storage.UndoRecord) bool) { t.undo.Iterate(fn) }
+
+// SetUnlinkTs records when the GC unlinked this transaction's records.
+func (t *Transaction) SetUnlinkTs(ts uint64) { t.unlinkTs = ts }
+
+// UnlinkTs returns the GC unlink timestamp (0 if not yet unlinked).
+func (t *Transaction) UnlinkTs() uint64 { return t.unlinkTs }
+
+// ReleaseUndo returns the undo segments to the pool; GC-only, after the
+// epoch proves no reader can still hold pointers into them.
+func (t *Transaction) ReleaseUndo() { t.undo.Release() }
+
+// InvokeDurableCallback fires the durability callback once; the log manager
+// calls it after fsync.
+func (t *Transaction) InvokeDurableCallback() {
+	if t.durableCallback != nil {
+		cb := t.durableCallback
+		t.durableCallback = nil
+		cb()
+	}
+}

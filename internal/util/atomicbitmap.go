@@ -1,0 +1,109 @@
+package util
+
+import (
+	"math/bits"
+	"sync/atomic"
+)
+
+// AtomicBitmap is a bitmap whose bits can be mutated concurrently. The
+// storage engine keeps *transactional* metadata bitmaps (slot allocation,
+// per-column validity) in atomic words because two transactions owning
+// different slots may still share a bitmap byte; plain byte writes would
+// corrupt each other. The Arrow-compliant byte bitmap inside a frozen block
+// is materialized from these words by the gather phase, which runs under
+// exclusive access.
+type AtomicBitmap []atomic.Uint64
+
+// NewAtomicBitmap creates a zeroed atomic bitmap with capacity for n bits.
+func NewAtomicBitmap(n int) AtomicBitmap {
+	return make(AtomicBitmap, (n+63)/64)
+}
+
+// Test reports whether bit i is set.
+func (b AtomicBitmap) Test(i int) bool {
+	return b[i>>6].Load()&(1<<(uint(i)&63)) != 0
+}
+
+// Set sets bit i.
+func (b AtomicBitmap) Set(i int) {
+	b[i>>6].Or(uint64(1) << (uint(i) & 63))
+}
+
+// Clear clears bit i.
+func (b AtomicBitmap) Clear(i int) {
+	b[i>>6].And(^(uint64(1) << (uint(i) & 63)))
+}
+
+// Assign sets bit i to v.
+func (b AtomicBitmap) Assign(i int, v bool) {
+	if v {
+		b.Set(i)
+	} else {
+		b.Clear(i)
+	}
+}
+
+// CountOnes returns the number of set bits among the first n.
+func (b AtomicBitmap) CountOnes(n int) int {
+	count := 0
+	full := n >> 6
+	for i := 0; i < full; i++ {
+		count += bits.OnesCount64(b[i].Load())
+	}
+	if rem := n & 63; rem != 0 {
+		count += bits.OnesCount64(b[full].Load() & (1<<uint(rem) - 1))
+	}
+	return count
+}
+
+// Snapshot serializes the first n bits into a little-endian byte bitmap of
+// BitmapBytes(n) length — the Arrow representation.
+func (b AtomicBitmap) Snapshot(n int) Bitmap {
+	out := NewBitmap(n)
+	for i := range b {
+		w := b[i].Load()
+		base := i * 8
+		if base >= len(out) {
+			break
+		}
+		for j := 0; j < 8 && base+j < len(out); j++ {
+			out[base+j] = byte(w >> (8 * j))
+		}
+	}
+	// Mask tail bits beyond n.
+	if rem := n & 7; rem != 0 {
+		out[n>>3] &= byte(1<<uint(rem)) - 1
+	}
+	for i := (n + 7) / 8; i < len(out); i++ {
+		out[i] = 0
+	}
+	return out
+}
+
+// SnapshotInto writes the first n bits into dst (len >= BitmapBytes(n)).
+func (b AtomicBitmap) SnapshotInto(dst Bitmap, n int) {
+	snap := b.Snapshot(n)
+	copy(dst, snap)
+}
+
+// IterateUnset calls fn for each clear bit in [0, n) until fn returns false.
+func (b AtomicBitmap) IterateUnset(n int, fn func(i int) bool) {
+	for i := 0; i < n; i++ {
+		if !b.Test(i) {
+			if !fn(i) {
+				return
+			}
+		}
+	}
+}
+
+// IterateSet calls fn for each set bit in [0, n) until fn returns false.
+func (b AtomicBitmap) IterateSet(n int, fn func(i int) bool) {
+	for i := 0; i < n; i++ {
+		if b.Test(i) {
+			if !fn(i) {
+				return
+			}
+		}
+	}
+}

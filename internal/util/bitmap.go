@@ -1,0 +1,198 @@
+// Package util provides low-level building blocks shared across the storage
+// engine: raw bitmaps, object pools for fixed-size buffer segments, fast
+// pseudo-random number generation, and alignment helpers.
+//
+// Everything in this package is allocation-conscious: bitmaps are views over
+// caller-owned byte slices so they can live inside storage blocks, and pools
+// recycle large segments to keep steady-state allocation near zero.
+package util
+
+import "math/bits"
+
+// Bitmap is a view over a byte slice interpreted as a little-endian bit
+// array. Bit i lives in byte i/8 at position i%8. A Bitmap does not own its
+// storage; callers hand it a slice (usually a sub-slice of a storage block)
+// sized with BitmapBytes.
+//
+// Concurrent use: distinct bits may be written concurrently only if they live
+// in distinct bytes. The storage engine serializes same-byte mutations
+// through slot ownership, matching the paper's assumption that aligned writes
+// are atomic.
+type Bitmap []byte
+
+// BitmapBytes returns the number of bytes needed to hold n bits, rounded up
+// to an 8-byte boundary so bitmaps embedded in blocks keep subsequent columns
+// aligned (Arrow requires 8-byte alignment of all buffers).
+func BitmapBytes(n int) int {
+	return Align8((n + 7) / 8)
+}
+
+// NewBitmap allocates a zeroed bitmap with capacity for n bits.
+func NewBitmap(n int) Bitmap {
+	return make(Bitmap, BitmapBytes(n))
+}
+
+// Test reports whether bit i is set.
+func (b Bitmap) Test(i int) bool {
+	return b[i>>3]&(1<<(uint(i)&7)) != 0
+}
+
+// Set sets bit i to one.
+func (b Bitmap) Set(i int) {
+	b[i>>3] |= 1 << (uint(i) & 7)
+}
+
+// Clear sets bit i to zero.
+func (b Bitmap) Clear(i int) {
+	b[i>>3] &^= 1 << (uint(i) & 7)
+}
+
+// Assign sets bit i to v.
+func (b Bitmap) Assign(i int, v bool) {
+	if v {
+		b.Set(i)
+	} else {
+		b.Clear(i)
+	}
+}
+
+// Flip toggles bit i and returns its new value.
+func (b Bitmap) Flip(i int) bool {
+	b[i>>3] ^= 1 << (uint(i) & 7)
+	return b.Test(i)
+}
+
+// ZeroAll clears every byte of the bitmap.
+func (b Bitmap) ZeroAll() {
+	for i := range b {
+		b[i] = 0
+	}
+}
+
+// SetAll sets the first n bits and clears any trailing bits in the final
+// partial byte, which keeps popcounts exact.
+func (b Bitmap) SetAll(n int) {
+	full := n >> 3
+	for i := 0; i < full; i++ {
+		b[i] = 0xFF
+	}
+	if rem := n & 7; rem != 0 {
+		b[full] = byte(1<<uint(rem)) - 1
+		full++
+	}
+	for i := full; i < len(b); i++ {
+		b[i] = 0
+	}
+}
+
+// CountOnes returns the number of set bits among the first n bits.
+func (b Bitmap) CountOnes(n int) int {
+	count := 0
+	full := n >> 3
+	for i := 0; i < full; i++ {
+		count += bits.OnesCount8(b[i])
+	}
+	if rem := n & 7; rem != 0 {
+		mask := byte(1<<uint(rem)) - 1
+		count += bits.OnesCount8(b[full] & mask)
+	}
+	return count
+}
+
+// FirstUnset returns the index of the first zero bit in [0, n), or -1 if all
+// of the first n bits are set. Blocks use this to find a free slot.
+func (b Bitmap) FirstUnset(n int) int {
+	full := n >> 3
+	for i := 0; i < full; i++ {
+		if b[i] != 0xFF {
+			return i<<3 + bits.TrailingZeros8(^b[i])
+		}
+	}
+	if rem := n & 7; rem != 0 {
+		v := b[full] | ^(byte(1<<uint(rem)) - 1)
+		if v != 0xFF {
+			return full<<3 + bits.TrailingZeros8(^v)
+		}
+	}
+	return -1
+}
+
+// FirstSet returns the index of the first one bit in [from, n), or -1.
+func (b Bitmap) FirstSet(from, n int) int {
+	for i := from; i < n; {
+		if i&7 == 0 {
+			// Skip whole zero bytes quickly.
+			for i+8 <= n && b[i>>3] == 0 {
+				i += 8
+			}
+			if i >= n {
+				return -1
+			}
+		}
+		if b.Test(i) {
+			return i
+		}
+		i++
+	}
+	return -1
+}
+
+// IterateSet calls fn for every set bit index in [0, n) in ascending order.
+// It stops early if fn returns false.
+func (b Bitmap) IterateSet(n int, fn func(i int) bool) {
+	for byteIdx := 0; byteIdx<<3 < n; byteIdx++ {
+		w := b[byteIdx]
+		for w != 0 {
+			bit := bits.TrailingZeros8(w)
+			i := byteIdx<<3 + bit
+			if i >= n {
+				return
+			}
+			if !fn(i) {
+				return
+			}
+			w &= w - 1
+		}
+	}
+}
+
+// IterateUnset calls fn for every zero bit index in [0, n) in ascending
+// order. It stops early if fn returns false.
+func (b Bitmap) IterateUnset(n int, fn func(i int) bool) {
+	for byteIdx := 0; byteIdx<<3 < n; byteIdx++ {
+		w := ^b[byteIdx]
+		for w != 0 {
+			bit := bits.TrailingZeros8(w)
+			i := byteIdx<<3 + bit
+			if i >= n {
+				return
+			}
+			if !fn(i) {
+				return
+			}
+			w &= w - 1
+		}
+	}
+}
+
+// CopyFrom copies the first n bits from src into b.
+func (b Bitmap) CopyFrom(src Bitmap, n int) {
+	nbytes := (n + 7) / 8
+	copy(b[:nbytes], src[:nbytes])
+}
+
+// Align8 rounds n up to the next multiple of 8.
+func Align8(n int) int {
+	return (n + 7) &^ 7
+}
+
+// AlignUp rounds n up to the next multiple of align, which must be a power
+// of two.
+func AlignUp(n, align int) int {
+	return (n + align - 1) &^ (align - 1)
+}
+
+// IsPowerOfTwo reports whether n is a positive power of two.
+func IsPowerOfTwo(n int) bool {
+	return n > 0 && n&(n-1) == 0
+}

@@ -1,0 +1,224 @@
+package util
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBitmapBytesAlignment(t *testing.T) {
+	cases := []struct{ bits, want int }{
+		{0, 0}, {1, 8}, {8, 8}, {63, 8}, {64, 8}, {65, 16}, {512, 64}, {32768, 4096},
+	}
+	for _, c := range cases {
+		if got := BitmapBytes(c.bits); got != c.want {
+			t.Errorf("BitmapBytes(%d) = %d, want %d", c.bits, got, c.want)
+		}
+	}
+}
+
+func TestBitmapSetClearTest(t *testing.T) {
+	const n = 200
+	b := NewBitmap(n)
+	for i := 0; i < n; i++ {
+		if b.Test(i) {
+			t.Fatalf("fresh bitmap has bit %d set", i)
+		}
+	}
+	for i := 0; i < n; i += 3 {
+		b.Set(i)
+	}
+	for i := 0; i < n; i++ {
+		want := i%3 == 0
+		if b.Test(i) != want {
+			t.Fatalf("bit %d = %v, want %v", i, b.Test(i), want)
+		}
+	}
+	for i := 0; i < n; i += 6 {
+		b.Clear(i)
+	}
+	for i := 0; i < n; i++ {
+		want := i%3 == 0 && i%6 != 0
+		if b.Test(i) != want {
+			t.Fatalf("after clear: bit %d = %v, want %v", i, b.Test(i), want)
+		}
+	}
+}
+
+func TestBitmapAssignFlip(t *testing.T) {
+	b := NewBitmap(16)
+	b.Assign(5, true)
+	if !b.Test(5) {
+		t.Fatal("Assign(5,true) did not set")
+	}
+	b.Assign(5, false)
+	if b.Test(5) {
+		t.Fatal("Assign(5,false) did not clear")
+	}
+	if !b.Flip(5) || !b.Test(5) {
+		t.Fatal("Flip did not set")
+	}
+	if b.Flip(5) || b.Test(5) {
+		t.Fatal("Flip did not clear")
+	}
+}
+
+func TestBitmapCountOnes(t *testing.T) {
+	const n = 131
+	b := NewBitmap(n)
+	want := 0
+	r := NewRand(42)
+	for i := 0; i < n; i++ {
+		if r.Intn(2) == 1 {
+			b.Set(i)
+			want++
+		}
+	}
+	if got := b.CountOnes(n); got != want {
+		t.Fatalf("CountOnes = %d, want %d", got, want)
+	}
+	// Prefix counts must be monotone and consistent.
+	prev := 0
+	for i := 1; i <= n; i++ {
+		c := b.CountOnes(i)
+		expect := prev
+		if b.Test(i - 1) {
+			expect++
+		}
+		if c != expect {
+			t.Fatalf("CountOnes(%d) = %d, want %d", i, c, expect)
+		}
+		prev = c
+	}
+}
+
+func TestBitmapSetAll(t *testing.T) {
+	for _, n := range []int{1, 7, 8, 9, 63, 64, 65, 100} {
+		b := NewBitmap(n + 10)
+		b.SetAll(n)
+		if got := b.CountOnes(n + 10); got != n {
+			t.Errorf("SetAll(%d): CountOnes = %d", n, got)
+		}
+	}
+}
+
+func TestBitmapFirstUnset(t *testing.T) {
+	const n = 70
+	b := NewBitmap(n)
+	if got := b.FirstUnset(n); got != 0 {
+		t.Fatalf("empty FirstUnset = %d", got)
+	}
+	b.SetAll(n)
+	if got := b.FirstUnset(n); got != -1 {
+		t.Fatalf("full FirstUnset = %d, want -1", got)
+	}
+	b.Clear(37)
+	if got := b.FirstUnset(n); got != 37 {
+		t.Fatalf("FirstUnset = %d, want 37", got)
+	}
+	b.Clear(8)
+	if got := b.FirstUnset(n); got != 8 {
+		t.Fatalf("FirstUnset = %d, want 8", got)
+	}
+	// Partial final byte: bits beyond n must not be reported.
+	b2 := NewBitmap(10)
+	b2.SetAll(10)
+	if got := b2.FirstUnset(10); got != -1 {
+		t.Fatalf("partial-byte FirstUnset = %d, want -1", got)
+	}
+}
+
+func TestBitmapFirstSet(t *testing.T) {
+	const n = 90
+	b := NewBitmap(n)
+	if got := b.FirstSet(0, n); got != -1 {
+		t.Fatalf("empty FirstSet = %d", got)
+	}
+	b.Set(25)
+	b.Set(60)
+	if got := b.FirstSet(0, n); got != 25 {
+		t.Fatalf("FirstSet(0) = %d, want 25", got)
+	}
+	if got := b.FirstSet(26, n); got != 60 {
+		t.Fatalf("FirstSet(26) = %d, want 60", got)
+	}
+	if got := b.FirstSet(61, n); got != -1 {
+		t.Fatalf("FirstSet(61) = %d, want -1", got)
+	}
+}
+
+func TestBitmapIterate(t *testing.T) {
+	const n = 100
+	b := NewBitmap(n)
+	want := []int{0, 13, 14, 63, 64, 99}
+	for _, i := range want {
+		b.Set(i)
+	}
+	var got []int
+	b.IterateSet(n, func(i int) bool { got = append(got, i); return true })
+	if len(got) != len(want) {
+		t.Fatalf("IterateSet visited %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("IterateSet visited %v, want %v", got, want)
+		}
+	}
+	// Early stop.
+	count := 0
+	b.IterateSet(n, func(int) bool { count++; return count < 3 })
+	if count != 3 {
+		t.Fatalf("early stop visited %d, want 3", count)
+	}
+	// IterateUnset complements IterateSet.
+	unset := 0
+	b.IterateUnset(n, func(i int) bool {
+		if b.Test(i) {
+			t.Fatalf("IterateUnset visited set bit %d", i)
+		}
+		unset++
+		return true
+	})
+	if unset != n-len(want) {
+		t.Fatalf("IterateUnset visited %d bits, want %d", unset, n-len(want))
+	}
+}
+
+// Property: for any set of operations, CountOnes matches a reference model.
+func TestBitmapQuickAgainstModel(t *testing.T) {
+	f := func(ops []uint16) bool {
+		const n = 300
+		b := NewBitmap(n)
+		model := make(map[int]bool)
+		for _, op := range ops {
+			i := int(op) % n
+			switch op % 3 {
+			case 0:
+				b.Set(i)
+				model[i] = true
+			case 1:
+				b.Clear(i)
+				delete(model, i)
+			case 2:
+				if b.Test(i) != model[i] {
+					return false
+				}
+			}
+		}
+		return b.CountOnes(n) == len(model)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAlignHelpers(t *testing.T) {
+	if Align8(0) != 0 || Align8(1) != 8 || Align8(8) != 8 || Align8(9) != 16 {
+		t.Fatal("Align8 wrong")
+	}
+	if AlignUp(5, 4) != 8 || AlignUp(8, 4) != 8 || AlignUp(0, 16) != 0 {
+		t.Fatal("AlignUp wrong")
+	}
+	if !IsPowerOfTwo(1) || !IsPowerOfTwo(1024) || IsPowerOfTwo(0) || IsPowerOfTwo(12) {
+		t.Fatal("IsPowerOfTwo wrong")
+	}
+}

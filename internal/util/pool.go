@@ -1,0 +1,140 @@
+package util
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// SegmentPool hands out fixed-size byte segments and recycles them. The
+// transaction engine draws undo and redo buffer segments from a global pool
+// (paper §3.1, §3.4): segments are 4096 bytes by default, never move while in
+// use (version chains point into them), and are returned wholesale when the
+// garbage collector determines no transaction can still observe them.
+//
+// The pool tracks outstanding segments so tests can assert that the GC
+// eventually returns everything it took.
+type SegmentPool struct {
+	segmentSize int
+	pool        sync.Pool
+	outstanding atomic.Int64
+	allocated   atomic.Int64 // total segments ever created
+	reused      atomic.Int64 // gets served from the free list
+}
+
+// DefaultSegmentSize mirrors the paper's 4096-byte undo buffer segments.
+const DefaultSegmentSize = 4096
+
+// NewSegmentPool creates a pool that vends segments of segmentSize bytes.
+func NewSegmentPool(segmentSize int) *SegmentPool {
+	if segmentSize <= 0 {
+		segmentSize = DefaultSegmentSize
+	}
+	p := &SegmentPool{segmentSize: segmentSize}
+	p.pool.New = func() any {
+		p.allocated.Add(1)
+		return make([]byte, segmentSize)
+	}
+	return p
+}
+
+// SegmentSize returns the size in bytes of segments vended by this pool.
+func (p *SegmentPool) SegmentSize() int { return p.segmentSize }
+
+// Get returns a zero-length view of a pooled segment with full capacity.
+func (p *SegmentPool) Get() []byte {
+	seg := p.pool.Get().([]byte)
+	if cap(seg) != p.segmentSize {
+		// Foreign segment (should not happen); replace it.
+		seg = make([]byte, p.segmentSize)
+		p.allocated.Add(1)
+	} else {
+		p.reused.Add(1)
+	}
+	p.outstanding.Add(1)
+	return seg[:0]
+}
+
+// Put returns a segment to the pool. The caller must not retain references.
+func (p *SegmentPool) Put(seg []byte) {
+	if cap(seg) != p.segmentSize {
+		return
+	}
+	p.outstanding.Add(-1)
+	p.pool.Put(seg[:0:p.segmentSize])
+}
+
+// Outstanding reports segments currently checked out.
+func (p *SegmentPool) Outstanding() int64 { return p.outstanding.Load() }
+
+// Stats returns lifetime counters: total allocations and pool hits.
+func (p *SegmentPool) Stats() (allocated, reused int64) {
+	return p.allocated.Load(), p.reused.Load()
+}
+
+// BlockPool recycles large storage blocks (1 MB by default). Freed blocks —
+// emptied by compaction (paper §4.3 Phase 1) — return here instead of to the
+// runtime, mirroring DB-X's block allocator.
+type BlockPool struct {
+	blockSize int
+	mu        sync.Mutex
+	free      [][]byte
+	limit     int
+	allocated atomic.Int64
+	freed     atomic.Int64
+}
+
+// NewBlockPool creates a pool of blockSize-byte blocks keeping at most limit
+// free blocks cached (0 means a reasonable default).
+func NewBlockPool(blockSize, limit int) *BlockPool {
+	if limit <= 0 {
+		limit = 64
+	}
+	return &BlockPool{blockSize: blockSize, limit: limit}
+}
+
+// BlockSize returns the size of blocks vended by the pool.
+func (p *BlockPool) BlockSize() int { return p.blockSize }
+
+// Get returns a zeroed block.
+func (p *BlockPool) Get() []byte {
+	p.mu.Lock()
+	if n := len(p.free); n > 0 {
+		b := p.free[n-1]
+		p.free = p.free[:n-1]
+		p.mu.Unlock()
+		for i := range b {
+			b[i] = 0
+		}
+		return b
+	}
+	p.mu.Unlock()
+	p.allocated.Add(1)
+	return make([]byte, p.blockSize)
+}
+
+// Put returns a block to the pool; blocks beyond the cache limit are dropped
+// for the runtime GC to reclaim.
+func (p *BlockPool) Put(b []byte) {
+	if len(b) != p.blockSize {
+		return
+	}
+	p.freed.Add(1)
+	p.mu.Lock()
+	if len(p.free) < p.limit {
+		p.free = append(p.free, b)
+	}
+	p.mu.Unlock()
+}
+
+// Stats returns total blocks allocated from the runtime and total returned
+// to the pool over the pool's lifetime.
+func (p *BlockPool) Stats() (allocated, freed int64) {
+	return p.allocated.Load(), p.freed.Load()
+}
+
+// FreeCount returns the number of blocks currently cached.
+func (p *BlockPool) FreeCount() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.free)
+}

@@ -1,0 +1,92 @@
+package util
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestSegmentPoolBasics(t *testing.T) {
+	p := NewSegmentPool(1024)
+	if p.SegmentSize() != 1024 {
+		t.Fatalf("SegmentSize = %d", p.SegmentSize())
+	}
+	s := p.Get()
+	if len(s) != 0 || cap(s) != 1024 {
+		t.Fatalf("Get: len=%d cap=%d", len(s), cap(s))
+	}
+	if p.Outstanding() != 1 {
+		t.Fatalf("Outstanding = %d", p.Outstanding())
+	}
+	p.Put(s)
+	if p.Outstanding() != 0 {
+		t.Fatalf("Outstanding after Put = %d", p.Outstanding())
+	}
+}
+
+func TestSegmentPoolDefaultSize(t *testing.T) {
+	p := NewSegmentPool(0)
+	if p.SegmentSize() != DefaultSegmentSize {
+		t.Fatalf("default size = %d", p.SegmentSize())
+	}
+}
+
+func TestSegmentPoolRejectsForeign(t *testing.T) {
+	p := NewSegmentPool(64)
+	p.Put(make([]byte, 128)) // wrong size: ignored
+	if p.Outstanding() != 0 {
+		t.Fatalf("Outstanding = %d", p.Outstanding())
+	}
+}
+
+func TestSegmentPoolConcurrent(t *testing.T) {
+	p := NewSegmentPool(256)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				s := p.Get()
+				s = append(s, byte(i))
+				_ = s
+				p.Put(s)
+			}
+		}()
+	}
+	wg.Wait()
+	if p.Outstanding() != 0 {
+		t.Fatalf("Outstanding = %d after all returned", p.Outstanding())
+	}
+}
+
+func TestBlockPoolRecycles(t *testing.T) {
+	p := NewBlockPool(4096, 2)
+	b1 := p.Get()
+	if len(b1) != 4096 {
+		t.Fatalf("block len = %d", len(b1))
+	}
+	b1[0] = 0xFF
+	p.Put(b1)
+	b2 := p.Get()
+	if b2[0] != 0 {
+		t.Fatal("recycled block not zeroed")
+	}
+	alloc, freed := p.Stats()
+	if alloc != 1 || freed != 1 {
+		t.Fatalf("stats alloc=%d freed=%d", alloc, freed)
+	}
+}
+
+func TestBlockPoolLimit(t *testing.T) {
+	p := NewBlockPool(64, 1)
+	a, b := p.Get(), p.Get()
+	p.Put(a)
+	p.Put(b) // over limit: dropped
+	if p.FreeCount() != 1 {
+		t.Fatalf("FreeCount = %d, want 1", p.FreeCount())
+	}
+	p.Put(make([]byte, 32)) // wrong size ignored
+	if p.FreeCount() != 1 {
+		t.Fatalf("FreeCount after foreign put = %d", p.FreeCount())
+	}
+}

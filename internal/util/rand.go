@@ -1,0 +1,177 @@
+package util
+
+import "math"
+
+// Rand is a small, fast xorshift128+ pseudo-random generator. Workload
+// generators need per-goroutine RNGs without lock contention; math/rand's
+// global source serializes, and per-worker determinism makes benchmarks
+// repeatable.
+type Rand struct {
+	s0, s1 uint64
+}
+
+// NewRand seeds a generator. A zero seed is remapped to a fixed constant
+// because the xorshift state must be non-zero.
+func NewRand(seed uint64) *Rand {
+	if seed == 0 {
+		seed = 0x9E3779B97F4A7C15
+	}
+	r := &Rand{}
+	// SplitMix64 to spread the seed into two non-zero words.
+	for i := 0; i < 2; i++ {
+		seed += 0x9E3779B97F4A7C15
+		z := seed
+		z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+		z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+		z ^= z >> 31
+		if i == 0 {
+			r.s0 = z
+		} else {
+			r.s1 = z
+		}
+	}
+	if r.s0 == 0 && r.s1 == 0 {
+		r.s0 = 1
+	}
+	return r
+}
+
+// Uint64 returns the next 64 random bits.
+func (r *Rand) Uint64() uint64 {
+	x, y := r.s0, r.s1
+	r.s0 = y
+	x ^= x << 23
+	x ^= x >> 17
+	x ^= y ^ (y >> 26)
+	r.s1 = x
+	return x + y
+}
+
+// Intn returns a uniform int in [0, n). It panics if n <= 0.
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic("util: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// IntRange returns a uniform int in [lo, hi] inclusive, per the TPC-C
+// specification's random(x, y).
+func (r *Rand) IntRange(lo, hi int) int {
+	return lo + r.Intn(hi-lo+1)
+}
+
+// Float64 returns a uniform float64 in [0, 1).
+func (r *Rand) Float64() float64 {
+	return float64(r.Uint64()>>11) / float64(1<<53)
+}
+
+// NURand implements TPC-C's non-uniform random function
+// NURand(A, x, y) = (((random(0,A) | random(x,y)) + C) % (y-x+1)) + x.
+func (r *Rand) NURand(a, x, y, c int) int {
+	return ((r.IntRange(0, a)|r.IntRange(x, y))+c)%(y-x+1) + x
+}
+
+// Bytes fills dst with random bytes.
+func (r *Rand) Bytes(dst []byte) {
+	i := 0
+	for ; i+8 <= len(dst); i += 8 {
+		v := r.Uint64()
+		dst[i] = byte(v)
+		dst[i+1] = byte(v >> 8)
+		dst[i+2] = byte(v >> 16)
+		dst[i+3] = byte(v >> 24)
+		dst[i+4] = byte(v >> 32)
+		dst[i+5] = byte(v >> 40)
+		dst[i+6] = byte(v >> 48)
+		dst[i+7] = byte(v >> 56)
+	}
+	if i < len(dst) {
+		v := r.Uint64()
+		for ; i < len(dst); i++ {
+			dst[i] = byte(v)
+			v >>= 8
+		}
+	}
+}
+
+const alnum = "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789"
+
+// AlphaString returns a random alphanumeric string with length in [lo, hi].
+func (r *Rand) AlphaString(lo, hi int) string {
+	n := r.IntRange(lo, hi)
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = alnum[r.Intn(len(alnum))]
+	}
+	return string(b)
+}
+
+// NumString returns a random numeric string with length in [lo, hi].
+func (r *Rand) NumString(lo, hi int) string {
+	n := r.IntRange(lo, hi)
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte('0' + r.Intn(10))
+	}
+	return string(b)
+}
+
+// Perm returns a random permutation of [0, n) using Fisher-Yates.
+func (r *Rand) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// Zipf generates Zipfian-distributed values in [0, n) with skew theta,
+// following the Gray et al. quick method used by YCSB. Skewed access
+// patterns drive hot/cold separation experiments.
+type Zipf struct {
+	r     *Rand
+	n     uint64
+	theta float64
+	alpha float64
+	zetan float64
+	eta   float64
+}
+
+// NewZipf builds a Zipfian generator over [0, n). theta in (0, 1); common
+// choice 0.99. Construction is O(n) (zeta computation) — build once, reuse.
+func NewZipf(r *Rand, n uint64, theta float64) *Zipf {
+	z := &Zipf{r: r, n: n, theta: theta}
+	z.zetan = zeta(n, theta)
+	z.alpha = 1.0 / (1.0 - theta)
+	zeta2 := zeta(2, theta)
+	z.eta = (1 - pow(2.0/float64(n), 1-theta)) / (1 - zeta2/z.zetan)
+	return z
+}
+
+// Next returns the next Zipfian value.
+func (z *Zipf) Next() uint64 {
+	u := z.r.Float64()
+	uz := u * z.zetan
+	if uz < 1.0 {
+		return 0
+	}
+	if uz < 1.0+pow(0.5, z.theta) {
+		return 1
+	}
+	return uint64(float64(z.n) * pow(z.eta*u-z.eta+1, z.alpha))
+}
+
+func zeta(n uint64, theta float64) float64 {
+	sum := 0.0
+	for i := uint64(1); i <= n; i++ {
+		sum += 1 / pow(float64(i), theta)
+	}
+	return sum
+}
+
+func pow(x, y float64) float64 { return math.Pow(x, y) }

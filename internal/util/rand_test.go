@@ -1,0 +1,146 @@
+package util
+
+import "testing"
+
+func TestRandDeterminism(t *testing.T) {
+	a, b := NewRand(7), NewRand(7)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed diverged")
+		}
+	}
+	c := NewRand(8)
+	same := true
+	a2 := NewRand(7)
+	for i := 0; i < 10; i++ {
+		if a2.Uint64() != c.Uint64() {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical streams")
+	}
+}
+
+func TestRandZeroSeed(t *testing.T) {
+	r := NewRand(0)
+	if r.Uint64() == 0 && r.Uint64() == 0 && r.Uint64() == 0 {
+		t.Fatal("zero seed produced zero stream")
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	r := NewRand(1)
+	for i := 0; i < 10000; i++ {
+		v := r.Intn(17)
+		if v < 0 || v >= 17 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	r.Intn(0)
+}
+
+func TestIntRangeInclusive(t *testing.T) {
+	r := NewRand(2)
+	seen := map[int]bool{}
+	for i := 0; i < 10000; i++ {
+		v := r.IntRange(3, 5)
+		if v < 3 || v > 5 {
+			t.Fatalf("IntRange out of range: %d", v)
+		}
+		seen[v] = true
+	}
+	for v := 3; v <= 5; v++ {
+		if !seen[v] {
+			t.Fatalf("IntRange never produced %d", v)
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := NewRand(3)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %f", f)
+		}
+	}
+}
+
+func TestNURandRange(t *testing.T) {
+	r := NewRand(4)
+	for i := 0; i < 10000; i++ {
+		v := r.NURand(255, 0, 999, 123)
+		if v < 0 || v > 999 {
+			t.Fatalf("NURand out of range: %d", v)
+		}
+	}
+}
+
+func TestStringsAndBytes(t *testing.T) {
+	r := NewRand(5)
+	for i := 0; i < 100; i++ {
+		s := r.AlphaString(4, 10)
+		if len(s) < 4 || len(s) > 10 {
+			t.Fatalf("AlphaString len = %d", len(s))
+		}
+		n := r.NumString(2, 6)
+		if len(n) < 2 || len(n) > 6 {
+			t.Fatalf("NumString len = %d", len(n))
+		}
+		for _, c := range n {
+			if c < '0' || c > '9' {
+				t.Fatalf("NumString produced %q", n)
+			}
+		}
+	}
+	b := make([]byte, 37)
+	r.Bytes(b)
+	zeros := 0
+	for _, x := range b {
+		if x == 0 {
+			zeros++
+		}
+	}
+	if zeros == len(b) {
+		t.Fatal("Bytes produced all zeros")
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := NewRand(6)
+	p := r.Perm(50)
+	seen := make([]bool, 50)
+	for _, v := range p {
+		if v < 0 || v >= 50 || seen[v] {
+			t.Fatalf("invalid permutation %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	r := NewRand(9)
+	z := NewZipf(r, 1000, 0.99)
+	counts := make([]int, 1000)
+	const draws = 100000
+	for i := 0; i < draws; i++ {
+		v := z.Next()
+		if v >= 1000 {
+			t.Fatalf("zipf out of range: %d", v)
+		}
+		counts[v]++
+	}
+	// Item 0 must be much hotter than the median item.
+	if counts[0] < draws/100 {
+		t.Fatalf("zipf not skewed: counts[0] = %d", counts[0])
+	}
+	if counts[0] <= counts[500] {
+		t.Fatalf("zipf head (%d) not hotter than tail (%d)", counts[0], counts[500])
+	}
+}

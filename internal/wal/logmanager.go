@@ -1,0 +1,192 @@
+package wal
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mainline/internal/txn"
+)
+
+// Sink abstracts the durable device so tests can inject failures and
+// benchmarks can swap in a null device.
+type Sink interface {
+	Write(p []byte) (int, error)
+	Sync() error
+	Close() error
+}
+
+// FileSink is the production sink: an append-only file.
+type FileSink struct{ f *os.File }
+
+// OpenFileSink opens (creating or appending) the log file at path.
+func OpenFileSink(path string) (*FileSink, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("wal: opening log: %w", err)
+	}
+	return &FileSink{f: f}, nil
+}
+
+// Write appends to the file.
+func (s *FileSink) Write(p []byte) (int, error) { return s.f.Write(p) }
+
+// Sync fsyncs the file.
+func (s *FileSink) Sync() error { return s.f.Sync() }
+
+// Close closes the file.
+func (s *FileSink) Close() error { return s.f.Close() }
+
+// LogManager drains the commit flush queue, serializes redo buffers, groups
+// fsyncs, and fires durability callbacks (§3.4). One goroutine owns the
+// sink; transactions only enqueue.
+type LogManager struct {
+	sink Sink
+
+	mu      sync.Mutex
+	queue   []*txn.Transaction
+	nudge   chan struct{}
+	stopCh  chan struct{}
+	doneCh  chan struct{}
+	started atomic.Bool
+
+	// serialized batch buffer, reused across flushes
+	buf []byte
+
+	// Stats.
+	txnsLogged    atomic.Int64
+	bytesWritten  atomic.Int64
+	syncs         atomic.Int64
+	failedFlushes atomic.Int64
+
+	// OnError receives background flush errors (default: panic, because a
+	// storage engine must not silently lose durability).
+	OnError func(error)
+}
+
+// NewLogManager creates a manager writing to sink.
+func NewLogManager(sink Sink) *LogManager {
+	return &LogManager{
+		sink:  sink,
+		nudge: make(chan struct{}, 1),
+		OnError: func(err error) {
+			panic(fmt.Sprintf("wal: flush failed: %v", err))
+		},
+	}
+}
+
+// Hook returns the commit hook to install on the transaction manager: it
+// appends the committed transaction to the flush queue. The rest of the
+// system treats the transaction as committed immediately; results are
+// published to clients only via the durability callback.
+func (l *LogManager) Hook() txn.CommitHook {
+	return func(t *txn.Transaction) {
+		l.mu.Lock()
+		l.queue = append(l.queue, t)
+		l.mu.Unlock()
+		select {
+		case l.nudge <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// Start launches the flush goroutine. interval bounds how long a commit may
+// wait for its group; the queue nudge makes idle-system commits flush
+// immediately.
+func (l *LogManager) Start(interval time.Duration) {
+	if l.started.Swap(true) {
+		return
+	}
+	l.stopCh = make(chan struct{})
+	l.doneCh = make(chan struct{})
+	go func() {
+		defer close(l.doneCh)
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-l.stopCh:
+				l.FlushOnce()
+				return
+			case <-ticker.C:
+				l.FlushOnce()
+			case <-l.nudge:
+				l.FlushOnce()
+			}
+		}
+	}()
+}
+
+// Stop drains outstanding commits and halts the flush goroutine.
+func (l *LogManager) Stop() {
+	if !l.started.Swap(false) {
+		return
+	}
+	close(l.stopCh)
+	<-l.doneCh
+}
+
+// FlushOnce serializes every queued transaction, writes and syncs the sink,
+// then fires durability callbacks — one group commit.
+func (l *LogManager) FlushOnce() {
+	l.mu.Lock()
+	batch := l.queue
+	l.queue = nil
+	l.mu.Unlock()
+	if len(batch) == 0 {
+		return
+	}
+
+	buf := l.buf[:0]
+	for _, t := range batch {
+		redos := t.RedoRecords()
+		// Read-only transactions get a commit record in the queue but the
+		// manager skips writing it (paper §3.4); the callback still fires.
+		if len(redos) == 0 {
+			buf = AppendCommit(buf, t.CommitTs(), true)
+			continue
+		}
+		for _, r := range redos {
+			buf = AppendRedo(buf, t.CommitTs(), r)
+		}
+		buf = AppendCommit(buf, t.CommitTs(), false)
+	}
+	l.buf = buf
+
+	if _, err := l.sink.Write(buf); err != nil {
+		l.failedFlushes.Add(1)
+		l.OnError(err)
+		return
+	}
+	if err := l.sink.Sync(); err != nil {
+		l.failedFlushes.Add(1)
+		l.OnError(err)
+		return
+	}
+	l.syncs.Add(1)
+	l.bytesWritten.Add(int64(len(buf)))
+	l.txnsLogged.Add(int64(len(batch)))
+
+	// Durability achieved: release the commit callbacks.
+	for _, t := range batch {
+		t.InvokeDurableCallback()
+	}
+}
+
+// Stats reports lifetime counters: transactions logged, bytes written, and
+// fsync batches.
+func (l *LogManager) Stats() (txns, bytes, syncs int64) {
+	return l.txnsLogged.Load(), l.bytesWritten.Load(), l.syncs.Load()
+}
+
+// FailedFlushes reports flush errors survived via OnError.
+func (l *LogManager) FailedFlushes() int64 { return l.failedFlushes.Load() }
+
+// Close stops the manager and closes the sink.
+func (l *LogManager) Close() error {
+	l.Stop()
+	return l.sink.Close()
+}

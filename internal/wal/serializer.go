@@ -1,0 +1,223 @@
+// Package wal implements the paper's logging and recovery components
+// (§3.4): transactions accumulate physical after-images in redo buffers; at
+// commit the transaction joins the flush queue; a log manager goroutine
+// serializes queued buffers to disk, batches fsyncs (group commit), and
+// invokes durability callbacks afterwards. Records are ordered implicitly by
+// commit timestamp — there are no log sequence numbers.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+
+	"mainline/internal/storage"
+	"mainline/internal/txn"
+)
+
+// Record type tags in the on-disk format.
+const (
+	recRedo   byte = 2
+	recCommit byte = 1
+)
+
+// Errors returned by log deserialization.
+var (
+	// ErrCorrupt indicates a checksum mismatch; recovery treats everything
+	// from that point as a torn tail and stops.
+	ErrCorrupt = errors.New("wal: corrupt record")
+)
+
+// Framing: every record is [u32 payloadLen][u32 crc32c(payload)][payload].
+//
+// Redo payload:    [recRedo][u64 commitTs][u32 tableID][u64 slot][u8 kind][row?]
+// Commit payload:  [recCommit][u64 commitTs][u8 readOnly]
+//
+// Row encoding (present for inserts and updates):
+//
+//	[u16 ncols] then per column:
+//	[u16 colID][u8 flags] flags bit0=null bit1=varlen
+//	fixed non-null:  [u8 size][size bytes]
+//	varlen non-null: [u32 len][len bytes]
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// appendFrame wraps payload in the length+crc frame.
+func appendFrame(dst, payload []byte) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(payload)))
+	dst = binary.LittleEndian.AppendUint32(dst, crc32.Checksum(payload, crcTable))
+	return append(dst, payload...)
+}
+
+// AppendRedo serializes one redo record for a transaction committed at ts.
+func AppendRedo(dst []byte, ts uint64, r txn.RedoRecord) []byte {
+	payload := make([]byte, 0, 64)
+	payload = append(payload, recRedo)
+	payload = binary.LittleEndian.AppendUint64(payload, ts)
+	payload = binary.LittleEndian.AppendUint32(payload, r.TableID)
+	payload = binary.LittleEndian.AppendUint64(payload, uint64(r.Slot))
+	payload = append(payload, byte(r.Kind))
+	if r.After != nil {
+		payload = appendRow(payload, r.After)
+	} else {
+		payload = binary.LittleEndian.AppendUint16(payload, 0)
+	}
+	return appendFrame(dst, payload)
+}
+
+// AppendCommit serializes a commit record.
+func AppendCommit(dst []byte, ts uint64, readOnly bool) []byte {
+	payload := make([]byte, 0, 16)
+	payload = append(payload, recCommit)
+	payload = binary.LittleEndian.AppendUint64(payload, ts)
+	if readOnly {
+		payload = append(payload, 1)
+	} else {
+		payload = append(payload, 0)
+	}
+	return appendFrame(dst, payload)
+}
+
+func appendRow(dst []byte, row *storage.ProjectedRow) []byte {
+	dst = binary.LittleEndian.AppendUint16(dst, uint16(row.P.NumCols()))
+	for i, col := range row.P.Cols {
+		dst = binary.LittleEndian.AppendUint16(dst, uint16(col))
+		var flags byte
+		varlen := row.P.Layout.IsVarlen(col)
+		if varlen {
+			flags |= 2
+		}
+		if row.IsNull(i) {
+			flags |= 1
+			dst = append(dst, flags)
+			continue
+		}
+		dst = append(dst, flags)
+		if varlen {
+			v := row.Varlen(i)
+			dst = binary.LittleEndian.AppendUint32(dst, uint32(len(v)))
+			dst = append(dst, v...)
+		} else {
+			b := row.FixedBytes(i)
+			dst = append(dst, byte(len(b)))
+			dst = append(dst, b...)
+		}
+	}
+	return dst
+}
+
+// LogRecord is a decoded log entry.
+type LogRecord struct {
+	Type     byte
+	CommitTs uint64
+	ReadOnly bool
+
+	TableID uint32
+	Slot    storage.TupleSlot
+	Kind    storage.RecordKind
+	// Columns of the after-image (nil for deletes/commits).
+	Cols []LogColumn
+}
+
+// LogColumn is one column value of a logged after-image.
+type LogColumn struct {
+	Col    storage.ColumnID
+	Null   bool
+	Varlen bool
+	Value  []byte
+}
+
+// DecodeNext decodes one framed record from buf, returning the record and
+// the remaining bytes. io semantics: (nil, buf, nil) when buf holds a
+// partial frame — the torn tail after a crash.
+func DecodeNext(buf []byte) (*LogRecord, []byte, error) {
+	if len(buf) < 8 {
+		return nil, buf, nil
+	}
+	n := binary.LittleEndian.Uint32(buf)
+	crc := binary.LittleEndian.Uint32(buf[4:])
+	if len(buf) < 8+int(n) {
+		return nil, buf, nil // torn tail
+	}
+	payload := buf[8 : 8+n]
+	if crc32.Checksum(payload, crcTable) != crc {
+		return nil, buf, ErrCorrupt
+	}
+	rest := buf[8+n:]
+	rec, err := decodePayload(payload)
+	if err != nil {
+		return nil, buf, err
+	}
+	return rec, rest, nil
+}
+
+func decodePayload(p []byte) (*LogRecord, error) {
+	if len(p) < 9 {
+		return nil, fmt.Errorf("wal: short payload")
+	}
+	rec := &LogRecord{Type: p[0], CommitTs: binary.LittleEndian.Uint64(p[1:9])}
+	p = p[9:]
+	switch rec.Type {
+	case recCommit:
+		if len(p) < 1 {
+			return nil, fmt.Errorf("wal: short commit record")
+		}
+		rec.ReadOnly = p[0] == 1
+		return rec, nil
+	case recRedo:
+		if len(p) < 13 {
+			return nil, fmt.Errorf("wal: short redo record")
+		}
+		rec.TableID = binary.LittleEndian.Uint32(p)
+		rec.Slot = storage.TupleSlot(binary.LittleEndian.Uint64(p[4:]))
+		rec.Kind = storage.RecordKind(p[12])
+		p = p[13:]
+		if len(p) < 2 {
+			return nil, fmt.Errorf("wal: missing column count")
+		}
+		ncols := int(binary.LittleEndian.Uint16(p))
+		p = p[2:]
+		rec.Cols = make([]LogColumn, 0, ncols)
+		for i := 0; i < ncols; i++ {
+			if len(p) < 3 {
+				return nil, fmt.Errorf("wal: truncated column %d", i)
+			}
+			var c LogColumn
+			c.Col = storage.ColumnID(binary.LittleEndian.Uint16(p))
+			flags := p[2]
+			p = p[3:]
+			c.Null = flags&1 != 0
+			c.Varlen = flags&2 != 0
+			if !c.Null {
+				if c.Varlen {
+					if len(p) < 4 {
+						return nil, fmt.Errorf("wal: truncated varlen column %d", i)
+					}
+					vn := int(binary.LittleEndian.Uint32(p))
+					p = p[4:]
+					if len(p) < vn {
+						return nil, fmt.Errorf("wal: truncated varlen value %d", i)
+					}
+					c.Value = append([]byte(nil), p[:vn]...)
+					p = p[vn:]
+				} else {
+					if len(p) < 1 {
+						return nil, fmt.Errorf("wal: truncated fixed column %d", i)
+					}
+					fn := int(p[0])
+					p = p[1:]
+					if len(p) < fn {
+						return nil, fmt.Errorf("wal: truncated fixed value %d", i)
+					}
+					c.Value = append([]byte(nil), p[:fn]...)
+					p = p[fn:]
+				}
+			}
+			rec.Cols = append(rec.Cols, c)
+		}
+		return rec, nil
+	default:
+		return nil, fmt.Errorf("wal: unknown record type %d", rec.Type)
+	}
+}

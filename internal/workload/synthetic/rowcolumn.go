@@ -1,0 +1,153 @@
+// Package synthetic implements the paper's row-vs-column microbenchmark
+// (Figure 11): raw storage insert/update throughput as tuple width grows,
+// comparing the engine's columnar layout against a simulated row-store —
+// a single wide column holding all attributes contiguously, exactly as the
+// paper models it (§6.1 "Row vs. Column").
+package synthetic
+
+import (
+	"fmt"
+
+	"mainline/internal/core"
+	"mainline/internal/storage"
+	"mainline/internal/txn"
+	"mainline/internal/util"
+)
+
+// LayoutKind selects the physical shape.
+type LayoutKind int
+
+// Physical shapes.
+const (
+	// ColumnStore declares one 8-byte column per attribute.
+	ColumnStore LayoutKind = iota
+	// RowStore declares a single column of attrs*8 bytes.
+	RowStore
+)
+
+// String names the layout.
+func (k LayoutKind) String() string {
+	if k == RowStore {
+		return "row"
+	}
+	return "column"
+}
+
+// NewTable creates a table shaped for the experiment.
+func NewTable(reg *storage.Registry, kind LayoutKind, attrs int, id uint32) (*core.DataTable, error) {
+	var defs []storage.AttrDef
+	if kind == RowStore {
+		defs = []storage.AttrDef{storage.FixedAttr(uint16(attrs * 8))}
+	} else {
+		defs = make([]storage.AttrDef, attrs)
+		for i := range defs {
+			defs[i] = storage.FixedAttr(8)
+		}
+	}
+	layout, err := storage.NewBlockLayout(defs)
+	if err != nil {
+		return nil, err
+	}
+	return core.NewDataTable(reg, layout, id, fmt.Sprintf("synth-%s-%d", kind, attrs)), nil
+}
+
+// RunInserts inserts n tuples of `attrs` 8-byte attributes and returns the
+// number completed (for ops/sec accounting by the caller). One transaction
+// batches `batch` inserts to keep commit overhead proportional for both
+// layouts.
+func RunInserts(mgr *txn.Manager, table *core.DataTable, kind LayoutKind, attrs, n, batch int, seed uint64) (int, error) {
+	rng := util.NewRand(seed)
+	proj := table.AllColumnsProjection()
+	row := proj.NewRow()
+	done := 0
+	for done < n {
+		tx := mgr.Begin()
+		for i := 0; i < batch && done < n; i++ {
+			fillRow(row, kind, attrs, rng)
+			if _, err := table.Insert(tx, row); err != nil {
+				mgr.Abort(tx)
+				return done, err
+			}
+			done++
+		}
+		mgr.Commit(tx, nil)
+	}
+	return done, nil
+}
+
+func fillRow(row *storage.ProjectedRow, kind LayoutKind, attrs int, rng *util.Rand) {
+	if kind == RowStore {
+		rng.Bytes(row.FixedBytes(0))
+		row.Nulls.Clear(0)
+		return
+	}
+	for i := 0; i < attrs; i++ {
+		row.SetInt64(i, int64(rng.Uint64()))
+	}
+}
+
+// Populate inserts n tuples and returns their slots (update targets).
+func Populate(mgr *txn.Manager, table *core.DataTable, kind LayoutKind, attrs, n int, seed uint64) ([]storage.TupleSlot, error) {
+	rng := util.NewRand(seed)
+	proj := table.AllColumnsProjection()
+	row := proj.NewRow()
+	slots := make([]storage.TupleSlot, 0, n)
+	tx := mgr.Begin()
+	for i := 0; i < n; i++ {
+		fillRow(row, kind, attrs, rng)
+		slot, err := table.Insert(tx, row)
+		if err != nil {
+			mgr.Abort(tx)
+			return nil, err
+		}
+		slots = append(slots, slot)
+	}
+	mgr.Commit(tx, nil)
+	return slots, nil
+}
+
+// RunUpdates performs n updates touching `modified` attributes per update.
+// The column store updates exactly those columns (small before-images); the
+// row store must write through its single wide column, so its before-image
+// is always the whole tuple — the write-amplification asymmetry Figure 11
+// demonstrates.
+func RunUpdates(mgr *txn.Manager, table *core.DataTable, kind LayoutKind, attrs, modified, n, batch int, slots []storage.TupleSlot, seed uint64) (int, error) {
+	rng := util.NewRand(seed)
+	var proj *storage.Projection
+	if kind == RowStore {
+		proj = table.AllColumnsProjection()
+	} else {
+		cols := make([]storage.ColumnID, modified)
+		for i := range cols {
+			cols[i] = storage.ColumnID(i)
+		}
+		proj = storage.MustProjection(table.Layout(), cols)
+	}
+	row := proj.NewRow()
+	done := 0
+	for done < n {
+		tx := mgr.Begin()
+		for i := 0; i < batch && done < n; i++ {
+			slot := slots[rng.Intn(len(slots))]
+			if kind == RowStore {
+				// Touch the first `modified` attribute bytes; the column
+				// write still covers the whole wide attribute.
+				buf := row.FixedBytes(0)
+				rng.Bytes(buf[:modified*8])
+				row.Nulls.Clear(0)
+			} else {
+				for c := 0; c < modified; c++ {
+					row.SetInt64(c, int64(rng.Uint64()))
+				}
+			}
+			if err := table.Update(tx, slot, row); err != nil {
+				// Conflicts cannot happen single-threaded; surface others.
+				mgr.Abort(tx)
+				return done, err
+			}
+			done++
+		}
+		mgr.Commit(tx, nil)
+	}
+	return done, nil
+}

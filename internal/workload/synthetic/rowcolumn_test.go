@@ -1,0 +1,100 @@
+package synthetic
+
+import (
+	"testing"
+
+	"mainline/internal/storage"
+	"mainline/internal/txn"
+)
+
+func TestNewTableShapes(t *testing.T) {
+	reg := storage.NewRegistry()
+	col, err := NewTable(reg, ColumnStore, 16, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if col.Layout().NumColumns() != 16 {
+		t.Fatalf("column layout has %d columns", col.Layout().NumColumns())
+	}
+	row, err := NewTable(reg, RowStore, 16, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.Layout().NumColumns() != 1 || row.Layout().AttrSize(0) != 128 {
+		t.Fatalf("row layout: %d cols, size %d", row.Layout().NumColumns(), row.Layout().AttrSize(0))
+	}
+	if ColumnStore.String() != "column" || RowStore.String() != "row" {
+		t.Fatal("kind names wrong")
+	}
+}
+
+func TestInsertsAndUpdatesBothLayouts(t *testing.T) {
+	for _, kind := range []LayoutKind{ColumnStore, RowStore} {
+		reg := storage.NewRegistry()
+		mgr := txn.NewManager(reg)
+		table, err := NewTable(reg, kind, 8, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		done, err := RunInserts(mgr, table, kind, 8, 500, 64, 3)
+		if err != nil || done != 500 {
+			t.Fatalf("%s inserts: %d %v", kind, done, err)
+		}
+		slots, err := Populate(mgr, table, kind, 8, 100, 4)
+		if err != nil || len(slots) != 100 {
+			t.Fatalf("%s populate: %v", kind, err)
+		}
+		done, err = RunUpdates(mgr, table, kind, 8, 4, 300, 64, slots, 5)
+		if err != nil || done != 300 {
+			t.Fatalf("%s updates: %d %v", kind, done, err)
+		}
+		tx := mgr.Begin()
+		if got := table.CountVisible(tx); got != 600 {
+			t.Fatalf("%s visible = %d", kind, got)
+		}
+		mgr.Commit(tx, nil)
+	}
+}
+
+// The row-store's write amplification: its update before-image is always
+// the full tuple, while the column store's covers only modified columns.
+func TestRowStoreDeltaGranularity(t *testing.T) {
+	reg := storage.NewRegistry()
+	mgr := txn.NewManager(reg)
+	rowTable, _ := NewTable(reg, RowStore, 64, 1)
+	colTable, _ := NewTable(reg, ColumnStore, 64, 2)
+	rowSlots, err := Populate(mgr, rowTable, RowStore, 64, 10, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	colSlots, err := Populate(mgr, colTable, ColumnStore, 64, 10, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunUpdates(mgr, rowTable, RowStore, 64, 1, 1, 1, rowSlots, 7); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunUpdates(mgr, colTable, ColumnStore, 64, 1, 1, 1, colSlots, 7); err != nil {
+		t.Fatal(err)
+	}
+	// Inspect the newest undo records' delta sizes.
+	rowBlock := reg.BlockFor(rowSlots[0])
+	colBlock := reg.BlockFor(colSlots[0])
+	var rowDelta, colDelta int
+	for s := uint32(0); s < rowBlock.InsertHead(); s++ {
+		if rec := rowBlock.VersionPtr(s); rec != nil && rec.Kind == storage.KindUpdate {
+			rowDelta = rec.Delta.SizeBytes()
+		}
+	}
+	for s := uint32(0); s < colBlock.InsertHead(); s++ {
+		if rec := colBlock.VersionPtr(s); rec != nil && rec.Kind == storage.KindUpdate {
+			colDelta = rec.Delta.SizeBytes()
+		}
+	}
+	if rowDelta == 0 || colDelta == 0 {
+		t.Fatalf("missing update records: row=%d col=%d", rowDelta, colDelta)
+	}
+	if rowDelta <= colDelta*8 {
+		t.Fatalf("row delta (%d) should dwarf single-column delta (%d)", rowDelta, colDelta)
+	}
+}

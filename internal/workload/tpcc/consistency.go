@@ -1,0 +1,132 @@
+package tpcc
+
+import (
+	"fmt"
+
+	"mainline/internal/storage"
+)
+
+// CheckConsistency runs the TPC-C consistency conditions the specification
+// defines for auditing a database after a measurement interval (§3.3.2):
+//
+//	C1: W_YTD = sum(D_YTD) for every warehouse.
+//	C2: D_NEXT_O_ID - 1 = max(O_ID) = max(NO_O_ID) per district (when
+//	    undelivered orders remain).
+//	C3: max(NO_O_ID) - min(NO_O_ID) + 1 = count(NEW_ORDER rows) per
+//	    district.
+//	C4: sum(O_OL_CNT) = count(ORDER_LINE rows) per district.
+func CheckConsistency(db *Database) error {
+	p := db.buildProjections()
+	tx := db.Mgr.Begin()
+	defer db.Mgr.Commit(tx, nil)
+
+	// Gather district aggregates.
+	type distAgg struct {
+		ytd     int64
+		nextOID int32
+	}
+	districts := map[[2]int32]*distAgg{}
+	dRow := storage.MustProjection(db.District.Layout(), []storage.ColumnID{DID, DWID, DYtd, DNextOID}).NewRow()
+	_ = db.District.Scan(tx, dRow.P, func(_ storage.TupleSlot, r *storage.ProjectedRow) bool {
+		districts[[2]int32{r.Int32(1), r.Int32(0)}] = &distAgg{ytd: r.Int64(2), nextOID: r.Int32(3)}
+		return true
+	})
+
+	// C1: warehouse YTD equals the sum of its districts'.
+	wProj := storage.MustProjection(db.Warehouse.Layout(), []storage.ColumnID{WID, WYtd})
+	var c1Err error
+	_ = db.Warehouse.Scan(tx, wProj, func(_ storage.TupleSlot, r *storage.ProjectedRow) bool {
+		w := r.Int32(0)
+		sum := int64(0)
+		for key, agg := range districts {
+			if key[0] == w {
+				sum += agg.ytd
+			}
+		}
+		if r.Int64(1) != sum {
+			c1Err = fmt.Errorf("tpcc C1: W%d ytd=%d, sum(D_YTD)=%d", w, r.Int64(1), sum)
+			return false
+		}
+		return true
+	})
+	if c1Err != nil {
+		return c1Err
+	}
+
+	// Aggregates over ORDER, NEW_ORDER, ORDER_LINE.
+	type oAgg struct {
+		maxOID   int32
+		olCntSum int64
+	}
+	orders := map[[2]int32]*oAgg{}
+	oProj := storage.MustProjection(db.Order.Layout(), []storage.ColumnID{OID, ODID, OWID, OOlCnt})
+	_ = db.Order.Scan(tx, oProj, func(_ storage.TupleSlot, r *storage.ProjectedRow) bool {
+		key := [2]int32{r.Int32(2), r.Int32(1)}
+		agg := orders[key]
+		if agg == nil {
+			agg = &oAgg{}
+			orders[key] = agg
+		}
+		if r.Int32(0) > agg.maxOID {
+			agg.maxOID = r.Int32(0)
+		}
+		agg.olCntSum += int64(r.Int32(3))
+		return true
+	})
+	type noAgg struct {
+		minOID, maxOID int32
+		count          int64
+	}
+	newOrders := map[[2]int32]*noAgg{}
+	noProj := storage.MustProjection(db.NewOrder.Layout(), []storage.ColumnID{NOOID, NODID, NOWID})
+	_ = db.NewOrder.Scan(tx, noProj, func(_ storage.TupleSlot, r *storage.ProjectedRow) bool {
+		key := [2]int32{r.Int32(2), r.Int32(1)}
+		agg := newOrders[key]
+		if agg == nil {
+			agg = &noAgg{minOID: 1 << 30}
+			newOrders[key] = agg
+		}
+		o := r.Int32(0)
+		if o < agg.minOID {
+			agg.minOID = o
+		}
+		if o > agg.maxOID {
+			agg.maxOID = o
+		}
+		agg.count++
+		return true
+	})
+	olCounts := map[[2]int32]int64{}
+	olProj := storage.MustProjection(db.OrderLine.Layout(), []storage.ColumnID{OLDID, OLWID})
+	_ = db.OrderLine.Scan(tx, olProj, func(_ storage.TupleSlot, r *storage.ProjectedRow) bool {
+		olCounts[[2]int32{r.Int32(1), r.Int32(0)}]++
+		return true
+	})
+
+	for key, d := range districts {
+		oa := orders[key]
+		if oa == nil {
+			continue
+		}
+		// C2: d_next_o_id - 1 == max(o_id); and == max(no_o_id) when
+		// undelivered orders remain.
+		if d.nextOID-1 != oa.maxOID {
+			return fmt.Errorf("tpcc C2: W%dD%d next_o_id-1=%d max(O_ID)=%d", key[0], key[1], d.nextOID-1, oa.maxOID)
+		}
+		if na := newOrders[key]; na != nil && na.count > 0 {
+			if d.nextOID-1 != na.maxOID {
+				return fmt.Errorf("tpcc C2: W%dD%d next_o_id-1=%d max(NO_O_ID)=%d", key[0], key[1], d.nextOID-1, na.maxOID)
+			}
+			// C3: contiguous NEW_ORDER ids.
+			if na.maxOID-na.minOID+1 != int32(na.count) {
+				return fmt.Errorf("tpcc C3: W%dD%d new_order ids not contiguous: [%d,%d] count %d", key[0], key[1], na.minOID, na.maxOID, na.count)
+			}
+		}
+		// C4: sum(o_ol_cnt) == count(order_line).
+		if oa.olCntSum != olCounts[key] {
+			return fmt.Errorf("tpcc C4: W%dD%d sum(ol_cnt)=%d order_lines=%d", key[0], key[1], oa.olCntSum, olCounts[key])
+		}
+	}
+	_ = p
+	return nil
+}

@@ -1,0 +1,103 @@
+package tpcc
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// RunResult reports a driver run.
+type RunResult struct {
+	// Committed counts committed transactions per profile
+	// [NewOrder, Payment, OrderStatus, Delivery, StockLevel].
+	Committed [5]int64
+	// Aborted counts conflict aborts (user aborts excluded).
+	Aborted int64
+	// Elapsed is wall-clock run time.
+	Elapsed time.Duration
+}
+
+// Total sums committed transactions.
+func (r *RunResult) Total() int64 {
+	t := int64(0)
+	for _, c := range r.Committed {
+		t += c
+	}
+	return t
+}
+
+// Throughput returns committed transactions per second.
+func (r *RunResult) Throughput() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Total()) / r.Elapsed.Seconds()
+}
+
+// Run drives `workers` goroutines — one home warehouse each (wrapping when
+// workers exceed warehouses) — for the given duration.
+func Run(db *Database, p *projections, workers int, duration time.Duration, seed uint64) *RunResult {
+	var committed [5]atomic.Int64
+	var aborted atomic.Int64
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			w := int32(i%db.Cfg.Warehouses) + 1
+			wk := NewWorker(db, p, w, seed+uint64(i)*7919)
+			for {
+				select {
+				case <-stop:
+					aborted.Add(int64(wk.Aborts))
+					return
+				default:
+				}
+				profile, ok := wk.RunOne()
+				if ok {
+					committed[profile].Add(1)
+				}
+			}
+		}(i)
+	}
+	time.Sleep(duration)
+	close(stop)
+	wg.Wait()
+	res := &RunResult{Elapsed: time.Since(start), Aborted: aborted.Load()}
+	for i := range res.Committed {
+		res.Committed[i] = committed[i].Load()
+	}
+	return res
+}
+
+// RunCount drives each worker for a fixed number of transactions (tests:
+// deterministic work instead of wall-clock).
+func RunCount(db *Database, p *projections, workers, txnsPerWorker int, seed uint64) *RunResult {
+	var committed [5]atomic.Int64
+	var aborted atomic.Int64
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			w := int32(i%db.Cfg.Warehouses) + 1
+			wk := NewWorker(db, p, w, seed+uint64(i)*7919)
+			for n := 0; n < txnsPerWorker; n++ {
+				profile, ok := wk.RunOne()
+				if ok {
+					committed[profile].Add(1)
+				}
+			}
+			aborted.Add(int64(wk.Aborts))
+		}(i)
+	}
+	wg.Wait()
+	res := &RunResult{Elapsed: time.Since(start), Aborted: aborted.Load()}
+	for i := range res.Committed {
+		res.Committed[i] = committed[i].Load()
+	}
+	return res
+}

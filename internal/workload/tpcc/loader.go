@@ -1,0 +1,311 @@
+package tpcc
+
+import (
+	"fmt"
+	"time"
+
+	"mainline/internal/storage"
+	"mainline/internal/txn"
+	"mainline/internal/util"
+)
+
+// Last-name syllables per the TPC-C specification (§4.3.2.3).
+var lastNameParts = []string{"BAR", "OUGHT", "ABLE", "PRI", "PRES", "ESE", "ANTI", "CALLY", "ATION", "EING"}
+
+// LastName renders spec last name number n (0-999).
+func LastName(n int) string {
+	return lastNameParts[n/100] + lastNameParts[(n/10)%10] + lastNameParts[n%10]
+}
+
+// NURand constants fixed at load time (the spec randomizes C; one value is
+// fine for reproduction).
+const (
+	cLastC = 123
+	cIDC   = 259
+	iIDC   = 7911
+)
+
+// Loader populates the database.
+type Loader struct {
+	db  *Database
+	rng *util.Rand
+	p   *projections
+	now int64
+}
+
+// Load populates all nine tables and their indexes, returning the cached
+// projections used by the transaction profiles.
+func Load(db *Database, seed uint64) (*projections, error) {
+	l := &Loader{db: db, rng: util.NewRand(seed), p: db.buildProjections(), now: time.Now().UnixNano()}
+	if err := l.loadItems(); err != nil {
+		return nil, err
+	}
+	for w := 1; w <= db.Cfg.Warehouses; w++ {
+		if err := l.loadWarehouse(int32(w)); err != nil {
+			return nil, err
+		}
+	}
+	return l.p, nil
+}
+
+// insert wraps a single-row load transaction. Loading batches many rows
+// per transaction for speed.
+func (l *Loader) batch(fn func(tx *txnHandle) error) error {
+	tx := l.db.Mgr.Begin()
+	h := &txnHandle{db: l.db, tx: tx}
+	if err := fn(h); err != nil {
+		l.db.Mgr.Abort(tx)
+		return err
+	}
+	l.db.Mgr.Commit(tx, nil)
+	return nil
+}
+
+func (l *Loader) loadItems() error {
+	return l.batch(func(h *txnHandle) error {
+		row := l.p.iAll.NewRow()
+		for i := 1; i <= l.db.Cfg.Items; i++ {
+			row.Reset()
+			row.SetInt32(IID, int32(i))
+			row.SetInt32(IImID, int32(l.rng.IntRange(1, 10000)))
+			row.SetVarlen(IName, []byte(l.rng.AlphaString(14, 24)))
+			row.SetInt64(IPrice, int64(l.rng.IntRange(100, 10000)))
+			data := l.rng.AlphaString(26, 50)
+			if l.rng.Intn(10) == 0 {
+				data = data[:8] + "ORIGINAL" + data[16:]
+			}
+			row.SetVarlen(IData, []byte(data))
+			slot, err := l.db.Item.Insert(h.tx, row)
+			if err != nil {
+				return err
+			}
+			l.db.ItemPK.Insert(iKey(int32(i)), slot)
+		}
+		return nil
+	})
+}
+
+func (l *Loader) loadWarehouse(w int32) error {
+	err := l.batch(func(h *txnHandle) error {
+		row := l.p.wAll.NewRow()
+		row.SetInt32(WID, w)
+		row.SetVarlen(WName, []byte(l.rng.AlphaString(6, 10)))
+		l.address(row, WStreet1)
+		row.SetInt64(WTax, int64(l.rng.IntRange(0, 2000)))
+		row.SetInt64(WYtd, 30000000) // 300,000.00
+		slot, err := l.db.Warehouse.Insert(h.tx, row)
+		if err != nil {
+			return err
+		}
+		l.db.WarehousePK.Insert(wKey(w), slot)
+
+		// Stock for every item.
+		srow := l.p.sAll.NewRow()
+		for i := 1; i <= l.db.Cfg.Items; i++ {
+			srow.Reset()
+			srow.SetInt32(SIID, int32(i))
+			srow.SetInt32(SWID, w)
+			srow.SetInt32(SQuantity, int32(l.rng.IntRange(10, 100)))
+			for d := 0; d < 10; d++ {
+				srow.SetVarlen(SDist01+d, []byte(l.rng.AlphaString(24, 24)))
+			}
+			srow.SetInt64(SYtd, 0)
+			srow.SetInt32(SOrderCnt, 0)
+			srow.SetInt32(SRemoteCnt, 0)
+			data := l.rng.AlphaString(26, 50)
+			if l.rng.Intn(10) == 0 {
+				data = data[:8] + "ORIGINAL" + data[16:]
+			}
+			srow.SetVarlen(SData, []byte(data))
+			slot, err := l.db.Stock.Insert(h.tx, srow)
+			if err != nil {
+				return err
+			}
+			l.db.StockPK.Insert(sKey(w, int32(i)), slot)
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	for d := 1; d <= l.db.Cfg.DistrictsPerWarehouse; d++ {
+		if err := l.loadDistrict(w, int32(d)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (l *Loader) address(row *storage.ProjectedRow, firstCol int) {
+	row.SetVarlen(firstCol, []byte(l.rng.AlphaString(10, 20)))   // street_1
+	row.SetVarlen(firstCol+1, []byte(l.rng.AlphaString(10, 20))) // street_2
+	row.SetVarlen(firstCol+2, []byte(l.rng.AlphaString(10, 20))) // city
+	row.SetVarlen(firstCol+3, []byte(l.rng.AlphaString(2, 2)))   // state
+	row.SetVarlen(firstCol+4, []byte(l.rng.NumString(4, 4)+"11111"))
+}
+
+func (l *Loader) loadDistrict(w, d int32) error {
+	cfg := l.db.Cfg
+	err := l.batch(func(h *txnHandle) error {
+		row := l.p.dAll.NewRow()
+		row.SetInt32(DID, d)
+		row.SetInt32(DWID, w)
+		row.SetVarlen(DName, []byte(l.rng.AlphaString(6, 10)))
+		l.address(row, DStreet1)
+		row.SetInt64(DTax, int64(l.rng.IntRange(0, 2000)))
+		row.SetInt64(DYtd, 3000000) // 30,000.00
+		row.SetInt32(DNextOID, int32(cfg.InitialOrders+1))
+		slot, err := l.db.District.Insert(h.tx, row)
+		if err != nil {
+			return err
+		}
+		l.db.DistrictPK.Insert(dKey(w, d), slot)
+
+		// Customers + one history row each.
+		crow := l.p.cAll.NewRow()
+		hrow := l.p.hAll.NewRow()
+		for c := 1; c <= cfg.CustomersPerDistrict; c++ {
+			crow.Reset()
+			crow.SetInt32(CID, int32(c))
+			crow.SetInt32(CDID, d)
+			crow.SetInt32(CWID, w)
+			crow.SetVarlen(CFirst, []byte(l.rng.AlphaString(8, 16)))
+			crow.SetVarlen(CMiddle, []byte("OE"))
+			var last string
+			if c <= 1000 {
+				last = LastName(c - 1)
+			} else {
+				last = LastName(l.rng.NURand(255, 0, 999, cLastC))
+			}
+			crow.SetVarlen(CLast, []byte(last))
+			l.address(crow, CStreet1)
+			crow.SetVarlen(CPhone, []byte(l.rng.NumString(16, 16)))
+			crow.SetInt64(CSince, l.now)
+			credit := "GC"
+			if l.rng.Intn(10) == 0 {
+				credit = "BC"
+			}
+			crow.SetVarlen(CCredit, []byte(credit))
+			crow.SetInt64(CCreditLim, 5000000)
+			crow.SetInt64(CDiscount, int64(l.rng.IntRange(0, 5000)))
+			crow.SetInt64(CBalance, -1000)
+			crow.SetInt64(CYtdPayment, 1000)
+			crow.SetInt32(CPaymentCnt, 1)
+			crow.SetInt32(CDeliveryCnt, 0)
+			crow.SetVarlen(CData, []byte(l.rng.AlphaString(300, 500)))
+			cslot, err := l.db.Customer.Insert(h.tx, crow)
+			if err != nil {
+				return err
+			}
+			l.db.CustomerPK.Insert(cKey(w, d, int32(c)), cslot)
+			l.db.CustomerND.Insert(cNameKey(w, d, last, string(crow.Varlen(CFirst))), cslot)
+
+			hrow.Reset()
+			hrow.SetInt32(HCID, int32(c))
+			hrow.SetInt32(HCDID, d)
+			hrow.SetInt32(HCWID, w)
+			hrow.SetInt32(HDID, d)
+			hrow.SetInt32(HWID, w)
+			hrow.SetInt64(HDate, l.now)
+			hrow.SetInt64(HAmount, 1000)
+			hrow.SetVarlen(HData, []byte(l.rng.AlphaString(12, 24)))
+			if _, err := l.db.History.Insert(h.tx, hrow); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	return l.loadOrders(w, d)
+}
+
+func (l *Loader) loadOrders(w, d int32) error {
+	cfg := l.db.Cfg
+	return l.batch(func(h *txnHandle) error {
+		// Orders reference customers in a random permutation (spec).
+		perm := l.rng.Perm(cfg.CustomersPerDistrict)
+		orow := l.p.oAll.NewRow()
+		olrow := l.p.olAll.NewRow()
+		norow := l.p.noAll.NewRow()
+		for o := 1; o <= cfg.InitialOrders; o++ {
+			cid := int32(perm[(o-1)%len(perm)] + 1)
+			olCnt := l.rng.IntRange(5, 15)
+			delivered := o <= cfg.InitialOrders*7/10 // last ~30% undelivered
+			orow.Reset()
+			orow.SetInt32(OID, int32(o))
+			orow.SetInt32(ODID, d)
+			orow.SetInt32(OWID, w)
+			orow.SetInt32(OCID, cid)
+			orow.SetInt64(OEntryD, l.now)
+			if delivered {
+				orow.SetInt32(OCarrierID, int32(l.rng.IntRange(1, 10)))
+			} else {
+				orow.SetNull(OCarrierID)
+			}
+			orow.SetInt32(OOlCnt, int32(olCnt))
+			orow.SetInt32(OAllLocal, 1)
+			oslot, err := l.db.Order.Insert(h.tx, orow)
+			if err != nil {
+				return err
+			}
+			l.db.OrderPK.Insert(oKey(w, d, int32(o)), oslot)
+			l.db.OrderCust.Insert(oCustKey(w, d, cid, int32(o)), oslot)
+
+			for n := 1; n <= olCnt; n++ {
+				olrow.Reset()
+				olrow.SetInt32(OLOID, int32(o))
+				olrow.SetInt32(OLDID, d)
+				olrow.SetInt32(OLWID, w)
+				olrow.SetInt32(OLNumber, int32(n))
+				olrow.SetInt32(OLIID, int32(l.rng.IntRange(1, cfg.Items)))
+				olrow.SetInt32(OLSupplyWID, w)
+				if delivered {
+					olrow.SetInt64(OLDeliveryD, l.now)
+					olrow.SetInt64(OLAmount, 0)
+				} else {
+					olrow.SetNull(OLDeliveryD)
+					olrow.SetInt64(OLAmount, int64(l.rng.IntRange(1, 999999)))
+				}
+				olrow.SetInt32(OLQuantity, 5)
+				olrow.SetVarlen(OLDistInfo, []byte(l.rng.AlphaString(24, 24)))
+				olslot, err := l.db.OrderLine.Insert(h.tx, olrow)
+				if err != nil {
+					return err
+				}
+				l.db.OrderLinePK.Insert(olKey(w, d, int32(o), int32(n)), olslot)
+			}
+			if !delivered {
+				norow.Reset()
+				norow.SetInt32(NOOID, int32(o))
+				norow.SetInt32(NODID, d)
+				norow.SetInt32(NOWID, w)
+				noslot, err := l.db.NewOrder.Insert(h.tx, norow)
+				if err != nil {
+					return err
+				}
+				l.db.NewOrderPK.Insert(oKey(w, d, int32(o)), noslot)
+			}
+		}
+		return nil
+	})
+}
+
+// txnHandle carries a transaction through loader helpers.
+type txnHandle struct {
+	db *Database
+	tx *txn.Transaction
+}
+
+func init() {
+	// Sanity: the stock schema positions must match the declared constants.
+	s := stockSchema()
+	if s.Fields[SYtd].Name != "s_ytd" || s.Fields[SData].Name != "s_data" {
+		panic(fmt.Sprintf("tpcc: stock schema misaligned: %v", s.Fields))
+	}
+	c := customerSchema()
+	if c.Fields[CData].Name != "c_data" {
+		panic("tpcc: customer schema misaligned")
+	}
+}

@@ -1,0 +1,425 @@
+// Package tpcc implements the TPC-C benchmark (paper §6.1) against the
+// storage engine: the nine tables, population per the specification's
+// domains (with a configurable scale so laptops can run it), the five
+// transaction profiles with the standard mix, a multi-worker driver with
+// one warehouse per worker, and the specification's consistency checks.
+//
+// Money values are stored as int64 hundredths (cents); dates as Unix
+// nanoseconds. All keys are memcomparable composites starting with the
+// warehouse ID, so sharded indexes give warehouse-partitioned concurrency.
+package tpcc
+
+import (
+	"fmt"
+
+	"mainline/internal/arrow"
+	"mainline/internal/catalog"
+	"mainline/internal/index"
+	"mainline/internal/storage"
+	"mainline/internal/txn"
+)
+
+// Config scales the database. Defaults follow the spec's ratios at reduced
+// absolute size; Full() restores spec sizes.
+type Config struct {
+	Warehouses            int
+	DistrictsPerWarehouse int
+	CustomersPerDistrict  int
+	Items                 int
+	InitialOrders         int // per district
+	// IndexShards spreads index write locks; 0 derives from Warehouses.
+	IndexShards int
+}
+
+// DefaultConfig is a laptop-scale configuration preserving spec ratios.
+func DefaultConfig(warehouses int) Config {
+	return Config{
+		Warehouses:            warehouses,
+		DistrictsPerWarehouse: 10,
+		CustomersPerDistrict:  30,
+		Items:                 1000,
+		InitialOrders:         30,
+	}
+}
+
+// Full returns the specification-sized configuration (100 K items, 3 K
+// customers and orders per district).
+func Full(warehouses int) Config {
+	return Config{
+		Warehouses:            warehouses,
+		DistrictsPerWarehouse: 10,
+		CustomersPerDistrict:  3000,
+		Items:                 100000,
+		InitialOrders:         3000,
+	}
+}
+
+func (c *Config) shards() int {
+	if c.IndexShards > 0 {
+		return c.IndexShards
+	}
+	n := c.Warehouses
+	if n < 4 {
+		n = 4
+	}
+	return n
+}
+
+// Column positions per table, in schema order.
+// WAREHOUSE
+const (
+	WID = iota
+	WName
+	WStreet1
+	WStreet2
+	WCity
+	WState
+	WZip
+	WTax
+	WYtd
+)
+
+// DISTRICT
+const (
+	DID = iota
+	DWID
+	DName
+	DStreet1
+	DStreet2
+	DCity
+	DState
+	DZip
+	DTax
+	DYtd
+	DNextOID
+)
+
+// CUSTOMER
+const (
+	CID = iota
+	CDID
+	CWID
+	CFirst
+	CMiddle
+	CLast
+	CStreet1
+	CStreet2
+	CCity
+	CState
+	CZip
+	CPhone
+	CSince
+	CCredit
+	CCreditLim
+	CDiscount
+	CBalance
+	CYtdPayment
+	CPaymentCnt
+	CDeliveryCnt
+	CData
+)
+
+// HISTORY
+const (
+	HCID = iota
+	HCDID
+	HCWID
+	HDID
+	HWID
+	HDate
+	HAmount
+	HData
+)
+
+// NEW_ORDER
+const (
+	NOOID = iota
+	NODID
+	NOWID
+)
+
+// ORDER
+const (
+	OID = iota
+	ODID
+	OWID
+	OCID
+	OEntryD
+	OCarrierID
+	OOlCnt
+	OAllLocal
+)
+
+// ORDER_LINE
+const (
+	OLOID = iota
+	OLDID
+	OLWID
+	OLNumber
+	OLIID
+	OLSupplyWID
+	OLDeliveryD
+	OLQuantity
+	OLAmount
+	OLDistInfo
+)
+
+// ITEM
+const (
+	IID = iota
+	IImID
+	IName
+	IPrice
+	IData
+)
+
+// STOCK
+const (
+	SIID       = 0
+	SWID       = 1
+	SQuantity  = 2
+	SDist01    = 3 // s_dist_01 .. s_dist_10 occupy columns 3..12
+	SYtd       = 13
+	SOrderCnt  = 14
+	SRemoteCnt = 15
+	SData      = 16
+)
+
+func i32(name string) arrow.Field  { return arrow.Field{Name: name, Type: arrow.INT32} }
+func i64(name string) arrow.Field  { return arrow.Field{Name: name, Type: arrow.INT64} }
+func str(name string) arrow.Field  { return arrow.Field{Name: name, Type: arrow.STRING} }
+func i32n(name string) arrow.Field { return arrow.Field{Name: name, Type: arrow.INT32, Nullable: true} }
+func i64n(name string) arrow.Field { return arrow.Field{Name: name, Type: arrow.INT64, Nullable: true} }
+
+func warehouseSchema() *arrow.Schema {
+	return arrow.NewSchema(i32("w_id"), str("w_name"), str("w_street_1"), str("w_street_2"),
+		str("w_city"), str("w_state"), str("w_zip"), i64("w_tax"), i64("w_ytd"))
+}
+
+func districtSchema() *arrow.Schema {
+	return arrow.NewSchema(i32("d_id"), i32("d_w_id"), str("d_name"), str("d_street_1"),
+		str("d_street_2"), str("d_city"), str("d_state"), str("d_zip"), i64("d_tax"),
+		i64("d_ytd"), i32("d_next_o_id"))
+}
+
+func customerSchema() *arrow.Schema {
+	return arrow.NewSchema(i32("c_id"), i32("c_d_id"), i32("c_w_id"), str("c_first"),
+		str("c_middle"), str("c_last"), str("c_street_1"), str("c_street_2"), str("c_city"),
+		str("c_state"), str("c_zip"), str("c_phone"), i64("c_since"), str("c_credit"),
+		i64("c_credit_lim"), i64("c_discount"), i64("c_balance"), i64("c_ytd_payment"),
+		i32("c_payment_cnt"), i32("c_delivery_cnt"), str("c_data"))
+}
+
+func historySchema() *arrow.Schema {
+	return arrow.NewSchema(i32("h_c_id"), i32("h_c_d_id"), i32("h_c_w_id"), i32("h_d_id"),
+		i32("h_w_id"), i64("h_date"), i64("h_amount"), str("h_data"))
+}
+
+func newOrderSchema() *arrow.Schema {
+	return arrow.NewSchema(i32("no_o_id"), i32("no_d_id"), i32("no_w_id"))
+}
+
+func orderSchema() *arrow.Schema {
+	return arrow.NewSchema(i32("o_id"), i32("o_d_id"), i32("o_w_id"), i32("o_c_id"),
+		i64("o_entry_d"), i32n("o_carrier_id"), i32("o_ol_cnt"), i32("o_all_local"))
+}
+
+func orderLineSchema() *arrow.Schema {
+	return arrow.NewSchema(i32("ol_o_id"), i32("ol_d_id"), i32("ol_w_id"), i32("ol_number"),
+		i32("ol_i_id"), i32("ol_supply_w_id"), i64n("ol_delivery_d"), i32("ol_quantity"),
+		i64("ol_amount"), str("ol_dist_info"))
+}
+
+func itemSchema() *arrow.Schema {
+	return arrow.NewSchema(i32("i_id"), i32("i_im_id"), str("i_name"), i64("i_price"), str("i_data"))
+}
+
+func stockSchema() *arrow.Schema {
+	fields := []arrow.Field{i32("s_i_id"), i32("s_w_id"), i32("s_quantity")}
+	for i := 1; i <= 10; i++ {
+		fields = append(fields, str(fmt.Sprintf("s_dist_%02d", i)))
+	}
+	fields = append(fields, i64("s_ytd"), i32("s_order_cnt"), i32("s_remote_cnt"), str("s_data"))
+	return arrow.NewSchema(fields...)
+}
+
+// Database bundles the TPC-C tables, their indexes, and the engine handles.
+type Database struct {
+	Cfg Config
+	Mgr *txn.Manager
+	Cat *catalog.Catalog
+
+	Warehouse *catalog.Table
+	District  *catalog.Table
+	Customer  *catalog.Table
+	History   *catalog.Table
+	NewOrder  *catalog.Table
+	Order     *catalog.Table
+	OrderLine *catalog.Table
+	Item      *catalog.Table
+	Stock     *catalog.Table
+
+	// Primary-key and secondary indexes.
+	WarehousePK index.Index // (w_id)
+	DistrictPK  index.Index // (w_id, d_id)
+	CustomerPK  index.Index // (w_id, d_id, c_id)
+	CustomerND  index.Index // (w_id, d_id, c_last, c_first) -> customer
+	ItemPK      index.Index // (i_id)
+	StockPK     index.Index // (w_id, i_id)
+	OrderPK     index.Index // (w_id, d_id, o_id)
+	OrderCust   index.Index // (w_id, d_id, c_id, o_id)
+	NewOrderPK  index.Index // (w_id, d_id, o_id)
+	OrderLinePK index.Index // (w_id, d_id, o_id, ol_number)
+}
+
+// NewDatabase creates the tables and indexes (empty).
+func NewDatabase(mgr *txn.Manager, cat *catalog.Catalog, cfg Config) (*Database, error) {
+	db := &Database{Cfg: cfg, Mgr: mgr, Cat: cat}
+	var err error
+	create := func(name string, schema *arrow.Schema) *catalog.Table {
+		if err != nil {
+			return nil
+		}
+		var t *catalog.Table
+		t, err = cat.CreateTable(name, schema)
+		return t
+	}
+	db.Warehouse = create("warehouse", warehouseSchema())
+	db.District = create("district", districtSchema())
+	db.Customer = create("customer", customerSchema())
+	db.History = create("history", historySchema())
+	db.NewOrder = create("new_order", newOrderSchema())
+	db.Order = create("order", orderSchema())
+	db.OrderLine = create("order_line", orderLineSchema())
+	db.Item = create("item", itemSchema())
+	db.Stock = create("stock", stockSchema())
+	if err != nil {
+		return nil, err
+	}
+	sh := cfg.shards()
+	db.WarehousePK = index.NewSharded(sh, 4)
+	db.DistrictPK = index.NewSharded(sh, 4)
+	db.CustomerPK = index.NewSharded(sh, 4)
+	db.CustomerND = index.NewSharded(sh, 4)
+	db.ItemPK = index.NewBTree() // read-only after load
+	db.StockPK = index.NewSharded(sh, 4)
+	db.OrderPK = index.NewSharded(sh, 4)
+	db.OrderCust = index.NewSharded(sh, 4)
+	db.NewOrderPK = index.NewSharded(sh, 4)
+	db.OrderLinePK = index.NewSharded(sh, 4)
+
+	db.Warehouse.AddIndex("pk", db.WarehousePK)
+	db.District.AddIndex("pk", db.DistrictPK)
+	db.Customer.AddIndex("pk", db.CustomerPK)
+	db.Customer.AddIndex("name", db.CustomerND)
+	db.Item.AddIndex("pk", db.ItemPK)
+	db.Stock.AddIndex("pk", db.StockPK)
+	db.Order.AddIndex("pk", db.OrderPK)
+	db.Order.AddIndex("cust", db.OrderCust)
+	db.NewOrder.AddIndex("pk", db.NewOrderPK)
+	db.OrderLine.AddIndex("pk", db.OrderLinePK)
+	return db, nil
+}
+
+// Key builders for the composite indexes.
+
+func wKey(w int32) []byte { return index.NewKeyBuilder(4).Int32(w).Clone() }
+
+func dKey(w, d int32) []byte { return index.NewKeyBuilder(8).Int32(w).Int32(d).Clone() }
+
+func cKey(w, d, c int32) []byte {
+	return index.NewKeyBuilder(12).Int32(w).Int32(d).Int32(c).Clone()
+}
+
+func cNameKey(w, d int32, last, first string) []byte {
+	return index.NewKeyBuilder(32).Int32(w).Int32(d).String(last).String(first).Clone()
+}
+
+func cNamePrefix(w, d int32, last string) []byte {
+	return index.NewKeyBuilder(32).Int32(w).Int32(d).String(last).Bytes()
+}
+
+func iKey(i int32) []byte { return index.NewKeyBuilder(4).Int32(i).Clone() }
+
+func sKey(w, i int32) []byte { return index.NewKeyBuilder(8).Int32(w).Int32(i).Clone() }
+
+func oKey(w, d, o int32) []byte {
+	return index.NewKeyBuilder(12).Int32(w).Int32(d).Int32(o).Clone()
+}
+
+func oCustKey(w, d, c, o int32) []byte {
+	return index.NewKeyBuilder(16).Int32(w).Int32(d).Int32(c).Int32(o).Clone()
+}
+
+func olKey(w, d, o, n int32) []byte {
+	return index.NewKeyBuilder(16).Int32(w).Int32(d).Int32(o).Int32(n).Clone()
+}
+
+// OrderTables returns the tables the paper targets for transformation
+// (ORDER, ORDER_LINE, HISTORY, ITEM — the cold-data generators, §6.1).
+func (db *Database) OrderTables() []*catalog.Table {
+	return []*catalog.Table{db.Order, db.OrderLine, db.History, db.Item}
+}
+
+// Projections cached for the hot paths.
+type projections struct {
+	wAll, dAll, cAll, hAll, noAll, oAll, olAll, iAll, sAll *storage.Projection
+
+	wTaxYtd   *storage.Projection // w_tax, w_ytd
+	dTaxNext  *storage.Projection // d_tax, d_next_o_id
+	dNext     *storage.Projection // d_next_o_id
+	dYtd      *storage.Projection // d_ytd
+	wYtd      *storage.Projection // w_ytd
+	cDisc     *storage.Projection // c_discount, c_last, c_credit
+	cPay      *storage.Projection // c_balance, c_ytd_payment, c_payment_cnt, c_data, c_credit
+	cBalDeliv *storage.Projection // c_balance, c_delivery_cnt
+	cRead     *storage.Projection // c_id, c_balance, c_first, c_middle, c_last
+	iRead     *storage.Projection // i_price, i_name, i_data
+	sUpd      *storage.Projection // s_quantity, s_ytd, s_order_cnt, s_remote_cnt
+	sRead     *storage.Projection // s_quantity, s_dist_XX (all), s_data
+	oCarrier  *storage.Projection // o_carrier_id
+	oRead     *storage.Projection // o_id, o_carrier_id, o_entry_d, o_c_id, o_ol_cnt
+	olDeliv   *storage.Projection // ol_amount, ol_delivery_d
+	olRead    *storage.Projection // ol_i_id, ol_supply_w_id, ol_quantity, ol_amount, ol_delivery_d
+	noRead    *storage.Projection // no_o_id
+}
+
+func (db *Database) buildProjections() *projections {
+	mp := func(t *catalog.Table, cols ...int) *storage.Projection {
+		ids := make([]storage.ColumnID, len(cols))
+		for i, c := range cols {
+			ids[i] = storage.ColumnID(c)
+		}
+		return storage.MustProjection(t.Layout(), ids)
+	}
+	p := &projections{
+		wAll:  db.Warehouse.AllColumnsProjection(),
+		dAll:  db.District.AllColumnsProjection(),
+		cAll:  db.Customer.AllColumnsProjection(),
+		hAll:  db.History.AllColumnsProjection(),
+		noAll: db.NewOrder.AllColumnsProjection(),
+		oAll:  db.Order.AllColumnsProjection(),
+		olAll: db.OrderLine.AllColumnsProjection(),
+		iAll:  db.Item.AllColumnsProjection(),
+		sAll:  db.Stock.AllColumnsProjection(),
+
+		wTaxYtd:   mp(db.Warehouse, WTax, WYtd),
+		dTaxNext:  mp(db.District, DTax, DNextOID),
+		dNext:     mp(db.District, DNextOID),
+		dYtd:      mp(db.District, DYtd),
+		wYtd:      mp(db.Warehouse, WYtd),
+		cDisc:     mp(db.Customer, CDiscount, CLast, CCredit),
+		cPay:      mp(db.Customer, CBalance, CYtdPayment, CPaymentCnt, CData, CCredit),
+		cBalDeliv: mp(db.Customer, CBalance, CDeliveryCnt),
+		cRead:     mp(db.Customer, CID, CBalance, CFirst, CMiddle, CLast),
+		iRead:     mp(db.Item, IPrice, IName, IData),
+		sUpd:      mp(db.Stock, SQuantity, SYtd, SOrderCnt, SRemoteCnt),
+		sRead:     mp(db.Stock, SQuantity, SDist01, SDist01+1, SDist01+2, SDist01+3, SDist01+4, SDist01+5, SDist01+6, SDist01+7, SDist01+8, SDist01+9, SData),
+		oCarrier:  mp(db.Order, OCarrierID),
+		oRead:     mp(db.Order, OID, OCarrierID, OEntryD, OCID, OOlCnt),
+		olDeliv:   mp(db.OrderLine, OLAmount, OLDeliveryD),
+		olRead:    mp(db.OrderLine, OLIID, OLSupplyWID, OLQuantity, OLAmount, OLDeliveryD),
+		noRead:    mp(db.NewOrder, NOOID),
+	}
+	return p
+}

@@ -1,0 +1,260 @@
+package tpcc
+
+import (
+	"testing"
+
+	"mainline/internal/catalog"
+	"mainline/internal/gc"
+	"mainline/internal/storage"
+	"mainline/internal/transform"
+	"mainline/internal/txn"
+)
+
+func newDB(t *testing.T, warehouses int) (*Database, *projections) {
+	t.Helper()
+	reg := storage.NewRegistry()
+	mgr := txn.NewManager(reg)
+	cat := catalog.New(reg)
+	db, err := NewDatabase(mgr, cat, DefaultConfig(warehouses))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Load(db, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db, p
+}
+
+func TestLastName(t *testing.T) {
+	if LastName(0) != "BARBARBAR" {
+		t.Fatalf("LastName(0) = %q", LastName(0))
+	}
+	if LastName(371) != "PRICALLYOUGHT" {
+		t.Fatalf("LastName(371) = %q", LastName(371))
+	}
+	if LastName(999) != "EINGEINGEING" {
+		t.Fatalf("LastName(999) = %q", LastName(999))
+	}
+}
+
+func TestLoadPopulation(t *testing.T) {
+	db, _ := newDB(t, 2)
+	cfg := db.Cfg
+	tx := db.Mgr.Begin()
+	defer db.Mgr.Commit(tx, nil)
+
+	counts := map[string]int{
+		"warehouse": db.Warehouse.CountVisible(tx),
+		"district":  db.District.CountVisible(tx),
+		"customer":  db.Customer.CountVisible(tx),
+		"item":      db.Item.CountVisible(tx),
+		"stock":     db.Stock.CountVisible(tx),
+		"order":     db.Order.CountVisible(tx),
+		"new_order": db.NewOrder.CountVisible(tx),
+		"history":   db.History.CountVisible(tx),
+	}
+	nd := cfg.Warehouses * cfg.DistrictsPerWarehouse
+	if counts["warehouse"] != cfg.Warehouses {
+		t.Fatalf("warehouses = %d", counts["warehouse"])
+	}
+	if counts["district"] != nd {
+		t.Fatalf("districts = %d", counts["district"])
+	}
+	if counts["customer"] != nd*cfg.CustomersPerDistrict {
+		t.Fatalf("customers = %d", counts["customer"])
+	}
+	if counts["item"] != cfg.Items {
+		t.Fatalf("items = %d", counts["item"])
+	}
+	if counts["stock"] != cfg.Warehouses*cfg.Items {
+		t.Fatalf("stock = %d", counts["stock"])
+	}
+	if counts["order"] != nd*cfg.InitialOrders {
+		t.Fatalf("orders = %d", counts["order"])
+	}
+	undelivered := cfg.InitialOrders - cfg.InitialOrders*7/10
+	if counts["new_order"] != nd*undelivered {
+		t.Fatalf("new_orders = %d want %d", counts["new_order"], nd*undelivered)
+	}
+	if counts["history"] != nd*cfg.CustomersPerDistrict {
+		t.Fatalf("history = %d", counts["history"])
+	}
+	// Index sizes line up with row counts.
+	if db.CustomerPK.Len() != counts["customer"] || db.OrderPK.Len() != counts["order"] {
+		t.Fatal("index sizes mismatch")
+	}
+}
+
+func TestLoadedDatabaseIsConsistent(t *testing.T) {
+	db, _ := newDB(t, 1)
+	if err := CheckConsistency(db); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewOrderAdvancesDistrict(t *testing.T) {
+	db, p := newDB(t, 1)
+	wk := NewWorker(db, p, 1, 7)
+	before := nextOID(t, db, 1, 1)
+	// Run New-Orders until district 1 receives one.
+	for i := 0; i < 200; i++ {
+		if err := wk.NewOrder(); err != nil && err != ErrUserAbort {
+			t.Fatal(err)
+		}
+		if nextOID(t, db, 1, 1) > before {
+			break
+		}
+	}
+	if nextOID(t, db, 1, 1) <= before {
+		t.Fatal("d_next_o_id never advanced")
+	}
+	if err := CheckConsistency(db); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func nextOID(t *testing.T, db *Database, w, d int32) int32 {
+	t.Helper()
+	tx := db.Mgr.Begin()
+	defer db.Mgr.Commit(tx, nil)
+	slot, ok := db.DistrictPK.GetOne(dKey(w, d))
+	if !ok {
+		t.Fatal("district missing")
+	}
+	row := storage.MustProjection(db.District.Layout(), []storage.ColumnID{DNextOID}).NewRow()
+	if found, err := db.District.Select(tx, slot, row); err != nil || !found {
+		t.Fatalf("district read: %v", err)
+	}
+	return row.Int32(0)
+}
+
+func TestPaymentUpdatesYTD(t *testing.T) {
+	db, p := newDB(t, 1)
+	wk := NewWorker(db, p, 1, 9)
+	wBefore := warehouseYTD(t, db, 1)
+	for i := 0; i < 20; i++ {
+		if err := wk.Payment(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if warehouseYTD(t, db, 1) <= wBefore {
+		t.Fatal("w_ytd did not grow")
+	}
+	if err := CheckConsistency(db); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func warehouseYTD(t *testing.T, db *Database, w int32) int64 {
+	t.Helper()
+	tx := db.Mgr.Begin()
+	defer db.Mgr.Commit(tx, nil)
+	slot, _ := db.WarehousePK.GetOne(wKey(w))
+	row := storage.MustProjection(db.Warehouse.Layout(), []storage.ColumnID{WYtd}).NewRow()
+	if found, err := db.Warehouse.Select(tx, slot, row); err != nil || !found {
+		t.Fatalf("warehouse read: %v", err)
+	}
+	return row.Int64(0)
+}
+
+func TestDeliveryDrainsNewOrders(t *testing.T) {
+	db, p := newDB(t, 1)
+	wk := NewWorker(db, p, 1, 11)
+	tx := db.Mgr.Begin()
+	before := db.NewOrder.CountVisible(tx)
+	db.Mgr.Commit(tx, nil)
+	if before == 0 {
+		t.Fatal("no initial undelivered orders")
+	}
+	if err := wk.Delivery(); err != nil {
+		t.Fatal(err)
+	}
+	tx2 := db.Mgr.Begin()
+	after := db.NewOrder.CountVisible(tx2)
+	db.Mgr.Commit(tx2, nil)
+	if after >= before {
+		t.Fatalf("new_order count %d -> %d", before, after)
+	}
+	// One order per district was delivered.
+	if before-after != db.Cfg.DistrictsPerWarehouse {
+		t.Fatalf("delivered %d orders, want %d", before-after, db.Cfg.DistrictsPerWarehouse)
+	}
+}
+
+func TestOrderStatusAndStockLevelReadOnly(t *testing.T) {
+	db, p := newDB(t, 1)
+	wk := NewWorker(db, p, 1, 13)
+	for i := 0; i < 10; i++ {
+		if err := wk.OrderStatus(); err != nil {
+			t.Fatal(err)
+		}
+		if err := wk.StockLevel(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Read-only profiles must not change the database.
+	if err := CheckConsistency(db); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMixedWorkloadConsistency(t *testing.T) {
+	db, p := newDB(t, 2)
+	res := RunCount(db, p, 2, 150, 99)
+	if res.Total() == 0 {
+		t.Fatal("nothing committed")
+	}
+	if res.Committed[0] == 0 || res.Committed[1] == 0 {
+		t.Fatalf("mix skewed: %+v", res.Committed)
+	}
+	if err := CheckConsistency(db); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentWorkersSameWarehouse(t *testing.T) {
+	// More workers than warehouses: conflicts happen, consistency must hold.
+	db, p := newDB(t, 1)
+	res := RunCount(db, p, 4, 80, 123)
+	if res.Total() == 0 {
+		t.Fatal("nothing committed")
+	}
+	if err := CheckConsistency(db); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWorkloadWithTransformPipeline(t *testing.T) {
+	// The paper's headline experiment shape: run TPC-C while the
+	// GC+transform pipeline freezes cold blocks; data stays consistent.
+	db, p := newDB(t, 1)
+	g := gc.New(db.Mgr)
+	obs := transform.NewObserver()
+	for _, tbl := range db.OrderTables() {
+		obs.Watch(tbl.DataTable)
+	}
+	g.SetObserver(obs)
+	cfg := transform.DefaultConfig()
+	cfg.Threshold = 0
+	tr := transform.New(db.Mgr, g, obs, cfg)
+
+	for round := 0; round < 5; round++ {
+		res := RunCount(db, p, 1, 40, uint64(round))
+		if res.Total() == 0 {
+			t.Fatal("nothing committed")
+		}
+		g.RunOnce()
+		tr.RunOnce()
+	}
+	for i := 0; i < 10; i++ {
+		g.RunOnce()
+		tr.RunOnce()
+	}
+	if tr.Stats().BlocksFrozen == 0 {
+		t.Fatalf("pipeline froze nothing: %+v", tr.Stats())
+	}
+	if err := CheckConsistency(db); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,585 @@
+package tpcc
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"mainline/internal/storage"
+	"mainline/internal/util"
+)
+
+// ErrUserAbort marks the spec-mandated 1% of New-Order transactions that
+// roll back on an unused item number.
+var ErrUserAbort = errors.New("tpcc: simulated user abort")
+
+// Worker executes TPC-C transactions against one home warehouse (the
+// paper's setup: one warehouse per client).
+type Worker struct {
+	DB  *Database
+	W   int32
+	Rng *util.Rand
+	P   *projections
+	Now func() int64
+	// Aborts counts conflict-driven retries abandoned.
+	Aborts int
+}
+
+// NewWorker builds a worker bound to warehouse w.
+func NewWorker(db *Database, p *projections, w int32, seed uint64) *Worker {
+	return &Worker{DB: db, W: w, Rng: util.NewRand(seed), P: p, Now: func() int64 { return time.Now().UnixNano() }}
+}
+
+// pick runs the standard transaction mix: 45% New-Order, 43% Payment,
+// 4% Order-Status, 4% Delivery, 4% Stock-Level.
+func (wk *Worker) pick() int {
+	r := wk.Rng.Intn(100)
+	switch {
+	case r < 45:
+		return 0
+	case r < 88:
+		return 1
+	case r < 92:
+		return 2
+	case r < 96:
+		return 3
+	default:
+		return 4
+	}
+}
+
+// RunOne executes one transaction from the mix; reports its profile index
+// and whether it committed.
+func (wk *Worker) RunOne() (profile int, committed bool) {
+	profile = wk.pick()
+	var err error
+	switch profile {
+	case 0:
+		err = wk.NewOrder()
+	case 1:
+		err = wk.Payment()
+	case 2:
+		err = wk.OrderStatus()
+	case 3:
+		err = wk.Delivery()
+	case 4:
+		err = wk.StockLevel()
+	}
+	if err != nil && !errors.Is(err, ErrUserAbort) {
+		wk.Aborts++
+		return profile, false
+	}
+	return profile, true
+}
+
+func (wk *Worker) randomDistrict() int32 {
+	return int32(wk.Rng.IntRange(1, wk.DB.Cfg.DistrictsPerWarehouse))
+}
+
+func (wk *Worker) nuCustomer() int32 {
+	max := wk.DB.Cfg.CustomersPerDistrict
+	if max > 1023 {
+		return int32(wk.Rng.NURand(1023, 1, max, cIDC))
+	}
+	return int32(wk.Rng.IntRange(1, max))
+}
+
+func (wk *Worker) nuItem() int32 {
+	max := wk.DB.Cfg.Items
+	if max > 8191 {
+		return int32(wk.Rng.NURand(8191, 1, max, iIDC))
+	}
+	return int32(wk.Rng.IntRange(1, max))
+}
+
+// NewOrder implements the New-Order profile (spec §2.4).
+func (wk *Worker) NewOrder() error {
+	db, p := wk.DB, wk.P
+	w := wk.W
+	d := wk.randomDistrict()
+	c := wk.nuCustomer()
+	olCnt := wk.Rng.IntRange(5, 15)
+	rollback := wk.Rng.Intn(100) == 0 // 1% simulated user aborts
+
+	tx := db.Mgr.Begin()
+	abort := func(err error) error {
+		db.Mgr.Abort(tx)
+		return err
+	}
+
+	// Warehouse tax (read-only).
+	wSlot, ok := db.WarehousePK.GetOne(wKey(w))
+	if !ok {
+		return abort(fmt.Errorf("tpcc: warehouse %d missing", w))
+	}
+	wRow := p.wTaxYtd.NewRow()
+	if found, err := db.Warehouse.Select(tx, wSlot, wRow); err != nil || !found {
+		return abort(fmt.Errorf("tpcc: warehouse read: %v", err))
+	}
+
+	// District: read tax + next order id, increment next order id.
+	dSlot, ok := db.DistrictPK.GetOne(dKey(w, d))
+	if !ok {
+		return abort(fmt.Errorf("tpcc: district missing"))
+	}
+	dRow := p.dTaxNext.NewRow()
+	if found, err := db.District.Select(tx, dSlot, dRow); err != nil || !found {
+		return abort(fmt.Errorf("tpcc: district read: %v", err))
+	}
+	oID := dRow.Int32(1)
+	upd := p.dNext.NewRow()
+	upd.SetInt32(0, oID+1)
+	if err := db.District.Update(tx, dSlot, upd); err != nil {
+		return abort(err)
+	}
+
+	// Customer discount/credit (read-only).
+	cSlot, ok := db.CustomerPK.GetOne(cKey(w, d, c))
+	if !ok {
+		return abort(fmt.Errorf("tpcc: customer missing"))
+	}
+	cRow := p.cDisc.NewRow()
+	if found, err := db.Customer.Select(tx, cSlot, cRow); err != nil || !found {
+		return abort(fmt.Errorf("tpcc: customer read: %v", err))
+	}
+
+	// Insert ORDER and NEW_ORDER. (o_all_local is recorded optimistically;
+	// remote stock picks below do not retro-update it — acceptable at our
+	// reproduction scale where runs are single-warehouse-per-worker.)
+	oRow := p.oAll.NewRow()
+	oRow.SetInt32(OID, oID)
+	oRow.SetInt32(ODID, d)
+	oRow.SetInt32(OWID, w)
+	oRow.SetInt32(OCID, c)
+	oRow.SetInt64(OEntryD, wk.Now())
+	oRow.SetNull(OCarrierID)
+	oRow.SetInt32(OOlCnt, int32(olCnt))
+	oRow.SetInt32(OAllLocal, 1)
+	oSlot, err := db.Order.Insert(tx, oRow)
+	if err != nil {
+		return abort(err)
+	}
+	noRow := p.noAll.NewRow()
+	noRow.SetInt32(NOOID, oID)
+	noRow.SetInt32(NODID, d)
+	noRow.SetInt32(NOWID, w)
+	noSlot, err := db.NewOrder.Insert(tx, noRow)
+	if err != nil {
+		return abort(err)
+	}
+
+	// Order lines.
+	type olInsert struct {
+		slot storage.TupleSlot
+		n    int32
+	}
+	olSlots := make([]olInsert, 0, olCnt)
+	olRow := p.olAll.NewRow()
+	iRow := p.iRead.NewRow()
+	sRow := p.sRead.NewRow()
+	sUpd := p.sUpd.NewRow()
+	sCur := p.sUpd.NewRow()
+	for n := 1; n <= olCnt; n++ {
+		item := wk.nuItem()
+		if rollback && n == olCnt {
+			// Unused item number: the spec's deliberate rollback.
+			db.Mgr.Abort(tx)
+			return ErrUserAbort
+		}
+		iSlot, ok := db.ItemPK.GetOne(iKey(item))
+		if !ok {
+			return abort(fmt.Errorf("tpcc: item %d missing", item))
+		}
+		if found, err := db.Item.Select(tx, iSlot, iRow); err != nil || !found {
+			return abort(fmt.Errorf("tpcc: item read: %v", err))
+		}
+		price := iRow.Int64(0)
+
+		// Stock read + update (1% remote warehouse when multi-warehouse).
+		supplyW := w
+		if db.Cfg.Warehouses > 1 && wk.Rng.Intn(100) == 0 {
+			for {
+				supplyW = int32(wk.Rng.IntRange(1, db.Cfg.Warehouses))
+				if supplyW != w {
+					break
+				}
+			}
+		}
+		sSlot, ok := db.StockPK.GetOne(sKey(supplyW, item))
+		if !ok {
+			return abort(fmt.Errorf("tpcc: stock missing"))
+		}
+		if found, err := db.Stock.Select(tx, sSlot, sCur); err != nil || !found {
+			return abort(fmt.Errorf("tpcc: stock read: %v", err))
+		}
+		if found, err := db.Stock.Select(tx, sSlot, sRow); err != nil || !found {
+			return abort(fmt.Errorf("tpcc: stock dist read: %v", err))
+		}
+		qty := sCur.Int32(0)
+		quantity := int32(wk.Rng.IntRange(1, 10))
+		if qty >= quantity+10 {
+			qty -= quantity
+		} else {
+			qty = qty - quantity + 91
+		}
+		remote := sCur.Int32(3)
+		if supplyW != w {
+			remote++
+		}
+		sUpd.SetInt32(0, qty)
+		sUpd.SetInt64(1, sCur.Int64(1)+int64(quantity))
+		sUpd.SetInt32(2, sCur.Int32(2)+1)
+		sUpd.SetInt32(3, remote)
+		if err := db.Stock.Update(tx, sSlot, sUpd); err != nil {
+			return abort(err)
+		}
+
+		amount := int64(quantity) * price
+		olRow.Reset()
+		olRow.SetInt32(OLOID, oID)
+		olRow.SetInt32(OLDID, d)
+		olRow.SetInt32(OLWID, w)
+		olRow.SetInt32(OLNumber, int32(n))
+		olRow.SetInt32(OLIID, item)
+		olRow.SetInt32(OLSupplyWID, supplyW)
+		olRow.SetNull(OLDeliveryD)
+		olRow.SetInt32(OLQuantity, quantity)
+		olRow.SetInt64(OLAmount, amount)
+		// sRead projection: index 0 = s_quantity, 1..10 = s_dist_01..10.
+		olRow.SetVarlen(OLDistInfo, sRow.Varlen(int(d)))
+		olSlot, err := db.OrderLine.Insert(tx, olRow)
+		if err != nil {
+			return abort(err)
+		}
+		olSlots = append(olSlots, olInsert{olSlot, int32(n)})
+	}
+
+	db.Mgr.Commit(tx, nil)
+	// Index maintenance after commit (single-writer per warehouse makes
+	// this safe; a production engine would use deferred index actions).
+	db.OrderPK.Insert(oKey(w, d, oID), oSlot)
+	db.OrderCust.Insert(oCustKey(w, d, c, oID), oSlot)
+	db.NewOrderPK.Insert(oKey(w, d, oID), noSlot)
+	for _, ol := range olSlots {
+		db.OrderLinePK.Insert(olKey(w, d, oID, ol.n), ol.slot)
+	}
+	return nil
+}
+
+// Payment implements the Payment profile (spec §2.5).
+func (wk *Worker) Payment() error {
+	db, p := wk.DB, wk.P
+	w := wk.W
+	d := wk.randomDistrict()
+	amount := int64(wk.Rng.IntRange(100, 500000))
+
+	// 85% home-district customer; 15% remote district (single warehouse in
+	// our runs keeps the warehouse local, matching the paper's setup).
+	cw, cd := w, d
+	if db.Cfg.Warehouses > 1 && wk.Rng.Intn(100) < 15 {
+		for {
+			cw = int32(wk.Rng.IntRange(1, db.Cfg.Warehouses))
+			if cw != w {
+				break
+			}
+		}
+		cd = int32(wk.Rng.IntRange(1, db.Cfg.DistrictsPerWarehouse))
+	}
+
+	tx := db.Mgr.Begin()
+	abort := func(err error) error {
+		db.Mgr.Abort(tx)
+		return err
+	}
+
+	// Warehouse YTD update.
+	wSlot, _ := db.WarehousePK.GetOne(wKey(w))
+	wRow := p.wYtd.NewRow()
+	if found, err := db.Warehouse.Select(tx, wSlot, wRow); err != nil || !found {
+		return abort(fmt.Errorf("tpcc: warehouse read: %v", err))
+	}
+	wUpd := p.wYtd.NewRow()
+	wUpd.SetInt64(0, wRow.Int64(0)+amount)
+	if err := db.Warehouse.Update(tx, wSlot, wUpd); err != nil {
+		return abort(err)
+	}
+
+	// District YTD update.
+	dSlot, _ := db.DistrictPK.GetOne(dKey(w, d))
+	dRow := p.dYtd.NewRow()
+	if found, err := db.District.Select(tx, dSlot, dRow); err != nil || !found {
+		return abort(fmt.Errorf("tpcc: district read: %v", err))
+	}
+	dUpd := p.dYtd.NewRow()
+	dUpd.SetInt64(0, dRow.Int64(0)+amount)
+	if err := db.District.Update(tx, dSlot, dUpd); err != nil {
+		return abort(err)
+	}
+
+	// Customer: 60% by last name, 40% by id.
+	var cSlot storage.TupleSlot
+	var cid int32
+	if wk.Rng.Intn(100) < 60 {
+		last := LastName(wk.Rng.NURand(255, 0, 999, cLastC))
+		var slots []storage.TupleSlot
+		db.CustomerND.ScanPrefix(cNamePrefix(cw, cd, last), func(_ []byte, s storage.TupleSlot) bool {
+			slots = append(slots, s)
+			return true
+		})
+		if len(slots) == 0 {
+			// Name space is sparse at reduced scale: fall back to id.
+			cid = wk.nuCustomer()
+			cSlot, _ = db.CustomerPK.GetOne(cKey(cw, cd, cid))
+		} else {
+			cSlot = slots[(len(slots)+1)/2-1] // midpoint per spec
+		}
+	} else {
+		cid = wk.nuCustomer()
+		cSlot, _ = db.CustomerPK.GetOne(cKey(cw, cd, cid))
+	}
+	if !cSlot.Valid() {
+		return abort(fmt.Errorf("tpcc: customer not found"))
+	}
+	cRow := p.cPay.NewRow()
+	if found, err := db.Customer.Select(tx, cSlot, cRow); err != nil || !found {
+		return abort(fmt.Errorf("tpcc: customer read: %v", err))
+	}
+	cUpd := p.cPay.NewRow()
+	cUpd.SetInt64(0, cRow.Int64(0)-amount)
+	cUpd.SetInt64(1, cRow.Int64(1)+amount)
+	cUpd.SetInt32(2, cRow.Int32(2)+1)
+	if string(cRow.Varlen(4)) == "BC" {
+		// Bad-credit customers accrete payment history into c_data.
+		data := fmt.Sprintf("%d %d %d %d %d|%s", cid, cd, cw, d, amount, cRow.Varlen(3))
+		if len(data) > 500 {
+			data = data[:500]
+		}
+		cUpd.SetVarlen(3, []byte(data))
+	} else {
+		cUpd.SetVarlen(3, cRow.Varlen(3))
+	}
+	cUpd.SetVarlen(4, cRow.Varlen(4))
+	if err := db.Customer.Update(tx, cSlot, cUpd); err != nil {
+		return abort(err)
+	}
+
+	// History insert.
+	hRow := p.hAll.NewRow()
+	hRow.SetInt32(HCID, cid)
+	hRow.SetInt32(HCDID, cd)
+	hRow.SetInt32(HCWID, cw)
+	hRow.SetInt32(HDID, d)
+	hRow.SetInt32(HWID, w)
+	hRow.SetInt64(HDate, wk.Now())
+	hRow.SetInt64(HAmount, amount)
+	hRow.SetVarlen(HData, []byte("payment-history-entry"))
+	if _, err := db.History.Insert(tx, hRow); err != nil {
+		return abort(err)
+	}
+	db.Mgr.Commit(tx, nil)
+	return nil
+}
+
+// OrderStatus implements the read-only Order-Status profile (spec §2.6).
+func (wk *Worker) OrderStatus() error {
+	db, p := wk.DB, wk.P
+	w := wk.W
+	d := wk.randomDistrict()
+	c := wk.nuCustomer()
+
+	tx := db.Mgr.Begin()
+	defer db.Mgr.Commit(tx, nil)
+
+	cSlot, ok := db.CustomerPK.GetOne(cKey(w, d, c))
+	if !ok {
+		return fmt.Errorf("tpcc: customer missing")
+	}
+	cRow := p.cRead.NewRow()
+	if found, err := db.Customer.Select(tx, cSlot, cRow); err != nil || !found {
+		return fmt.Errorf("tpcc: customer read: %v", err)
+	}
+
+	// Most recent order for the customer: scan the (w,d,c,o) index
+	// backwards is unsupported; scan forward and keep the last.
+	var lastOrder storage.TupleSlot
+	var lastOID int32 = -1
+	db.OrderCust.ScanPrefix(cKey(w, d, c), func(k []byte, s storage.TupleSlot) bool {
+		lastOrder = s
+		return true
+	})
+	if !lastOrder.Valid() {
+		return nil // customer has no orders yet
+	}
+	oRow := p.oRead.NewRow()
+	if found, err := db.Order.Select(tx, lastOrder, oRow); err != nil || !found {
+		return fmt.Errorf("tpcc: order read: %v", err)
+	}
+	lastOID = oRow.Int32(0)
+
+	// Its order lines.
+	olRow := p.olRead.NewRow()
+	count := 0
+	db.OrderLinePK.ScanPrefix(oKey(w, d, lastOID), func(_ []byte, s storage.TupleSlot) bool {
+		if found, _ := db.OrderLine.Select(tx, s, olRow); found {
+			count++
+		}
+		return true
+	})
+	if count == 0 {
+		return fmt.Errorf("tpcc: order %d has no lines", lastOID)
+	}
+	return nil
+}
+
+// Delivery implements the Delivery profile (spec §2.7), processing each
+// district's oldest undelivered order.
+func (wk *Worker) Delivery() error {
+	db, p := wk.DB, wk.P
+	w := wk.W
+	carrier := int32(wk.Rng.IntRange(1, 10))
+	now := wk.Now()
+
+	for d := int32(1); d <= int32(db.Cfg.DistrictsPerWarehouse); d++ {
+		tx := db.Mgr.Begin()
+		// Oldest NEW_ORDER for the district.
+		var noSlot storage.TupleSlot
+		var noKeyBytes []byte
+		db.NewOrderPK.ScanPrefix(dKey(w, d), func(k []byte, s storage.TupleSlot) bool {
+			noSlot = s
+			noKeyBytes = append([]byte(nil), k...)
+			return false // first = oldest (o_id ascending)
+		})
+		if !noSlot.Valid() {
+			db.Mgr.Commit(tx, nil)
+			continue
+		}
+		noRow := p.noRead.NewRow()
+		found, err := db.NewOrder.Select(tx, noSlot, noRow)
+		if err != nil || !found {
+			db.Mgr.Abort(tx)
+			continue
+		}
+		oID := noRow.Int32(0)
+		if err := db.NewOrder.Delete(tx, noSlot); err != nil {
+			db.Mgr.Abort(tx)
+			wk.Aborts++
+			continue
+		}
+
+		// Stamp the order's carrier.
+		oSlot, ok := db.OrderPK.GetOne(oKey(w, d, oID))
+		if !ok {
+			db.Mgr.Abort(tx)
+			continue
+		}
+		oRead := p.oRead.NewRow()
+		if found, err := db.Order.Select(tx, oSlot, oRead); err != nil || !found {
+			db.Mgr.Abort(tx)
+			continue
+		}
+		cid := oRead.Int32(3)
+		oUpd := p.oCarrier.NewRow()
+		oUpd.SetInt32(0, carrier)
+		if err := db.Order.Update(tx, oSlot, oUpd); err != nil {
+			db.Mgr.Abort(tx)
+			wk.Aborts++
+			continue
+		}
+
+		// Deliver every line; sum amounts.
+		total := int64(0)
+		lineErr := false
+		olRow := p.olDeliv.NewRow()
+		db.OrderLinePK.ScanPrefix(oKey(w, d, oID), func(_ []byte, s storage.TupleSlot) bool {
+			if found, err := db.OrderLine.Select(tx, s, olRow); err != nil || !found {
+				lineErr = true
+				return false
+			}
+			total += olRow.Int64(0)
+			upd := p.olDeliv.NewRow()
+			upd.SetInt64(0, olRow.Int64(0))
+			upd.SetInt64(1, now)
+			if err := db.OrderLine.Update(tx, s, upd); err != nil {
+				lineErr = true
+				return false
+			}
+			return true
+		})
+		if lineErr {
+			db.Mgr.Abort(tx)
+			wk.Aborts++
+			continue
+		}
+
+		// Credit the customer.
+		cSlot, ok := db.CustomerPK.GetOne(cKey(w, d, cid))
+		if !ok {
+			db.Mgr.Abort(tx)
+			continue
+		}
+		cRow := p.cBalDeliv.NewRow()
+		if found, err := db.Customer.Select(tx, cSlot, cRow); err != nil || !found {
+			db.Mgr.Abort(tx)
+			continue
+		}
+		cUpd := p.cBalDeliv.NewRow()
+		cUpd.SetInt32(1, cRow.Int32(1)+1)
+		cUpd.SetInt64(0, cRow.Int64(0)+total)
+		if err := db.Customer.Update(tx, cSlot, cUpd); err != nil {
+			db.Mgr.Abort(tx)
+			wk.Aborts++
+			continue
+		}
+		db.Mgr.Commit(tx, nil)
+		db.NewOrderPK.Delete(noKeyBytes, noSlot)
+	}
+	return nil
+}
+
+// StockLevel implements the read-only Stock-Level profile (spec §2.8).
+func (wk *Worker) StockLevel() error {
+	db, p := wk.DB, wk.P
+	w := wk.W
+	d := wk.randomDistrict()
+	threshold := int32(wk.Rng.IntRange(10, 20))
+
+	tx := db.Mgr.Begin()
+	defer db.Mgr.Commit(tx, nil)
+
+	dSlot, ok := db.DistrictPK.GetOne(dKey(w, d))
+	if !ok {
+		return fmt.Errorf("tpcc: district missing")
+	}
+	dRow := p.dNext.NewRow()
+	if found, err := db.District.Select(tx, dSlot, dRow); err != nil || !found {
+		return fmt.Errorf("tpcc: district read: %v", err)
+	}
+	nextO := dRow.Int32(0)
+	lowO := nextO - 20
+	if lowO < 1 {
+		lowO = 1
+	}
+
+	// Distinct items in the last 20 orders with stock below threshold.
+	items := make(map[int32]struct{})
+	olRow := p.olRead.NewRow()
+	db.OrderLinePK.Scan(oKey(w, d, lowO), oKey(w, d, nextO), func(_ []byte, s storage.TupleSlot) bool {
+		if found, _ := db.OrderLine.Select(tx, s, olRow); found {
+			items[olRow.Int32(0)] = struct{}{}
+		}
+		return true
+	})
+	low := 0
+	sRow := p.sUpd.NewRow()
+	for item := range items {
+		sSlot, ok := db.StockPK.GetOne(sKey(w, item))
+		if !ok {
+			continue
+		}
+		if found, _ := db.Stock.Select(tx, sSlot, sRow); found && sRow.Int32(0) < threshold {
+			low++
+		}
+	}
+	_ = low
+	return nil
+}

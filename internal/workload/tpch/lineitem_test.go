@@ -1,0 +1,66 @@
+package tpch
+
+import (
+	"testing"
+
+	"mainline/internal/catalog"
+	"mainline/internal/storage"
+	"mainline/internal/txn"
+)
+
+func TestLineItemSchemaShape(t *testing.T) {
+	s := LineItemSchema()
+	if s.NumFields() != 16 {
+		t.Fatalf("LINEITEM has %d columns, want 16", s.NumFields())
+	}
+	if s.FieldIndex("l_orderkey") != 0 || s.FieldIndex("l_comment") != 15 {
+		t.Fatal("column order wrong")
+	}
+}
+
+func TestLoadGeneratesValidRows(t *testing.T) {
+	reg := storage.NewRegistry()
+	mgr := txn.NewManager(reg)
+	cat := catalog.New(reg)
+	table, err := Load(mgr, cat, "lineitem", 2000, 500, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx := mgr.Begin()
+	defer mgr.Commit(tx, nil)
+	if got := table.CountVisible(tx); got != 2000 {
+		t.Fatalf("rows = %d", got)
+	}
+	// Domains: quantity in [100, 5000] (cents of 1-50), linenumber >= 1,
+	// receiptdate after shipdate.
+	proj := storage.MustProjection(table.Layout(), []storage.ColumnID{3, 4, 10, 12})
+	checked := 0
+	_ = table.Scan(tx, proj, func(_ storage.TupleSlot, r *storage.ProjectedRow) bool {
+		if r.Int32(0) < 1 || r.Int32(0) > 7 {
+			t.Errorf("linenumber %d out of range", r.Int32(0))
+			return false
+		}
+		if q := r.Int64(1); q < 100 || q > 5000 {
+			t.Errorf("quantity %d out of range", q)
+			return false
+		}
+		if r.Int32(3) <= r.Int32(2) {
+			t.Errorf("receiptdate %d not after shipdate %d", r.Int32(3), r.Int32(2))
+			return false
+		}
+		checked++
+		return true
+	})
+	if checked != 2000 {
+		t.Fatalf("checked %d rows", checked)
+	}
+	// Loading into the same name appends.
+	if _, err := Load(mgr, cat, "lineitem", 100, 50, 43); err != nil {
+		t.Fatal(err)
+	}
+	tx2 := mgr.Begin()
+	defer mgr.Commit(tx2, nil)
+	if got := table.CountVisible(tx2); got != 2100 {
+		t.Fatalf("after append: %d", got)
+	}
+}

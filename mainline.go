@@ -1,0 +1,379 @@
+// Package mainline is an in-memory, multi-versioned OLTP storage engine
+// that keeps table data in a relaxed form of the Apache Arrow columnar
+// format and lazily transforms cold blocks into canonical Arrow, so that
+// analytical tools can consume the database with zero serialization cost.
+//
+// It is a from-scratch Go reproduction of "Mainlining Databases: Supporting
+// Fast Transactional Workloads on Universal Columnar Data File Formats"
+// (Li et al., VLDB 2020) — the storage architecture of the DB-X / NoisePage
+// DBMS. See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// reproduced evaluation.
+//
+// Quickstart:
+//
+//	eng, _ := mainline.Open(mainline.Options{})
+//	defer eng.Close()
+//	tbl, _ := eng.CreateTable("item", mainline.NewSchema(
+//		mainline.Field{Name: "id", Type: mainline.INT64},
+//		mainline.Field{Name: "name", Type: mainline.STRING, Nullable: true},
+//	))
+//	tx := eng.Begin()
+//	row := tbl.NewRow()
+//	row.SetInt64(0, 101)
+//	row.SetVarlen(1, []byte("JOE"))
+//	slot, _ := tbl.Insert(tx, row)
+//	eng.Commit(tx)
+//	_ = slot
+package mainline
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"mainline/internal/arrow"
+	"mainline/internal/catalog"
+	"mainline/internal/core"
+	"mainline/internal/gc"
+	"mainline/internal/index"
+	"mainline/internal/storage"
+	"mainline/internal/transform"
+	"mainline/internal/txn"
+	"mainline/internal/wal"
+)
+
+// Re-exported types so in-module consumers program against one package.
+type (
+	// Schema describes a table's columns.
+	Schema = arrow.Schema
+	// Field is one column of a schema.
+	Field = arrow.Field
+	// RecordBatch is a set of equal-length Arrow columns.
+	RecordBatch = arrow.RecordBatch
+	// ArrowTable is an ordered collection of record batches.
+	ArrowTable = arrow.Table
+	// Txn is a transaction handle.
+	Txn = txn.Transaction
+	// TupleSlot identifies a stored tuple.
+	TupleSlot = storage.TupleSlot
+	// Row is a materialized (partial) tuple.
+	Row = storage.ProjectedRow
+	// Projection selects a subset of columns.
+	Projection = storage.Projection
+	// ColumnID indexes a column in a table layout.
+	ColumnID = storage.ColumnID
+	// Index is an ordered secondary index.
+	Index = index.Index
+	// KeyBuilder builds memcomparable index keys.
+	KeyBuilder = index.KeyBuilder
+	// TransformStats counts transformation pipeline work.
+	TransformStats = transform.Stats
+)
+
+// Re-exported column types.
+const (
+	INT8    = arrow.INT8
+	INT16   = arrow.INT16
+	INT32   = arrow.INT32
+	INT64   = arrow.INT64
+	FLOAT64 = arrow.FLOAT64
+	STRING  = arrow.STRING
+	BINARY  = arrow.BINARY
+)
+
+// Common errors re-exported from the Data Table API.
+var (
+	ErrWriteConflict = core.ErrWriteConflict
+	ErrNotFound      = core.ErrNotFound
+)
+
+// NewSchema builds a schema from fields.
+func NewSchema(fields ...Field) *Schema { return arrow.NewSchema(fields...) }
+
+// NewKeyBuilder creates a key builder with a capacity hint.
+func NewKeyBuilder(capacity int) *KeyBuilder { return index.NewKeyBuilder(capacity) }
+
+// NewBTreeIndex creates a single-tree ordered index.
+func NewBTreeIndex() Index { return index.NewBTree() }
+
+// NewShardedIndex creates a hash-sharded ordered index for keys whose first
+// prefixLen bytes partition the workload.
+func NewShardedIndex(shards, prefixLen int) Index { return index.NewSharded(shards, prefixLen) }
+
+// TransformMode selects the gather target for cold blocks.
+type TransformMode = transform.Mode
+
+// Gather targets.
+const (
+	// TransformGather produces canonical Arrow (contiguous varlen buffers).
+	TransformGather = transform.ModeGather
+	// TransformDictionary produces dictionary-compressed columns.
+	TransformDictionary = transform.ModeDictionary
+)
+
+// Options configures an Engine.
+type Options struct {
+	// LogPath enables write-ahead logging to the given file.
+	LogPath string
+	// LogFlushInterval bounds group-commit latency (default 5ms).
+	LogFlushInterval time.Duration
+	// Background starts the GC, transformation, and log-flush loops.
+	// When false (tests, benchmarks) drive them manually with RunGC /
+	// RunTransform.
+	Background bool
+	// GCPeriod is the garbage collection interval (default 10ms).
+	GCPeriod time.Duration
+	// TransformPeriod is the transformation pass interval (default 10ms).
+	TransformPeriod time.Duration
+	// ColdThreshold is how long a block must stay unmodified to freeze
+	// (default 10ms, the paper's aggressive setting).
+	ColdThreshold time.Duration
+	// CompactionGroupSize caps blocks per compaction transaction
+	// (default 50, the paper's sweet spot).
+	CompactionGroupSize int
+	// TransformMode selects gather vs dictionary compression.
+	TransformMode TransformMode
+	// DisableTransform turns the background transformation off entirely
+	// (the paper's "no transformation" baseline).
+	DisableTransform bool
+	// OnTupleMove observes compaction movements (index maintenance).
+	OnTupleMove transform.OnMove
+}
+
+func (o *Options) defaults() {
+	if o.LogFlushInterval == 0 {
+		o.LogFlushInterval = 5 * time.Millisecond
+	}
+	if o.GCPeriod == 0 {
+		o.GCPeriod = 10 * time.Millisecond
+	}
+	if o.TransformPeriod == 0 {
+		o.TransformPeriod = 10 * time.Millisecond
+	}
+	if o.ColdThreshold == 0 {
+		o.ColdThreshold = 10 * time.Millisecond
+	}
+	if o.CompactionGroupSize == 0 {
+		o.CompactionGroupSize = 50
+	}
+}
+
+// Engine is the assembled storage engine: block registry, transaction
+// manager, garbage collector, transformation pipeline, catalog, and
+// (optionally) the write-ahead log.
+type Engine struct {
+	opts Options
+
+	reg         *storage.Registry
+	mgr         *txn.Manager
+	collector   *gc.GarbageCollector
+	observer    *transform.Observer
+	transformer *transform.Transformer
+	logMgr      *wal.LogManager
+	cat         *catalog.Catalog
+}
+
+// Open assembles an engine.
+func Open(opts Options) (*Engine, error) {
+	opts.defaults()
+	e := &Engine{opts: opts}
+	e.reg = storage.NewRegistry()
+	e.mgr = txn.NewManager(e.reg)
+	e.cat = catalog.New(e.reg)
+	e.collector = gc.New(e.mgr)
+	e.observer = transform.NewObserver()
+	e.collector.SetObserver(e.observer)
+	cfg := transform.Config{
+		Threshold: opts.ColdThreshold,
+		GroupSize: opts.CompactionGroupSize,
+		Mode:      opts.TransformMode,
+		OnMove:    opts.OnTupleMove,
+	}
+	e.transformer = transform.New(e.mgr, e.collector, e.observer, cfg)
+
+	if opts.LogPath != "" {
+		sink, err := wal.OpenFileSink(opts.LogPath)
+		if err != nil {
+			return nil, err
+		}
+		e.logMgr = wal.NewLogManager(sink)
+		e.mgr.SetCommitHook(e.logMgr.Hook())
+	}
+	if opts.Background {
+		e.collector.Start(opts.GCPeriod)
+		if !opts.DisableTransform {
+			e.transformer.Start(opts.TransformPeriod)
+		}
+		if e.logMgr != nil {
+			e.logMgr.Start(opts.LogFlushInterval)
+		}
+	}
+	return e, nil
+}
+
+// Close stops background work and releases the log.
+func (e *Engine) Close() error {
+	if e.opts.Background {
+		e.transformer.Stop()
+		e.collector.Stop()
+	}
+	if e.logMgr != nil {
+		return e.logMgr.Close()
+	}
+	return nil
+}
+
+// CreateTable registers a table with the given Arrow schema.
+func (e *Engine) CreateTable(name string, schema *Schema) (*Table, error) {
+	t, err := e.cat.CreateTable(name, schema)
+	if err != nil {
+		return nil, err
+	}
+	e.observer.Watch(t.DataTable)
+	return &Table{Table: t, eng: e}, nil
+}
+
+// Table resolves a table by name.
+func (e *Engine) Table(name string) *Table {
+	t := e.cat.Table(name)
+	if t == nil {
+		return nil
+	}
+	return &Table{Table: t, eng: e}
+}
+
+// Begin starts a transaction.
+func (e *Engine) Begin() *Txn { return e.mgr.Begin() }
+
+// Commit commits tx; the returned timestamp orders it against other
+// transactions. With logging enabled durability is asynchronous — use
+// CommitDurable to block until the commit record is on disk.
+func (e *Engine) Commit(tx *Txn) uint64 { return e.mgr.Commit(tx, nil) }
+
+// CommitDurable commits and waits for the WAL fsync (no-op without a log).
+func (e *Engine) CommitDurable(tx *Txn) uint64 {
+	done := make(chan struct{})
+	ts := e.mgr.Commit(tx, func() { close(done) })
+	<-done
+	return ts
+}
+
+// Abort rolls tx back.
+func (e *Engine) Abort(tx *Txn) { e.mgr.Abort(tx) }
+
+// RunGC performs one synchronous garbage collection pass.
+func (e *Engine) RunGC() { e.collector.RunOnce() }
+
+// RunTransform performs one synchronous transformation pass and reports
+// blocks frozen.
+func (e *Engine) RunTransform() int { return e.transformer.RunOnce() }
+
+// FreezeAll drives GC and transformation synchronously until every block of
+// every table is frozen (or maxPasses passes elapse). Intended for
+// benchmarks and examples that need a fully cold database.
+func (e *Engine) FreezeAll(maxPasses int) bool {
+	if maxPasses <= 0 {
+		maxPasses = 100
+	}
+	for pass := 0; pass < maxPasses; pass++ {
+		e.collector.RunOnce()
+		e.transformer.ForcePass()
+		if e.allFrozen() {
+			return true
+		}
+	}
+	return e.allFrozen()
+}
+
+func (e *Engine) allFrozen() bool {
+	for _, t := range e.cat.Tables() {
+		for _, b := range t.Blocks() {
+			if b.InsertHead() > 0 && b.State() != storage.StateFrozen {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// TransformStats snapshots pipeline counters.
+func (e *Engine) TransformStats() TransformStats { return e.transformer.Stats() }
+
+// BlockStates counts blocks of the named table by state:
+// [hot, cooling, freezing, frozen] — Figure 10b's metric.
+func (e *Engine) BlockStates(table string) (counts [4]int) {
+	t := e.cat.Table(table)
+	if t == nil {
+		return
+	}
+	for _, b := range t.Blocks() {
+		counts[b.State()]++
+	}
+	return
+}
+
+// Recover replays a WAL file into this (fresh) engine.
+func (e *Engine) Recover(path string) error {
+	_, err := wal.Recover(path, e.mgr, e.cat.DataTables())
+	return err
+}
+
+// FlushLog forces one synchronous group commit (no-op without a log).
+func (e *Engine) FlushLog() {
+	if e.logMgr != nil {
+		e.logMgr.FlushOnce()
+	}
+}
+
+// Internals exposes the wired subsystems to in-module tooling (benchmarks,
+// export servers). External users should not need it.
+func (e *Engine) Internals() (*txn.Manager, *gc.GarbageCollector, *transform.Transformer, *catalog.Catalog) {
+	return e.mgr, e.collector, e.transformer, e.cat
+}
+
+// Table wraps a catalog table with engine-aware helpers.
+type Table struct {
+	*catalog.Table
+	eng *Engine
+}
+
+// NewRow allocates a full-width row for inserts.
+func (t *Table) NewRow() *Row { return t.AllColumnsProjection().NewRow() }
+
+// ProjectionOf builds a projection over the named columns.
+func (t *Table) ProjectionOf(cols ...string) (*Projection, error) {
+	ids := make([]ColumnID, len(cols))
+	for i, name := range cols {
+		idx := t.Schema.FieldIndex(name)
+		if idx < 0 {
+			return nil, fmt.Errorf("mainline: table %s has no column %q", t.Name, name)
+		}
+		ids[i] = ColumnID(idx)
+	}
+	return storage.NewProjection(t.Layout(), ids)
+}
+
+// ExportIPC streams the table to w in the Arrow IPC format: frozen blocks
+// zero-copy, hot blocks transactionally materialized. It returns bytes
+// written and how many blocks took each path.
+func (t *Table) ExportIPC(w io.Writer, tx *Txn) (written int64, frozen, materialized int, err error) {
+	batches, fz, mat, err := t.ExportBatches(tx)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	wr := arrow.NewWriter(w)
+	for _, rb := range batches {
+		// Schemas can differ per block (dictionary-compressed vs hot
+		// materialized); re-announce on change.
+		if err := wr.WriteSchema(rb.Schema); err != nil {
+			return wr.BytesWritten, fz, mat, err
+		}
+		if err := wr.WriteBatch(rb); err != nil {
+			return wr.BytesWritten, fz, mat, err
+		}
+	}
+	if err := wr.Close(); err != nil {
+		return wr.BytesWritten, fz, mat, err
+	}
+	return wr.BytesWritten, fz, mat, nil
+}
