@@ -128,6 +128,51 @@ func BenchmarkFig15DataExport(b *testing.B) {
 	}
 }
 
+// BenchmarkCommitPipeline sweeps the parallel commit pipeline: TPC-C
+// terminals issuing durable commits against the group-commit WAL, 1→8
+// workers. txns/fsync is the achieved group size; the speedup column is
+// the pipeline's scaling (I/O amortization, so it shows even on one core).
+func BenchmarkCommitPipeline(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := bench.DefaultGroupCommitConfig()
+		cfg.Duration = 500 * time.Millisecond
+		t, _, err := bench.GroupCommit(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			t.Print(benchWriter{b})
+		}
+	}
+}
+
+// TestCommitPipelineScaling asserts the headline property of the parallel
+// commit pipeline: aggregate durable-commit throughput at 4 workers is at
+// least 2x the 1-worker figure (groups amortize the sync cost). The probe
+// uses the emulated-latency sink so the result does not depend on the
+// host's fsync speed.
+func TestCommitPipelineScaling(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-dependent scaling probe")
+	}
+	if raceEnabled {
+		t.Skip("race-detector overhead makes the sweep CPU-bound")
+	}
+	cfg := bench.DefaultGroupCommitConfig()
+	cfg.Workers = []int{1, 4}
+	cfg.Duration = time.Second
+	_, pts, err := bench.GroupCommit(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, at4 := pts[0].TxnPerSec, pts[1].TxnPerSec
+	t.Logf("1 worker: %.0f txn/s, 4 workers: %.0f txn/s (%.1fx, group size %.1f)",
+		base, at4, at4/base, pts[1].GroupSize)
+	if at4 < 2*base {
+		t.Fatalf("4-worker throughput %.0f < 2x 1-worker %.0f", at4, base)
+	}
+}
+
 // BenchmarkTPCCNewOrder micro-measures the New-Order profile alone.
 func BenchmarkTPCCNewOrder(b *testing.B) {
 	eng, err := Open(Options{})

@@ -6,7 +6,11 @@
 //
 // Usage:
 //
-//	mainline-bench [flags] fig1|fig10|fig11|fig12|fig13|fig14|fig15|all
+//	mainline-bench [flags] fig1|fig10|fig11|fig12|fig13|fig14|fig15|commit|all
+//
+// The extra "commit" target (not a paper figure) sweeps the parallel
+// commit pipeline: durable TPC-C throughput versus terminals under WAL
+// group commit.
 package main
 
 import (
@@ -31,7 +35,7 @@ func main() {
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: mainline-bench [flags] fig1|fig10|fig11|fig12|fig13|fig14|fig15|all")
+		fmt.Fprintln(os.Stderr, "usage: mainline-bench [flags] fig1|fig10|fig11|fig12|fig13|fig14|fig15|commit|all")
 		os.Exit(2)
 	}
 	s := func(n int) int {
@@ -86,6 +90,13 @@ func main() {
 		return bench.Fig14(bench.VariantMixed, s(*blocks), *perBlock, []int{1, 2, 4, 8, 16}, nil)
 	})
 	run("fig15", func() (*benchutil.Table, error) { return bench.Fig15(s(*rows), nil) })
+	run("commit", func() (*benchutil.Table, error) {
+		cfg := bench.DefaultGroupCommitConfig()
+		cfg.Duration = *duration
+		cfg.Workers = parseInts(*workers)
+		t, _, err := bench.GroupCommit(cfg)
+		return t, err
+	})
 }
 
 func parseInts(s string) []int {

@@ -16,6 +16,7 @@ import (
 	"mainline/internal/storage"
 	"mainline/internal/transform"
 	"mainline/internal/txn"
+	"mainline/internal/wal"
 	"mainline/internal/workload/tpcc"
 )
 
@@ -27,8 +28,26 @@ func main() {
 		mode       = flag.String("transform", "gather", "transformation: off|gather|dictionary")
 		full       = flag.Bool("full-scale", false, "spec-size database (100K items, 3K customers/district)")
 		threshold  = flag.Duration("threshold", 10*time.Millisecond, "cold-block threshold")
+
+		walPath     = flag.String("wal", "", "write-ahead log file (enables group-commit logging)")
+		durable     = flag.Bool("durable", false, "terminals wait for the group-commit fsync (needs -wal)")
+		syncLatency = flag.Duration("sync-latency", 0, "emulate a log device with this fsync cost (0 = raw)")
+		syncDelay   = flag.Duration("sync-delay", 0, "group-formation window before each log flush")
 	)
 	flag.Parse()
+	if *walPath == "" {
+		switch {
+		case *durable:
+			fmt.Fprintln(os.Stderr, "-durable requires -wal")
+			os.Exit(2)
+		case *syncLatency > 0:
+			fmt.Fprintln(os.Stderr, "-sync-latency requires -wal")
+			os.Exit(2)
+		case *syncDelay > 0:
+			fmt.Fprintln(os.Stderr, "-sync-delay requires -wal")
+			os.Exit(2)
+		}
+	}
 
 	reg := storage.NewRegistry()
 	mgr := txn.NewManager(reg)
@@ -49,6 +68,18 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("loaded in %v\n", time.Since(t0).Round(time.Millisecond))
+
+	// The WAL hook is installed after load so the initial population is not
+	// logged; the run's transactions are.
+	var lm *wal.LogManager
+	if *walPath != "" {
+		var err error
+		lm, err = wal.OpenPipeline(*walPath, mgr, *syncLatency, *syncDelay, 5*time.Millisecond)
+		if err != nil {
+			log.Fatal(err)
+		}
+		db.Durable = *durable
+	}
 
 	g := gc.New(mgr)
 	obs := transform.NewObserver()
@@ -84,7 +115,21 @@ func main() {
 	}
 	g.Stop()
 
-	fmt.Printf("\nthroughput: %.0f txn/s (committed %d, aborted %d)\n", res.Throughput(), res.Total(), res.Aborted)
+	fmt.Printf("\nthroughput: %.0f txn/s, %.0f tpmC (committed %d, aborted %d)\n",
+		res.Throughput(), res.TpmC(), res.Total(), res.Aborted)
+	if lm != nil {
+		// Close first: it drains the final group, so Stats covers the run.
+		if err := lm.Close(); err != nil {
+			log.Fatal(err)
+		}
+		txns, bytes, syncs := lm.Stats()
+		group := 0.0
+		if syncs > 0 {
+			group = float64(txns) / float64(syncs)
+		}
+		fmt.Printf("wal: %d txns logged, %d bytes, %d fsyncs (%.1f txns/fsync, durable=%v)\n",
+			txns, bytes, syncs, group, *durable)
+	}
 	names := []string{"new-order", "payment", "order-status", "delivery", "stock-level"}
 	for i, n := range res.Committed {
 		fmt.Printf("  %-13s %8d (%.1f%%)\n", names[i], n, 100*float64(n)/float64(res.Total()))

@@ -1,0 +1,3 @@
+module mainline
+
+go 1.24

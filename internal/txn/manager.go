@@ -2,45 +2,90 @@ package txn
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"mainline/internal/storage"
 )
 
 // CommitHook receives committed transactions whose redo buffers must be made
 // durable; the WAL implements it. The hook must eventually invoke the
-// transaction's durable callback.
+// transaction's durable callback. It runs on the committing goroutine
+// INSIDE the transaction's commit latch shard — load-bearing for
+// CommitFrontier's barrier guarantee — so it must be quick, must not
+// block, and must not begin or finish other transactions. It must be safe
+// for concurrent invocation (one call per shard at a time).
 type CommitHook func(*Transaction)
+
+// NumShards is the number of latch shards for the commit critical section,
+// the active-transactions table, and the completed queue. Committers on
+// different shards never contend; within a shard the paper's small commit
+// critical section (commit-timestamp allocation + undo stamping) still runs
+// under a latch. Power of two so shard selection is a mask.
+const NumShards = 16
+
+// shardMask extracts a shard index from the round-robin counter.
+const shardMask = NumShards - 1
+
+// commitShard is one commit latch, padded to its own cache line so latches
+// on neighbouring shards do not false-share.
+type commitShard struct {
+	mu sync.Mutex
+	_  [56]byte
+}
+
+// activeShard is one slice of the active-transactions table plus that
+// shard's completed queue. Begin draws the start timestamp while holding the
+// shard latch — OldestActiveTs relies on this (see the comment there).
+type activeShard struct {
+	mu        sync.Mutex
+	active    map[uint64]*Transaction // keyed by start timestamp
+	completed []*Transaction
+	_         [24]byte
+}
 
 // Manager is the transaction engine: it issues timestamps, tracks active
 // transactions (the "transactions table" the GC consults for the oldest
 // active start timestamp), runs the small commit critical section, and
 // executes the abort protocol.
+//
+// The commit path is sharded for multi-core scaling: a transaction is
+// assigned a shard at Begin (round-robin), and Commit serializes only
+// against other committers on the same shard. This is sound because the
+// critical section touches exclusively per-transaction state (the commit
+// timestamp and the transaction's own undo records); cross-transaction
+// ordering comes from the global timestamp counter, and WAL recovery
+// replays by commit timestamp rather than log position, so commits need not
+// reach the log in timestamp order.
 type Manager struct {
 	ts  TimestampSource
 	reg *storage.Registry
 
 	pool *SegmentPool
 
-	// commitMu is the paper's small critical section serializing commit
-	// timestamp assignment with undo-record stamping (§3.1).
-	commitMu sync.Mutex
+	// beginCounter round-robins Begin calls across shards.
+	beginCounter atomic.Uint64
 
-	activeMu sync.Mutex
-	active   map[uint64]*Transaction // keyed by start timestamp
+	// commitShards are the paper's small commit critical section (§3.1),
+	// sharded: timestamp assignment and undo-record stamping for
+	// transactions on different shards proceed in parallel.
+	commitShards [NumShards]commitShard
 
-	completedMu sync.Mutex
-	completed   []*Transaction
+	// activeShards hold the active table and completed queues.
+	activeShards [NumShards]activeShard
 
 	commitHook CommitHook
 }
 
 // NewManager builds a transaction manager over the block registry.
 func NewManager(reg *storage.Registry) *Manager {
-	return &Manager{
-		reg:    reg,
-		pool:   NewSegmentPool(),
-		active: make(map[uint64]*Transaction),
+	m := &Manager{
+		reg:  reg,
+		pool: NewSegmentPool(),
 	}
+	for i := range m.activeShards {
+		m.activeShards[i].active = make(map[uint64]*Transaction)
+	}
+	return m
 }
 
 // SetCommitHook installs the WAL's commit hook; nil disables logging (the
@@ -54,27 +99,34 @@ func (m *Manager) Registry() *storage.Registry { return m.reg }
 func (m *Manager) SegmentPool() *SegmentPool { return m.pool }
 
 // Begin starts a transaction: start and in-flight commit timestamps come
-// from the same counter, the latter with its sign bit flipped (§3.1).
+// from the same counter, the latter with its sign bit flipped (§3.1). The
+// start timestamp is drawn while the shard latch is held so that
+// OldestActiveTs can bound unseen starts by the clock (see there).
 func (m *Manager) Begin() *Transaction {
-	m.activeMu.Lock()
+	shard := uint32(m.beginCounter.Add(1)) & shardMask
+	sh := &m.activeShards[shard]
+	sh.mu.Lock()
 	start := m.ts.Next()
 	t := &Transaction{
 		mgr:   m,
+		shard: shard,
 		start: start,
 		txnTs: MakeUncommitted(start),
 		undo:  NewUndoBuffer(m.pool),
 	}
-	m.active[start] = t
-	m.activeMu.Unlock()
+	sh.active[start] = t
+	sh.mu.Unlock()
 	return t
 }
 
-// Commit finishes a transaction: inside the critical section it draws the
-// commit timestamp, stamps every undo record with it, and hands the redo
-// buffer to the log manager's queue. durableCallback (optional) fires when
-// the commit record reaches disk; with logging disabled it fires
-// immediately. The rest of the system treats the transaction as committed
-// as soon as this returns (§3.4).
+// Commit finishes a transaction: inside the (sharded) critical section it
+// draws the commit timestamp, stamps every undo record with it — making
+// the transaction's versions visible to later snapshots — and hands the
+// redo buffer to the log manager's queue (still inside the latch; see
+// CommitFrontier). durableCallback (optional) fires when the commit
+// record reaches disk;
+// with logging disabled it fires immediately. The rest of the system treats
+// the transaction as committed as soon as this returns (§3.4).
 func (m *Manager) Commit(t *Transaction, durableCallback func()) uint64 {
 	if t.Finished() {
 		panic("txn: commit on finished transaction")
@@ -82,7 +134,8 @@ func (m *Manager) Commit(t *Transaction, durableCallback func()) uint64 {
 	t.readOnly = t.undo.Len() == 0 && len(t.redo) == 0
 	t.durableCallback = durableCallback
 
-	m.commitMu.Lock()
+	sh := &m.commitShards[t.shard]
+	sh.mu.Lock()
 	commitTs := m.ts.Next()
 	t.commit = commitTs
 	t.undo.Iterate(func(r *storage.UndoRecord) bool {
@@ -90,21 +143,44 @@ func (m *Manager) Commit(t *Transaction, durableCallback func()) uint64 {
 		return true
 	})
 	t.committed = true
+	// The redo buffer is handed to the log manager's flush queue INSIDE
+	// the latch: CommitFrontier's latch barrier then guarantees that every
+	// commit timestamp below the frontier has reached the queue, which is
+	// what lets the log manager release durability acks in dependency-safe
+	// order (see wal: a transaction must not be acked before transactions
+	// it may have read from are durable). Read-only transactions also
+	// obtain a commit record (paper: guards speculative read anomalies);
+	// the log manager skips writing it but still fires the callback.
 	hook := m.commitHook
-	m.commitMu.Unlock()
-
-	// Hand the redo buffer to the log manager's flush queue. Read-only
-	// transactions also obtain a commit record (paper: guards speculative
-	// read anomalies); the log manager skips writing it but still fires the
-	// callback.
 	if hook != nil {
 		hook(t)
-	} else {
+	}
+	sh.mu.Unlock()
+
+	if hook == nil {
 		t.InvokeDurableCallback()
 	}
-
 	m.retire(t)
 	return commitTs
+}
+
+// CommitFrontier returns a timestamp F such that every transaction that
+// committed with timestamp < F has already been handed to the commit hook
+// (i.e., is in the log manager's queue or beyond). The clock is read
+// first, then each commit latch is acquired and released: a commit the
+// barrier races with either completes its critical section — hook call
+// included — before the latch is granted, or draws its timestamp after
+// the clock read and is therefore ≥ F.
+func (m *Manager) CommitFrontier() uint64 {
+	frontier := m.ts.Current() + 1
+	for i := range m.commitShards {
+		sh := &m.commitShards[i]
+		// The empty critical section IS the barrier: it waits out any
+		// committer currently inside the shard's commit path.
+		sh.mu.Lock()
+		sh.mu.Unlock() //nolint:staticcheck
+	}
+	return frontier
 }
 
 // Abort rolls back a transaction. In-place state is restored newest-first;
@@ -161,39 +237,51 @@ func (m *Manager) rollback(r *storage.UndoRecord) {
 	}
 }
 
-// retire removes t from the active table and queues it for the GC.
+// retire removes t from its active shard and queues it for the GC.
 func (m *Manager) retire(t *Transaction) {
-	m.activeMu.Lock()
-	delete(m.active, t.start)
-	m.activeMu.Unlock()
-	m.completedMu.Lock()
-	m.completed = append(m.completed, t)
-	m.completedMu.Unlock()
+	sh := &m.activeShards[t.shard]
+	sh.mu.Lock()
+	delete(sh.active, t.start)
+	sh.completed = append(sh.completed, t)
+	sh.mu.Unlock()
 }
 
-// OldestActiveTs returns the smallest start timestamp among active
-// transactions, or the current time if none are active — the GC's
-// visibility watermark (§3.3).
+// OldestActiveTs returns a timestamp at or below the smallest start
+// timestamp among active transactions — the GC's visibility watermark
+// (§3.3).
+//
+// The clock is read BEFORE the shard scan. Begin draws its start timestamp
+// inside the shard latch, so any transaction the scan misses must have
+// entered its shard's critical section after we locked that shard — which
+// is after the clock read — and therefore has start > cur. Capping the
+// result at cur+1 thus lower-bounds every unseen start; without the cap, a
+// transaction seen late in the scan could push the watermark above an
+// unseen earlier start.
 func (m *Manager) OldestActiveTs() uint64 {
-	m.activeMu.Lock()
-	defer m.activeMu.Unlock()
-	if len(m.active) == 0 {
-		return m.ts.Current() + 1
-	}
-	oldest := ^uint64(0)
-	for start := range m.active {
-		if start < oldest {
-			oldest = start
+	oldest := m.ts.Current() + 1
+	for i := range m.activeShards {
+		sh := &m.activeShards[i]
+		sh.mu.Lock()
+		for start := range sh.active {
+			if start < oldest {
+				oldest = start
+			}
 		}
+		sh.mu.Unlock()
 	}
 	return oldest
 }
 
 // ActiveCount reports the number of in-flight transactions.
 func (m *Manager) ActiveCount() int {
-	m.activeMu.Lock()
-	defer m.activeMu.Unlock()
-	return len(m.active)
+	n := 0
+	for i := range m.activeShards {
+		sh := &m.activeShards[i]
+		sh.mu.Lock()
+		n += len(sh.active)
+		sh.mu.Unlock()
+	}
+	return n
 }
 
 // Timestamp draws a fresh timestamp (GC unlink stamps, deferred actions).
@@ -203,11 +291,16 @@ func (m *Manager) Timestamp() uint64 { return m.ts.Next() }
 func (m *Manager) CurrentTime() uint64 { return m.ts.Current() }
 
 // DrainCompleted removes and returns all transactions finished since the
-// previous call, in completion order — the GC's work queue.
+// previous call — the GC's work queue. Order across shards is arbitrary;
+// the GC keys on commit timestamps, not completion order.
 func (m *Manager) DrainCompleted() []*Transaction {
-	m.completedMu.Lock()
-	out := m.completed
-	m.completed = nil
-	m.completedMu.Unlock()
+	var out []*Transaction
+	for i := range m.activeShards {
+		sh := &m.activeShards[i]
+		sh.mu.Lock()
+		out = append(out, sh.completed...)
+		sh.completed = nil
+		sh.mu.Unlock()
+	}
 	return out
 }

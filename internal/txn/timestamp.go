@@ -3,6 +3,37 @@
 // undo/redo buffers built from fixed-size segments, transaction contexts,
 // and a manager providing snapshot-isolation begin/commit/abort with the
 // paper's restore-then-commit abort protocol.
+//
+// # Parallel commit pipeline
+//
+// The commit critical section — commit-timestamp allocation plus stamping
+// the transaction's undo records so its versions become visible — is
+// sharded across NumShards latches rather than guarded by one global
+// mutex. A transaction is bound to a shard at Begin (round-robin), and its
+// Commit contends only with committers on the same shard. Sharding is
+// sound because the critical section mutates exclusively per-transaction
+// state; global ordering comes from the single atomic timestamp counter.
+//
+// Ordering invariants the rest of the system relies on:
+//
+//   - Commit timestamps are globally unique and strictly increasing
+//     (single atomic counter), so snapshot visibility (Visible) is a total
+//     order even though commits on different shards race.
+//   - A transaction's versions become visible atomically with respect to
+//     its own shard latch, but a concurrent reader may observe the
+//     in-flight (uncommitted-flagged) stamp while stamping is underway;
+//     such readers apply the before-image, which is exactly their
+//     snapshot's view, so snapshot isolation is preserved.
+//   - The write-ahead log does NOT receive transactions in commit order
+//     across shards; recovery sorts by commit timestamp (see package wal).
+//     The log handoff runs inside the shard latch so that CommitFrontier's
+//     latch barrier can bound which timestamps have reached the log queue,
+//     letting the log manager release durability acks in dependency-safe
+//     order.
+//   - OldestActiveTs reads the clock before scanning the sharded active
+//     table and caps its result at clock+1, which lower-bounds the start
+//     of any transaction the scan races with. The GC watermark is
+//     therefore conservative, never too new.
 package txn
 
 import "sync/atomic"

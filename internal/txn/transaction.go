@@ -25,6 +25,10 @@ type RedoRecord struct {
 type Transaction struct {
 	mgr *Manager
 
+	// shard is the latch shard assigned at Begin; Commit and retire use it
+	// to pick their critical sections.
+	shard uint32
+
 	start  uint64
 	txnTs  uint64 // start | UncommittedFlag while in flight
 	commit uint64 // final commit (or abort) timestamp

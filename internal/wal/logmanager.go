@@ -3,6 +3,7 @@ package wal
 import (
 	"fmt"
 	"os"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -39,21 +40,90 @@ func (s *FileSink) Sync() error { return s.f.Sync() }
 // Close closes the file.
 func (s *FileSink) Close() error { return s.f.Close() }
 
-// LogManager drains the commit flush queue, serializes redo buffers, groups
-// fsyncs, and fires durability callbacks (§3.4). One goroutine owns the
-// sink; transactions only enqueue.
+// LatencySink wraps a Sink and imposes a minimum Sync duration, emulating a
+// storage device with a fixed sync cost (benchmarks on filesystems whose
+// fsync is near-free would otherwise measure only CPU). Group commit's
+// value is amortizing exactly this latency across a batch.
+type LatencySink struct {
+	Inner Sink
+	// SyncLatency is the minimum wall-clock cost of one Sync.
+	SyncLatency time.Duration
+}
+
+// Write forwards to the inner sink.
+func (s *LatencySink) Write(p []byte) (int, error) { return s.Inner.Write(p) }
+
+// Sync forwards to the inner sink and pads the call out to SyncLatency.
+func (s *LatencySink) Sync() error {
+	start := time.Now()
+	err := s.Inner.Sync()
+	if rest := s.SyncLatency - time.Since(start); rest > 0 {
+		time.Sleep(rest)
+	}
+	return err
+}
+
+// Close closes the inner sink.
+func (s *LatencySink) Close() error { return s.Inner.Close() }
+
+// numEnqueueShards spreads committer enqueues across independent latches so
+// the commit hook itself never becomes the serial section it exists to
+// remove. Power of two; shard selection masks the commit timestamp.
+const numEnqueueShards = 8
+
+// pendingTxn is one committed transaction whose redo buffer has already
+// been serialized (by its own committing goroutine) and awaits the group
+// fsync. chunk is a pool pointer so recycling it does not box the slice
+// header (staticcheck SA6002).
+type pendingTxn struct {
+	t     *txn.Transaction
+	chunk *[]byte
+}
+
+// enqueueShard is one slice of the flush queue.
+type enqueueShard struct {
+	mu      sync.Mutex
+	pending []pendingTxn
+	_       [32]byte
+}
+
+// LogManager implements group commit (§3.4). Committers serialize their own
+// redo buffers — spreading encoding work across all committing cores — and
+// enqueue the resulting chunks into sharded pending lists; the flush
+// goroutine coalesces every queued chunk into a single write+fsync and then
+// fires durability callbacks. One goroutine owns the sink; transactions
+// only enqueue.
 type LogManager struct {
 	sink Sink
 
-	mu      sync.Mutex
-	queue   []*txn.Transaction
+	shards  [numEnqueueShards]enqueueShard
+	queued  atomic.Int64 // enqueued but not yet drained
 	nudge   chan struct{}
 	stopCh  chan struct{}
 	doneCh  chan struct{}
 	started atomic.Bool
 
-	// serialized batch buffer, reused across flushes
+	// failed wedges the manager after a write or sync error: nothing
+	// further is written, because bytes appended past a failed group
+	// would break the dependency-closed prefix (a later transaction on
+	// disk whose earlier dependency never landed). The default OnError
+	// panics before this matters; survivable OnError overrides observe
+	// FailedFlushes and must treat the log as lost.
+	failed atomic.Bool
+
+	// chunkPool recycles per-transaction serialization buffers.
+	chunkPool sync.Pool
+
+	// flushMu serializes FlushOnce callers (background loop vs manual).
+	flushMu sync.Mutex
+	// buf is the coalesced batch buffer, reused across flushes.
 	buf []byte
+	// frontier reports the manager's commit frontier (txn.CommitFrontier);
+	// nil disables dependency-closed flushing (every drained chunk is
+	// written immediately) — acceptable for single-threaded use, required
+	// to be set for concurrent durable commits. Set via Attach (before
+	// Start).
+	frontier func() uint64
 
 	// Stats.
 	txnsLogged    atomic.Int64
@@ -64,38 +134,101 @@ type LogManager struct {
 	// OnError receives background flush errors (default: panic, because a
 	// storage engine must not silently lose durability).
 	OnError func(error)
+
+	// SyncDelay is how long the flusher waits after the first enqueue
+	// before draining, letting a group form instead of syncing the first
+	// committer alone (MySQL's binlog group-commit sync delay). 0 flushes
+	// immediately — lowest latency, smallest groups. Set before Start.
+	SyncDelay time.Duration
 }
 
 // NewLogManager creates a manager writing to sink.
 func NewLogManager(sink Sink) *LogManager {
-	return &LogManager{
+	l := &LogManager{
 		sink:  sink,
 		nudge: make(chan struct{}, 1),
 		OnError: func(err error) {
 			panic(fmt.Sprintf("wal: flush failed: %v", err))
 		},
 	}
+	l.chunkPool.New = func() any { b := make([]byte, 0, 512); return &b }
+	return l
 }
 
-// Hook returns the commit hook to install on the transaction manager: it
-// appends the committed transaction to the flush queue. The rest of the
-// system treats the transaction as committed immediately; results are
-// published to clients only via the durability callback.
+// OpenPipeline assembles the whole group-commit pipeline in one call: a
+// file sink at path (wrapped in a LatencySink when syncLatency > 0), a
+// log manager with the given group-formation window, frontier attachment
+// to m, and the background flusher at flushInterval. Close the returned
+// manager to drain and release the file.
+func OpenPipeline(path string, m *txn.Manager, syncLatency, syncDelay, flushInterval time.Duration) (*LogManager, error) {
+	fileSink, err := OpenFileSink(path)
+	if err != nil {
+		return nil, err
+	}
+	var sink Sink = fileSink
+	if syncLatency > 0 {
+		sink = &LatencySink{Inner: fileSink, SyncLatency: syncLatency}
+	}
+	l := NewLogManager(sink)
+	l.SyncDelay = syncDelay
+	l.Attach(m)
+	l.Start(flushInterval)
+	return l, nil
+}
+
+// Attach wires the log manager to the transaction manager: installs the
+// commit hook and the commit-frontier source that keeps the written log
+// prefix dependency-closed (see FlushOnce). Use this (rather than
+// SetCommitHook(Hook()) alone) whenever transactions commit concurrently.
+func (l *LogManager) Attach(m *txn.Manager) {
+	l.frontier = m.CommitFrontier
+	m.SetCommitHook(l.Hook())
+}
+
+// Hook returns the commit hook to install on the transaction manager. It
+// runs on the committing goroutine, inside its commit latch shard: it
+// serializes the transaction's redo buffer into a pooled chunk, appends it
+// to an enqueue shard, and nudges the flusher. The rest of the system
+// treats the transaction as committed immediately; results are published
+// to clients only via the durability callback.
 func (l *LogManager) Hook() txn.CommitHook {
 	return func(t *txn.Transaction) {
-		l.mu.Lock()
-		l.queue = append(l.queue, t)
-		l.mu.Unlock()
-		select {
-		case l.nudge <- struct{}{}:
-		default:
+		l.Enqueue(t)
+	}
+}
+
+// Enqueue serializes t's redo buffer and adds it to the flush queue.
+// Read-only transactions contribute only a read-only commit record (the
+// paper requires their presence in the queue; recovery ignores them).
+func (l *LogManager) Enqueue(t *txn.Transaction) {
+	cp := l.chunkPool.Get().(*[]byte)
+	chunk := (*cp)[:0]
+	redos := t.RedoRecords()
+	if len(redos) == 0 {
+		chunk = AppendCommit(chunk, t.CommitTs(), true)
+	} else {
+		for _, r := range redos {
+			chunk = AppendRedo(chunk, t.CommitTs(), r)
 		}
+		chunk = AppendCommit(chunk, t.CommitTs(), false)
+	}
+	*cp = chunk
+
+	sh := &l.shards[t.CommitTs()&(numEnqueueShards-1)]
+	sh.mu.Lock()
+	sh.pending = append(sh.pending, pendingTxn{t: t, chunk: cp})
+	sh.mu.Unlock()
+	l.queued.Add(1)
+
+	select {
+	case l.nudge <- struct{}{}:
+	default:
 	}
 }
 
 // Start launches the flush goroutine. interval bounds how long a commit may
 // wait for its group; the queue nudge makes idle-system commits flush
-// immediately.
+// immediately, so groups form only under concurrency.
 func (l *LogManager) Start(interval time.Duration) {
 	if l.started.Swap(true) {
 		return
@@ -112,56 +245,145 @@ func (l *LogManager) Start(interval time.Duration) {
 				l.FlushOnce()
 				return
 			case <-ticker.C:
+				l.groupWindow()
 				l.FlushOnce()
 			case <-l.nudge:
+				l.groupWindow()
 				l.FlushOnce()
 			}
 		}
 	}()
 }
 
-// Stop drains outstanding commits and halts the flush goroutine.
-func (l *LogManager) Stop() {
-	if !l.started.Swap(false) {
-		return
+// groupWindow waits out the SyncDelay group-formation window before a
+// flush with work pending. Applied on every wakeup — ticker included —
+// so select's pseudo-random choice between ready arms cannot cut groups
+// short.
+func (l *LogManager) groupWindow() {
+	if l.SyncDelay > 0 && l.queued.Load() > 0 {
+		time.Sleep(l.SyncDelay)
 	}
-	close(l.stopCh)
-	<-l.doneCh
 }
 
-// FlushOnce serializes every queued transaction, writes and syncs the sink,
-// then fires durability callbacks — one group commit.
+// Stop halts the flush goroutine and drains outstanding commits. Callers
+// must not race new Commits past Stop (finish or join committers first);
+// every commit enqueued before Stop is flushed and its durability callback
+// fired, even if it slipped past the flusher's final pass.
+func (l *LogManager) Stop() {
+	if l.started.Swap(false) {
+		close(l.stopCh)
+		<-l.doneCh
+	}
+	// Drain even if the background flusher never ran (manual-flush mode):
+	// the contract covers every enqueued commit. A wedged (failed) log
+	// cannot make progress, so it is exempt.
+	for l.queued.Load() > 0 && !l.failed.Load() {
+		l.FlushOnce()
+	}
+}
+
+// FlushOnce drains the enqueue shards, coalesces pre-serialized chunks
+// into one sink write, fsyncs, then fires the group's durability callbacks
+// — one group commit. On a write or sync error the group's callbacks are
+// withheld (durability was not achieved) and OnError decides whether to
+// survive.
+//
+// With a frontier source attached (Attach), the written prefix of the log
+// is kept DEPENDENCY-CLOSED: only chunks whose commit timestamp lies below
+// the write frontier — the minimum of the manager's commit frontier and
+// the oldest chunk still waiting in the enqueue shards — are written this
+// round (the rest are re-queued), and each group is written in ascending
+// timestamp order. Consequence: for any transaction on disk, every
+// committed transaction with a smaller timestamp — everything it could
+// have read from — is on disk at or before it, even across a torn tail.
+// Without this, a crash could preserve a dependent transaction while
+// losing its dependency, and recovery (which replays exactly the
+// timestamps whose commit records survived) would fail on the missing
+// slot or materialize a state that never existed.
 func (l *LogManager) FlushOnce() {
-	l.mu.Lock()
-	batch := l.queue
-	l.queue = nil
-	l.mu.Unlock()
+	l.flushMu.Lock()
+	defer l.flushMu.Unlock()
+
+	if l.failed.Load() || l.queued.Load() == 0 {
+		return
+	}
+	var batch []pendingTxn
+	for i := range l.shards {
+		sh := &l.shards[i]
+		sh.mu.Lock()
+		batch = append(batch, sh.pending...)
+		sh.pending = nil
+		sh.mu.Unlock()
+	}
 	if len(batch) == 0 {
 		return
 	}
+	l.queued.Add(int64(-len(batch)))
+
+	if l.frontier != nil {
+		// Write frontier: the manager's latch barrier guarantees every
+		// commit ts below it has reached our queue; the waiting-chunk scan
+		// (which must run after the barrier) covers chunks enqueued since
+		// the drain above. Chunks at or above the frontier wait for the
+		// next group.
+		frontier := l.frontier()
+		for i := range l.shards {
+			sh := &l.shards[i]
+			sh.mu.Lock()
+			for _, p := range sh.pending {
+				if ts := p.t.CommitTs(); ts < frontier {
+					frontier = ts
+				}
+			}
+			sh.mu.Unlock()
+		}
+		write := batch[:0]
+		var requeue []pendingTxn
+		for _, p := range batch {
+			if p.t.CommitTs() < frontier {
+				write = append(write, p)
+			} else {
+				requeue = append(requeue, p)
+			}
+		}
+		batch = write
+		if len(requeue) > 0 {
+			for _, p := range requeue {
+				sh := &l.shards[p.t.CommitTs()&(numEnqueueShards-1)]
+				sh.mu.Lock()
+				sh.pending = append(sh.pending, p)
+				sh.mu.Unlock()
+			}
+			l.queued.Add(int64(len(requeue)))
+		}
+		if len(batch) == 0 {
+			return
+		}
+		// Ascending timestamp order makes every prefix of the write — and
+		// therefore any torn tail — dependency-closed too.
+		sort.Slice(batch, func(i, j int) bool {
+			return batch[i].t.CommitTs() < batch[j].t.CommitTs()
+		})
+	}
 
 	buf := l.buf[:0]
-	for _, t := range batch {
-		redos := t.RedoRecords()
-		// Read-only transactions get a commit record in the queue but the
-		// manager skips writing it (paper §3.4); the callback still fires.
-		if len(redos) == 0 {
-			buf = AppendCommit(buf, t.CommitTs(), true)
-			continue
-		}
-		for _, r := range redos {
-			buf = AppendRedo(buf, t.CommitTs(), r)
-		}
-		buf = AppendCommit(buf, t.CommitTs(), false)
+	for _, p := range batch {
+		buf = append(buf, *p.chunk...)
 	}
 	l.buf = buf
+	for _, p := range batch {
+		*p.chunk = (*p.chunk)[:0]
+		l.chunkPool.Put(p.chunk)
+	}
 
 	if _, err := l.sink.Write(buf); err != nil {
+		l.failed.Store(true)
 		l.failedFlushes.Add(1)
 		l.OnError(err)
 		return
 	}
 	if err := l.sink.Sync(); err != nil {
+		l.failed.Store(true)
 		l.failedFlushes.Add(1)
 		l.OnError(err)
 		return
@@ -170,14 +392,15 @@ func (l *LogManager) FlushOnce() {
 	l.bytesWritten.Add(int64(len(buf)))
 	l.txnsLogged.Add(int64(len(batch)))
 
-	// Durability achieved: release the commit callbacks.
-	for _, t := range batch {
-		t.InvokeDurableCallback()
+	// Durability achieved — and with a frontier, every dependency of every
+	// member is already on disk, so acks are safe to release immediately.
+	for _, p := range batch {
+		p.t.InvokeDurableCallback()
 	}
 }
 
 // Stats reports lifetime counters: transactions logged, bytes written, and
-// fsync batches.
+// fsync batches. txns/syncs is the achieved mean group-commit size.
 func (l *LogManager) Stats() (txns, bytes, syncs int64) {
 	return l.txnsLogged.Load(), l.bytesWritten.Load(), l.syncs.Load()
 }

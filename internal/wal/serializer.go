@@ -1,9 +1,46 @@
 // Package wal implements the paper's logging and recovery components
 // (§3.4): transactions accumulate physical after-images in redo buffers; at
-// commit the transaction joins the flush queue; a log manager goroutine
-// serializes queued buffers to disk, batches fsyncs (group commit), and
-// invokes durability callbacks afterwards. Records are ordered implicitly by
-// commit timestamp — there are no log sequence numbers.
+// commit the transaction joins the flush queue; the log manager batches
+// fsyncs (group commit) and invokes durability callbacks afterwards.
+// Records are ordered implicitly by commit timestamp — there are no log
+// sequence numbers.
+//
+// # Group-commit protocol
+//
+// The pipeline has two halves joined by sharded pending queues:
+//
+//  1. Enqueue (committing goroutines, parallel): each committer serializes
+//     its own redo buffer into a pooled chunk — encoding cost is paid on
+//     the core that ran the transaction, not by the single flusher — and
+//     appends the chunk to one of the enqueue shards.
+//  2. Flush (one goroutine): FlushOnce drains every shard, concatenates
+//     the chunks, issues ONE sink write and ONE fsync for the whole group,
+//     and only then fires each transaction's durability callback.
+//
+// Durability guarantees: a transaction's durable callback fires only after
+// the fsync covering its commit record returns; if the write or sync
+// fails, no callback in that group fires. The engine treats transactions
+// as logically committed at Commit (their versions are visible), but
+// clients should be answered only from the durable callback — the paper's
+// "results are not returned until durable" rule.
+//
+// Ordering invariants: chunks reach the log in arbitrary interleaving
+// across transactions (commits race on different latch shards), but each
+// transaction's records are contiguous, its commit record last. Recovery
+// therefore groups redo records by commit timestamp, applies only
+// timestamps whose commit record survived, and replays groups in
+// commit-timestamp order — byte order in the file carries no meaning
+// beyond the torn-tail cutoff.
+//
+// Chunks race into the queue out of timestamp order, but the DISK prefix
+// must stay dependency-closed: if T2 read T1's writes (so commitTs(T1) <
+// commitTs(T2)) and T2 reached disk without T1, a crash would recover T2
+// alone — recovery either fails on the missing slot or materializes a
+// state that never existed. When attached to a transaction manager
+// (LogManager.Attach), the flusher writes only chunks below the write
+// frontier — min of the manager's CommitFrontier and the oldest
+// enqueued-but-unwritten commit — re-queues the rest, and sorts each
+// group by timestamp so torn tails stay closed too; see FlushOnce.
 package wal
 
 import (

@@ -34,6 +34,15 @@ func (r *RunResult) Throughput() float64 {
 	return float64(r.Total()) / r.Elapsed.Seconds()
 }
 
+// TpmC returns committed New-Order transactions per minute — the TPC-C
+// headline metric.
+func (r *RunResult) TpmC() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Committed[0]) / r.Elapsed.Minutes()
+}
+
 // Run drives `workers` goroutines — one home warehouse each (wrapping when
 // workers exceed warehouses) — for the given duration.
 func Run(db *Database, p *projections, workers int, duration time.Duration, seed uint64) *RunResult {

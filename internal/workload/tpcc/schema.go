@@ -249,6 +249,14 @@ type Database struct {
 	Mgr *txn.Manager
 	Cat *catalog.Catalog
 
+	// Durable switches workers to durable commits: every transaction waits
+	// for the WAL group-commit fsync covering its commit record before the
+	// terminal proceeds — the mode in which group commit determines
+	// throughput. Meaningful only with a wal.LogManager hook installed on
+	// Mgr (without one the callback fires synchronously and the wait is
+	// free).
+	Durable bool
+
 	Warehouse *catalog.Table
 	District  *catalog.Table
 	Customer  *catalog.Table
@@ -319,6 +327,18 @@ func NewDatabase(mgr *txn.Manager, cat *catalog.Catalog, cfg Config) (*Database,
 	db.NewOrder.AddIndex("pk", db.NewOrderPK)
 	db.OrderLine.AddIndex("pk", db.OrderLinePK)
 	return db, nil
+}
+
+// commit finishes tx per the database's durability mode: asynchronous by
+// default, or blocking on the WAL group-commit fsync when Durable is set.
+func (db *Database) commit(tx *txn.Transaction) uint64 {
+	if !db.Durable {
+		return db.Mgr.Commit(tx, nil)
+	}
+	done := make(chan struct{})
+	ts := db.Mgr.Commit(tx, func() { close(done) })
+	<-done
+	return ts
 }
 
 // Key builders for the composite indexes.

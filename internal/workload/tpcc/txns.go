@@ -254,7 +254,7 @@ func (wk *Worker) NewOrder() error {
 		olSlots = append(olSlots, olInsert{olSlot, int32(n)})
 	}
 
-	db.Mgr.Commit(tx, nil)
+	db.commit(tx)
 	// Index maintenance after commit (single-writer per warehouse makes
 	// this safe; a production engine would use deferred index actions).
 	db.OrderPK.Insert(oKey(w, d, oID), oSlot)
@@ -376,7 +376,7 @@ func (wk *Worker) Payment() error {
 	if _, err := db.History.Insert(tx, hRow); err != nil {
 		return abort(err)
 	}
-	db.Mgr.Commit(tx, nil)
+	db.commit(tx)
 	return nil
 }
 
@@ -388,7 +388,7 @@ func (wk *Worker) OrderStatus() error {
 	c := wk.nuCustomer()
 
 	tx := db.Mgr.Begin()
-	defer db.Mgr.Commit(tx, nil)
+	defer db.commit(tx)
 
 	cSlot, ok := db.CustomerPK.GetOne(cKey(w, d, c))
 	if !ok {
@@ -450,7 +450,7 @@ func (wk *Worker) Delivery() error {
 			return false // first = oldest (o_id ascending)
 		})
 		if !noSlot.Valid() {
-			db.Mgr.Commit(tx, nil)
+			db.commit(tx)
 			continue
 		}
 		noRow := p.noRead.NewRow()
@@ -530,7 +530,7 @@ func (wk *Worker) Delivery() error {
 			wk.Aborts++
 			continue
 		}
-		db.Mgr.Commit(tx, nil)
+		db.commit(tx)
 		db.NewOrderPK.Delete(noKeyBytes, noSlot)
 	}
 	return nil
@@ -544,7 +544,7 @@ func (wk *Worker) StockLevel() error {
 	threshold := int32(wk.Rng.IntRange(10, 20))
 
 	tx := db.Mgr.Begin()
-	defer db.Mgr.Commit(tx, nil)
+	defer db.commit(tx)
 
 	dSlot, ok := db.DistrictPK.GetOne(dKey(w, d))
 	if !ok {

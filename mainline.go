@@ -117,6 +117,10 @@ type Options struct {
 	LogPath string
 	// LogFlushInterval bounds group-commit latency (default 5ms).
 	LogFlushInterval time.Duration
+	// LogSyncDelay is the group-formation window before each WAL flush:
+	// the flusher waits this long after the first enqueued commit so
+	// concurrent committers join the same fsync (0 = flush immediately).
+	LogSyncDelay time.Duration
 	// Background starts the GC, transformation, and log-flush loops.
 	// When false (tests, benchmarks) drive them manually with RunGC /
 	// RunTransform.
@@ -197,7 +201,8 @@ func Open(opts Options) (*Engine, error) {
 			return nil, err
 		}
 		e.logMgr = wal.NewLogManager(sink)
-		e.mgr.SetCommitHook(e.logMgr.Hook())
+		e.logMgr.SyncDelay = opts.LogSyncDelay
+		e.logMgr.Attach(e.mgr)
 	}
 	if opts.Background {
 		e.collector.Start(opts.GCPeriod)
@@ -312,8 +317,17 @@ func (e *Engine) BlockStates(table string) (counts [4]int) {
 	return
 }
 
-// Recover replays a WAL file into this (fresh) engine.
+// Recover replays a WAL file into this (fresh) engine. The commit hook is
+// detached for the duration so replayed transactions are not re-appended
+// to the engine's own log. Recovering an engine whose LogPath is the
+// replayed file itself is not supported: post-recovery commits draw fresh
+// timestamps from a reset counter, which would collide with the existing
+// records — recover into a fresh log and retire the old file.
 func (e *Engine) Recover(path string) error {
+	if e.logMgr != nil {
+		e.mgr.SetCommitHook(nil)
+		defer e.logMgr.Attach(e.mgr)
+	}
 	_, err := wal.Recover(path, e.mgr, e.cat.DataTables())
 	return err
 }

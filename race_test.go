@@ -1,0 +1,8 @@
+//go:build race
+
+package mainline
+
+// raceEnabled reports that the race detector is active; timing-sensitive
+// scaling probes skip themselves because instrumentation overhead makes a
+// 1-core host CPU-bound long before the sync latency matters.
+const raceEnabled = true
