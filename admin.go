@@ -1,0 +1,63 @@
+package mainline
+
+import (
+	"mainline/internal/catalog"
+	"mainline/internal/txn"
+)
+
+// Stats is a point-in-time snapshot of engine counters.
+type Stats struct {
+	// Transform counts transformation pipeline work (compactions, moves,
+	// freezes).
+	Transform TransformStats
+	// ActiveTxns is the number of in-flight transactions.
+	ActiveTxns int
+	// WAL reports write-ahead log activity (zero-valued with Enabled
+	// false when the engine has no log).
+	WAL WALStats
+}
+
+// WALStats counts write-ahead log activity.
+type WALStats struct {
+	// Enabled reports whether the engine was opened with a WAL.
+	Enabled bool
+	// Txns is the number of transactions whose commit records were
+	// flushed.
+	Txns int64
+	// Bytes is the total log bytes written.
+	Bytes int64
+	// Syncs is the number of fsyncs issued (Txns/Syncs is the achieved
+	// group-commit size).
+	Syncs int64
+}
+
+// Stats snapshots the engine's counters.
+func (e *Engine) Stats() Stats {
+	s := Stats{
+		Transform:  e.transformer.Stats(),
+		ActiveTxns: e.mgr.ActiveCount(),
+	}
+	if e.logMgr != nil {
+		s.WAL.Enabled = true
+		s.WAL.Txns, s.WAL.Bytes, s.WAL.Syncs = e.logMgr.Stats()
+	}
+	return s
+}
+
+// Admin exposes the wired subsystems that in-module tooling (workload
+// loaders, export servers, figure harnesses) programs against directly.
+// It replaces the old Engine.Internals quadruple with the two capabilities
+// those consumers actually use; external users should not need it.
+type Admin struct {
+	eng *Engine
+}
+
+// Admin returns the engine's administrative surface.
+func (e *Engine) Admin() Admin { return Admin{eng: e} }
+
+// TxnManager returns the transaction manager (workload drivers that
+// operate on internal tables).
+func (a Admin) TxnManager() *txn.Manager { return a.eng.mgr }
+
+// Catalog returns the table registry (export servers, loaders).
+func (a Admin) Catalog() *catalog.Catalog { return a.eng.cat }

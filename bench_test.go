@@ -175,13 +175,13 @@ func TestCommitPipelineScaling(t *testing.T) {
 
 // BenchmarkTPCCNewOrder micro-measures the New-Order profile alone.
 func BenchmarkTPCCNewOrder(b *testing.B) {
-	eng, err := Open(Options{})
+	eng, err := Open()
 	if err != nil {
 		b.Fatal(err)
 	}
 	defer eng.Close()
-	mgr, _, _, cat := eng.Internals()
-	db, err := tpcc.NewDatabase(mgr, cat, tpcc.DefaultConfig(1))
+	adm := eng.Admin()
+	db, err := tpcc.NewDatabase(adm.TxnManager(), adm.Catalog(), tpcc.DefaultConfig(1))
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -201,7 +201,7 @@ func BenchmarkTPCCNewOrder(b *testing.B) {
 // BenchmarkExportProtocols measures steady-state fetch bandwidth per
 // protocol on a frozen table (the Figure 15 100%-frozen points, isolated).
 func BenchmarkExportProtocols(b *testing.B) {
-	eng, err := Open(Options{})
+	eng, err := Open()
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -213,7 +213,10 @@ func BenchmarkExportProtocols(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	tx := eng.Begin()
+	tx, err := eng.Begin()
+	if err != nil {
+		b.Fatal(err)
+	}
 	row := tbl.NewRow()
 	for i := 0; i < 50000; i++ {
 		row.Reset()
@@ -223,12 +226,14 @@ func BenchmarkExportProtocols(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
-	eng.Commit(tx)
+	if _, err := tx.Commit(); err != nil {
+		b.Fatal(err)
+	}
 	if !eng.FreezeAll(100) {
 		b.Fatal("freeze failed")
 	}
-	mgr, _, _, cat := eng.Internals()
-	srv := export.NewServer(mgr, cat)
+	adm := eng.Admin()
+	srv := export.NewServer(adm.TxnManager(), adm.Catalog())
 	addr, err := srv.Listen("127.0.0.1:0")
 	if err != nil {
 		b.Fatal(err)

@@ -40,7 +40,7 @@ func main() {
 }
 
 func runServer(addr string, rows int) {
-	eng, err := mainline.Open(mainline.Options{})
+	eng, err := mainline.Open()
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -55,9 +55,12 @@ func runServer(addr string, rows int) {
 	}
 	log.Printf("loading %d rows...", rows)
 	const batch = 5000
+	row := tbl.NewRow()
 	for done := 0; done < rows; {
-		tx := eng.Begin()
-		row := tbl.NewRow()
+		tx, err := eng.Begin()
+		if err != nil {
+			log.Fatal(err)
+		}
 		for i := 0; i < batch && done < rows; i++ {
 			row.Reset()
 			row.SetInt64(0, int64(done))
@@ -68,13 +71,15 @@ func runServer(addr string, rows int) {
 			}
 			done++
 		}
-		eng.Commit(tx)
+		if _, err := tx.Commit(); err != nil {
+			log.Fatal(err)
+		}
 	}
 	if !eng.FreezeAll(0) {
 		log.Fatal("freeze did not converge")
 	}
-	mgr, _, _, cat := eng.Internals()
-	srv := export.NewServer(mgr, cat)
+	adm := eng.Admin()
+	srv := export.NewServer(adm.TxnManager(), adm.Catalog())
 	bound, err := srv.Listen(addr)
 	if err != nil {
 		log.Fatal(err)

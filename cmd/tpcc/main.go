@@ -2,6 +2,12 @@
 // optionally with the background transformation pipeline, and reports
 // throughput, block-state coverage, and consistency — the interactive
 // version of the paper's §6.1 experiment.
+//
+// Unlike examples/tpcc (which uses the public handle-scoped API plus
+// Engine.Admin), this harness assembles the internal subsystems directly:
+// it installs the WAL hook only after the load so the initial population
+// is not logged, and watches only the cold ORDER tables — knobs the
+// public Open surface deliberately does not expose.
 package main
 
 import (

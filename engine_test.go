@@ -18,9 +18,9 @@ func itemSchema() *Schema {
 	)
 }
 
-func openEngine(t *testing.T, opts Options) *Engine {
+func openEngine(t *testing.T, opts ...Option) *Engine {
 	t.Helper()
-	eng, err := Open(opts)
+	eng, err := Open(opts...)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -28,11 +28,29 @@ func openEngine(t *testing.T, opts Options) *Engine {
 	return eng
 }
 
+func begin(t *testing.T, eng *Engine, opts ...TxnOption) *Txn {
+	t.Helper()
+	tx, err := eng.Begin(opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tx
+}
+
+func commit(t *testing.T, tx *Txn) uint64 {
+	t.Helper()
+	ts, err := tx.Commit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ts
+}
+
 func loadItems(t *testing.T, eng *Engine, tbl *Table, n int) []TupleSlot {
 	t.Helper()
 	slots := make([]TupleSlot, 0, n)
 	for i := 0; i < n; i++ {
-		tx := eng.Begin()
+		tx := begin(t, eng)
 		row := tbl.NewRow()
 		row.SetInt64(0, int64(i))
 		row.SetVarlen(1, []byte(fmt.Sprintf("item-%d-with-some-padding", i)))
@@ -41,38 +59,37 @@ func loadItems(t *testing.T, eng *Engine, tbl *Table, n int) []TupleSlot {
 		if err != nil {
 			t.Fatal(err)
 		}
-		eng.Commit(tx)
+		commit(t, tx)
 		slots = append(slots, slot)
 	}
 	return slots
 }
 
 func TestEngineEndToEnd(t *testing.T) {
-	eng := openEngine(t, Options{})
+	eng := openEngine(t)
 	tbl, err := eng.CreateTable("item", itemSchema())
 	if err != nil {
 		t.Fatal(err)
 	}
 	slots := loadItems(t, eng, tbl, 100)
 
-	// Point read through a named projection.
-	proj, err := tbl.ProjectionOf("price", "id")
+	// Point read through a named row projection.
+	out, err := tbl.NewRowFor("price", "id")
 	if err != nil {
 		t.Fatal(err)
 	}
-	tx := eng.Begin()
-	out := proj.NewRow()
+	tx := begin(t, eng)
 	found, err := tbl.Select(tx, slots[42], out)
 	if err != nil || !found {
 		t.Fatalf("select: %v %v", found, err)
 	}
-	if out.Int64(0) != 4200 || out.Int64(1) != 42 {
-		t.Fatalf("projected read: %d %d", out.Int64(0), out.Int64(1))
+	if out.Int64("price") != 4200 || out.Int64("id") != 42 {
+		t.Fatalf("projected read: %d %d", out.Int64("price"), out.Int64("id"))
 	}
-	eng.Commit(tx)
+	commit(t, tx)
 
 	// Unknown column errors.
-	if _, err := tbl.ProjectionOf("nope"); err == nil {
+	if _, err := tbl.NewRowFor("nope"); err == nil {
 		t.Fatal("unknown column accepted")
 	}
 	// Duplicate table errors.
@@ -88,7 +105,7 @@ func TestEngineEndToEnd(t *testing.T) {
 }
 
 func TestEngineFreezeAllAndExport(t *testing.T) {
-	eng := openEngine(t, Options{})
+	eng := openEngine(t)
 	tbl, _ := eng.CreateTable("item", itemSchema())
 	loadItems(t, eng, tbl, 500)
 
@@ -100,10 +117,10 @@ func TestEngineFreezeAllAndExport(t *testing.T) {
 		t.Fatalf("no frozen blocks: %v", states)
 	}
 
-	tx := eng.Begin()
+	tx := begin(t, eng)
 	var buf bytes.Buffer
 	written, frozen, materialized, err := tbl.ExportIPC(&buf, tx)
-	eng.Commit(tx)
+	commit(t, tx)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -137,13 +154,13 @@ func TestEngineFreezeAllAndExport(t *testing.T) {
 }
 
 func TestEngineExportHotMaterializes(t *testing.T) {
-	eng := openEngine(t, Options{})
+	eng := openEngine(t)
 	tbl, _ := eng.CreateTable("item", itemSchema())
 	loadItems(t, eng, tbl, 50)
-	tx := eng.Begin()
+	tx := begin(t, eng)
 	var buf bytes.Buffer
 	_, frozen, materialized, err := tbl.ExportIPC(&buf, tx)
-	eng.Commit(tx)
+	commit(t, tx)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -160,20 +177,19 @@ func TestEngineExportHotMaterializes(t *testing.T) {
 }
 
 func TestEngineWriteThawsFrozenBlock(t *testing.T) {
-	eng := openEngine(t, Options{})
+	eng := openEngine(t)
 	tbl, _ := eng.CreateTable("item", itemSchema())
 	slots := loadItems(t, eng, tbl, 100)
 	if !eng.FreezeAll(100) {
 		t.Fatal("freeze failed")
 	}
-	tx := eng.Begin()
-	proj, _ := tbl.ProjectionOf("price")
-	u := proj.NewRow()
+	tx := begin(t, eng)
+	u, _ := tbl.NewRowFor("price")
 	u.SetInt64(0, 999999)
 	if err := tbl.Update(tx, slots[0], u); err != nil {
 		t.Fatal(err)
 	}
-	eng.Commit(tx)
+	commit(t, tx)
 	states := eng.BlockStates("item")
 	if states[0] == 0 {
 		t.Fatalf("no hot block after write: %v", states)
@@ -182,24 +198,27 @@ func TestEngineWriteThawsFrozenBlock(t *testing.T) {
 	if !eng.FreezeAll(100) {
 		t.Fatal("re-freeze failed")
 	}
-	tx2 := eng.Begin()
-	out := proj.NewRow()
+	tx2 := begin(t, eng)
+	out, _ := tbl.NewRowFor("price")
 	found, _ := tbl.Select(tx2, slots[0], out)
-	eng.Commit(tx2)
-	if !found || out.Int64(0) != 999999 {
-		t.Fatalf("post-refreeze read: %d", out.Int64(0))
+	commit(t, tx2)
+	if !found || out.Int64("price") != 999999 {
+		t.Fatalf("post-refreeze read: %d", out.Int64("price"))
 	}
 }
 
 func TestEngineDurableCommitAndRecovery(t *testing.T) {
 	dir := t.TempDir()
 	logPath := filepath.Join(dir, "wal.log")
-	eng, err := Open(Options{LogPath: logPath, Background: true})
+	eng, err := Open(WithWAL(logPath, 0), WithBackground())
 	if err != nil {
 		t.Fatal(err)
 	}
 	tbl, _ := eng.CreateTable("item", itemSchema())
-	tx := eng.Begin()
+	tx, err := eng.Begin(Durable())
+	if err != nil {
+		t.Fatal(err)
+	}
 	row := tbl.NewRow()
 	row.SetInt64(0, 7)
 	row.SetVarlen(1, []byte("durable"))
@@ -207,31 +226,36 @@ func TestEngineDurableCommitAndRecovery(t *testing.T) {
 	if _, err := tbl.Insert(tx, row); err != nil {
 		t.Fatal(err)
 	}
-	eng.CommitDurable(tx)
+	if _, err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
 	if err := eng.Close(); err != nil {
 		t.Fatal(err)
 	}
 
 	// Fresh engine, same schema, replay.
-	eng2 := openEngine(t, Options{})
+	eng2 := openEngine(t)
 	tbl2, _ := eng2.CreateTable("item", itemSchema())
 	if err := eng2.Recover(logPath); err != nil {
 		t.Fatal(err)
 	}
-	tx2 := eng2.Begin()
-	count := tbl2.CountVisible(tx2)
-	eng2.Commit(tx2)
+	tx2 := begin(t, eng2)
+	count, err := tbl2.CountVisible(tx2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	commit(t, tx2)
 	if count != 1 {
 		t.Fatalf("recovered %d rows", count)
 	}
 }
 
 func TestEngineDictionaryTransform(t *testing.T) {
-	eng := openEngine(t, Options{TransformMode: TransformDictionary})
+	eng := openEngine(t, WithTransformMode(TransformDictionary))
 	tbl, _ := eng.CreateTable("item", itemSchema())
 	// Low-cardinality names.
 	for i := 0; i < 200; i++ {
-		tx := eng.Begin()
+		tx := begin(t, eng)
 		row := tbl.NewRow()
 		row.SetInt64(0, int64(i))
 		row.SetVarlen(1, []byte(fmt.Sprintf("category-%d-long-enough-to-spill", i%4)))
@@ -239,15 +263,15 @@ func TestEngineDictionaryTransform(t *testing.T) {
 		if _, err := tbl.Insert(tx, row); err != nil {
 			t.Fatal(err)
 		}
-		eng.Commit(tx)
+		commit(t, tx)
 	}
 	if !eng.FreezeAll(100) {
 		t.Fatal("freeze failed")
 	}
-	tx := eng.Begin()
+	tx := begin(t, eng)
 	var buf bytes.Buffer
 	_, frozen, _, err := tbl.ExportIPC(&buf, tx)
-	eng.Commit(tx)
+	commit(t, tx)
 	if err != nil || frozen == 0 {
 		t.Fatalf("export: %v frozen=%d", err, frozen)
 	}
@@ -272,33 +296,36 @@ func TestEngineDictionaryTransform(t *testing.T) {
 }
 
 func TestEngineTransformStatsAndStates(t *testing.T) {
-	eng := openEngine(t, Options{})
+	eng := openEngine(t)
 	tbl, _ := eng.CreateTable("item", itemSchema())
 	slots := loadItems(t, eng, tbl, 300)
 	// Delete a third to force compaction movement.
-	tx := eng.Begin()
+	tx := begin(t, eng)
 	for i := 0; i < len(slots); i += 3 {
 		if err := tbl.Delete(tx, slots[i]); err != nil {
 			t.Fatal(err)
 		}
 	}
-	eng.Commit(tx)
+	commit(t, tx)
 	if !eng.FreezeAll(100) {
 		t.Fatal("freeze failed")
 	}
-	st := eng.TransformStats()
-	if st.BlocksFrozen == 0 || st.GroupsCompacted == 0 {
+	st := eng.Stats()
+	if st.Transform.BlocksFrozen == 0 || st.Transform.GroupsCompacted == 0 {
 		t.Fatalf("stats: %+v", st)
 	}
-	tx2 := eng.Begin()
-	if got := tbl.CountVisible(tx2); got != 200 {
-		t.Fatalf("visible = %d", got)
+	if st.WAL.Enabled {
+		t.Fatal("WAL stats enabled without a log")
 	}
-	eng.Commit(tx2)
+	tx2 := begin(t, eng)
+	if got, err := tbl.CountVisible(tx2); err != nil || got != 200 {
+		t.Fatalf("visible = %d (%v)", got, err)
+	}
+	commit(t, tx2)
 }
 
 func TestEngineIndexHelpers(t *testing.T) {
-	eng := openEngine(t, Options{})
+	eng := openEngine(t)
 	tbl, _ := eng.CreateTable("item", itemSchema())
 	idx := NewBTreeIndex()
 	tbl.AddIndex("pk", idx)

@@ -1,0 +1,31 @@
+package mainline
+
+import (
+	"errors"
+
+	"mainline/internal/core"
+)
+
+// The typed error taxonomy of the public API. API misuse (double commit,
+// commit after abort, use after Close) returns one of these instead of
+// panicking; match with errors.Is — retry wrappers and the managed Update
+// closure wrap them with context.
+var (
+	// ErrWriteConflict is returned when a transaction tries to write a
+	// tuple whose newest version it cannot see — the engine disallows
+	// write-write conflicts to avoid cascading rollbacks. Abort and retry
+	// with a fresh snapshot (Engine.Update does this automatically).
+	ErrWriteConflict = core.ErrWriteConflict
+	// ErrNotFound is returned for writes against a tuple whose latest
+	// version is deleted or absent.
+	ErrNotFound = core.ErrNotFound
+	// ErrTxnFinished is returned when operating on a transaction that has
+	// already committed or aborted.
+	ErrTxnFinished = core.ErrTxnFinished
+	// ErrEngineClosed is returned by Begin, View, Update, CreateTable,
+	// Recover, and Txn.Commit after Engine.Close.
+	ErrEngineClosed = errors.New("mainline: engine closed")
+	// ErrReadOnlyTxn is returned for writes through a transaction begun
+	// with the ReadOnly option.
+	ErrReadOnlyTxn = errors.New("mainline: write in read-only transaction")
+)

@@ -14,12 +14,12 @@ import (
 )
 
 func main() {
-	eng, err := mainline.Open(mainline.Options{
-		Background:      true,
-		ColdThreshold:   20 * time.Millisecond,
-		TransformPeriod: 10 * time.Millisecond,
-		GCPeriod:        5 * time.Millisecond,
-	})
+	eng, err := mainline.Open(
+		mainline.WithBackground(),
+		mainline.WithColdThreshold(20*time.Millisecond),
+		mainline.WithTransformPeriod(10*time.Millisecond),
+		mainline.WithGCPeriod(5*time.Millisecond),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -36,18 +36,22 @@ func main() {
 
 	regions := []string{"north-region", "south-region", "east-region", "west-region"}
 	insert := func(from, to int) {
-		tx := eng.Begin()
-		row := orders.NewRow()
-		for i := from; i < to; i++ {
-			row.Reset()
-			row.SetInt64(0, int64(i))
-			row.SetVarlen(1, []byte(regions[i%len(regions)]))
-			row.SetInt64(2, int64(i%500))
-			if _, err := orders.Insert(tx, row); err != nil {
-				log.Fatal(err)
+		err := eng.Update(func(tx *mainline.Txn) error {
+			row := orders.NewRow()
+			for i := from; i < to; i++ {
+				row.Reset()
+				row.Set("o_id", int64(i))
+				row.Set("region", regions[i%len(regions)])
+				row.Set("amount", int64(i%500))
+				if _, err := orders.Insert(tx, row); err != nil {
+					return err
+				}
 			}
+			return nil
+		})
+		if err != nil {
+			log.Fatal(err)
 		}
-		eng.Commit(tx)
 	}
 
 	// Phase 1: bulk OLTP ingest.
@@ -66,13 +70,14 @@ func main() {
 
 	// Phase 2: analytics over engine memory. Frozen blocks are scanned in
 	// place (no version checks, no copies); the export API hands back raw
-	// Arrow arrays.
-	mgr, _, _, cat := eng.Internals()
-	tbl := cat.Table("orders")
-	tx := mgr.Begin()
-	batches, frozen, materialized, err := tbl.ExportBatches(tx)
-	mgr.Commit(tx, nil)
-	if err != nil {
+	// Arrow arrays in a read-only transaction's snapshot.
+	var batches []*mainline.RecordBatch
+	var frozen, materialized int
+	if err := eng.View(func(tx *mainline.Txn) error {
+		var err error
+		batches, frozen, materialized, err = orders.ExportBatches(tx)
+		return err
+	}); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("scan sources: %d zero-copy blocks, %d materialized\n", frozen, materialized)
@@ -97,22 +102,25 @@ func main() {
 
 	// Phase 3: writes keep working — the touched block flips back to hot
 	// and the pipeline re-freezes it later.
-	tx2 := eng.Begin()
-	proj, _ := orders.ProjectionOf("amount")
-	row := proj.NewRow()
-	row.SetInt64(0, 999999)
-	var firstSlot mainline.TupleSlot
-	scanProj, _ := orders.ProjectionOf("o_id")
-	_ = orders.Scan(tx2, scanProj, func(slot mainline.TupleSlot, r *mainline.Row) bool {
-		firstSlot = slot
-		return false
-	})
-	if err := orders.Update(tx2, firstSlot, row); err != nil {
+	if err := eng.Update(func(tx *mainline.Txn) error {
+		var firstSlot mainline.TupleSlot
+		if err := orders.Scan(tx, []string{"o_id"}, func(slot mainline.TupleSlot, _ *mainline.Row) bool {
+			firstSlot = slot
+			return false
+		}); err != nil {
+			return err
+		}
+		u, err := orders.NewRowFor("amount")
+		if err != nil {
+			return err
+		}
+		u.Set("amount", int64(999999))
+		return orders.Update(tx, firstSlot, u)
+	}); err != nil {
 		log.Fatal(err)
 	}
-	eng.Commit(tx2)
 	fmt.Printf("after a write, block states: %v (one block thawed)\n", eng.BlockStates("orders"))
-	st := eng.TransformStats()
+	st := eng.Stats().Transform
 	fmt.Printf("pipeline stats: %d groups compacted, %d tuples moved, %d blocks frozen\n",
 		st.GroupsCompacted, st.TuplesMoved, st.BlocksFrozen)
 }

@@ -1,6 +1,8 @@
 // Durability: commit transactions through the write-ahead log with group
 // commit, "crash" (discard the engine), and recover the database from the
-// log into a fresh engine (§3.4).
+// log into a fresh engine (§3.4). Durability is a per-transaction property:
+// Begin(mainline.Durable()) makes Commit block until the group-commit
+// fsync covers the transaction.
 package main
 
 import (
@@ -8,9 +10,9 @@ import (
 	"log"
 	"os"
 	"path/filepath"
-)
 
-import "mainline"
+	"mainline"
+)
 
 func main() {
 	dir, err := os.MkdirTemp("", "mainline-durability")
@@ -21,7 +23,7 @@ func main() {
 	logPath := filepath.Join(dir, "wal.log")
 
 	// First life: write with logging enabled.
-	eng, err := mainline.Open(mainline.Options{LogPath: logPath, Background: true})
+	eng, err := mainline.Open(mainline.WithWAL(logPath, 0), mainline.WithBackground())
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -35,42 +37,49 @@ func main() {
 	}
 	var slots []mainline.TupleSlot
 	for i := 0; i < 100; i++ {
-		tx := eng.Begin()
+		// Durable transactions block in Commit until the fsync.
+		tx, err := eng.Begin(mainline.Durable())
+		if err != nil {
+			log.Fatal(err)
+		}
 		row := accounts.NewRow()
-		row.SetInt64(0, int64(i))
-		row.SetVarlen(1, []byte(fmt.Sprintf("owner-%d", i)))
-		row.SetInt64(2, 1000)
+		row.Set("id", int64(i))
+		row.Set("owner", fmt.Sprintf("owner-%d", i))
+		row.Set("balance", int64(1000))
 		slot, err := accounts.Insert(tx, row)
 		if err != nil {
 			log.Fatal(err)
 		}
 		slots = append(slots, slot)
-		// CommitDurable blocks until the group commit fsyncs.
-		eng.CommitDurable(tx)
+		if _, err := tx.Commit(); err != nil {
+			log.Fatal(err)
+		}
 	}
-	// A transfer and a deletion, both durable.
-	tx := eng.Begin()
-	bal, _ := accounts.ProjectionOf("balance")
-	u := bal.NewRow()
-	u.SetInt64(0, 250)
-	if err := accounts.Update(tx, slots[0], u); err != nil {
+	// A transfer and a deletion, both durable, via the managed closure.
+	if err := eng.Update(func(tx *mainline.Txn) error {
+		u, err := accounts.NewRowFor("balance")
+		if err != nil {
+			return err
+		}
+		u.Set("balance", int64(250))
+		if err := accounts.Update(tx, slots[0], u); err != nil {
+			return err
+		}
+		u.Set("balance", int64(1750))
+		if err := accounts.Update(tx, slots[1], u); err != nil {
+			return err
+		}
+		return accounts.Delete(tx, slots[99])
+	}, mainline.Durable()); err != nil {
 		log.Fatal(err)
 	}
-	u.SetInt64(0, 1750)
-	if err := accounts.Update(tx, slots[1], u); err != nil {
-		log.Fatal(err)
-	}
-	if err := accounts.Delete(tx, slots[99]); err != nil {
-		log.Fatal(err)
-	}
-	eng.CommitDurable(tx)
 	if err := eng.Close(); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("wrote 101 durable transactions, crashing...")
 
 	// Second life: fresh engine, same schema, replay the log.
-	eng2, err := mainline.Open(mainline.Options{})
+	eng2, err := mainline.Open()
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -87,16 +96,17 @@ func main() {
 		log.Fatal(err)
 	}
 
-	check := eng2.Begin()
 	count := 0
 	total := int64(0)
-	proj, _ := accounts2.ProjectionOf("id", "balance")
-	_ = accounts2.Scan(check, proj, func(_ mainline.TupleSlot, row *mainline.Row) bool {
-		count++
-		total += row.Int64(1)
-		return true
-	})
-	eng2.Commit(check)
+	if err := eng2.View(func(tx *mainline.Txn) error {
+		return accounts2.Scan(tx, []string{"id", "balance"}, func(_ mainline.TupleSlot, row *mainline.Row) bool {
+			count++
+			total += row.Int64("balance")
+			return true
+		})
+	}); err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("recovered %d accounts, total balance %d\n", count, total)
 	if count != 99 || total != 99*1000 {
 		log.Fatalf("recovery mismatch: want 99 accounts / %d total", 99*1000)

@@ -13,7 +13,7 @@ import (
 )
 
 func main() {
-	eng, err := mainline.Open(mainline.Options{})
+	eng, err := mainline.Open()
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -28,24 +28,27 @@ func main() {
 		log.Fatal(err)
 	}
 	const rows = 100000
-	tx := eng.Begin()
-	row := lines.NewRow()
-	for i := 0; i < rows; i++ {
-		row.Reset()
-		row.SetInt64(0, int64(i/10))
-		row.SetInt64(1, int64(i%10000))
-		row.SetVarlen(2, []byte(fmt.Sprintf("dist-info-%024d", i)))
-		if _, err := lines.Insert(tx, row); err != nil {
-			log.Fatal(err)
+	if err := eng.Update(func(tx *mainline.Txn) error {
+		row := lines.NewRow()
+		for i := 0; i < rows; i++ {
+			row.Reset()
+			row.SetInt64(0, int64(i/10))
+			row.SetInt64(1, int64(i%10000))
+			row.SetVarlen(2, []byte(fmt.Sprintf("dist-info-%024d", i)))
+			if _, err := lines.Insert(tx, row); err != nil {
+				return err
+			}
 		}
+		return nil
+	}); err != nil {
+		log.Fatal(err)
 	}
-	eng.Commit(tx)
 	if !eng.FreezeAll(0) {
 		log.Fatal("freeze did not converge")
 	}
 
-	mgr, _, _, cat := eng.Internals()
-	srv := export.NewServer(mgr, cat)
+	adm := eng.Admin()
+	srv := export.NewServer(adm.TxnManager(), adm.Catalog())
 	addr, err := srv.Listen("127.0.0.1:0")
 	if err != nil {
 		log.Fatal(err)
@@ -77,7 +80,7 @@ func main() {
 	// Simulated client-side RDMA: raw block memory lands in the client's
 	// registered region with no protocol encoding at all.
 	client := export.NewRDMAClient(1 << 24)
-	res, err := export.RDMAExport(mgr, cat.Table("order_line"), client)
+	res, err := export.RDMAExport(adm.TxnManager(), adm.Catalog().Table("order_line"), client)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,6 +1,6 @@
-// Quickstart: create a table, run transactions, freeze cold blocks into
-// canonical Arrow, and export the table as an Arrow IPC stream — the
-// end-to-end loop of the paper in ~100 lines.
+// Quickstart: create a table, run transactions through the handle-scoped
+// API, freeze cold blocks into canonical Arrow, and export the table as an
+// Arrow IPC stream — the end-to-end loop of the paper in ~100 lines.
 package main
 
 import (
@@ -13,7 +13,7 @@ import (
 )
 
 func main() {
-	eng, err := mainline.Open(mainline.Options{})
+	eng, err := mainline.Open()
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -29,48 +29,64 @@ func main() {
 		log.Fatal(err)
 	}
 
-	// OLTP inserts.
+	// OLTP inserts through the managed Update closure: it begins a
+	// transaction, commits on nil, and would retry on write conflicts.
 	var anna mainline.TupleSlot
-	tx := eng.Begin()
-	row := items.NewRow()
-	for i := 0; i < 1000; i++ {
-		row.Reset()
-		row.SetInt64(0, int64(100+i))
-		row.SetVarlen(1, []byte(fmt.Sprintf("item-%d", i)))
-		row.SetInt64(2, int64(99+i))
-		slot, err := items.Insert(tx, row)
-		if err != nil {
-			log.Fatal(err)
+	if err := eng.Update(func(tx *mainline.Txn) error {
+		row := items.NewRow()
+		for i := 0; i < 1000; i++ {
+			row.Reset()
+			row.Set("i_id", int64(100+i))
+			row.Set("i_name", fmt.Sprintf("item-%d", i))
+			row.Set("i_price", int64(99+i))
+			slot, err := items.Insert(tx, row)
+			if err != nil {
+				return err
+			}
+			if i == 0 {
+				anna = slot
+			}
 		}
-		if i == 0 {
-			anna = slot
-		}
+		return nil
+	}); err != nil {
+		log.Fatal(err)
 	}
-	eng.Commit(tx)
 
 	// An update with snapshot isolation: readers that started earlier
-	// still see the old version.
-	reader := eng.Begin()
-	writer := eng.Begin()
-	nameProj, _ := items.ProjectionOf("i_name")
-	upd := nameProj.NewRow()
-	upd.SetVarlen(0, []byte("ANNA"))
+	// still see the old version. Explicit handles show the lifecycle.
+	reader, err := eng.Begin(mainline.ReadOnly())
+	if err != nil {
+		log.Fatal(err)
+	}
+	writer, err := eng.Begin()
+	if err != nil {
+		log.Fatal(err)
+	}
+	upd, _ := items.NewRowFor("i_name")
+	upd.Set("i_name", "ANNA")
 	if err := items.Update(writer, anna, upd); err != nil {
 		log.Fatal(err)
 	}
-	eng.Commit(writer)
-	out := nameProj.NewRow()
+	if _, err := writer.Commit(); err != nil {
+		log.Fatal(err)
+	}
+	out, _ := items.NewRowFor("i_name")
 	if _, err := items.Select(reader, anna, out); err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("old snapshot still reads: %s\n", out.Varlen(0))
-	eng.Commit(reader)
-	fresh := eng.Begin()
-	if _, err := items.Select(fresh, anna, out); err != nil {
+	fmt.Printf("old snapshot still reads: %s\n", out.String("i_name"))
+	if _, err := reader.Commit(); err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("new snapshot reads:       %s\n", out.Varlen(0))
-	eng.Commit(fresh)
+	if err := eng.View(func(tx *mainline.Txn) error {
+		if _, err := items.Select(tx, anna, out); err != nil {
+			return err
+		}
+		fmt.Printf("new snapshot reads:       %s\n", out.String("i_name"))
+		return nil
+	}); err != nil {
+		log.Fatal(err)
+	}
 
 	// Freeze: GC prunes version chains, compaction removes gaps, gather
 	// produces canonical Arrow buffers in place.
@@ -82,10 +98,13 @@ func main() {
 
 	// Export: frozen blocks go out zero-copy as Arrow IPC.
 	var buf bytes.Buffer
-	exTx := eng.Begin()
-	written, frozen, materialized, err := items.ExportIPC(&buf, exTx)
-	eng.Commit(exTx)
-	if err != nil {
+	var written int64
+	var frozen, materialized int
+	if err := eng.View(func(tx *mainline.Txn) error {
+		var err error
+		written, frozen, materialized, err = items.ExportIPC(&buf, tx)
+		return err
+	}); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("exported %d bytes (%d zero-copy blocks, %d materialized)\n", written, frozen, materialized)

@@ -16,15 +16,16 @@ import (
 )
 
 func main() {
-	eng, err := mainline.Open(mainline.Options{})
+	eng, err := mainline.Open()
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer eng.Close()
-	mgr, _, _, cat := eng.Internals()
+	adm := eng.Admin()
+	mgr := adm.TxnManager()
 
 	const warehouses = 2
-	db, err := tpcc.NewDatabase(mgr, cat, tpcc.DefaultConfig(warehouses))
+	db, err := tpcc.NewDatabase(mgr, adm.Catalog(), tpcc.DefaultConfig(warehouses))
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -38,6 +38,25 @@ func (t *Table) Index(name string) index.Index {
 	return t.indexes[name]
 }
 
+// ColumnIndex resolves a schema column name to its layout column ID
+// (LayoutForSchema maps schema fields to storage columns in order), or -1.
+func (t *Table) ColumnIndex(name string) int {
+	return t.Schema.FieldIndex(name)
+}
+
+// ProjectionOf builds a projection over the named columns.
+func (t *Table) ProjectionOf(names ...string) (*storage.Projection, error) {
+	ids := make([]storage.ColumnID, len(names))
+	for i, name := range names {
+		idx := t.ColumnIndex(name)
+		if idx < 0 {
+			return nil, fmt.Errorf("catalog: table %s has no column %q", t.Name, name)
+		}
+		ids[i] = storage.ColumnID(idx)
+	}
+	return storage.NewProjection(t.Layout(), ids)
+}
+
 // Catalog is the table registry.
 type Catalog struct {
 	reg *storage.Registry

@@ -3,6 +3,7 @@ package storage
 import (
 	"encoding/binary"
 	"fmt"
+	"math"
 
 	"mainline/internal/util"
 )
@@ -178,6 +179,17 @@ func (r *ProjectedRow) SetInt8(i int, v int8) {
 
 // Int8 loads projected column i as int8.
 func (r *ProjectedRow) Int8(i int) int8 { return int8(r.FixedBytes(i)[0]) }
+
+// SetFloat64 stores v into projected column i (must be an 8-byte column).
+func (r *ProjectedRow) SetFloat64(i int, v float64) {
+	binary.LittleEndian.PutUint64(r.FixedBytes(i), math.Float64bits(v))
+	r.setValid(i)
+}
+
+// Float64 loads projected column i as float64.
+func (r *ProjectedRow) Float64(i int) float64 {
+	return math.Float64frombits(binary.LittleEndian.Uint64(r.FixedBytes(i)))
+}
 
 // SetVarlen stores a variable-length value into projected column i. The row
 // references val without copying; callers that reuse val must copy first.

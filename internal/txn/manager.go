@@ -164,6 +164,19 @@ func (m *Manager) Commit(t *Transaction, durableCallback func()) uint64 {
 	return commitTs
 }
 
+// CommitDurable commits t and blocks until its durable callback fires —
+// with a log manager attached that is the group-commit fsync covering the
+// commit record; without one the callback fires synchronously inside
+// Commit and the wait is free. The caller must ensure something drives the
+// log flush (a running flush loop or an explicit FlushOnce) or the wait
+// never ends.
+func (m *Manager) CommitDurable(t *Transaction) uint64 {
+	done := make(chan struct{})
+	ts := m.Commit(t, func() { close(done) })
+	<-done
+	return ts
+}
+
 // CommitFrontier returns a timestamp F such that every transaction that
 // committed with timestamp < F has already been handed to the commit hook
 // (i.e., is in the log manager's queue or beyond). The clock is read
@@ -178,6 +191,7 @@ func (m *Manager) CommitFrontier() uint64 {
 		// The empty critical section IS the barrier: it waits out any
 		// committer currently inside the shard's commit path.
 		sh.mu.Lock()
+		//lint:ignore SA2001 the empty critical section IS the barrier
 		sh.mu.Unlock() //nolint:staticcheck
 	}
 	return frontier

@@ -335,10 +335,7 @@ func (db *Database) commit(tx *txn.Transaction) uint64 {
 	if !db.Durable {
 		return db.Mgr.Commit(tx, nil)
 	}
-	done := make(chan struct{})
-	ts := db.Mgr.Commit(tx, func() { close(done) })
-	<-done
-	return ts
+	return db.Mgr.CommitDurable(tx)
 }
 
 // Key builders for the composite indexes.

@@ -9,31 +9,35 @@
 // DBMS. See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 // reproduced evaluation.
 //
+// The API is transaction-centric, mirroring the paper's Data Table API:
+// every read and write flows through a *Txn handle obtained from Begin (or
+// the managed View/Update closures), and the handle owns its lifecycle —
+// tx.Commit / tx.Abort return typed errors (ErrTxnFinished,
+// ErrWriteConflict, ErrEngineClosed) instead of panicking on misuse.
+//
 // Quickstart:
 //
-//	eng, _ := mainline.Open(mainline.Options{})
+//	eng, _ := mainline.Open()
 //	defer eng.Close()
 //	tbl, _ := eng.CreateTable("item", mainline.NewSchema(
 //		mainline.Field{Name: "id", Type: mainline.INT64},
 //		mainline.Field{Name: "name", Type: mainline.STRING, Nullable: true},
 //	))
-//	tx := eng.Begin()
-//	row := tbl.NewRow()
-//	row.SetInt64(0, 101)
-//	row.SetVarlen(1, []byte("JOE"))
-//	slot, _ := tbl.Insert(tx, row)
-//	eng.Commit(tx)
-//	_ = slot
+//	_ = eng.Update(func(tx *mainline.Txn) error {
+//		row := tbl.NewRow()
+//		row.Set("id", 101)
+//		row.Set("name", "JOE")
+//		_, err := tbl.Insert(tx, row)
+//		return err
+//	})
 package mainline
 
 import (
-	"fmt"
-	"io"
-	"time"
+	"sync"
+	"sync/atomic"
 
 	"mainline/internal/arrow"
 	"mainline/internal/catalog"
-	"mainline/internal/core"
 	"mainline/internal/gc"
 	"mainline/internal/index"
 	"mainline/internal/storage"
@@ -52,12 +56,8 @@ type (
 	RecordBatch = arrow.RecordBatch
 	// ArrowTable is an ordered collection of record batches.
 	ArrowTable = arrow.Table
-	// Txn is a transaction handle.
-	Txn = txn.Transaction
 	// TupleSlot identifies a stored tuple.
 	TupleSlot = storage.TupleSlot
-	// Row is a materialized (partial) tuple.
-	Row = storage.ProjectedRow
 	// Projection selects a subset of columns.
 	Projection = storage.Projection
 	// ColumnID indexes a column in a table layout.
@@ -79,12 +79,6 @@ const (
 	FLOAT64 = arrow.FLOAT64
 	STRING  = arrow.STRING
 	BINARY  = arrow.BINARY
-)
-
-// Common errors re-exported from the Data Table API.
-var (
-	ErrWriteConflict = core.ErrWriteConflict
-	ErrNotFound      = core.ErrNotFound
 )
 
 // NewSchema builds a schema from fields.
@@ -111,57 +105,6 @@ const (
 	TransformDictionary = transform.ModeDictionary
 )
 
-// Options configures an Engine.
-type Options struct {
-	// LogPath enables write-ahead logging to the given file.
-	LogPath string
-	// LogFlushInterval bounds group-commit latency (default 5ms).
-	LogFlushInterval time.Duration
-	// LogSyncDelay is the group-formation window before each WAL flush:
-	// the flusher waits this long after the first enqueued commit so
-	// concurrent committers join the same fsync (0 = flush immediately).
-	LogSyncDelay time.Duration
-	// Background starts the GC, transformation, and log-flush loops.
-	// When false (tests, benchmarks) drive them manually with RunGC /
-	// RunTransform.
-	Background bool
-	// GCPeriod is the garbage collection interval (default 10ms).
-	GCPeriod time.Duration
-	// TransformPeriod is the transformation pass interval (default 10ms).
-	TransformPeriod time.Duration
-	// ColdThreshold is how long a block must stay unmodified to freeze
-	// (default 10ms, the paper's aggressive setting).
-	ColdThreshold time.Duration
-	// CompactionGroupSize caps blocks per compaction transaction
-	// (default 50, the paper's sweet spot).
-	CompactionGroupSize int
-	// TransformMode selects gather vs dictionary compression.
-	TransformMode TransformMode
-	// DisableTransform turns the background transformation off entirely
-	// (the paper's "no transformation" baseline).
-	DisableTransform bool
-	// OnTupleMove observes compaction movements (index maintenance).
-	OnTupleMove transform.OnMove
-}
-
-func (o *Options) defaults() {
-	if o.LogFlushInterval == 0 {
-		o.LogFlushInterval = 5 * time.Millisecond
-	}
-	if o.GCPeriod == 0 {
-		o.GCPeriod = 10 * time.Millisecond
-	}
-	if o.TransformPeriod == 0 {
-		o.TransformPeriod = 10 * time.Millisecond
-	}
-	if o.ColdThreshold == 0 {
-		o.ColdThreshold = 10 * time.Millisecond
-	}
-	if o.CompactionGroupSize == 0 {
-		o.CompactionGroupSize = 50
-	}
-}
-
 // Engine is the assembled storage engine: block registry, transaction
 // manager, garbage collector, transformation pipeline, catalog, and
 // (optionally) the write-ahead log.
@@ -175,12 +118,32 @@ type Engine struct {
 	transformer *transform.Transformer
 	logMgr      *wal.LogManager
 	cat         *catalog.Catalog
+
+	// walRunning records that the log flush loop was started; durable
+	// commits block on it. When false, durable commits drive the flush
+	// themselves so they can never deadlock.
+	walRunning bool
+
+	// closeMu serializes Close against in-flight Commits: Commit holds
+	// the read side from its closed-check through completion, so Close
+	// cannot stop the flush loop between a durable committer's check and
+	// its wait for the durability callback.
+	closeMu sync.RWMutex
+	closed  atomic.Bool
 }
 
-// Open assembles an engine.
-func Open(opts Options) (*Engine, error) {
-	opts.defaults()
-	e := &Engine{opts: opts}
+// Open assembles an engine. With no options it is purely in-memory with
+// the background loops off (drive them with RunGC / RunTransform /
+// FreezeAll); see the With* options for WAL, background loops, and
+// transformation tuning. The legacy Options struct is itself an Option, so
+// Open(Options{...}) keeps working.
+func Open(opts ...Option) (*Engine, error) {
+	var o Options
+	for _, opt := range opts {
+		opt.apply(&o)
+	}
+	o.defaults()
+	e := &Engine{opts: o}
 	e.reg = storage.NewRegistry()
 	e.mgr = txn.NewManager(e.reg)
 	e.cat = catalog.New(e.reg)
@@ -188,36 +151,47 @@ func Open(opts Options) (*Engine, error) {
 	e.observer = transform.NewObserver()
 	e.collector.SetObserver(e.observer)
 	cfg := transform.Config{
-		Threshold: opts.ColdThreshold,
-		GroupSize: opts.CompactionGroupSize,
-		Mode:      opts.TransformMode,
-		OnMove:    opts.OnTupleMove,
+		Threshold: o.ColdThreshold,
+		GroupSize: o.CompactionGroupSize,
+		Mode:      o.TransformMode,
+		OnMove:    o.OnTupleMove,
 	}
 	e.transformer = transform.New(e.mgr, e.collector, e.observer, cfg)
 
-	if opts.LogPath != "" {
-		sink, err := wal.OpenFileSink(opts.LogPath)
+	if o.LogPath != "" {
+		sink, err := wal.OpenFileSink(o.LogPath)
 		if err != nil {
 			return nil, err
 		}
 		e.logMgr = wal.NewLogManager(sink)
-		e.logMgr.SyncDelay = opts.LogSyncDelay
+		e.logMgr.SyncDelay = o.LogSyncDelay
 		e.logMgr.Attach(e.mgr)
 	}
-	if opts.Background {
-		e.collector.Start(opts.GCPeriod)
-		if !opts.DisableTransform {
-			e.transformer.Start(opts.TransformPeriod)
+	if o.Background {
+		e.collector.Start(o.GCPeriod)
+		if !o.DisableTransform {
+			e.transformer.Start(o.TransformPeriod)
 		}
 		if e.logMgr != nil {
-			e.logMgr.Start(opts.LogFlushInterval)
+			e.logMgr.Start(o.LogFlushInterval)
+			e.walRunning = true
 		}
 	}
 	return e, nil
 }
 
-// Close stops background work and releases the log.
+// Close stops background work and releases the log. It is idempotent:
+// the first call wins, later calls return nil. After Close, Begin / View /
+// Update and Commit of in-flight transactions return ErrEngineClosed.
 func (e *Engine) Close() error {
+	// The write lock waits out in-flight Commits (which hold the read
+	// side), so no committer can observe the engine open and then find
+	// the flush loop stopped underneath its durability wait.
+	e.closeMu.Lock()
+	defer e.closeMu.Unlock()
+	if !e.closed.CompareAndSwap(false, true) {
+		return nil
+	}
 	if e.opts.Background {
 		e.transformer.Stop()
 		e.collector.Stop()
@@ -228,8 +202,14 @@ func (e *Engine) Close() error {
 	return nil
 }
 
+// Closed reports whether Close has been called.
+func (e *Engine) Closed() bool { return e.closed.Load() }
+
 // CreateTable registers a table with the given Arrow schema.
 func (e *Engine) CreateTable(name string, schema *Schema) (*Table, error) {
+	if e.closed.Load() {
+		return nil, ErrEngineClosed
+	}
 	t, err := e.cat.CreateTable(name, schema)
 	if err != nil {
 		return nil, err
@@ -238,7 +218,7 @@ func (e *Engine) CreateTable(name string, schema *Schema) (*Table, error) {
 	return &Table{Table: t, eng: e}, nil
 }
 
-// Table resolves a table by name.
+// Table resolves a table by name (nil if absent).
 func (e *Engine) Table(name string) *Table {
 	t := e.cat.Table(name)
 	if t == nil {
@@ -246,25 +226,6 @@ func (e *Engine) Table(name string) *Table {
 	}
 	return &Table{Table: t, eng: e}
 }
-
-// Begin starts a transaction.
-func (e *Engine) Begin() *Txn { return e.mgr.Begin() }
-
-// Commit commits tx; the returned timestamp orders it against other
-// transactions. With logging enabled durability is asynchronous — use
-// CommitDurable to block until the commit record is on disk.
-func (e *Engine) Commit(tx *Txn) uint64 { return e.mgr.Commit(tx, nil) }
-
-// CommitDurable commits and waits for the WAL fsync (no-op without a log).
-func (e *Engine) CommitDurable(tx *Txn) uint64 {
-	done := make(chan struct{})
-	ts := e.mgr.Commit(tx, func() { close(done) })
-	<-done
-	return ts
-}
-
-// Abort rolls tx back.
-func (e *Engine) Abort(tx *Txn) { e.mgr.Abort(tx) }
 
 // RunGC performs one synchronous garbage collection pass.
 func (e *Engine) RunGC() { e.collector.RunOnce() }
@@ -301,9 +262,6 @@ func (e *Engine) allFrozen() bool {
 	return true
 }
 
-// TransformStats snapshots pipeline counters.
-func (e *Engine) TransformStats() TransformStats { return e.transformer.Stats() }
-
 // BlockStates counts blocks of the named table by state:
 // [hot, cooling, freezing, frozen] — Figure 10b's metric.
 func (e *Engine) BlockStates(table string) (counts [4]int) {
@@ -319,11 +277,14 @@ func (e *Engine) BlockStates(table string) (counts [4]int) {
 
 // Recover replays a WAL file into this (fresh) engine. The commit hook is
 // detached for the duration so replayed transactions are not re-appended
-// to the engine's own log. Recovering an engine whose LogPath is the
+// to the engine's own log. Recovering an engine whose WAL path is the
 // replayed file itself is not supported: post-recovery commits draw fresh
 // timestamps from a reset counter, which would collide with the existing
 // records — recover into a fresh log and retire the old file.
 func (e *Engine) Recover(path string) error {
+	if e.closed.Load() {
+		return ErrEngineClosed
+	}
 	if e.logMgr != nil {
 		e.mgr.SetCommitHook(nil)
 		defer e.logMgr.Attach(e.mgr)
@@ -332,62 +293,15 @@ func (e *Engine) Recover(path string) error {
 	return err
 }
 
-// FlushLog forces one synchronous group commit (no-op without a log).
+// FlushLog forces one synchronous group commit (no-op without a log or
+// after Close).
 func (e *Engine) FlushLog() {
+	e.closeMu.RLock()
+	defer e.closeMu.RUnlock()
+	if e.closed.Load() {
+		return
+	}
 	if e.logMgr != nil {
 		e.logMgr.FlushOnce()
 	}
-}
-
-// Internals exposes the wired subsystems to in-module tooling (benchmarks,
-// export servers). External users should not need it.
-func (e *Engine) Internals() (*txn.Manager, *gc.GarbageCollector, *transform.Transformer, *catalog.Catalog) {
-	return e.mgr, e.collector, e.transformer, e.cat
-}
-
-// Table wraps a catalog table with engine-aware helpers.
-type Table struct {
-	*catalog.Table
-	eng *Engine
-}
-
-// NewRow allocates a full-width row for inserts.
-func (t *Table) NewRow() *Row { return t.AllColumnsProjection().NewRow() }
-
-// ProjectionOf builds a projection over the named columns.
-func (t *Table) ProjectionOf(cols ...string) (*Projection, error) {
-	ids := make([]ColumnID, len(cols))
-	for i, name := range cols {
-		idx := t.Schema.FieldIndex(name)
-		if idx < 0 {
-			return nil, fmt.Errorf("mainline: table %s has no column %q", t.Name, name)
-		}
-		ids[i] = ColumnID(idx)
-	}
-	return storage.NewProjection(t.Layout(), ids)
-}
-
-// ExportIPC streams the table to w in the Arrow IPC format: frozen blocks
-// zero-copy, hot blocks transactionally materialized. It returns bytes
-// written and how many blocks took each path.
-func (t *Table) ExportIPC(w io.Writer, tx *Txn) (written int64, frozen, materialized int, err error) {
-	batches, fz, mat, err := t.ExportBatches(tx)
-	if err != nil {
-		return 0, 0, 0, err
-	}
-	wr := arrow.NewWriter(w)
-	for _, rb := range batches {
-		// Schemas can differ per block (dictionary-compressed vs hot
-		// materialized); re-announce on change.
-		if err := wr.WriteSchema(rb.Schema); err != nil {
-			return wr.BytesWritten, fz, mat, err
-		}
-		if err := wr.WriteBatch(rb); err != nil {
-			return wr.BytesWritten, fz, mat, err
-		}
-	}
-	if err := wr.Close(); err != nil {
-		return wr.BytesWritten, fz, mat, err
-	}
-	return wr.BytesWritten, fz, mat, nil
 }

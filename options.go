@@ -1,0 +1,139 @@
+package mainline
+
+import (
+	"time"
+
+	"mainline/internal/transform"
+)
+
+// Option configures an Engine at Open. Options are applied in order; later
+// options override earlier ones.
+type Option interface {
+	apply(*Options)
+}
+
+// optionFunc adapts a function to the Option interface.
+type optionFunc func(*Options)
+
+func (f optionFunc) apply(o *Options) { f(o) }
+
+// Options is the engine configuration. It predates the functional options
+// and is kept as a thin compatibility shim: an Options value is itself an
+// Option that REPLACES the whole configuration, so legacy
+// Open(Options{...}) call sites keep compiling unchanged. New code should
+// prefer the With* options.
+type Options struct {
+	// LogPath enables write-ahead logging to the given file.
+	LogPath string
+	// LogFlushInterval bounds group-commit latency (default 5ms).
+	LogFlushInterval time.Duration
+	// LogSyncDelay is the group-formation window before each WAL flush:
+	// the flusher waits this long after the first enqueued commit so
+	// concurrent committers join the same fsync (0 = flush immediately).
+	LogSyncDelay time.Duration
+	// Background starts the GC, transformation, and log-flush loops.
+	// When false (tests, benchmarks) drive them manually with RunGC /
+	// RunTransform.
+	Background bool
+	// GCPeriod is the garbage collection interval (default 10ms).
+	GCPeriod time.Duration
+	// TransformPeriod is the transformation pass interval (default 10ms).
+	TransformPeriod time.Duration
+	// ColdThreshold is how long a block must stay unmodified to freeze
+	// (default 10ms, the paper's aggressive setting).
+	ColdThreshold time.Duration
+	// CompactionGroupSize caps blocks per compaction transaction
+	// (default 50, the paper's sweet spot).
+	CompactionGroupSize int
+	// TransformMode selects gather vs dictionary compression.
+	TransformMode TransformMode
+	// DisableTransform turns the background transformation off entirely
+	// (the paper's "no transformation" baseline).
+	DisableTransform bool
+	// OnTupleMove observes compaction movements (index maintenance).
+	OnTupleMove transform.OnMove
+}
+
+// apply makes a legacy Options value usable as an Option: it replaces the
+// entire accumulated configuration.
+func (o Options) apply(dst *Options) { *dst = o }
+
+func (o *Options) defaults() {
+	if o.LogFlushInterval == 0 {
+		o.LogFlushInterval = 5 * time.Millisecond
+	}
+	if o.GCPeriod == 0 {
+		o.GCPeriod = 10 * time.Millisecond
+	}
+	if o.TransformPeriod == 0 {
+		o.TransformPeriod = 10 * time.Millisecond
+	}
+	if o.ColdThreshold == 0 {
+		o.ColdThreshold = 10 * time.Millisecond
+	}
+	if o.CompactionGroupSize == 0 {
+		o.CompactionGroupSize = 50
+	}
+}
+
+// WithWAL enables write-ahead logging to path. syncDelay is the
+// group-formation window before each WAL flush: the flusher waits this
+// long after the first enqueued commit so concurrent committers join the
+// same fsync (0 = flush immediately).
+func WithWAL(path string, syncDelay time.Duration) Option {
+	return optionFunc(func(o *Options) {
+		o.LogPath = path
+		o.LogSyncDelay = syncDelay
+	})
+}
+
+// WithLogFlushInterval bounds group-commit latency when the background
+// flush loop runs (default 5ms).
+func WithLogFlushInterval(d time.Duration) Option {
+	return optionFunc(func(o *Options) { o.LogFlushInterval = d })
+}
+
+// WithBackground starts the GC, transformation, and log-flush loops at
+// Open. Without it, drive them manually (RunGC / RunTransform / FlushLog /
+// FreezeAll) — the mode tests and benchmarks want.
+func WithBackground() Option {
+	return optionFunc(func(o *Options) { o.Background = true })
+}
+
+// WithGCPeriod sets the background garbage collection interval.
+func WithGCPeriod(d time.Duration) Option {
+	return optionFunc(func(o *Options) { o.GCPeriod = d })
+}
+
+// WithTransformPeriod sets the background transformation pass interval.
+func WithTransformPeriod(d time.Duration) Option {
+	return optionFunc(func(o *Options) { o.TransformPeriod = d })
+}
+
+// WithColdThreshold sets how long a block must stay unmodified before the
+// transformer freezes it.
+func WithColdThreshold(d time.Duration) Option {
+	return optionFunc(func(o *Options) { o.ColdThreshold = d })
+}
+
+// WithCompactionGroupSize caps blocks per compaction transaction.
+func WithCompactionGroupSize(n int) Option {
+	return optionFunc(func(o *Options) { o.CompactionGroupSize = n })
+}
+
+// WithTransformMode selects gather vs dictionary compression for frozen
+// blocks.
+func WithTransformMode(m TransformMode) Option {
+	return optionFunc(func(o *Options) { o.TransformMode = m })
+}
+
+// WithoutTransform turns the background transformation off entirely (the
+// paper's "no transformation" baseline); GC still runs.
+func WithoutTransform() Option {
+	return optionFunc(func(o *Options) { o.DisableTransform = true })
+}
+
+// WithOnTupleMove observes compaction movements (index maintenance).
+func WithOnTupleMove(fn transform.OnMove) Option {
+	return optionFunc(func(o *Options) { o.OnTupleMove = fn })
+}
