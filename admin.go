@@ -15,6 +15,12 @@ type Stats struct {
 	// WAL reports write-ahead log activity (zero-valued with Enabled
 	// false when the engine has no log).
 	WAL WALStats
+	// Checkpoint reports checkpoint subsystem activity (Enabled false
+	// without WithDataDir).
+	Checkpoint CheckpointStats
+	// Recovery reports what Open's data-directory bootstrap did
+	// (zero-valued when the engine started empty).
+	Recovery RecoveryStats
 }
 
 // WALStats counts write-ahead log activity.
@@ -31,15 +37,85 @@ type WALStats struct {
 	Syncs int64
 }
 
+// CheckpointStats counts checkpoint subsystem activity.
+type CheckpointStats struct {
+	// Enabled reports whether the engine was opened with WithDataDir.
+	Enabled bool
+	// Taken is the number of checkpoints installed (the bootstrap
+	// re-anchor included); Failed counts attempts that errored.
+	Taken  int64
+	Failed int64
+	// Rows and BytesWritten total the rows and bytes captured across all
+	// checkpoints.
+	Rows         int64
+	BytesWritten int64
+	// SegmentsTruncated is the number of WAL segment files deleted
+	// because a checkpoint wholly covered them.
+	SegmentsTruncated int64
+	// LastSeq and LastSnapshotTs identify the newest checkpoint.
+	LastSeq        uint64
+	LastSnapshotTs uint64
+}
+
+// RecoveryStats records what Open's data-directory bootstrap did. All
+// fields are fixed once Open returns.
+type RecoveryStats struct {
+	// Bootstrapped reports whether any prior state (checkpoint or WAL)
+	// was found and loaded.
+	Bootstrapped bool
+	// CheckpointSeq and CheckpointRows describe the checkpoint the
+	// bootstrap anchored on (zero when none existed).
+	CheckpointSeq  uint64
+	CheckpointRows int64
+	// CheckpointFallbacks counts newer checkpoints skipped because their
+	// manifest or file checksums failed.
+	CheckpointFallbacks int
+	// TailSegments is how many WAL segment files were scanned.
+	TailSegments int
+	// TailTxnsApplied counts committed transactions replayed from the WAL
+	// tail — with a fresh checkpoint this is only the post-checkpoint
+	// work, the quantity the subsystem exists to bound.
+	TailTxnsApplied int
+	// TailTxnsSkipped counts logged transactions already covered by the
+	// checkpoint (their segments straddled the snapshot timestamp).
+	TailTxnsSkipped int
+	// TailRecordsApplied counts redo records applied from the tail.
+	TailRecordsApplied int
+	// TornTail reports whether any segment ended mid-record (expected
+	// after a crash; the clean prefix was recovered).
+	TornTail bool
+	// TornBytesTruncated is how many garbage tail bytes the bootstrap cut
+	// off the torn segment while repairing it (Postgres/RocksDB-style
+	// tail tolerance) — nonzero values on a machine that did not crash
+	// deserve investigation.
+	TornBytesTruncated int64
+	// ReanchorSeq is the checkpoint the bootstrap installed afterwards to
+	// re-anchor the slot space (0 when the directory was fresh).
+	ReanchorSeq uint64
+}
+
 // Stats snapshots the engine's counters.
 func (e *Engine) Stats() Stats {
 	s := Stats{
 		Transform:  e.transformer.Stats(),
 		ActiveTxns: e.mgr.ActiveCount(),
+		Recovery:   e.recovery,
 	}
 	if e.logMgr != nil {
 		s.WAL.Enabled = true
 		s.WAL.Txns, s.WAL.Bytes, s.WAL.Syncs = e.logMgr.Stats()
+	}
+	if e.opts.DataDir != "" {
+		s.Checkpoint = CheckpointStats{
+			Enabled:           true,
+			Taken:             e.ckptTaken.Load(),
+			Failed:            e.ckptFailed.Load(),
+			Rows:              e.ckptRows.Load(),
+			BytesWritten:      e.ckptBytes.Load(),
+			SegmentsTruncated: e.ckptSegsTruncated.Load(),
+			LastSeq:           e.ckptLastSeq.Load(),
+			LastSnapshotTs:    e.ckptLastTs.Load(),
+		}
 	}
 	return s
 }

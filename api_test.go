@@ -693,3 +693,112 @@ func TestNamedRowAccess(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestCheckpointRecoveryStats asserts the checkpoint and recovery counters
+// flow through eng.Stats(): checkpoints taken, bytes written, segments
+// truncated, and tail records replayed after a restart.
+func TestCheckpointRecoveryStats(t *testing.T) {
+	dir := t.TempDir()
+	eng, err := Open(WithDataDir(dir), WithWALSegmentSize(2048))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := eng.CreateTable("item", itemSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := eng.Stats(); !st.Checkpoint.Enabled || st.Checkpoint.Taken != 0 || st.Recovery.Bootstrapped {
+		t.Fatalf("fresh data-dir stats: %+v", st.Checkpoint)
+	}
+
+	const rows = 60
+	for i := 0; i < rows; i++ {
+		if err := eng.Update(func(tx *Txn) error {
+			r := tbl.NewRow()
+			r.SetInt64(0, int64(i))
+			r.SetInt64(2, int64(i))
+			_, err := tbl.Insert(tx, r)
+			return err
+		}, Durable()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := eng.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	st := eng.Stats()
+	switch {
+	case st.Checkpoint.Taken != 1:
+		t.Fatalf("Taken = %d, want 1", st.Checkpoint.Taken)
+	case st.Checkpoint.Rows != rows:
+		t.Fatalf("Rows = %d, want %d", st.Checkpoint.Rows, rows)
+	case st.Checkpoint.BytesWritten == 0:
+		t.Fatal("BytesWritten = 0")
+	case st.Checkpoint.SegmentsTruncated != 0:
+		// The first checkpoint retains its covered segments so recovery
+		// can still fall back to replay-from-genesis.
+		t.Fatalf("SegmentsTruncated = %d after first checkpoint, want 0", st.Checkpoint.SegmentsTruncated)
+	case st.Checkpoint.LastSeq != 1 || st.Checkpoint.LastSnapshotTs == 0:
+		t.Fatalf("LastSeq/LastSnapshotTs = %d/%d", st.Checkpoint.LastSeq, st.Checkpoint.LastSnapshotTs)
+	case st.Checkpoint.Failed != 0:
+		t.Fatalf("Failed = %d", st.Checkpoint.Failed)
+	}
+
+	// A second checkpoint supersedes the first and releases its segments.
+	if _, err := eng.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	st = eng.Stats()
+	switch {
+	case st.Checkpoint.Taken != 2 || st.Checkpoint.LastSeq != 2:
+		t.Fatalf("Taken/LastSeq = %d/%d, want 2/2", st.Checkpoint.Taken, st.Checkpoint.LastSeq)
+	case st.Checkpoint.SegmentsTruncated == 0:
+		t.Fatal("second checkpoint truncated no segments")
+	}
+
+	// Tail work after the checkpoint, then a clean restart.
+	const tail = 5
+	for i := 0; i < tail; i++ {
+		if err := eng.Update(func(tx *Txn) error {
+			r := tbl.NewRow()
+			r.SetInt64(0, int64(1000+i))
+			r.SetInt64(2, 1)
+			_, err := tbl.Insert(tx, r)
+			return err
+		}, Durable()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := eng.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	eng2, err := Open(WithDataDir(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng2.Close()
+	st2 := eng2.Stats()
+	switch {
+	case !st2.Recovery.Bootstrapped:
+		t.Fatal("Recovery.Bootstrapped = false")
+	case st2.Recovery.CheckpointSeq != 2:
+		t.Fatalf("Recovery.CheckpointSeq = %d", st2.Recovery.CheckpointSeq)
+	case st2.Recovery.CheckpointRows != rows:
+		t.Fatalf("Recovery.CheckpointRows = %d", st2.Recovery.CheckpointRows)
+	case st2.Recovery.TailTxnsApplied != tail:
+		t.Fatalf("Recovery.TailTxnsApplied = %d, want %d", st2.Recovery.TailTxnsApplied, tail)
+	case st2.Recovery.TailRecordsApplied != tail:
+		t.Fatalf("Recovery.TailRecordsApplied = %d, want %d", st2.Recovery.TailRecordsApplied, tail)
+	case st2.Recovery.TailSegments == 0:
+		t.Fatal("Recovery.TailSegments = 0")
+	case st2.Recovery.TornTail:
+		t.Fatal("clean shutdown flagged as torn")
+	case st2.Recovery.ReanchorSeq != 3:
+		t.Fatalf("Recovery.ReanchorSeq = %d, want 3", st2.Recovery.ReanchorSeq)
+	}
+	// The re-anchor counts as a taken checkpoint on the new engine.
+	if st2.Checkpoint.Taken != 1 || st2.Checkpoint.LastSeq != 3 {
+		t.Fatalf("post-restart checkpoint stats: %+v", st2.Checkpoint)
+	}
+}

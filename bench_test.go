@@ -173,6 +173,49 @@ func TestCommitPipelineScaling(t *testing.T) {
 	}
 }
 
+// BenchmarkCheckpoint measures one full checkpoint (snapshot scan, Arrow
+// IPC write, manifest install, WAL truncation) over a populated table.
+func BenchmarkCheckpoint(b *testing.B) {
+	dir := b.TempDir()
+	eng, err := Open(WithDataDir(dir))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer eng.Close()
+	tbl, err := eng.CreateTable("t", NewSchema(
+		Field{Name: "id", Type: INT64},
+		Field{Name: "payload", Type: STRING},
+	))
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := eng.Update(func(tx *Txn) error {
+		row := tbl.NewRow()
+		for i := 0; i < 20000; i++ {
+			row.Reset()
+			row.SetInt64(0, int64(i))
+			row.SetVarlen(1, []byte(fmt.Sprintf("checkpoint-payload-%d", i)))
+			if _, err := tbl.Insert(tx, row); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		b.Fatal(err)
+	}
+	eng.FlushLog()
+	b.ResetTimer()
+	var bytes int64
+	for i := 0; i < b.N; i++ {
+		info, err := eng.Checkpoint()
+		if err != nil {
+			b.Fatal(err)
+		}
+		bytes = info.BytesWritten
+	}
+	b.SetBytes(bytes)
+}
+
 // BenchmarkTPCCNewOrder micro-measures the New-Order profile alone.
 func BenchmarkTPCCNewOrder(b *testing.B) {
 	eng, err := Open()

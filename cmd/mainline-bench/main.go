@@ -6,11 +6,12 @@
 //
 // Usage:
 //
-//	mainline-bench [flags] fig1|fig10|fig11|fig12|fig13|fig14|fig15|commit|all
+//	mainline-bench [flags] fig1|fig10|fig11|fig12|fig13|fig14|fig15|commit|recovery|all
 //
 // The extra "commit" target (not a paper figure) sweeps the parallel
 // commit pipeline: durable TPC-C throughput versus terminals under WAL
-// group commit.
+// group commit. The "recovery" target sweeps restart time against WAL
+// length with and without checkpoint anchoring.
 package main
 
 import (
@@ -21,6 +22,7 @@ import (
 
 	"mainline/internal/bench"
 	"mainline/internal/benchutil"
+	"mainline/internal/recoverybench"
 )
 
 func main() {
@@ -35,7 +37,7 @@ func main() {
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: mainline-bench [flags] fig1|fig10|fig11|fig12|fig13|fig14|fig15|commit|all")
+		fmt.Fprintln(os.Stderr, "usage: mainline-bench [flags] fig1|fig10|fig11|fig12|fig13|fig14|fig15|commit|recovery|all")
 		os.Exit(2)
 	}
 	s := func(n int) int {
@@ -95,6 +97,14 @@ func main() {
 		cfg.Duration = *duration
 		cfg.Workers = parseInts(*workers)
 		t, _, err := bench.GroupCommit(cfg)
+		return t, err
+	})
+	run("recovery", func() (*benchutil.Table, error) {
+		cfg := recoverybench.DefaultRecoveryConfig()
+		for i, n := range cfg.TxnCounts {
+			cfg.TxnCounts[i] = s(n)
+		}
+		t, _, err := recoverybench.Recovery(cfg)
 		return t, err
 	})
 }

@@ -17,7 +17,10 @@ import (
 	"os"
 	"time"
 
+	"path/filepath"
+
 	"mainline/internal/catalog"
+	"mainline/internal/checkpoint"
 	"mainline/internal/gc"
 	"mainline/internal/storage"
 	"mainline/internal/transform"
@@ -36,15 +39,31 @@ func main() {
 		threshold  = flag.Duration("threshold", 10*time.Millisecond, "cold-block threshold")
 
 		walPath     = flag.String("wal", "", "write-ahead log file (enables group-commit logging)")
-		durable     = flag.Bool("durable", false, "terminals wait for the group-commit fsync (needs -wal)")
+		durable     = flag.Bool("durable", false, "terminals wait for the group-commit fsync (needs -wal or -datadir)")
 		syncLatency = flag.Duration("sync-latency", 0, "emulate a log device with this fsync cost (0 = raw)")
 		syncDelay   = flag.Duration("sync-delay", 0, "group-formation window before each log flush")
+
+		dataDir  = flag.String("datadir", "", "data directory: segmented WAL + Arrow checkpoints (excludes -wal)")
+		doCkpt   = flag.Bool("checkpoint", false, "take a checkpoint after the run and truncate the WAL (needs -datadir)")
+		segBytes = flag.Int64("segment-size", 0, "WAL segment rotation threshold in bytes (0 = 4MB default)")
 	)
 	flag.Parse()
-	if *walPath == "" {
+	if *dataDir != "" && *walPath != "" {
+		fmt.Fprintln(os.Stderr, "-datadir and -wal are mutually exclusive")
+		os.Exit(2)
+	}
+	if *dataDir != "" && *syncLatency > 0 {
+		// The segmented sink writes to the real device; silently dropping
+		// the emulated latency would make -datadir numbers incomparable to
+		// -wal runs carrying the same flag.
+		fmt.Fprintln(os.Stderr, "-sync-latency is only supported with -wal")
+		os.Exit(2)
+	}
+	logging := *walPath != "" || *dataDir != ""
+	if !logging {
 		switch {
 		case *durable:
-			fmt.Fprintln(os.Stderr, "-durable requires -wal")
+			fmt.Fprintln(os.Stderr, "-durable requires -wal or -datadir")
 			os.Exit(2)
 		case *syncLatency > 0:
 			fmt.Fprintln(os.Stderr, "-sync-latency requires -wal")
@@ -53,6 +72,14 @@ func main() {
 			fmt.Fprintln(os.Stderr, "-sync-delay requires -wal")
 			os.Exit(2)
 		}
+	}
+	if *doCkpt && *dataDir == "" {
+		fmt.Fprintln(os.Stderr, "-checkpoint requires -datadir")
+		os.Exit(2)
+	}
+	if *segBytes > 0 && *dataDir == "" {
+		fmt.Fprintln(os.Stderr, "-segment-size requires -datadir")
+		os.Exit(2)
 	}
 
 	reg := storage.NewRegistry()
@@ -78,7 +105,30 @@ func main() {
 	// The WAL hook is installed after load so the initial population is not
 	// logged; the run's transactions are.
 	var lm *wal.LogManager
-	if *walPath != "" {
+	var ckptDir string
+	var segSink *wal.SegmentedSink
+	switch {
+	case *dataDir != "":
+		ckptDir = filepath.Join(*dataDir, "checkpoints")
+		// This harness does not bootstrap (no catalog.json, no replay), so
+		// it cannot account for a previous run's segments; require a fresh
+		// directory rather than report truncation numbers that exclude
+		// untracked old segments.
+		if segs, err := wal.ListSegments(filepath.Join(*dataDir, "wal")); err == nil && len(segs) > 0 {
+			fmt.Fprintf(os.Stderr, "-datadir %s holds WAL segments from a previous run; use a fresh directory\n", *dataDir)
+			os.Exit(2)
+		}
+		sink, err := wal.OpenSegmentedSink(filepath.Join(*dataDir, "wal"), *segBytes, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		segSink = sink
+		lm = wal.NewLogManager(sink)
+		lm.SyncDelay = *syncDelay
+		lm.Attach(mgr)
+		lm.Start(5 * time.Millisecond)
+		db.Durable = *durable
+	case *walPath != "":
 		var err error
 		lm, err = wal.OpenPipeline(*walPath, mgr, *syncLatency, *syncDelay, 5*time.Millisecond)
 		if err != nil {
@@ -123,6 +173,34 @@ func main() {
 
 	fmt.Printf("\nthroughput: %.0f txn/s, %.0f tpmC (committed %d, aborted %d)\n",
 		res.Throughput(), res.TpmC(), res.Total(), res.Aborted)
+	if *doCkpt {
+		// Push queued commits to disk and snapshot every table as Arrow
+		// IPC. Matching the engine's fallback-safe rule, a checkpoint's
+		// own segments are released only by its successor — and in this
+		// fresh directory there is no predecessor — so the run reports
+		// the log a restart would SKIP (covered by the checkpoint) rather
+		// than deleting it.
+		lm.FlushOnce()
+		t1 := time.Now()
+		info, err := checkpoint.Take(ckptDir, cat, mgr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		// Seal the active segment (Truncate through ts 0 rotates but
+		// deletes only empty segments) so coverage accounting sees it.
+		_, _ = lm.Truncate(0)
+		var coveredSegs int
+		var coveredBytes int64
+		for _, s := range segSink.SealedSegments() {
+			if s.MaxTs > 0 && s.MaxTs <= info.SnapshotTs {
+				coveredSegs++
+				coveredBytes += s.Size
+			}
+		}
+		fmt.Printf("checkpoint %d: %d tables, %d rows, %.1f MB in %v; covers %d WAL segments (%.1f MB) a restart now skips\n",
+			info.Seq, info.Tables, info.Rows, float64(info.BytesWritten)/(1<<20),
+			time.Since(t1).Round(time.Millisecond), coveredSegs, float64(coveredBytes)/(1<<20))
+	}
 	if lm != nil {
 		// Close first: it drains the final group, so Stats covers the run.
 		if err := lm.Close(); err != nil {

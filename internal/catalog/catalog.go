@@ -113,6 +113,23 @@ func (c *Catalog) CreateTable(name string, schema *arrow.Schema) (*Table, error)
 	return t, nil
 }
 
+// Drop unregisters a table. The engine uses it to roll back a CreateTable
+// whose catalog persistence failed; there is no transactional DROP TABLE —
+// callers must ensure no transaction ever wrote to the table. The table's
+// (empty) blocks are deliberately NOT retired into the buffer pool: a
+// concurrent checkpoint scan that listed the table moments earlier may
+// still be reading them, and recycling live memory under a reader would
+// corrupt whatever the pool hands the buffers to next. The one empty
+// block leaks; the path is a rare persistence failure.
+func (c *Catalog) Drop(name string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if t := c.byName[name]; t != nil {
+		delete(c.byName, name)
+		delete(c.byID, t.ID)
+	}
+}
+
 // Table resolves a table by name (nil if absent).
 func (c *Catalog) Table(name string) *Table {
 	c.mu.RLock()

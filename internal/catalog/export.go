@@ -107,6 +107,73 @@ func appendRowToBuilders(schema *arrow.Schema, builders []*arrow.Builder, row *s
 	}
 }
 
+// SnapshotBatches materializes every tuple visible to tx into record
+// batches of at most batchRows rows, invoking fn with each batch and the
+// physical slots of its rows (in batch row order). Unlike ExportBatches it
+// always reads transactionally — every row is exactly the version visible
+// at tx's snapshot, never a frozen block's newer in-place state — which is
+// what makes the result a consistent checkpoint anchored at tx.StartTs().
+// The slot list is the checkpoint's recovery sidecar: WAL-tail updates
+// logged against pre-checkpoint slots resolve through it.
+func (t *Table) SnapshotBatches(tx *txn.Transaction, batchRows int, fn func(rb *arrow.RecordBatch, slots []storage.TupleSlot) error) (int, error) {
+	if batchRows <= 0 {
+		batchRows = 8192
+	}
+	var (
+		builders []*arrow.Builder
+		slots    []storage.TupleSlot
+		total    int
+		fnErr    error
+	)
+	reset := func() {
+		builders = make([]*arrow.Builder, t.Schema.NumFields())
+		for i, f := range t.Schema.Fields {
+			builders[i] = arrow.NewBuilder(f.Type)
+		}
+		slots = slots[:0]
+	}
+	flush := func() error {
+		if len(slots) == 0 {
+			return nil
+		}
+		cols := make([]*arrow.Array, len(builders))
+		for i, b := range builders {
+			cols[i] = b.Finish()
+		}
+		rb, err := arrow.NewRecordBatch(t.Schema, cols)
+		if err != nil {
+			return err
+		}
+		if err := fn(rb, slots); err != nil {
+			return err
+		}
+		total += len(slots)
+		reset()
+		return nil
+	}
+	reset()
+	err := t.DataTable.Scan(tx, t.AllColumnsProjection(), func(slot storage.TupleSlot, row *storage.ProjectedRow) bool {
+		appendRowToBuilders(t.Schema, builders, row)
+		slots = append(slots, slot)
+		if len(slots) >= batchRows {
+			if fnErr = flush(); fnErr != nil {
+				return false
+			}
+		}
+		return true
+	})
+	if err != nil {
+		return total, err
+	}
+	if fnErr != nil {
+		return total, fnErr
+	}
+	if err := flush(); err != nil {
+		return total, err
+	}
+	return total, nil
+}
+
 // ExportBatches produces one record batch per block: zero-copy for frozen
 // blocks, transactional materialization for hot ones. It reports how many
 // blocks took each path — the quantity Figure 15 varies.

@@ -1,0 +1,127 @@
+package catalog
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+
+	"mainline/internal/arrow"
+	"mainline/internal/core"
+	"mainline/internal/fsutil"
+	"mainline/internal/index"
+)
+
+// CatalogFormatVersion versions the persisted catalog encoding.
+const CatalogFormatVersion = 1
+
+// persistedField is one schema column on disk.
+type persistedField struct {
+	Name     string `json:"name"`
+	Type     uint8  `json:"type"`
+	Nullable bool   `json:"nullable,omitempty"`
+}
+
+// persistedTable is one table definition on disk.
+type persistedTable struct {
+	ID     uint32           `json:"id"`
+	Name   string           `json:"name"`
+	Fields []persistedField `json:"fields"`
+}
+
+// persistedCatalog is the on-disk schema catalog (catalog.json in a data
+// directory). It carries exactly what recovery cannot rederive: table
+// names, IDs (redo records address tables by ID), and Arrow schemas.
+type persistedCatalog struct {
+	FormatVersion int              `json:"format_version"`
+	Tables        []persistedTable `json:"tables"`
+}
+
+// Save writes the catalog's table definitions to path atomically
+// (temp file + rename + directory sync). The engine calls it on every
+// CreateTable in data-directory mode, before any transaction can log
+// records against the new table.
+func (c *Catalog) Save(path string) error {
+	c.mu.RLock()
+	pc := persistedCatalog{FormatVersion: CatalogFormatVersion}
+	for id, t := range c.byID {
+		pt := persistedTable{ID: id, Name: t.Name}
+		for _, f := range t.Schema.Fields {
+			pt.Fields = append(pt.Fields, persistedField{Name: f.Name, Type: uint8(f.Type), Nullable: f.Nullable})
+		}
+		pc.Tables = append(pc.Tables, pt)
+	}
+	c.mu.RUnlock()
+	sort.Slice(pc.Tables, func(i, j int) bool { return pc.Tables[i].ID < pc.Tables[j].ID })
+
+	data, err := json.MarshalIndent(&pc, "", "  ")
+	if err != nil {
+		return fmt.Errorf("catalog: encoding: %w", err)
+	}
+	if err := fsutil.AtomicWriteFile(path, data); err != nil {
+		return fmt.Errorf("catalog: %w", err)
+	}
+	return nil
+}
+
+// Load rehydrates table definitions from path into the catalog and
+// returns the created tables (so the engine can watch them). A missing
+// file is an empty catalog. The catalog must be empty.
+func (c *Catalog) Load(path string) ([]*Table, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("catalog: reading %s: %w", path, err)
+	}
+	var pc persistedCatalog
+	if err := json.Unmarshal(data, &pc); err != nil {
+		return nil, fmt.Errorf("catalog: parsing %s: %w", path, err)
+	}
+	if pc.FormatVersion != CatalogFormatVersion {
+		return nil, fmt.Errorf("catalog: %s has format version %d, want %d", path, pc.FormatVersion, CatalogFormatVersion)
+	}
+	tables := make([]*Table, 0, len(pc.Tables))
+	for _, pt := range pc.Tables {
+		fields := make([]arrow.Field, 0, len(pt.Fields))
+		for _, f := range pt.Fields {
+			fields = append(fields, arrow.Field{Name: f.Name, Type: arrow.TypeID(f.Type), Nullable: f.Nullable})
+		}
+		t, err := c.RestoreTable(pt.Name, arrow.NewSchema(fields...), pt.ID)
+		if err != nil {
+			return nil, err
+		}
+		tables = append(tables, t)
+	}
+	return tables, nil
+}
+
+// RestoreTable registers a table under a specific catalog ID — recovery
+// must preserve IDs because redo records address tables by them. The next
+// fresh ID is bumped past every restored one.
+func (c *Catalog) RestoreTable(name string, schema *arrow.Schema, id uint32) (*Table, error) {
+	layout, err := LayoutForSchema(schema)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, exists := c.byName[name]; exists {
+		return nil, fmt.Errorf("catalog: table %q exists", name)
+	}
+	if _, exists := c.byID[id]; exists {
+		return nil, fmt.Errorf("catalog: table ID %d exists", id)
+	}
+	t := &Table{
+		DataTable: core.NewDataTable(c.reg, layout, id, name),
+		Schema:    schema,
+		indexes:   make(map[string]index.Index),
+	}
+	c.byName[name] = t
+	c.byID[id] = t
+	if id >= c.nextID {
+		c.nextID = id + 1
+	}
+	return t, nil
+}

@@ -1,0 +1,199 @@
+package checkpoint
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"mainline/internal/arrow"
+	"mainline/internal/catalog"
+	"mainline/internal/fsutil"
+	"mainline/internal/storage"
+	"mainline/internal/txn"
+)
+
+// snapshotBatchRows bounds builder memory while scanning.
+const snapshotBatchRows = 8192
+
+// Info summarizes one taken checkpoint.
+type Info struct {
+	// Seq is the checkpoint's sequence number.
+	Seq uint64
+	// SnapshotTs is the snapshot timestamp the checkpoint is anchored at.
+	SnapshotTs uint64
+	// LastTs is the engine clock when the checkpoint finished.
+	LastTs uint64
+	// Tables is the number of tables captured.
+	Tables int
+	// Rows is the total rows captured across tables.
+	Rows int64
+	// BytesWritten is the total bytes of data, sidecar, and manifest files.
+	BytesWritten int64
+	// Dir is the installed checkpoint directory.
+	Dir string
+}
+
+// Take writes a transactionally consistent checkpoint of every catalog
+// table into dir (the checkpoints directory, created if needed) and
+// installs it atomically. The snapshot is a read-only transaction: every
+// row version visible at its start timestamp — and nothing newer — lands
+// in the table files, so the manifest's SnapshotTs cleanly partitions
+// history into "in the checkpoint" and "replay from the WAL tail".
+func Take(dir string, cat *catalog.Catalog, mgr *txn.Manager) (*Info, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("checkpoint: creating %s: %w", dir, err)
+	}
+	seqs, err := ListSeqs(dir)
+	if err != nil {
+		return nil, err
+	}
+	seq := uint64(1)
+	if n := len(seqs); n > 0 {
+		seq = seqs[n-1] + 1
+	}
+	tmp := filepath.Join(dir, fmt.Sprintf(".tmp-%d", seq))
+	if err := os.RemoveAll(tmp); err != nil {
+		return nil, err
+	}
+	if err := os.MkdirAll(tmp, 0o755); err != nil {
+		return nil, err
+	}
+	cleanup := true
+	defer func() {
+		if cleanup {
+			_ = os.RemoveAll(tmp)
+		}
+	}()
+
+	// The snapshot transaction pins the GC watermark for the duration, so
+	// no version this scan still needs can be pruned under it. Drawing it
+	// before listing tables guarantees any table the list misses was
+	// created after SnapshotTs — its rows are all in the WAL tail. It is
+	// finished with Abort, not Commit: a read-only abort has no effects
+	// and, unlike Commit, never reaches the WAL hook, so the checkpoint
+	// leaves no record in the fresh segment that would block truncating it
+	// at the next checkpoint.
+	tx := mgr.Begin()
+	defer func() {
+		if !tx.Finished() {
+			mgr.Abort(tx)
+		}
+	}()
+	snapshotTs := tx.StartTs()
+	// Wait out in-flight commit critical sections before scanning: a
+	// transaction can draw commit timestamp C < snapshotTs on another
+	// latch shard and still be stamping its undo records, in which case
+	// the scan would read its tuples as uncommitted and omit them — yet
+	// tail replay (AfterTs = snapshotTs) would skip C too, losing it.
+	// CommitFrontier's latch barrier guarantees every commit below the
+	// frontier (>= snapshotTs) has finished stamping and is visible.
+	mgr.CommitFrontier()
+
+	tables := cat.Tables()
+	sort.Slice(tables, func(i, j int) bool { return tables[i].ID < tables[j].ID })
+
+	info := &Info{Seq: seq, SnapshotTs: snapshotTs, Dir: filepath.Join(dir, seqDirName(seq))}
+	man := &Manifest{
+		FormatVersion:   FormatVersion,
+		Seq:             seq,
+		SnapshotTs:      snapshotTs,
+		CreatedUnixNano: time.Now().UnixNano(),
+	}
+	for _, t := range tables {
+		ti, err := writeTable(tmp, t, tx)
+		if err != nil {
+			return nil, err
+		}
+		man.Tables = append(man.Tables, *ti)
+		info.Rows += ti.Rows
+		info.BytesWritten += ti.DataSize + ti.SlotSize
+	}
+	mgr.Abort(tx)
+	man.LastTs = mgr.CurrentTime()
+	info.LastTs = man.LastTs
+	info.Tables = len(man.Tables)
+
+	data, err := json.MarshalIndent(man, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	if err := fsutil.WriteFileSync(filepath.Join(tmp, ManifestName), data); err != nil {
+		return nil, err
+	}
+	info.BytesWritten += int64(len(data))
+	fsutil.SyncDir(tmp)
+
+	// Atomic install: the checkpoint exists iff the rename completed.
+	if err := os.Rename(tmp, info.Dir); err != nil {
+		return nil, fmt.Errorf("checkpoint: installing %s: %w", info.Dir, err)
+	}
+	cleanup = false
+	fsutil.SyncDir(dir)
+	prune(dir)
+	return info, nil
+}
+
+// writeTable writes one table's Arrow IPC stream and slot sidecar into the
+// temp checkpoint directory.
+func writeTable(tmp string, t *catalog.Table, tx *txn.Transaction) (*TableInfo, error) {
+	ti := &TableInfo{
+		ID:       t.ID,
+		Name:     t.Name,
+		DataFile: fmt.Sprintf("t-%d.arrow", t.ID),
+		SlotFile: fmt.Sprintf("t-%d.slots", t.ID),
+	}
+	for _, f := range t.Schema.Fields {
+		ti.Fields = append(ti.Fields, FieldDef{Name: f.Name, Type: uint8(f.Type), Nullable: f.Nullable})
+	}
+
+	df, err := os.OpenFile(filepath.Join(tmp, ti.DataFile), os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	defer df.Close()
+	dcw := &crcWriter{w: df}
+	wr := arrow.NewWriter(dcw)
+	if err := wr.WriteSchema(t.Schema); err != nil {
+		return nil, err
+	}
+
+	sf, err := os.OpenFile(filepath.Join(tmp, ti.SlotFile), os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	defer sf.Close()
+	scw := &crcWriter{w: sf}
+	var slotBuf []byte
+
+	rows, err := t.SnapshotBatches(tx, snapshotBatchRows, func(rb *arrow.RecordBatch, slots []storage.TupleSlot) error {
+		if err := wr.WriteBatch(rb); err != nil {
+			return err
+		}
+		slotBuf = slotBuf[:0]
+		for _, s := range slots {
+			slotBuf = binary.LittleEndian.AppendUint64(slotBuf, uint64(s))
+		}
+		_, err := scw.Write(slotBuf)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := wr.Close(); err != nil {
+		return nil, err
+	}
+	if err := df.Sync(); err != nil {
+		return nil, err
+	}
+	if err := sf.Sync(); err != nil {
+		return nil, err
+	}
+	ti.Rows = int64(rows)
+	ti.DataSize, ti.DataCRC = dcw.n, dcw.crc
+	ti.SlotSize, ti.SlotCRC = scw.n, scw.crc
+	return ti, nil
+}

@@ -1,0 +1,231 @@
+package checkpoint
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"mainline/internal/arrow"
+	"mainline/internal/catalog"
+	"mainline/internal/storage"
+	"mainline/internal/txn"
+)
+
+// restoreTxnRows bounds the undo/redo footprint of one restore transaction.
+const restoreTxnRows = 8192
+
+// RestoreResult reports what a bootstrap loaded.
+type RestoreResult struct {
+	// Manifest is the checkpoint the bootstrap anchored on.
+	Manifest *Manifest
+	// Dir is the checkpoint directory loaded.
+	Dir string
+	// Rows is the total rows inserted.
+	Rows int64
+	// SlotMap maps each checkpointed row's pre-crash physical slot to its
+	// rebuilt slot — the seed for WAL-tail replay.
+	SlotMap map[storage.TupleSlot]storage.TupleSlot
+	// Fallbacks counts newer checkpoints skipped due to checksum or
+	// manifest failures before a valid one was found.
+	Fallbacks int
+}
+
+// Restore loads the newest valid checkpoint from dir into the catalog's
+// tables, falling back to older checkpoints when verification fails.
+// (nil, nil) means no checkpoint exists; an error means checkpoints exist
+// but none is loadable — starting empty would silently lose data the WAL
+// alone cannot reproduce, so the caller must surface it.
+func Restore(dir string, cat *catalog.Catalog, mgr *txn.Manager) (*RestoreResult, error) {
+	seqs, err := ListSeqs(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(seqs) == 0 {
+		return nil, nil
+	}
+	var lastErr error
+	fallbacks := 0
+	for i := len(seqs) - 1; i >= 0; i-- {
+		ckptDir := filepath.Join(dir, seqDirName(seqs[i]))
+		man, err := ReadManifest(ckptDir)
+		if err == nil {
+			err = Verify(ckptDir, man)
+		}
+		if err == nil {
+			// Catalog consistency is part of validity, checked BEFORE any
+			// row is inserted so an inconsistent checkpoint falls back
+			// cleanly instead of aborting Open after a partial load. A
+			// manifest can legitimately name a table the durable catalog
+			// lacks: the snapshot listed a table whose CreateTable
+			// registered it but crashed (or failed and rolled back) before
+			// catalog.json landed — no transaction can have touched it, so
+			// the older checkpoint loses nothing.
+			err = checkCatalog(man, cat)
+		}
+		if err != nil {
+			lastErr = err
+			fallbacks++
+			continue
+		}
+		res, err := load(ckptDir, man, cat, mgr)
+		if err != nil {
+			return nil, err
+		}
+		res.Fallbacks = fallbacks
+		return res, nil
+	}
+	return nil, fmt.Errorf("checkpoint: no valid checkpoint among %d in %s: %w", len(seqs), dir, lastErr)
+}
+
+// checkCatalog verifies every manifest table exists in the catalog with an
+// identical schema.
+func checkCatalog(man *Manifest, cat *catalog.Catalog) error {
+	for i := range man.Tables {
+		ti := &man.Tables[i]
+		t := cat.TableByID(ti.ID)
+		if t == nil {
+			return fmt.Errorf("checkpoint: table %q (id %d) in manifest but not in catalog", ti.Name, ti.ID)
+		}
+		if want := manifestSchema(ti); !t.Schema.Equal(want) {
+			return fmt.Errorf("checkpoint: table %q schema drifted: catalog %s vs checkpoint %s", ti.Name, t.Schema, want)
+		}
+	}
+	return nil
+}
+
+// load inserts every row of a verified checkpoint into the catalog's
+// tables, chunked into bounded transactions, and builds the slot map.
+func load(ckptDir string, man *Manifest, cat *catalog.Catalog, mgr *txn.Manager) (*RestoreResult, error) {
+	res := &RestoreResult{
+		Manifest: man,
+		Dir:      ckptDir,
+		SlotMap:  make(map[storage.TupleSlot]storage.TupleSlot),
+	}
+	for i := range man.Tables {
+		ti := &man.Tables[i]
+		t := cat.TableByID(ti.ID)
+		if t == nil {
+			// checkCatalog ran first; reaching here is a caller bug.
+			return nil, fmt.Errorf("checkpoint: table %q (id %d) in manifest but not in catalog", ti.Name, ti.ID)
+		}
+		if err := loadTable(ckptDir, ti, t, mgr, res); err != nil {
+			return nil, fmt.Errorf("checkpoint: loading table %q: %w", ti.Name, err)
+		}
+	}
+	return res, nil
+}
+
+// manifestSchema rebuilds the Arrow schema a manifest records for a table.
+func manifestSchema(ti *TableInfo) *arrow.Schema {
+	fields := make([]arrow.Field, 0, len(ti.Fields))
+	for _, f := range ti.Fields {
+		fields = append(fields, arrow.Field{Name: f.Name, Type: arrow.TypeID(f.Type), Nullable: f.Nullable})
+	}
+	return arrow.NewSchema(fields...)
+}
+
+// loadTable reads one table's slot sidecar and Arrow stream and re-inserts
+// every row.
+func loadTable(ckptDir string, ti *TableInfo, t *catalog.Table, mgr *txn.Manager, res *RestoreResult) error {
+	slots, err := readSlots(filepath.Join(ckptDir, ti.SlotFile), ti.Rows)
+	if err != nil {
+		return err
+	}
+	df, err := os.Open(filepath.Join(ckptDir, ti.DataFile))
+	if err != nil {
+		return err
+	}
+	defer df.Close()
+	rd := arrow.NewReader(df)
+
+	proj := t.AllColumnsProjection()
+	row := proj.NewRow()
+	layout := t.Layout()
+
+	var (
+		tx     *txn.Transaction
+		inTxn  int
+		global int64
+	)
+	commit := func() {
+		if tx != nil {
+			mgr.Commit(tx, nil)
+			tx = nil
+			inTxn = 0
+		}
+	}
+	defer func() {
+		if tx != nil {
+			mgr.Abort(tx)
+		}
+	}()
+
+	for {
+		rb, err := rd.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		if !rb.Schema.Equal(t.Schema) {
+			return fmt.Errorf("batch schema %s != table schema %s", rb.Schema, t.Schema)
+		}
+		for r := 0; r < rb.NumRows; r++ {
+			if global >= int64(len(slots)) {
+				return fmt.Errorf("more rows than slots (%d)", len(slots))
+			}
+			if tx == nil {
+				tx = mgr.Begin()
+			}
+			row.Reset()
+			for c, arr := range rb.Columns {
+				if arr.IsNull(r) {
+					row.SetNull(c)
+					continue
+				}
+				col := storage.ColumnID(c)
+				if layout.IsVarlen(col) {
+					row.SetVarlen(c, arr.Bytes(r))
+				} else {
+					w := arr.Type.ByteWidth()
+					copy(row.FixedBytes(c), arr.Values[r*w:(r+1)*w])
+					row.Nulls.Clear(c)
+				}
+			}
+			newSlot, err := t.DataTable.Insert(tx, row)
+			if err != nil {
+				return err
+			}
+			res.SlotMap[slots[global]] = newSlot
+			global++
+			res.Rows++
+			if inTxn++; inTxn >= restoreTxnRows {
+				commit()
+			}
+		}
+	}
+	commit()
+	if global != ti.Rows {
+		return fmt.Errorf("restored %d rows, manifest says %d", global, ti.Rows)
+	}
+	return nil
+}
+
+// readSlots loads a slot sidecar (rows little-endian u64 values).
+func readSlots(path string, rows int64) ([]storage.TupleSlot, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if int64(len(data)) != rows*8 {
+		return nil, fmt.Errorf("slot sidecar %s has %d bytes, want %d", filepath.Base(path), len(data), rows*8)
+	}
+	slots := make([]storage.TupleSlot, rows)
+	for i := range slots {
+		slots[i] = storage.TupleSlot(binary.LittleEndian.Uint64(data[i*8:]))
+	}
+	return slots, nil
+}

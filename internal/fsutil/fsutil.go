@@ -1,0 +1,52 @@
+// Package fsutil holds the small durability helpers the persistence
+// layers (WAL segments, checkpoints, catalog) share, so a future fix to
+// fsync handling lands in one place.
+package fsutil
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// SyncDir fsyncs a directory so file creations, removals, and renames
+// inside it are durable. Best-effort: some filesystems reject directory
+// fsync, and the callers' subsequent file fsyncs carry the data itself.
+func SyncDir(dir string) {
+	if d, err := os.Open(dir); err == nil {
+		_ = d.Sync()
+		_ = d.Close()
+	}
+}
+
+// WriteFileSync writes data to path and fsyncs the file before closing.
+func WriteFileSync(path string, data []byte) error {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// AtomicWriteFile installs data at path via temp file + fsync + rename +
+// directory sync, so readers observe either the old content or the new,
+// never a torn write.
+func AtomicWriteFile(path string, data []byte) error {
+	tmp := path + ".tmp"
+	if err := WriteFileSync(tmp, data); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("installing %s: %w", path, err)
+	}
+	SyncDir(filepath.Dir(path))
+	return nil
+}

@@ -1,0 +1,9 @@
+//go:build !unix
+
+package fsutil
+
+// LockDir is a no-op on platforms without flock; double-open protection
+// is advisory and unix-only.
+func LockDir(dir string) (release func(), err error) {
+	return func() {}, nil
+}

@@ -1,0 +1,31 @@
+//go:build unix
+
+package fsutil
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"syscall"
+)
+
+// LockDir takes an exclusive advisory lock on dir/LOCK, preventing two
+// processes from opening the same data directory — double-open would
+// interleave two independent timestamp counters and slot lineages into
+// one WAL. The lock is released by the returned func, or automatically by
+// the OS when the process dies (flock semantics), so a crash never leaves
+// a stale lock.
+func LockDir(dir string) (release func(), err error) {
+	f, err := os.OpenFile(filepath.Join(dir, "LOCK"), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("opening lock file: %w", err)
+	}
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("data directory is locked by another process: %w", err)
+	}
+	return func() {
+		_ = syscall.Flock(int(f.Fd()), syscall.LOCK_UN)
+		_ = f.Close()
+	}, nil
+}

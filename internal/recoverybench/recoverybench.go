@@ -1,0 +1,192 @@
+package recoverybench
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"mainline"
+	"mainline/internal/benchutil"
+	"mainline/internal/wal"
+)
+
+// RecoveryConfig scales the recovery-time-vs-WAL-length experiment.
+type RecoveryConfig struct {
+	// TxnCounts are the committed-transaction counts to sweep.
+	TxnCounts []int
+	// RowsPerTxn is how many rows each transaction inserts (default 4).
+	RowsPerTxn int
+	// TailTxns is the post-checkpoint work in the checkpointed variant
+	// (default 64) — the bounded tail a restart must replay.
+	TailTxns int
+	// Dir receives the per-point data directories ("" = temp, removed
+	// afterwards).
+	Dir string
+}
+
+// DefaultRecoveryConfig returns the laptop-scale sweep.
+func DefaultRecoveryConfig() RecoveryConfig {
+	return RecoveryConfig{
+		TxnCounts:  []int{1000, 4000, 16000},
+		RowsPerTxn: 4,
+		TailTxns:   64,
+	}
+}
+
+// RecoveryPoint is one sweep measurement.
+type RecoveryPoint struct {
+	Txns int
+	// NoCkpt* describe a restart that replays the whole log from genesis.
+	NoCkptWALBytes int64
+	NoCkptReopen   time.Duration
+	NoCkptTail     int
+	// Ckpt* describe a restart anchored on a checkpoint: the WAL holds
+	// only the tail, and replay is bounded by checkpoint cadence.
+	CkptWALBytes int64
+	CkptReopen   time.Duration
+	CkptTail     int
+}
+
+// Recovery measures restart time against WAL length with and without
+// checkpoints. Both variants commit the same workload through the
+// segmented WAL and then reopen the data directory; the checkpointed
+// variant takes one checkpoint before a short tail of extra transactions,
+// so its reopen replays TailTxns transactions regardless of history
+// length, while the baseline replays everything.
+func Recovery(cfg RecoveryConfig) (*benchutil.Table, []RecoveryPoint, error) {
+	if len(cfg.TxnCounts) == 0 {
+		cfg.TxnCounts = DefaultRecoveryConfig().TxnCounts
+	}
+	if cfg.RowsPerTxn <= 0 {
+		cfg.RowsPerTxn = 4
+	}
+	if cfg.TailTxns <= 0 {
+		cfg.TailTxns = 64
+	}
+	root := cfg.Dir
+	if root == "" {
+		dir, err := os.MkdirTemp("", "mainline-recovery")
+		if err != nil {
+			return nil, nil, err
+		}
+		defer os.RemoveAll(dir)
+		root = dir
+	}
+
+	t := &benchutil.Table{
+		Title: "Recovery time vs WAL length — checkpoint-anchored restart",
+		Note: fmt.Sprintf("%d rows/txn; checkpointed variant replays a %d-txn tail regardless of history",
+			cfg.RowsPerTxn, cfg.TailTxns),
+		Header: []string{"txns", "wal KB", "reopen", "tail txns", "wal KB (ckpt)", "reopen (ckpt)", "tail (ckpt)", "speedup"},
+	}
+	var points []RecoveryPoint
+	for i, n := range cfg.TxnCounts {
+		pt := RecoveryPoint{Txns: n}
+		var err error
+		pt.NoCkptWALBytes, pt.NoCkptReopen, pt.NoCkptTail, err =
+			recoveryPoint(filepath.Join(root, fmt.Sprintf("no-ckpt-%d", i)), n, cfg.RowsPerTxn, 0, false)
+		if err != nil {
+			return nil, nil, fmt.Errorf("recovery @%d txns (no ckpt): %w", n, err)
+		}
+		pt.CkptWALBytes, pt.CkptReopen, pt.CkptTail, err =
+			recoveryPoint(filepath.Join(root, fmt.Sprintf("ckpt-%d", i)), n, cfg.RowsPerTxn, cfg.TailTxns, true)
+		if err != nil {
+			return nil, nil, fmt.Errorf("recovery @%d txns (ckpt): %w", n, err)
+		}
+		points = append(points, pt)
+		t.AddRow(
+			fmt.Sprintf("%d", n),
+			fmt.Sprintf("%d", pt.NoCkptWALBytes/1024),
+			pt.NoCkptReopen.Round(time.Millisecond).String(),
+			fmt.Sprintf("%d", pt.NoCkptTail),
+			fmt.Sprintf("%d", pt.CkptWALBytes/1024),
+			pt.CkptReopen.Round(time.Millisecond).String(),
+			fmt.Sprintf("%d", pt.CkptTail),
+			benchutil.Ratio(float64(pt.NoCkptReopen), float64(pt.CkptReopen)),
+		)
+	}
+	return t, points, nil
+}
+
+// recoveryPoint loads n transactions into a data directory (taking a
+// checkpoint before tailTxns extra ones when checkpointed), closes, and
+// times the reopen.
+func recoveryPoint(dir string, n, rowsPerTxn, tailTxns int, checkpointed bool) (walBytes int64, reopen time.Duration, tail int, err error) {
+	eng, err := mainline.Open(mainline.WithDataDir(dir))
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	tbl, err := eng.CreateTable("events", mainline.NewSchema(
+		mainline.Field{Name: "id", Type: mainline.INT64},
+		mainline.Field{Name: "payload", Type: mainline.STRING},
+		mainline.Field{Name: "amount", Type: mainline.INT64},
+	))
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	id := int64(0)
+	commitTxns := func(count int) error {
+		for i := 0; i < count; i++ {
+			if err := eng.Update(func(tx *mainline.Txn) error {
+				row := tbl.NewRow()
+				for r := 0; r < rowsPerTxn; r++ {
+					row.Reset()
+					row.SetInt64(0, id)
+					row.SetVarlen(1, []byte("recovery-sweep-payload-row"))
+					row.SetInt64(2, id%97)
+					if _, err := tbl.Insert(tx, row); err != nil {
+						return err
+					}
+					id++
+				}
+				return nil
+			}); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := commitTxns(n); err != nil {
+		return 0, 0, 0, err
+	}
+	if checkpointed {
+		eng.FlushLog()
+		// Two checkpoints: truncation is fallback-safe, so a checkpoint's
+		// segments are released by its successor — the steady state of a
+		// periodic checkpointer, which is what this variant models.
+		if _, err := eng.Checkpoint(); err != nil {
+			return 0, 0, 0, err
+		}
+		if _, err := eng.Checkpoint(); err != nil {
+			return 0, 0, 0, err
+		}
+		if err := commitTxns(tailTxns); err != nil {
+			return 0, 0, 0, err
+		}
+	}
+	eng.FlushLog()
+	if err := eng.Close(); err != nil {
+		return 0, 0, 0, err
+	}
+
+	segs, err := wal.ListSegments(filepath.Join(dir, "wal"))
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	for _, s := range segs {
+		walBytes += s.Size
+	}
+
+	start := time.Now()
+	eng2, err := mainline.Open(mainline.WithDataDir(dir))
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	reopen = time.Since(start)
+	tail = eng2.Stats().Recovery.TailTxnsApplied
+	if err := eng2.Close(); err != nil {
+		return 0, 0, 0, err
+	}
+	return walBytes, reopen, tail, nil
+}

@@ -304,6 +304,12 @@ func (m *Manager) Timestamp() uint64 { return m.ts.Next() }
 // CurrentTime returns the counter without advancing it.
 func (m *Manager) CurrentTime() uint64 { return m.ts.Current() }
 
+// AdvanceTimestampTo moves the timestamp counter forward to at least ts
+// (recovery re-seeding; see TimestampSource.AdvanceTo). Callers must not
+// race it with active transactions — the engine uses it only during
+// bootstrap, before serving commits.
+func (m *Manager) AdvanceTimestampTo(ts uint64) { m.ts.AdvanceTo(ts) }
+
 // DrainCompleted removes and returns all transactions finished since the
 // previous call — the GC's work queue. Order across shards is arbitrary;
 // the GC keys on commit timestamps, not completion order.

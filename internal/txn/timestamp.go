@@ -68,3 +68,16 @@ func (s *TimestampSource) Next() uint64 { return s.time.Add(1) }
 
 // Current returns the most recently issued timestamp without advancing.
 func (s *TimestampSource) Current() uint64 { return s.time.Load() }
+
+// AdvanceTo moves the counter forward to at least ts (never backward).
+// Recovery uses it to re-seed the clock above every commit timestamp in
+// the retained log, so post-recovery commits can never collide with
+// records already on disk.
+func (s *TimestampSource) AdvanceTo(ts uint64) {
+	for {
+		cur := s.time.Load()
+		if cur >= ts || s.time.CompareAndSwap(cur, ts) {
+			return
+		}
+	}
+}

@@ -367,8 +367,12 @@ func (l *LogManager) FlushOnce() {
 	}
 
 	buf := l.buf[:0]
+	var groupMaxTs uint64
 	for _, p := range batch {
 		buf = append(buf, *p.chunk...)
+		if ts := p.t.CommitTs(); ts > groupMaxTs {
+			groupMaxTs = ts
+		}
 	}
 	l.buf = buf
 	for _, p := range batch {
@@ -376,7 +380,16 @@ func (l *LogManager) FlushOnce() {
 		l.chunkPool.Put(p.chunk)
 	}
 
-	if _, err := l.sink.Write(buf); err != nil {
+	var err error
+	if gs, ok := l.sink.(GroupSink); ok {
+		// Segmented sinks rotate between groups and track per-segment
+		// maximum commit timestamps, which makes checkpoint truncation an
+		// exact whole-file operation.
+		_, err = gs.WriteGroup(buf, groupMaxTs)
+	} else {
+		_, err = l.sink.Write(buf)
+	}
+	if err != nil {
 		l.failed.Store(true)
 		l.failedFlushes.Add(1)
 		l.OnError(err)
@@ -407,6 +420,20 @@ func (l *LogManager) Stats() (txns, bytes, syncs int64) {
 
 // FailedFlushes reports flush errors survived via OnError.
 func (l *LogManager) FailedFlushes() int64 { return l.failedFlushes.Load() }
+
+// Truncate discards WAL segments wholly covered by a checkpoint at
+// snapshot timestamp ts: the active segment is sealed and every sealed
+// segment whose maximum commit timestamp is <= ts is deleted. It runs
+// under the flush lock so it never races a group write. Sinks without
+// segment support (plain files, test sinks) report (0, nil).
+func (l *LogManager) Truncate(ts uint64) (int, error) {
+	l.flushMu.Lock()
+	defer l.flushMu.Unlock()
+	if tr, ok := l.sink.(Truncator); ok {
+		return tr.TruncateThrough(ts)
+	}
+	return 0, nil
+}
 
 // Close stops the manager and closes the sink.
 func (l *LogManager) Close() error {

@@ -44,10 +44,13 @@
 package wal
 
 import (
+	"bufio"
+	"bytes"
 	"encoding/binary"
 	"errors"
 	"fmt"
 	"hash/crc32"
+	"io"
 
 	"mainline/internal/storage"
 	"mainline/internal/txn"
@@ -61,8 +64,10 @@ const (
 
 // Errors returned by log deserialization.
 var (
-	// ErrCorrupt indicates a checksum mismatch; recovery treats everything
-	// from that point as a torn tail and stops.
+	// ErrCorrupt indicates a checksum mismatch. DecodeNext surfaces it to
+	// callers; the streaming replay path (ReplayStream) instead treats the
+	// mismatch as the crash tail — everything before it is recovered,
+	// everything from it on is discarded.
 	ErrCorrupt = errors.New("wal: corrupt record")
 )
 
@@ -167,26 +172,25 @@ type LogColumn struct {
 
 // DecodeNext decodes one framed record from buf, returning the record and
 // the remaining bytes. io semantics: (nil, buf, nil) when buf holds a
-// partial frame — the torn tail after a crash.
+// partial frame — the torn tail after a crash — and ErrCorrupt when a
+// whole frame fails its checksum. It shares readRecord with the streaming
+// replay path so the frame format has exactly one decoder.
 func DecodeNext(buf []byte) (*LogRecord, []byte, error) {
-	if len(buf) < 8 {
+	var payload []byte
+	rec, consumed, status, err := readRecord(bufio.NewReader(bytes.NewReader(buf)), &payload)
+	if err == io.EOF {
 		return nil, buf, nil
 	}
-	n := binary.LittleEndian.Uint32(buf)
-	crc := binary.LittleEndian.Uint32(buf[4:])
-	if len(buf) < 8+int(n) {
-		return nil, buf, nil // torn tail
-	}
-	payload := buf[8 : 8+n]
-	if crc32.Checksum(payload, crcTable) != crc {
-		return nil, buf, ErrCorrupt
-	}
-	rest := buf[8+n:]
-	rec, err := decodePayload(payload)
 	if err != nil {
 		return nil, buf, err
 	}
-	return rec, rest, nil
+	switch status {
+	case frameTorn:
+		return nil, buf, nil
+	case frameCorrupt:
+		return nil, buf, ErrCorrupt
+	}
+	return rec, buf[consumed:], nil
 }
 
 func decodePayload(p []byte) (*LogRecord, error) {

@@ -1,0 +1,225 @@
+package wal
+
+import (
+	"bytes"
+	"testing"
+
+	"mainline/internal/core"
+	"mainline/internal/storage"
+)
+
+// TestTornTailEveryByte truncates a generated log at every byte boundary
+// and asserts replay always yields a consistent committed prefix: exactly
+// the transactions whose commit record fully survived are applied, the
+// visible state matches a shadow simulation of that prefix, TornTail is
+// set exactly when the cut lands mid-frame, and no partial transaction is
+// ever visible.
+func TestTornTailEveryByte(t *testing.T) {
+	m, table := testTable(t)
+	sink := &memSink{}
+	lm := NewLogManager(sink)
+	m.SetCommitHook(lm.Hook())
+
+	const numTxns = 18
+	var slots []storage.TupleSlot
+	// shadow[k] is the expected multiset of col0 values after k committed
+	// transactions; boundaries[k] is the log length at that point.
+	shadow := make([]map[int64]int, numTxns+1)
+	shadow[0] = map[int64]int{}
+	boundaries := make([]int, numTxns+1)
+	live := map[int]int64{} // insertion index -> current col0 value (deleted = absent)
+
+	for i := 0; i < numTxns; i++ {
+		tx := m.Begin()
+		row := table.AllColumnsProjection().NewRow()
+		row.SetInt64(0, int64(i))
+		row.SetVarlen(1, []byte("torn-tail-payload"))
+		slot, err := table.Insert(tx, row)
+		if err != nil {
+			t.Fatal(err)
+		}
+		slots = append(slots, slot)
+		live[i] = int64(i)
+		if i >= 2 {
+			// Update the row inserted two transactions ago.
+			u := storage.MustProjection(table.Layout(), []storage.ColumnID{0}).NewRow()
+			u.SetInt64(0, int64(1000+i))
+			if err := table.Update(tx, slots[i-2], u); err != nil {
+				t.Fatal(err)
+			}
+			live[i-2] = int64(1000 + i)
+		}
+		if i == 7 {
+			if err := table.Delete(tx, slots[3]); err != nil {
+				t.Fatal(err)
+			}
+			delete(live, 3)
+		}
+		m.Commit(tx, nil)
+		lm.FlushOnce()
+		snap := map[int64]int{}
+		for _, v := range live {
+			snap[v]++
+		}
+		shadow[i+1] = snap
+		boundaries[i+1] = len(sink.bytes())
+	}
+	img := sink.bytes()
+
+	// Frame boundaries: offsets at which a cut is a clean end of log.
+	frameEnd := map[int]bool{0: true}
+	rest := img
+	off := 0
+	for len(rest) > 0 {
+		rec, r2, err := DecodeNext(rest)
+		if err != nil || rec == nil {
+			t.Fatalf("log image does not decode cleanly at %d: %v", off, err)
+		}
+		off += len(rest) - len(r2)
+		rest = r2
+		frameEnd[off] = true
+	}
+
+	for cut := 0; cut <= len(img); cut++ {
+		m2, table2 := testTable(t)
+		res, err := Replay(img[:cut], m2, map[uint32]*core.DataTable{1: table2})
+		if err != nil {
+			t.Fatalf("cut %d: replay error: %v", cut, err)
+		}
+		wantTxns := 0
+		for k := 1; k <= numTxns; k++ {
+			if boundaries[k] <= cut {
+				wantTxns = k
+			}
+		}
+		if res.TxnsApplied != wantTxns {
+			t.Fatalf("cut %d: applied %d txns, want %d", cut, res.TxnsApplied, wantTxns)
+		}
+		if wantTorn := !frameEnd[cut]; res.TornTail != wantTorn {
+			t.Fatalf("cut %d: TornTail=%v, want %v", cut, res.TornTail, wantTorn)
+		}
+		if res.TxnsDiscarded > 1 {
+			t.Fatalf("cut %d: %d partial txns discarded, want <= 1", cut, res.TxnsDiscarded)
+		}
+		got := map[int64]int{}
+		check := m2.Begin()
+		proj := storage.MustProjection(table2.Layout(), []storage.ColumnID{0})
+		_ = table2.Scan(check, proj, func(_ storage.TupleSlot, row *storage.ProjectedRow) bool {
+			got[row.Int64(0)]++
+			return true
+		})
+		m2.Commit(check, nil)
+		want := shadow[wantTxns]
+		if len(got) != len(want) {
+			t.Fatalf("cut %d: %d distinct values visible, want %d (got %v want %v)", cut, len(got), len(want), got, want)
+		}
+		for v, n := range want {
+			if got[v] != n {
+				t.Fatalf("cut %d: value %d seen %d times, want %d", cut, v, got[v], n)
+			}
+		}
+	}
+}
+
+// TestReplayCorruptTailStops flips a byte in the final record and asserts
+// replay recovers the clean prefix and flags the tear instead of failing.
+func TestReplayCorruptTailStops(t *testing.T) {
+	m, table := testTable(t)
+	sink := &memSink{}
+	lm := NewLogManager(sink)
+	m.SetCommitHook(lm.Hook())
+	for i := 0; i < 3; i++ {
+		tx := m.Begin()
+		row := table.AllColumnsProjection().NewRow()
+		row.SetInt64(0, int64(i))
+		row.SetVarlen(1, []byte("x"))
+		if _, err := table.Insert(tx, row); err != nil {
+			t.Fatal(err)
+		}
+		m.Commit(tx, nil)
+		lm.FlushOnce()
+	}
+	img := sink.bytes()
+	img[len(img)-1] ^= 0xFF // corrupt the last frame's payload
+
+	m2, table2 := testTable(t)
+	res, err := Replay(img, m2, map[uint32]*core.DataTable{1: table2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.TornTail {
+		t.Fatal("corrupt tail not flagged as torn")
+	}
+	if res.TxnsApplied != 2 {
+		t.Fatalf("applied %d txns, want 2 (clean prefix)", res.TxnsApplied)
+	}
+	check := m2.Begin()
+	defer m2.Commit(check, nil)
+	if n := table2.CountVisible(check); n != 2 {
+		t.Fatalf("visible rows = %d, want 2", n)
+	}
+}
+
+// TestReplayAfterTsAndSeededSlots exercises the checkpoint-anchored replay
+// path: transactions at or below AfterTs are skipped, and updates to rows
+// whose inserts were filtered resolve through the seeded slot map.
+func TestReplayAfterTsAndSeededSlots(t *testing.T) {
+	m, table := testTable(t)
+	sink := &memSink{}
+	lm := NewLogManager(sink)
+	m.SetCommitHook(lm.Hook())
+
+	// Txn 1: insert row A.
+	tx := m.Begin()
+	row := table.AllColumnsProjection().NewRow()
+	row.SetInt64(0, 1)
+	row.SetVarlen(1, []byte("a"))
+	slotA, err := table.Insert(tx, row)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cutTs := m.Commit(tx, nil)
+
+	// Txn 2 (after the "checkpoint"): update row A.
+	tx2 := m.Begin()
+	u := storage.MustProjection(table.Layout(), []storage.ColumnID{0}).NewRow()
+	u.SetInt64(0, 42)
+	if err := table.Update(tx2, slotA, u); err != nil {
+		t.Fatal(err)
+	}
+	m.Commit(tx2, nil)
+	lm.FlushOnce()
+
+	// Rebuild: pretend a checkpoint holds row A at a new physical slot.
+	m2, table2 := testTable(t)
+	boot := m2.Begin()
+	bootRow := table2.AllColumnsProjection().NewRow()
+	bootRow.SetInt64(0, 1)
+	bootRow.SetVarlen(1, []byte("a"))
+	newSlot, err := table2.Insert(boot, bootRow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2.Commit(boot, nil)
+
+	res, err := ReplayStream(bytes.NewReader(sink.bytes()), m2, map[uint32]*core.DataTable{1: table2}, &ReplayOptions{
+		AfterTs: cutTs,
+		SlotMap: map[storage.TupleSlot]storage.TupleSlot{slotA: newSlot},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TxnsSkipped != 1 || res.TxnsApplied != 1 {
+		t.Fatalf("skipped=%d applied=%d, want 1/1", res.TxnsSkipped, res.TxnsApplied)
+	}
+	check := m2.Begin()
+	defer m2.Commit(check, nil)
+	out := table2.AllColumnsProjection().NewRow()
+	found, err := table2.Select(check, newSlot, out)
+	if err != nil || !found {
+		t.Fatalf("row missing after anchored replay: %v", err)
+	}
+	if out.Int64(0) != 42 {
+		t.Fatalf("col0 = %d, want 42 (post-checkpoint update lost)", out.Int64(0))
+	}
+}

@@ -33,6 +33,7 @@
 package mainline
 
 import (
+	"fmt"
 	"sync"
 	"sync/atomic"
 
@@ -127,9 +128,34 @@ type Engine struct {
 	// closeMu serializes Close against in-flight Commits: Commit holds
 	// the read side from its closed-check through completion, so Close
 	// cannot stop the flush loop between a durable committer's check and
-	// its wait for the durability callback.
+	// its wait for the durability callback. Checkpoint holds the read
+	// side too, for the same reason (it truncates through the log
+	// manager).
 	closeMu sync.RWMutex
 	closed  atomic.Bool
+
+	// Checkpoint subsystem state (DataDir mode).
+	catSaveMu    sync.Mutex // serializes CreateTable + catalog.json install
+	ckptMu       sync.Mutex // serializes checkpoints
+	ckptStop     chan struct{}
+	ckptDone     chan struct{}
+	ckptStopOnce sync.Once
+
+	// Checkpoint counters (Stats).
+	ckptTaken         atomic.Int64
+	ckptFailed        atomic.Int64
+	ckptRows          atomic.Int64
+	ckptBytes         atomic.Int64
+	ckptSegsTruncated atomic.Int64
+	ckptLastSeq       atomic.Uint64
+	ckptLastTs        atomic.Uint64
+
+	// recovery records what Open's bootstrap did; immutable afterwards.
+	recovery RecoveryStats
+
+	// dirLock releases the data directory's exclusive flock (nil without
+	// DataDir). Held from bootstrap until Close.
+	dirLock func()
 }
 
 // Open assembles an engine. With no options it is purely in-memory with
@@ -158,7 +184,28 @@ func Open(opts ...Option) (*Engine, error) {
 	}
 	e.transformer = transform.New(e.mgr, e.collector, e.observer, cfg)
 
-	if o.LogPath != "" {
+	switch {
+	case o.DataDir != "" && o.LogPath != "":
+		return nil, fmt.Errorf("mainline: WithDataDir and WithWAL are mutually exclusive")
+	case o.CheckpointInterval > 0 && o.DataDir == "":
+		// Without a data directory there is nothing to checkpoint; a
+		// silently ignored interval would leave the user believing their
+		// log is bounded.
+		return nil, fmt.Errorf("mainline: WithCheckpointInterval requires WithDataDir")
+	case o.WALSegmentSize > 0 && o.DataDir == "":
+		// The single-file WAL never rotates; ignoring the size silently
+		// would be the same trap.
+		return nil, fmt.Errorf("mainline: WithWALSegmentSize requires WithDataDir")
+	case o.DataDir != "":
+		// Durable data directory: rehydrate catalog, load the newest
+		// valid checkpoint, replay the WAL tail, open the segmented log.
+		if err := e.bootstrapDataDir(); err != nil {
+			if e.dirLock != nil {
+				e.dirLock()
+			}
+			return nil, err
+		}
+	case o.LogPath != "":
 		sink, err := wal.OpenFileSink(o.LogPath)
 		if err != nil {
 			return nil, err
@@ -177,6 +224,12 @@ func Open(opts ...Option) (*Engine, error) {
 			e.walRunning = true
 		}
 	}
+	// The checkpointer is independent of the Background loops: a
+	// configured interval must never be a silent no-op, because without
+	// checkpoints the WAL grows unboundedly.
+	if o.DataDir != "" && o.CheckpointInterval > 0 {
+		e.startCheckpointer(o.CheckpointInterval)
+	}
 	return e, nil
 }
 
@@ -184,6 +237,10 @@ func Open(opts ...Option) (*Engine, error) {
 // the first call wins, later calls return nil. After Close, Begin / View /
 // Update and Commit of in-flight transactions return ErrEngineClosed.
 func (e *Engine) Close() error {
+	// The background checkpointer must stop before the write lock is
+	// requested: its Checkpoint calls hold the read side, and a waiting
+	// writer blocks new readers (see stopCheckpointer).
+	e.stopCheckpointer()
 	// The write lock waits out in-flight Commits (which hold the read
 	// side), so no committer can observe the engine open and then find
 	// the flush loop stopped underneath its durability wait.
@@ -196,10 +253,15 @@ func (e *Engine) Close() error {
 		e.transformer.Stop()
 		e.collector.Stop()
 	}
+	var err error
 	if e.logMgr != nil {
-		return e.logMgr.Close()
+		err = e.logMgr.Close()
 	}
-	return nil
+	if e.dirLock != nil {
+		e.dirLock()
+		e.dirLock = nil
+	}
+	return err
 }
 
 // Closed reports whether Close has been called.
@@ -210,9 +272,28 @@ func (e *Engine) CreateTable(name string, schema *Schema) (*Table, error) {
 	if e.closed.Load() {
 		return nil, ErrEngineClosed
 	}
+	// In data-directory mode the in-memory registration and the
+	// catalog.json install must be one serialized step: concurrent
+	// creators otherwise race the snapshot-write-rename sequence and can
+	// install a stale catalog missing a table the WAL already references.
+	if e.opts.DataDir != "" {
+		e.catSaveMu.Lock()
+		defer e.catSaveMu.Unlock()
+	}
 	t, err := e.cat.CreateTable(name, schema)
 	if err != nil {
 		return nil, err
+	}
+	if e.opts.DataDir != "" {
+		// Persist the schema before any transaction can log records
+		// against the new table: recovery reads catalog.json first, so
+		// every table ID the WAL mentions must already be there. On
+		// failure the registration is rolled back, so a durable engine
+		// can never hold a table the next recovery won't know.
+		if err := e.cat.Save(e.catalogPath()); err != nil {
+			e.cat.Drop(name)
+			return nil, fmt.Errorf("mainline: persisting catalog: %w", err)
+		}
 	}
 	e.observer.Watch(t.DataTable)
 	return &Table{Table: t, eng: e}, nil
@@ -277,13 +358,29 @@ func (e *Engine) BlockStates(table string) (counts [4]int) {
 
 // Recover replays a WAL file into this (fresh) engine. The commit hook is
 // detached for the duration so replayed transactions are not re-appended
-// to the engine's own log. Recovering an engine whose WAL path is the
-// replayed file itself is not supported: post-recovery commits draw fresh
-// timestamps from a reset counter, which would collide with the existing
-// records — recover into a fresh log and retire the old file.
+// to the engine's own log. Replay streams the file, so memory is bounded
+// by one transaction's records, not the log size.
+//
+// Recovering the engine's own live WAL is rejected with ErrRecoverOwnWAL:
+// post-recovery commits draw fresh timestamps from a reset counter, which
+// would collide with the existing records and silently corrupt the log —
+// recover into a fresh log and retire the old file.
+//
+// Recover is also rejected (ErrRecoverDataDir) on engines opened with
+// WithDataDir: replay detaches the commit hook, so the imported
+// transactions would exist only in memory — in neither the checkpoint nor
+// the WAL tail — and a crash before the next checkpoint would silently
+// drop them despite the data directory's durability contract. Data
+// directories recover themselves at Open.
 func (e *Engine) Recover(path string) error {
 	if e.closed.Load() {
 		return ErrEngineClosed
+	}
+	if e.ownsWALPath(path) {
+		return ErrRecoverOwnWAL
+	}
+	if e.opts.DataDir != "" {
+		return ErrRecoverDataDir
 	}
 	if e.logMgr != nil {
 		e.mgr.SetCommitHook(nil)

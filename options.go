@@ -23,7 +23,21 @@ func (f optionFunc) apply(o *Options) { f(o) }
 // Open(Options{...}) call sites keep compiling unchanged. New code should
 // prefer the With* options.
 type Options struct {
-	// LogPath enables write-ahead logging to the given file.
+	// DataDir enables the durable data directory: a segmented WAL
+	// (DataDir/wal), Arrow-IPC checkpoints (DataDir/checkpoints), and a
+	// persisted schema catalog (DataDir/catalog.json). Open bootstraps
+	// from the newest valid checkpoint and replays only the WAL tail.
+	// Mutually exclusive with LogPath.
+	DataDir string
+	// CheckpointInterval runs the background checkpointer every interval
+	// (requires DataDir; 0 disables — call Engine.Checkpoint manually).
+	// The checkpointer runs regardless of Background: a configured
+	// interval is never a silent no-op.
+	CheckpointInterval time.Duration
+	// WALSegmentSize is the rotation threshold for WAL segment files in
+	// DataDir mode (default 4MB).
+	WALSegmentSize int64
+	// LogPath enables write-ahead logging to the given single file.
 	LogPath string
 	// LogFlushInterval bounds group-commit latency (default 5ms).
 	LogFlushInterval time.Duration
@@ -74,6 +88,32 @@ func (o *Options) defaults() {
 	if o.CompactionGroupSize == 0 {
 		o.CompactionGroupSize = 50
 	}
+}
+
+// WithDataDir enables the durable data directory rooted at dir: WAL
+// segments under dir/wal (rotated at the configured segment size,
+// truncated by checkpoints), Arrow IPC checkpoints under dir/checkpoints,
+// and the schema catalog at dir/catalog.json. Open bootstraps from the
+// newest valid checkpoint (falling back one on checksum failure), replays
+// only the WAL tail beyond its snapshot timestamp, and re-anchors with a
+// fresh checkpoint so retained segments always address the live slot
+// space. Mutually exclusive with WithWAL.
+func WithDataDir(dir string) Option {
+	return optionFunc(func(o *Options) { o.DataDir = dir })
+}
+
+// WithCheckpointInterval runs the background checkpointer every interval
+// (requires WithDataDir). It runs with or without WithBackground; with 0,
+// checkpoints are taken only via Engine.Checkpoint.
+func WithCheckpointInterval(d time.Duration) Option {
+	return optionFunc(func(o *Options) { o.CheckpointInterval = d })
+}
+
+// WithWALSegmentSize sets the WAL segment rotation threshold (default
+// 4MB). Requires WithDataDir — the single-file WAL never rotates. Smaller
+// segments truncate more aggressively; larger ones rotate less often.
+func WithWALSegmentSize(n int64) Option {
+	return optionFunc(func(o *Options) { o.WALSegmentSize = n })
 }
 
 // WithWAL enables write-ahead logging to path. syncDelay is the

@@ -1,0 +1,62 @@
+package mainline_test
+
+// External test package: the recovery sweep lives in
+// internal/recoverybench, which imports the root package, so it cannot be
+// exercised from the in-package test binary without an import cycle.
+
+import (
+	"testing"
+
+	"mainline/internal/recoverybench"
+)
+
+// BenchmarkRecovery runs the restart sweep at reduced scale: reopen time
+// with a full-log replay vs a checkpoint-anchored tail.
+func BenchmarkRecovery(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := recoverybench.DefaultRecoveryConfig()
+		cfg.TxnCounts = []int{500, 2000}
+		t, _, err := recoverybench.Recovery(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			t.Print(logWriter{b})
+		}
+	}
+}
+
+// TestRecoverySweepTailBounded asserts the subsystem's headline property at
+// tiny scale: the checkpointed variant's replayed tail stays constant while
+// the baseline's grows with history.
+func TestRecoverySweepTailBounded(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-reopen sweep")
+	}
+	cfg := recoverybench.DefaultRecoveryConfig()
+	cfg.TxnCounts = []int{200, 800}
+	cfg.TailTxns = 16
+	_, pts, err := recoverybench.Recovery(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pt := range pts {
+		if pt.NoCkptTail != pt.Txns {
+			t.Fatalf("baseline @%d replayed %d txns, want full history", pt.Txns, pt.NoCkptTail)
+		}
+		if pt.CkptTail != cfg.TailTxns {
+			t.Fatalf("checkpointed @%d replayed %d txns, want the %d-txn tail", pt.Txns, pt.CkptTail, cfg.TailTxns)
+		}
+		if pt.CkptWALBytes >= pt.NoCkptWALBytes {
+			t.Fatalf("checkpointed WAL (%d bytes) not smaller than baseline (%d)", pt.CkptWALBytes, pt.NoCkptWALBytes)
+		}
+	}
+}
+
+// logWriter routes table output through b.Logf.
+type logWriter struct{ b *testing.B }
+
+func (w logWriter) Write(p []byte) (int, error) {
+	w.b.Logf("%s", p)
+	return len(p), nil
+}
