@@ -10,6 +10,10 @@ type Stats struct {
 	// Transform counts transformation pipeline work (compactions, moves,
 	// freezes).
 	Transform TransformStats
+	// Scan counts scan work across all tables: blocks read in place
+	// (frozen) vs through the version chain, blocks pruned by zone maps,
+	// and tuples emitted to scan callbacks.
+	Scan ScanStats
 	// ActiveTxns is the number of in-flight transactions.
 	ActiveTxns int
 	// WAL reports write-ahead log activity (zero-valued with Enabled
@@ -100,6 +104,9 @@ func (e *Engine) Stats() Stats {
 		Transform:  e.transformer.Stats(),
 		ActiveTxns: e.mgr.ActiveCount(),
 		Recovery:   e.recovery,
+	}
+	for _, t := range e.cat.Tables() {
+		s.Scan.Add(t.ScanStatsSnapshot())
 	}
 	if e.logMgr != nil {
 		s.WAL.Enabled = true

@@ -6,11 +6,13 @@
 //
 // Usage:
 //
-//	mainline-bench [flags] fig1|fig10|fig11|fig12|fig13|fig14|fig15|commit|recovery|all
+//	mainline-bench [flags] fig1|fig10|fig11|fig12|fig13|fig14|fig15|commit|scan|recovery|all
 //
 // The extra "commit" target (not a paper figure) sweeps the parallel
 // commit pipeline: durable TPC-C throughput versus terminals under WAL
-// group commit. The "recovery" target sweeps restart time against WAL
+// group commit. The "scan" target sweeps the vectorized batch-scan engine (rows/sec and
+// allocs/op, tuple vs vectorized, hot vs frozen vs zone-map-pruned).
+// The "recovery" target sweeps restart time against WAL
 // length with and without checkpoint anchoring.
 package main
 
@@ -37,7 +39,7 @@ func main() {
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: mainline-bench [flags] fig1|fig10|fig11|fig12|fig13|fig14|fig15|commit|recovery|all")
+		fmt.Fprintln(os.Stderr, "usage: mainline-bench [flags] fig1|fig10|fig11|fig12|fig13|fig14|fig15|commit|scan|recovery|all")
 		os.Exit(2)
 	}
 	s := func(n int) int {
@@ -98,6 +100,11 @@ func main() {
 		cfg.Workers = parseInts(*workers)
 		t, _, err := bench.GroupCommit(cfg)
 		return t, err
+	})
+	run("scan", func() (*benchutil.Table, error) {
+		cfg := bench.DefaultScanConfig()
+		cfg.PerBlock = s(cfg.PerBlock)
+		return bench.Scan(cfg)
 	})
 	run("recovery", func() (*benchutil.Table, error) {
 		cfg := recoverybench.DefaultRecoveryConfig()

@@ -100,6 +100,37 @@ func main() {
 		fmt.Printf("  %-13s %d\n", r, byRegion[r])
 	}
 
+	// Phase 2b: the same aggregation through the vectorized scan API —
+	// predicate pushdown runs typed kernels directly over the frozen Arrow
+	// buffers, and blocks whose zone maps cannot match are pruned without
+	// being touched.
+	var bigOrders, bigAmount int64
+	if err := eng.View(func(tx *mainline.Txn) error {
+		return orders.ScanBatches(tx, []string{"amount"}, mainline.Ge("amount", 400), func(b *mainline.Batch) bool {
+			am := b.Column("amount")
+			for i := 0; i < b.Len(); i++ {
+				bigOrders++
+				bigAmount += b.Int64(am, i)
+			}
+			return true
+		})
+	}); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("vectorized scan: %d orders with amount >= 400, totalling %d\n", bigOrders, bigAmount)
+
+	// A point lookup outside every block's id range is answered by zone
+	// maps alone — no block data is touched.
+	if err := eng.View(func(tx *mainline.Txn) error {
+		return orders.Filter(tx, mainline.Eq("o_id", int64(10_000_000)), nil,
+			func(mainline.TupleSlot, *mainline.Row) bool { return true })
+	}); err != nil {
+		log.Fatal(err)
+	}
+	sc := eng.Stats().Scan
+	fmt.Printf("scan stats: %d blocks in place, %d versioned, %d pruned by zone maps\n",
+		sc.BlocksFrozen, sc.BlocksVersioned, sc.BlocksPruned)
+
 	// Phase 3: writes keep working — the touched block flips back to hot
 	// and the pipeline re-freezes it later.
 	if err := eng.Update(func(tx *mainline.Txn) error {

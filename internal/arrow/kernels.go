@@ -1,0 +1,123 @@
+package arrow
+
+import (
+	"encoding/binary"
+	"math"
+
+	"mainline/internal/util"
+)
+
+// Selection kernels: typed predicate evaluation over raw little-endian
+// column buffers, appending the positions of matching rows to a selection
+// slice. These are the batch-scan engine's inner loops — they run directly
+// over a frozen block's Arrow memory (or a hot batch's scratch columns)
+// with no per-row materialization. Nulls never match; a nil validity
+// bitmap means the column has no nulls and the test is skipped.
+//
+// Integer bounds are inclusive on both sides (the predicate layer
+// normalizes strict bounds). Float bounds carry explicit strictness
+// because float bounds cannot be normalized by decrement; NaN values never
+// match any range.
+
+// SelInt64Range appends the positions in [0, n) whose 8-byte value v
+// satisfies lo <= v <= hi.
+func SelInt64Range(vals []byte, validity util.Bitmap, n int, lo, hi int64, out []uint32) []uint32 {
+	if n == 0 {
+		return out
+	}
+	_ = vals[n*8-1]
+	if validity == nil {
+		for i := 0; i < n; i++ {
+			v := int64(binary.LittleEndian.Uint64(vals[i*8:]))
+			if v >= lo && v <= hi {
+				out = append(out, uint32(i))
+			}
+		}
+		return out
+	}
+	for i := 0; i < n; i++ {
+		v := int64(binary.LittleEndian.Uint64(vals[i*8:]))
+		if v >= lo && v <= hi && validity.Test(i) {
+			out = append(out, uint32(i))
+		}
+	}
+	return out
+}
+
+// SelInt32Range appends the positions in [0, n) whose 4-byte value v
+// satisfies lo <= v <= hi.
+func SelInt32Range(vals []byte, validity util.Bitmap, n int, lo, hi int32, out []uint32) []uint32 {
+	if n == 0 {
+		return out
+	}
+	_ = vals[n*4-1]
+	if validity == nil {
+		for i := 0; i < n; i++ {
+			v := int32(binary.LittleEndian.Uint32(vals[i*4:]))
+			if v >= lo && v <= hi {
+				out = append(out, uint32(i))
+			}
+		}
+		return out
+	}
+	for i := 0; i < n; i++ {
+		v := int32(binary.LittleEndian.Uint32(vals[i*4:]))
+		if v >= lo && v <= hi && validity.Test(i) {
+			out = append(out, uint32(i))
+		}
+	}
+	return out
+}
+
+// SelInt16Range appends the positions in [0, n) whose 2-byte value v
+// satisfies lo <= v <= hi.
+func SelInt16Range(vals []byte, validity util.Bitmap, n int, lo, hi int16, out []uint32) []uint32 {
+	if n == 0 {
+		return out
+	}
+	_ = vals[n*2-1]
+	for i := 0; i < n; i++ {
+		v := int16(binary.LittleEndian.Uint16(vals[i*2:]))
+		if v >= lo && v <= hi && (validity == nil || validity.Test(i)) {
+			out = append(out, uint32(i))
+		}
+	}
+	return out
+}
+
+// SelInt8Range appends the positions in [0, n) whose 1-byte value v
+// satisfies lo <= v <= hi.
+func SelInt8Range(vals []byte, validity util.Bitmap, n int, lo, hi int8, out []uint32) []uint32 {
+	if n == 0 {
+		return out
+	}
+	_ = vals[n-1]
+	for i := 0; i < n; i++ {
+		v := int8(vals[i])
+		if v >= lo && v <= hi && (validity == nil || validity.Test(i)) {
+			out = append(out, uint32(i))
+		}
+	}
+	return out
+}
+
+// SelFloat64Range appends the positions in [0, n) whose float64 value
+// falls inside the (lo, hi) range; each bound is inclusive unless its
+// strict flag is set, and ±Inf bounds express one-sided ranges. NaN never
+// matches.
+func SelFloat64Range(vals []byte, validity util.Bitmap, n int, lo, hi float64, loStrict, hiStrict bool, out []uint32) []uint32 {
+	if n == 0 {
+		return out
+	}
+	_ = vals[n*8-1]
+	for i := 0; i < n; i++ {
+		v := math.Float64frombits(binary.LittleEndian.Uint64(vals[i*8:]))
+		if v < lo || v > hi || (loStrict && v == lo) || (hiStrict && v == hi) || v != v {
+			continue
+		}
+		if validity == nil || validity.Test(i) {
+			out = append(out, uint32(i))
+		}
+	}
+	return out
+}

@@ -1,0 +1,75 @@
+package arrow
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+
+	"mainline/internal/util"
+)
+
+func packInt64(vals []int64) []byte {
+	out := make([]byte, len(vals)*8)
+	for i, v := range vals {
+		binary.LittleEndian.PutUint64(out[i*8:], uint64(v))
+	}
+	return out
+}
+
+func eqSel(t *testing.T, got []uint32, want ...uint32) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("sel = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("sel = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestSelInt64Range(t *testing.T) {
+	vals := packInt64([]int64{-5, 0, 3, 7, 7, 100, math.MinInt64, math.MaxInt64})
+	eqSel(t, SelInt64Range(vals, nil, 8, 0, 7, nil), 1, 2, 3, 4)
+	eqSel(t, SelInt64Range(vals, nil, 8, 7, 7, nil), 3, 4)
+	eqSel(t, SelInt64Range(vals, nil, 8, math.MinInt64, math.MaxInt64, nil), 0, 1, 2, 3, 4, 5, 6, 7)
+	eqSel(t, SelInt64Range(vals, nil, 8, 101, 200, nil)) // empty above
+	eqSel(t, SelInt64Range(vals, nil, 0, 0, 0, nil))     // n == 0
+	// Validity: null out positions 1 and 3.
+	valid := util.NewBitmap(8)
+	valid.SetAll(8)
+	valid.Clear(1)
+	valid.Clear(3)
+	eqSel(t, SelInt64Range(vals, valid, 8, 0, 7, nil), 2, 4)
+}
+
+func TestSelNarrowWidths(t *testing.T) {
+	v32 := make([]byte, 4*4)
+	for i, v := range []int32{-2, 0, 5, math.MaxInt32} {
+		binary.LittleEndian.PutUint32(v32[i*4:], uint32(v))
+	}
+	eqSel(t, SelInt32Range(v32, nil, 4, -2, 4, nil), 0, 1)
+
+	v16 := make([]byte, 3*2)
+	for i, v := range []int16{-1, 9, 300} {
+		binary.LittleEndian.PutUint16(v16[i*2:], uint16(v))
+	}
+	eqSel(t, SelInt16Range(v16, nil, 3, 0, 299, nil), 1)
+
+	v8 := []byte{uint8(256 - 7), 1, 127} // int8(-7), 1, 127
+	eqSel(t, SelInt8Range(v8, nil, 3, -8, 0, nil), 0)
+}
+
+func TestSelFloat64Range(t *testing.T) {
+	fs := []float64{-1.5, 0, 2.5, math.NaN(), math.Inf(1), 2.5}
+	vals := make([]byte, len(fs)*8)
+	for i, f := range fs {
+		binary.LittleEndian.PutUint64(vals[i*8:], math.Float64bits(f))
+	}
+	// Inclusive both ends.
+	eqSel(t, SelFloat64Range(vals, nil, 6, -1.5, 2.5, false, false, nil), 0, 1, 2, 5)
+	// Strict both ends: drop the bound values.
+	eqSel(t, SelFloat64Range(vals, nil, 6, -1.5, 2.5, true, true, nil), 1)
+	// Unbounded: NaN still never matches.
+	eqSel(t, SelFloat64Range(vals, nil, 6, math.Inf(-1), math.Inf(1), false, false, nil), 0, 1, 2, 4, 5)
+}

@@ -7,6 +7,7 @@ package catalog
 
 import (
 	"fmt"
+	"strings"
 	"sync"
 
 	"mainline/internal/arrow"
@@ -22,6 +23,11 @@ type Table struct {
 
 	mu      sync.RWMutex
 	indexes map[string]index.Index
+
+	// projCache memoizes ProjectionOf results keyed by the column-name
+	// tuple, so repeated scans and row constructions stop rebuilding (and
+	// re-validating) identical projections.
+	projCache sync.Map // string -> *storage.Projection
 }
 
 // AddIndex attaches a named index; the caller maintains it on writes.
@@ -44,8 +50,14 @@ func (t *Table) ColumnIndex(name string) int {
 	return t.Schema.FieldIndex(name)
 }
 
-// ProjectionOf builds a projection over the named columns.
+// ProjectionOf builds a projection over the named columns. Results are
+// cached per column-name tuple (projections are immutable and shared), so
+// hot callers — Table.Scan, NewRowFor — pay the name resolution once.
 func (t *Table) ProjectionOf(names ...string) (*storage.Projection, error) {
+	key := strings.Join(names, "\x1f")
+	if p, ok := t.projCache.Load(key); ok {
+		return p.(*storage.Projection), nil
+	}
 	ids := make([]storage.ColumnID, len(names))
 	for i, name := range names {
 		idx := t.ColumnIndex(name)
@@ -54,7 +66,12 @@ func (t *Table) ProjectionOf(names ...string) (*storage.Projection, error) {
 		}
 		ids[i] = storage.ColumnID(idx)
 	}
-	return storage.NewProjection(t.Layout(), ids)
+	p, err := storage.NewProjection(t.Layout(), ids)
+	if err != nil {
+		return nil, err
+	}
+	actual, _ := t.projCache.LoadOrStore(key, p)
+	return actual.(*storage.Projection), nil
 }
 
 // Catalog is the table registry.

@@ -47,6 +47,14 @@ type DataTable struct {
 
 	// allColumns is the identity projection, reused for full-row reads.
 	allColumns *storage.Projection
+
+	// scanStats counts scan work (see ScanStats).
+	scanStats scanCounters
+	// scratchPools holds per-projection pools of hot-block staging areas
+	// (see getScratch); scanProjCache memoizes predicate-extended
+	// projections (see scanProjFor).
+	scratchPools  sync.Map
+	scanProjCache sync.Map
 }
 
 // NewDataTable creates a table with the given layout and one empty block.
@@ -238,9 +246,11 @@ func (t *DataTable) Update(tx *txn.Transaction, slot storage.TupleSlot, update *
 		return ErrNotFound // latest version is deleted
 	}
 
-	// Capture the before-image of exactly the columns being modified.
+	// Capture the before-image of exactly the columns being modified. The
+	// delta outlives this call on the version chain, so its varlen values
+	// are heap copies (nil arena).
 	delta := update.P.NewRow()
-	t.readInPlace(block, offset, delta)
+	t.readInPlace(block, offset, delta, nil)
 
 	rec := tx.NewUndoRecord(storage.KindUpdate, slot, delta)
 	rec.SetNext(head)
@@ -296,16 +306,24 @@ func (t *DataTable) Delete(tx *txn.Transaction, slot storage.TupleSlot) error {
 }
 
 // readInPlace copies the current in-place values of out's projected columns.
-// Varlen values are copied out of block-owned memory.
-func (t *DataTable) readInPlace(block *storage.Block, offset uint32, out *storage.ProjectedRow) {
+// Varlen values are copied out of block-owned memory: into arena when one is
+// supplied (scans — the values live only until the callback returns), onto
+// the heap when arena is nil (Select and before-images, whose rows escape).
+func (t *DataTable) readInPlace(block *storage.Block, offset uint32, out *storage.ProjectedRow, arena *storage.ValueArena) {
 	for i, col := range out.P.Cols {
 		if !block.IsValid(col, offset) {
 			out.SetNull(i)
 			continue
 		}
 		if t.layout.IsVarlen(col) {
-			v := block.ReadVarlen(col, offset)
-			out.SetVarlen(i, append([]byte(nil), v...))
+			if arena != nil {
+				// Inline values are arena-copied (their entry bytes are
+				// mutable); spilled values alias immutable buffers.
+				out.SetVarlen(i, block.ReadVarlenStable(col, offset, arena))
+			} else {
+				v := block.ReadVarlen(col, offset)
+				out.SetVarlen(i, append([]byte(nil), v...))
+			}
 		} else {
 			copy(out.FixedBytes(i), block.AttrBytes(col, offset))
 			out.Nulls.Clear(i)
@@ -332,25 +350,25 @@ func (t *DataTable) Select(tx *txn.Transaction, slot storage.TupleSlot, out *sto
 			block.EndInPlaceRead()
 			return false, nil
 		}
-		t.readInPlace(block, offset, out)
+		t.readInPlace(block, offset, out, nil)
 		block.EndInPlaceRead()
 		return true, nil
 	}
 
-	return t.selectVersioned(tx, block, offset, out)
+	return t.selectVersioned(tx, block, offset, out, nil)
 }
 
 // selectVersioned runs the paper's hot-block read protocol: copy the latest
 // version under a version-pointer stability check, then traverse the chain
 // applying before-images until reaching a visible version.
-func (t *DataTable) selectVersioned(tx *txn.Transaction, block *storage.Block, offset uint32, out *storage.ProjectedRow) (bool, error) {
+func (t *DataTable) selectVersioned(tx *txn.Transaction, block *storage.Block, offset uint32, out *storage.ProjectedRow, arena *storage.ValueArena) (bool, error) {
 	var head *storage.UndoRecord
 	var present bool
 	for {
 		head = block.VersionPtr(offset)
 		present = block.Allocated(offset)
 		out.Reset()
-		t.readInPlace(block, offset, out)
+		t.readInPlace(block, offset, out, arena)
 		if block.VersionPtr(offset) == head {
 			break
 		}
@@ -376,13 +394,16 @@ func (t *DataTable) selectVersioned(tx *txn.Transaction, block *storage.Block, o
 }
 
 // Scan visits every tuple visible to tx, materializing proj's columns into
-// row and invoking fn. fn must not retain row. Frozen blocks are scanned in
+// row and invoking fn. fn must not retain row (its varlen values live in a
+// per-scan arena that is recycled row to row). Frozen blocks are scanned in
 // place; hot blocks reconstruct versions per slot. Returning false from fn
 // stops the scan.
 func (t *DataTable) Scan(tx *txn.Transaction, proj *storage.Projection, fn func(slot storage.TupleSlot, row *storage.ProjectedRow) bool) error {
 	row := proj.NewRow()
+	arena := storage.GetValueArena()
+	defer storage.PutValueArena(arena)
 	for _, block := range t.Blocks() {
-		if !t.scanBlock(tx, block, proj, row, fn) {
+		if !t.scanBlock(tx, block, proj, row, arena, fn) {
 			return nil
 		}
 	}
@@ -390,22 +411,31 @@ func (t *DataTable) Scan(tx *txn.Transaction, proj *storage.Projection, fn func(
 }
 
 // scanBlock scans one block; returns false if fn stopped the scan.
-func (t *DataTable) scanBlock(tx *txn.Transaction, block *storage.Block, proj *storage.Projection, row *storage.ProjectedRow, fn func(storage.TupleSlot, *storage.ProjectedRow) bool) bool {
+func (t *DataTable) scanBlock(tx *txn.Transaction, block *storage.Block, proj *storage.Projection, row *storage.ProjectedRow, arena *storage.ValueArena, fn func(storage.TupleSlot, *storage.ProjectedRow) bool) bool {
+	emitted := int64(0)
 	if block.BeginInPlaceRead() {
-		defer block.EndInPlaceRead()
+		defer func() {
+			block.EndInPlaceRead()
+			t.scanStats.tuplesEmitted.Add(emitted)
+		}()
+		t.scanStats.blocksFrozen.Add(1)
 		n := uint32(block.FrozenRows())
 		for s := uint32(0); s < n; s++ {
 			if !block.Allocated(s) {
 				continue
 			}
 			row.Reset()
-			t.readInPlace(block, s, row)
+			arena.Reset()
+			t.readInPlace(block, s, row, arena)
+			emitted++
 			if !fn(storage.NewTupleSlot(block.ID, s), row) {
 				return false
 			}
 		}
 		return true
 	}
+	defer func() { t.scanStats.tuplesEmitted.Add(emitted) }()
+	t.scanStats.blocksVersioned.Add(1)
 	head := block.InsertHead()
 	for s := uint32(0); s < head; s++ {
 		// Slots with no chain and no allocation are invisible to everyone.
@@ -413,10 +443,12 @@ func (t *DataTable) scanBlock(tx *txn.Transaction, block *storage.Block, proj *s
 			continue
 		}
 		row.Reset()
-		found, err := t.selectVersioned(tx, block, s, row)
+		arena.Reset()
+		found, err := t.selectVersioned(tx, block, s, row, arena)
 		if err != nil || !found {
 			continue
 		}
+		emitted++
 		if !fn(storage.NewTupleSlot(block.ID, s), row) {
 			return false
 		}

@@ -1,0 +1,783 @@
+// Vectorized batch scans (the analytical read path). Instead of
+// materializing every tuple through the version-chain protocol, the batch
+// engine processes one block at a time: frozen blocks are pruned by
+// freeze-time zone maps, filtered by typed kernels running directly over
+// their Arrow buffers, and exposed zero-copy through column views under
+// the block's reader counter; hot blocks amortize the MVCC protocol across
+// a chunk — slots with no version chain are copied straight into a
+// columnar scratch with a pointer-stability recheck, and only slots with a
+// live chain pay for version traversal.
+package core
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"mainline/internal/arrow"
+	"mainline/internal/storage"
+	"mainline/internal/txn"
+	"mainline/internal/util"
+)
+
+// HotBatchSize is the chunk size for hot-block batch scans: large enough
+// to amortize per-batch overhead, small enough that the columnar scratch
+// stays cache-resident.
+const HotBatchSize = 1024
+
+// --- Scan statistics ---------------------------------------------------------
+
+// ScanStats counts scan work since table creation (both the tuple-at-a-time
+// and the batch paths).
+type ScanStats struct {
+	// BlocksFrozen counts blocks scanned in place under the reader counter.
+	BlocksFrozen int64
+	// BlocksVersioned counts blocks scanned through the version-chain
+	// protocol (hot, cooling, or freezing at scan time).
+	BlocksVersioned int64
+	// BlocksPruned counts frozen blocks skipped entirely because their
+	// zone map proved no row could match the predicate — pruned blocks
+	// never take the in-place read counter.
+	BlocksPruned int64
+	// TuplesEmitted counts tuples handed to scan callbacks.
+	TuplesEmitted int64
+}
+
+// Add accumulates o into s.
+func (s *ScanStats) Add(o ScanStats) {
+	s.BlocksFrozen += o.BlocksFrozen
+	s.BlocksVersioned += o.BlocksVersioned
+	s.BlocksPruned += o.BlocksPruned
+	s.TuplesEmitted += o.TuplesEmitted
+}
+
+// scanCounters is the atomic backing store for ScanStats.
+type scanCounters struct {
+	blocksFrozen    atomic.Int64
+	blocksVersioned atomic.Int64
+	blocksPruned    atomic.Int64
+	tuplesEmitted   atomic.Int64
+}
+
+// ScanStatsSnapshot returns the table's cumulative scan counters.
+func (t *DataTable) ScanStatsSnapshot() ScanStats {
+	return ScanStats{
+		BlocksFrozen:    t.scanStats.blocksFrozen.Load(),
+		BlocksVersioned: t.scanStats.blocksVersioned.Load(),
+		BlocksPruned:    t.scanStats.blocksPruned.Load(),
+		TuplesEmitted:   t.scanStats.tuplesEmitted.Load(),
+	}
+}
+
+// --- Predicates --------------------------------------------------------------
+
+// PredKind selects the typed comparison domain of a Predicate.
+type PredKind uint8
+
+// Predicate domains.
+const (
+	// PredInt compares fixed-width columns as signed integers of the
+	// column's width.
+	PredInt PredKind = iota
+	// PredFloat compares 8-byte columns as float64.
+	PredFloat
+	// PredBytes compares variable-length columns lexicographically.
+	PredBytes
+)
+
+// Predicate is a single-column range predicate in the shape the kernels
+// evaluate: an inclusive integer range, a float range with per-bound
+// strictness, or a bytes range with per-bound strictness. Point lookups
+// (Eq) are ranges with lo == hi. NULL values never match.
+type Predicate struct {
+	// Col is the layout column the predicate applies to.
+	Col storage.ColumnID
+	// Kind selects the comparison domain.
+	Kind PredKind
+	// MatchNone marks a statically unsatisfiable predicate (e.g. an
+	// equality value that overflows the column width); the scan emits
+	// nothing without touching any block.
+	MatchNone bool
+
+	// LoInt/HiInt are the inclusive integer bounds (math.MinInt64 /
+	// math.MaxInt64 for one-sided ranges).
+	LoInt, HiInt int64
+	// LoFloat/HiFloat are the float bounds (±Inf for one-sided ranges);
+	// a strict flag excludes the bound itself.
+	LoFloat, HiFloat             float64
+	LoFloatStrict, HiFloatStrict bool
+	// LoBytes/HiBytes are the bytes bounds (nil for one-sided ranges —
+	// an empty-but-non-nil bound is a real bound).
+	LoBytes, HiBytes             []byte
+	LoBytesStrict, HiBytesStrict bool
+}
+
+// NewIntPred builds an inclusive integer range predicate.
+func NewIntPred(col storage.ColumnID, lo, hi int64) *Predicate {
+	return &Predicate{Col: col, Kind: PredInt, LoInt: lo, HiInt: hi, MatchNone: lo > hi}
+}
+
+// NewFloatPred builds a float range predicate with per-bound strictness.
+// A NaN bound makes the predicate match nothing (every comparison against
+// NaN is false, so no value can satisfy it).
+func NewFloatPred(col storage.ColumnID, lo, hi float64, loStrict, hiStrict bool) *Predicate {
+	return &Predicate{
+		Col: col, Kind: PredFloat,
+		LoFloat: lo, HiFloat: hi, LoFloatStrict: loStrict, HiFloatStrict: hiStrict,
+		MatchNone: lo != lo || hi != hi || lo > hi || (lo == hi && (loStrict || hiStrict)),
+	}
+}
+
+// NewBytesPred builds a lexicographic bytes range predicate. nil bounds are
+// one-sided; bounds are copied by reference (callers must not mutate).
+func NewBytesPred(col storage.ColumnID, lo, hi []byte, loStrict, hiStrict bool) *Predicate {
+	p := &Predicate{
+		Col: col, Kind: PredBytes,
+		LoBytes: lo, HiBytes: hi, LoBytesStrict: loStrict, HiBytesStrict: hiStrict,
+	}
+	if lo != nil && hi != nil {
+		if c := bytes.Compare(lo, hi); c > 0 || (c == 0 && (loStrict || hiStrict)) {
+			p.MatchNone = true
+		}
+	}
+	return p
+}
+
+// MatchNonePred builds the statically empty predicate.
+func MatchNonePred(col storage.ColumnID) *Predicate {
+	return &Predicate{Col: col, MatchNone: true}
+}
+
+// matchBytes reports whether v falls inside the bytes range.
+func (p *Predicate) matchBytes(v []byte) bool {
+	if p.LoBytes != nil {
+		if c := bytes.Compare(v, p.LoBytes); c < 0 || (c == 0 && p.LoBytesStrict) {
+			return false
+		}
+	}
+	if p.HiBytes != nil {
+		if c := bytes.Compare(v, p.HiBytes); c > 0 || (c == 0 && p.HiBytesStrict) {
+			return false
+		}
+	}
+	return true
+}
+
+// prunesBlock reports whether the zone map proves no row of the block can
+// match — the predicate's range and the column's freeze-time [min, max]
+// are disjoint, or the column was entirely NULL.
+func (p *Predicate) prunesBlock(zm *storage.ZoneMap) bool {
+	if p.MatchNone {
+		return true
+	}
+	if int(p.Col) >= len(zm.Cols) {
+		return false
+	}
+	cs := &zm.Cols[p.Col]
+	if cs.AllNull(zm.Rows) {
+		return true
+	}
+	switch p.Kind {
+	case PredInt:
+		if !cs.HasMinMax {
+			return false
+		}
+		return cs.MaxInt < p.LoInt || cs.MinInt > p.HiInt
+	case PredFloat:
+		if !cs.HasFloat {
+			// The column held values but none comparable (all NaN): no
+			// range predicate can match.
+			return true
+		}
+		if cs.MaxFloat < p.LoFloat || (p.LoFloatStrict && cs.MaxFloat == p.LoFloat) {
+			return true
+		}
+		return cs.MinFloat > p.HiFloat || (p.HiFloatStrict && cs.MinFloat == p.HiFloat)
+	case PredBytes:
+		if !cs.HasMinMax {
+			return false
+		}
+		if p.LoBytes != nil {
+			if c := bytes.Compare(cs.MaxBytes, p.LoBytes); c < 0 || (c == 0 && p.LoBytesStrict) {
+				return true
+			}
+		}
+		if p.HiBytes != nil {
+			if c := bytes.Compare(cs.MinBytes, p.HiBytes); c > 0 || (c == 0 && p.HiBytesStrict) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// validate checks the predicate against the table layout.
+func (p *Predicate) validate(layout *storage.BlockLayout) error {
+	if int(p.Col) >= layout.NumColumns() {
+		return fmt.Errorf("core: predicate column %d out of range", p.Col)
+	}
+	varlen := layout.IsVarlen(p.Col)
+	switch p.Kind {
+	case PredBytes:
+		if !varlen {
+			return fmt.Errorf("core: bytes predicate on fixed-width column %d", p.Col)
+		}
+	case PredFloat:
+		if varlen || layout.AttrSize(p.Col) != 8 {
+			return fmt.Errorf("core: float predicate on column %d", p.Col)
+		}
+	case PredInt:
+		if varlen || layout.AttrSize(p.Col) > 8 {
+			return fmt.Errorf("core: integer predicate on column %d", p.Col)
+		}
+	}
+	return nil
+}
+
+// --- Batch -------------------------------------------------------------------
+
+// Batch is a column-oriented view of the visible tuples of (part of) one
+// block. Frozen batches alias block memory zero-copy under the block's
+// reader counter; hot batches read from a materialized columnar scratch.
+// A batch, and every slice obtained from it, is valid only until the scan
+// callback returns.
+type Batch struct {
+	block  *storage.Block
+	proj   *storage.Projection
+	frozen bool
+	n      int
+	// sel maps batch row -> block slot offset (frozen) or scratch row
+	// (hot); nil means identity.
+	sel []uint32
+
+	// Frozen column views, indexed by projection position.
+	fixedViews  []storage.FixedColView
+	varlenViews []storage.VarlenColView
+
+	scr *scratch
+}
+
+// Len returns the number of rows in the batch.
+func (b *Batch) Len() int { return b.n }
+
+// Frozen reports whether the batch aliases frozen block memory.
+func (b *Batch) Frozen() bool { return b.frozen }
+
+// NumCols returns the number of projected columns.
+func (b *Batch) NumCols() int { return b.proj.NumCols() }
+
+// Projection returns the batch's projection.
+func (b *Batch) Projection() *storage.Projection { return b.proj }
+
+func (b *Batch) idx(row int) uint32 {
+	if b.sel != nil {
+		return b.sel[row]
+	}
+	return uint32(row)
+}
+
+// Slot returns the tuple slot of batch row i.
+func (b *Batch) Slot(i int) storage.TupleSlot {
+	idx := b.idx(i)
+	if b.frozen {
+		return storage.NewTupleSlot(b.block.ID, idx)
+	}
+	return storage.NewTupleSlot(b.block.ID, b.scr.slots[idx])
+}
+
+// IsNull reports whether projected column col of row i is NULL.
+func (b *Batch) IsNull(col, i int) bool {
+	idx := int(b.idx(i))
+	if b.frozen {
+		if b.proj.IsVarlenAt(col) {
+			return b.varlenViews[col].IsNull(idx)
+		}
+		return b.fixedViews[col].IsNull(idx)
+	}
+	return !b.scr.valid[col].Test(idx)
+}
+
+// Int64 loads projected column col of row i as int64 (8-byte columns).
+func (b *Batch) Int64(col, i int) int64 {
+	idx := int(b.idx(i))
+	if b.frozen {
+		return b.fixedViews[col].Int64At(idx)
+	}
+	return int64(binary.LittleEndian.Uint64(b.scr.fixed[col][idx*8:]))
+}
+
+// Int loads projected column col of row i widened to int64 by the
+// column's width.
+func (b *Batch) Int(col, i int) int64 {
+	idx := int(b.idx(i))
+	if b.frozen {
+		return b.fixedViews[col].IntAt(idx)
+	}
+	w := b.scr.widths[col]
+	data := b.scr.fixed[col]
+	switch w {
+	case 8:
+		return int64(binary.LittleEndian.Uint64(data[idx*8:]))
+	case 4:
+		return int64(int32(binary.LittleEndian.Uint32(data[idx*4:])))
+	case 2:
+		return int64(int16(binary.LittleEndian.Uint16(data[idx*2:])))
+	default:
+		return int64(int8(data[idx]))
+	}
+}
+
+// Float64 loads projected column col of row i as float64 (8-byte columns).
+func (b *Batch) Float64(col, i int) float64 {
+	return math.Float64frombits(uint64(b.Int64(col, i)))
+}
+
+// Bytes returns the varlen value of projected column col of row i (nil for
+// NULL). The slice aliases batch memory — valid only inside the callback.
+func (b *Batch) Bytes(col, i int) []byte {
+	idx := int(b.idx(i))
+	if b.frozen {
+		return b.varlenViews[col].BytesAt(idx)
+	}
+	return b.scr.vars[col][idx]
+}
+
+// FixedAt copies the raw fixed-width bytes of (col, row i) — the accessor
+// for wide columns the typed getters do not cover.
+func (b *Batch) FixedAt(col, i int, dst []byte) {
+	idx := int(b.idx(i))
+	w := b.proj.Layout.AttrSize(b.proj.Cols[col])
+	if b.frozen {
+		copy(dst, b.fixedViews[col].Data[idx*w:(idx+1)*w])
+		return
+	}
+	copy(dst, b.scr.fixed[col][idx*w:(idx+1)*w])
+}
+
+// setupFrozen points the batch's column views at block's Arrow buffers.
+func (b *Batch) setupFrozen(block *storage.Block) {
+	nc := b.proj.NumCols()
+	if cap(b.fixedViews) < nc {
+		b.fixedViews = make([]storage.FixedColView, nc)
+		b.varlenViews = make([]storage.VarlenColView, nc)
+	}
+	b.fixedViews = b.fixedViews[:nc]
+	b.varlenViews = b.varlenViews[:nc]
+	for i, col := range b.proj.Cols {
+		if b.proj.Layout.IsVarlen(col) {
+			b.varlenViews[i] = block.FrozenVarlenView(col)
+		} else {
+			b.fixedViews[i] = block.FrozenFixedView(col)
+		}
+	}
+	b.block = block
+	b.frozen = true
+	b.scr = nil
+}
+
+// --- Hot-block scratch -------------------------------------------------------
+
+// scratch is the columnar staging area for hot-block batches: the visible
+// version of each slot in the chunk is materialized once — fast-path slots
+// (no version chain) by direct copy with a stability recheck, chained
+// slots through the version protocol — and predicates then run over the
+// packed columns exactly like they do over frozen memory.
+type scratch struct {
+	proj   *storage.Projection
+	n      int
+	slots  []uint32
+	widths []int
+	fixed  [][]byte // per column: packed values, nil for varlen columns
+	valid  []util.Bitmap
+	vars   [][][]byte // per column: value refs, nil for fixed columns
+	arena  *storage.ValueArena
+	row    *storage.ProjectedRow // reusable row for version-chain slots
+}
+
+func newScratch(proj *storage.Projection) *scratch {
+	nc := proj.NumCols()
+	s := &scratch{
+		proj:   proj,
+		slots:  make([]uint32, HotBatchSize),
+		widths: make([]int, nc),
+		fixed:  make([][]byte, nc),
+		valid:  make([]util.Bitmap, nc),
+		vars:   make([][][]byte, nc),
+		arena:  new(storage.ValueArena),
+		row:    proj.NewRow(),
+	}
+	for i, col := range proj.Cols {
+		if proj.Layout.IsVarlen(col) {
+			s.vars[i] = make([][]byte, HotBatchSize)
+		} else {
+			w := proj.Layout.AttrSize(col)
+			s.widths[i] = w
+			s.fixed[i] = make([]byte, HotBatchSize*w)
+		}
+		s.valid[i] = util.NewBitmap(HotBatchSize)
+	}
+	return s
+}
+
+// getScratch borrows a staging area shaped for proj from the table's
+// per-projection pool (projections are memoized, so the pool set stays
+// small); putScratch returns it.
+func (t *DataTable) getScratch(proj *storage.Projection) *scratch {
+	pi, _ := t.scratchPools.LoadOrStore(proj, &sync.Pool{})
+	if s, ok := pi.(*sync.Pool).Get().(*scratch); ok {
+		return s
+	}
+	return newScratch(proj)
+}
+
+func (t *DataTable) putScratch(s *scratch) {
+	if pi, ok := t.scratchPools.Load(s.proj); ok {
+		pi.(*sync.Pool).Put(s)
+	}
+}
+
+// scanProjKey memoizes hidden-predicate-column projections.
+type scanProjKey struct {
+	proj *storage.Projection
+	col  storage.ColumnID
+}
+
+// scanProjFor returns proj extended with col as a hidden trailing column,
+// building (and validating) it once per (projection, column) pair.
+func (t *DataTable) scanProjFor(proj *storage.Projection, col storage.ColumnID) (*storage.Projection, error) {
+	key := scanProjKey{proj, col}
+	if p, ok := t.scanProjCache.Load(key); ok {
+		return p.(*storage.Projection), nil
+	}
+	cols := make([]storage.ColumnID, 0, proj.NumCols()+1)
+	cols = append(cols, proj.Cols...)
+	cols = append(cols, col)
+	p, err := storage.NewProjection(t.layout, cols)
+	if err != nil {
+		return nil, err
+	}
+	actual, _ := t.scanProjCache.LoadOrStore(key, p)
+	return actual.(*storage.Projection), nil
+}
+
+func (s *scratch) reset() {
+	s.n = 0
+	s.arena.Reset()
+	for i := range s.valid {
+		s.valid[i].ZeroAll()
+	}
+}
+
+// appendFast copies the in-place values of slot into the scratch; the
+// caller has seen a nil version pointer and re-verifies it afterwards.
+// Index s.n may hold leftovers of a previous attempt that failed its
+// stability recheck, so the null branch must clear the validity bit, not
+// just skip setting it.
+func (s *scratch) appendFast(block *storage.Block, slot uint32) {
+	i := s.n
+	for j, col := range s.proj.Cols {
+		if !block.IsValid(col, slot) {
+			s.valid[j].Clear(i)
+			if s.fixed[j] != nil {
+				w := s.widths[j]
+				clear(s.fixed[j][i*w : (i+1)*w])
+			} else {
+				s.vars[j][i] = nil
+			}
+			continue
+		}
+		if s.fixed[j] != nil {
+			w := s.widths[j]
+			copy(s.fixed[j][i*w:(i+1)*w], block.AttrBytes(col, slot))
+		} else {
+			s.vars[j][i] = block.ReadVarlenStable(col, slot, s.arena)
+		}
+		s.valid[j].Set(i)
+	}
+	s.slots[i] = slot
+}
+
+// commitFast finalizes an appendFast row once the stability recheck passed.
+func (s *scratch) commitFast() { s.n++ }
+
+// appendRow copies a version-materialized row into the scratch. Like
+// appendFast, it may overwrite the residue of an aborted fast-path copy
+// at the same index, so NULL columns clear their validity bit explicitly.
+func (s *scratch) appendRow(slot uint32, row *storage.ProjectedRow) {
+	i := s.n
+	for j := range s.proj.Cols {
+		if row.IsNull(j) {
+			s.valid[j].Clear(i)
+			if s.fixed[j] != nil {
+				w := s.widths[j]
+				clear(s.fixed[j][i*w : (i+1)*w])
+			} else {
+				s.vars[j][i] = nil
+			}
+			continue
+		}
+		if s.fixed[j] != nil {
+			w := s.widths[j]
+			copy(s.fixed[j][i*w:(i+1)*w], row.FixedBytes(j))
+		} else {
+			s.vars[j][i] = row.Varlen(j)
+		}
+		s.valid[j].Set(i)
+	}
+	s.slots[i] = slot
+	s.n++
+}
+
+// --- ScanBatches -------------------------------------------------------------
+
+// ScanBatches visits every tuple visible to tx that satisfies pred,
+// batch-at-a-time. proj selects the exposed columns (nil for all), pred may
+// be nil for an unfiltered scan. fn must not retain the batch or any slice
+// obtained from it; returning false stops the scan.
+//
+// Frozen blocks are pruned by zone map where possible, filtered by typed
+// kernels over their Arrow buffers, and exposed zero-copy. Other blocks
+// are staged through a columnar scratch in chunks of HotBatchSize.
+func (t *DataTable) ScanBatches(tx *txn.Transaction, proj *storage.Projection, pred *Predicate, fn func(b *Batch) bool) error {
+	if proj == nil {
+		proj = t.allColumns
+	}
+	if pred != nil {
+		if err := pred.validate(t.layout); err != nil {
+			return err
+		}
+		if pred.MatchNone {
+			return nil
+		}
+	}
+	// Hot-block staging needs the predicate column materialized even when
+	// it is not projected; it rides along as a hidden trailing column.
+	// The extended projection is memoized per (projection, column).
+	scanProj := proj
+	predIdx := -1
+	if pred != nil {
+		predIdx = proj.IndexOf(pred.Col)
+		if predIdx < 0 {
+			var err error
+			scanProj, err = t.scanProjFor(proj, pred.Col)
+			if err != nil {
+				return err
+			}
+			predIdx = proj.NumCols()
+		}
+	}
+
+	batch := &Batch{proj: proj}
+	var scr *scratch
+	defer func() {
+		if scr != nil {
+			t.putScratch(scr)
+		}
+	}()
+	for _, block := range t.Blocks() {
+		cont, handled := t.frozenBatch(tx, block, batch, pred, fn)
+		if handled {
+			if !cont {
+				return nil
+			}
+			continue
+		}
+		if scr == nil {
+			scr = t.getScratch(scanProj)
+		}
+		if !t.hotBatches(tx, block, batch, scr, pred, predIdx, fn) {
+			return nil
+		}
+	}
+	return nil
+}
+
+// frozenBatch handles one block on the frozen path: zone-map prune, kernel
+// filter, zero-copy batch. handled is false when the block is not frozen
+// (the caller falls back to the hot path); cont is false when fn stopped
+// the scan.
+func (t *DataTable) frozenBatch(tx *txn.Transaction, block *storage.Block, batch *Batch, pred *Predicate, fn func(*Batch) bool) (cont, handled bool) {
+	_ = tx // frozen reads need no version checks; kept for symmetry
+	// Zone-map pruning happens BEFORE the reader counter is taken: the
+	// state must be observed Frozen before the map is loaded (see
+	// storage.Block.ZoneMap for why that order is sound).
+	if pred != nil && block.State() == storage.StateFrozen {
+		if zm := block.ZoneMap(); zm != nil && pred.prunesBlock(zm) {
+			t.scanStats.blocksPruned.Add(1)
+			return true, true
+		}
+	}
+	if !block.BeginInPlaceRead() {
+		return true, false
+	}
+	defer block.EndInPlaceRead()
+	t.scanStats.blocksFrozen.Add(1)
+	n := block.FrozenRows()
+	if n == 0 {
+		return true, true
+	}
+	batch.setupFrozen(block)
+	var sv *storage.SelectionVector
+	if pred != nil {
+		sv = storage.GetSelectionVector(n)
+		defer storage.PutSelectionVector(sv)
+		sv.SetIndices(evalFrozenPred(block, pred, n, sv.Indices()[:0]))
+		if sv.Len() == 0 {
+			return true, true
+		}
+		batch.sel = sv.Indices()
+		batch.n = sv.Len()
+	} else {
+		batch.sel = nil
+		batch.n = n
+	}
+	t.scanStats.tuplesEmitted.Add(int64(batch.n))
+	return fn(batch), true
+}
+
+// evalFrozenPred runs the typed kernel for pred over block's Arrow buffers,
+// appending matching slot offsets to out.
+func evalFrozenPred(block *storage.Block, pred *Predicate, n int, out []uint32) []uint32 {
+	switch pred.Kind {
+	case PredInt:
+		view := block.FrozenFixedView(pred.Col)
+		return selIntRange(view.Data, view.Valid, view.Width, n, pred.LoInt, pred.HiInt, out)
+	case PredFloat:
+		view := block.FrozenFixedView(pred.Col)
+		return arrow.SelFloat64Range(view.Data, view.Valid, n, pred.LoFloat, pred.HiFloat, pred.LoFloatStrict, pred.HiFloatStrict, out)
+	default: // PredBytes
+		view := block.FrozenVarlenView(pred.Col)
+		if d := view.Dict(); d != nil {
+			// Sorted dictionary: the bytes range becomes an int32 code
+			// range and values are never touched.
+			loC, hiC := d.CodeRange(pred.LoBytes, pred.HiBytes, pred.LoBytesStrict, pred.HiBytesStrict)
+			if loC >= hiC {
+				return out
+			}
+			return arrow.SelInt32Range(d.Codes, view.Valid, n, loC, hiC-1, out)
+		}
+		for i := 0; i < n; i++ {
+			if view.IsNull(i) {
+				continue
+			}
+			if pred.matchBytes(view.BytesAt(i)) {
+				out = append(out, uint32(i))
+			}
+		}
+		return out
+	}
+}
+
+// selIntRange dispatches the integer kernel by column width, narrowing the
+// int64 bounds to the width (an empty narrowed range selects nothing).
+func selIntRange(data []byte, valid util.Bitmap, width, n int, lo, hi int64, out []uint32) []uint32 {
+	switch width {
+	case 8:
+		return arrow.SelInt64Range(data, valid, n, lo, hi, out)
+	case 4:
+		if lo > math.MaxInt32 || hi < math.MinInt32 {
+			return out
+		}
+		return arrow.SelInt32Range(data, valid, n, int32(max(lo, math.MinInt32)), int32(min(hi, math.MaxInt32)), out)
+	case 2:
+		if lo > math.MaxInt16 || hi < math.MinInt16 {
+			return out
+		}
+		return arrow.SelInt16Range(data, valid, n, int16(max(lo, math.MinInt16)), int16(min(hi, math.MaxInt16)), out)
+	default:
+		if lo > math.MaxInt8 || hi < math.MinInt8 {
+			return out
+		}
+		return arrow.SelInt8Range(data, valid, n, int8(max(lo, math.MinInt8)), int8(min(hi, math.MaxInt8)), out)
+	}
+}
+
+// hotBatches stages block through the columnar scratch in chunks,
+// amortizing the version-chain protocol: chainless slots take the
+// copy-and-recheck fast path, chained slots go through selectVersioned.
+// Returns false when fn stopped the scan.
+func (t *DataTable) hotBatches(tx *txn.Transaction, block *storage.Block, batch *Batch, scr *scratch, pred *Predicate, predIdx int, fn func(*Batch) bool) bool {
+	t.scanStats.blocksVersioned.Add(1)
+	head := block.InsertHead()
+	for start := uint32(0); start < head; start += HotBatchSize {
+		end := start + HotBatchSize
+		if end > head {
+			end = head
+		}
+		scr.reset()
+		for s := start; s < end; s++ {
+			if block.VersionPtr(s) == nil {
+				if !block.Allocated(s) {
+					continue // invisible to everyone
+				}
+				scr.appendFast(block, s)
+				if block.VersionPtr(s) == nil {
+					// No writer published a version while we copied, so
+					// the copy is untorn and current.
+					scr.commitFast()
+					continue
+				}
+				// A writer raced us; fall through to the chain protocol.
+			}
+			scr.row.Reset()
+			found, _ := t.selectVersioned(tx, block, s, scr.row, scr.arena)
+			if found {
+				scr.appendRow(s, scr.row)
+			}
+		}
+		if scr.n == 0 {
+			continue
+		}
+		batch.block = block
+		batch.frozen = false
+		batch.scr = scr
+		if pred != nil {
+			sv := storage.GetSelectionVector(scr.n)
+			sv.SetIndices(evalScratchPred(scr, pred, predIdx, sv.Indices()[:0]))
+			if sv.Len() == 0 {
+				storage.PutSelectionVector(sv)
+				continue
+			}
+			batch.sel = sv.Indices()
+			batch.n = sv.Len()
+			t.scanStats.tuplesEmitted.Add(int64(batch.n))
+			cont := fn(batch)
+			storage.PutSelectionVector(sv)
+			if !cont {
+				return false
+			}
+			continue
+		}
+		batch.sel = nil
+		batch.n = scr.n
+		t.scanStats.tuplesEmitted.Add(int64(batch.n))
+		if !fn(batch) {
+			return false
+		}
+	}
+	return true
+}
+
+// evalScratchPred runs pred over the scratch's packed columns — the same
+// kernels the frozen path uses, pointed at scratch memory.
+func evalScratchPred(scr *scratch, pred *Predicate, predIdx int, out []uint32) []uint32 {
+	n := scr.n
+	switch pred.Kind {
+	case PredInt:
+		return selIntRange(scr.fixed[predIdx], scr.valid[predIdx], scr.widths[predIdx], n, pred.LoInt, pred.HiInt, out)
+	case PredFloat:
+		return arrow.SelFloat64Range(scr.fixed[predIdx], scr.valid[predIdx], n, pred.LoFloat, pred.HiFloat, pred.LoFloatStrict, pred.HiFloatStrict, out)
+	default: // PredBytes
+		vars := scr.vars[predIdx]
+		valid := scr.valid[predIdx]
+		for i := 0; i < n; i++ {
+			if valid.Test(i) && pred.matchBytes(vars[i]) {
+				out = append(out, uint32(i))
+			}
+		}
+		return out
+	}
+}

@@ -1,0 +1,75 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"mainline/internal/storage"
+)
+
+// TestScratchOverwriteClearsValidity pins the fast-path fallback bug the
+// review caught: appendFast sets validity bits at index scr.n, and if the
+// stability recheck then fails, appendRow (or a later appendFast) lands at
+// the same index — its NULL columns must CLEAR the stale bits, or NULL
+// surfaces as a non-NULL zero value.
+func TestScratchOverwriteClearsValidity(t *testing.T) {
+	layout, err := storage.NewBlockLayout([]storage.AttrDef{storage.FixedAttr(8), storage.VarlenAttr()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := storage.NewRegistry()
+	block := storage.NewBlock(reg, layout)
+	slot, _ := block.TryAllocateSlot()
+	block.WriteFixed(0, slot, []byte{1, 2, 3, 4, 5, 6, 7, 8})
+	block.WriteVarlen(1, slot, []byte("value"))
+	block.SetAllocated(slot, true)
+
+	proj := storage.MustProjection(layout, layout.AllColumns())
+	scr := newScratch(proj)
+	scr.reset()
+
+	// Simulate an appendFast whose recheck failed: bits set, n unchanged.
+	scr.appendFast(block, slot)
+	if !scr.valid[0].Test(0) || !scr.valid[1].Test(0) {
+		t.Fatal("appendFast did not set validity")
+	}
+
+	// The fallback materializes an all-NULL visible version at the same
+	// index; the stale bits must be cleared.
+	nullRow := proj.NewRow()
+	nullRow.SetNull(0)
+	nullRow.SetNull(1)
+	scr.appendRow(slot, nullRow)
+	if scr.valid[0].Test(0) || scr.valid[1].Test(0) {
+		t.Fatal("appendRow left stale validity bits from the aborted fast path")
+	}
+
+	// Same leak through a later appendFast at a reused index: a null
+	// column must clear, not skip.
+	scr.reset()
+	scr.appendFast(block, slot) // sets bits at index 0, recheck "fails"
+	block.WriteNull(0, slot)
+	block.WriteNull(1, slot)
+	scr.appendFast(block, slot)
+	if scr.valid[0].Test(0) || scr.valid[1].Test(0) {
+		t.Fatal("appendFast left stale validity bits on null columns")
+	}
+}
+
+// TestNaNPredicateBoundMatchesNothing pins the NaN-bound fix: every float
+// comparison against NaN is false, so a NaN bound must compile to the
+// statically empty predicate instead of accidentally matching every row.
+func TestNaNPredicateBoundMatchesNothing(t *testing.T) {
+	for _, p := range []*Predicate{
+		NewFloatPred(0, math.NaN(), math.NaN(), false, false),  // Eq(NaN)
+		NewFloatPred(0, math.Inf(-1), math.NaN(), false, true), // Lt(NaN)
+		NewFloatPred(0, math.NaN(), math.Inf(1), true, false),  // Gt(NaN)
+	} {
+		if !p.MatchNone {
+			t.Fatalf("NaN-bounded predicate %+v not MatchNone", p)
+		}
+	}
+	if NewFloatPred(0, 1, 2, false, false).MatchNone {
+		t.Fatal("finite range wrongly MatchNone")
+	}
+}

@@ -1,0 +1,7 @@
+//go:build !race
+
+package core_test
+
+// scanRaceEnabled reports that the race detector is active; see
+// scan_race_flag_test.go.
+const scanRaceEnabled = false

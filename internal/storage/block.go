@@ -18,6 +18,13 @@ import (
 //	Freezing — exclusive lock held by the gather phase; writers wait.
 //	Frozen   — canonical Arrow; readers access in place under the reader
 //	           counter; the first writer flips the block back to Hot.
+//	Thawing  — transient Frozen->Hot transition: the flipping writer drains
+//	           lingering in-place readers while later writers wait. Without
+//	           it, a second writer could observe Hot and update in place
+//	           while a frozen-path reader (which performs no version
+//	           checks) still held the reader counter — a snapshot
+//	           violation the whole-block batch scans made readily
+//	           observable.
 type BlockState uint32
 
 // Block lifecycle states.
@@ -26,6 +33,7 @@ const (
 	StateCooling
 	StateFreezing
 	StateFrozen
+	StateThawing
 )
 
 // String names the state.
@@ -39,6 +47,8 @@ func (s BlockState) String() string {
 		return "freezing"
 	case StateFrozen:
 		return "frozen"
+	case StateThawing:
+		return "thawing"
 	default:
 		return "invalid"
 	}
@@ -105,6 +115,11 @@ type Block struct {
 	// frozenRows is the tuple count at freeze time (slots 0..frozenRows-1
 	// are contiguous and present after compaction).
 	frozenRows int
+
+	// zoneMap holds freeze-time column statistics. Published (non-nil)
+	// before the state flips to Frozen, invalidated when a writer flips
+	// the block back to Hot; see ZoneMap for the pruning protocol.
+	zoneMap atomic.Pointer[ZoneMap]
 }
 
 // NewBlock allocates a block for the layout and registers it.
@@ -158,9 +173,15 @@ func (b *Block) BeginInPlaceRead() bool {
 func (b *Block) EndInPlaceRead() { b.readers.Add(-1) }
 
 // MarkHot transitions the block to Hot before a write, whatever state it is
-// in: Cooling is preempted by CAS, Frozen requires draining lingering
-// readers, Freezing must be waited out (the gather critical section is
-// bounded and short).
+// in: Cooling is preempted by CAS, Frozen goes through the transient
+// Thawing state while lingering in-place readers drain, Freezing and
+// Thawing must be waited out (both critical sections are bounded).
+//
+// The Thawing hold is what makes frozen in-place reads safe: no writer —
+// neither the flipping one nor any later one — can reach the Hot state
+// (and thus write in place) until every reader that entered under the
+// Frozen state has left. New readers cannot enter once the state leaves
+// Frozen.
 func (b *Block) MarkHot() {
 	for {
 		switch b.State() {
@@ -171,14 +192,19 @@ func (b *Block) MarkHot() {
 				return
 			}
 		case StateFrozen:
-			if b.CASState(StateFrozen, StateHot) {
-				// Spin until lingering in-place readers leave (paper §4.1).
+			if b.CASState(StateFrozen, StateThawing) {
+				// The freeze-time statistics no longer describe the block
+				// once a write lands; drop them before any write proceeds.
+				b.zoneMap.Store(nil)
+				// Drain lingering in-place readers (paper §4.1) before the
+				// block becomes writable for anyone.
 				for b.readers.Load() > 0 {
 					runtime.Gosched()
 				}
+				b.SetState(StateHot)
 				return
 			}
-		case StateFreezing:
+		case StateFreezing, StateThawing:
 			runtime.Gosched()
 		}
 	}
@@ -344,6 +370,22 @@ func (b *Block) ReadVarlen(col ColumnID, slot uint32) []byte {
 	return v
 }
 
+// ReadVarlenStable resolves (col, slot) like ReadVarlen but guarantees the
+// result never aliases mutable block memory: inline values (which live in
+// the 16-byte entry and can be overwritten in place by a later writer) are
+// copied into arena, while spilled values alias their immutable backing —
+// hot-arena entries are owned copies that are never mutated after
+// publication, and frozen value buffers are never written in place. Scans
+// that stage values past the current tuple use this to avoid copying
+// everything.
+func (b *Block) ReadVarlenStable(col ColumnID, slot uint32, arena *ValueArena) []byte {
+	entry := b.AttrBytes(col, slot)
+	if varlenEntryIsInline(entry) {
+		return arena.Copy(varlenEntryInline(entry))
+	}
+	return b.ReadVarlen(col, slot)
+}
+
 // VarlenPrefix returns the entry's stored prefix for fast filtering without
 // chasing the value (paper Figure 6).
 func (b *Block) VarlenPrefix(col ColumnID, slot uint32) []byte {
@@ -413,6 +455,18 @@ func (b *Block) SetFrozenVarlenAlias(col ColumnID, fv *FrozenVarlen) { b.frozenV
 // FrozenDictCol returns the dictionary form of a varlen column, or nil if
 // the column was gathered without compression.
 func (b *Block) FrozenDictCol(col ColumnID) *FrozenDict { return b.frozenDict[col] }
+
+// SetZoneMap publishes freeze-time column statistics. Gather-phase only;
+// must happen before the state flips to Frozen.
+func (b *Block) SetZoneMap(zm *ZoneMap) { b.zoneMap.Store(zm) }
+
+// ZoneMap returns the block's freeze-time statistics, or nil when the block
+// is (or recently was) hot. Callers pruning on it must observe
+// State() == Frozen BEFORE loading the map: in that order the map is
+// either the same freeze epoch as the observed state or a newer one, and
+// both correctly describe the data visible to any transaction active
+// across the freeze (see the type comment).
+func (b *Block) ZoneMap() *ZoneMap { return b.zoneMap.Load() }
 
 // FrozenFixedData returns the column's value buffer covering the first
 // FrozenRows tuples — raw block memory, zero-copy.

@@ -70,6 +70,9 @@ func MustProjection(layout *BlockLayout, cols []ColumnID) *Projection {
 // NumCols returns the number of projected columns.
 func (p *Projection) NumCols() int { return len(p.Cols) }
 
+// IsVarlenAt reports whether projected column i is variable-length.
+func (p *Projection) IsVarlenAt(i int) bool { return p.varIdx[i] >= 0 }
+
 // IndexOf returns the projection-local index of column c, or -1.
 func (p *Projection) IndexOf(c ColumnID) int {
 	for i, col := range p.Cols {

@@ -1,0 +1,53 @@
+package storage
+
+// ZoneMap holds freeze-time per-column statistics for one frozen block:
+// min/max values and null counts, computed once by the gather phase. Scans
+// consult it to prune whole blocks before touching their data — the
+// columnar-store trick (Vertica's "zone maps", Parquet's column statistics)
+// the paper's frozen state makes possible, because a frozen block's
+// in-place values are exactly the versions visible to every live
+// transaction (freezing requires all version chains to be pruned, which the
+// GC only does once every active transaction can see the latest versions).
+//
+// A zone map is immutable after publication. It is published before the
+// block's state flips to Frozen and invalidated (set nil) when a writer
+// flips the block back to Hot, so a scan that observes state == Frozen and
+// then loads a non-nil zone map is guaranteed the map describes the data
+// its snapshot sees: a same-epoch map trivially, a newer-epoch map because
+// any commit folded into a newer freeze was, by the freeze invariant above,
+// already visible to every transaction active across it.
+type ZoneMap struct {
+	// Rows is the tuple count at freeze time.
+	Rows int
+	// Cols holds one statistics entry per layout column.
+	Cols []ColumnStats
+}
+
+// ColumnStats are the freeze-time statistics of one column.
+type ColumnStats struct {
+	// NullCount is the number of null values in the column.
+	NullCount int
+	// HasMinMax reports whether the min/max fields below are populated —
+	// false for columns with no non-null values and for wide fixed columns
+	// the scanner does not interpret numerically.
+	HasMinMax bool
+	// MinInt/MaxInt bound fixed-width columns interpreted as signed
+	// little-endian integers of the column's width. For 8-byte columns the
+	// float interpretation is tracked in parallel (storage does not know
+	// schema types; the predicate layer picks the interpretation that
+	// matches the column's logical type).
+	MinInt, MaxInt int64
+	// MinFloat/MaxFloat bound 8-byte columns interpreted as float64.
+	// NaN values are excluded (range predicates never match NaN).
+	MinFloat, MaxFloat float64
+	// HasFloat reports whether the float interpretation is populated
+	// (8-byte columns with at least one non-NaN value).
+	HasFloat bool
+	// MinBytes/MaxBytes bound variable-length columns lexicographically.
+	// Both are full copies owned by the zone map.
+	MinBytes, MaxBytes []byte
+}
+
+// AllNull reports whether the column held no non-null values at freeze
+// time — every predicate on it can prune the block (NULL never matches).
+func (cs *ColumnStats) AllNull(rows int) bool { return cs.NullCount == rows }

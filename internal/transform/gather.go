@@ -78,6 +78,10 @@ func GatherBlock(block *storage.Block, mode Mode) error {
 		block.WriteFrozenValidity(col, rows)
 	}
 	block.SetFrozenMeta(rows, frozen, nullCounts)
+	// Freeze-time statistics must be published before the state flips so a
+	// scan that observes Frozen can trust any zone map it then loads (see
+	// storage.ZoneMap).
+	block.SetZoneMap(buildZoneMap(block, rows, nullCounts))
 	// The pre-gather arena is unreachable once entries are rewritten; the
 	// engine defers actual reclamation through the GC's action queue (the
 	// caller registers it), and under Go the runtime frees the memory when

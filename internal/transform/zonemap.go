@@ -1,0 +1,110 @@
+package transform
+
+import (
+	"bytes"
+
+	"mainline/internal/storage"
+)
+
+// buildZoneMap computes freeze-time per-column statistics for a block the
+// gather phase has just put into canonical Arrow form: min/max under every
+// interpretation the predicate layer might ask for (signed integer by
+// width, float64 for 8-byte columns, lexicographic bytes for varlen) plus
+// null counts. It runs once per freeze inside the gather critical section,
+// so the one extra column pass is amortized over every scan that prunes
+// the block afterwards.
+func buildZoneMap(block *storage.Block, rows int, nullCounts []int) *storage.ZoneMap {
+	layout := block.Layout
+	zm := &storage.ZoneMap{Rows: rows, Cols: make([]storage.ColumnStats, layout.NumColumns())}
+	for c := 0; c < layout.NumColumns(); c++ {
+		col := storage.ColumnID(c)
+		cs := &zm.Cols[c]
+		cs.NullCount = nullCounts[c]
+		if cs.NullCount == rows {
+			continue // all-null: no min/max, prunes every predicate
+		}
+		switch {
+		case layout.IsVarlen(col):
+			buildVarlenStats(block, col, rows, cs)
+		case layout.AttrSize(col) <= 8:
+			buildFixedStats(block, col, rows, cs)
+		default:
+			// Wide fixed columns (row-store experiments) are opaque blobs;
+			// no numeric interpretation, no stats.
+		}
+	}
+	return zm
+}
+
+func buildFixedStats(block *storage.Block, col storage.ColumnID, rows int, cs *storage.ColumnStats) {
+	view := block.FrozenFixedView(col)
+	for s := 0; s < rows; s++ {
+		if !block.IsValid(col, uint32(s)) {
+			continue
+		}
+		v := view.IntAt(s)
+		if !cs.HasMinMax {
+			cs.HasMinMax = true
+			cs.MinInt, cs.MaxInt = v, v
+		} else {
+			if v < cs.MinInt {
+				cs.MinInt = v
+			}
+			if v > cs.MaxInt {
+				cs.MaxInt = v
+			}
+		}
+		if view.Width == 8 {
+			// Track the float interpretation in parallel: storage does not
+			// know whether the schema calls this column INT64 or FLOAT64.
+			f := view.Float64At(s)
+			if f == f { // skip NaN — range predicates never match it
+				if !cs.HasFloat {
+					cs.HasFloat = true
+					cs.MinFloat, cs.MaxFloat = f, f
+				} else {
+					if f < cs.MinFloat {
+						cs.MinFloat = f
+					}
+					if f > cs.MaxFloat {
+						cs.MaxFloat = f
+					}
+				}
+			}
+		}
+	}
+}
+
+func buildVarlenStats(block *storage.Block, col storage.ColumnID, rows int, cs *storage.ColumnStats) {
+	// Dictionary-compressed columns are already sorted: the extrema are the
+	// first and last entries (the dictionary holds exactly the values
+	// present at freeze time).
+	if d := block.FrozenDictCol(col); d != nil && d.NumEntries > 0 {
+		cs.HasMinMax = true
+		cs.MinBytes = append([]byte(nil), d.Value(0)...)
+		cs.MaxBytes = append([]byte(nil), d.Value(d.NumEntries-1)...)
+		return
+	}
+	var minV, maxV []byte
+	for s := 0; s < rows; s++ {
+		if !block.IsValid(col, uint32(s)) {
+			continue
+		}
+		v := block.ReadVarlen(col, uint32(s))
+		if !cs.HasMinMax {
+			cs.HasMinMax = true
+			minV, maxV = v, v
+			continue
+		}
+		if bytes.Compare(v, minV) < 0 {
+			minV = v
+		}
+		if bytes.Compare(v, maxV) > 0 {
+			maxV = v
+		}
+	}
+	if cs.HasMinMax {
+		cs.MinBytes = append([]byte(nil), minV...)
+		cs.MaxBytes = append([]byte(nil), maxV...)
+	}
+}

@@ -39,6 +39,7 @@ import (
 
 	"mainline/internal/arrow"
 	"mainline/internal/catalog"
+	"mainline/internal/core"
 	"mainline/internal/gc"
 	"mainline/internal/index"
 	"mainline/internal/storage"
@@ -69,6 +70,9 @@ type (
 	KeyBuilder = index.KeyBuilder
 	// TransformStats counts transformation pipeline work.
 	TransformStats = transform.Stats
+	// ScanStats counts scan-path work (frozen vs versioned blocks, zone-map
+	// pruning, tuples emitted).
+	ScanStats = core.ScanStats
 )
 
 // Re-exported column types.
@@ -351,7 +355,11 @@ func (e *Engine) BlockStates(table string) (counts [4]int) {
 		return
 	}
 	for _, b := range t.Blocks() {
-		counts[b.State()]++
+		s := b.State()
+		if s == storage.StateThawing {
+			s = storage.StateHot // transient drain on the way to hot
+		}
+		counts[s]++
 	}
 	return
 }
