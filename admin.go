@@ -1,6 +1,8 @@
 package mainline
 
 import (
+	"time"
+
 	"mainline/internal/catalog"
 	"mainline/internal/txn"
 )
@@ -25,6 +27,39 @@ type Stats struct {
 	// Recovery reports what Open's data-directory bootstrap did
 	// (zero-valued when the engine started empty).
 	Recovery RecoveryStats
+	// Index aggregates engine-managed index activity across all tables.
+	Index IndexStats
+}
+
+// IndexStats aggregates engine-managed index activity: tree sizes, read
+// traffic, how much MVCC re-verification the reads performed, and what the
+// last recovery's rebuild cost.
+type IndexStats struct {
+	// Indexes is the number of registered indexes; Entries sums their live
+	// (key, slot) pairs, stale entries awaiting deferred removal included.
+	Indexes int
+	Entries int64
+	// Lookups counts point reads (GetBy); RangeScans counts RangeBy /
+	// PrefixBy scans.
+	Lookups    int64
+	RangeScans int64
+	// SlotsReverified counts candidate slots re-checked through the
+	// version chain; StaleFiltered counts the candidates that check
+	// rejected (entry pointing at a version the reader cannot see, or at a
+	// re-keyed tuple). A high stale ratio means the GC is lagging the
+	// delete rate.
+	SlotsReverified int64
+	StaleFiltered   int64
+	// EntriesPublished counts insertions published at commit;
+	// EntriesRetired counts deferred removals that have physically run.
+	EntriesPublished int64
+	EntriesRetired   int64
+	// RebuildIndexes / RebuildEntries / RebuildDuration describe the index
+	// rebuild the last data-directory recovery performed (zero when the
+	// engine started fresh).
+	RebuildIndexes  int
+	RebuildEntries  int64
+	RebuildDuration time.Duration
 }
 
 // WALStats counts write-ahead log activity.
@@ -96,6 +131,13 @@ type RecoveryStats struct {
 	// ReanchorSeq is the checkpoint the bootstrap installed afterwards to
 	// re-anchor the slot space (0 when the directory was fresh).
 	ReanchorSeq uint64
+	// IndexesRebuilt / IndexEntriesRebuilt / IndexRebuildDuration describe
+	// the engine-managed index rebuild: every index declared in the
+	// persisted catalog is re-created and backfilled from the recovered
+	// tables after checkpoint restore + WAL tail replay.
+	IndexesRebuilt       int
+	IndexEntriesRebuilt  int64
+	IndexRebuildDuration time.Duration
 }
 
 // Stats snapshots the engine's counters.
@@ -107,7 +149,21 @@ func (e *Engine) Stats() Stats {
 	}
 	for _, t := range e.cat.Tables() {
 		s.Scan.Add(t.ScanStatsSnapshot())
+		for _, ti := range t.Indexes() {
+			c := ti.Counters()
+			s.Index.Indexes++
+			s.Index.Entries += c.Entries
+			s.Index.Lookups += c.Lookups
+			s.Index.RangeScans += c.RangeScans
+			s.Index.SlotsReverified += c.SlotsReverified
+			s.Index.StaleFiltered += c.StaleFiltered
+			s.Index.EntriesPublished += c.EntriesPublished
+			s.Index.EntriesRetired += c.EntriesRetired
+		}
 	}
+	s.Index.RebuildIndexes = e.recovery.IndexesRebuilt
+	s.Index.RebuildEntries = e.recovery.IndexEntriesRebuilt
+	s.Index.RebuildDuration = e.recovery.IndexRebuildDuration
 	if e.logMgr != nil {
 		s.WAL.Enabled = true
 		s.WAL.Txns, s.WAL.Bytes, s.WAL.Syncs = e.logMgr.Stats()

@@ -6,12 +6,15 @@
 //
 // Usage:
 //
-//	mainline-bench [flags] fig1|fig10|fig11|fig12|fig13|fig14|fig15|commit|scan|recovery|all
+//	mainline-bench [flags] fig1|fig10|fig11|fig12|fig13|fig14|fig15|commit|scan|index|recovery|all
 //
 // The extra "commit" target (not a paper figure) sweeps the parallel
 // commit pipeline: durable TPC-C throughput versus terminals under WAL
 // group commit. The "scan" target sweeps the vectorized batch-scan engine (rows/sec and
 // allocs/op, tuple vs vectorized, hot vs frozen vs zone-map-pruned).
+// The "index" target sweeps engine-managed indexed reads (point lookups
+// and ordered ranges) against the vectorized Filter and full Scan, and
+// fails unless the indexed point read beats the Filter by >= 10x.
 // The "recovery" target sweeps restart time against WAL
 // length with and without checkpoint anchoring.
 package main
@@ -39,7 +42,7 @@ func main() {
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: mainline-bench [flags] fig1|fig10|fig11|fig12|fig13|fig14|fig15|commit|scan|recovery|all")
+		fmt.Fprintln(os.Stderr, "usage: mainline-bench [flags] fig1|fig10|fig11|fig12|fig13|fig14|fig15|commit|scan|index|recovery|all")
 		os.Exit(2)
 	}
 	s := func(n int) int {
@@ -105,6 +108,12 @@ func main() {
 		cfg := bench.DefaultScanConfig()
 		cfg.PerBlock = s(cfg.PerBlock)
 		return bench.Scan(cfg)
+	})
+	run("index", func() (*benchutil.Table, error) {
+		cfg := bench.DefaultIndexBenchConfig()
+		cfg.Lookups = s(cfg.Lookups)
+		cfg.Ranges = s(cfg.Ranges)
+		return bench.IndexBench(cfg)
 	})
 	run("recovery", func() (*benchutil.Table, error) {
 		cfg := recoverybench.DefaultRecoveryConfig()

@@ -145,7 +145,6 @@ func main() {
 	g.SetObserver(obs)
 	tcfg := transform.DefaultConfig()
 	tcfg.Threshold = *threshold
-	tcfg.OnMove = db.OnTupleMove()
 	var tr *transform.Transformer
 	switch *mode {
 	case "off":

@@ -327,20 +327,62 @@ func TestEngineTransformStatsAndStates(t *testing.T) {
 func TestEngineIndexHelpers(t *testing.T) {
 	eng := openEngine(t)
 	tbl, _ := eng.CreateTable("item", itemSchema())
-	idx := NewBTreeIndex()
-	tbl.AddIndex("pk", idx)
+	// Rows inserted BEFORE the index exists are picked up by the backfill.
+	slots := loadItems(t, eng, tbl, 10)
+	idx, err := tbl.CreateIndex("pk", "id")
+	if err != nil {
+		t.Fatal(err)
+	}
 	if tbl.Index("pk") == nil || tbl.Index("missing") != nil {
 		t.Fatal("index registry broken")
 	}
-	slots := loadItems(t, eng, tbl, 10)
-	for i, s := range slots {
-		key := NewKeyBuilder(8).Int64(int64(i)).Clone()
-		idx.Insert(key, s)
+	if got, want := idx.Columns(), []string{"id"}; len(got) != 1 || got[0] != want[0] {
+		t.Fatalf("Columns = %v", got)
 	}
-	key := NewKeyBuilder(8).Int64(7).Clone()
-	got, ok := idx.GetOne(key)
-	if !ok || got != slots[7] {
-		t.Fatal("index lookup failed")
+	if idx.Len() != 10 {
+		t.Fatalf("Len = %d after backfill", idx.Len())
+	}
+	err = eng.View(func(tx *Txn) error {
+		out, err := tbl.NewRowFor("id", "price")
+		if err != nil {
+			return err
+		}
+		slot, ok, err := tx.GetBy(idx, out, 7)
+		if err != nil || !ok || slot != slots[7] {
+			t.Fatalf("GetBy = %v %v %v", slot, ok, err)
+		}
+		if out.Int64("price") != 700 {
+			t.Fatalf("price = %d", out.Int64("price"))
+		}
+		// Wrong arity and wrong type are errors, not silent misses.
+		if _, _, err := tx.GetBy(idx, nil); err == nil {
+			t.Fatal("partial key accepted by GetBy")
+		}
+		if _, _, err := tx.GetBy(idx, nil, "seven"); err == nil {
+			t.Fatal("string key accepted for integer column")
+		}
+		// Range read over [3, 7).
+		var got []int64
+		err = tx.RangeBy(idx, []any{3}, []any{7}, []string{"id"}, func(_ TupleSlot, row *Row) bool {
+			got = append(got, row.Int64("id"))
+			return true
+		})
+		if err != nil || len(got) != 4 || got[0] != 3 || got[3] != 6 {
+			t.Fatalf("RangeBy = %v (%v)", got, err)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
 	}
 	_ = storage.TupleSlot(0)
+}
+
+func TestNewShardedIndexValidation(t *testing.T) {
+	if _, err := NewShardedIndex(4, 0); err != ErrInvalidPrefixLen {
+		t.Fatalf("NewShardedIndex(4, 0) err = %v", err)
+	}
+	if idx, err := NewShardedIndex(4, 8); err != nil || idx == nil {
+		t.Fatalf("NewShardedIndex(4, 8) = %v %v", idx, err)
+	}
 }

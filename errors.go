@@ -4,6 +4,7 @@ import (
 	"errors"
 
 	"mainline/internal/core"
+	"mainline/internal/index"
 )
 
 // The typed error taxonomy of the public API. API misuse (double commit,
@@ -44,4 +45,8 @@ var (
 	// transactions would be lost by a crash before the next checkpoint.
 	// Data directories recover themselves at Open.
 	ErrRecoverDataDir = errors.New("mainline: Recover is not supported with WithDataDir (recovery happens at Open)")
+	// ErrInvalidPrefixLen is returned by NewShardedIndex when prefixLen is
+	// not positive — shard selection hashes the first prefixLen key bytes,
+	// so the length must be at least 1.
+	ErrInvalidPrefixLen = index.ErrInvalidPrefixLen
 )

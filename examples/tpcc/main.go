@@ -45,7 +45,6 @@ func main() {
 	}
 	g.SetObserver(obs)
 	tcfg := transform.DefaultConfig()
-	tcfg.OnMove = db.OnTupleMove()
 	tr := transform.New(mgr, g, obs, tcfg)
 	g.Start(10 * time.Millisecond)
 	tr.Start(10 * time.Millisecond)

@@ -1,0 +1,303 @@
+package mainline
+
+import (
+	"fmt"
+	"runtime"
+
+	"mainline/internal/arrow"
+	"mainline/internal/catalog"
+	"mainline/internal/core"
+	"mainline/internal/storage"
+)
+
+// IndexHandle names an engine-managed secondary index on a table. The
+// engine maintains the index inside the transaction protocol: writes
+// buffer index deltas in the transaction's write set, commits publish them
+// under the commit latch, aborts discard them, and deleted entries leave
+// the tree only after every snapshot that could need them has finished.
+// Reads through GetBy / RangeBy / PrefixBy re-verify every candidate
+// against the MVCC version chain, so a stale entry can never surface a
+// tuple the transaction is not entitled to see.
+//
+// Obtain handles from Table.CreateIndex / Table.CreateShardedIndex /
+// Table.Index. Handles are safe for concurrent use.
+type IndexHandle struct {
+	t  *Table
+	ti *core.TableIndex
+}
+
+// Name returns the index's registered name.
+func (h *IndexHandle) Name() string { return h.ti.Name() }
+
+// Columns returns the schema column names forming the key, in key order.
+func (h *IndexHandle) Columns() []string {
+	ids := h.ti.KeyColumns()
+	out := make([]string, len(ids))
+	for i, id := range ids {
+		out[i] = h.t.Schema.Fields[int(id)].Name
+	}
+	return out
+}
+
+// Len returns the number of live entries (stale entries awaiting deferred
+// removal included).
+func (h *IndexHandle) Len() int { return h.ti.Len() }
+
+// CreateIndex declares an engine-managed index named name over the given
+// schema columns (key order), registers it in the catalog — persisted to
+// catalog.json and rebuilt at recovery when the engine has a data
+// directory — and backfills it from the rows already visible. From this
+// call on, the engine maintains the index transactionally; rows with a
+// NULL key column are not indexed.
+func (t *Table) CreateIndex(name string, cols ...string) (*IndexHandle, error) {
+	return t.createIndex(catalog.IndexSpec{Name: name, Columns: cols})
+}
+
+// CreateShardedIndex is CreateIndex with the tree hash-partitioned across
+// shards lock domains by the key's leading column — the shape for
+// workloads whose keys open with a partition column (one shard count per
+// expected concurrent writer is a good default). Range reads that fix the
+// leading column stay within one shard.
+func (t *Table) CreateShardedIndex(name string, shards int, cols ...string) (*IndexHandle, error) {
+	return t.createIndex(catalog.IndexSpec{Name: name, Columns: cols, Shards: shards})
+}
+
+func (t *Table) createIndex(spec catalog.IndexSpec) (*IndexHandle, error) {
+	e := t.eng
+	if e.closed.Load() {
+		return nil, ErrEngineClosed
+	}
+	// Data-directory mode: registration and catalog.json install are one
+	// serialized step, as in CreateTable — recovery must know every index
+	// it may be asked to rebuild.
+	if e.opts.DataDir != "" {
+		e.catSaveMu.Lock()
+		defer e.catSaveMu.Unlock()
+	}
+	ti, err := t.Table.CreateIndex(spec)
+	if err != nil {
+		return nil, err
+	}
+	rollback := func() {
+		t.Table.DropIndex(spec.Name)
+		if e.opts.DataDir != "" {
+			// Best-effort: the spec must not survive in catalog.json when
+			// the handle was never returned.
+			_ = e.cat.Save(e.catalogPath())
+		}
+	}
+	if e.opts.DataDir != "" {
+		if err := e.cat.Save(e.catalogPath()); err != nil {
+			t.Table.DropIndex(spec.Name)
+			return nil, fmt.Errorf("mainline: persisting catalog: %w", err)
+		}
+	}
+	// Wait out every transaction that began before maintenance attached:
+	// such a writer buffers no index deltas, so the backfill snapshot must
+	// start after it finishes or its rows could be missed by both paths.
+	// (Consequence: do not call CreateIndex while holding an open
+	// transaction on the same goroutine.) Writers beginning after the
+	// attach maintain the index themselves; the backfill deduplicates the
+	// overlap.
+	attachTs := e.mgr.Timestamp()
+	for e.mgr.OldestActiveTs() <= attachTs {
+		runtime.Gosched()
+	}
+	tx := e.mgr.Begin()
+	_, err = ti.Backfill(tx)
+	e.mgr.Commit(tx, nil)
+	if err != nil {
+		// A partial entry set cannot be served — verification filters wrong
+		// entries but cannot restore missing ones.
+		rollback()
+		return nil, fmt.Errorf("mainline: backfilling index %s.%s: %w", t.Name, spec.Name, err)
+	}
+	return &IndexHandle{t: t, ti: ti}, nil
+}
+
+// Index returns the named engine-managed index, or nil when the table has
+// no index of that name.
+func (t *Table) Index(name string) *IndexHandle {
+	ti := t.Table.Index(name)
+	if ti == nil {
+		return nil
+	}
+	return &IndexHandle{t: t, ti: ti}
+}
+
+// appendKeyVal encodes one key component, schema-typed: integer values
+// (any signed Go integer, range-checked) for fixed-width columns, float64
+// for FLOAT64 columns, string/[]byte for varlen columns.
+func (h *IndexHandle) appendKeyVal(kb *KeyBuilder, col ColumnID, name string, v any) error {
+	layout := h.t.Layout()
+	if layout.IsVarlen(col) {
+		switch x := v.(type) {
+		case string:
+			kb.String(x)
+		case []byte:
+			kb.RawBytes(x)
+		default:
+			return fmt.Errorf("mainline: index %s: key column %q is variable-length, cannot use %T", h.Name(), name, v)
+		}
+		return nil
+	}
+	if h.t.Schema.Fields[int(col)].Type == arrow.FLOAT64 {
+		switch x := v.(type) {
+		case float64:
+			kb.Float64(x)
+		case float32:
+			kb.Float64(float64(x))
+		case int:
+			kb.Float64(float64(x))
+		case int64:
+			kb.Float64(float64(x))
+		default:
+			return fmt.Errorf("mainline: index %s: key column %q is FLOAT64, cannot use %T", h.Name(), name, v)
+		}
+		return nil
+	}
+	var n int64
+	switch x := v.(type) {
+	case int:
+		n = int64(x)
+	case int8:
+		n = int64(x)
+	case int16:
+		n = int64(x)
+	case int32:
+		n = int64(x)
+	case int64:
+		n = x
+	default:
+		return fmt.Errorf("mainline: index %s: key column %q is an integer column, cannot use %T", h.Name(), name, v)
+	}
+	switch width := layout.AttrSize(col); width {
+	case 8:
+		kb.Int64(n)
+	case 4:
+		if n < -1<<31 || n > 1<<31-1 {
+			return fmt.Errorf("mainline: index %s: value %d overflows 4-byte key column %q", h.Name(), n, name)
+		}
+		kb.Int32(int32(n))
+	case 2:
+		if n < -1<<15 || n > 1<<15-1 {
+			return fmt.Errorf("mainline: index %s: value %d overflows 2-byte key column %q", h.Name(), n, name)
+		}
+		kb.Int16(int16(n))
+	default:
+		if n < -1<<7 || n > 1<<7-1 {
+			return fmt.Errorf("mainline: index %s: value %d overflows 1-byte key column %q", h.Name(), n, name)
+		}
+		kb.Int8(int8(n))
+	}
+	return nil
+}
+
+// encodeKey builds the memcomparable key for vals. requireFull demands one
+// value per key column (point lookups); otherwise a prefix of the key
+// columns is accepted (range and prefix scans).
+func (h *IndexHandle) encodeKey(vals []any, requireFull bool) ([]byte, error) {
+	ids := h.ti.KeyColumns()
+	if len(vals) > len(ids) {
+		return nil, fmt.Errorf("mainline: index %s has %d key columns, got %d values", h.Name(), len(ids), len(vals))
+	}
+	if requireFull && len(vals) != len(ids) {
+		return nil, fmt.Errorf("mainline: index %s point lookup needs all %d key columns, got %d values", h.Name(), len(ids), len(vals))
+	}
+	kb := NewKeyBuilder(8 * len(vals))
+	for i, v := range vals {
+		name := h.t.Schema.Fields[int(ids[i])].Name
+		if err := h.appendKeyVal(kb, ids[i], name, v); err != nil {
+			return nil, err
+		}
+	}
+	return kb.Bytes(), nil
+}
+
+// GetBy returns the slot of the tuple matching the full index key that is
+// visible to the transaction, materializing it into out when out is
+// non-nil (obtain out from Table.NewRow / Table.NewRowFor). Key values are
+// schema-typed, one per key column. The read sees the transaction's own
+// uncommitted writes; stale index entries are filtered by re-verifying
+// against the version chain, never surfaced.
+func (tx *Txn) GetBy(idx *IndexHandle, out *Row, key ...any) (TupleSlot, bool, error) {
+	if err := tx.usable(); err != nil {
+		return 0, false, err
+	}
+	k, err := idx.encodeKey(key, true)
+	if err != nil {
+		return 0, false, err
+	}
+	var pr *storage.ProjectedRow
+	if out != nil {
+		pr = out.ProjectedRow
+	}
+	slot, ok := idx.ti.GetVisible(tx.raw, k, pr)
+	return slot, ok, nil
+}
+
+// rangeRow prepares the materialization row for a range read over the
+// named columns (all columns when cols is nil).
+func (tx *Txn) rangeRow(idx *IndexHandle, cols []string) (*Row, error) {
+	proj := idx.t.AllColumnsProjection()
+	if len(cols) > 0 {
+		var err error
+		proj, err = idx.t.Table.ProjectionOf(cols...)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return &Row{ProjectedRow: proj.NewRow(), schema: idx.t.Schema}, nil
+}
+
+// RangeBy visits, in key order, every tuple visible to the transaction
+// whose index key lies in [lo, hi) — lo and hi are schema-typed value
+// tuples over a prefix of the key columns; hi nil means unbounded. The
+// named columns (all when cols is nil) are materialized into a reused row;
+// fn must not retain it, and returning false stops the scan. Like GetBy,
+// every candidate is re-verified against the version chain, and the
+// transaction's own uncommitted inserts are merged in key order.
+func (tx *Txn) RangeBy(idx *IndexHandle, lo, hi []any, cols []string, fn func(slot TupleSlot, row *Row) bool) error {
+	if err := tx.usable(); err != nil {
+		return err
+	}
+	loKey, err := idx.encodeKey(lo, false)
+	if err != nil {
+		return err
+	}
+	var hiKey []byte
+	if len(hi) > 0 {
+		if hiKey, err = idx.encodeKey(hi, false); err != nil {
+			return err
+		}
+	}
+	row, err := tx.rangeRow(idx, cols)
+	if err != nil {
+		return err
+	}
+	idx.ti.Ascend(tx.raw, loKey, hiKey, row.ProjectedRow, func(slot storage.TupleSlot, _ *storage.ProjectedRow) bool {
+		return fn(slot, row)
+	})
+	return nil
+}
+
+// PrefixBy visits, in key order, every visible tuple whose index key
+// starts with the given schema-typed prefix (a leading subset of the key
+// columns), with RangeBy's materialization and verification semantics.
+func (tx *Txn) PrefixBy(idx *IndexHandle, prefix []any, cols []string, fn func(slot TupleSlot, row *Row) bool) error {
+	if err := tx.usable(); err != nil {
+		return err
+	}
+	p, err := idx.encodeKey(prefix, false)
+	if err != nil {
+		return err
+	}
+	row, err := tx.rangeRow(idx, cols)
+	if err != nil {
+		return err
+	}
+	idx.ti.AscendPrefix(tx.raw, p, row.ProjectedRow, func(slot storage.TupleSlot, _ *storage.ProjectedRow) bool {
+		return fn(slot, row)
+	})
+	return nil
+}

@@ -86,9 +86,9 @@ func runFig10Point(cfg Fig10Config, workers int, mode transform.Mode, transformO
 	g.SetObserver(obs)
 	tcfg := transform.DefaultConfig()
 	tcfg.Mode = mode
-	// Tuple movements must maintain the indexes (the paper's write
-	// amplification); without this, relocated tuples leave stale entries.
-	tcfg.OnMove = db.OnTupleMove()
+	// Tuple movements maintain the indexes through the engine itself:
+	// compaction's delete + insert-into-slot pairs buffer index deltas
+	// like any other transaction (the paper's write amplification).
 	tr := transform.New(mgr, g, obs, tcfg)
 
 	// Background threads as in the paper: one GC and (optionally) one

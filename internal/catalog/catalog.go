@@ -16,13 +16,38 @@ import (
 	"mainline/internal/storage"
 )
 
-// Table couples a DataTable with its logical Arrow schema and any indexes.
+// IndexSpec declares an engine-managed index: the registered name, the
+// schema columns forming the key (in key order), and the sharding shape.
+// The spec — not the tree — is what the catalog persists; recovery
+// re-creates the tree and rebuilds its entries from table data.
+type IndexSpec struct {
+	// Name is the index's registered name, unique per table.
+	Name string
+	// Columns are schema column names in key order.
+	Columns []string
+	// Shards spreads the tree across hash-sharded lock domains; 0 or 1
+	// keeps a single B+tree.
+	Shards int
+	// PrefixLen is the number of leading key bytes hashed to pick a shard
+	// (sharded form only). 0 derives the width of the first fixed-width
+	// key column (4 when the first column is variable-length).
+	PrefixLen int
+}
+
+// Table couples a DataTable with its logical Arrow schema and any
+// engine-managed indexes.
 type Table struct {
 	*core.DataTable
 	Schema *arrow.Schema
 
 	mu      sync.RWMutex
-	indexes map[string]index.Index
+	indexes map[string]*core.TableIndex
+	specs   []IndexSpec
+
+	// restoredSpecs holds index declarations loaded from a persisted
+	// catalog but not yet built — recovery attaches and rebuilds them
+	// after checkpoint restore + WAL replay (see Catalog.Load).
+	restoredSpecs []IndexSpec
 
 	// projCache memoizes ProjectionOf results keyed by the column-name
 	// tuple, so repeated scans and row constructions stop rebuilding (and
@@ -30,18 +55,126 @@ type Table struct {
 	projCache sync.Map // string -> *storage.Projection
 }
 
-// AddIndex attaches a named index; the caller maintains it on writes.
-func (t *Table) AddIndex(name string, idx index.Index) {
+// CreateIndex registers an engine-managed index per spec and attaches it
+// to the table's write path: subsequent inserts, updates, and deletes
+// maintain it transactionally. The tree starts empty — call
+// core.TableIndex.Backfill when the table already holds rows.
+func (t *Table) CreateIndex(spec IndexSpec) (*core.TableIndex, error) {
+	if spec.Name == "" {
+		return nil, fmt.Errorf("catalog: index on %s needs a name", t.Name)
+	}
+	if len(spec.Columns) == 0 {
+		return nil, fmt.Errorf("catalog: index %s.%s needs at least one column", t.Name, spec.Name)
+	}
+	cols := make([]core.KeyCol, len(spec.Columns))
+	for i, name := range spec.Columns {
+		f := t.Schema.FieldIndex(name)
+		if f < 0 {
+			return nil, fmt.Errorf("catalog: index %s.%s: no column %q", t.Name, spec.Name, name)
+		}
+		col := storage.ColumnID(f)
+		kc := core.KeyCol{Col: col}
+		switch {
+		case t.Schema.Fields[f].Type == arrow.FLOAT64:
+			kc.Kind = core.KeyFloat
+		case t.Layout().IsVarlen(col):
+			kc.Kind = core.KeyBytes
+		default:
+			kc.Kind = core.KeyInt
+			kc.Width = int(t.Layout().AttrSize(col))
+		}
+		cols[i] = kc
+	}
+	var tree index.Index
+	if spec.Shards > 1 {
+		prefixLen := spec.PrefixLen
+		if prefixLen <= 0 {
+			if cols[0].Kind == core.KeyInt {
+				prefixLen = cols[0].Width
+			} else {
+				prefixLen = 4
+			}
+		}
+		spec.PrefixLen = prefixLen
+		sharded, err := index.NewSharded(spec.Shards, prefixLen)
+		if err != nil {
+			return nil, fmt.Errorf("catalog: index %s.%s: %w", t.Name, spec.Name, err)
+		}
+		tree = sharded
+	} else {
+		tree = index.NewBTree()
+	}
+	ti, err := core.NewTableIndex(t.DataTable, spec.Name, cols, tree)
+	if err != nil {
+		return nil, err
+	}
 	t.mu.Lock()
-	defer t.mu.Unlock()
-	t.indexes[name] = idx
+	if _, exists := t.indexes[spec.Name]; exists {
+		t.mu.Unlock()
+		return nil, fmt.Errorf("catalog: index %s.%s exists", t.Name, spec.Name)
+	}
+	t.indexes[spec.Name] = ti
+	t.specs = append(t.specs, spec)
+	t.mu.Unlock()
+	t.DataTable.AttachIndex(ti)
+	return ti, nil
 }
 
-// Index returns a named index or nil.
-func (t *Table) Index(name string) index.Index {
+// DropIndex unregisters a named index and detaches it from the write
+// path. The engine uses it to roll back a CreateIndex whose catalog
+// persistence failed; there is no transactional DROP INDEX.
+func (t *Table) DropIndex(name string) {
+	t.mu.Lock()
+	ti := t.indexes[name]
+	if ti != nil {
+		delete(t.indexes, name)
+		for i, s := range t.specs {
+			if s.Name == name {
+				t.specs = append(t.specs[:i], t.specs[i+1:]...)
+				break
+			}
+		}
+	}
+	t.mu.Unlock()
+	if ti != nil {
+		t.DataTable.DetachIndex(ti)
+	}
+}
+
+// TakeRestoredIndexSpecs returns index declarations loaded from a
+// persisted catalog and clears them — recovery consumes each exactly once
+// via CreateIndex + Backfill.
+func (t *Table) TakeRestoredIndexSpecs() []IndexSpec {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	specs := t.restoredSpecs
+	t.restoredSpecs = nil
+	return specs
+}
+
+// Index returns a named engine-managed index or nil.
+func (t *Table) Index(name string) *core.TableIndex {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
 	return t.indexes[name]
+}
+
+// Indexes snapshots the table's engine-managed indexes.
+func (t *Table) Indexes() []*core.TableIndex {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	out := make([]*core.TableIndex, 0, len(t.indexes))
+	for _, ti := range t.indexes {
+		out = append(out, ti)
+	}
+	return out
+}
+
+// IndexSpecs snapshots the declared index specs (persistence order).
+func (t *Table) IndexSpecs() []IndexSpec {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return append([]IndexSpec(nil), t.specs...)
 }
 
 // ColumnIndex resolves a schema column name to its layout column ID
@@ -123,7 +256,7 @@ func (c *Catalog) CreateTable(name string, schema *arrow.Schema) (*Table, error)
 	t := &Table{
 		DataTable: core.NewDataTable(c.reg, layout, id, name),
 		Schema:    schema,
-		indexes:   make(map[string]index.Index),
+		indexes:   make(map[string]*core.TableIndex),
 	}
 	c.byName[name] = t
 	c.byID[id] = t

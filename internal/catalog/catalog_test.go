@@ -68,13 +68,50 @@ func TestCatalogRegistry(t *testing.T) {
 }
 
 func TestTableIndexes(t *testing.T) {
-	_, cat := testCatalog(t)
+	mgr, cat := testCatalog(t)
 	tbl, _ := cat.CreateTable("t", sampleSchema())
-	idx := index.NewBTree()
-	tbl.AddIndex("pk", idx)
-	if tbl.Index("pk") == nil || tbl.Index("nope") != nil {
+	idx, err := tbl.CreateIndex(IndexSpec{Name: "pk", Columns: []string{"id"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Index("pk") != idx || tbl.Index("nope") != nil {
 		t.Fatal("index registry broken")
 	}
+	if _, err := tbl.CreateIndex(IndexSpec{Name: "pk", Columns: []string{"id"}}); err == nil {
+		t.Fatal("duplicate index accepted")
+	}
+	if _, err := tbl.CreateIndex(IndexSpec{Name: "bad", Columns: []string{"ghost"}}); err == nil {
+		t.Fatal("unknown column accepted")
+	}
+	if _, err := tbl.CreateIndex(IndexSpec{Name: "empty"}); err == nil {
+		t.Fatal("empty column list accepted")
+	}
+	if len(tbl.Indexes()) != 1 || len(tbl.IndexSpecs()) != 1 {
+		t.Fatal("index snapshots wrong")
+	}
+
+	// Engine-managed maintenance: inserts appear after commit, keyed reads
+	// verify visibility through the version chain.
+	loadRows(t, mgr, tbl, 10)
+	if idx.Len() != 10 {
+		t.Fatalf("entries after load = %d, want 10", idx.Len())
+	}
+	// Backfill over already-indexed rows deduplicates.
+	btx := mgr.Begin()
+	if _, err := idx.Backfill(btx); err != nil {
+		t.Fatal(err)
+	}
+	mgr.Commit(btx, nil)
+	if idx.Len() != 10 {
+		t.Fatalf("entries after backfill = %d, want 10", idx.Len())
+	}
+	tx := mgr.Begin()
+	key := index.NewKeyBuilder(8).Int64(7).Bytes()
+	slot, ok := idx.GetVisible(tx, key, nil)
+	if !ok || !slot.Valid() {
+		t.Fatal("indexed point read missed a committed row")
+	}
+	mgr.Commit(tx, nil)
 }
 
 func loadRows(t *testing.T, mgr *txn.Manager, tbl *Table, n int) {

@@ -9,7 +9,6 @@ import (
 	"mainline/internal/arrow"
 	"mainline/internal/core"
 	"mainline/internal/fsutil"
-	"mainline/internal/index"
 )
 
 // CatalogFormatVersion versions the persisted catalog encoding.
@@ -22,11 +21,21 @@ type persistedField struct {
 	Nullable bool   `json:"nullable,omitempty"`
 }
 
+// persistedIndex is one engine-managed index declaration on disk. Only
+// the spec is stored; entries are rebuilt from table data at recovery.
+type persistedIndex struct {
+	Name      string   `json:"name"`
+	Columns   []string `json:"columns"`
+	Shards    int      `json:"shards,omitempty"`
+	PrefixLen int      `json:"prefix_len,omitempty"`
+}
+
 // persistedTable is one table definition on disk.
 type persistedTable struct {
-	ID     uint32           `json:"id"`
-	Name   string           `json:"name"`
-	Fields []persistedField `json:"fields"`
+	ID      uint32           `json:"id"`
+	Name    string           `json:"name"`
+	Fields  []persistedField `json:"fields"`
+	Indexes []persistedIndex `json:"indexes,omitempty"`
 }
 
 // persistedCatalog is the on-disk schema catalog (catalog.json in a data
@@ -48,6 +57,12 @@ func (c *Catalog) Save(path string) error {
 		pt := persistedTable{ID: id, Name: t.Name}
 		for _, f := range t.Schema.Fields {
 			pt.Fields = append(pt.Fields, persistedField{Name: f.Name, Type: uint8(f.Type), Nullable: f.Nullable})
+		}
+		for _, spec := range t.IndexSpecs() {
+			pt.Indexes = append(pt.Indexes, persistedIndex{
+				Name: spec.Name, Columns: spec.Columns,
+				Shards: spec.Shards, PrefixLen: spec.PrefixLen,
+			})
 		}
 		pc.Tables = append(pc.Tables, pt)
 	}
@@ -92,6 +107,16 @@ func (c *Catalog) Load(path string) ([]*Table, error) {
 		if err != nil {
 			return nil, err
 		}
+		// Index declarations are recorded but NOT built here: recovery
+		// first restores checkpoint blocks and replays the WAL tail
+		// (both cheaper without maintenance), then creates and backfills
+		// each declared index in one pass over the final visible state.
+		for _, pi := range pt.Indexes {
+			t.restoredSpecs = append(t.restoredSpecs, IndexSpec{
+				Name: pi.Name, Columns: pi.Columns,
+				Shards: pi.Shards, PrefixLen: pi.PrefixLen,
+			})
+		}
 		tables = append(tables, t)
 	}
 	return tables, nil
@@ -116,7 +141,7 @@ func (c *Catalog) RestoreTable(name string, schema *arrow.Schema, id uint32) (*T
 	t := &Table{
 		DataTable: core.NewDataTable(c.reg, layout, id, name),
 		Schema:    schema,
-		indexes:   make(map[string]index.Index),
+		indexes:   make(map[string]*core.TableIndex),
 	}
 	c.byName[name] = t
 	c.byID[id] = t

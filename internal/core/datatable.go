@@ -9,6 +9,7 @@ package core
 import (
 	"errors"
 	"sync"
+	"sync/atomic"
 
 	"mainline/internal/storage"
 	"mainline/internal/txn"
@@ -50,6 +51,10 @@ type DataTable struct {
 
 	// scanStats counts scan work (see ScanStats).
 	scanStats scanCounters
+	// indexes holds the attached engine-managed indexes (copy-on-write:
+	// the write path loads the slice once per operation, attachment
+	// replaces it under mu).
+	indexes atomic.Pointer[[]*TableIndex]
 	// scratchPools holds per-projection pools of hot-block staging areas
 	// (see getScratch); scanProjCache memoizes predicate-extended
 	// projections (see scanProjFor).
@@ -151,6 +156,7 @@ func (t *DataTable) Insert(tx *txn.Transaction, row *storage.ProjectedRow) (stor
 	t.writeRow(block, offset, row)
 	block.SetAllocated(offset, true)
 	tx.LogRedo(t.ID, slot, storage.KindInsert, row.Clone())
+	t.bufferIndexInserts(tx, row, slot)
 	return slot, nil
 }
 
@@ -180,6 +186,7 @@ func (t *DataTable) InsertIntoSlot(tx *txn.Transaction, slot storage.TupleSlot, 
 		block.SetInsertHead(offset + 1)
 	}
 	tx.LogRedo(t.ID, slot, storage.KindInsert, row.Clone())
+	t.bufferIndexInserts(tx, row, slot)
 	return nil
 }
 
@@ -251,12 +258,16 @@ func (t *DataTable) Update(tx *txn.Transaction, slot storage.TupleSlot, update *
 	// are heap copies (nil arena).
 	delta := update.P.NewRow()
 	t.readInPlace(block, offset, delta, nil)
+	// Pre-image index keys must also be read before the in-place writes
+	// land; they are buffered only if the CAS below wins.
+	idxChanges := t.computeIndexUpdates(block, offset, update)
 
 	rec := tx.NewUndoRecord(storage.KindUpdate, slot, delta)
 	rec.SetNext(head)
 	if !block.CASVersionPtr(offset, head, rec) {
 		return ErrWriteConflict // another writer raced us
 	}
+	bufferIndexUpdates(tx, idxChanges, slot)
 
 	// In-place update after the record is published: any reader that copies
 	// torn bytes finds this record on the chain and repairs its copy with
@@ -295,11 +306,13 @@ func (t *DataTable) Delete(tx *txn.Transaction, slot storage.TupleSlot) error {
 	if !block.Allocated(offset) {
 		return ErrNotFound
 	}
+	idxChanges := t.computeIndexRemovals(block, offset)
 	rec := tx.NewUndoRecord(storage.KindDelete, slot, nil)
 	rec.SetNext(head)
 	if !block.CASVersionPtr(offset, head, rec) {
 		return ErrWriteConflict
 	}
+	bufferIndexRemovals(tx, idxChanges, slot)
 	block.SetAllocated(offset, false)
 	tx.LogRedo(t.ID, slot, storage.KindDelete, nil)
 	return nil

@@ -74,9 +74,13 @@ type GarbageCollector struct {
 	totalDeallocated atomic.Int64
 }
 
-// New creates a collector for the manager.
+// New creates a collector for the manager and installs it as the manager's
+// index deferrer, so committed index-entry removals wait out every snapshot
+// active at commit time before the entries physically leave the trees.
 func New(mgr *txn.Manager) *GarbageCollector {
-	return &GarbageCollector{mgr: mgr, reg: mgr.Registry()}
+	g := &GarbageCollector{mgr: mgr, reg: mgr.Registry()}
+	mgr.SetIndexDeferrer(g)
+	return g
 }
 
 // SetObserver registers the access observer (nil disables observation).

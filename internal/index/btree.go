@@ -75,15 +75,30 @@ func (t *BTree) findLeaf(key []byte, path *[]*innerNode) *leafNode {
 
 // Insert adds (key, slot). Duplicate (key, slot) pairs are ignored.
 func (t *BTree) Insert(key []byte, slot storage.TupleSlot) {
+	t.insert(key, slot, true)
+}
+
+// InsertMulti adds (key, slot) WITHOUT pair deduplication: an identical
+// pair may be stored more than once, and each Delete removes exactly one
+// instance. This is the commit-path primitive — every published entry is
+// cancelled by exactly one deferred removal, so a re-published pair whose
+// earlier incarnation still has a removal in flight survives it.
+func (t *BTree) InsertMulti(key []byte, slot storage.TupleSlot) {
+	t.insert(key, slot, false)
+}
+
+func (t *BTree) insert(key []byte, slot storage.TupleSlot, dedup bool) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	var path []*innerNode
 	leaf := t.findLeaf(key, &path)
 	idx := sort.Search(len(leaf.keys), func(i int) bool { return bytes.Compare(leaf.keys[i], key) >= 0 })
 	if idx < len(leaf.keys) && bytes.Equal(leaf.keys[idx], key) {
-		for _, v := range leaf.vals[idx] {
-			if v == slot {
-				return
+		if dedup {
+			for _, v := range leaf.vals[idx] {
+				if v == slot {
+					return
+				}
 			}
 		}
 		leaf.vals[idx] = append(leaf.vals[idx], slot)
@@ -171,26 +186,32 @@ func (t *BTree) splitInner(in *innerNode, path []*innerNode) {
 	t.insertIntoParent(in, sep, right, path)
 }
 
-// Get returns the slots stored under key (nil if absent). The returned
-// slice must not be mutated.
-func (t *BTree) Get(key []byte) []storage.TupleSlot {
+// Get appends the slots stored under key to out and returns the extended
+// slice (out unchanged if the key is absent). The matches are copied while
+// the tree latch is held, so the result stays valid — and race-free —
+// under concurrent writers; pass a reusable scratch slice to avoid
+// allocation on hot paths.
+func (t *BTree) Get(key []byte, out []storage.TupleSlot) []storage.TupleSlot {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
 	leaf := t.findLeaf(key, nil)
 	idx := sort.Search(len(leaf.keys), func(i int) bool { return bytes.Compare(leaf.keys[i], key) >= 0 })
 	if idx < len(leaf.keys) && bytes.Equal(leaf.keys[idx], key) {
-		return leaf.vals[idx]
+		out = append(out, leaf.vals[idx]...)
 	}
-	return nil
+	return out
 }
 
 // GetOne returns a single slot for key (unique-index read).
 func (t *BTree) GetOne(key []byte) (storage.TupleSlot, bool) {
-	vals := t.Get(key)
-	if len(vals) == 0 {
-		return 0, false
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	leaf := t.findLeaf(key, nil)
+	idx := sort.Search(len(leaf.keys), func(i int) bool { return bytes.Compare(leaf.keys[i], key) >= 0 })
+	if idx < len(leaf.keys) && bytes.Equal(leaf.keys[idx], key) && len(leaf.vals[idx]) > 0 {
+		return leaf.vals[idx][0], true
 	}
-	return vals[0], true
+	return 0, false
 }
 
 // Delete removes (key, slot); with slot == 0 it removes every value under

@@ -2,7 +2,9 @@ package index
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
+	"math"
 	"math/rand"
 	"sort"
 	"sync"
@@ -72,6 +74,27 @@ func TestKeyBuilderEmbeddedZeros(t *testing.T) {
 	k3 := NewKeyBuilder(8).String("a").Clone()
 	if bytes.Compare(k3, k1) >= 0 || bytes.Compare(k1, k2) >= 0 {
 		t.Fatal("embedded zero ordering broken")
+	}
+}
+
+func TestKeyBuilderFloat64Ordering(t *testing.T) {
+	enc := func(v float64) []byte { return NewKeyBuilder(8).Float64(v).Clone() }
+	vals := []float64{math.Inf(-1), -1e300, -1.5, -0.0, 1e-300, 1.5, 1e300, math.Inf(1)}
+	for i := 1; i < len(vals); i++ {
+		if bytes.Compare(enc(vals[i-1]), enc(vals[i])) >= 0 {
+			t.Fatalf("Float64 order broken between %g and %g", vals[i-1], vals[i])
+		}
+	}
+}
+
+func TestNewShardedInvalidPrefixLen(t *testing.T) {
+	for _, bad := range []int{0, -1, -100} {
+		if _, err := NewSharded(4, bad); !errors.Is(err, ErrInvalidPrefixLen) {
+			t.Fatalf("NewSharded(4, %d) err = %v, want ErrInvalidPrefixLen", bad, err)
+		}
+	}
+	if _, err := NewSharded(0, 1); err != nil {
+		t.Fatalf("NewSharded(0, 1) err = %v", err)
 	}
 }
 
@@ -166,7 +189,7 @@ func TestBTreeDuplicatesAndDelete(t *testing.T) {
 	tr.Insert(k, slotOf(1))
 	tr.Insert(k, slotOf(2))
 	tr.Insert(k, slotOf(1)) // duplicate pair ignored
-	if got := tr.Get(k); len(got) != 2 {
+	if got := tr.Get(k, nil); len(got) != 2 {
 		t.Fatalf("dup values = %v", got)
 	}
 	if tr.Len() != 2 {
@@ -175,7 +198,7 @@ func TestBTreeDuplicatesAndDelete(t *testing.T) {
 	if !tr.Delete(k, slotOf(1)) {
 		t.Fatal("delete failed")
 	}
-	if got := tr.Get(k); len(got) != 1 || got[0] != slotOf(2) {
+	if got := tr.Get(k, nil); len(got) != 1 || got[0] != slotOf(2) {
 		t.Fatalf("after delete: %v", got)
 	}
 	if tr.Delete(k, slotOf(99)) {
@@ -184,7 +207,7 @@ func TestBTreeDuplicatesAndDelete(t *testing.T) {
 	if !tr.Delete(k, 0) { // remove all
 		t.Fatal("delete-all failed")
 	}
-	if tr.Get(k) != nil || tr.Len() != 0 {
+	if tr.Get(k, nil) != nil || tr.Len() != 0 {
 		t.Fatal("key survived delete-all")
 	}
 }
@@ -274,7 +297,10 @@ func TestBTreeConcurrentReaders(t *testing.T) {
 }
 
 func TestShardedSemantics(t *testing.T) {
-	s := NewSharded(8, 8)
+	s, err := NewSharded(8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
 	// Keys: (warehouse int64, counter int64).
 	key := func(w, c int) []byte {
 		return NewKeyBuilder(16).Int64(int64(w)).Int64(int64(c)).Clone()
@@ -329,7 +355,10 @@ func TestShardedSemantics(t *testing.T) {
 }
 
 func TestShardedConcurrentWriters(t *testing.T) {
-	s := NewSharded(16, 8)
+	s, err := NewSharded(16, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
 	var wg sync.WaitGroup
 	const workers = 8
 	const per = 2000
@@ -375,7 +404,10 @@ func TestBTreeLargeSplits(t *testing.T) {
 }
 
 func TestShardedPrefixScan(t *testing.T) {
-	s := NewSharded(4, 8)
+	s, err := NewSharded(4, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
 	for c := 0; c < 20; c++ {
 		k := NewKeyBuilder(16).Int64(7).Int64(int64(c)).Clone()
 		s.Insert(k, slotOf(c))

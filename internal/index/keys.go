@@ -6,7 +6,17 @@
 // warehouses) across lock domains.
 package index
 
-import "encoding/binary"
+import (
+	"encoding/binary"
+	"errors"
+	"math"
+)
+
+// ErrInvalidPrefixLen is returned by NewSharded when prefixLen is not
+// positive: the sharded index hashes the first prefixLen key bytes to pick
+// a shard, and a non-positive length has no well-defined hash domain
+// (earlier versions panicked slicing key[:prefixLen]).
+var ErrInvalidPrefixLen = errors.New("index: sharded index prefixLen must be >= 1")
 
 // KeyBuilder assembles order-preserving composite keys. Each appended
 // column is encoded so that the concatenation compares (bytewise) in the
@@ -59,6 +69,20 @@ func (k *KeyBuilder) Int16(v int16) *KeyBuilder {
 // Int8 appends an 8-bit signed integer.
 func (k *KeyBuilder) Int8(v int8) *KeyBuilder {
 	k.buf = append(k.buf, uint8(v)^(1<<7))
+	return k
+}
+
+// Float64 appends a float64 in an order-preserving encoding: positive
+// values get their sign bit set, negative values are bitwise complemented,
+// so the byte order matches the numeric order (NaNs sort above +Inf).
+func (k *KeyBuilder) Float64(v float64) *KeyBuilder {
+	bits := math.Float64bits(v)
+	if bits&(1<<63) != 0 {
+		bits = ^bits
+	} else {
+		bits |= 1 << 63
+	}
+	k.buf = binary.BigEndian.AppendUint64(k.buf, bits)
 	return k
 }
 

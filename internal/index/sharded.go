@@ -21,8 +21,14 @@ type Sharded struct {
 }
 
 // NewSharded creates an index with the given shard count (rounded up to a
-// power of two) hashing the first prefixLen key bytes.
-func NewSharded(shardCount, prefixLen int) *Sharded {
+// power of two; values below 1 are treated as 1) hashing the first
+// prefixLen key bytes. prefixLen must be at least 1 — shard selection
+// hashes key[:prefixLen], so a non-positive length returns
+// ErrInvalidPrefixLen instead of panicking at the first lookup.
+func NewSharded(shardCount, prefixLen int) (*Sharded, error) {
+	if prefixLen <= 0 {
+		return nil, ErrInvalidPrefixLen
+	}
 	n := 1
 	for n < shardCount {
 		n <<= 1
@@ -31,7 +37,7 @@ func NewSharded(shardCount, prefixLen int) *Sharded {
 	for i := 0; i < n; i++ {
 		s.shards = append(s.shards, NewBTree())
 	}
-	return s
+	return s, nil
 }
 
 func (s *Sharded) shardOf(key []byte) *BTree {
@@ -71,14 +77,20 @@ func (s *Sharded) Insert(key []byte, slot storage.TupleSlot) {
 	s.shardOf(key).Insert(key, slot)
 }
 
+// InsertMulti adds (key, slot) without pair deduplication (see
+// BTree.InsertMulti).
+func (s *Sharded) InsertMulti(key []byte, slot storage.TupleSlot) {
+	s.shardOf(key).InsertMulti(key, slot)
+}
+
 // InsertUnique adds (key, slot) if absent; reports success.
 func (s *Sharded) InsertUnique(key []byte, slot storage.TupleSlot) bool {
 	return s.shardOf(key).InsertUnique(key, slot)
 }
 
-// Get returns the slots under key.
-func (s *Sharded) Get(key []byte) []storage.TupleSlot {
-	return s.shardOf(key).Get(key)
+// Get appends the slots under key to out (see BTree.Get).
+func (s *Sharded) Get(key []byte, out []storage.TupleSlot) []storage.TupleSlot {
+	return s.shardOf(key).Get(key, out)
 }
 
 // GetOne returns a single slot under key.
@@ -127,8 +139,9 @@ func (s *Sharded) ScanPrefix(prefix []byte, fn func(key []byte, slot storage.Tup
 // against it.
 type Index interface {
 	Insert(key []byte, slot storage.TupleSlot)
+	InsertMulti(key []byte, slot storage.TupleSlot)
 	InsertUnique(key []byte, slot storage.TupleSlot) bool
-	Get(key []byte) []storage.TupleSlot
+	Get(key []byte, out []storage.TupleSlot) []storage.TupleSlot
 	GetOne(key []byte) (storage.TupleSlot, bool)
 	Delete(key []byte, slot storage.TupleSlot) bool
 	Scan(lo, hi []byte, fn func(key []byte, slot storage.TupleSlot) bool)

@@ -16,6 +16,15 @@ import (
 // for concurrent invocation (one call per shard at a time).
 type CommitHook func(*Transaction)
 
+// Deferrer schedules a function to run once every transaction active at
+// registration time has finished — the GC's deferred-action epoch. The
+// commit path uses it to retire index entries for deleted tuples only
+// after no active snapshot can still need them; gc.New wires the collector
+// in automatically.
+type Deferrer interface {
+	RegisterAction(fn func())
+}
+
 // NumShards is the number of latch shards for the commit critical section,
 // the active-transactions table, and the completed queue. Committers on
 // different shards never contend; within a shard the paper's small commit
@@ -74,6 +83,12 @@ type Manager struct {
 	activeShards [NumShards]activeShard
 
 	commitHook CommitHook
+
+	// deferrer delays physical index-entry removal past active snapshots;
+	// nil (no GC attached) falls back to immediate removal, which is only
+	// safe when no concurrent reader holds an older snapshot (tests,
+	// single-threaded tools).
+	deferrer Deferrer
 }
 
 // NewManager builds a transaction manager over the block registry.
@@ -91,6 +106,11 @@ func NewManager(reg *storage.Registry) *Manager {
 // SetCommitHook installs the WAL's commit hook; nil disables logging (the
 // durable callback then fires synchronously at commit).
 func (m *Manager) SetCommitHook(h CommitHook) { m.commitHook = h }
+
+// SetIndexDeferrer installs the deferred-action scheduler used to retire
+// index entries (gc.New calls this). Must be set before concurrent commits
+// that delete or re-key indexed tuples.
+func (m *Manager) SetIndexDeferrer(d Deferrer) { m.deferrer = d }
 
 // Registry returns the block registry transactions resolve slots through.
 func (m *Manager) Registry() *storage.Registry { return m.reg }
@@ -142,6 +162,14 @@ func (m *Manager) Commit(t *Transaction, durableCallback func()) uint64 {
 		r.SetTimestamp(commitTs)
 		return true
 	})
+	// Index deltas publish INSIDE the latch, after the undo records carry
+	// the final commit timestamp: the entries and the versions they point
+	// at become visible together, and index readers re-verify through the
+	// version chain, so a reader can never observe an entry whose
+	// visibility it cannot decide.
+	if len(t.indexOps) > 0 {
+		m.publishIndexOps(t)
+	}
 	t.committed = true
 	// The redo buffer is handed to the log manager's flush queue INSIDE
 	// the latch: CommitFrontier's latch barrier then guarantees that every
@@ -162,6 +190,37 @@ func (m *Manager) Commit(t *Transaction, durableCallback func()) uint64 {
 	}
 	m.retire(t)
 	return commitTs
+}
+
+// publishIndexOps applies a committing transaction's buffered index write
+// set: insertions go live immediately; removals are deferred through the
+// GC's action epoch so any snapshot that could still reach the dead entry
+// drains first (stale entries are filtered by the readers' visibility
+// re-check in the interim). Runs inside the commit latch shard.
+func (m *Manager) publishIndexOps(t *Transaction) {
+	var removals []IndexOp
+	for i := range t.indexOps {
+		op := &t.indexOps[i]
+		if op.Remove {
+			removals = append(removals, *op)
+		} else {
+			op.Sink.PublishEntry(op.Key, op.Slot)
+		}
+	}
+	if len(removals) > 0 {
+		if d := m.deferrer; d != nil {
+			d.RegisterAction(func() {
+				for _, op := range removals {
+					op.Sink.RemoveEntry(op.Key, op.Slot)
+				}
+			})
+		} else {
+			for _, op := range removals {
+				op.Sink.RemoveEntry(op.Key, op.Slot)
+			}
+		}
+	}
+	t.indexOps = nil
 }
 
 // CommitDurable commits t and blocks until its durable callback fires —
@@ -219,6 +278,9 @@ func (m *Manager) Abort(t *Transaction) {
 	})
 	t.aborted = true
 	t.redo = nil
+	// Buffered index deltas were never published; dropping them IS the
+	// index rollback.
+	t.indexOps = nil
 	m.retire(t)
 }
 

@@ -17,11 +17,37 @@ type RedoRecord struct {
 	After *storage.ProjectedRow
 }
 
+// IndexSink is the write side of an engine-managed secondary index as the
+// commit protocol sees it. Index maintenance is transactional: table
+// operations buffer IndexOps on the transaction, Manager.Commit publishes
+// them through the sink inside the commit latch, and Abort discards them
+// untouched. PublishEntry must make the (key, slot) pair visible to index
+// readers immediately; RemoveEntry must defer the physical removal until no
+// active snapshot can still need the entry (core.TableIndex routes it
+// through the GC's deferred-action epoch). Both must be safe for
+// concurrent use.
+type IndexSink interface {
+	PublishEntry(key []byte, slot storage.TupleSlot)
+	RemoveEntry(key []byte, slot storage.TupleSlot)
+}
+
+// IndexOp is one buffered index mutation in a transaction's write set.
+type IndexOp struct {
+	// Sink is the index the operation targets.
+	Sink IndexSink
+	// Key is the memcomparable entry key (owned by the op).
+	Key []byte
+	// Slot is the tuple the entry points at.
+	Slot storage.TupleSlot
+	// Remove distinguishes entry removal (deferred) from insertion.
+	Remove bool
+}
+
 // Transaction is the per-transaction context: snapshot timestamp, in-flight
-// commit timestamp, undo buffer (version-chain deltas), and redo buffer
-// (log after-images). A Transaction is single-threaded — only its owning
-// goroutine touches it — while the records it publishes into version chains
-// are read concurrently.
+// commit timestamp, undo buffer (version-chain deltas), redo buffer
+// (log after-images), and the buffered index write set. A Transaction is
+// single-threaded — only its owning goroutine touches it — while the
+// records it publishes into version chains are read concurrently.
 type Transaction struct {
 	mgr *Manager
 
@@ -33,8 +59,9 @@ type Transaction struct {
 	txnTs  uint64 // start | UncommittedFlag while in flight
 	commit uint64 // final commit (or abort) timestamp
 
-	undo *UndoBuffer
-	redo []RedoRecord
+	undo     *UndoBuffer
+	redo     []RedoRecord
+	indexOps []IndexOp
 
 	committed bool
 	aborted   bool
@@ -92,6 +119,24 @@ func (t *Transaction) LogRedo(tableID uint32, slot storage.TupleSlot, kind stora
 
 // RedoRecords exposes the redo buffer to the log manager.
 func (t *Transaction) RedoRecords() []RedoRecord { return t.redo }
+
+// BufferIndexInsert queues an index-entry insertion in the transaction's
+// write set; Commit publishes it under the commit latch, Abort drops it.
+// key must be owned by the caller (not reused after the call).
+func (t *Transaction) BufferIndexInsert(sink IndexSink, key []byte, slot storage.TupleSlot) {
+	t.indexOps = append(t.indexOps, IndexOp{Sink: sink, Key: key, Slot: slot})
+}
+
+// BufferIndexRemove queues an index-entry removal. At commit the sink is
+// asked to retire the entry — physically deleted only once no active
+// snapshot can still need it. Aborting drops the request (the entry stays).
+func (t *Transaction) BufferIndexRemove(sink IndexSink, key []byte, slot storage.TupleSlot) {
+	t.indexOps = append(t.indexOps, IndexOp{Sink: sink, Key: key, Slot: slot, Remove: true})
+}
+
+// IndexOps exposes the buffered index write set (index readers merge the
+// transaction's own unpublished insertions into their results).
+func (t *Transaction) IndexOps() []IndexOp { return t.indexOps }
 
 // UndoIterate visits undo records oldest-first (GC, tests).
 func (t *Transaction) UndoIterate(fn func(*storage.UndoRecord) bool) { t.undo.Iterate(fn) }

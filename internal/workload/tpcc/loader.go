@@ -33,8 +33,9 @@ type Loader struct {
 	now int64
 }
 
-// Load populates all nine tables and their indexes, returning the cached
-// projections used by the transaction profiles.
+// Load populates all nine tables, returning the cached projections used by
+// the transaction profiles. Indexes are engine-managed: each batch's
+// commit publishes the entries for the rows it inserted.
 func Load(db *Database, seed uint64) (*projections, error) {
 	l := &Loader{db: db, rng: util.NewRand(seed), p: db.buildProjections(), now: time.Now().UnixNano()}
 	if err := l.loadItems(); err != nil {
@@ -75,11 +76,9 @@ func (l *Loader) loadItems() error {
 				data = data[:8] + "ORIGINAL" + data[16:]
 			}
 			row.SetVarlen(IData, []byte(data))
-			slot, err := l.db.Item.Insert(h.tx, row)
-			if err != nil {
+			if _, err := l.db.Item.Insert(h.tx, row); err != nil {
 				return err
 			}
-			l.db.ItemPK.Insert(iKey(int32(i)), slot)
 		}
 		return nil
 	})
@@ -93,11 +92,9 @@ func (l *Loader) loadWarehouse(w int32) error {
 		l.address(row, WStreet1)
 		row.SetInt64(WTax, int64(l.rng.IntRange(0, 2000)))
 		row.SetInt64(WYtd, 30000000) // 300,000.00
-		slot, err := l.db.Warehouse.Insert(h.tx, row)
-		if err != nil {
+		if _, err := l.db.Warehouse.Insert(h.tx, row); err != nil {
 			return err
 		}
-		l.db.WarehousePK.Insert(wKey(w), slot)
 
 		// Stock for every item.
 		srow := l.p.sAll.NewRow()
@@ -117,11 +114,9 @@ func (l *Loader) loadWarehouse(w int32) error {
 				data = data[:8] + "ORIGINAL" + data[16:]
 			}
 			srow.SetVarlen(SData, []byte(data))
-			slot, err := l.db.Stock.Insert(h.tx, srow)
-			if err != nil {
+			if _, err := l.db.Stock.Insert(h.tx, srow); err != nil {
 				return err
 			}
-			l.db.StockPK.Insert(sKey(w, int32(i)), slot)
 		}
 		return nil
 	})
@@ -155,11 +150,9 @@ func (l *Loader) loadDistrict(w, d int32) error {
 		row.SetInt64(DTax, int64(l.rng.IntRange(0, 2000)))
 		row.SetInt64(DYtd, 3000000) // 30,000.00
 		row.SetInt32(DNextOID, int32(cfg.InitialOrders+1))
-		slot, err := l.db.District.Insert(h.tx, row)
-		if err != nil {
+		if _, err := l.db.District.Insert(h.tx, row); err != nil {
 			return err
 		}
-		l.db.DistrictPK.Insert(dKey(w, d), slot)
 
 		// Customers + one history row each.
 		crow := l.p.cAll.NewRow()
@@ -193,12 +186,9 @@ func (l *Loader) loadDistrict(w, d int32) error {
 			crow.SetInt32(CPaymentCnt, 1)
 			crow.SetInt32(CDeliveryCnt, 0)
 			crow.SetVarlen(CData, []byte(l.rng.AlphaString(300, 500)))
-			cslot, err := l.db.Customer.Insert(h.tx, crow)
-			if err != nil {
+			if _, err := l.db.Customer.Insert(h.tx, crow); err != nil {
 				return err
 			}
-			l.db.CustomerPK.Insert(cKey(w, d, int32(c)), cslot)
-			l.db.CustomerND.Insert(cNameKey(w, d, last, string(crow.Varlen(CFirst))), cslot)
 
 			hrow.Reset()
 			hrow.SetInt32(HCID, int32(c))
@@ -246,12 +236,9 @@ func (l *Loader) loadOrders(w, d int32) error {
 			}
 			orow.SetInt32(OOlCnt, int32(olCnt))
 			orow.SetInt32(OAllLocal, 1)
-			oslot, err := l.db.Order.Insert(h.tx, orow)
-			if err != nil {
+			if _, err := l.db.Order.Insert(h.tx, orow); err != nil {
 				return err
 			}
-			l.db.OrderPK.Insert(oKey(w, d, int32(o)), oslot)
-			l.db.OrderCust.Insert(oCustKey(w, d, cid, int32(o)), oslot)
 
 			for n := 1; n <= olCnt; n++ {
 				olrow.Reset()
@@ -270,22 +257,18 @@ func (l *Loader) loadOrders(w, d int32) error {
 				}
 				olrow.SetInt32(OLQuantity, 5)
 				olrow.SetVarlen(OLDistInfo, []byte(l.rng.AlphaString(24, 24)))
-				olslot, err := l.db.OrderLine.Insert(h.tx, olrow)
-				if err != nil {
+				if _, err := l.db.OrderLine.Insert(h.tx, olrow); err != nil {
 					return err
 				}
-				l.db.OrderLinePK.Insert(olKey(w, d, int32(o), int32(n)), olslot)
 			}
 			if !delivered {
 				norow.Reset()
 				norow.SetInt32(NOOID, int32(o))
 				norow.SetInt32(NODID, d)
 				norow.SetInt32(NOWID, w)
-				noslot, err := l.db.NewOrder.Insert(h.tx, norow)
-				if err != nil {
+				if _, err := l.db.NewOrder.Insert(h.tx, norow); err != nil {
 					return err
 				}
-				l.db.NewOrderPK.Insert(oKey(w, d, int32(o)), noslot)
 			}
 		}
 		return nil

@@ -14,6 +14,7 @@ import (
 
 	"mainline/internal/arrow"
 	"mainline/internal/catalog"
+	"mainline/internal/core"
 	"mainline/internal/index"
 	"mainline/internal/storage"
 	"mainline/internal/txn"
@@ -267,20 +268,24 @@ type Database struct {
 	Item      *catalog.Table
 	Stock     *catalog.Table
 
-	// Primary-key and secondary indexes.
-	WarehousePK index.Index // (w_id)
-	DistrictPK  index.Index // (w_id, d_id)
-	CustomerPK  index.Index // (w_id, d_id, c_id)
-	CustomerND  index.Index // (w_id, d_id, c_last, c_first) -> customer
-	ItemPK      index.Index // (i_id)
-	StockPK     index.Index // (w_id, i_id)
-	OrderPK     index.Index // (w_id, d_id, o_id)
-	OrderCust   index.Index // (w_id, d_id, c_id, o_id)
-	NewOrderPK  index.Index // (w_id, d_id, o_id)
-	OrderLinePK index.Index // (w_id, d_id, o_id, ol_number)
+	// Primary-key and secondary indexes — engine-managed: declared here,
+	// maintained by the engine inside the transaction protocol (inserts /
+	// updates / deletes buffer index deltas that publish at commit), read
+	// through MVCC-verified lookups. No TPC-C code mutates an index.
+	WarehousePK *core.TableIndex // (w_id)
+	DistrictPK  *core.TableIndex // (w_id, d_id)
+	CustomerPK  *core.TableIndex // (w_id, d_id, c_id)
+	CustomerND  *core.TableIndex // (w_id, d_id, c_last, c_first) -> customer
+	ItemPK      *core.TableIndex // (i_id)
+	StockPK     *core.TableIndex // (w_id, i_id)
+	OrderPK     *core.TableIndex // (w_id, d_id, o_id)
+	OrderCust   *core.TableIndex // (w_id, d_id, c_id, o_id)
+	NewOrderPK  *core.TableIndex // (w_id, d_id, o_id)
+	OrderLinePK *core.TableIndex // (w_id, d_id, o_id, ol_number)
 }
 
-// NewDatabase creates the tables and indexes (empty).
+// NewDatabase creates the tables and declares their engine-managed
+// indexes (empty).
 func NewDatabase(mgr *txn.Manager, cat *catalog.Catalog, cfg Config) (*Database, error) {
 	db := &Database{Cfg: cfg, Mgr: mgr, Cat: cat}
 	var err error
@@ -305,29 +310,82 @@ func NewDatabase(mgr *txn.Manager, cat *catalog.Catalog, cfg Config) (*Database,
 		return nil, err
 	}
 	sh := cfg.shards()
-	db.WarehousePK = index.NewSharded(sh, 4)
-	db.DistrictPK = index.NewSharded(sh, 4)
-	db.CustomerPK = index.NewSharded(sh, 4)
-	db.CustomerND = index.NewSharded(sh, 4)
-	db.ItemPK = index.NewBTree() // read-only after load
-	db.StockPK = index.NewSharded(sh, 4)
-	db.OrderPK = index.NewSharded(sh, 4)
-	db.OrderCust = index.NewSharded(sh, 4)
-	db.NewOrderPK = index.NewSharded(sh, 4)
-	db.OrderLinePK = index.NewSharded(sh, 4)
-
-	db.Warehouse.AddIndex("pk", db.WarehousePK)
-	db.District.AddIndex("pk", db.DistrictPK)
-	db.Customer.AddIndex("pk", db.CustomerPK)
-	db.Customer.AddIndex("name", db.CustomerND)
-	db.Item.AddIndex("pk", db.ItemPK)
-	db.Stock.AddIndex("pk", db.StockPK)
-	db.Order.AddIndex("pk", db.OrderPK)
-	db.Order.AddIndex("cust", db.OrderCust)
-	db.NewOrder.AddIndex("pk", db.NewOrderPK)
-	db.OrderLine.AddIndex("pk", db.OrderLinePK)
+	declare := func(t *catalog.Table, name string, shards int, cols ...string) *core.TableIndex {
+		if err != nil {
+			return nil
+		}
+		var ti *core.TableIndex
+		ti, err = t.CreateIndex(catalog.IndexSpec{Name: name, Columns: cols, Shards: shards})
+		return ti
+	}
+	db.WarehousePK = declare(db.Warehouse, "pk", sh, "w_id")
+	db.DistrictPK = declare(db.District, "pk", sh, "d_w_id", "d_id")
+	db.CustomerPK = declare(db.Customer, "pk", sh, "c_w_id", "c_d_id", "c_id")
+	db.CustomerND = declare(db.Customer, "name", sh, "c_w_id", "c_d_id", "c_last", "c_first")
+	db.ItemPK = declare(db.Item, "pk", 0, "i_id") // read-mostly after load
+	db.StockPK = declare(db.Stock, "pk", sh, "s_w_id", "s_i_id")
+	db.OrderPK = declare(db.Order, "pk", sh, "o_w_id", "o_d_id", "o_id")
+	db.OrderCust = declare(db.Order, "cust", sh, "o_w_id", "o_d_id", "o_c_id", "o_id")
+	db.NewOrderPK = declare(db.NewOrder, "pk", sh, "no_w_id", "no_d_id", "no_o_id")
+	db.OrderLinePK = declare(db.OrderLine, "pk", sh, "ol_w_id", "ol_d_id", "ol_o_id", "ol_number")
+	if err != nil {
+		return nil, err
+	}
 	return db, nil
 }
+
+// FromCatalog rebinds a Database to tables and indexes already registered
+// in cat — the shape recovery produces (catalog.json declares both, and
+// the engine rebuilds index entries at Open). Returns an error if any
+// table or index is missing.
+func FromCatalog(mgr *txn.Manager, cat *catalog.Catalog, cfg Config) (*Database, error) {
+	db := &Database{Cfg: cfg, Mgr: mgr, Cat: cat}
+	var err error
+	lookup := func(name string) *catalog.Table {
+		t := cat.Table(name)
+		if t == nil && err == nil {
+			err = fmt.Errorf("tpcc: table %q missing from catalog", name)
+		}
+		return t
+	}
+	db.Warehouse = lookup("warehouse")
+	db.District = lookup("district")
+	db.Customer = lookup("customer")
+	db.History = lookup("history")
+	db.NewOrder = lookup("new_order")
+	db.Order = lookup("order")
+	db.OrderLine = lookup("order_line")
+	db.Item = lookup("item")
+	db.Stock = lookup("stock")
+	if err != nil {
+		return nil, err
+	}
+	idx := func(t *catalog.Table, name string) *core.TableIndex {
+		ti := t.Index(name)
+		if ti == nil && err == nil {
+			err = fmt.Errorf("tpcc: index %s.%s missing from catalog", t.Name, name)
+		}
+		return ti
+	}
+	db.WarehousePK = idx(db.Warehouse, "pk")
+	db.DistrictPK = idx(db.District, "pk")
+	db.CustomerPK = idx(db.Customer, "pk")
+	db.CustomerND = idx(db.Customer, "name")
+	db.ItemPK = idx(db.Item, "pk")
+	db.StockPK = idx(db.Stock, "pk")
+	db.OrderPK = idx(db.Order, "pk")
+	db.OrderCust = idx(db.Order, "cust")
+	db.NewOrderPK = idx(db.NewOrder, "pk")
+	db.OrderLinePK = idx(db.OrderLine, "pk")
+	if err != nil {
+		return nil, err
+	}
+	return db, nil
+}
+
+// Projections returns the cached projection set the transaction profiles
+// use (rebinding after recovery, where Load is not called).
+func (db *Database) Projections() *projections { return db.buildProjections() }
 
 // commit finishes tx per the database's durability mode: asynchronous by
 // default, or blocking on the WAL group-commit fsync when Durable is set.

@@ -26,6 +26,27 @@ func newDB(t *testing.T, warehouses int) (*Database, *projections) {
 	return db, p
 }
 
+func TestFromCatalogRebinds(t *testing.T) {
+	reg := storage.NewRegistry()
+	mgr := txn.NewManager(reg)
+	cat := catalog.New(reg)
+	if _, err := NewDatabase(mgr, cat, DefaultConfig(1)); err != nil {
+		t.Fatal(err)
+	}
+	// A second Database bound to the same catalog resolves every table and
+	// engine-managed index by name — the shape a recovery rebind uses.
+	db2, err := FromCatalog(mgr, cat, DefaultConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db2.CustomerND == nil || db2.CustomerND.Name() != "name" {
+		t.Fatal("secondary index not rebound")
+	}
+	if p := db2.Projections(); p == nil || p.cAll == nil {
+		t.Fatal("projection rebuild failed")
+	}
+}
+
 func TestLastName(t *testing.T) {
 	if LastName(0) != "BARBARBAR" {
 		t.Fatalf("LastName(0) = %q", LastName(0))
@@ -118,13 +139,9 @@ func nextOID(t *testing.T, db *Database, w, d int32) int32 {
 	t.Helper()
 	tx := db.Mgr.Begin()
 	defer db.Mgr.Commit(tx, nil)
-	slot, ok := db.DistrictPK.GetOne(dKey(w, d))
-	if !ok {
-		t.Fatal("district missing")
-	}
 	row := storage.MustProjection(db.District.Layout(), []storage.ColumnID{DNextOID}).NewRow()
-	if found, err := db.District.Select(tx, slot, row); err != nil || !found {
-		t.Fatalf("district read: %v", err)
+	if _, ok := db.DistrictPK.GetVisible(tx, dKey(w, d), row); !ok {
+		t.Fatal("district missing")
 	}
 	return row.Int32(0)
 }
@@ -150,10 +167,9 @@ func warehouseYTD(t *testing.T, db *Database, w int32) int64 {
 	t.Helper()
 	tx := db.Mgr.Begin()
 	defer db.Mgr.Commit(tx, nil)
-	slot, _ := db.WarehousePK.GetOne(wKey(w))
 	row := storage.MustProjection(db.Warehouse.Layout(), []storage.ColumnID{WYtd}).NewRow()
-	if found, err := db.Warehouse.Select(tx, slot, row); err != nil || !found {
-		t.Fatalf("warehouse read: %v", err)
+	if _, ok := db.WarehousePK.GetVisible(tx, wKey(w), row); !ok {
+		t.Fatal("warehouse read failed")
 	}
 	return row.Int64(0)
 }

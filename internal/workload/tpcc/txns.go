@@ -107,24 +107,19 @@ func (wk *Worker) NewOrder() error {
 		return err
 	}
 
-	// Warehouse tax (read-only).
-	wSlot, ok := db.WarehousePK.GetOne(wKey(w))
-	if !ok {
-		return abort(fmt.Errorf("tpcc: warehouse %d missing", w))
-	}
+	// Warehouse tax (read-only) — indexed point read: the engine verifies
+	// the slot's visibility through the version chain and materializes the
+	// visible version in one call.
 	wRow := p.wTaxYtd.NewRow()
-	if found, err := db.Warehouse.Select(tx, wSlot, wRow); err != nil || !found {
-		return abort(fmt.Errorf("tpcc: warehouse read: %v", err))
+	if _, ok := db.WarehousePK.GetVisible(tx, wKey(w), wRow); !ok {
+		return abort(fmt.Errorf("tpcc: warehouse %d missing", w))
 	}
 
 	// District: read tax + next order id, increment next order id.
-	dSlot, ok := db.DistrictPK.GetOne(dKey(w, d))
+	dRow := p.dTaxNext.NewRow()
+	dSlot, ok := db.DistrictPK.GetVisible(tx, dKey(w, d), dRow)
 	if !ok {
 		return abort(fmt.Errorf("tpcc: district missing"))
-	}
-	dRow := p.dTaxNext.NewRow()
-	if found, err := db.District.Select(tx, dSlot, dRow); err != nil || !found {
-		return abort(fmt.Errorf("tpcc: district read: %v", err))
 	}
 	oID := dRow.Int32(1)
 	upd := p.dNext.NewRow()
@@ -134,16 +129,13 @@ func (wk *Worker) NewOrder() error {
 	}
 
 	// Customer discount/credit (read-only).
-	cSlot, ok := db.CustomerPK.GetOne(cKey(w, d, c))
-	if !ok {
+	cRow := p.cDisc.NewRow()
+	if _, ok := db.CustomerPK.GetVisible(tx, cKey(w, d, c), cRow); !ok {
 		return abort(fmt.Errorf("tpcc: customer missing"))
 	}
-	cRow := p.cDisc.NewRow()
-	if found, err := db.Customer.Select(tx, cSlot, cRow); err != nil || !found {
-		return abort(fmt.Errorf("tpcc: customer read: %v", err))
-	}
 
-	// Insert ORDER and NEW_ORDER. (o_all_local is recorded optimistically;
+	// Insert ORDER and NEW_ORDER; their index entries ride the write set
+	// and publish at commit. (o_all_local is recorded optimistically;
 	// remote stock picks below do not retro-update it — acceptable at our
 	// reproduction scale where runs are single-warehouse-per-worker.)
 	oRow := p.oAll.NewRow()
@@ -155,25 +147,18 @@ func (wk *Worker) NewOrder() error {
 	oRow.SetNull(OCarrierID)
 	oRow.SetInt32(OOlCnt, int32(olCnt))
 	oRow.SetInt32(OAllLocal, 1)
-	oSlot, err := db.Order.Insert(tx, oRow)
-	if err != nil {
+	if _, err := db.Order.Insert(tx, oRow); err != nil {
 		return abort(err)
 	}
 	noRow := p.noAll.NewRow()
 	noRow.SetInt32(NOOID, oID)
 	noRow.SetInt32(NODID, d)
 	noRow.SetInt32(NOWID, w)
-	noSlot, err := db.NewOrder.Insert(tx, noRow)
-	if err != nil {
+	if _, err := db.NewOrder.Insert(tx, noRow); err != nil {
 		return abort(err)
 	}
 
 	// Order lines.
-	type olInsert struct {
-		slot storage.TupleSlot
-		n    int32
-	}
-	olSlots := make([]olInsert, 0, olCnt)
 	olRow := p.olAll.NewRow()
 	iRow := p.iRead.NewRow()
 	sRow := p.sRead.NewRow()
@@ -186,12 +171,8 @@ func (wk *Worker) NewOrder() error {
 			db.Mgr.Abort(tx)
 			return ErrUserAbort
 		}
-		iSlot, ok := db.ItemPK.GetOne(iKey(item))
-		if !ok {
+		if _, ok := db.ItemPK.GetVisible(tx, iKey(item), iRow); !ok {
 			return abort(fmt.Errorf("tpcc: item %d missing", item))
-		}
-		if found, err := db.Item.Select(tx, iSlot, iRow); err != nil || !found {
-			return abort(fmt.Errorf("tpcc: item read: %v", err))
 		}
 		price := iRow.Int64(0)
 
@@ -205,12 +186,9 @@ func (wk *Worker) NewOrder() error {
 				}
 			}
 		}
-		sSlot, ok := db.StockPK.GetOne(sKey(supplyW, item))
+		sSlot, ok := db.StockPK.GetVisible(tx, sKey(supplyW, item), sCur)
 		if !ok {
 			return abort(fmt.Errorf("tpcc: stock missing"))
-		}
-		if found, err := db.Stock.Select(tx, sSlot, sCur); err != nil || !found {
-			return abort(fmt.Errorf("tpcc: stock read: %v", err))
 		}
 		if found, err := db.Stock.Select(tx, sSlot, sRow); err != nil || !found {
 			return abort(fmt.Errorf("tpcc: stock dist read: %v", err))
@@ -247,22 +225,12 @@ func (wk *Worker) NewOrder() error {
 		olRow.SetInt64(OLAmount, amount)
 		// sRead projection: index 0 = s_quantity, 1..10 = s_dist_01..10.
 		olRow.SetVarlen(OLDistInfo, sRow.Varlen(int(d)))
-		olSlot, err := db.OrderLine.Insert(tx, olRow)
-		if err != nil {
+		if _, err := db.OrderLine.Insert(tx, olRow); err != nil {
 			return abort(err)
 		}
-		olSlots = append(olSlots, olInsert{olSlot, int32(n)})
 	}
 
 	db.commit(tx)
-	// Index maintenance after commit (single-writer per warehouse makes
-	// this safe; a production engine would use deferred index actions).
-	db.OrderPK.Insert(oKey(w, d, oID), oSlot)
-	db.OrderCust.Insert(oCustKey(w, d, c, oID), oSlot)
-	db.NewOrderPK.Insert(oKey(w, d, oID), noSlot)
-	for _, ol := range olSlots {
-		db.OrderLinePK.Insert(olKey(w, d, oID, ol.n), ol.slot)
-	}
 	return nil
 }
 
@@ -293,10 +261,10 @@ func (wk *Worker) Payment() error {
 	}
 
 	// Warehouse YTD update.
-	wSlot, _ := db.WarehousePK.GetOne(wKey(w))
 	wRow := p.wYtd.NewRow()
-	if found, err := db.Warehouse.Select(tx, wSlot, wRow); err != nil || !found {
-		return abort(fmt.Errorf("tpcc: warehouse read: %v", err))
+	wSlot, ok := db.WarehousePK.GetVisible(tx, wKey(w), wRow)
+	if !ok {
+		return abort(fmt.Errorf("tpcc: warehouse read failed"))
 	}
 	wUpd := p.wYtd.NewRow()
 	wUpd.SetInt64(0, wRow.Int64(0)+amount)
@@ -305,10 +273,10 @@ func (wk *Worker) Payment() error {
 	}
 
 	// District YTD update.
-	dSlot, _ := db.DistrictPK.GetOne(dKey(w, d))
 	dRow := p.dYtd.NewRow()
-	if found, err := db.District.Select(tx, dSlot, dRow); err != nil || !found {
-		return abort(fmt.Errorf("tpcc: district read: %v", err))
+	dSlot, ok := db.DistrictPK.GetVisible(tx, dKey(w, d), dRow)
+	if !ok {
+		return abort(fmt.Errorf("tpcc: district read failed"))
 	}
 	dUpd := p.dYtd.NewRow()
 	dUpd.SetInt64(0, dRow.Int64(0)+amount)
@@ -316,26 +284,27 @@ func (wk *Worker) Payment() error {
 		return abort(err)
 	}
 
-	// Customer: 60% by last name, 40% by id.
+	// Customer: 60% by last name (ordered secondary-index prefix scan,
+	// midpoint per spec), 40% by id.
 	var cSlot storage.TupleSlot
 	var cid int32
 	if wk.Rng.Intn(100) < 60 {
 		last := LastName(wk.Rng.NURand(255, 0, 999, cLastC))
 		var slots []storage.TupleSlot
-		db.CustomerND.ScanPrefix(cNamePrefix(cw, cd, last), func(_ []byte, s storage.TupleSlot) bool {
+		db.CustomerND.AscendPrefix(tx, cNamePrefix(cw, cd, last), nil, func(s storage.TupleSlot, _ *storage.ProjectedRow) bool {
 			slots = append(slots, s)
 			return true
 		})
 		if len(slots) == 0 {
 			// Name space is sparse at reduced scale: fall back to id.
 			cid = wk.nuCustomer()
-			cSlot, _ = db.CustomerPK.GetOne(cKey(cw, cd, cid))
+			cSlot, _ = db.CustomerPK.GetVisible(tx, cKey(cw, cd, cid), nil)
 		} else {
 			cSlot = slots[(len(slots)+1)/2-1] // midpoint per spec
 		}
 	} else {
 		cid = wk.nuCustomer()
-		cSlot, _ = db.CustomerPK.GetOne(cKey(cw, cd, cid))
+		cSlot, _ = db.CustomerPK.GetVisible(tx, cKey(cw, cd, cid), nil)
 	}
 	if !cSlot.Valid() {
 		return abort(fmt.Errorf("tpcc: customer not found"))
@@ -390,39 +359,30 @@ func (wk *Worker) OrderStatus() error {
 	tx := db.Mgr.Begin()
 	defer db.commit(tx)
 
-	cSlot, ok := db.CustomerPK.GetOne(cKey(w, d, c))
-	if !ok {
+	cRow := p.cRead.NewRow()
+	if _, ok := db.CustomerPK.GetVisible(tx, cKey(w, d, c), cRow); !ok {
 		return fmt.Errorf("tpcc: customer missing")
 	}
-	cRow := p.cRead.NewRow()
-	if found, err := db.Customer.Select(tx, cSlot, cRow); err != nil || !found {
-		return fmt.Errorf("tpcc: customer read: %v", err)
-	}
 
-	// Most recent order for the customer: scan the (w,d,c,o) index
-	// backwards is unsupported; scan forward and keep the last.
+	// Most recent order for the customer: scanning the (w,d,c,o) index
+	// backwards is unsupported; scan forward and keep the last visible
+	// order (the engine filters entries this snapshot cannot see).
 	var lastOrder storage.TupleSlot
-	var lastOID int32 = -1
-	db.OrderCust.ScanPrefix(cKey(w, d, c), func(k []byte, s storage.TupleSlot) bool {
+	oRow := p.oRead.NewRow()
+	db.OrderCust.AscendPrefix(tx, cKey(w, d, c), oRow, func(s storage.TupleSlot, _ *storage.ProjectedRow) bool {
 		lastOrder = s
 		return true
 	})
 	if !lastOrder.Valid() {
 		return nil // customer has no orders yet
 	}
-	oRow := p.oRead.NewRow()
-	if found, err := db.Order.Select(tx, lastOrder, oRow); err != nil || !found {
-		return fmt.Errorf("tpcc: order read: %v", err)
-	}
-	lastOID = oRow.Int32(0)
+	lastOID := oRow.Int32(0) // oRow holds the last materialized order
 
 	// Its order lines.
 	olRow := p.olRead.NewRow()
 	count := 0
-	db.OrderLinePK.ScanPrefix(oKey(w, d, lastOID), func(_ []byte, s storage.TupleSlot) bool {
-		if found, _ := db.OrderLine.Select(tx, s, olRow); found {
-			count++
-		}
+	db.OrderLinePK.AscendPrefix(tx, oKey(w, d, lastOID), olRow, func(storage.TupleSlot, *storage.ProjectedRow) bool {
+		count++
 		return true
 	})
 	if count == 0 {
@@ -441,25 +401,22 @@ func (wk *Worker) Delivery() error {
 
 	for d := int32(1); d <= int32(db.Cfg.DistrictsPerWarehouse); d++ {
 		tx := db.Mgr.Begin()
-		// Oldest NEW_ORDER for the district.
+		// Oldest NEW_ORDER for the district: the first VERIFIED entry in
+		// key order (stale entries of already-delivered orders whose
+		// deferred removal has not run yet are skipped by the engine).
 		var noSlot storage.TupleSlot
-		var noKeyBytes []byte
-		db.NewOrderPK.ScanPrefix(dKey(w, d), func(k []byte, s storage.TupleSlot) bool {
+		noRow := p.noRead.NewRow()
+		db.NewOrderPK.AscendPrefix(tx, dKey(w, d), noRow, func(s storage.TupleSlot, _ *storage.ProjectedRow) bool {
 			noSlot = s
-			noKeyBytes = append([]byte(nil), k...)
 			return false // first = oldest (o_id ascending)
 		})
 		if !noSlot.Valid() {
 			db.commit(tx)
 			continue
 		}
-		noRow := p.noRead.NewRow()
-		found, err := db.NewOrder.Select(tx, noSlot, noRow)
-		if err != nil || !found {
-			db.Mgr.Abort(tx)
-			continue
-		}
 		oID := noRow.Int32(0)
+		// Deleting buffers the index-entry removal; it publishes at commit
+		// and leaves the tree once no snapshot can still see the order.
 		if err := db.NewOrder.Delete(tx, noSlot); err != nil {
 			db.Mgr.Abort(tx)
 			wk.Aborts++
@@ -467,13 +424,9 @@ func (wk *Worker) Delivery() error {
 		}
 
 		// Stamp the order's carrier.
-		oSlot, ok := db.OrderPK.GetOne(oKey(w, d, oID))
-		if !ok {
-			db.Mgr.Abort(tx)
-			continue
-		}
 		oRead := p.oRead.NewRow()
-		if found, err := db.Order.Select(tx, oSlot, oRead); err != nil || !found {
+		oSlot, ok := db.OrderPK.GetVisible(tx, oKey(w, d, oID), oRead)
+		if !ok {
 			db.Mgr.Abort(tx)
 			continue
 		}
@@ -490,13 +443,10 @@ func (wk *Worker) Delivery() error {
 		total := int64(0)
 		lineErr := false
 		olRow := p.olDeliv.NewRow()
-		db.OrderLinePK.ScanPrefix(oKey(w, d, oID), func(_ []byte, s storage.TupleSlot) bool {
-			if found, err := db.OrderLine.Select(tx, s, olRow); err != nil || !found {
-				lineErr = true
-				return false
-			}
+		upd := p.olDeliv.NewRow()
+		db.OrderLinePK.AscendPrefix(tx, oKey(w, d, oID), olRow, func(s storage.TupleSlot, _ *storage.ProjectedRow) bool {
 			total += olRow.Int64(0)
-			upd := p.olDeliv.NewRow()
+			upd.Reset()
 			upd.SetInt64(0, olRow.Int64(0))
 			upd.SetInt64(1, now)
 			if err := db.OrderLine.Update(tx, s, upd); err != nil {
@@ -512,13 +462,9 @@ func (wk *Worker) Delivery() error {
 		}
 
 		// Credit the customer.
-		cSlot, ok := db.CustomerPK.GetOne(cKey(w, d, cid))
-		if !ok {
-			db.Mgr.Abort(tx)
-			continue
-		}
 		cRow := p.cBalDeliv.NewRow()
-		if found, err := db.Customer.Select(tx, cSlot, cRow); err != nil || !found {
+		cSlot, ok := db.CustomerPK.GetVisible(tx, cKey(w, d, cid), cRow)
+		if !ok {
 			db.Mgr.Abort(tx)
 			continue
 		}
@@ -531,7 +477,6 @@ func (wk *Worker) Delivery() error {
 			continue
 		}
 		db.commit(tx)
-		db.NewOrderPK.Delete(noKeyBytes, noSlot)
 	}
 	return nil
 }
@@ -546,13 +491,9 @@ func (wk *Worker) StockLevel() error {
 	tx := db.Mgr.Begin()
 	defer db.commit(tx)
 
-	dSlot, ok := db.DistrictPK.GetOne(dKey(w, d))
-	if !ok {
-		return fmt.Errorf("tpcc: district missing")
-	}
 	dRow := p.dNext.NewRow()
-	if found, err := db.District.Select(tx, dSlot, dRow); err != nil || !found {
-		return fmt.Errorf("tpcc: district read: %v", err)
+	if _, ok := db.DistrictPK.GetVisible(tx, dKey(w, d), dRow); !ok {
+		return fmt.Errorf("tpcc: district missing")
 	}
 	nextO := dRow.Int32(0)
 	lowO := nextO - 20
@@ -560,23 +501,18 @@ func (wk *Worker) StockLevel() error {
 		lowO = 1
 	}
 
-	// Distinct items in the last 20 orders with stock below threshold.
+	// Distinct items in the last 20 orders with stock below threshold —
+	// an index range read over (w, d, [lowO, nextO)).
 	items := make(map[int32]struct{})
 	olRow := p.olRead.NewRow()
-	db.OrderLinePK.Scan(oKey(w, d, lowO), oKey(w, d, nextO), func(_ []byte, s storage.TupleSlot) bool {
-		if found, _ := db.OrderLine.Select(tx, s, olRow); found {
-			items[olRow.Int32(0)] = struct{}{}
-		}
+	db.OrderLinePK.Ascend(tx, oKey(w, d, lowO), oKey(w, d, nextO), olRow, func(storage.TupleSlot, *storage.ProjectedRow) bool {
+		items[olRow.Int32(0)] = struct{}{}
 		return true
 	})
 	low := 0
 	sRow := p.sUpd.NewRow()
 	for item := range items {
-		sSlot, ok := db.StockPK.GetOne(sKey(w, item))
-		if !ok {
-			continue
-		}
-		if found, _ := db.Stock.Select(tx, sSlot, sRow); found && sRow.Int32(0) < threshold {
+		if _, ok := db.StockPK.GetVisible(tx, sKey(w, item), sRow); ok && sRow.Int32(0) < threshold {
 			low++
 		}
 	}

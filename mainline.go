@@ -92,12 +92,23 @@ func NewSchema(fields ...Field) *Schema { return arrow.NewSchema(fields...) }
 // NewKeyBuilder creates a key builder with a capacity hint.
 func NewKeyBuilder(capacity int) *KeyBuilder { return index.NewKeyBuilder(capacity) }
 
-// NewBTreeIndex creates a single-tree ordered index.
+// NewBTreeIndex creates a single-tree ordered index — the standalone
+// index library. For indexes the engine maintains transactionally, use
+// Table.CreateIndex instead.
 func NewBTreeIndex() Index { return index.NewBTree() }
 
-// NewShardedIndex creates a hash-sharded ordered index for keys whose first
-// prefixLen bytes partition the workload.
-func NewShardedIndex(shards, prefixLen int) Index { return index.NewSharded(shards, prefixLen) }
+// NewShardedIndex creates a hash-sharded ordered index for keys whose
+// first prefixLen bytes partition the workload. prefixLen must be at
+// least 1; a non-positive value returns ErrInvalidPrefixLen (earlier
+// versions panicked at the first lookup). For engine-maintained indexes
+// use Table.CreateShardedIndex instead.
+func NewShardedIndex(shards, prefixLen int) (Index, error) {
+	s, err := index.NewSharded(shards, prefixLen)
+	if err != nil {
+		return nil, err
+	}
+	return s, nil
+}
 
 // TransformMode selects the gather target for cold blocks.
 type TransformMode = transform.Mode
