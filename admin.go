@@ -29,6 +29,10 @@ type Stats struct {
 	Recovery RecoveryStats
 	// Index aggregates engine-managed index activity across all tables.
 	Index IndexStats
+	// Exec counts analytical-executor work (Table.Aggregate / Table.Join):
+	// morsels dispatched to workers, partial aggregates merged, workers
+	// launched, rows aggregated, and dictionary fast-path blocks.
+	Exec ExecStats
 }
 
 // IndexStats aggregates engine-managed index activity: tree sizes, read
@@ -146,6 +150,7 @@ func (e *Engine) Stats() Stats {
 		Transform:  e.transformer.Stats(),
 		ActiveTxns: e.mgr.ActiveCount(),
 		Recovery:   e.recovery,
+		Exec:       e.execCounters.Snapshot(),
 	}
 	for _, t := range e.cat.Tables() {
 		s.Scan.Add(t.ScanStatsSnapshot())

@@ -1,0 +1,274 @@
+package mainline
+
+import (
+	"fmt"
+
+	"mainline/internal/arrow"
+	"mainline/internal/exec"
+	"mainline/internal/storage"
+)
+
+// Query describes a GROUP-BY aggregation for Table.Aggregate, built
+// fluently:
+//
+//	q := mainline.NewQuery().
+//		GroupBy("city").
+//		CountAll().
+//		Sum("amount").
+//		Where(mainline.Ge("amount", 0)).
+//		Workers(4)
+//	res, err := table.Aggregate(tx, q)
+//
+// Aggregates are evaluated with SQL semantics: COUNT(col) counts non-NULL
+// inputs, SUM/MIN/MAX/AVG over zero non-NULL inputs are NULL, NULL group
+// keys form their own group, and float MIN/MAX order NaN above every
+// number (Postgres total order), so results are deterministic regardless
+// of scan order or worker count.
+type Query struct {
+	groupBy []string
+	aggs    []queryAgg
+	pred    *Pred
+	workers int
+}
+
+type queryAgg struct {
+	op  exec.AggOp
+	col string // "" for COUNT(*)
+}
+
+// NewQuery returns an empty aggregation query.
+func NewQuery() *Query { return &Query{} }
+
+// GroupBy appends grouping columns. With no GroupBy the query computes a
+// single global aggregate row (even over an empty table).
+func (q *Query) GroupBy(cols ...string) *Query {
+	q.groupBy = append(q.groupBy, cols...)
+	return q
+}
+
+// CountAll appends COUNT(*) — rows per group, NULLs included.
+func (q *Query) CountAll() *Query {
+	q.aggs = append(q.aggs, queryAgg{op: exec.OpCount})
+	return q
+}
+
+// Count appends COUNT(col): non-NULL values of col per group.
+func (q *Query) Count(col string) *Query {
+	q.aggs = append(q.aggs, queryAgg{op: exec.OpCount, col: col})
+	return q
+}
+
+// Sum appends SUM(col) over a numeric column.
+func (q *Query) Sum(col string) *Query {
+	q.aggs = append(q.aggs, queryAgg{op: exec.OpSum, col: col})
+	return q
+}
+
+// Min appends MIN(col) over a numeric column.
+func (q *Query) Min(col string) *Query {
+	q.aggs = append(q.aggs, queryAgg{op: exec.OpMin, col: col})
+	return q
+}
+
+// Max appends MAX(col) over a numeric column.
+func (q *Query) Max(col string) *Query {
+	q.aggs = append(q.aggs, queryAgg{op: exec.OpMax, col: col})
+	return q
+}
+
+// Avg appends AVG(col) over a numeric column (always a float64 result).
+func (q *Query) Avg(col string) *Query {
+	q.aggs = append(q.aggs, queryAgg{op: exec.OpAvg, col: col})
+	return q
+}
+
+// Where pushes a scan predicate below the aggregation (zone-map pruning
+// and kernel filtering apply, exactly as in Table.Filter).
+func (q *Query) Where(pred *Pred) *Query {
+	q.pred = pred
+	return q
+}
+
+// Workers sets the parallel worker count; <= 0 (the default) uses
+// NumCPU. Workers are capped at the table's block count.
+func (q *Query) Workers(n int) *Query {
+	q.workers = n
+	return q
+}
+
+// Aggregate executes q inside tx with the morsel-driven parallel
+// executor: workers pull block-granular morsels from one snapshot of the
+// table's block list, aggregate them vectorized (dictionary-encoded
+// frozen blocks aggregate on int32 codes directly), and merge their
+// partial results. The result is snapshot-consistent — identical to
+// computing the same aggregates with a tuple-at-a-time Scan in tx — and
+// deterministically ordered by group key bytes.
+func (t *Table) Aggregate(tx *Txn, q *Query) (*AggResult, error) {
+	if err := tx.usable(); err != nil {
+		return nil, err
+	}
+	plan := &exec.AggPlan{Table: t.DataTable, Workers: q.workers}
+	groupFloat := make([]bool, 0, len(q.groupBy))
+	for _, name := range q.groupBy {
+		f := t.Schema.FieldIndex(name)
+		if f < 0 {
+			return nil, fmt.Errorf("mainline: no column %q", name)
+		}
+		plan.GroupBy = append(plan.GroupBy, storage.ColumnID(f))
+		groupFloat = append(groupFloat, t.Schema.Fields[f].Type == arrow.FLOAT64)
+	}
+	for _, a := range q.aggs {
+		spec := exec.AggSpec{Op: a.op, Col: -1}
+		if a.col != "" {
+			f := t.Schema.FieldIndex(a.col)
+			if f < 0 {
+				return nil, fmt.Errorf("mainline: no column %q", a.col)
+			}
+			spec.Col = f
+			spec.Float = t.Schema.Fields[f].Type == arrow.FLOAT64
+		}
+		plan.Aggs = append(plan.Aggs, spec)
+	}
+	if q.pred != nil {
+		cpred, err := q.pred.compile(t.Table)
+		if err != nil {
+			return nil, err
+		}
+		plan.Pred = cpred
+	}
+	r, err := exec.Aggregate(tx.raw, plan, &tx.eng.execCounters)
+	if err != nil {
+		return nil, err
+	}
+	return &AggResult{r: r, groupFloat: groupFloat}, nil
+}
+
+// AggResult is a finalized aggregation: Len() group rows, each carrying
+// the group-key columns (in GroupBy order) and the aggregate values (in
+// the order they were added to the Query). Rows are sorted by encoded
+// group key, so equal inputs always produce identical results.
+type AggResult struct {
+	r          *exec.AggResult
+	groupFloat []bool
+}
+
+// Len returns the number of groups.
+func (r *AggResult) Len() int { return r.r.Len() }
+
+// NumGroupCols returns the number of GROUP-BY columns.
+func (r *AggResult) NumGroupCols() int { return r.r.NumGroupCols() }
+
+// NumAggs returns the number of aggregates per group.
+func (r *AggResult) NumAggs() int { return r.r.NumAggs() }
+
+// GroupIsNull reports whether group column col of group row is NULL.
+func (r *AggResult) GroupIsNull(row, col int) bool { return r.r.GroupIsNull(row, col) }
+
+// GroupInt returns fixed-width group column col of group row widened to
+// int64 (0 when NULL; FLOAT64 group columns convert by value).
+func (r *AggResult) GroupInt(row, col int) int64 {
+	if r.r.GroupIsNull(row, col) {
+		return 0
+	}
+	if r.groupFloat[col] {
+		return int64(r.r.GroupFloat(row, col))
+	}
+	return r.r.GroupInt(row, col)
+}
+
+// GroupFloat returns FLOAT64 group column col of group row (integer group
+// columns convert by value; 0 when NULL).
+func (r *AggResult) GroupFloat(row, col int) float64 {
+	if r.r.GroupIsNull(row, col) {
+		return 0
+	}
+	if r.groupFloat[col] {
+		return r.r.GroupFloat(row, col)
+	}
+	return float64(r.r.GroupInt(row, col))
+}
+
+// GroupBytes returns varlen group column col of group row (nil when
+// NULL). The slice aliases the result's key storage — copy to mutate.
+func (r *AggResult) GroupBytes(row, col int) []byte { return r.r.GroupBytes(row, col) }
+
+// GroupString returns varlen group column col of group row ("" when NULL).
+func (r *AggResult) GroupString(row, col int) string { return string(r.r.GroupBytes(row, col)) }
+
+// IsNull reports whether aggregate a of group row is SQL NULL (COUNT
+// never is; the others are when no non-NULL input reached them).
+func (r *AggResult) IsNull(row, a int) bool { return r.r.IsNull(row, a) }
+
+// Count returns the non-NULL input count of aggregate a in group row: the
+// value of COUNT aggregates, the denominator of AVG.
+func (r *AggResult) Count(row, a int) int64 { return r.r.Count(row, a) }
+
+// Int returns integer aggregate a of group row (COUNT/SUM/MIN/MAX over
+// integer columns). 0 when IsNull.
+func (r *AggResult) Int(row, a int) int64 {
+	if r.r.IsNull(row, a) {
+		return 0
+	}
+	return r.r.Int(row, a)
+}
+
+// Float returns float aggregate a of group row (SUM/MIN/MAX over FLOAT64
+// columns, and AVG over any numeric column). 0 when IsNull.
+func (r *AggResult) Float(row, a int) float64 {
+	if r.r.IsNull(row, a) {
+		return 0
+	}
+	return r.r.Float(row, a)
+}
+
+// JoinRow is one side of a join match; see Table.Join. Columns are
+// addressed by position in the JoinSpec payload lists.
+type JoinRow = exec.JoinRow
+
+// JoinSpec names the key and payload columns of a Table.Join. Key columns
+// must both be numeric or both string/binary; NULL keys never join.
+type JoinSpec struct {
+	BuildKey, ProbeKey   string
+	BuildCols, ProbeCols []string
+}
+
+// Join executes an inner hash equi-join inside tx: this table is the
+// build side (materialized into a hash table), probe streams through the
+// vectorized scan. Probe blocks whose key column is dictionary-encoded
+// probe once per distinct code rather than once per row. fn receives the
+// payload columns of each matching pair; returning false stops the join.
+func (t *Table) Join(tx *Txn, probe *Table, spec JoinSpec, fn func(build, probe *JoinRow) bool) error {
+	if err := tx.usable(); err != nil {
+		return err
+	}
+	plan := &exec.JoinPlan{Build: t.DataTable, Probe: probe.DataTable}
+	resolve := func(tab *Table, name string) (storage.ColumnID, error) {
+		f := tab.Schema.FieldIndex(name)
+		if f < 0 {
+			return 0, fmt.Errorf("mainline: no column %q", name)
+		}
+		return storage.ColumnID(f), nil
+	}
+	var err error
+	if plan.BuildKey, err = resolve(t, spec.BuildKey); err != nil {
+		return err
+	}
+	if plan.ProbeKey, err = resolve(probe, spec.ProbeKey); err != nil {
+		return err
+	}
+	for _, name := range spec.BuildCols {
+		c, err := resolve(t, name)
+		if err != nil {
+			return err
+		}
+		plan.BuildCols = append(plan.BuildCols, c)
+	}
+	for _, name := range spec.ProbeCols {
+		c, err := resolve(probe, name)
+		if err != nil {
+			return err
+		}
+		plan.ProbeCols = append(plan.ProbeCols, c)
+	}
+	return exec.HashJoin(tx.raw, plan, &tx.eng.execCounters, fn)
+}

@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	mainline-bench [flags] fig1|fig10|fig11|fig12|fig13|fig14|fig15|commit|scan|index|recovery|all
+//	mainline-bench [flags] fig1|fig10|fig11|fig12|fig13|fig14|fig15|commit|scan|index|olap|recovery|all
 //
 // The extra "commit" target (not a paper figure) sweeps the parallel
 // commit pipeline: durable TPC-C throughput versus terminals under WAL
@@ -15,6 +15,9 @@
 // The "index" target sweeps engine-managed indexed reads (point lookups
 // and ordered ranges) against the vectorized Filter and full Scan, and
 // fails unless the indexed point read beats the Filter by >= 10x.
+// The "olap" target sweeps morsel-driven parallel aggregation (rows/sec
+// vs worker count over a frozen dictionary-encoded table) and fails on an
+// 8-core host unless 8 workers reach >= 3x the single-worker rate.
 // The "recovery" target sweeps restart time against WAL
 // length with and without checkpoint anchoring.
 package main
@@ -42,7 +45,7 @@ func main() {
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: mainline-bench [flags] fig1|fig10|fig11|fig12|fig13|fig14|fig15|commit|scan|index|recovery|all")
+		fmt.Fprintln(os.Stderr, "usage: mainline-bench [flags] fig1|fig10|fig11|fig12|fig13|fig14|fig15|commit|scan|index|olap|recovery|all")
 		os.Exit(2)
 	}
 	s := func(n int) int {
@@ -114,6 +117,11 @@ func main() {
 		cfg.Lookups = s(cfg.Lookups)
 		cfg.Ranges = s(cfg.Ranges)
 		return bench.IndexBench(cfg)
+	})
+	run("olap", func() (*benchutil.Table, error) {
+		cfg := bench.DefaultOlapConfig()
+		cfg.PerBlock = s(cfg.PerBlock)
+		return bench.Olap(cfg)
 	})
 	run("recovery", func() (*benchutil.Table, error) {
 		cfg := recoverybench.DefaultRecoveryConfig()

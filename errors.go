@@ -5,6 +5,7 @@ import (
 
 	"mainline/internal/core"
 	"mainline/internal/index"
+	"mainline/internal/storage"
 )
 
 // The typed error taxonomy of the public API. API misuse (double commit,
@@ -45,6 +46,11 @@ var (
 	// transactions would be lost by a crash before the next checkpoint.
 	// Data directories recover themselves at Open.
 	ErrRecoverDataDir = errors.New("mainline: Recover is not supported with WithDataDir (recovery happens at Open)")
+	// ErrDuplicateColumn is returned when a projection — Table.Scan,
+	// Filter, ScanBatches, or NewRowFor column lists — names the same
+	// column twice. Projections are positional; a duplicated column would
+	// silently alias one value slot under two positions.
+	ErrDuplicateColumn = storage.ErrDuplicateColumn
 	// ErrInvalidPrefixLen is returned by NewShardedIndex when prefixLen is
 	// not positive — shard selection hashes the first prefixLen key bytes,
 	// so the length must be at least 1.

@@ -1,0 +1,177 @@
+package arrow
+
+import (
+	"encoding/binary"
+	"math"
+
+	"mainline/internal/util"
+)
+
+// Aggregation kernels: tight accumulation loops over raw little-endian
+// column buffers — the inner loops of the vectorized hash-aggregation
+// operator. Like the selection kernels they run directly over a frozen
+// block's Arrow memory or a hot batch's scratch columns. A nil validity
+// bitmap means the column has no nulls; NULL values never contribute.
+//
+// Each kernel takes an optional selection vector: when sel is non-nil only
+// the selected positions are visited (the shape a pushed-down predicate
+// leaves behind), otherwise all n rows are.
+//
+// The count returned by every kernel is the number of non-NULL values
+// accumulated — COUNT(col) semantics, and the denominator for AVG.
+
+// AggSumInt64 accumulates 8-byte signed integers.
+func AggSumInt64(vals []byte, valid util.Bitmap, sel []uint32, n int) (sum int64, count int64) {
+	if sel != nil {
+		for _, i := range sel {
+			if valid == nil || valid.Test(int(i)) {
+				sum += int64(binary.LittleEndian.Uint64(vals[i*8:]))
+				count++
+			}
+		}
+		return sum, count
+	}
+	if n == 0 {
+		return 0, 0
+	}
+	_ = vals[n*8-1]
+	if valid == nil {
+		for i := 0; i < n; i++ {
+			sum += int64(binary.LittleEndian.Uint64(vals[i*8:]))
+		}
+		return sum, int64(n)
+	}
+	for i := 0; i < n; i++ {
+		if valid.Test(i) {
+			sum += int64(binary.LittleEndian.Uint64(vals[i*8:]))
+			count++
+		}
+	}
+	return sum, count
+}
+
+// AggMinMaxInt64 tracks the extrema of 8-byte signed integers. min and max
+// are meaningless when count is 0.
+func AggMinMaxInt64(vals []byte, valid util.Bitmap, sel []uint32, n int) (mn, mx int64, count int64) {
+	mn, mx = math.MaxInt64, math.MinInt64
+	visit := func(i int) {
+		v := int64(binary.LittleEndian.Uint64(vals[i*8:]))
+		if v < mn {
+			mn = v
+		}
+		if v > mx {
+			mx = v
+		}
+		count++
+	}
+	if sel != nil {
+		for _, i := range sel {
+			if valid == nil || valid.Test(int(i)) {
+				visit(int(i))
+			}
+		}
+		return mn, mx, count
+	}
+	for i := 0; i < n; i++ {
+		if valid == nil || valid.Test(i) {
+			visit(i)
+		}
+	}
+	return mn, mx, count
+}
+
+// AggSumFloat64 accumulates 8-byte floats. NaN inputs are accumulated like
+// any other value (SUM over a group containing NaN is NaN — SQL float
+// semantics).
+func AggSumFloat64(vals []byte, valid util.Bitmap, sel []uint32, n int) (sum float64, count int64) {
+	if sel != nil {
+		for _, i := range sel {
+			if valid == nil || valid.Test(int(i)) {
+				sum += math.Float64frombits(binary.LittleEndian.Uint64(vals[i*8:]))
+				count++
+			}
+		}
+		return sum, count
+	}
+	if n == 0 {
+		return 0, 0
+	}
+	_ = vals[n*8-1]
+	if valid == nil {
+		for i := 0; i < n; i++ {
+			sum += math.Float64frombits(binary.LittleEndian.Uint64(vals[i*8:]))
+		}
+		return sum, int64(n)
+	}
+	for i := 0; i < n; i++ {
+		if valid.Test(i) {
+			sum += math.Float64frombits(binary.LittleEndian.Uint64(vals[i*8:]))
+			count++
+		}
+	}
+	return sum, count
+}
+
+// AggMinMaxFloat64 tracks float extrema under the Postgres total order: NaN
+// sorts greater than every number, so the result is independent of input
+// order. The kernel accumulates extrema over the comparable (non-NaN)
+// values and reports both the non-NULL count and the comparable count;
+// the operator layer derives MIN (NaN only when every input was NaN) and
+// MAX (NaN when any input was NaN) from the two. mn and mx are
+// meaningless when cmp is 0.
+func AggMinMaxFloat64(vals []byte, valid util.Bitmap, sel []uint32, n int) (mn, mx float64, count, cmp int64) {
+	mn, mx = math.Inf(1), math.Inf(-1)
+	visit := func(i int) {
+		v := math.Float64frombits(binary.LittleEndian.Uint64(vals[i*8:]))
+		count++
+		if v != v {
+			return
+		}
+		cmp++
+		if v < mn {
+			mn = v
+		}
+		if v > mx {
+			mx = v
+		}
+	}
+	if sel != nil {
+		for _, i := range sel {
+			if valid == nil || valid.Test(int(i)) {
+				visit(int(i))
+			}
+		}
+		return mn, mx, count, cmp
+	}
+	for i := 0; i < n; i++ {
+		if valid == nil || valid.Test(i) {
+			visit(i)
+		}
+	}
+	return mn, mx, count, cmp
+}
+
+// AggCountValid counts non-NULL positions.
+func AggCountValid(valid util.Bitmap, sel []uint32, n int) int64 {
+	if valid == nil {
+		if sel != nil {
+			return int64(len(sel))
+		}
+		return int64(n)
+	}
+	var count int64
+	if sel != nil {
+		for _, i := range sel {
+			if valid.Test(int(i)) {
+				count++
+			}
+		}
+		return count
+	}
+	for i := 0; i < n; i++ {
+		if valid.Test(i) {
+			count++
+		}
+	}
+	return count
+}

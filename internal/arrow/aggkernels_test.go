@@ -1,0 +1,218 @@
+package arrow
+
+// Unit tests for the aggregation kernels against a scalar reference, over
+// the full matrix of {nil valid, sparse valid} × {nil sel, sparse sel},
+// plus the NaN total-order contract of AggMinMaxFloat64.
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+
+	"mainline/internal/util"
+)
+
+// kernelFixture builds n int64/float64 values in one raw buffer plus a
+// validity bitmap clearing every 5th bit and a selection vector keeping
+// every 3rd position.
+func kernelFixture(n int, f func(i int) uint64) (vals []byte, valid util.Bitmap, sel []uint32) {
+	vals = make([]byte, n*8)
+	valid = util.NewBitmap(n)
+	for i := 0; i < n; i++ {
+		binary.LittleEndian.PutUint64(vals[i*8:], f(i))
+		if i%5 != 0 {
+			valid.Set(i)
+		}
+		if i%3 == 0 {
+			sel = append(sel, uint32(i))
+		}
+	}
+	return vals, valid, sel
+}
+
+func TestAggSumInt64(t *testing.T) {
+	const n = 257
+	vals, valid, sel := kernelFixture(n, func(i int) uint64 { return uint64(int64(i*7 - 900)) })
+	ref := func(valid util.Bitmap, sel []uint32) (int64, int64) {
+		var sum, cnt int64
+		for i := 0; i < n; i++ {
+			if sel != nil && i%3 != 0 {
+				continue
+			}
+			if valid != nil && !valid.Test(i) {
+				continue
+			}
+			sum += int64(i*7 - 900)
+			cnt++
+		}
+		return sum, cnt
+	}
+	for _, tc := range []struct {
+		name  string
+		valid util.Bitmap
+		sel   []uint32
+	}{
+		{"dense", nil, nil}, {"valid", valid, nil}, {"sel", nil, sel}, {"valid+sel", valid, sel},
+	} {
+		wantSum, wantCnt := ref(tc.valid, tc.sel)
+		sum, cnt := AggSumInt64(vals, tc.valid, tc.sel, n)
+		if sum != wantSum || cnt != wantCnt {
+			t.Fatalf("%s: got (%d, %d) want (%d, %d)", tc.name, sum, cnt, wantSum, wantCnt)
+		}
+	}
+	if sum, cnt := AggSumInt64(nil, nil, nil, 0); sum != 0 || cnt != 0 {
+		t.Fatalf("empty: got (%d, %d)", sum, cnt)
+	}
+}
+
+func TestAggMinMaxInt64(t *testing.T) {
+	const n = 100
+	vals, valid, sel := kernelFixture(n, func(i int) uint64 { return uint64(int64((i*37)%201 - 100)) })
+	for _, tc := range []struct {
+		name  string
+		valid util.Bitmap
+		sel   []uint32
+	}{
+		{"dense", nil, nil}, {"valid", valid, nil}, {"sel", nil, sel}, {"valid+sel", valid, sel},
+	} {
+		wantMin, wantMax := int64(math.MaxInt64), int64(math.MinInt64)
+		var wantCnt int64
+		for i := 0; i < n; i++ {
+			if tc.sel != nil && i%3 != 0 {
+				continue
+			}
+			if tc.valid != nil && !tc.valid.Test(i) {
+				continue
+			}
+			v := int64((i*37)%201 - 100)
+			if v < wantMin {
+				wantMin = v
+			}
+			if v > wantMax {
+				wantMax = v
+			}
+			wantCnt++
+		}
+		mn, mx, cnt := AggMinMaxInt64(vals, tc.valid, tc.sel, n)
+		if mn != wantMin || mx != wantMax || cnt != wantCnt {
+			t.Fatalf("%s: got (%d, %d, %d) want (%d, %d, %d)", tc.name, mn, mx, cnt, wantMin, wantMax, wantCnt)
+		}
+	}
+}
+
+func TestAggSumFloat64(t *testing.T) {
+	const n = 64
+	// Exact halves: sums are associative, comparison can be exact.
+	vals, valid, sel := kernelFixture(n, func(i int) uint64 {
+		return math.Float64bits(float64(i%40-20) / 2)
+	})
+	for _, tc := range []struct {
+		name  string
+		valid util.Bitmap
+		sel   []uint32
+	}{
+		{"dense", nil, nil}, {"valid", valid, nil}, {"sel", nil, sel}, {"valid+sel", valid, sel},
+	} {
+		var wantSum float64
+		var wantCnt int64
+		for i := 0; i < n; i++ {
+			if tc.sel != nil && i%3 != 0 {
+				continue
+			}
+			if tc.valid != nil && !tc.valid.Test(i) {
+				continue
+			}
+			wantSum += float64(i%40-20) / 2
+			wantCnt++
+		}
+		sum, cnt := AggSumFloat64(vals, tc.valid, tc.sel, n)
+		if sum != wantSum || cnt != wantCnt {
+			t.Fatalf("%s: got (%v, %d) want (%v, %d)", tc.name, sum, cnt, wantSum, wantCnt)
+		}
+	}
+	// NaN propagates through the sum.
+	nan := make([]byte, 16)
+	binary.LittleEndian.PutUint64(nan, math.Float64bits(1.5))
+	binary.LittleEndian.PutUint64(nan[8:], math.Float64bits(math.NaN()))
+	if sum, cnt := AggSumFloat64(nan, nil, nil, 2); !math.IsNaN(sum) || cnt != 2 {
+		t.Fatalf("NaN sum: got (%v, %d), want (NaN, 2)", sum, cnt)
+	}
+}
+
+// TestAggMinMaxFloat64 pins the Postgres total-order contract: cmp counts
+// only comparable (non-NaN) values, count counts all non-NULL values, and
+// extrema ignore NaN — so the operator layer can decide MIN=NaN iff cmp==0
+// and MAX=NaN iff cmp<count regardless of input order.
+func TestAggMinMaxFloat64(t *testing.T) {
+	enc := func(vs ...float64) []byte {
+		b := make([]byte, len(vs)*8)
+		for i, v := range vs {
+			binary.LittleEndian.PutUint64(b[i*8:], math.Float64bits(v))
+		}
+		return b
+	}
+	nan := math.NaN()
+
+	mn, mx, cnt, cmp := AggMinMaxFloat64(enc(3.5, nan, -1.5, 2), nil, nil, 4)
+	if mn != -1.5 || mx != 3.5 || cnt != 4 || cmp != 3 {
+		t.Fatalf("mixed: got (%v, %v, %d, %d)", mn, mx, cnt, cmp)
+	}
+
+	// All NaN: cmp == 0 signals "MIN and MAX are both NaN".
+	_, _, cnt, cmp = AggMinMaxFloat64(enc(nan, nan), nil, nil, 2)
+	if cnt != 2 || cmp != 0 {
+		t.Fatalf("all-NaN: got cnt=%d cmp=%d, want 2, 0", cnt, cmp)
+	}
+
+	// ±Inf are ordinary comparable values.
+	mn, mx, cnt, cmp = AggMinMaxFloat64(enc(math.Inf(1), 0, math.Inf(-1)), nil, nil, 3)
+	if !math.IsInf(mn, -1) || !math.IsInf(mx, 1) || cnt != 3 || cmp != 3 {
+		t.Fatalf("inf: got (%v, %v, %d, %d)", mn, mx, cnt, cmp)
+	}
+
+	// Selection vector skips the NaN entirely.
+	mn, mx, cnt, cmp = AggMinMaxFloat64(enc(1.5, nan, 2.5), nil, []uint32{0, 2}, 3)
+	if mn != 1.5 || mx != 2.5 || cnt != 2 || cmp != 2 {
+		t.Fatalf("sel: got (%v, %v, %d, %d)", mn, mx, cnt, cmp)
+	}
+
+	// Validity masks the NaN.
+	valid := util.NewBitmap(3)
+	valid.Set(0)
+	valid.Set(2)
+	mn, mx, cnt, cmp = AggMinMaxFloat64(enc(1.5, nan, 2.5), valid, nil, 3)
+	if mn != 1.5 || mx != 2.5 || cnt != 2 || cmp != 2 {
+		t.Fatalf("valid: got (%v, %v, %d, %d)", mn, mx, cnt, cmp)
+	}
+}
+
+func TestAggCountValid(t *testing.T) {
+	const n = 97
+	valid := util.NewBitmap(n)
+	var want int64
+	for i := 0; i < n; i++ {
+		if i%4 != 0 {
+			valid.Set(i)
+			want++
+		}
+	}
+	if got := AggCountValid(valid, nil, n); got != want {
+		t.Fatalf("valid: got %d want %d", got, want)
+	}
+	if got := AggCountValid(nil, nil, n); got != int64(n) {
+		t.Fatalf("dense: got %d want %d", got, n)
+	}
+	sel := []uint32{0, 1, 4, 5, 8}
+	if got := AggCountValid(nil, sel, n); got != int64(len(sel)) {
+		t.Fatalf("dense+sel: got %d want %d", got, len(sel))
+	}
+	var wantSel int64
+	for _, i := range sel {
+		if i%4 != 0 {
+			wantSel++
+		}
+	}
+	if got := AggCountValid(valid, sel, n); got != wantSel {
+		t.Fatalf("valid+sel: got %d want %d", got, wantSel)
+	}
+}

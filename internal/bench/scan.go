@@ -184,6 +184,7 @@ func Scan(cfg ScanConfig) (*benchutil.Table, error) {
 		state, path string
 		fn          func(*txn.Transaction) error
 	}
+	rates := map[string]float64{}
 	run := func(sc []scenario) error {
 		var base float64
 		for i, s := range sc {
@@ -191,6 +192,7 @@ func Scan(cfg ScanConfig) (*benchutil.Table, error) {
 			if err != nil {
 				return err
 			}
+			rates[s.state+"/"+s.path] = rate
 			speedup := "1.00x"
 			if i == 0 {
 				base = rate
@@ -225,6 +227,12 @@ func Scan(cfg ScanConfig) (*benchutil.Table, error) {
 	st := table.ScanStatsSnapshot()
 	if st.BlocksPruned == 0 {
 		return nil, fmt.Errorf("bench: pruning scenario pruned no blocks")
+	}
+	// Regression floor (ISSUE 4 acceptance): frozen batch scans must beat
+	// tuple scans by >= 5x rows/sec, so the sweep fails on a perf
+	// regression, not only on an error.
+	if ratio := rates["frozen/vectorized"] / rates["frozen/tuple"]; ratio < 5 {
+		return nil, fmt.Errorf("bench: frozen vectorized scan only %.2fx the tuple scan (acceptance: >=5x)", ratio)
 	}
 	return t, nil
 }

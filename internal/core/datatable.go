@@ -151,6 +151,7 @@ func (t *DataTable) Insert(tx *txn.Transaction, row *storage.ProjectedRow) (stor
 	if !block.CASVersionPtr(offset, nil, rec) {
 		// Fresh slots have no chain; this cannot happen unless slots are
 		// reused incorrectly.
+		tx.DropLastUndo() // unpublished record must not reach Abort
 		return 0, ErrSlotOccupied
 	}
 	t.writeRow(block, offset, row)
@@ -177,6 +178,9 @@ func (t *DataTable) InsertIntoSlot(tx *txn.Transaction, slot storage.TupleSlot, 
 	}
 	rec := tx.NewUndoRecord(storage.KindInsert, slot, nil)
 	if !block.CASVersionPtr(offset, nil, rec) {
+		// Retract the unpublished record: rolling it back at Abort would
+		// clear the allocation bit of a tuple another writer owns.
+		tx.DropLastUndo()
 		return ErrSlotOccupied
 	}
 	block.MarkHot()
@@ -265,6 +269,10 @@ func (t *DataTable) Update(tx *txn.Transaction, slot storage.TupleSlot, update *
 	rec := tx.NewUndoRecord(storage.KindUpdate, slot, delta)
 	rec.SetNext(head)
 	if !block.CASVersionPtr(offset, head, rec) {
+		// The record never reached the chain; retract it, or Abort would
+		// roll back a write that never happened and stomp the winner's
+		// committed bytes with our stale before-image.
+		tx.DropLastUndo()
 		return ErrWriteConflict // another writer raced us
 	}
 	bufferIndexUpdates(tx, idxChanges, slot)
@@ -310,6 +318,7 @@ func (t *DataTable) Delete(tx *txn.Transaction, slot storage.TupleSlot) error {
 	rec := tx.NewUndoRecord(storage.KindDelete, slot, nil)
 	rec.SetNext(head)
 	if !block.CASVersionPtr(offset, head, rec) {
+		tx.DropLastUndo() // unpublished record must not reach Abort
 		return ErrWriteConflict
 	}
 	bufferIndexRemovals(tx, idxChanges, slot)

@@ -1,0 +1,7 @@
+//go:build !race
+
+package core
+
+// rmwRaceEnabled reports that the race detector is active; see
+// datatable_race_flag_test.go.
+const rmwRaceEnabled = false

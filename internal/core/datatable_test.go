@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	"mainline/internal/storage"
@@ -539,6 +540,117 @@ func TestConcurrentTransfersInvariant(t *testing.T) {
 	m.Commit(tx, nil)
 	if sum != accounts*1000 {
 		t.Fatalf("final sum = %d", sum)
+	}
+}
+
+// TestReadModifyWriteNoLostUpdates hammers a single counter tuple with
+// begin/read/increment/commit cycles from several goroutines, with
+// write-conflict retries and voluntary aborts mixed in. Snapshot isolation
+// plus the no-write-write-conflict rule must make exactly the successful
+// commits' increments stick: final value == successful commits. It is the
+// regression test for two races the TPC-C consistency audit used to trip:
+//
+//   - The orphaned-undo-record abort race: an Update whose version-chain
+//     CAS lost the install race left its never-published record in the
+//     transaction's undo buffer, and Abort then "rolled back" the write
+//     that never happened — stomping the winning writer's committed bytes
+//     with a stale before-image (now prevented by DropLastUndo). The
+//     conflict-retry aborts here exercise exactly that path.
+//   - The Begin/stamping race: a snapshot beginning while a
+//     lower-timestamped commit was still stamping its undo records read
+//     the before-image (stale for that snapshot) and then passed canWrite
+//     once stamping landed (now prevented by waitForInFlightCommits). The
+//     filler updates (8 private rows per worker, mirroring a TPC-C
+//     Payment's record count) widen the stamping window.
+func TestReadModifyWriteNoLostUpdates(t *testing.T) {
+	m, table := testEnv(t)
+	slot := insertRow(t, m, table, 0, "counter")
+	proj := storage.MustProjection(table.Layout(), []storage.ColumnID{0})
+
+	const workers = 8
+	const increments = 400
+	const fillers = 8
+	filler := make([][]storage.TupleSlot, workers)
+	for w := range filler {
+		filler[w] = make([]storage.TupleSlot, fillers)
+		for i := range filler[w] {
+			filler[w][i] = insertRow(t, m, table, 0, fmt.Sprintf("fill-%d-%d", w, i))
+		}
+	}
+	var committed atomic.Int64
+	var wg sync.WaitGroup
+	// Under TSan whole transactions are serialized (see rmwRaceEnabled);
+	// the lock is uncontended no-op cost otherwise.
+	var gate sync.Mutex
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := uint64(w)*2654435761 + 97
+			for i := 0; i < increments; i++ {
+				for {
+					rng ^= rng << 13
+					rng ^= rng >> 7
+					rng ^= rng << 17
+					ok := func() bool {
+						if rmwRaceEnabled {
+							gate.Lock()
+							defer gate.Unlock()
+						}
+						tx := m.Begin()
+						u := proj.NewRow()
+						pad := func(lo, hi int) bool {
+							for _, s := range filler[w][lo:hi] {
+								u.SetInt64(0, int64(i))
+								if table.Update(tx, s, u) != nil {
+									return false
+								}
+							}
+							return true
+						}
+						out := proj.NewRow()
+						found, err := table.Select(tx, slot, out)
+						if err != nil || !found || !pad(0, fillers/2) {
+							m.Abort(tx)
+							return false
+						}
+						u.SetInt64(0, out.Int64(0)+1)
+						if table.Update(tx, slot, u) != nil || !pad(fillers/2, fillers) {
+							m.Abort(tx)
+							return false
+						}
+						if rng%4 == 0 {
+							// Voluntary rollback after a successful update —
+							// the TPC-C Payment abort shape; its increment
+							// must vanish without disturbing anyone else's.
+							m.Abort(tx)
+							return false
+						}
+						m.Commit(tx, nil)
+						committed.Add(1)
+						return true
+					}()
+					if ok {
+						break
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	tx := m.Begin()
+	out := proj.NewRow()
+	if found, err := table.Select(tx, slot, out); err != nil || !found {
+		t.Fatalf("counter read failed: %v", err)
+	}
+	m.Commit(tx, nil)
+	want := committed.Load()
+	if int64(workers*increments) != want {
+		t.Fatalf("committed %d increments, want %d", want, workers*increments)
+	}
+	if got := out.Int64(0); got != want {
+		t.Fatalf("lost updates: counter = %d after %d committed increments", got, want)
 	}
 }
 

@@ -357,6 +357,42 @@ func (b *Batch) FixedAt(col, i int, dst []byte) {
 	copy(dst, b.scr.fixed[col][idx*w:(idx+1)*w])
 }
 
+// SelIndices exposes the batch's selection vector: the block-slot (frozen)
+// or scratch-row (hot) positions of the batch's rows, nil when the batch
+// covers rows 0..Len()-1 identically. Together with RawFixed it lets
+// vectorized consumers (aggregation kernels) run over batch memory
+// directly; the slice is valid only until the scan callback returns.
+func (b *Batch) SelIndices() []uint32 { return b.sel }
+
+// RawFixed exposes the packed value buffer, validity bitmap (nil = no
+// nulls), and byte width of fixed-width projected column col — frozen
+// batches alias block Arrow memory, hot batches the staging scratch. Row
+// positions in the buffer are pre-selection; combine with SelIndices.
+func (b *Batch) RawFixed(col int) (data []byte, valid util.Bitmap, width int) {
+	if b.frozen {
+		v := &b.fixedViews[col]
+		return v.Data, v.Valid, v.Width
+	}
+	return b.scr.fixed[col], b.scr.valid[col], b.scr.widths[col]
+}
+
+// Dict returns the sorted frozen dictionary backing projected varlen
+// column col, or nil — hot batches and plain-gathered frozen columns have
+// none. A non-nil dictionary enables the code-space fast paths: group keys
+// and join keys become int32 codes, decoded once per distinct code.
+func (b *Batch) Dict(col int) *storage.FrozenDict {
+	if !b.frozen {
+		return nil
+	}
+	return b.varlenViews[col].Dict()
+}
+
+// DictCode returns the dictionary code of projected column col at row i.
+// Only meaningful when Dict(col) is non-nil and the value is non-NULL.
+func (b *Batch) DictCode(col, i int) int32 {
+	return b.varlenViews[col].Dict().CodeAt(int(b.idx(i)))
+}
+
 // setupFrozen points the batch's column views at block's Arrow buffers.
 func (b *Batch) setupFrozen(block *storage.Block) {
 	nc := b.proj.NumCols()
@@ -533,6 +569,68 @@ func (s *scratch) appendRow(slot uint32, row *storage.ProjectedRow) {
 
 // --- ScanBatches -------------------------------------------------------------
 
+// scanPlan is the prepared, immutable description of one batch scan:
+// validated predicate, exposed projection, and the (possibly extended)
+// staging projection for hot blocks. A plan is cheap to prepare — the
+// extended projection is memoized — and safe to share across the workers
+// of a parallel scan, each of which drives its own blocks through
+// batchScanBlock with private Batch/scratch state.
+type scanPlan struct {
+	proj     *storage.Projection
+	scanProj *storage.Projection
+	pred     *Predicate
+	predIdx  int
+	// empty marks a statically unsatisfiable predicate: the scan visits
+	// nothing without touching any block.
+	empty bool
+}
+
+// prepareScan validates pred against the layout and resolves the staging
+// projection (the predicate column rides along as a hidden trailing column
+// when it is not projected; see scanProjFor).
+func (t *DataTable) prepareScan(proj *storage.Projection, pred *Predicate) (scanPlan, error) {
+	if proj == nil {
+		proj = t.allColumns
+	}
+	plan := scanPlan{proj: proj, scanProj: proj, pred: pred, predIdx: -1}
+	if pred == nil {
+		return plan, nil
+	}
+	if err := pred.validate(t.layout); err != nil {
+		return scanPlan{}, err
+	}
+	if pred.MatchNone {
+		plan.empty = true
+		return plan, nil
+	}
+	plan.predIdx = proj.IndexOf(pred.Col)
+	if plan.predIdx < 0 {
+		sp, err := t.scanProjFor(proj, pred.Col)
+		if err != nil {
+			return scanPlan{}, err
+		}
+		plan.scanProj = sp
+		plan.predIdx = proj.NumCols()
+	}
+	return plan, nil
+}
+
+// batchScanBlock runs one block of a prepared scan: frozen path (zone-map
+// prune, kernel filter, zero-copy batch) when the block is frozen, the
+// columnar-scratch hot path otherwise. *scr is allocated lazily (many
+// scans never meet a hot block); the caller returns it to the pool.
+// Returns false when fn stopped the scan.
+func (t *DataTable) batchScanBlock(tx *txn.Transaction, block *storage.Block, batch *Batch, scr **scratch, plan *scanPlan, fn func(*Batch) bool) bool {
+	cont, handled := t.frozenBatch(tx, block, batch, plan.pred, fn)
+	if handled {
+		return cont
+	}
+	if *scr == nil {
+		*scr = t.getScratch(plan.scanProj)
+	}
+	return t.hotBatches(tx, block, batch, *scr, plan.pred, plan.predIdx, fn)
+}
+
 // ScanBatches visits every tuple visible to tx that satisfies pred,
 // batch-at-a-time. proj selects the exposed columns (nil for all), pred may
 // be nil for an unfiltered scan. fn must not retain the batch or any slice
@@ -542,35 +640,11 @@ func (s *scratch) appendRow(slot uint32, row *storage.ProjectedRow) {
 // kernels over their Arrow buffers, and exposed zero-copy. Other blocks
 // are staged through a columnar scratch in chunks of HotBatchSize.
 func (t *DataTable) ScanBatches(tx *txn.Transaction, proj *storage.Projection, pred *Predicate, fn func(b *Batch) bool) error {
-	if proj == nil {
-		proj = t.allColumns
+	plan, err := t.prepareScan(proj, pred)
+	if err != nil || plan.empty {
+		return err
 	}
-	if pred != nil {
-		if err := pred.validate(t.layout); err != nil {
-			return err
-		}
-		if pred.MatchNone {
-			return nil
-		}
-	}
-	// Hot-block staging needs the predicate column materialized even when
-	// it is not projected; it rides along as a hidden trailing column.
-	// The extended projection is memoized per (projection, column).
-	scanProj := proj
-	predIdx := -1
-	if pred != nil {
-		predIdx = proj.IndexOf(pred.Col)
-		if predIdx < 0 {
-			var err error
-			scanProj, err = t.scanProjFor(proj, pred.Col)
-			if err != nil {
-				return err
-			}
-			predIdx = proj.NumCols()
-		}
-	}
-
-	batch := &Batch{proj: proj}
+	batch := &Batch{proj: plan.proj}
 	var scr *scratch
 	defer func() {
 		if scr != nil {
@@ -578,19 +652,32 @@ func (t *DataTable) ScanBatches(tx *txn.Transaction, proj *storage.Projection, p
 		}
 	}()
 	for _, block := range t.Blocks() {
-		cont, handled := t.frozenBatch(tx, block, batch, pred, fn)
-		if handled {
-			if !cont {
-				return nil
-			}
-			continue
-		}
-		if scr == nil {
-			scr = t.getScratch(scanProj)
-		}
-		if !t.hotBatches(tx, block, batch, scr, pred, predIdx, fn) {
+		if !t.batchScanBlock(tx, block, batch, &scr, &plan, fn) {
 			return nil
 		}
+	}
+	return nil
+}
+
+// ScanBlockBatches is the morsel-granular entry point of the batch scan:
+// it visits the visible, pred-satisfying tuples of exactly one block —
+// the unit a parallel executor fans across workers. The block must come
+// from a Blocks() snapshot taken under the same transaction's lifetime;
+// visiting every block of one snapshot exactly once is equivalent to one
+// ScanBatches pass, regardless of which worker runs which block. The
+// freeze/thaw protocol is respected per block: a block caught Thawing (or
+// any non-frozen state) falls back to the version-chain staging path, so
+// concurrent state transitions never tear a batch.
+func (t *DataTable) ScanBlockBatches(tx *txn.Transaction, block *storage.Block, proj *storage.Projection, pred *Predicate, fn func(b *Batch) bool) error {
+	plan, err := t.prepareScan(proj, pred)
+	if err != nil || plan.empty {
+		return err
+	}
+	batch := &Batch{proj: plan.proj}
+	var scr *scratch
+	t.batchScanBlock(tx, block, batch, &scr, &plan, fn)
+	if scr != nil {
+		t.putScratch(scr)
 	}
 	return nil
 }

@@ -1,0 +1,692 @@
+package exec
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"mainline/internal/arrow"
+	"mainline/internal/core"
+	"mainline/internal/storage"
+	"mainline/internal/txn"
+)
+
+// AggOp identifies an aggregate function.
+type AggOp uint8
+
+const (
+	OpCount AggOp = iota // COUNT(col), or COUNT(*) when Col < 0
+	OpSum
+	OpMin
+	OpMax
+	OpAvg
+)
+
+func (op AggOp) String() string {
+	switch op {
+	case OpCount:
+		return "count"
+	case OpSum:
+		return "sum"
+	case OpMin:
+		return "min"
+	case OpMax:
+		return "max"
+	case OpAvg:
+		return "avg"
+	}
+	return "agg?"
+}
+
+// AggSpec is one aggregate of a plan: an operator over an input column.
+// Col < 0 means COUNT(*) — count rows regardless of nulls. Float selects
+// float64 accumulation (the column's 8 bytes are IEEE bits, as written by
+// ProjectedRow.SetFloat64); otherwise the column is accumulated as a
+// sign-extended integer.
+type AggSpec struct {
+	Op    AggOp
+	Col   int
+	Float bool
+}
+
+// AggPlan describes one GROUP-BY aggregation query.
+type AggPlan struct {
+	Table   *core.DataTable
+	GroupBy []storage.ColumnID // empty: one global group
+	Aggs    []AggSpec
+	Pred    *core.Predicate // optional pushed-down scan predicate
+	Workers int             // parallel workers; <= 0 picks NumCPU
+}
+
+// Typed plan-validation errors.
+var (
+	ErrNoAggregates  = errors.New("exec: aggregation plan has no aggregates")
+	ErrAggOverVarlen = errors.New("exec: sum/min/max/avg over a variable-length column")
+	ErrBadFloatAgg   = errors.New("exec: float aggregate over a non-8-byte column")
+)
+
+// aggExec is a compiled plan: the scan projection plus the positions of
+// group and aggregate columns inside it.
+type aggExec struct {
+	plan      *AggPlan
+	proj      *storage.Projection
+	groupMeta []colMeta
+	groupPos  []int
+	aggPos    []int // -1 for COUNT(*)
+	aggMeta   []colMeta
+	nAggs     int
+}
+
+func compileAgg(plan *AggPlan) (*aggExec, error) {
+	if plan.Table == nil {
+		return nil, errors.New("exec: aggregation plan has no table")
+	}
+	if len(plan.Aggs) == 0 {
+		return nil, ErrNoAggregates
+	}
+	layout := plan.Table.Layout()
+	e := &aggExec{plan: plan, nAggs: len(plan.Aggs)}
+	var cols []storage.ColumnID
+	posOf := make(map[storage.ColumnID]int)
+	add := func(c storage.ColumnID) (int, error) {
+		if int(c) >= layout.NumColumns() {
+			return 0, fmt.Errorf("exec: column %d out of range", c)
+		}
+		if p, ok := posOf[c]; ok {
+			return p, nil
+		}
+		p := len(cols)
+		posOf[c] = p
+		cols = append(cols, c)
+		return p, nil
+	}
+	for _, g := range plan.GroupBy {
+		p, err := add(g)
+		if err != nil {
+			return nil, err
+		}
+		e.groupPos = append(e.groupPos, p)
+		e.groupMeta = append(e.groupMeta, metaFor(layout, g))
+	}
+	for _, a := range plan.Aggs {
+		if a.Col < 0 {
+			if a.Op != OpCount {
+				return nil, fmt.Errorf("exec: %s requires an input column", a.Op)
+			}
+			e.aggPos = append(e.aggPos, -1)
+			e.aggMeta = append(e.aggMeta, colMeta{})
+			continue
+		}
+		p, err := add(storage.ColumnID(a.Col))
+		if err != nil {
+			return nil, err
+		}
+		m := metaFor(layout, storage.ColumnID(a.Col))
+		if m.varlen && a.Op != OpCount {
+			return nil, fmt.Errorf("exec: %s(column %d): %w", a.Op, a.Col, ErrAggOverVarlen)
+		}
+		if a.Float && (m.varlen || m.width != 8) {
+			return nil, fmt.Errorf("exec: %s(column %d): %w", a.Op, a.Col, ErrBadFloatAgg)
+		}
+		e.aggPos = append(e.aggPos, p)
+		e.aggMeta = append(e.aggMeta, m)
+	}
+	if len(cols) == 0 {
+		// COUNT(*)-only plan: scan the cheapest possible projection (the
+		// scan still needs one to drive visibility).
+		cols = append(cols, plan.Table.AllColumnsProjection().Cols[0])
+	}
+	proj, err := storage.NewProjection(layout, cols)
+	if err != nil {
+		return nil, err
+	}
+	e.proj = proj
+	return e, nil
+}
+
+// groupTable is a partial aggregate: encoded group key → accumulator slot.
+// Accumulators are flat arrays with one stride-nAggs row per group:
+// cnt (non-NULL input count — the COUNT value and AVG denominator),
+// accI (integer sum / min / max), accF (float sum / min / max), and
+// cmp (comparable, i.e. non-NaN, count for float min/max under the
+// Postgres total order — NaN sorts above every number).
+type groupTable struct {
+	e    *aggExec
+	idx  map[string]int
+	keys []string
+	cnt  []int64
+	accI []int64
+	accF []float64
+	cmp  []int64
+}
+
+func (e *aggExec) newGroupTable() *groupTable {
+	return &groupTable{e: e, idx: make(map[string]int)}
+}
+
+// slot finds or creates the accumulator row for key.
+func (g *groupTable) slot(key []byte) int {
+	if i, ok := g.idx[string(key)]; ok { // no-alloc map probe
+		return i
+	}
+	i := len(g.keys)
+	k := string(key)
+	g.idx[k] = i
+	g.keys = append(g.keys, k)
+	for _, spec := range g.e.plan.Aggs {
+		g.cnt = append(g.cnt, 0)
+		g.cmp = append(g.cmp, 0)
+		g.accI = append(g.accI, initInt(spec.Op))
+		g.accF = append(g.accF, initFloat(spec.Op))
+	}
+	return i
+}
+
+func initInt(op AggOp) int64 {
+	switch op {
+	case OpMin:
+		return math.MaxInt64
+	case OpMax:
+		return math.MinInt64
+	}
+	return 0
+}
+
+func initFloat(op AggOp) float64 {
+	switch op {
+	case OpMin:
+		return math.Inf(1)
+	case OpMax:
+		return math.Inf(-1)
+	}
+	return 0
+}
+
+// accumRow folds batch row i into the accumulator row at base (shared by
+// the hash path and the dense dictionary path).
+func (e *aggExec) accumRow(cnt, accI []int64, accF []float64, cmp []int64, base int, b *core.Batch, i int) {
+	for a := range e.plan.Aggs {
+		spec := &e.plan.Aggs[a]
+		if spec.Col < 0 {
+			cnt[base+a]++
+			continue
+		}
+		pos := e.aggPos[a]
+		if b.IsNull(pos, i) {
+			continue
+		}
+		cnt[base+a]++
+		if spec.Op == OpCount {
+			continue
+		}
+		if spec.Float {
+			v := b.Float64(pos, i)
+			switch spec.Op {
+			case OpSum, OpAvg:
+				accF[base+a] += v
+			case OpMin:
+				if v == v {
+					cmp[base+a]++
+					if v < accF[base+a] {
+						accF[base+a] = v
+					}
+				}
+			case OpMax:
+				if v == v {
+					cmp[base+a]++
+					if v > accF[base+a] {
+						accF[base+a] = v
+					}
+				}
+			}
+			continue
+		}
+		v := b.Int(pos, i)
+		switch spec.Op {
+		case OpSum, OpAvg:
+			accI[base+a] += v
+		case OpMin:
+			if v < accI[base+a] {
+				accI[base+a] = v
+			}
+		case OpMax:
+			if v > accI[base+a] {
+				accI[base+a] = v
+			}
+		}
+	}
+}
+
+// denseState is the dictionary fast path's per-block scratch: accumulator
+// rows indexed directly by dictionary code, plus the list of codes touched
+// in the current block. Dictionaries are block-local, so the state is
+// merged into the worker's hash table (decoding each touched code exactly
+// once) at the end of every block and reused for the next.
+type denseState struct {
+	seen    []bool
+	touched []int32
+	cnt     []int64
+	accI    []int64
+	accF    []float64
+	cmp     []int64
+}
+
+func (ds *denseState) ensure(nCodes, nAggs int) {
+	if len(ds.seen) < nCodes {
+		ds.seen = make([]bool, nCodes)
+		ds.cnt = make([]int64, nCodes*nAggs)
+		ds.accI = make([]int64, nCodes*nAggs)
+		ds.accF = make([]float64, nCodes*nAggs)
+		ds.cmp = make([]int64, nCodes*nAggs)
+	}
+}
+
+// accumBatch folds one scan batch into the worker's partial aggregate.
+func (e *aggExec) accumBatch(gt *groupTable, ds *denseState, b *core.Batch, keyBuf *[]byte, c *Counters) {
+	n := b.Len()
+	if n == 0 {
+		return
+	}
+	c.addRows(int64(n))
+	if len(e.groupMeta) == 0 {
+		e.accumGlobal(gt, b)
+		return
+	}
+	if len(e.groupMeta) == 1 && e.groupMeta[0].varlen {
+		if d := b.Dict(e.groupPos[0]); d != nil {
+			e.accumDict(gt, ds, b, d, keyBuf, c)
+			return
+		}
+	}
+	for i := 0; i < n; i++ {
+		key := (*keyBuf)[:0]
+		for gi := range e.groupMeta {
+			key = appendKeyCol(key, b, e.groupMeta[gi], e.groupPos[gi], i)
+		}
+		*keyBuf = key
+		s := gt.slot(key)
+		e.accumRow(gt.cnt, gt.accI, gt.accF, gt.cmp, s*e.nAggs, b, i)
+	}
+}
+
+// accumGlobal is the ungrouped path: a single accumulator row fed by the
+// vectorized kernels over the batch's raw column buffers wherever the
+// column shape allows (8-byte fixed), falling back to scalar loops.
+func (e *aggExec) accumGlobal(gt *groupTable, b *core.Batch) {
+	s := gt.slot(nil)
+	base := s * e.nAggs
+	n := b.Len()
+	sel := b.SelIndices()
+	for a := range e.plan.Aggs {
+		spec := &e.plan.Aggs[a]
+		if spec.Col < 0 {
+			gt.cnt[base+a] += int64(n)
+			continue
+		}
+		pos := e.aggPos[a]
+		if e.aggMeta[a].varlen {
+			for i := 0; i < n; i++ {
+				if !b.IsNull(pos, i) {
+					gt.cnt[base+a]++
+				}
+			}
+			continue
+		}
+		data, valid, width := b.RawFixed(pos)
+		if width != 8 {
+			for i := 0; i < n; i++ {
+				if b.IsNull(pos, i) {
+					continue
+				}
+				gt.cnt[base+a]++
+				if spec.Op == OpCount {
+					continue
+				}
+				v := b.Int(pos, i)
+				switch spec.Op {
+				case OpSum, OpAvg:
+					gt.accI[base+a] += v
+				case OpMin:
+					if v < gt.accI[base+a] {
+						gt.accI[base+a] = v
+					}
+				case OpMax:
+					if v > gt.accI[base+a] {
+						gt.accI[base+a] = v
+					}
+				}
+			}
+			continue
+		}
+		switch {
+		case spec.Op == OpCount:
+			gt.cnt[base+a] += arrow.AggCountValid(valid, sel, n)
+		case spec.Float && (spec.Op == OpSum || spec.Op == OpAvg):
+			sum, count := arrow.AggSumFloat64(data, valid, sel, n)
+			gt.accF[base+a] += sum
+			gt.cnt[base+a] += count
+		case spec.Float:
+			mn, mx, count, cmp := arrow.AggMinMaxFloat64(data, valid, sel, n)
+			gt.cnt[base+a] += count
+			if cmp > 0 {
+				gt.cmp[base+a] += cmp
+				if spec.Op == OpMin && mn < gt.accF[base+a] {
+					gt.accF[base+a] = mn
+				}
+				if spec.Op == OpMax && mx > gt.accF[base+a] {
+					gt.accF[base+a] = mx
+				}
+			}
+		case spec.Op == OpSum || spec.Op == OpAvg:
+			sum, count := arrow.AggSumInt64(data, valid, sel, n)
+			gt.accI[base+a] += sum
+			gt.cnt[base+a] += count
+		default:
+			mn, mx, count := arrow.AggMinMaxInt64(data, valid, sel, n)
+			if count > 0 {
+				gt.cnt[base+a] += count
+				if spec.Op == OpMin && mn < gt.accI[base+a] {
+					gt.accI[base+a] = mn
+				}
+				if spec.Op == OpMax && mx > gt.accI[base+a] {
+					gt.accI[base+a] = mx
+				}
+			}
+		}
+	}
+}
+
+// accumDict is the dictionary-code fast path: group keys are int32 codes
+// into the block's sorted dictionary, so accumulation is a dense array
+// index instead of a hash probe, and each distinct group value is decoded
+// exactly once per block when the dense state merges into the hash table.
+// NULL group rows take the hash path (NULL has no code).
+func (e *aggExec) accumDict(gt *groupTable, ds *denseState, b *core.Batch, d *storage.FrozenDict, keyBuf *[]byte, c *Counters) {
+	ds.ensure(d.NumEntries, e.nAggs)
+	pos := e.groupPos[0]
+	n := b.Len()
+	for i := 0; i < n; i++ {
+		if b.IsNull(pos, i) {
+			key := append((*keyBuf)[:0], 1)
+			s := gt.slot(key)
+			e.accumRow(gt.cnt, gt.accI, gt.accF, gt.cmp, s*e.nAggs, b, i)
+			continue
+		}
+		code := b.DictCode(pos, i)
+		base := int(code) * e.nAggs
+		if !ds.seen[code] {
+			ds.seen[code] = true
+			ds.touched = append(ds.touched, code)
+			for a, spec := range e.plan.Aggs {
+				ds.cnt[base+a] = 0
+				ds.cmp[base+a] = 0
+				ds.accI[base+a] = initInt(spec.Op)
+				ds.accF[base+a] = initFloat(spec.Op)
+			}
+		}
+		e.accumRow(ds.cnt, ds.accI, ds.accF, ds.cmp, base, b, i)
+	}
+	for _, code := range ds.touched {
+		key := appendVarlenKey((*keyBuf)[:0], d.Value(int(code)))
+		s := gt.slot(key)
+		e.mergeSlot(gt, s, ds.cnt, ds.accI, ds.accF, ds.cmp, int(code)*e.nAggs)
+		ds.seen[code] = false
+	}
+	ds.touched = ds.touched[:0]
+	c.addDictBlock()
+}
+
+// mergeSlot folds the accumulator row at base into dst's slot s.
+func (e *aggExec) mergeSlot(dst *groupTable, s int, cnt, accI []int64, accF []float64, cmp []int64, base int) {
+	db := s * e.nAggs
+	for a := range e.plan.Aggs {
+		spec := &e.plan.Aggs[a]
+		c := cnt[base+a]
+		if c == 0 {
+			continue
+		}
+		dst.cnt[db+a] += c
+		switch spec.Op {
+		case OpCount:
+		case OpSum, OpAvg:
+			if spec.Float {
+				dst.accF[db+a] += accF[base+a]
+			} else {
+				dst.accI[db+a] += accI[base+a]
+			}
+		case OpMin:
+			if spec.Float {
+				dst.cmp[db+a] += cmp[base+a]
+				if cmp[base+a] > 0 && accF[base+a] < dst.accF[db+a] {
+					dst.accF[db+a] = accF[base+a]
+				}
+			} else if accI[base+a] < dst.accI[db+a] {
+				dst.accI[db+a] = accI[base+a]
+			}
+		case OpMax:
+			if spec.Float {
+				dst.cmp[db+a] += cmp[base+a]
+				if cmp[base+a] > 0 && accF[base+a] > dst.accF[db+a] {
+					dst.accF[db+a] = accF[base+a]
+				}
+			} else if accI[base+a] > dst.accI[db+a] {
+				dst.accI[db+a] = accI[base+a]
+			}
+		}
+	}
+}
+
+// mergeTable folds a worker's partial aggregate into the global table.
+func (e *aggExec) mergeTable(dst, src *groupTable) {
+	for i, key := range src.keys {
+		s := dst.slot([]byte(key))
+		e.mergeSlot(dst, s, src.cnt, src.accI, src.accF, src.cmp, i*e.nAggs)
+	}
+}
+
+// Aggregate executes plan inside tx: block-granular morsels are pulled
+// from one Blocks() snapshot by an atomic cursor, each worker folds its
+// morsels into a private partial aggregate through ScanBlockBatches, and
+// the partials merge into one result. The result order is deterministic
+// (sorted by encoded group key) regardless of worker count or morsel
+// interleaving. c may be nil.
+func Aggregate(tx *txn.Transaction, plan *AggPlan, c *Counters) (*AggResult, error) {
+	if c == nil {
+		c = &discard
+	}
+	e, err := compileAgg(plan)
+	if err != nil {
+		return nil, err
+	}
+	c.addQuery()
+	blocks := plan.Table.Blocks()
+	workers := plan.Workers
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > len(blocks) {
+		workers = len(blocks)
+	}
+	global := e.newGroupTable()
+	if len(blocks) > 0 {
+		c.addWorkers(int64(workers))
+		parts := make([]*groupTable, workers)
+		errs := make([]error, workers)
+		var cursor atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				gt := e.newGroupTable()
+				var ds denseState
+				keyBuf := make([]byte, 0, 64)
+				for {
+					i := int(cursor.Add(1)) - 1
+					if i >= len(blocks) {
+						break
+					}
+					c.addMorsel()
+					err := plan.Table.ScanBlockBatches(tx, blocks[i], e.proj, plan.Pred, func(b *core.Batch) bool {
+						e.accumBatch(gt, &ds, b, &keyBuf, c)
+						return true
+					})
+					if err != nil {
+						errs[w] = err
+						return
+					}
+				}
+				parts[w] = gt
+			}(w)
+		}
+		wg.Wait()
+		for _, werr := range errs {
+			if werr != nil {
+				return nil, werr
+			}
+		}
+		var merged int64
+		for _, gt := range parts {
+			if gt == nil || len(gt.keys) == 0 {
+				continue
+			}
+			e.mergeTable(global, gt)
+			merged++
+		}
+		c.addPartials(merged)
+	}
+	if len(e.groupMeta) == 0 {
+		// SQL: an ungrouped aggregate yields exactly one row even over
+		// empty input (COUNT 0, everything else NULL).
+		global.slot(nil)
+	}
+	return e.finalize(global), nil
+}
+
+// finalize orders the groups by encoded key and freezes the result.
+func (e *aggExec) finalize(g *groupTable) *AggResult {
+	order := make([]int, len(g.keys))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return g.keys[order[a]] < g.keys[order[b]] })
+	r := &AggResult{
+		groupMeta: e.groupMeta,
+		specs:     e.plan.Aggs,
+		keys:      make([]string, len(order)),
+		cnt:       make([]int64, len(order)*e.nAggs),
+		accI:      make([]int64, len(order)*e.nAggs),
+		accF:      make([]float64, len(order)*e.nAggs),
+		cmp:       make([]int64, len(order)*e.nAggs),
+	}
+	for i, s := range order {
+		r.keys[i] = g.keys[s]
+		copy(r.cnt[i*e.nAggs:(i+1)*e.nAggs], g.cnt[s*e.nAggs:])
+		copy(r.accI[i*e.nAggs:(i+1)*e.nAggs], g.accI[s*e.nAggs:])
+		copy(r.accF[i*e.nAggs:(i+1)*e.nAggs], g.accF[s*e.nAggs:])
+		copy(r.cmp[i*e.nAggs:(i+1)*e.nAggs], g.cmp[s*e.nAggs:])
+	}
+	return r
+}
+
+// AggResult is a finalized aggregation: one row per group, ordered
+// deterministically by encoded group key.
+type AggResult struct {
+	groupMeta []colMeta
+	specs     []AggSpec
+	keys      []string
+	cnt       []int64
+	accI      []int64
+	accF      []float64
+	cmp       []int64
+}
+
+// Len returns the number of groups.
+func (r *AggResult) Len() int { return len(r.keys) }
+
+// NumGroupCols returns the number of GROUP-BY columns.
+func (r *AggResult) NumGroupCols() int { return len(r.groupMeta) }
+
+// NumAggs returns the number of aggregates per group.
+func (r *AggResult) NumAggs() int { return len(r.specs) }
+
+// GroupIsNull reports whether group column col of group row is NULL.
+func (r *AggResult) GroupIsNull(row, col int) bool {
+	null, _ := keyColAt([]byte(r.keys[row]), r.groupMeta, col)
+	return null
+}
+
+// GroupInt returns group column col of group row widened to int64.
+func (r *AggResult) GroupInt(row, col int) int64 {
+	_, val := keyColAt([]byte(r.keys[row]), r.groupMeta, col)
+	return widenFixed(val)
+}
+
+// GroupFloat returns group column col of group row as float64.
+func (r *AggResult) GroupFloat(row, col int) float64 {
+	_, val := keyColAt([]byte(r.keys[row]), r.groupMeta, col)
+	return floatFixed(val)
+}
+
+// GroupBytes returns varlen group column col of group row (nil for NULL).
+func (r *AggResult) GroupBytes(row, col int) []byte {
+	null, val := keyColAt([]byte(r.keys[row]), r.groupMeta, col)
+	if null {
+		return nil
+	}
+	return val
+}
+
+// Count returns the non-NULL input count of aggregate a in group row —
+// the value of COUNT aggregates and the denominator of AVG.
+func (r *AggResult) Count(row, a int) int64 { return r.cnt[row*len(r.specs)+a] }
+
+// IsNull reports whether aggregate a of group row is SQL NULL: COUNT is
+// never NULL; every other aggregate is NULL when no non-NULL input
+// reached it.
+func (r *AggResult) IsNull(row, a int) bool {
+	if r.specs[a].Op == OpCount {
+		return false
+	}
+	return r.cnt[row*len(r.specs)+a] == 0
+}
+
+// Int returns integer aggregate a of group row (SUM/MIN/MAX over integer
+// columns; COUNT returns the count). Meaningless when IsNull.
+func (r *AggResult) Int(row, a int) int64 {
+	if r.specs[a].Op == OpCount {
+		return r.Count(row, a)
+	}
+	return r.accI[row*len(r.specs)+a]
+}
+
+// Float returns float aggregate a of group row: SUM/AVG as accumulated,
+// MIN/MAX under the Postgres total order (NaN above every number — MAX is
+// NaN when any input was NaN, MIN only when all were). AVG over integer
+// columns divides the integer sum. Meaningless when IsNull.
+func (r *AggResult) Float(row, a int) float64 {
+	i := row*len(r.specs) + a
+	spec := &r.specs[a]
+	switch spec.Op {
+	case OpAvg:
+		if spec.Float {
+			return r.accF[i] / float64(r.cnt[i])
+		}
+		return float64(r.accI[i]) / float64(r.cnt[i])
+	case OpMin:
+		if r.cmp[i] == 0 {
+			return math.NaN()
+		}
+		return r.accF[i]
+	case OpMax:
+		if r.cmp[i] < r.cnt[i] {
+			return math.NaN()
+		}
+		return r.accF[i]
+	}
+	return r.accF[i]
+}

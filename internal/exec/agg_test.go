@@ -1,0 +1,285 @@
+package exec_test
+
+// Oracle equivalence for the aggregation operator: every plan runs with 1
+// and 4 workers over the mixed hot/frozen-gather/frozen-dictionary table
+// and must match the serial tuple-at-a-time oracle exactly — including
+// NULL group keys, NULL inputs, NaN/±Inf floats, empty tables, and
+// statically empty predicates.
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"mainline/internal/core"
+	"mainline/internal/exec"
+	"mainline/internal/storage"
+	"mainline/internal/transform"
+)
+
+var floatCols = map[int]bool{colAmount: true}
+
+// fullAggs exercises every operator over int, float, narrow-int, and
+// varlen (COUNT only) inputs plus COUNT(*).
+var fullAggs = []exec.AggSpec{
+	{Op: exec.OpCount, Col: -1},
+	{Op: exec.OpCount, Col: colAmount, Float: true},
+	{Op: exec.OpSum, Col: colAmount, Float: true},
+	{Op: exec.OpMin, Col: colAmount, Float: true},
+	{Op: exec.OpMax, Col: colAmount, Float: true},
+	{Op: exec.OpAvg, Col: colAmount, Float: true},
+	{Op: exec.OpSum, Col: colID},
+	{Op: exec.OpMin, Col: colID},
+	{Op: exec.OpMax, Col: colID},
+	{Op: exec.OpAvg, Col: colSmall},
+	{Op: exec.OpSum, Col: colSmall},
+	{Op: exec.OpCount, Col: colName},
+}
+
+func TestAggregateOracle(t *testing.T) {
+	m, table := mixedTable(t)
+	cases := []struct {
+		name    string
+		groupBy []storage.ColumnID
+		pred    *core.Predicate
+		filter  func(row *storage.ProjectedRow) bool
+	}{
+		{name: "group-int", groupBy: []storage.ColumnID{colCat}},
+		{name: "group-varlen-dict", groupBy: []storage.ColumnID{colName}},
+		{name: "group-float", groupBy: []storage.ColumnID{colAmount}},
+		{name: "group-multi", groupBy: []storage.ColumnID{colCat, colName}},
+		{name: "global", groupBy: nil},
+		{
+			name: "group-with-pred", groupBy: []storage.ColumnID{colName},
+			pred:   core.NewIntPred(colID, 100, 950),
+			filter: func(r *storage.ProjectedRow) bool { return r.Int64(colID) >= 100 && r.Int64(colID) <= 950 },
+		},
+		{
+			name: "global-with-pred", groupBy: nil,
+			pred:   core.NewIntPred(colID, 600, 700),
+			filter: func(r *storage.ProjectedRow) bool { return r.Int64(colID) >= 600 && r.Int64(colID) <= 700 },
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			tx := m.Begin()
+			defer m.Commit(tx, nil)
+			want := oracleAgg(t, table, tx, tc.groupBy, fullAggs, floatCols, tc.filter)
+			for _, workers := range []int{1, 4} {
+				plan := &exec.AggPlan{
+					Table: table, GroupBy: tc.groupBy, Aggs: fullAggs,
+					Pred: tc.pred, Workers: workers,
+				}
+				res, err := exec.Aggregate(tx, plan, nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				checkAgainstOracle(t, res, want, tc.groupBy, fullAggs, table.Layout(), floatCols)
+			}
+		})
+	}
+}
+
+// TestAggregateDeterministicOrder asserts worker count does not change
+// the result: same groups, same order, same values.
+func TestAggregateDeterministicOrder(t *testing.T) {
+	m, table := mixedTable(t)
+	tx := m.Begin()
+	defer m.Commit(tx, nil)
+	var base *exec.AggResult
+	for _, workers := range []int{1, 2, 4, 8} {
+		res, err := exec.Aggregate(tx, &exec.AggPlan{
+			Table: table, GroupBy: []storage.ColumnID{colName}, Aggs: fullAggs, Workers: workers,
+		}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if base == nil {
+			base = res
+			continue
+		}
+		if res.Len() != base.Len() {
+			t.Fatalf("workers=%d: %d groups, want %d", workers, res.Len(), base.Len())
+		}
+		for r := 0; r < res.Len(); r++ {
+			if string(res.GroupBytes(r, 0)) != string(base.GroupBytes(r, 0)) ||
+				res.GroupIsNull(r, 0) != base.GroupIsNull(r, 0) {
+				t.Fatalf("workers=%d row %d: group key diverged", workers, r)
+			}
+			for a := range fullAggs {
+				if res.Count(r, a) != base.Count(r, a) {
+					t.Fatalf("workers=%d row %d agg %d: count diverged", workers, r, a)
+				}
+			}
+		}
+	}
+}
+
+// TestAggregateDictFastPath asserts the dictionary-code fast path engages
+// on frozen dictionary blocks and still matches the oracle.
+func TestAggregateDictFastPath(t *testing.T) {
+	m, table := execEnv(t)
+	insertRows(t, m, table, 0, 600)
+	sealTail(table)
+	insertRows(t, m, table, 600, 700) // hot tail: fast + slow paths mix
+	freeze(t, m, table.Blocks()[:1], transform.ModeDictionary)
+
+	tx := m.Begin()
+	defer m.Commit(tx, nil)
+	groupBy := []storage.ColumnID{colName}
+	want := oracleAgg(t, table, tx, groupBy, fullAggs, floatCols, nil)
+	var c exec.Counters
+	res, err := exec.Aggregate(tx, &exec.AggPlan{Table: table, GroupBy: groupBy, Aggs: fullAggs, Workers: 2}, &c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkAgainstOracle(t, res, want, groupBy, fullAggs, table.Layout(), floatCols)
+	s := c.Snapshot()
+	if s.DictFastBlocks == 0 {
+		t.Fatal("dictionary fast path never engaged on a frozen dictionary block")
+	}
+	if s.Queries != 1 || s.MorselsDispatched == 0 || s.RowsAggregated == 0 || s.WorkersLaunched == 0 {
+		t.Fatalf("counters not populated: %+v", s)
+	}
+}
+
+func TestAggregateEmptyTable(t *testing.T) {
+	m, table := execEnv(t)
+	tx := m.Begin()
+	defer m.Commit(tx, nil)
+
+	aggs := []exec.AggSpec{
+		{Op: exec.OpCount, Col: -1},
+		{Op: exec.OpSum, Col: colID},
+		{Op: exec.OpMin, Col: colAmount, Float: true},
+	}
+	// Grouped over empty input: no groups.
+	res, err := exec.Aggregate(tx, &exec.AggPlan{Table: table, GroupBy: []storage.ColumnID{colCat}, Aggs: aggs}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 0 {
+		t.Fatalf("grouped empty table: %d groups, want 0", res.Len())
+	}
+	// Ungrouped: exactly one row, COUNT 0, everything else NULL.
+	res, err = exec.Aggregate(tx, &exec.AggPlan{Table: table, Aggs: aggs}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 1 {
+		t.Fatalf("global empty table: %d rows, want 1", res.Len())
+	}
+	if res.Int(0, 0) != 0 || res.IsNull(0, 0) {
+		t.Fatal("COUNT(*) over empty table must be 0, not NULL")
+	}
+	if !res.IsNull(0, 1) || !res.IsNull(0, 2) {
+		t.Fatal("SUM/MIN over empty table must be NULL")
+	}
+}
+
+func TestAggregateMatchNonePredicate(t *testing.T) {
+	m, table := mixedTable(t)
+	tx := m.Begin()
+	defer m.Commit(tx, nil)
+	pred := core.MatchNonePred(colID)
+	res, err := exec.Aggregate(tx, &exec.AggPlan{
+		Table: table, GroupBy: []storage.ColumnID{colName},
+		Aggs: []exec.AggSpec{{Op: exec.OpCount, Col: -1}}, Pred: pred,
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 0 {
+		t.Fatalf("match-none grouped: %d groups, want 0", res.Len())
+	}
+	res, err = exec.Aggregate(tx, &exec.AggPlan{
+		Table: table, Aggs: []exec.AggSpec{{Op: exec.OpCount, Col: -1}}, Pred: pred,
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 1 || res.Int(0, 0) != 0 {
+		t.Fatal("match-none global must yield one row with COUNT(*) = 0")
+	}
+}
+
+func TestAggregatePlanValidation(t *testing.T) {
+	m, table := execEnv(t)
+	_ = m
+	cases := []struct {
+		name string
+		plan *exec.AggPlan
+		want error
+	}{
+		{"no-aggs", &exec.AggPlan{Table: table}, exec.ErrNoAggregates},
+		{"sum-varlen", &exec.AggPlan{Table: table, Aggs: []exec.AggSpec{{Op: exec.OpSum, Col: colName}}}, exec.ErrAggOverVarlen},
+		{"float-narrow", &exec.AggPlan{Table: table, Aggs: []exec.AggSpec{{Op: exec.OpSum, Col: colCat, Float: true}}}, exec.ErrBadFloatAgg},
+	}
+	tx := m.Begin()
+	defer m.Commit(tx, nil)
+	for _, tc := range cases {
+		if _, err := exec.Aggregate(tx, tc.plan, nil); !errors.Is(err, tc.want) {
+			t.Fatalf("%s: err = %v, want %v", tc.name, err, tc.want)
+		}
+	}
+	if _, err := exec.Aggregate(tx, &exec.AggPlan{
+		Table: table, Aggs: []exec.AggSpec{{Op: exec.OpCount, Col: 99}},
+	}, nil); err == nil {
+		t.Fatal("out-of-range column must error")
+	}
+}
+
+// TestAggregateNaNOnlyGroup pins the Postgres-total-order edge: a group
+// whose every float input is NaN has MIN = MAX = NaN, while a group with
+// a NaN among numbers has MAX = NaN but a numeric MIN.
+func TestAggregateNaNOnlyGroup(t *testing.T) {
+	m, table := execEnv(t)
+	tx0 := m.Begin()
+	row := table.AllColumnsProjection().NewRow()
+	ins := func(cat int32, amount float64) {
+		row.Reset()
+		row.SetInt64(colID, 1)
+		row.SetInt32(colCat, cat)
+		row.SetFloat64(colAmount, amount)
+		row.SetVarlen(colName, []byte("x"))
+		row.SetInt16(colSmall, 0)
+		if _, err := table.Insert(tx0, row); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ins(1, math.NaN())
+	ins(1, math.NaN())
+	ins(2, math.NaN())
+	ins(2, 3.5)
+	ins(2, -1.5)
+	m.Commit(tx0, nil)
+
+	tx := m.Begin()
+	defer m.Commit(tx, nil)
+	aggs := []exec.AggSpec{
+		{Op: exec.OpMin, Col: colAmount, Float: true},
+		{Op: exec.OpMax, Col: colAmount, Float: true},
+	}
+	res, err := exec.Aggregate(tx, &exec.AggPlan{Table: table, GroupBy: []storage.ColumnID{colCat}, Aggs: aggs}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 2 {
+		t.Fatalf("groups: %d, want 2", res.Len())
+	}
+	for r := 0; r < 2; r++ {
+		switch res.GroupInt(r, 0) {
+		case 1: // all-NaN group
+			if !math.IsNaN(res.Float(r, 0)) || !math.IsNaN(res.Float(r, 1)) {
+				t.Fatalf("all-NaN group: MIN=%v MAX=%v, want NaN/NaN", res.Float(r, 0), res.Float(r, 1))
+			}
+		case 2: // mixed group
+			if res.Float(r, 0) != -1.5 {
+				t.Fatalf("mixed group MIN = %v, want -1.5", res.Float(r, 0))
+			}
+			if !math.IsNaN(res.Float(r, 1)) {
+				t.Fatalf("mixed group MAX = %v, want NaN (NaN sorts above every number)", res.Float(r, 1))
+			}
+		}
+	}
+}

@@ -1,0 +1,240 @@
+package exec
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"mainline/internal/core"
+	"mainline/internal/storage"
+	"mainline/internal/txn"
+)
+
+// JoinPlan describes an inner equi-join: build a hash table over the
+// smaller side, probe it with the other. Key columns must both be
+// fixed-width (compared widened to int64, so an int32 key joins an int64
+// key; float keys compare by raw bit pattern) or both variable-length
+// (compared as bytes). NULL keys never join.
+type JoinPlan struct {
+	Build, Probe       *core.DataTable
+	BuildKey, ProbeKey storage.ColumnID
+	// BuildCols and ProbeCols select the payload columns handed to the
+	// row callback, in order.
+	BuildCols, ProbeCols []storage.ColumnID
+	// Optional pushed-down scan predicates per side.
+	BuildPred, ProbePred *core.Predicate
+}
+
+// ErrJoinKeyKind is returned when one join key is fixed-width and the
+// other variable-length.
+var ErrJoinKeyKind = errors.New("exec: join keys must both be fixed-width or both variable-length")
+
+// JoinRow is one side of a match: payload column values in plan order.
+// It aliases executor scratch — valid only inside the callback.
+type JoinRow struct {
+	metas []colMeta
+	enc   []byte
+}
+
+// NumCols returns the number of payload columns.
+func (r *JoinRow) NumCols() int { return len(r.metas) }
+
+// IsNull reports whether payload column i is NULL.
+func (r *JoinRow) IsNull(i int) bool {
+	null, _ := keyColAt(r.enc, r.metas, i)
+	return null
+}
+
+// Int returns payload column i widened to int64.
+func (r *JoinRow) Int(i int) int64 {
+	_, val := keyColAt(r.enc, r.metas, i)
+	return widenFixed(val)
+}
+
+// Float returns payload column i as float64 (8-byte columns).
+func (r *JoinRow) Float(i int) float64 {
+	_, val := keyColAt(r.enc, r.metas, i)
+	return floatFixed(val)
+}
+
+// Bytes returns varlen payload column i (nil for NULL). The slice aliases
+// executor scratch — copy to retain.
+func (r *JoinRow) Bytes(i int) []byte {
+	null, val := keyColAt(r.enc, r.metas, i)
+	if null {
+		return nil
+	}
+	return val
+}
+
+// joinSide is one compiled side: scan projection plus positions of the
+// key and payload columns within it.
+type joinSide struct {
+	proj    *storage.Projection
+	keyPos  int
+	keyMeta colMeta
+	colPos  []int
+	metas   []colMeta
+}
+
+func compileJoinSide(t *core.DataTable, key storage.ColumnID, payload []storage.ColumnID) (*joinSide, error) {
+	layout := t.Layout()
+	var cols []storage.ColumnID
+	posOf := make(map[storage.ColumnID]int)
+	add := func(c storage.ColumnID) (int, error) {
+		if int(c) >= layout.NumColumns() {
+			return 0, fmt.Errorf("exec: join column %d out of range", c)
+		}
+		if p, ok := posOf[c]; ok {
+			return p, nil
+		}
+		p := len(cols)
+		posOf[c] = p
+		cols = append(cols, c)
+		return p, nil
+	}
+	s := &joinSide{keyMeta: metaFor(layout, key)}
+	kp, err := add(key)
+	if err != nil {
+		return nil, err
+	}
+	s.keyPos = kp
+	for _, c := range payload {
+		p, err := add(c)
+		if err != nil {
+			return nil, err
+		}
+		s.colPos = append(s.colPos, p)
+		s.metas = append(s.metas, metaFor(layout, c))
+	}
+	s.proj, err = storage.NewProjection(layout, cols)
+	if err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// encodeRow encodes the payload columns of batch row i in plan order.
+func (s *joinSide) encodeRow(dst []byte, b *core.Batch, i int) []byte {
+	for ci := range s.metas {
+		dst = appendKeyCol(dst, b, s.metas[ci], s.colPos[ci], i)
+	}
+	return dst
+}
+
+// appendJoinKey appends the normalized key of batch row i: fixed keys
+// widen to 8 little-endian bytes, varlen keys are their bytes. The caller
+// has already excluded NULLs.
+func (s *joinSide) appendJoinKey(dst []byte, b *core.Batch, i int) []byte {
+	if s.keyMeta.varlen {
+		return append(dst, b.Bytes(s.keyPos, i)...)
+	}
+	return binary.LittleEndian.AppendUint64(dst, uint64(b.Int(s.keyPos, i)))
+}
+
+// HashJoin executes plan inside tx, invoking fn once per matching
+// build/probe row pair (in unspecified order); returning false stops the
+// join. The build side materializes into an encoded in-memory hash table;
+// the probe side streams through ScanBatches. When a probe block's key
+// column is dictionary-encoded, the hash table is probed once per
+// distinct code (the match list is memoized per code) instead of once per
+// row. c may be nil.
+func HashJoin(tx *txn.Transaction, plan *JoinPlan, c *Counters, fn func(build, probe *JoinRow) bool) error {
+	if c == nil {
+		c = &discard
+	}
+	build, err := compileJoinSide(plan.Build, plan.BuildKey, plan.BuildCols)
+	if err != nil {
+		return err
+	}
+	probe, err := compileJoinSide(plan.Probe, plan.ProbeKey, plan.ProbeCols)
+	if err != nil {
+		return err
+	}
+	if build.keyMeta.varlen != probe.keyMeta.varlen {
+		return ErrJoinKeyKind
+	}
+	c.addQuery()
+
+	// Build: key → indexes into the materialized (encoded) build rows.
+	ht := make(map[string][]int32)
+	var rows []string
+	var buf []byte
+	err = plan.Build.ScanBatches(tx, build.proj, plan.BuildPred, func(b *core.Batch) bool {
+		n := b.Len()
+		c.addJoinBuild(int64(n))
+		for i := 0; i < n; i++ {
+			if b.IsNull(build.keyPos, i) {
+				continue
+			}
+			buf = build.appendJoinKey(buf[:0], b, i)
+			id := int32(len(rows))
+			rows = append(rows, string(build.encodeRow(nil, b, i)))
+			ht[string(buf)] = append(ht[string(buf)], id)
+		}
+		return true
+	})
+	if err != nil {
+		return err
+	}
+
+	// Probe.
+	buildRow := &JoinRow{metas: build.metas}
+	probeRow := &JoinRow{metas: probe.metas}
+	var probeBuf []byte
+	var memo struct {
+		seen    []bool
+		matches [][]int32
+		touched []int32
+	}
+	err = plan.Probe.ScanBatches(tx, probe.proj, plan.ProbePred, func(b *core.Batch) bool {
+		n := b.Len()
+		c.addJoinProbe(int64(n))
+		d := b.Dict(probe.keyPos)
+		if d != nil {
+			if len(memo.seen) < d.NumEntries {
+				memo.seen = make([]bool, d.NumEntries)
+				memo.matches = make([][]int32, d.NumEntries)
+			}
+			c.addDictBlock()
+		}
+		for i := 0; i < n; i++ {
+			if b.IsNull(probe.keyPos, i) {
+				continue
+			}
+			var matches []int32
+			if d != nil {
+				code := b.DictCode(probe.keyPos, i)
+				if !memo.seen[code] {
+					memo.seen[code] = true
+					memo.touched = append(memo.touched, code)
+					memo.matches[code] = ht[string(d.Value(int(code)))]
+				}
+				matches = memo.matches[code]
+			} else {
+				buf = probe.appendJoinKey(buf[:0], b, i)
+				matches = ht[string(buf)]
+			}
+			if len(matches) == 0 {
+				continue
+			}
+			probeBuf = probe.encodeRow(probeBuf[:0], b, i)
+			probeRow.enc = probeBuf
+			for _, id := range matches {
+				buildRow.enc = []byte(rows[id])
+				if !fn(buildRow, probeRow) {
+					return false
+				}
+			}
+		}
+		if d != nil {
+			for _, code := range memo.touched {
+				memo.seen[code] = false
+				memo.matches[code] = nil
+			}
+			memo.touched = memo.touched[:0]
+		}
+		return true
+	})
+	return err
+}

@@ -1,0 +1,113 @@
+package exec
+
+import (
+	"encoding/binary"
+	"math"
+
+	"mainline/internal/core"
+	"mainline/internal/storage"
+)
+
+// Group and join keys are byte strings encoding one value per key column:
+//
+//	[1-byte null flag] [fixed column: raw little-endian width bytes |
+//	                    varlen column: uvarint length + bytes]
+//
+// The encoding is injective per schema (lengths are explicit), so two rows
+// share an encoded key iff their key columns are pairwise equal — with
+// equality meaning raw-bit equality for floats (NaN groups with NaN, and
+// -0.0 is a different key from +0.0) and SQL-flavored NULL grouping (NULL
+// groups with NULL). The same bytes double as the deterministic result
+// order: finalized groups are sorted by encoded key.
+
+// colMeta describes one key or payload column of an encoded row.
+type colMeta struct {
+	col    storage.ColumnID
+	varlen bool
+	width  int // fixed byte width; 0 for varlen
+}
+
+func metaFor(layout *storage.BlockLayout, col storage.ColumnID) colMeta {
+	if layout.IsVarlen(col) {
+		return colMeta{col: col, varlen: true}
+	}
+	return colMeta{col: col, varlen: false, width: layout.AttrSize(col)}
+}
+
+// appendKeyCol appends one column of batch row i to dst. pos is the
+// column's position inside the batch projection.
+func appendKeyCol(dst []byte, b *core.Batch, m colMeta, pos, i int) []byte {
+	if b.IsNull(pos, i) {
+		return append(dst, 1)
+	}
+	dst = append(dst, 0)
+	if m.varlen {
+		v := b.Bytes(pos, i)
+		dst = binary.AppendUvarint(dst, uint64(len(v)))
+		return append(dst, v...)
+	}
+	var buf [8]byte
+	b.FixedAt(pos, i, buf[:m.width])
+	return append(dst, buf[:m.width]...)
+}
+
+// appendVarlenKey appends an already-decoded non-NULL varlen value (the
+// dictionary fast path's decode-once-per-code finalize step).
+func appendVarlenKey(dst, v []byte) []byte {
+	dst = append(dst, 0)
+	dst = binary.AppendUvarint(dst, uint64(len(v)))
+	return append(dst, v...)
+}
+
+// keyWalker decodes an encoded key column by column.
+type keyWalker struct {
+	key []byte
+	off int
+}
+
+// next returns the next column: its null flag and raw value bytes.
+func (w *keyWalker) next(m colMeta) (null bool, val []byte) {
+	if w.key[w.off] == 1 {
+		w.off++
+		return true, nil
+	}
+	w.off++
+	if m.varlen {
+		n, sz := binary.Uvarint(w.key[w.off:])
+		w.off += sz
+		val = w.key[w.off : w.off+int(n)]
+		w.off += int(n)
+		return false, val
+	}
+	val = w.key[w.off : w.off+m.width]
+	w.off += m.width
+	return false, val
+}
+
+// keyColAt seeks to column idx of key under metas and returns it.
+func keyColAt(key []byte, metas []colMeta, idx int) (null bool, val []byte) {
+	w := keyWalker{key: key}
+	for i := 0; i <= idx; i++ {
+		null, val = w.next(metas[i])
+	}
+	return null, val
+}
+
+// widenFixed sign-extends a raw little-endian fixed value to int64.
+func widenFixed(val []byte) int64 {
+	switch len(val) {
+	case 8:
+		return int64(binary.LittleEndian.Uint64(val))
+	case 4:
+		return int64(int32(binary.LittleEndian.Uint32(val)))
+	case 2:
+		return int64(int16(binary.LittleEndian.Uint16(val)))
+	default:
+		return int64(int8(val[0]))
+	}
+}
+
+// floatFixed reinterprets a raw 8-byte value as float64.
+func floatFixed(val []byte) float64 {
+	return math.Float64frombits(binary.LittleEndian.Uint64(val))
+}

@@ -1,0 +1,7 @@
+//go:build !race
+
+package exec_test
+
+// aggRaceEnabled reports that the race detector is active; see
+// stress_race_flag_test.go for why the stress test changes shape under it.
+const aggRaceEnabled = false

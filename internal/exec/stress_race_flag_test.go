@@ -1,0 +1,11 @@
+//go:build race
+
+package exec_test
+
+// aggRaceEnabled reports that the race detector is active. The HTAP
+// stress test then runs phased (writers joined before every comparison)
+// so TSan sees a happens-before-ordered schedule; the engine's in-place
+// update is deliberately racy at tuple byte level (torn reads are
+// repaired through the version chain), so the full-contact mode is not
+// TSan-clean by design.
+const aggRaceEnabled = true

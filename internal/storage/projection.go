@@ -2,11 +2,19 @@ package storage
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"math"
 
 	"mainline/internal/util"
 )
+
+// ErrDuplicateColumn is returned by NewProjection when the same column is
+// named twice. Projections back rows, batches, and scans whose per-column
+// storage is positional — a duplicated column would silently alias one
+// value slot under two positions, so it is rejected with a typed error the
+// public API surfaces as mainline.ErrDuplicateColumn.
+var ErrDuplicateColumn = errors.New("storage: projection names a column twice")
 
 // Projection describes a subset of a layout's columns laid out as a compact
 // row: fixed-width attributes packed into one byte buffer, variable-length
@@ -41,7 +49,7 @@ func NewProjection(layout *BlockLayout, cols []ColumnID) (*Projection, error) {
 			return nil, fmt.Errorf("storage: projection column %d out of range", c)
 		}
 		if seen[c] {
-			return nil, fmt.Errorf("storage: projection column %d duplicated", c)
+			return nil, fmt.Errorf("storage: projection column %d duplicated: %w", c, ErrDuplicateColumn)
 		}
 		seen[c] = true
 		if layout.IsVarlen(c) {

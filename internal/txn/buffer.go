@@ -94,6 +94,27 @@ func (b *UndoBuffer) NewRecord() *storage.UndoRecord {
 // size, reported by the compaction-group experiments).
 func (b *UndoBuffer) Len() int { return b.count }
 
+// DropLast retracts the most recently reserved record. Writers call it
+// when the version-chain CAS loses the install race: the record was never
+// published, but leaving it in the buffer would hand Abort a rollback for
+// a write that never happened — restoring a stale before-image over
+// whichever writer won (or, for inserts, clearing a foreign tuple's
+// allocation bit). The slot is reused by the next NewRecord.
+func (b *UndoBuffer) DropLast() {
+	if b.count == 0 {
+		panic("txn: DropLast on empty undo buffer")
+	}
+	seg := b.segments[len(b.segments)-1]
+	seg.used--
+	b.count--
+	r := &seg.records[seg.used]
+	r.SetTimestamp(0)
+	r.SetNext(nil)
+	r.Slot = 0
+	r.Kind = 0
+	r.Delta = nil
+}
+
 // Iterate visits records oldest-first.
 func (b *UndoBuffer) Iterate(fn func(*storage.UndoRecord) bool) {
 	for _, seg := range b.segments {

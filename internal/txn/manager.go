@@ -1,6 +1,7 @@
 package txn
 
 import (
+	"runtime"
 	"sync"
 	"sync/atomic"
 
@@ -35,11 +36,26 @@ const NumShards = 16
 // shardMask extracts a shard index from the round-robin counter.
 const shardMask = NumShards - 1
 
+// stampingSentinel marks a commit shard whose committer has entered the
+// critical section but has not yet drawn its commit timestamp. Begin
+// treats it as "a commit with an unknown timestamp is in flight" and
+// waits for it to resolve. The value carries the uncommitted flag, so it
+// can never collide with a real commit timestamp.
+const stampingSentinel = ^uint64(0)
+
 // commitShard is one commit latch, padded to its own cache line so latches
 // on neighbouring shards do not false-share.
+//
+// stamping publishes the shard's in-flight commit to Begin: sentinel while
+// the commit timestamp is being drawn, then the commit timestamp itself
+// while undo records are stamped, then zero. Begin blocks on shards whose
+// in-flight commit timestamp is (or may be) below its start timestamp —
+// see waitForInFlightCommits for why this is required for snapshot
+// isolation.
 type commitShard struct {
-	mu sync.Mutex
-	_  [56]byte
+	mu       sync.Mutex
+	stamping atomic.Uint64
+	_        [48]byte
 }
 
 // activeShard is one slice of the active-transactions table plus that
@@ -136,7 +152,43 @@ func (m *Manager) Begin() *Transaction {
 	}
 	sh.active[start] = t
 	sh.mu.Unlock()
+	m.waitForInFlightCommits(start)
 	return t
+}
+
+// waitForInFlightCommits blocks until no commit with a timestamp below
+// start is still stamping its undo records. Without this barrier a fresh
+// snapshot could catch a committed-but-not-yet-stamped version chain: the
+// reader sees the uncommitted flag, applies the before-image (a STALE
+// read — the commit's timestamp is below the snapshot), and, if it then
+// writes the tuple, canWrite re-reads the chain after stamping lands and
+// admits the write — a lost update. TPC-C's consistency audit catches
+// exactly this as W_YTD drift under heavy scheduler pressure.
+//
+// The wait is correct because the timestamp counter is sequentially
+// consistent with the stamping slots: a committer stores the sentinel
+// before drawing its commit timestamp, so any commit timestamp drawn
+// before start is published (as sentinel or as the value) by the time
+// Begin — which drew start later — loads the slot. Commits that draw
+// after start are harmless (their timestamp exceeds the snapshot) and are
+// skipped as soon as the sentinel resolves. The slot is held through
+// index-entry publication for the same reason: a snapshot admitted
+// between stamping and publication would see the new versions through
+// the chain while their index entries are still missing. Stamping plus
+// publication is a short loop over the transaction's own write set, so
+// this spin is brief and most Begins see all-zero slots and never spin
+// at all.
+func (m *Manager) waitForInFlightCommits(start uint64) {
+	for i := range m.commitShards {
+		sh := &m.commitShards[i]
+		for {
+			v := sh.stamping.Load()
+			if v == 0 || (v != stampingSentinel && v >= start) {
+				break
+			}
+			runtime.Gosched()
+		}
+	}
 }
 
 // Commit finishes a transaction: inside the (sharded) critical section it
@@ -156,19 +208,37 @@ func (m *Manager) Commit(t *Transaction, durableCallback func()) uint64 {
 
 	sh := &m.commitShards[t.shard]
 	sh.mu.Lock()
+	// Publish the in-flight commit to Begin BEFORE drawing the timestamp:
+	// the sentinel→timestamp→zero sequence lets new snapshots wait out
+	// stamping for commits below their start (see waitForInFlightCommits).
+	// Read-only transactions have nothing to stamp and skip the slot.
+	writer := t.undo.Len() > 0
+	if writer {
+		sh.stamping.Store(stampingSentinel)
+	}
 	commitTs := m.ts.Next()
 	t.commit = commitTs
-	t.undo.Iterate(func(r *storage.UndoRecord) bool {
-		r.SetTimestamp(commitTs)
-		return true
-	})
+	if writer {
+		sh.stamping.Store(commitTs)
+		t.undo.Iterate(func(r *storage.UndoRecord) bool {
+			r.SetTimestamp(commitTs)
+			return true
+		})
+	}
 	// Index deltas publish INSIDE the latch, after the undo records carry
 	// the final commit timestamp: the entries and the versions they point
 	// at become visible together, and index readers re-verify through the
 	// version chain, so a reader can never observe an entry whose
-	// visibility it cannot decide.
+	// visibility it cannot decide. The stamping slot stays held until the
+	// entries are live: a snapshot beginning after stamping but before
+	// publication would see the new version through the chain (its new key
+	// verifies nothing under the old entry) while the new entry is still
+	// missing from the tree — the row reachable under no key at all.
 	if len(t.indexOps) > 0 {
 		m.publishIndexOps(t)
+	}
+	if writer {
+		sh.stamping.Store(0)
 	}
 	t.committed = true
 	// The redo buffer is handed to the log manager's flush queue INSIDE

@@ -19,11 +19,17 @@
 //   - Commit timestamps are globally unique and strictly increasing
 //     (single atomic counter), so snapshot visibility (Visible) is a total
 //     order even though commits on different shards race.
-//   - A transaction's versions become visible atomically with respect to
-//     its own shard latch, but a concurrent reader may observe the
-//     in-flight (uncommitted-flagged) stamp while stamping is underway;
-//     such readers apply the before-image, which is exactly their
-//     snapshot's view, so snapshot isolation is preserved.
+//   - A transaction already active while another commits may observe the
+//     in-flight (uncommitted-flagged) stamp during stamping; it applies
+//     the before-image, which is exactly its snapshot's view (the commit
+//     timestamp necessarily exceeds its start), so snapshot isolation is
+//     preserved. A transaction that BEGINS while a lower-timestamped
+//     commit is still stamping must not do the same — the before-image is
+//     older than its snapshot, and the stale read becomes a lost update
+//     the moment the transaction writes the tuple back (canWrite admits
+//     the fully-stamped record). Begin therefore waits out every commit
+//     whose timestamp is below its start via the per-shard stamping slots
+//     (see waitForInFlightCommits).
 //   - The write-ahead log does NOT receive transactions in commit order
 //     across shards; recovery sorts by commit timestamp (see package wal).
 //     The log handoff runs inside the shard latch so that CommitFrontier's

@@ -111,6 +111,12 @@ func (t *Transaction) NewUndoRecord(kind storage.RecordKind, slot storage.TupleS
 	return rec
 }
 
+// DropLastUndo retracts the record most recently handed out by
+// NewUndoRecord. The table layer calls it when the version-chain install
+// CAS fails, so the unpublished record cannot be "rolled back" by Abort
+// (see UndoBuffer.DropLast).
+func (t *Transaction) DropLastUndo() { t.undo.DropLast() }
+
 // LogRedo appends an after-image to the transaction's redo buffer. The log
 // manager serializes it on commit.
 func (t *Transaction) LogRedo(tableID uint32, slot storage.TupleSlot, kind storage.RecordKind, after *storage.ProjectedRow) {

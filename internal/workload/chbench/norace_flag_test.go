@@ -1,0 +1,7 @@
+//go:build !race
+
+package chbench
+
+// raceEnabled reports that the race detector is active; see
+// race_flag_test.go.
+const raceEnabled = false

@@ -1,0 +1,11 @@
+//go:build race
+
+package chbench
+
+// raceEnabled reports that the race detector is active. The hybrid run
+// drives TPC-C terminals, whose in-place update protocol is deliberately
+// racy at tuple byte level (torn reads repair through the version chain —
+// the same reason internal/workload/tpcc is excluded from the CI race
+// job), so the full-contact hybrid test skips under TSan. The race-clean
+// phased HTAP aggregation stress lives in internal/exec.
+const raceEnabled = true

@@ -40,6 +40,7 @@ import (
 	"mainline/internal/arrow"
 	"mainline/internal/catalog"
 	"mainline/internal/core"
+	"mainline/internal/exec"
 	"mainline/internal/gc"
 	"mainline/internal/index"
 	"mainline/internal/storage"
@@ -73,6 +74,9 @@ type (
 	// ScanStats counts scan-path work (frozen vs versioned blocks, zone-map
 	// pruning, tuples emitted).
 	ScanStats = core.ScanStats
+	// ExecStats counts analytical-executor work (morsels, partial merges,
+	// workers, rows aggregated, dictionary fast-path blocks).
+	ExecStats = exec.Stats
 )
 
 // Re-exported column types.
@@ -167,6 +171,10 @@ type Engine struct {
 
 	// recovery records what Open's bootstrap did; immutable afterwards.
 	recovery RecoveryStats
+
+	// execCounters accumulates analytical-executor statistics
+	// (Stats().Exec) across every Aggregate/Join on this engine.
+	execCounters exec.Counters
 
 	// dirLock releases the data directory's exclusive flock (nil without
 	// DataDir). Held from bootstrap until Close.
