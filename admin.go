@@ -33,6 +33,54 @@ type Stats struct {
 	// morsels dispatched to workers, partial aggregates merged, workers
 	// launched, rows aggregated, and dictionary fast-path blocks.
 	Exec ExecStats
+	// Server counts network serving-layer activity (zero-valued with
+	// Enabled false when no mainline-serve server is attached to the
+	// engine; see internal/server).
+	Server ServerStats
+}
+
+// ServerStats counts network serving-layer activity: connection and
+// request admission, per-plane request traffic, streamed and ingested
+// volume, and rejection/deadline/reap counts. A server registers its
+// counters with Admin().SetServerStats; the struct is the /metrics
+// payload's data source.
+type ServerStats struct {
+	// Enabled reports whether a serving layer is attached to this engine.
+	Enabled bool
+	// Sessions is the number of currently connected sessions;
+	// SessionsTotal counts every session ever admitted, and
+	// SessionsRejected every connection refused by the session cap (or
+	// during drain).
+	Sessions         int64
+	SessionsTotal    int64
+	SessionsRejected int64
+	// Requests counts requests dispatched to handlers;
+	// RequestsRejected counts requests refused by the global in-flight
+	// cap. DeadlineHits counts requests that died at their deadline.
+	Requests         int64
+	RequestsRejected int64
+	DeadlineHits     int64
+	// TxnsReaped counts server-side transactions aborted because their
+	// session disconnected (or a deadline killed them) before finishing.
+	TxnsReaped int64
+	// Transactional-plane request counts by kind.
+	BeginOps     int64
+	CommitOps    int64
+	AbortOps     int64
+	InsertOps    int64
+	UpdateOps    int64
+	DeleteOps    int64
+	SelectOps    int64
+	IndexReadOps int64
+	// Analytical-plane request counts and volumes: DoGet streams engine
+	// blocks out as Arrow IPC; DoPut ingests client record batches
+	// through the transactional write path.
+	DoGetOps      int64
+	DoPutOps      int64
+	BytesStreamed int64
+	BytesIngested int64
+	RowsStreamed  int64
+	RowsIngested  int64
 }
 
 // IndexStats aggregates engine-managed index activity: tree sizes, read
@@ -173,6 +221,10 @@ func (e *Engine) Stats() Stats {
 		s.WAL.Enabled = true
 		s.WAL.Txns, s.WAL.Bytes, s.WAL.Syncs = e.logMgr.Stats()
 	}
+	if fn, ok := e.serverStatsFn.Load().(func() ServerStats); ok && fn != nil {
+		s.Server = fn()
+		s.Server.Enabled = true
+	}
 	if e.opts.DataDir != "" {
 		s.Checkpoint = CheckpointStats{
 			Enabled:           true,
@@ -205,3 +257,11 @@ func (a Admin) TxnManager() *txn.Manager { return a.eng.mgr }
 
 // Catalog returns the table registry (export servers, loaders).
 func (a Admin) Catalog() *catalog.Catalog { return a.eng.cat }
+
+// SetServerStats registers (or, with nil, detaches) the serving layer's
+// counter snapshot; Stats().Server reports it with Enabled set. At most
+// one server's counters are visible at a time — a second registration
+// replaces the first.
+func (a Admin) SetServerStats(fn func() ServerStats) {
+	a.eng.serverStatsFn.Store(fn)
+}

@@ -1,4 +1,4 @@
-package mainline
+package mainline_test
 
 // One testing.B benchmark per reproduced figure (paper §6). These run the
 // same harnesses as cmd/mainline-bench at reduced scale so `go test
@@ -9,8 +9,8 @@ import (
 	"testing"
 	"time"
 
+	"mainline"
 	"mainline/internal/bench"
-	"mainline/internal/export"
 	"mainline/internal/workload/tpcc"
 )
 
@@ -177,19 +177,19 @@ func TestCommitPipelineScaling(t *testing.T) {
 // IPC write, manifest install, WAL truncation) over a populated table.
 func BenchmarkCheckpoint(b *testing.B) {
 	dir := b.TempDir()
-	eng, err := Open(WithDataDir(dir))
+	eng, err := mainline.Open(mainline.WithDataDir(dir))
 	if err != nil {
 		b.Fatal(err)
 	}
 	defer eng.Close()
-	tbl, err := eng.CreateTable("t", NewSchema(
-		Field{Name: "id", Type: INT64},
-		Field{Name: "payload", Type: STRING},
+	tbl, err := eng.CreateTable("t", mainline.NewSchema(
+		mainline.Field{Name: "id", Type: mainline.INT64},
+		mainline.Field{Name: "payload", Type: mainline.STRING},
 	))
 	if err != nil {
 		b.Fatal(err)
 	}
-	if err := eng.Update(func(tx *Txn) error {
+	if err := eng.Update(func(tx *mainline.Txn) error {
 		row := tbl.NewRow()
 		for i := 0; i < 20000; i++ {
 			row.Reset()
@@ -218,7 +218,7 @@ func BenchmarkCheckpoint(b *testing.B) {
 
 // BenchmarkTPCCNewOrder micro-measures the New-Order profile alone.
 func BenchmarkTPCCNewOrder(b *testing.B) {
-	eng, err := Open()
+	eng, err := mainline.Open()
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -238,62 +238,6 @@ func BenchmarkTPCCNewOrder(b *testing.B) {
 		if err := wk.NewOrder(); err != nil && err != tpcc.ErrUserAbort {
 			b.Fatal(err)
 		}
-	}
-}
-
-// BenchmarkExportProtocols measures steady-state fetch bandwidth per
-// protocol on a frozen table (the Figure 15 100%-frozen points, isolated).
-func BenchmarkExportProtocols(b *testing.B) {
-	eng, err := Open()
-	if err != nil {
-		b.Fatal(err)
-	}
-	defer eng.Close()
-	tbl, err := eng.CreateTable("t", NewSchema(
-		Field{Name: "id", Type: INT64},
-		Field{Name: "payload", Type: STRING},
-	))
-	if err != nil {
-		b.Fatal(err)
-	}
-	tx, err := eng.Begin()
-	if err != nil {
-		b.Fatal(err)
-	}
-	row := tbl.NewRow()
-	for i := 0; i < 50000; i++ {
-		row.Reset()
-		row.SetInt64(0, int64(i))
-		row.SetVarlen(1, []byte(fmt.Sprintf("payload-%d-abcdefghijklmnop", i)))
-		if _, err := tbl.Insert(tx, row); err != nil {
-			b.Fatal(err)
-		}
-	}
-	if _, err := tx.Commit(); err != nil {
-		b.Fatal(err)
-	}
-	if !eng.FreezeAll(100) {
-		b.Fatal("freeze failed")
-	}
-	adm := eng.Admin()
-	srv := export.NewServer(adm.TxnManager(), adm.Catalog())
-	addr, err := srv.Listen("127.0.0.1:0")
-	if err != nil {
-		b.Fatal(err)
-	}
-	defer srv.Close()
-	for _, proto := range []export.Protocol{export.ProtoFlight, export.ProtoVectorized, export.ProtoPGWire} {
-		b.Run(proto.String(), func(b *testing.B) {
-			var bytes int64
-			for i := 0; i < b.N; i++ {
-				res, err := export.Fetch(addr, proto, "t")
-				if err != nil {
-					b.Fatal(err)
-				}
-				bytes += res.Bytes
-			}
-			b.SetBytes(bytes / int64(b.N))
-		})
 	}
 }
 

@@ -1,10 +1,14 @@
-// Command flight-demo runs an export server over a demo table (server
-// mode) or fetches a table from a running server and reports transfer
-// statistics (client mode) — a two-terminal demonstration of the Arrow
-// Flight-style zero-copy export (§5).
+// Command flight-demo is a two-terminal demonstration of the Arrow
+// Flight-style zero-copy export (§5), running over the mainline-serve
+// protocol: server mode boots the full serving layer over a demo table
+// (frozen, so DoGet streams its blocks zero-copy); client mode pulls the
+// table with a streaming DoGet and reports transfer statistics.
 //
 //	flight-demo -serve :7788
-//	flight-demo -fetch 127.0.0.1:7788 -table demo -proto flight
+//	flight-demo -fetch 127.0.0.1:7788 -table demo
+//
+// Protocol comparisons (Arrow IPC vs vectorized vs PGWire vs simulated
+// RDMA) live in `mainline-bench fig01` / `fig15`.
 package main
 
 import (
@@ -13,10 +17,13 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"syscall"
+	"time"
 
 	"mainline"
+	"mainline/client"
 	"mainline/internal/arrow"
-	"mainline/internal/export"
+	"mainline/internal/server"
 )
 
 func main() {
@@ -24,7 +31,6 @@ func main() {
 		serve = flag.String("serve", "", "address to serve a demo table on")
 		fetch = flag.String("fetch", "", "address to fetch from")
 		table = flag.String("table", "demo", "table name to fetch")
-		proto = flag.String("proto", "flight", "protocol: flight|vectorized|pgwire")
 		rows  = flag.Int("rows", 500000, "demo table rows (server mode)")
 	)
 	flag.Parse()
@@ -32,7 +38,7 @@ func main() {
 	case *serve != "":
 		runServer(*serve, *rows)
 	case *fetch != "":
-		runClient(*fetch, *table, *proto)
+		runClient(*fetch, *table)
 	default:
 		fmt.Fprintln(os.Stderr, "specify -serve ADDR or -fetch ADDR")
 		os.Exit(2)
@@ -78,40 +84,35 @@ func runServer(addr string, rows int) {
 	if !eng.FreezeAll(0) {
 		log.Fatal("freeze did not converge")
 	}
-	adm := eng.Admin()
-	srv := export.NewServer(adm.TxnManager(), adm.Catalog())
-	bound, err := srv.Listen(addr)
+	srv := server.New(eng, server.Config{Addr: addr})
+	bound, err := srv.Listen()
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer srv.Close()
 	log.Printf("serving table %q (%d rows, frozen) on %s — Ctrl-C to stop", "demo", rows, bound)
 	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
+	srv.Shutdown(5 * time.Second)
 }
 
-func runClient(addr, table, protoName string) {
-	var proto export.Protocol
-	switch protoName {
-	case "flight":
-		proto = export.ProtoFlight
-	case "vectorized":
-		proto = export.ProtoVectorized
-	case "pgwire":
-		proto = export.ProtoPGWire
-	default:
-		log.Fatalf("unknown protocol %q", protoName)
-	}
-	res, err := export.Fetch(addr, proto, table)
+func runClient(addr, table string) {
+	c, err := client.Dial(addr)
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer c.Close()
 	checksum := uint64(0)
-	for _, rb := range res.Table.Batches {
+	start := time.Now()
+	st, err := c.DoGet(table, nil, nil, func(rb *mainline.RecordBatch) error {
 		checksum ^= arrow.Checksum(rb)
+		return nil
+	})
+	if err != nil {
+		log.Fatal(err)
 	}
-	fmt.Printf("fetched %d rows, %d bytes in %v (%.1f MB/s), checksum %016x\n",
-		res.Table.NumRows(), res.Bytes, res.Elapsed.Round(res.Elapsed/100),
-		float64(res.Bytes)/(1<<20)/res.Elapsed.Seconds(), checksum)
+	elapsed := time.Since(start)
+	fmt.Printf("fetched %d rows (%d frozen / %d materialized blocks), %d bytes in %v (%.1f MB/s), checksum %016x\n",
+		st.Rows, st.Frozen, st.Materialized, st.Bytes, elapsed.Round(elapsed/100),
+		float64(st.Bytes)/(1<<20)/elapsed.Seconds(), checksum)
 }

@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	mainline-bench [flags] fig1|fig10|fig11|fig12|fig13|fig14|fig15|commit|scan|index|olap|recovery|all
+//	mainline-bench [flags] fig1|fig10|fig11|fig12|fig13|fig14|fig15|commit|scan|index|olap|net|recovery|all
 //
 // The extra "commit" target (not a paper figure) sweeps the parallel
 // commit pipeline: durable TPC-C throughput versus terminals under WAL
@@ -18,8 +18,10 @@
 // The "olap" target sweeps morsel-driven parallel aggregation (rows/sec
 // vs worker count over a frozen dictionary-encoded table) and fails on an
 // 8-core host unless 8 workers reach >= 3x the single-worker rate.
-// The "recovery" target sweeps restart time against WAL
-// length with and without checkpoint anchoring.
+// The "net" target sweeps the serving layer under a keyed client fleet
+// (mixed OLTP writes + streaming exports, replay-verified; -addr targets
+// an external mainline-serve). The "recovery" target sweeps restart time
+// against WAL length with and without checkpoint anchoring.
 package main
 
 import (
@@ -42,10 +44,12 @@ func main() {
 		ops      = flag.Int("ops", 400000, "operations per fig11 point")
 		duration = flag.Duration("duration", 2*time.Second, "seconds per fig10 point")
 		workers  = flag.String("workers", "1,2,4,8", "fig10 worker counts")
+		addr     = flag.String("addr", "", "net target: external mainline-serve address (empty = self-host)")
+		clients  = flag.String("clients", "1,4,16,64", "net target: client counts to sweep")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: mainline-bench [flags] fig1|fig10|fig11|fig12|fig13|fig14|fig15|commit|scan|index|olap|recovery|all")
+		fmt.Fprintln(os.Stderr, "usage: mainline-bench [flags] fig1|fig10|fig11|fig12|fig13|fig14|fig15|commit|scan|index|olap|net|recovery|all")
 		os.Exit(2)
 	}
 	s := func(n int) int {
@@ -122,6 +126,13 @@ func main() {
 		cfg := bench.DefaultOlapConfig()
 		cfg.PerBlock = s(cfg.PerBlock)
 		return bench.Olap(cfg)
+	})
+	run("net", func() (*benchutil.Table, error) {
+		cfg := bench.DefaultNetConfig()
+		cfg.Addr = *addr
+		cfg.Duration = *duration
+		cfg.Clients = parseInts(*clients)
+		return bench.Net(cfg)
 	})
 	run("recovery", func() (*benchutil.Table, error) {
 		cfg := recoverybench.DefaultRecoveryConfig()

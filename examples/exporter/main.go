@@ -9,7 +9,7 @@ import (
 
 	"mainline"
 	"mainline/internal/arrow"
-	"mainline/internal/export"
+	"mainline/internal/server"
 )
 
 func main() {
@@ -48,7 +48,7 @@ func main() {
 	}
 
 	adm := eng.Admin()
-	srv := export.NewServer(adm.TxnManager(), adm.Catalog())
+	srv := server.NewCompareServer(adm.TxnManager(), adm.Catalog())
 	addr, err := srv.Listen("127.0.0.1:0")
 	if err != nil {
 		log.Fatal(err)
@@ -57,8 +57,8 @@ func main() {
 	fmt.Printf("export server on %s, table %q (%d rows, all frozen)\n\n", addr, "order_line", rows)
 
 	var reference uint64
-	for _, proto := range []export.Protocol{export.ProtoFlight, export.ProtoVectorized, export.ProtoPGWire} {
-		res, err := export.Fetch(addr, proto, "order_line")
+	for _, proto := range []server.Protocol{server.ProtoFlight, server.ProtoVectorized, server.ProtoPGWire} {
+		res, err := server.Fetch(addr, proto, "order_line")
 		if err != nil {
 			log.Fatalf("%s: %v", proto, err)
 		}
@@ -79,8 +79,8 @@ func main() {
 
 	// Simulated client-side RDMA: raw block memory lands in the client's
 	// registered region with no protocol encoding at all.
-	client := export.NewRDMAClient(1 << 24)
-	res, err := export.RDMAExport(adm.TxnManager(), adm.Catalog().Table("order_line"), client)
+	client := server.NewRDMAClient(1 << 24)
+	res, err := server.RDMAExport(adm.TxnManager(), adm.Catalog().Table("order_line"), client)
 	if err != nil {
 		log.Fatal(err)
 	}

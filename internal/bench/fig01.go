@@ -8,7 +8,7 @@ import (
 	"mainline/internal/arrow"
 	"mainline/internal/benchutil"
 	"mainline/internal/catalog"
-	"mainline/internal/export"
+	"mainline/internal/server"
 	"mainline/internal/gc"
 	"mainline/internal/storage"
 	"mainline/internal/transform"
@@ -107,14 +107,14 @@ func Fig1(rows int) (*benchutil.Table, error) {
 	csvTotal := csvExport + csvLoad
 
 	// (3) Row-oriented wire protocol.
-	srv := export.NewServer(mgr, cat)
+	srv := server.NewCompareServer(mgr, cat)
 	addr, err := srv.Listen("127.0.0.1:0")
 	if err != nil {
 		return nil, err
 	}
 	defer srv.Close()
 	t0 = time.Now()
-	res, err := export.Fetch(addr, export.ProtoPGWire, "lineitem")
+	res, err := server.Fetch(addr, server.ProtoPGWire, "lineitem")
 	if err != nil {
 		return nil, err
 	}

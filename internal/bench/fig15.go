@@ -5,7 +5,7 @@ import (
 
 	"mainline/internal/benchutil"
 	"mainline/internal/catalog"
-	"mainline/internal/export"
+	"mainline/internal/server"
 	"mainline/internal/gc"
 	"mainline/internal/storage"
 	"mainline/internal/transform"
@@ -33,7 +33,7 @@ func Fig15(rows int, frozenPcts []int) (*benchutil.Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		srv := export.NewServer(mgr, cat)
+		srv := server.NewCompareServer(mgr, cat)
 		addr, err := srv.Listen("127.0.0.1:0")
 		if err != nil {
 			return nil, err
@@ -41,15 +41,15 @@ func Fig15(rows int, frozenPcts []int) (*benchutil.Table, error) {
 
 		cells := []string{fmt.Sprintf("%d", pct)}
 		// RDMA (in-process, simulated NIC path).
-		client := export.NewRDMAClient(1 << 22)
-		res, err := export.RDMAExport(mgr, table, client)
+		client := server.NewRDMAClient(1 << 22)
+		res, err := server.RDMAExport(mgr, table, client)
 		if err != nil {
 			srv.Close()
 			return nil, err
 		}
 		cells = append(cells, benchutil.MBps(res.Bytes, res.Elapsed))
-		for _, proto := range []export.Protocol{export.ProtoFlight, export.ProtoVectorized, export.ProtoPGWire} {
-			res, err := export.Fetch(addr, proto, "lineitem")
+		for _, proto := range []server.Protocol{server.ProtoFlight, server.ProtoVectorized, server.ProtoPGWire} {
+			res, err := server.Fetch(addr, proto, "lineitem")
 			if err != nil {
 				srv.Close()
 				return nil, fmt.Errorf("fig15 %s @%d%%: %w", proto, pct, err)

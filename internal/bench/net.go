@@ -1,0 +1,86 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"mainline/internal/benchutil"
+	"mainline/internal/workload/netbench"
+)
+
+// NetConfig shapes the serving-layer sweep.
+type NetConfig struct {
+	// Addr targets an external mainline-serve (CI smoke); empty
+	// self-hosts one in-process server per point.
+	Addr string
+	// Clients lists the fleet sizes to sweep.
+	Clients []int
+	// Duration is the mixed-op phase per point.
+	Duration time.Duration
+	// KeysPerClient bounds each client's key range.
+	KeysPerClient int
+}
+
+// DefaultNetConfig is the EXPERIMENTS.md sweep shape.
+func DefaultNetConfig() NetConfig {
+	return NetConfig{
+		Clients:       []int{1, 4, 16, 64},
+		Duration:      2 * time.Second,
+		KeysPerClient: 256,
+	}
+}
+
+// Net sweeps netbench over client counts: committed write txn/s, streamed
+// export bandwidth, admission rejections, and the replay-verification
+// verdict per point. Fails if any point reports an oracle mismatch, a
+// structural invariant violation, or a hung (rather than rejected)
+// admission probe — the serving layer must shed load with a typed error.
+func Net(cfg NetConfig) (*benchutil.Table, error) {
+	t := &benchutil.Table{
+		Title: "netbench: serving-layer throughput vs client count",
+		Note: "mixed keyed OLTP writes + streaming DoGet exports per client; " +
+			"oracle replay-verified after each point",
+		Header: []string{"clients", "txn/s", "commits", "aborts", "exports",
+			"export MB/s", "busy rejects", "verified"},
+	}
+	for _, n := range cfg.Clients {
+		nb := netbench.DefaultConfig()
+		nb.Addr = cfg.Addr
+		nb.Clients = n
+		nb.Duration = cfg.Duration
+		if cfg.KeysPerClient > 0 {
+			nb.KeysPerClient = cfg.KeysPerClient
+		}
+		// Against an external server the session cap is whatever the
+		// operator set, so the cap probe is only meaningful self-hosted.
+		nb.ProbeAdmission = cfg.Addr == ""
+		nb.Table = fmt.Sprintf("netbench_c%d", n)
+		res, err := netbench.Run(nb)
+		if err != nil {
+			return nil, fmt.Errorf("netbench %d clients: %w", n, err)
+		}
+		if res.Mismatches > 0 || res.InvariantViolations > 0 {
+			return nil, fmt.Errorf("netbench %d clients: %d oracle mismatches, %d invariant violations",
+				n, res.Mismatches, res.InvariantViolations)
+		}
+		if res.ProbeHangs > 0 {
+			return nil, fmt.Errorf("netbench %d clients: %d admission probes hung instead of rejecting",
+				n, res.ProbeHangs)
+		}
+		verdict := "ok"
+		if nb.ProbeAdmission && res.BusyRejections == 0 {
+			verdict = "ok (no busy rejects)"
+		}
+		t.AddRow(
+			fmt.Sprintf("%d", n),
+			fmt.Sprintf("%.0f", res.TxnPerSec()),
+			benchutil.Count(res.Ops),
+			benchutil.Count(res.Aborts),
+			benchutil.Count(res.Exports),
+			benchutil.MBps(res.ExportBytes, res.Elapsed),
+			benchutil.Count(res.BusyRejections),
+			verdict,
+		)
+	}
+	return t, nil
+}

@@ -174,6 +174,51 @@ func (t *Table) SnapshotBatches(tx *txn.Transaction, batchRows int, fn func(rb *
 	return total, nil
 }
 
+// StreamBatches walks the table block-at-a-time like ExportBatches but
+// hands each batch to fn while the block's state is pinned: for a frozen
+// block the in-place read registration is held across the callback, so fn
+// may write the batch's buffers to a network connection zero-copy without
+// racing a concurrent thaw-and-update. Hot blocks are materialized
+// transactionally (fn receives an owned copy). fn returning an error stops
+// the walk; the registration is released on every path, so an abandoned
+// stream can never wedge the block state machine.
+func (t *Table) StreamBatches(tx *txn.Transaction, fn func(rb *arrow.RecordBatch, frozen bool) error) (frozen, materialized int, err error) {
+	for _, b := range t.Blocks() {
+		if b.InsertHead() == 0 {
+			continue
+		}
+		served, err := t.streamBlock(tx, b, fn, &frozen, &materialized)
+		if err != nil {
+			return frozen, materialized, err
+		}
+		_ = served
+	}
+	return frozen, materialized, nil
+}
+
+// streamBlock serves one block to fn, preferring the zero-copy frozen path.
+func (t *Table) streamBlock(tx *txn.Transaction, b *storage.Block, fn func(rb *arrow.RecordBatch, frozen bool) error, frozen, materialized *int) (bool, error) {
+	if b.BeginInPlaceRead() {
+		rb, e := t.ExportBlockZeroCopy(b)
+		if e == nil {
+			*frozen++
+			err := fn(rb, true)
+			b.EndInPlaceRead()
+			return true, err
+		}
+		b.EndInPlaceRead()
+	}
+	rb, e := t.MaterializeBlock(tx, b)
+	if e != nil {
+		return false, e
+	}
+	if rb.NumRows == 0 {
+		return false, nil
+	}
+	*materialized++
+	return true, fn(rb, false)
+}
+
 // ExportBatches produces one record batch per block: zero-copy for frozen
 // blocks, transactional materialization for hot ones. It reports how many
 // blocks took each path — the quantity Figure 15 varies.

@@ -1,4 +1,5 @@
-// Package export implements the paper's data-export layer (§5, §6.3): four
+// This file (with pgwire.go, vectorized.go, rdma.go, compare_flight.go)
+// implements the paper's data-export comparison layer (§5, §6.3): four
 // ways to move a table out of the engine and into an analytical client,
 // ordered by decreasing serialization work —
 //
@@ -17,7 +18,8 @@
 // PGWire, Vectorized, and Flight run over real TCP connections; RDMA is an
 // in-process transfer because a kernel socket would reintroduce exactly the
 // overheads RDMA exists to skip.
-package export
+
+package server
 
 import (
 	"bufio"
@@ -62,10 +64,12 @@ type Catalog interface {
 	Table(name string) *catalog.Table
 }
 
-// Server exports tables over TCP in any supported protocol. One request
-// per connection: the client sends a header naming the protocol and table,
-// the server streams the table and closes.
-type Server struct {
+// CompareServer exports tables over TCP in any supported protocol, one
+// request per connection: the client sends a header naming the protocol and
+// table, the server streams the table and closes. It is the protocol-
+// comparison harness behind Figures 1 and 15; the production serving layer
+// (Server, this package) speaks the framed two-plane protocol instead.
+type CompareServer struct {
 	mgr *txn.Manager
 	cat Catalog
 
@@ -78,14 +82,14 @@ type Server struct {
 	served int
 }
 
-// NewServer creates an export server.
-func NewServer(mgr *txn.Manager, cat Catalog) *Server {
-	return &Server{mgr: mgr, cat: cat}
+// NewCompareServer creates a protocol-comparison export server.
+func NewCompareServer(mgr *txn.Manager, cat Catalog) *CompareServer {
+	return &CompareServer{mgr: mgr, cat: cat}
 }
 
 // Listen binds to addr ("127.0.0.1:0" for an ephemeral port) and starts
 // accepting. Returns the bound address.
-func (s *Server) Listen(addr string) (string, error) {
+func (s *CompareServer) Listen(addr string) (string, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return "", err
@@ -96,7 +100,7 @@ func (s *Server) Listen(addr string) (string, error) {
 	return ln.Addr().String(), nil
 }
 
-func (s *Server) acceptLoop() {
+func (s *CompareServer) acceptLoop() {
 	defer s.wg.Done()
 	for {
 		conn, err := s.ln.Accept()
@@ -113,7 +117,7 @@ func (s *Server) acceptLoop() {
 }
 
 // Close stops accepting and waits for in-flight exports.
-func (s *Server) Close() {
+func (s *CompareServer) Close() {
 	s.mu.Lock()
 	if s.done {
 		s.mu.Unlock()
@@ -150,7 +154,7 @@ func writeRequest(w io.Writer, proto Protocol, table string) error {
 	return err
 }
 
-func (s *Server) handle(conn net.Conn) error {
+func (s *CompareServer) handle(conn net.Conn) error {
 	br := bufio.NewReader(conn)
 	proto, name, err := readRequest(br)
 	if err != nil {

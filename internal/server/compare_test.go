@@ -1,4 +1,4 @@
-package export
+package server
 
 import (
 	"fmt"
@@ -77,7 +77,7 @@ func (e *env) freezeAll(t *testing.T) {
 
 func (e *env) serve(t *testing.T) string {
 	t.Helper()
-	srv := NewServer(e.mgr, e.cat)
+	srv := NewCompareServer(e.mgr, e.cat)
 	addr, err := srv.Listen("127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)

@@ -1,0 +1,90 @@
+package server
+
+import (
+	"sync/atomic"
+
+	"mainline"
+)
+
+// counters is the atomic backing store for mainline.ServerStats.
+type counters struct {
+	sessions         atomic.Int64
+	sessionsTotal    atomic.Int64
+	sessionsRejected atomic.Int64
+	requests         atomic.Int64
+	requestsRejected atomic.Int64
+	deadlineHits     atomic.Int64
+	txnsReaped       atomic.Int64
+
+	beginOps     atomic.Int64
+	commitOps    atomic.Int64
+	abortOps     atomic.Int64
+	insertOps    atomic.Int64
+	updateOps    atomic.Int64
+	deleteOps    atomic.Int64
+	selectOps    atomic.Int64
+	indexReadOps atomic.Int64
+
+	doGetOps      atomic.Int64
+	doPutOps      atomic.Int64
+	bytesStreamed atomic.Int64
+	bytesIngested atomic.Int64
+	rowsStreamed  atomic.Int64
+	rowsIngested  atomic.Int64
+}
+
+// snapshot materializes the counters as the engine-facing stats struct.
+func (c *counters) snapshot() mainline.ServerStats {
+	return mainline.ServerStats{
+		Sessions:         c.sessions.Load(),
+		SessionsTotal:    c.sessionsTotal.Load(),
+		SessionsRejected: c.sessionsRejected.Load(),
+		Requests:         c.requests.Load(),
+		RequestsRejected: c.requestsRejected.Load(),
+		DeadlineHits:     c.deadlineHits.Load(),
+		TxnsReaped:       c.txnsReaped.Load(),
+		BeginOps:         c.beginOps.Load(),
+		CommitOps:        c.commitOps.Load(),
+		AbortOps:         c.abortOps.Load(),
+		InsertOps:        c.insertOps.Load(),
+		UpdateOps:        c.updateOps.Load(),
+		DeleteOps:        c.deleteOps.Load(),
+		SelectOps:        c.selectOps.Load(),
+		IndexReadOps:     c.indexReadOps.Load(),
+		DoGetOps:         c.doGetOps.Load(),
+		DoPutOps:         c.doPutOps.Load(),
+		BytesStreamed:    c.bytesStreamed.Load(),
+		BytesIngested:    c.bytesIngested.Load(),
+		RowsStreamed:     c.rowsStreamed.Load(),
+		RowsIngested:     c.rowsIngested.Load(),
+	}
+}
+
+// reqCounter returns the per-kind counter for a request frame kind (nil
+// for kinds without one).
+func (c *counters) reqCounter(kind byte) *atomic.Int64 {
+	switch kind {
+	case reqBegin:
+		return &c.beginOps
+	case reqCommit:
+		return &c.commitOps
+	case reqAbort:
+		return &c.abortOps
+	case reqInsert:
+		return &c.insertOps
+	case reqUpdate:
+		return &c.updateOps
+	case reqDelete:
+		return &c.deleteOps
+	case reqSelect:
+		return &c.selectOps
+	case reqGetBy, reqRangeBy:
+		return &c.indexReadOps
+	case reqDoGet:
+		return &c.doGetOps
+	case reqDoPut:
+		return &c.doPutOps
+	default:
+		return nil
+	}
+}

@@ -1,0 +1,418 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"mainline"
+	"mainline/internal/arrow"
+)
+
+// This file is the analytical plane: DoGet streams a table out as Arrow
+// IPC, DoPut bulk-ingests one. Both reuse the engine's export machinery —
+// DoGet's unfiltered path writes frozen-block buffers to the socket
+// zero-copy (the paper's §5 payoff: serialization is just framing), holding
+// each block's in-place read registration across the network write so a
+// concurrent thaw-and-update can never mutate buffers mid-flight.
+
+// chunkWriter frames a byte stream as dataChunk frames on the session
+// connection. The arrow IPC writer's internal 64 KiB buffering sets the
+// chunk granularity. Every write is bounded by WriteTimeout so a stalled
+// client cannot pin a frozen block's read registration indefinitely.
+type chunkWriter struct {
+	s     *session
+	bytes int64
+}
+
+func (c *chunkWriter) Write(p []byte) (int, error) {
+	_ = c.s.conn.SetWriteDeadline(time.Now().Add(c.s.srv.cfg.WriteTimeout))
+	defer c.s.conn.SetWriteDeadline(time.Time{})
+	if err := writeFrame(c.s.bw, dataChunk, p); err != nil {
+		return 0, err
+	}
+	if err := c.s.bw.Flush(); err != nil {
+		return 0, err
+	}
+	c.bytes += int64(len(p))
+	c.s.srv.ctr.bytesStreamed.Add(int64(len(p)))
+	return len(p), nil
+}
+
+// handleDoGet: [table][cols][pred] -> dataChunk* then dataEnd
+// [rows u64][frozen u32][materialized u32][bytes u64]; on failure a respErr
+// frame terminates the stream (the client surfaces it as the stream error).
+func (s *session) handleDoGet(r *rbuf, dl time.Time) error {
+	name := r.str()
+	cols := r.strs()
+	wp := r.pred()
+	if err := r.done(); err != nil {
+		return s.respondErr(err)
+	}
+	if _, err := s.table(name); err != nil {
+		return s.respondErr(err)
+	}
+	if expired(dl) {
+		s.srv.ctr.deadlineHits.Add(1)
+		return s.respondErr(ErrDeadlineExceeded)
+	}
+
+	cw := &chunkWriter{s: s}
+	wr := arrow.NewWriter(cw)
+	var rows, frozen, materialized int
+	var err error
+	if len(cols) == 0 && wp == nil {
+		rows, frozen, materialized, err = s.streamWhole(name, wr, dl)
+	} else {
+		rows, err = s.streamFiltered(name, cols, wp, wr, dl)
+	}
+	if err == nil {
+		err = wr.Close()
+	}
+	if err != nil {
+		if isDeadline(err) {
+			s.srv.ctr.deadlineHits.Add(1)
+		}
+		// Best-effort error frame; if chunks already went out the client's
+		// stream loop reports this as the terminal error.
+		return s.respondErr(err)
+	}
+	s.srv.ctr.rowsStreamed.Add(int64(rows))
+	var w wbuf
+	w.u64(uint64(rows))
+	w.u32(uint32(frozen))
+	w.u32(uint32(materialized))
+	w.u64(uint64(cw.bytes))
+	return s.respond(dataEnd, w.b)
+}
+
+func isDeadline(err error) bool { return err == ErrDeadlineExceeded }
+
+// streamWhole exports every visible row of a table, zero-copy for frozen
+// blocks. It runs on a raw manager transaction (the Admin surface's
+// intended export path) so catalog.StreamBatches can pin each frozen
+// block's state across the socket write.
+func (s *session) streamWhole(name string, wr *arrow.Writer, dl time.Time) (rows, frozen, materialized int, err error) {
+	adm := s.srv.eng.Admin()
+	ct := adm.Catalog().Table(name)
+	if ct == nil {
+		return 0, 0, 0, fmt.Errorf("%w: %q", ErrUnknownTable, name)
+	}
+	mgr := adm.TxnManager()
+	rtx := mgr.Begin()
+	frozen, materialized, err = ct.StreamBatches(rtx, func(rb *arrow.RecordBatch, _ bool) error {
+		if expired(dl) {
+			return ErrDeadlineExceeded
+		}
+		// Schemas can differ per block (dictionary-compressed frozen vs hot
+		// materialized); emit a schema message before each batch, as
+		// ExportIPC does.
+		if e := wr.WriteSchema(rb.Schema); e != nil {
+			return e
+		}
+		if e := wr.WriteBatch(rb); e != nil {
+			return e
+		}
+		rows += rb.NumRows
+		return nil
+	})
+	if err != nil {
+		mgr.Abort(rtx)
+		return rows, frozen, materialized, err
+	}
+	mgr.Commit(rtx, nil)
+	return rows, frozen, materialized, nil
+}
+
+// streamFiltered exports a projected and/or predicate-filtered scan. Rows
+// are gathered through the vectorized batch scan into fresh Arrow builders
+// — copying only what matched — and flushed in bounded batches.
+func (s *session) streamFiltered(name string, cols []string, wp *WirePred, wr *arrow.Writer, dl time.Time) (int, error) {
+	tbl, err := s.table(name)
+	if err != nil {
+		return 0, err
+	}
+	var pred *mainline.Pred
+	if wp != nil {
+		if pred, err = compilePred(wp); err != nil {
+			return 0, err
+		}
+	}
+	cols = rowCols(tbl, cols)
+	fields := make([]mainline.Field, len(cols))
+	types := make([]arrow.TypeID, len(cols))
+	for i, c := range cols {
+		fi := tbl.Schema.FieldIndex(c)
+		if fi < 0 {
+			return 0, fmt.Errorf("%w: no column %q", ErrBadRequest, c)
+		}
+		f := tbl.Schema.Fields[fi]
+		if f.Type == arrow.DICT32 {
+			f.Type = arrow.STRING
+		}
+		fields[i] = f
+		types[i] = f.Type
+	}
+	schema := mainline.NewSchema(fields...)
+	if err := wr.WriteSchema(schema); err != nil {
+		return 0, err
+	}
+
+	const flushRows = 8192
+	builders := make([]*arrow.Builder, len(cols))
+	reset := func() {
+		for i, t := range types {
+			builders[i] = arrow.NewBuilder(t)
+		}
+	}
+	reset()
+	total, pending := 0, 0
+	flush := func() error {
+		if pending == 0 {
+			return nil
+		}
+		arrs := make([]*arrow.Array, len(builders))
+		for i, b := range builders {
+			arrs[i] = b.Finish()
+		}
+		rb, e := arrow.NewRecordBatch(schema, arrs)
+		if e != nil {
+			return e
+		}
+		if e := wr.WriteBatch(rb); e != nil {
+			return e
+		}
+		total += pending
+		pending = 0
+		reset()
+		return nil
+	}
+
+	tx, err := s.srv.eng.Begin(mainline.ReadOnly())
+	if err != nil {
+		return 0, err
+	}
+	defer tx.Abort()
+	var innerErr error
+	scanErr := tbl.ScanBatches(tx, cols, pred, func(b *mainline.Batch) bool {
+		if expired(dl) {
+			innerErr = ErrDeadlineExceeded
+			return false
+		}
+		n := b.Len()
+		for i := 0; i < n; i++ {
+			for ci, t := range types {
+				bld := builders[ci]
+				if b.IsNull(ci, i) {
+					bld.AppendNull()
+					continue
+				}
+				switch t {
+				case arrow.FLOAT64:
+					bld.AppendFloat64(b.Float64(ci, i))
+				case arrow.INT64:
+					bld.AppendInt64(b.Int(ci, i))
+				case arrow.INT32:
+					bld.AppendInt32(int32(b.Int(ci, i)))
+				case arrow.INT16:
+					bld.AppendInt16(int16(b.Int(ci, i)))
+				case arrow.INT8:
+					bld.AppendInt8(int8(b.Int(ci, i)))
+				default:
+					bld.AppendBytes(b.Bytes(ci, i))
+				}
+			}
+			pending++
+		}
+		if pending >= flushRows {
+			if innerErr = flush(); innerErr != nil {
+				return false
+			}
+		}
+		return true
+	})
+	if innerErr != nil {
+		return total, innerErr
+	}
+	if scanErr != nil {
+		return total, scanErr
+	}
+	if err := flush(); err != nil {
+		return total, err
+	}
+	return total, nil
+}
+
+// --- DoPut -------------------------------------------------------------------
+
+// putReader adapts the putChunk frame sequence into an io.Reader for the
+// arrow IPC reader. putDone is EOF.
+type putReader struct {
+	s     *session
+	buf   []byte
+	cur   []byte
+	done  bool
+	bytes int64
+}
+
+func (p *putReader) Read(q []byte) (int, error) {
+	for len(p.cur) == 0 {
+		if p.done {
+			return 0, io.EOF
+		}
+		kind, payload, err := readFrame(p.s.br, p.s.srv.cfg.MaxFrame, p.buf)
+		if err != nil {
+			return 0, err
+		}
+		if cap(payload) > cap(p.buf) {
+			p.buf = payload[:0]
+		}
+		switch kind {
+		case putChunk:
+			p.cur = payload
+			p.bytes += int64(len(payload))
+		case putDone:
+			p.done = true
+		default:
+			return 0, fmt.Errorf("%w: unexpected %s frame inside DoPut stream", ErrBadRequest, kindName(kind))
+		}
+	}
+	n := copy(q, p.cur)
+	p.cur = p.cur[n:]
+	return n, nil
+}
+
+// drain consumes frames through putDone so the connection stays in sync
+// after a mid-stream ingest failure. A frame-level error is fatal (the
+// caller closes the connection).
+func (p *putReader) drain() error {
+	for !p.done {
+		kind, payload, err := readFrame(p.s.br, p.s.srv.cfg.MaxFrame, p.buf)
+		if err != nil {
+			return err
+		}
+		if cap(payload) > cap(p.buf) {
+			p.buf = payload[:0]
+		}
+		switch kind {
+		case putChunk:
+			// discard
+		case putDone:
+			p.done = true
+		default:
+			return fmt.Errorf("%w: unexpected %s frame inside DoPut stream", ErrBadRequest, kindName(kind))
+		}
+	}
+	return nil
+}
+
+// handleDoPut: [table], then putChunk* putDone carrying an Arrow IPC
+// stream -> respPut [rows u64]. The whole stream is ingested in one
+// transaction: a failed put leaves nothing behind.
+func (s *session) handleDoPut(r *rbuf, dl time.Time) error {
+	name := r.str()
+	if err := r.done(); err != nil {
+		return s.respondErr(err)
+	}
+	pr := &putReader{s: s}
+	fail := func(err error) error {
+		if e := pr.drain(); e != nil {
+			_ = s.respondErr(err)
+			return e // framing lost; close the connection
+		}
+		if isDeadline(err) {
+			s.srv.ctr.deadlineHits.Add(1)
+		}
+		return s.respondErr(err)
+	}
+	tbl, terr := s.table(name)
+	if terr != nil {
+		return fail(terr)
+	}
+	tx, err := s.srv.eng.Begin()
+	if err != nil {
+		return fail(err)
+	}
+	rows, err := s.ingest(tbl, tx, pr, dl)
+	if err != nil {
+		_ = tx.Abort()
+		return fail(err)
+	}
+	// The IPC reader stops at the EOS marker; the putDone frame behind it
+	// still has to come off the wire before the next request.
+	if err := pr.drain(); err != nil {
+		_ = tx.Abort()
+		_ = s.respondErr(ErrBadRequest)
+		return err
+	}
+	if _, err := tx.Commit(); err != nil {
+		return fail(err)
+	}
+	s.srv.ctr.rowsIngested.Add(int64(rows))
+	s.srv.ctr.bytesIngested.Add(pr.bytes)
+	var w wbuf
+	w.u64(uint64(rows))
+	return s.respond(respPut, w.b)
+}
+
+// ingest inserts every row of the IPC stream into tbl under tx.
+func (s *session) ingest(tbl *mainline.Table, tx *mainline.Txn, pr *putReader, dl time.Time) (int, error) {
+	rd := arrow.NewReader(pr)
+	rows := 0
+	for {
+		rb, err := rd.Next()
+		if err == io.EOF {
+			return rows, nil
+		}
+		if err != nil {
+			return rows, fmt.Errorf("%w: %v", ErrBadRequest, err)
+		}
+		if expired(dl) {
+			return rows, ErrDeadlineExceeded
+		}
+		names := make([]string, len(rb.Schema.Fields))
+		for i, f := range rb.Schema.Fields {
+			names[i] = f.Name
+		}
+		row, err := tbl.NewRowFor(names...)
+		if err != nil {
+			return rows, err
+		}
+		for i := 0; i < rb.NumRows; i++ {
+			row.Reset()
+			for ci, f := range rb.Schema.Fields {
+				a := rb.Columns[ci]
+				if a.IsNull(i) {
+					continue
+				}
+				var v any
+				switch {
+				case f.Type == arrow.FLOAT64:
+					v = a.Float64(i)
+				case f.Type.FixedWidth():
+					switch f.Type {
+					case arrow.INT64:
+						v = a.Int64(i)
+					case arrow.INT32:
+						v = int64(a.Int32(i))
+					case arrow.INT16:
+						v = int64(a.Int16(i))
+					case arrow.INT8:
+						v = int64(a.Int8(i))
+					default:
+						return rows, fmt.Errorf("%w: unsupported ingest type %v", ErrBadRequest, f.Type)
+					}
+				default:
+					v = a.Bytes(i)
+				}
+				if err := row.Set(names[ci], v); err != nil {
+					return rows, err
+				}
+			}
+			if _, err := tbl.Insert(tx, row); err != nil {
+				return rows, err
+			}
+			rows++
+		}
+	}
+}

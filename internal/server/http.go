@@ -1,0 +1,104 @@
+package server
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// The HTTP sidecar serves the two endpoints an operator points probes at:
+// GET /healthz (200 while serving, 503 while draining — so a load balancer
+// stops routing before the drain grace expires) and GET /metrics
+// (Prometheus text exposition rendered from eng.Stats(), the server plane
+// included).
+
+func (s *Server) listenHTTP() error {
+	ln, err := net.Listen("tcp", s.cfg.HTTPAddr)
+	if err != nil {
+		return err
+	}
+	s.httpLn = ln
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.serveHealthz)
+	mux.HandleFunc("GET /metrics", s.serveMetrics)
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	s.httpWg.Add(1)
+	go func() {
+		defer s.httpWg.Done()
+		_ = srv.Serve(ln)
+	}()
+	return nil
+}
+
+func (s *Server) serveHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if s.draining.Load() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "draining")
+		return
+	}
+	fmt.Fprintln(w, "ok")
+}
+
+// serveMetrics renders engine + server counters in the Prometheus text
+// exposition format (hand-written: no client library in a stdlib-only
+// build).
+func (s *Server) serveMetrics(w http.ResponseWriter, _ *http.Request) {
+	st := s.eng.Stats()
+	sv := s.Stats()
+	var b strings.Builder
+	m := func(name string, v int64) {
+		fmt.Fprintf(&b, "mainline_%s %d\n", name, v)
+	}
+
+	m("server_sessions", sv.Sessions)
+	m("server_sessions_total", sv.SessionsTotal)
+	m("server_sessions_rejected_total", sv.SessionsRejected)
+	m("server_requests_total", sv.Requests)
+	m("server_requests_rejected_total", sv.RequestsRejected)
+	m("server_deadline_hits_total", sv.DeadlineHits)
+	m("server_txns_reaped_total", sv.TxnsReaped)
+	m("server_begin_ops_total", sv.BeginOps)
+	m("server_commit_ops_total", sv.CommitOps)
+	m("server_abort_ops_total", sv.AbortOps)
+	m("server_insert_ops_total", sv.InsertOps)
+	m("server_update_ops_total", sv.UpdateOps)
+	m("server_delete_ops_total", sv.DeleteOps)
+	m("server_select_ops_total", sv.SelectOps)
+	m("server_index_read_ops_total", sv.IndexReadOps)
+	m("server_doget_ops_total", sv.DoGetOps)
+	m("server_doput_ops_total", sv.DoPutOps)
+	m("server_bytes_streamed_total", sv.BytesStreamed)
+	m("server_bytes_ingested_total", sv.BytesIngested)
+	m("server_rows_streamed_total", sv.RowsStreamed)
+	m("server_rows_ingested_total", sv.RowsIngested)
+	if s.draining.Load() {
+		m("server_draining", 1)
+	} else {
+		m("server_draining", 0)
+	}
+
+	m("engine_active_txns", int64(st.ActiveTxns))
+	m("engine_scan_frozen_blocks_total", st.Scan.BlocksFrozen)
+	m("engine_scan_versioned_blocks_total", st.Scan.BlocksVersioned)
+	m("engine_scan_pruned_blocks_total", st.Scan.BlocksPruned)
+	m("engine_scan_tuples_total", st.Scan.TuplesEmitted)
+	m("engine_transform_frozen_blocks_total", st.Transform.BlocksFrozen)
+	m("engine_index_entries", st.Index.Entries)
+	m("engine_index_lookups_total", st.Index.Lookups)
+	m("engine_index_range_scans_total", st.Index.RangeScans)
+	if st.WAL.Enabled {
+		m("engine_wal_txns_total", st.WAL.Txns)
+		m("engine_wal_bytes_total", st.WAL.Bytes)
+		m("engine_wal_syncs_total", st.WAL.Syncs)
+	}
+	if st.Checkpoint.Enabled {
+		m("engine_checkpoints_taken_total", st.Checkpoint.Taken)
+		m("engine_checkpoints_failed_total", st.Checkpoint.Failed)
+	}
+
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_, _ = w.Write([]byte(b.String()))
+}

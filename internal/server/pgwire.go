@@ -1,4 +1,4 @@
-package export
+package server
 
 import (
 	"encoding/binary"

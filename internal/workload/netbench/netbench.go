@@ -1,0 +1,417 @@
+// Package netbench is the keyed-fleet stress driver for the serving
+// layer: N concurrent network clients mix OLTP point writes (indexed
+// upserts and deletes through the transactional plane) with streaming
+// analytical exports (DoGet over the same connection fleet), all over real
+// TCP against a real server.
+//
+// Correctness is replay-verified: every client owns a disjoint key range
+// and tracks the value/version it last committed per key in a local
+// oracle, rolled back on abort. After the fleet stops, one full DoGet
+// export is compared against the merged oracle in both directions — a
+// single divergent key is a mismatch. Mid-run exports additionally check
+// structural invariants (keys in range, no duplicate keys per snapshot),
+// which would catch a torn zero-copy block or a non-snapshot read.
+//
+// The driver also probes admission control while the fleet holds every
+// session slot: extra dials must be rejected immediately with a typed
+// ErrServerBusy, never hang.
+package netbench
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mainline"
+	"mainline/internal/server"
+)
+
+// Config shapes a netbench run.
+type Config struct {
+	// Addr targets a running server; empty self-hosts an in-process
+	// engine + server (the unit-test and sweep path).
+	Addr string
+	// Clients is the fleet size (each client = one connection).
+	Clients int
+	// KeysPerClient bounds each client's disjoint key range.
+	KeysPerClient int
+	// Duration bounds the mixed-op phase.
+	Duration time.Duration
+	// ExportEvery issues a streaming DoGet after this many write ops per
+	// client (0 disables mid-run exports).
+	ExportEvery int
+	// DeleteFrac is the fraction of ops that delete instead of upsert.
+	DeleteFrac float64
+	// ProbeAdmission dials past the session cap during the run (self-host
+	// mode sizes MaxSessions to the fleet so the probe must bounce).
+	ProbeAdmission bool
+	// Seed makes runs reproducible.
+	Seed int64
+	// Table is the benchmark table name.
+	Table string
+}
+
+// DefaultConfig returns the standard mixed-fleet shape.
+func DefaultConfig() Config {
+	return Config{
+		Clients:        64,
+		KeysPerClient:  256,
+		Duration:       2 * time.Second,
+		ExportEvery:    50,
+		DeleteFrac:     0.1,
+		ProbeAdmission: true,
+		Seed:           1,
+		Table:          "netbench",
+	}
+}
+
+// Result reports a run.
+type Result struct {
+	// Ops is committed write transactions; Aborts counts transactions
+	// that failed to commit (deadline hits included).
+	Ops    int64
+	Aborts int64
+	// Exports / ExportRows / ExportBytes total the streaming DoGets.
+	Exports     int64
+	ExportRows  int64
+	ExportBytes int64
+	// BusyRejections counts admission-probe dials bounced with
+	// ErrServerBusy; ProbeHangs counts probe dials that neither connected
+	// nor errored within a second (must stay 0 — "reject, never hang").
+	BusyRejections int64
+	ProbeHangs     int64
+	// Mismatches counts oracle divergences in the final replay
+	// verification (must be 0); InvariantViolations counts mid-run export
+	// snapshots that broke structural invariants (must be 0).
+	Mismatches          int64
+	InvariantViolations int64
+	// FinalRows is the row count of the closing export; Elapsed is the
+	// mixed-op phase wall time.
+	FinalRows int
+	Elapsed   time.Duration
+	// ServerStats snapshots the server counters after the run (self-host
+	// mode only).
+	ServerStats mainline.ServerStats
+}
+
+// TxnPerSec is committed write throughput.
+func (r *Result) TxnPerSec() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Ops) / r.Elapsed.Seconds()
+}
+
+// oracleEntry is one key's last-committed state.
+type oracleEntry struct {
+	v, ver int64
+}
+
+var netSchema = mainline.NewSchema(
+	mainline.Field{Name: "k", Type: mainline.INT64},
+	mainline.Field{Name: "v", Type: mainline.INT64},
+	mainline.Field{Name: "ver", Type: mainline.INT64},
+	mainline.Field{Name: "pad", Type: mainline.STRING, Nullable: true},
+)
+
+var writeCols = []string{"k", "v", "ver", "pad"}
+
+// Run executes one netbench configuration.
+func Run(cfg Config) (*Result, error) {
+	if cfg.Clients <= 0 || cfg.KeysPerClient <= 0 {
+		return nil, fmt.Errorf("netbench: need positive Clients and KeysPerClient")
+	}
+	if cfg.Table == "" {
+		cfg.Table = "netbench"
+	}
+	addr := cfg.Addr
+	var srv *server.Server
+	if addr == "" {
+		eng, err := mainline.Open()
+		if err != nil {
+			return nil, err
+		}
+		defer eng.Close()
+		// Size the session cap to exactly the fleet so the admission probe
+		// deterministically bounces while every client is connected; the
+		// verifier dials after the fleet closes and retries while the
+		// server reaps the freed slots.
+		srv = server.New(eng, server.Config{Addr: "127.0.0.1:0", MaxSessions: cfg.Clients})
+		if addr, err = srv.Listen(); err != nil {
+			return nil, err
+		}
+		defer srv.Close()
+	}
+
+	// Schema setup on a throwaway connection.
+	setup, err := server.Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	if err := setup.CreateTable(cfg.Table, netSchema); err != nil && !errors.Is(err, server.ErrTableExists) {
+		setup.Close()
+		return nil, err
+	}
+	if err := setup.CreateIndex(cfg.Table, "by_k", 0, "k"); err != nil {
+		setup.Close()
+		return nil, err
+	}
+	setup.Close()
+
+	// Connect the fleet up front so the probe runs against a full house.
+	// The setup connection's slot frees asynchronously, so the last fleet
+	// dial may transiently bounce — retry it.
+	clients := make([]*server.Client, cfg.Clients)
+	for i := range clients {
+		c, err := dialRetry(addr, 5*time.Second)
+		if err != nil {
+			return nil, fmt.Errorf("netbench: fleet dial %d: %w", i, err)
+		}
+		defer c.Close()
+		clients[i] = c
+	}
+
+	res := &Result{}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	errCh := make(chan error, cfg.Clients+1)
+	oracles := make([]map[int64]oracleEntry, cfg.Clients)
+
+	start := time.Now()
+	for ci := range clients {
+		wg.Add(1)
+		oracles[ci] = make(map[int64]oracleEntry, cfg.KeysPerClient)
+		go func(ci int) {
+			defer wg.Done()
+			if err := driveClient(cfg, clients[ci], ci, oracles[ci], stop, res); err != nil {
+				select {
+				case errCh <- fmt.Errorf("client %d: %w", ci, err):
+				default:
+				}
+			}
+		}(ci)
+	}
+	if cfg.ProbeAdmission {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			probeAdmission(addr, stop, res)
+		}()
+	}
+	time.Sleep(cfg.Duration)
+	close(stop)
+	wg.Wait()
+	res.Elapsed = time.Since(start)
+	select {
+	case err := <-errCh:
+		return res, err
+	default:
+	}
+
+	// Release the fleet's sessions, then replay-verify on a fresh one.
+	for _, c := range clients {
+		c.Close()
+	}
+	if err := verify(addr, cfg, oracles, res); err != nil {
+		return res, err
+	}
+	if srv != nil {
+		res.ServerStats = srv.Stats()
+	}
+	return res, nil
+}
+
+// dialRetry dials, retrying typed busy rejections until the deadline —
+// used where a just-closed connection's slot may not be reaped yet.
+func dialRetry(addr string, patience time.Duration) (*server.Client, error) {
+	deadline := time.Now().Add(patience)
+	for {
+		c, err := server.Dial(addr)
+		if err == nil {
+			return c, nil
+		}
+		if !errors.Is(err, server.ErrServerBusy) || time.Now().After(deadline) {
+			return nil, err
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// driveClient runs one fleet member's mixed loop: keyed upserts/deletes
+// with oracle bookkeeping, plus a periodic streaming export over its own
+// key range.
+func driveClient(cfg Config, c *server.Client, ci int, oracle map[int64]oracleEntry, stop <-chan struct{}, res *Result) error {
+	rng := rand.New(rand.NewSource(cfg.Seed + int64(ci)*7919))
+	lo := int64(ci) * int64(cfg.KeysPerClient)
+	hi := lo + int64(cfg.KeysPerClient)
+	ops := 0
+	for {
+		select {
+		case <-stop:
+			return nil
+		default:
+		}
+		k := lo + rng.Int63n(hi-lo)
+		if err := writeOnce(cfg, c, rng, k, oracle, res); err != nil {
+			return err
+		}
+		ops++
+		if cfg.ExportEvery > 0 && ops%cfg.ExportEvery == 0 {
+			if err := exportOnce(cfg, c, lo, hi, res); err != nil {
+				return err
+			}
+		}
+	}
+}
+
+// writeOnce is one oracle-tracked transaction against key k.
+func writeOnce(cfg Config, c *server.Client, rng *rand.Rand, k int64, oracle map[int64]oracleEntry, res *Result) error {
+	tx, err := c.Begin()
+	if err != nil {
+		return err
+	}
+	cur, err := tx.GetBy(cfg.Table, "by_k", []any{k}, "k", "ver")
+	if err != nil {
+		tx.Abort()
+		atomic.AddInt64(&res.Aborts, 1)
+		return nil
+	}
+	del := cur != nil && rng.Float64() < cfg.DeleteFrac
+	var v, ver int64
+	switch {
+	case del:
+		err = tx.Delete(cfg.Table, cur.Slot)
+	case cur != nil:
+		v, ver = rng.Int63n(1<<40), cur.Int("ver")+1
+		err = tx.Update(cfg.Table, cur.Slot, writeCols[1:3], []any{v, ver})
+	default:
+		v, ver = rng.Int63n(1<<40), 1
+		_, err = tx.Insert(cfg.Table, writeCols, []any{k, v, ver, fmt.Sprintf("pad-%d-%d", k, ver)})
+	}
+	if err != nil {
+		tx.Abort()
+		atomic.AddInt64(&res.Aborts, 1)
+		return nil
+	}
+	if _, err := tx.Commit(); err != nil {
+		// Commit failure (conflict, deadline): the oracle keeps the old
+		// state — exactly what replay verification checks.
+		atomic.AddInt64(&res.Aborts, 1)
+		return nil
+	}
+	if del {
+		delete(oracle, k)
+	} else {
+		oracle[k] = oracleEntry{v: v, ver: ver}
+	}
+	atomic.AddInt64(&res.Ops, 1)
+	return nil
+}
+
+// exportOnce streams this client's key range and checks snapshot
+// invariants: every key in range, no key twice.
+func exportOnce(cfg Config, c *server.Client, lo, hi int64, res *Result) error {
+	seen := make(map[int64]struct{})
+	rows := 0
+	st, err := c.DoGet(cfg.Table, []string{"k"}, &server.WirePred{Col: "k", Op: server.PredBetween, V1: lo, V2: hi - 1},
+		func(rb *mainline.RecordBatch) error {
+			kc := rb.Column("k")
+			for i := 0; i < rb.NumRows; i++ {
+				k := kc.Int64(i)
+				if k < lo || k >= hi {
+					atomic.AddInt64(&res.InvariantViolations, 1)
+				}
+				if _, dup := seen[k]; dup {
+					atomic.AddInt64(&res.InvariantViolations, 1)
+				}
+				seen[k] = struct{}{}
+			}
+			rows += rb.NumRows
+			return nil
+		})
+	if err != nil {
+		return fmt.Errorf("export [%d,%d): %w", lo, hi, err)
+	}
+	atomic.AddInt64(&res.Exports, 1)
+	atomic.AddInt64(&res.ExportRows, int64(rows))
+	atomic.AddInt64(&res.ExportBytes, st.Bytes)
+	return nil
+}
+
+// probeAdmission hammers the session cap while the fleet holds every
+// slot: each dial must fail fast with a typed ErrServerBusy.
+func probeAdmission(addr string, stop <-chan struct{}, res *Result) {
+	for {
+		select {
+		case <-stop:
+			return
+		default:
+		}
+		done := make(chan error, 1)
+		go func() {
+			c, err := server.Dial(addr, server.WithDialTimeout(2*time.Second))
+			if err == nil {
+				c.Close()
+			}
+			done <- err
+		}()
+		select {
+		case err := <-done:
+			if errors.Is(err, server.ErrServerBusy) {
+				atomic.AddInt64(&res.BusyRejections, 1)
+			}
+		case <-time.After(time.Second):
+			atomic.AddInt64(&res.ProbeHangs, 1)
+			<-done
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// verify merges the per-client oracles and compares them against one
+// final full export, both directions.
+func verify(addr string, cfg Config, oracles []map[int64]oracleEntry, res *Result) error {
+	expect := make(map[int64]oracleEntry)
+	for _, o := range oracles {
+		for k, e := range o {
+			expect[k] = e
+		}
+	}
+	// The fleet's slots free asynchronously as the server reaps the
+	// closed connections; retry busy rejections briefly.
+	c, err := dialRetry(addr, 5*time.Second)
+	if err != nil {
+		return fmt.Errorf("netbench: verifier dial: %w", err)
+	}
+	defer c.Close()
+	got := make(map[int64]oracleEntry)
+	_, err = c.DoGet(cfg.Table, nil, nil, func(rb *mainline.RecordBatch) error {
+		kc, vc, verc := rb.Column("k"), rb.Column("v"), rb.Column("ver")
+		for i := 0; i < rb.NumRows; i++ {
+			k := kc.Int64(i)
+			if _, dup := got[k]; dup {
+				res.Mismatches++
+			}
+			got[k] = oracleEntry{v: vc.Int64(i), ver: verc.Int64(i)}
+		}
+		return nil
+	})
+	if err != nil {
+		return fmt.Errorf("netbench: final export: %w", err)
+	}
+	res.FinalRows = len(got)
+	for k, e := range expect {
+		if g, ok := got[k]; !ok || g != e {
+			res.Mismatches++
+		}
+	}
+	for k := range got {
+		if _, ok := expect[k]; !ok {
+			res.Mismatches++
+		}
+	}
+	return nil
+}

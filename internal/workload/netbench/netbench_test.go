@@ -1,0 +1,71 @@
+package netbench
+
+import (
+	"testing"
+	"time"
+)
+
+// TestNetbenchFleet is the acceptance run at test scale: 64 concurrent
+// network clients mixing transactional writes with streaming DoGet
+// exports, replay-verified against the merged per-client oracles, with
+// the admission probe hammering the full session table throughout.
+func TestNetbenchFleet(t *testing.T) {
+	if testing.Short() {
+		t.Skip("netbench fleet is a multi-second stress run")
+	}
+	cfg := DefaultConfig()
+	cfg.Clients = 64
+	cfg.KeysPerClient = 128
+	cfg.Duration = 1500 * time.Millisecond
+	cfg.ExportEvery = 25
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("ops=%d aborts=%d exports=%d exportRows=%d busy=%d finalRows=%d txn/s=%.0f",
+		res.Ops, res.Aborts, res.Exports, res.ExportRows, res.BusyRejections,
+		res.FinalRows, res.TxnPerSec())
+	if res.Ops == 0 {
+		t.Fatal("fleet committed no transactions")
+	}
+	if res.Exports == 0 {
+		t.Fatal("fleet streamed no exports")
+	}
+	if res.Mismatches != 0 {
+		t.Fatalf("replay verification: %d mismatches", res.Mismatches)
+	}
+	if res.InvariantViolations != 0 {
+		t.Fatalf("export snapshots: %d structural invariant violations", res.InvariantViolations)
+	}
+	if res.ProbeHangs != 0 {
+		t.Fatalf("admission probe: %d dials hung instead of rejecting", res.ProbeHangs)
+	}
+	if res.BusyRejections == 0 {
+		t.Fatal("admission probe saw no ErrServerBusy rejections with a full session table")
+	}
+	if res.ServerStats.SessionsRejected == 0 {
+		t.Fatal("server counters recorded no rejected sessions")
+	}
+}
+
+// TestNetbenchSmall exercises the driver shape cheaply (also the -short
+// path): a handful of clients, no probe, still replay-verified.
+func TestNetbenchSmall(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Clients = 4
+	cfg.KeysPerClient = 64
+	cfg.Duration = 300 * time.Millisecond
+	cfg.ExportEvery = 10
+	cfg.ProbeAdmission = false
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ops == 0 {
+		t.Fatal("no committed transactions")
+	}
+	if res.Mismatches != 0 || res.InvariantViolations != 0 {
+		t.Fatalf("verification failed: %d mismatches, %d invariant violations",
+			res.Mismatches, res.InvariantViolations)
+	}
+}

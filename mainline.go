@@ -176,6 +176,10 @@ type Engine struct {
 	// (Stats().Exec) across every Aggregate/Join on this engine.
 	execCounters exec.Counters
 
+	// serverStatsFn, when set via Admin().SetServerStats, snapshots the
+	// attached network serving layer's counters for Stats().Server.
+	serverStatsFn atomic.Value // func() ServerStats
+
 	// dirLock releases the data directory's exclusive flock (nil without
 	// DataDir). Held from bootstrap until Close.
 	dirLock func()

@@ -1,0 +1,5 @@
+//go:build !race
+
+package mainline_test
+
+const raceEnabled = false

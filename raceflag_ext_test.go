@@ -1,0 +1,6 @@
+//go:build race
+
+package mainline_test
+
+// raceEnabled mirrors the in-package race flag for external tests.
+const raceEnabled = true

@@ -1,0 +1,109 @@
+package mainline_test
+
+// Serving-layer benchmarks live in an external test package: the server
+// package imports mainline, so importing it from an in-package test would
+// be an import cycle.
+
+import (
+	"fmt"
+	"testing"
+
+	"mainline"
+	"mainline/client"
+	"mainline/internal/server"
+)
+
+func loadFrozenTable(b *testing.B, eng *mainline.Engine, rows int) *mainline.Table {
+	b.Helper()
+	tbl, err := eng.CreateTable("t", mainline.NewSchema(
+		mainline.Field{Name: "id", Type: mainline.INT64},
+		mainline.Field{Name: "payload", Type: mainline.STRING},
+	))
+	if err != nil {
+		b.Fatal(err)
+	}
+	tx, err := eng.Begin()
+	if err != nil {
+		b.Fatal(err)
+	}
+	row := tbl.NewRow()
+	for i := 0; i < rows; i++ {
+		row.Reset()
+		row.SetInt64(0, int64(i))
+		row.SetVarlen(1, []byte(fmt.Sprintf("payload-%d-abcdefghijklmnop", i)))
+		if _, err := tbl.Insert(tx, row); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if _, err := tx.Commit(); err != nil {
+		b.Fatal(err)
+	}
+	if !eng.FreezeAll(100) {
+		b.Fatal("freeze failed")
+	}
+	return tbl
+}
+
+// BenchmarkExportProtocols measures steady-state fetch bandwidth per
+// protocol on a frozen table (the Figure 15 100%-frozen points, isolated).
+func BenchmarkExportProtocols(b *testing.B) {
+	eng, err := mainline.Open()
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer eng.Close()
+	loadFrozenTable(b, eng, 50000)
+	adm := eng.Admin()
+	srv := server.NewCompareServer(adm.TxnManager(), adm.Catalog())
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	for _, proto := range []server.Protocol{server.ProtoFlight, server.ProtoVectorized, server.ProtoPGWire} {
+		b.Run(proto.String(), func(b *testing.B) {
+			var bytes int64
+			for i := 0; i < b.N; i++ {
+				res, err := server.Fetch(addr, proto, "t")
+				if err != nil {
+					b.Fatal(err)
+				}
+				bytes += res.Bytes
+			}
+			b.SetBytes(bytes / int64(b.N))
+		})
+	}
+}
+
+// BenchmarkServeDoGet measures the full serving layer's streaming export
+// path (framed protocol + admission + deadline machinery) on the same
+// frozen table, for comparison against the bare CompareServer numbers.
+func BenchmarkServeDoGet(b *testing.B) {
+	eng, err := mainline.Open()
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer eng.Close()
+	loadFrozenTable(b, eng, 50000)
+	srv := server.New(eng, server.Config{Addr: "127.0.0.1:0"})
+	addr, err := srv.Listen()
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	c, err := client.Dial(addr)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	b.ResetTimer()
+	var bytes int64
+	for i := 0; i < b.N; i++ {
+		st, err := c.DoGet("t", nil, nil, func(rb *mainline.RecordBatch) error { return nil })
+		if err != nil {
+			b.Fatal(err)
+		}
+		bytes += st.Bytes
+	}
+	b.SetBytes(bytes / int64(b.N))
+}
