@@ -37,6 +37,16 @@ type Stats struct {
 	// Enabled false when no mainline-serve server is attached to the
 	// engine; see internal/server).
 	Server ServerStats
+	// Latency publishes the engine's latency and size distributions as
+	// histogram snapshots (commit path, WAL group commit, checkpoint,
+	// GC, queries, index reads). See LatencyStats.
+	Latency LatencyStats
+	// Duty publishes background-subsystem duty cycles (GC, transform,
+	// WAL flusher, checkpointer).
+	Duty DutyStats
+	// GC publishes garbage-collector progress: retired versions and the
+	// watermark lag behind the engine clock.
+	GC GCStats
 }
 
 // ServerStats counts network serving-layer activity: connection and
@@ -225,6 +235,28 @@ func (e *Engine) Stats() Stats {
 		s.Server = fn()
 		s.Server.Enabled = true
 	}
+	s.Latency = LatencyStats{
+		Commit:          e.obs.commit.Snapshot(),
+		CommitCritical:  e.obs.commitCrit.Snapshot(),
+		CommitLatchWait: e.obs.commitLatch.Snapshot(),
+		BeginStampWait:  e.obs.beginStamp.Snapshot(),
+		WALSync:         e.obs.walSync.Snapshot(),
+		WALGroupTxns:    e.obs.walGroupTxns.Snapshot(),
+		WALGroupBytes:   e.obs.walGroupBytes.Snapshot(),
+		Checkpoint:      e.obs.ckpt.Snapshot(),
+		CheckpointTable: e.obs.ckptTable.Snapshot(),
+		GCPass:          e.obs.gcPass.Snapshot(),
+		Query:           e.obs.query.Snapshot(),
+		IndexLookup:     e.obs.indexLookup.Snapshot(),
+	}
+	s.Duty = DutyStats{
+		GC:         e.obs.gcDuty.Snapshot(),
+		Transform:  e.obs.transformDuty.Snapshot(),
+		WALFlush:   e.obs.walDuty.Snapshot(),
+		Checkpoint: e.obs.ckptDuty.Snapshot(),
+	}
+	s.GC.Unlinked, s.GC.Deallocated = e.collector.Totals()
+	s.GC.WatermarkLag = e.collector.WatermarkLag()
 	if e.opts.DataDir != "" {
 		s.Checkpoint = CheckpointStats{
 			Enabled:           true,

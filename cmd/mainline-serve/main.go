@@ -1,7 +1,8 @@
 // Command mainline-serve runs the engine behind its Arrow-native network
 // serving layer: the framed two-plane protocol (transactional RPC +
-// streaming DoGet/DoPut export) on -addr, and the /metrics + /healthz
-// operational sidecar on -http. SIGTERM or SIGINT drains gracefully:
+// streaming DoGet/DoPut export) on -addr, and the /metrics + /healthz +
+// /debug/slowops operational sidecar on -http (-debug adds pprof and
+// expvar; -slow-op tunes the slow-op capture threshold). SIGTERM or SIGINT drains gracefully:
 // accepting stops, in-flight requests get -grace to finish, leaked
 // transactions are reaped, then the engine (and its WAL) closes cleanly.
 //
@@ -30,12 +31,17 @@ func main() {
 		maxTxns      = flag.Int("max-txns", 64, "max open transactions per session")
 		writeTimeout = flag.Duration("write-timeout", 30*time.Second, "per-write network timeout while streaming")
 		grace        = flag.Duration("grace", 10*time.Second, "drain grace on SIGTERM")
+		debug        = flag.Bool("debug", false, "serve net/http/pprof and expvar on the -http sidecar")
+		slowOp       = flag.Duration("slow-op", 0, "slow-op capture threshold for /debug/slowops (0 = 100ms default; 1ns captures everything)")
 	)
 	flag.Parse()
 
 	opts := []mainline.Option{mainline.WithBackground()}
 	if *dataDir != "" {
 		opts = append(opts, mainline.WithDataDir(*dataDir))
+	}
+	if *slowOp != 0 {
+		opts = append(opts, mainline.WithSlowOpThreshold(*slowOp))
 	}
 	eng, err := mainline.Open(opts...)
 	if err != nil {
@@ -49,6 +55,7 @@ func main() {
 		MaxInflight:       *maxInflight,
 		MaxTxnsPerSession: *maxTxns,
 		WriteTimeout:      *writeTimeout,
+		DebugEndpoints:    *debug,
 	})
 	bound, err := srv.Listen()
 	if err != nil {

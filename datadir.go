@@ -72,11 +72,16 @@ func (e *Engine) checkpointLocked() (CheckpointInfo, error) {
 	// therefore one full checkpoint interval, and a checkpoint's segments
 	// are released by its successor.
 	prevSnapshot := e.ckptLastTs.Load()
-	info, err := checkpoint.Take(e.ckptDir(), e.cat, e.mgr)
+	t0 := time.Now()
+	info, err := checkpoint.TakeObserved(e.ckptDir(), e.cat, e.mgr, e.obs.ckptTable)
 	if err != nil {
 		e.ckptFailed.Add(1)
 		return CheckpointInfo{}, err
 	}
+	d := time.Since(t0)
+	e.obs.ckpt.Record(d)
+	e.obs.ckptDuty.Observe(d)
+	e.ckptLastWall.Store(time.Now().UnixNano())
 	removed := 0
 	if e.logMgr != nil {
 		// A truncation error leaves extra (harmless, replayable) segments

@@ -3,6 +3,7 @@ package mainline
 import (
 	"fmt"
 	"runtime"
+	"time"
 
 	"mainline/internal/arrow"
 	"mainline/internal/catalog"
@@ -232,7 +233,9 @@ func (tx *Txn) GetBy(idx *IndexHandle, out *Row, key ...any) (TupleSlot, bool, e
 	if out != nil {
 		pr = out.ProjectedRow
 	}
+	t0 := time.Now()
 	slot, ok := idx.ti.GetVisible(tx.raw, k, pr)
+	tx.eng.obs.indexLookup.RecordSince(t0)
 	return slot, ok, nil
 }
 
@@ -275,9 +278,11 @@ func (tx *Txn) RangeBy(idx *IndexHandle, lo, hi []any, cols []string, fn func(sl
 	if err != nil {
 		return err
 	}
+	t0 := time.Now()
 	idx.ti.Ascend(tx.raw, loKey, hiKey, row.ProjectedRow, func(slot storage.TupleSlot, _ *storage.ProjectedRow) bool {
 		return fn(slot, row)
 	})
+	tx.eng.obs.indexLookup.RecordSince(t0)
 	return nil
 }
 
@@ -296,8 +301,10 @@ func (tx *Txn) PrefixBy(idx *IndexHandle, prefix []any, cols []string, fn func(s
 	if err != nil {
 		return err
 	}
+	t0 := time.Now()
 	idx.ti.AscendPrefix(tx.raw, p, row.ProjectedRow, func(slot storage.TupleSlot, _ *storage.ProjectedRow) bool {
 		return fn(slot, row)
 	})
+	tx.eng.obs.indexLookup.RecordSince(t0)
 	return nil
 }

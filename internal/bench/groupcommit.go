@@ -9,6 +9,7 @@ import (
 	"mainline/internal/benchutil"
 	"mainline/internal/catalog"
 	"mainline/internal/gc"
+	"mainline/internal/obs"
 	"mainline/internal/storage"
 	"mainline/internal/txn"
 	"mainline/internal/wal"
@@ -64,6 +65,9 @@ type GroupCommitPoint struct {
 	Syncs     int64
 	// GroupSize is the mean transactions amortized per fsync.
 	GroupSize float64
+	// P50/P95/P99 are commit-latency percentiles (durable wait included)
+	// from the internal/obs histogram the point records into.
+	P50, P95, P99 time.Duration
 }
 
 // GroupCommit measures the parallel commit pipeline: TPC-C terminals issue
@@ -105,7 +109,7 @@ func GroupCommit(cfg GroupCommitConfig) (*benchutil.Table, []GroupCommitPoint, e
 	t := &benchutil.Table{
 		Title:  "Commit pipeline — durable TPC-C throughput vs terminals",
 		Note:   fmt.Sprintf("%v per point, every commit waits for its group fsync", cfg.Duration),
-		Header: []string{"workers", "txn/s", "tpmC", "aborted", "fsyncs", "txns/fsync", "speedup"},
+		Header: []string{"workers", "txn/s", "tpmC", "p50", "p95", "p99", "aborted", "fsyncs", "txns/fsync", "speedup"},
 	}
 	var points []GroupCommitPoint
 	var base float64
@@ -122,6 +126,9 @@ func GroupCommit(cfg GroupCommitConfig) (*benchutil.Table, []GroupCommitPoint, e
 			fmt.Sprintf("%d", workers),
 			fmt.Sprintf("%.0f", pt.TxnPerSec),
 			fmt.Sprintf("%.0f", pt.TpmC),
+			benchutil.Seconds(pt.P50),
+			benchutil.Seconds(pt.P95),
+			benchutil.Seconds(pt.P99),
 			fmt.Sprintf("%d", pt.Aborted),
 			fmt.Sprintf("%d", pt.Syncs),
 			fmt.Sprintf("%.1f", pt.GroupSize),
@@ -154,6 +161,8 @@ func runGroupCommitPoint(cfg GroupCommitConfig, workers int, logDir string) (*Gr
 		return nil, err
 	}
 	db.Durable = true
+	lat := obs.NewHistogram("commit", "", "seconds", "")
+	db.CommitLatency = lat
 
 	g := gc.New(mgr)
 	g.Start(10 * time.Millisecond)
@@ -169,6 +178,7 @@ func runGroupCommitPoint(cfg GroupCommitConfig, workers int, logDir string) (*Gr
 		return nil, err
 	}
 	txns, _, syncs := lm.Stats()
+	snap := lat.Snapshot()
 	pt := &GroupCommitPoint{
 		Workers:   workers,
 		Committed: res.Total(),
@@ -176,6 +186,9 @@ func runGroupCommitPoint(cfg GroupCommitConfig, workers int, logDir string) (*Gr
 		TxnPerSec: res.Throughput(),
 		TpmC:      res.TpmC(),
 		Syncs:     syncs,
+		P50:       snap.QuantileDuration(0.50),
+		P95:       snap.QuantileDuration(0.95),
+		P99:       snap.QuantileDuration(0.99),
 	}
 	if syncs > 0 {
 		pt.GroupSize = float64(txns) / float64(syncs)

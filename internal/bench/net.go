@@ -40,8 +40,8 @@ func Net(cfg NetConfig) (*benchutil.Table, error) {
 		Title: "netbench: serving-layer throughput vs client count",
 		Note: "mixed keyed OLTP writes + streaming DoGet exports per client; " +
 			"oracle replay-verified after each point",
-		Header: []string{"clients", "txn/s", "commits", "aborts", "exports",
-			"export MB/s", "busy rejects", "verified"},
+		Header: []string{"clients", "txn/s", "p50", "p95", "p99", "commits", "aborts",
+			"exports", "export MB/s", "busy rejects", "verified"},
 	}
 	for _, n := range cfg.Clients {
 		nb := netbench.DefaultConfig()
@@ -74,6 +74,9 @@ func Net(cfg NetConfig) (*benchutil.Table, error) {
 		t.AddRow(
 			fmt.Sprintf("%d", n),
 			fmt.Sprintf("%.0f", res.TxnPerSec()),
+			benchutil.Seconds(res.Latency.QuantileDuration(0.50)),
+			benchutil.Seconds(res.Latency.QuantileDuration(0.95)),
+			benchutil.Seconds(res.Latency.QuantileDuration(0.99)),
 			benchutil.Count(res.Ops),
 			benchutil.Count(res.Aborts),
 			benchutil.Count(res.Exports),

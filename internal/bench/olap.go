@@ -17,6 +17,7 @@ import (
 	"mainline/internal/core"
 	"mainline/internal/exec"
 	"mainline/internal/gc"
+	"mainline/internal/obs"
 	"mainline/internal/storage"
 	"mainline/internal/transform"
 	"mainline/internal/txn"
@@ -108,34 +109,39 @@ func Olap(cfg OlapConfig) (*benchutil.Table, error) {
 	}
 	groupBy := []storage.ColumnID{1}
 
-	runQuery := func(workers int) (float64, error) {
+	runQuery := func(workers int) (float64, obs.HistSnapshot, error) {
 		plan := &exec.AggPlan{Table: table.DataTable, GroupBy: groupBy, Aggs: aggs, Workers: workers}
+		// Per-query latency flows through the same exec.Counters hook the
+		// engine uses for Stats().Latency.Query.
+		lat := obs.NewHistogram("olap_query", "", "seconds", "")
+		var ctr exec.Counters
+		ctr.SetLatency(lat)
 		// Warm outside the measurement.
 		tx := mgr.Begin()
 		res, err := exec.Aggregate(tx, plan, nil)
 		mgr.Commit(tx, nil)
 		if err != nil {
-			return 0, err
+			return 0, obs.HistSnapshot{}, err
 		}
 		if res.Len() != len(olapVocab) {
-			return 0, fmt.Errorf("bench: %d groups, want %d", res.Len(), len(olapVocab))
+			return 0, obs.HistSnapshot{}, fmt.Errorf("bench: %d groups, want %d", res.Len(), len(olapVocab))
 		}
 		start := time.Now()
 		for i := 0; i < cfg.Iters; i++ {
 			tx := mgr.Begin()
-			_, err := exec.Aggregate(tx, plan, nil)
+			_, err := exec.Aggregate(tx, plan, &ctr)
 			mgr.Commit(tx, nil)
 			if err != nil {
-				return 0, err
+				return 0, obs.HistSnapshot{}, err
 			}
 		}
-		return float64(totalRows*int64(cfg.Iters)) / time.Since(start).Seconds(), nil
+		return float64(totalRows*int64(cfg.Iters)) / time.Since(start).Seconds(), lat.Snapshot(), nil
 	}
 
 	t := &benchutil.Table{
 		Title:  "OLAP sweep — morsel-driven parallel aggregation (rows/s vs workers)",
 		Note:   fmt.Sprintf("%d frozen dictionary blocks x %d tuples; GROUP BY grp, 4 aggregates", cfg.Blocks, cfg.PerBlock),
-		Header: []string{"workers", "rows/s", "speedup"},
+		Header: []string{"workers", "rows/s", "q p50", "q p99", "speedup"},
 	}
 	workerCounts := []int{1}
 	for w := 2; w <= runtime.NumCPU(); w *= 2 {
@@ -144,7 +150,7 @@ func Olap(cfg OlapConfig) (*benchutil.Table, error) {
 	rates := make(map[int]float64, len(workerCounts))
 	var base float64
 	for i, w := range workerCounts {
-		rate, err := runQuery(w)
+		rate, lat, err := runQuery(w)
 		if err != nil {
 			return nil, err
 		}
@@ -155,7 +161,10 @@ func Olap(cfg OlapConfig) (*benchutil.Table, error) {
 		} else {
 			speedup = fmt.Sprintf("%.2fx", rate/base)
 		}
-		t.AddRow(fmt.Sprintf("%d", w), benchutil.OpsPerSec(int64(rate), time.Second), speedup)
+		t.AddRow(fmt.Sprintf("%d", w), benchutil.OpsPerSec(int64(rate), time.Second),
+			benchutil.Seconds(lat.QuantileDuration(0.50)),
+			benchutil.Seconds(lat.QuantileDuration(0.99)),
+			speedup)
 	}
 
 	// Predicate-pushdown point: the selection vector feeds the kernels.
@@ -172,7 +181,7 @@ func Olap(cfg OlapConfig) (*benchutil.Table, error) {
 	}
 	predRate := float64(totalRows*int64(cfg.Iters)) / time.Since(start).Seconds()
 	mgr.Commit(tx, nil)
-	t.AddRow("pred 50%", benchutil.OpsPerSec(int64(predRate), time.Second), fmt.Sprintf("%.2fx", predRate/base))
+	t.AddRow("pred 50%", benchutil.OpsPerSec(int64(predRate), time.Second), "-", "-", fmt.Sprintf("%.2fx", predRate/base))
 
 	if runtime.NumCPU() >= 8 {
 		if r8, ok := rates[8]; ok && r8 < 3*rates[1] {

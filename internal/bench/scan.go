@@ -17,6 +17,7 @@ import (
 	"mainline/internal/catalog"
 	"mainline/internal/core"
 	"mainline/internal/gc"
+	"mainline/internal/obs"
 	"mainline/internal/storage"
 	"mainline/internal/transform"
 	"mainline/internal/txn"
@@ -98,33 +99,38 @@ func (e *scanEnv) freeze() error {
 	return nil
 }
 
-// measure runs fn iters times and reports rows/sec plus allocs per run.
-func measure(iters int, rowsPer int64, fn func(tx *txn.Transaction) error, mgr *txn.Manager) (rate float64, allocs float64, err error) {
+// measure runs fn iters times and reports rows/sec, allocs per run, and
+// the per-iteration latency distribution (an internal/obs histogram
+// snapshot, so the table can print p50/p99 alongside the mean rate).
+func measure(iters int, rowsPer int64, fn func(tx *txn.Transaction) error, mgr *txn.Manager) (rate float64, allocs float64, lat obs.HistSnapshot, err error) {
 	// Warm pools and caches once outside the measurement.
 	tx := mgr.Begin()
 	if err := fn(tx); err != nil {
 		mgr.Commit(tx, nil)
-		return 0, 0, err
+		return 0, 0, lat, err
 	}
 	mgr.Commit(tx, nil)
 
+	h := obs.NewHistogram("scan_iter", "", "seconds", "")
 	var before, after runtime.MemStats
 	runtime.GC()
 	runtime.ReadMemStats(&before)
 	start := time.Now()
 	for i := 0; i < iters; i++ {
+		t0 := time.Now()
 		tx := mgr.Begin()
 		if err := fn(tx); err != nil {
 			mgr.Commit(tx, nil)
-			return 0, 0, err
+			return 0, 0, lat, err
 		}
 		mgr.Commit(tx, nil)
+		h.RecordSince(t0)
 	}
 	elapsed := time.Since(start)
 	runtime.ReadMemStats(&after)
 	rate = float64(rowsPer*int64(iters)) / elapsed.Seconds()
 	allocs = float64(after.Mallocs-before.Mallocs) / float64(iters)
-	return rate, allocs, nil
+	return rate, allocs, h.Snapshot(), nil
 }
 
 // Scan runs the sweep and returns the comparison table.
@@ -177,7 +183,7 @@ func Scan(cfg ScanConfig) (*benchutil.Table, error) {
 	t := &benchutil.Table{
 		Title:  "Scan sweep — tuple-at-a-time vs vectorized batches (rows/s, allocs/op)",
 		Note:   fmt.Sprintf("%d blocks x %d tuples, int64+varlen; pruned = zone-map range read", cfg.Blocks, cfg.PerBlock),
-		Header: []string{"state", "path", "rows/s", "allocs/op", "speedup"},
+		Header: []string{"state", "path", "rows/s", "p50", "p99", "allocs/op", "speedup"},
 	}
 
 	type scenario struct {
@@ -188,7 +194,7 @@ func Scan(cfg ScanConfig) (*benchutil.Table, error) {
 	run := func(sc []scenario) error {
 		var base float64
 		for i, s := range sc {
-			rate, allocs, err := measure(cfg.Iters, totalRows, s.fn, mgr)
+			rate, allocs, lat, err := measure(cfg.Iters, totalRows, s.fn, mgr)
 			if err != nil {
 				return err
 			}
@@ -199,7 +205,10 @@ func Scan(cfg ScanConfig) (*benchutil.Table, error) {
 			} else {
 				speedup = fmt.Sprintf("%.2fx", rate/base)
 			}
-			t.AddRow(s.state, s.path, benchutil.OpsPerSec(int64(rate), time.Second), fmt.Sprintf("%.0f", allocs), speedup)
+			t.AddRow(s.state, s.path, benchutil.OpsPerSec(int64(rate), time.Second),
+				benchutil.Seconds(lat.QuantileDuration(0.50)),
+				benchutil.Seconds(lat.QuantileDuration(0.99)),
+				fmt.Sprintf("%.0f", allocs), speedup)
 		}
 		return nil
 	}

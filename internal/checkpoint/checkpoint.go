@@ -12,6 +12,7 @@ import (
 	"mainline/internal/arrow"
 	"mainline/internal/catalog"
 	"mainline/internal/fsutil"
+	"mainline/internal/obs"
 	"mainline/internal/storage"
 	"mainline/internal/txn"
 )
@@ -44,6 +45,13 @@ type Info struct {
 // in the table files, so the manifest's SnapshotTs cleanly partitions
 // history into "in the checkpoint" and "replay from the WAL tail".
 func Take(dir string, cat *catalog.Catalog, mgr *txn.Manager) (*Info, error) {
+	return TakeObserved(dir, cat, mgr, nil)
+}
+
+// TakeObserved is Take with per-table instrumentation: when perTable is
+// non-nil, each table's capture duration (scan + IPC write + sidecar) is
+// recorded into it.
+func TakeObserved(dir string, cat *catalog.Catalog, mgr *txn.Manager, perTable *obs.Histogram) (*Info, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("checkpoint: creating %s: %w", dir, err)
 	}
@@ -104,10 +112,15 @@ func Take(dir string, cat *catalog.Catalog, mgr *txn.Manager) (*Info, error) {
 		CreatedUnixNano: time.Now().UnixNano(),
 	}
 	for _, t := range tables {
+		var t0 time.Time
+		if perTable != nil {
+			t0 = time.Now()
+		}
 		ti, err := writeTable(tmp, t, tx)
 		if err != nil {
 			return nil, err
 		}
+		perTable.RecordSince(t0)
 		man.Tables = append(man.Tables, *ti)
 		info.Rows += ti.Rows
 		info.BytesWritten += ti.DataSize + ti.SlotSize

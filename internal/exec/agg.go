@@ -8,6 +8,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"mainline/internal/arrow"
 	"mainline/internal/core"
@@ -497,6 +498,9 @@ func (e *aggExec) mergeTable(dst, src *groupTable) {
 func Aggregate(tx *txn.Transaction, plan *AggPlan, c *Counters) (*AggResult, error) {
 	if c == nil {
 		c = &discard
+	}
+	if h := c.latency; h != nil {
+		defer h.RecordSince(time.Now())
 	}
 	e, err := compileAgg(plan)
 	if err != nil {

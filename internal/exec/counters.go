@@ -13,7 +13,11 @@
 // on any worker — is equivalent to one serial ScanBatches pass.
 package exec
 
-import "sync/atomic"
+import (
+	"sync/atomic"
+
+	"mainline/internal/obs"
+)
 
 // Counters accumulates executor statistics. One instance lives in the
 // engine and is shared by every query; all fields are updated atomically.
@@ -26,7 +30,14 @@ type Counters struct {
 	dictFast  atomic.Int64
 	joinBuild atomic.Int64
 	joinProbe atomic.Int64
+
+	// latency, when set, observes each Aggregate/HashJoin end to end
+	// (compile through merge). Install before concurrent queries.
+	latency *obs.Histogram
 }
+
+// SetLatency installs the per-query duration histogram (nil disables).
+func (c *Counters) SetLatency(h *obs.Histogram) { c.latency = h }
 
 // Stats is a point-in-time snapshot of Counters.
 type Stats struct {

@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"time"
 
 	"mainline/internal/core"
 	"mainline/internal/storage"
@@ -142,6 +143,9 @@ func (s *joinSide) appendJoinKey(dst []byte, b *core.Batch, i int) []byte {
 func HashJoin(tx *txn.Transaction, plan *JoinPlan, c *Counters, fn func(build, probe *JoinRow) bool) error {
 	if c == nil {
 		c = &discard
+	}
+	if h := c.latency; h != nil {
+		defer h.RecordSince(time.Now())
 	}
 	build, err := compileJoinSide(plan.Build, plan.BuildKey, plan.BuildCols)
 	if err != nil {

@@ -12,6 +12,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"mainline/internal/obs"
 	"mainline/internal/storage"
 	"mainline/internal/txn"
 )
@@ -72,7 +73,26 @@ type GarbageCollector struct {
 	// Totals since creation, for observability.
 	totalUnlinked    atomic.Int64
 	totalDeallocated atomic.Int64
+
+	// watermarkLag is epoch − oldest-active from the latest pass: how far
+	// the GC watermark trails the clock, the paper's long-running-snapshot
+	// pressure signal (a stuck reader shows up as unbounded lag).
+	watermarkLag atomic.Uint64
+
+	// passHist/duty are optional instruments (see SetMetrics).
+	passHist *obs.Histogram
+	duty     *obs.Duty
 }
+
+// SetMetrics installs the pass-duration histogram and duty meter (either
+// may be nil). Call before Start.
+func (g *GarbageCollector) SetMetrics(pass *obs.Histogram, duty *obs.Duty) {
+	g.passHist = pass
+	g.duty = duty
+}
+
+// WatermarkLag reports epoch − oldest-active as of the latest pass.
+func (g *GarbageCollector) WatermarkLag() uint64 { return g.watermarkLag.Load() }
 
 // New creates a collector for the manager and installs it as the manager's
 // index deferrer, so committed index-entry removals wait out every snapshot
@@ -99,8 +119,17 @@ func (g *GarbageCollector) RegisterAction(fn func()) {
 // RunOnce performs one collection pass and reports what it did.
 func (g *GarbageCollector) RunOnce() Stats {
 	var st Stats
+	var t0 time.Time
+	if g.passHist != nil || g.duty != nil {
+		t0 = time.Now()
+	}
 	oldest := g.mgr.OldestActiveTs()
 	epoch := g.mgr.Timestamp()
+	if epoch > oldest {
+		g.watermarkLag.Store(epoch - oldest)
+	} else {
+		g.watermarkLag.Store(0)
+	}
 
 	// Phase 0: run deferred actions whose registration epoch has passed.
 	g.mu.Lock()
@@ -186,6 +215,11 @@ func (g *GarbageCollector) RunOnce() Stats {
 	g.pendingUnlink = keep
 	g.pendingDealloc = append(g.pendingDealloc, unlinkable...)
 	g.mu.Unlock()
+	if !t0.IsZero() {
+		d := time.Since(t0)
+		g.passHist.Record(d)
+		g.duty.Observe(d)
+	}
 	return st
 }
 

@@ -1,0 +1,48 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+// The hot-path cost of instrumentation is one of these per observed
+// operation (plus a time.Now() at the call site for the Since variants).
+// DESIGN.md "Observability" quotes these numbers against the cheapest
+// instrumented operation to bound the overhead budget.
+
+func BenchmarkRecordValue(b *testing.B) {
+	h := NewHistogram("bench", "", "seconds", "")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.RecordValue(int64(i))
+	}
+}
+
+func BenchmarkRecordSince(b *testing.B) {
+	h := NewHistogram("bench", "", "seconds", "")
+	b.ReportAllocs()
+	t0 := time.Now()
+	for i := 0; i < b.N; i++ {
+		h.RecordSince(t0)
+	}
+}
+
+func BenchmarkRecordValueParallel(b *testing.B) {
+	h := NewHistogram("bench", "", "seconds", "")
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			h.RecordValue(1234)
+		}
+	})
+}
+
+func BenchmarkTraceRingMiss(b *testing.B) {
+	r := NewTraceRing(64, 100*time.Millisecond)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if r.Exceeds(time.Microsecond) {
+			b.Fatal("1µs must not exceed a 100ms threshold")
+		}
+	}
+}

@@ -1,0 +1,74 @@
+package obs
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Duty measures what fraction of wall time a background subsystem (GC,
+// transform, WAL flusher, checkpointer) spends doing work — the
+// duty-cycle signal Krueger et al. use to schedule the merge without
+// starving foreground transactions. Cumulative busy time and run count
+// are atomics; the fraction is computed against the meter's lifetime at
+// snapshot, and /metrics exposes the raw counters so scrapers can take
+// windowed rates.
+type Duty struct {
+	name  string
+	start time.Time
+	busy  atomic.Int64 // cumulative busy nanoseconds
+	runs  atomic.Int64
+}
+
+// NewDuty builds a duty meter; the duty window starts now.
+func NewDuty(name string) *Duty {
+	return &Duty{name: name, start: time.Now()}
+}
+
+// Name returns the subsystem label.
+func (d *Duty) Name() string { return d.name }
+
+// Observe accounts one completed run of the given busy duration.
+func (d *Duty) Observe(dur time.Duration) {
+	if d == nil {
+		return
+	}
+	d.busy.Add(int64(dur))
+	d.runs.Add(1)
+}
+
+// Track starts timing a run and returns the stop function:
+//
+//	defer duty.Track()()
+func (d *Duty) Track() func() {
+	if d == nil {
+		return func() {}
+	}
+	t0 := time.Now()
+	return func() { d.Observe(time.Since(t0)) }
+}
+
+// DutySnapshot is a point-in-time view of a duty meter.
+type DutySnapshot struct {
+	Name     string
+	Busy     time.Duration // cumulative busy time
+	Runs     int64
+	Window   time.Duration // wall time since the meter was created
+	Fraction float64       // Busy / Window, the lifetime duty cycle
+}
+
+// Snapshot captures the meter.
+func (d *Duty) Snapshot() DutySnapshot {
+	if d == nil {
+		return DutySnapshot{}
+	}
+	s := DutySnapshot{
+		Name:   d.name,
+		Busy:   time.Duration(d.busy.Load()),
+		Runs:   d.runs.Load(),
+		Window: time.Since(d.start),
+	}
+	if s.Window > 0 {
+		s.Fraction = float64(s.Busy) / float64(s.Window)
+	}
+	return s
+}

@@ -1,0 +1,198 @@
+package obs
+
+import (
+	"math/bits"
+	"math/rand/v2"
+	"sync/atomic"
+	"time"
+)
+
+// The bucket layout is HdrHistogram-shaped: values below numLinear are
+// exact (one bucket per integer), and above that each power-of-two
+// octave is split into numLinear sub-buckets, giving a fixed relative
+// error of at most 1/numLinear ≈ 6.25%. With 40 octaves the range runs
+// from 1ns to ~2.5h when values are nanoseconds, and the whole table is
+// a fixed-size array — no allocation, no rebalancing, mergeable by
+// element-wise addition.
+const (
+	subBits   = 4
+	numLinear = 1 << subBits // exact region: v in [0, 16)
+	// NumBuckets fixes the array size: 40 octaves of 16 sub-buckets.
+	NumBuckets = numLinear * 40
+	// hShards spreads hot-path recording over independent cache-line
+	// sets so concurrent committers don't serialize on one counter.
+	hShards    = 4
+	hShardMask = hShards - 1
+)
+
+// bucketIndex maps a non-negative value to its bucket. Contiguous: the
+// linear region covers [0,16), then octave e (values with highest bit
+// e+subBits) occupies indexes [16(e+1), 16(e+2)).
+func bucketIndex(v int64) int {
+	if v < numLinear {
+		return int(v)
+	}
+	exp := bits.Len64(uint64(v)) - subBits - 1
+	idx := exp<<subBits + int(v>>uint(exp))
+	if idx >= NumBuckets {
+		return NumBuckets - 1
+	}
+	return idx
+}
+
+// BucketUpper returns the largest value that maps to bucket i — the
+// inclusive upper bound used both by Quantile and as the Prometheus
+// `le` edge.
+func BucketUpper(i int) int64 {
+	if i < numLinear {
+		return int64(i)
+	}
+	e := uint(i>>subBits) - 1
+	sub := int64(i&(numLinear-1) | numLinear)
+	return (sub+1)<<e - 1
+}
+
+type histShard struct {
+	counts [NumBuckets]atomic.Int64
+	sum    atomic.Int64
+}
+
+// Histogram is a lock-free log-bucketed histogram. Record is two atomic
+// adds on a randomly chosen shard; Snapshot merges shards into an
+// immutable HistSnapshot. All methods are nil-safe.
+type Histogram struct {
+	name   string
+	help   string
+	unit   string // "seconds" renders ns values scaled by 1e-9; "" renders raw
+	labels string // preformatted label list without braces, or ""
+	shards [hShards]histShard
+}
+
+// NewHistogram builds a standalone histogram (see Registry.NewHistogram
+// for the registered variant).
+func NewHistogram(name, help, unit, labels string) *Histogram {
+	return &Histogram{name: name, help: help, unit: unit, labels: labels}
+}
+
+// Name returns the metric name.
+func (h *Histogram) Name() string { return h.name }
+
+// RecordValue adds one observation in raw units. Negative values clamp
+// to zero. The shard is picked by the runtime's per-P cheap RNG, so
+// concurrent recorders spread across shards without coordination.
+func (h *Histogram) RecordValue(v int64) {
+	if h == nil {
+		return
+	}
+	if v < 0 {
+		v = 0
+	}
+	sh := &h.shards[rand.Uint64()&hShardMask]
+	sh.counts[bucketIndex(v)].Add(1)
+	sh.sum.Add(v)
+}
+
+// Record adds one duration observation in nanoseconds.
+func (h *Histogram) Record(d time.Duration) { h.RecordValue(int64(d)) }
+
+// RecordSince records the elapsed time since t0.
+func (h *Histogram) RecordSince(t0 time.Time) { h.RecordValue(int64(time.Since(t0))) }
+
+// Snapshot merges all shards into an immutable view. Count is derived
+// from the bucket array itself, so bucket sums and Count are always
+// mutually consistent even while writers race.
+func (h *Histogram) Snapshot() HistSnapshot {
+	if h == nil {
+		return HistSnapshot{}
+	}
+	s := HistSnapshot{Name: h.name, Unit: h.unit, Counts: make([]int64, NumBuckets)}
+	for i := range h.shards {
+		sh := &h.shards[i]
+		s.Sum += sh.sum.Load()
+		for b := range sh.counts {
+			s.Counts[b] += sh.counts[b].Load()
+		}
+	}
+	for _, c := range s.Counts {
+		s.Count += c
+	}
+	// Trim trailing zero buckets so snapshots of quiet histograms stay
+	// cheap to copy and render.
+	last := len(s.Counts)
+	for last > 0 && s.Counts[last-1] == 0 {
+		last--
+	}
+	s.Counts = s.Counts[:last]
+	return s
+}
+
+// HistSnapshot is an immutable point-in-time histogram: bucket counts
+// (index i covers values up to BucketUpper(i)), total count, and the
+// exact sum in raw units.
+type HistSnapshot struct {
+	Name   string
+	Unit   string
+	Count  int64
+	Sum    int64
+	Counts []int64
+}
+
+// Quantile returns an upper bound on the p-quantile (0 <= p <= 1) in
+// raw units. The answer is the inclusive upper edge of the bucket
+// holding the rank-p observation, so it overestimates by at most one
+// bucket width (~6.25% relative). Zero when empty.
+func (s HistSnapshot) Quantile(p float64) int64 {
+	if s.Count == 0 {
+		return 0
+	}
+	rank := int64(p*float64(s.Count) + 0.5)
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > s.Count {
+		rank = s.Count
+	}
+	var cum int64
+	for i, c := range s.Counts {
+		cum += c
+		if cum >= rank {
+			return BucketUpper(i)
+		}
+	}
+	return BucketUpper(len(s.Counts) - 1)
+}
+
+// QuantileDuration is Quantile for nanosecond-valued histograms.
+func (s HistSnapshot) QuantileDuration(p float64) time.Duration {
+	return time.Duration(s.Quantile(p))
+}
+
+// Mean returns the exact arithmetic mean in raw units (zero when empty).
+func (s HistSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.Sum) / float64(s.Count)
+}
+
+// Merge returns the element-wise sum of two snapshots. Merging is
+// associative and commutative because buckets are fixed, which is what
+// makes per-worker histograms aggregable after a bench run.
+func (s HistSnapshot) Merge(o HistSnapshot) HistSnapshot {
+	out := HistSnapshot{
+		Name:  s.Name,
+		Unit:  s.Unit,
+		Count: s.Count + o.Count,
+		Sum:   s.Sum + o.Sum,
+	}
+	n := len(s.Counts)
+	if len(o.Counts) > n {
+		n = len(o.Counts)
+	}
+	out.Counts = make([]int64, n)
+	copy(out.Counts, s.Counts)
+	for i, c := range o.Counts {
+		out.Counts[i] += c
+	}
+	return out
+}

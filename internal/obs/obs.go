@@ -1,0 +1,94 @@
+// Package obs is the engine's dependency-free observability kernel:
+// lock-free mergeable latency histograms, per-subsystem duty meters, and
+// a bounded slow-op trace ring. Everything here is stdlib-only and built
+// for hot paths — recording into a histogram is two atomic adds on a
+// per-shard array, and every method is nil-safe so call sites need no
+// "is observability on" branching.
+//
+// The paper's claim is quantitative (transactional latency staying
+// competitive while data lives in a universal columnar format), so the
+// engine needs real distributions, not just monotonic counters: tail
+// latency under maintenance is ROADMAP item 3's acceptance metric, and
+// Krueger et al. schedule the merge by watching exactly this kind of
+// foreground-interference signal.
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// Registry owns the engine's histogram, duty, and trace-ring instances
+// so the /metrics sidecar can render all of them without each subsystem
+// knowing about exposition. Construction is idempotent per (name,labels)
+// key: asking for an existing instrument returns it, which lets a second
+// server attach to the same engine without duplicating series.
+type Registry struct {
+	mu     sync.Mutex
+	hists  []*Histogram
+	duties []*Duty
+	ring   *TraceRing
+}
+
+// NewRegistry builds a registry whose trace ring holds capacity spans
+// and captures ops slower than threshold.
+func NewRegistry(ringCapacity int, threshold time.Duration) *Registry {
+	return &Registry{ring: NewTraceRing(ringCapacity, threshold)}
+}
+
+// NewHistogram returns the registered histogram for (name, labels),
+// creating it on first use. labels is a preformatted Prometheus label
+// list without braces (`kind="begin"`) or empty.
+func (r *Registry) NewHistogram(name, help, unit, labels string) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, h := range r.hists {
+		if h.name == name && h.labels == labels {
+			return h
+		}
+	}
+	h := NewHistogram(name, help, unit, labels)
+	r.hists = append(r.hists, h)
+	return h
+}
+
+// NewDuty returns the registered duty meter for name, creating it on
+// first use.
+func (r *Registry) NewDuty(name string) *Duty {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, d := range r.duties {
+		if d.name == name {
+			return d
+		}
+	}
+	d := NewDuty(name)
+	r.duties = append(r.duties, d)
+	return d
+}
+
+// Ring returns the slow-op trace ring.
+func (r *Registry) Ring() *TraceRing {
+	if r == nil {
+		return nil
+	}
+	return r.ring
+}
+
+// Histograms returns a snapshot of the registered histograms.
+func (r *Registry) Histograms() []*Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]*Histogram, len(r.hists))
+	copy(out, r.hists)
+	return out
+}
+
+// Duties returns a snapshot of the registered duty meters.
+func (r *Registry) Duties() []*Duty {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]*Duty, len(r.duties))
+	copy(out, r.duties)
+	return out
+}

@@ -1,0 +1,95 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WritePrometheus renders every registered histogram as a proper
+// Prometheus histogram family (`_bucket`/`_sum`/`_count` with cumulative
+// buckets and a `+Inf` edge), every duty meter as counter/gauge series,
+// and the trace ring's capture counters. Histograms with unit "seconds"
+// scale their nanosecond values by 1e-9 so `le` edges are in seconds,
+// per Prometheus convention.
+func (r *Registry) WritePrometheus(w io.Writer) {
+	if r == nil {
+		return
+	}
+	typed := make(map[string]bool)
+	for _, h := range r.Histograms() {
+		if !typed[h.name] {
+			typed[h.name] = true
+			if h.help != "" {
+				fmt.Fprintf(w, "# HELP %s %s\n", h.name, h.help)
+			}
+			fmt.Fprintf(w, "# TYPE %s histogram\n", h.name)
+		}
+		WriteHistSeries(w, h.name, h.labels, h.Snapshot())
+	}
+
+	duties := r.Duties()
+	if len(duties) > 0 {
+		fmt.Fprintf(w, "# TYPE mainline_duty_busy_seconds_total counter\n")
+		for _, d := range duties {
+			s := d.Snapshot()
+			fmt.Fprintf(w, "mainline_duty_busy_seconds_total{subsystem=%q} %s\n",
+				s.Name, fmtFloat(s.Busy.Seconds()))
+		}
+		fmt.Fprintf(w, "# TYPE mainline_duty_runs_total counter\n")
+		for _, d := range duties {
+			s := d.Snapshot()
+			fmt.Fprintf(w, "mainline_duty_runs_total{subsystem=%q} %d\n", s.Name, s.Runs)
+		}
+		fmt.Fprintf(w, "# TYPE mainline_duty_fraction gauge\n")
+		for _, d := range duties {
+			s := d.Snapshot()
+			fmt.Fprintf(w, "mainline_duty_fraction{subsystem=%q} %s\n",
+				s.Name, fmtFloat(s.Fraction))
+		}
+	}
+
+	if ring := r.Ring(); ring != nil {
+		fmt.Fprintf(w, "# TYPE mainline_slow_ops_captured_total counter\n")
+		fmt.Fprintf(w, "mainline_slow_ops_captured_total %d\n", ring.Captured())
+		fmt.Fprintf(w, "# TYPE mainline_slow_op_threshold_seconds gauge\n")
+		fmt.Fprintf(w, "mainline_slow_op_threshold_seconds %s\n",
+			fmtFloat(ring.Threshold().Seconds()))
+	}
+}
+
+// WriteHistSeries writes one histogram series set (`_bucket`, `_sum`,
+// `_count`) for snapshot s. labels is the preformatted extra label list
+// (without braces) shared by all three, or empty. Only buckets that
+// change the cumulative count are emitted, plus the mandatory +Inf
+// edge, so a quiet histogram costs three lines.
+func WriteHistSeries(w io.Writer, name, labels string, s HistSnapshot) {
+	scale := 1.0
+	if s.Unit == "seconds" {
+		scale = 1e-9
+	}
+	lp := ""
+	if labels != "" {
+		lp = labels + ","
+	}
+	var cum int64
+	for i, c := range s.Counts {
+		if c == 0 {
+			continue
+		}
+		cum += c
+		fmt.Fprintf(w, "%s_bucket{%sle=\"%s\"} %d\n",
+			name, lp, fmtFloat(float64(BucketUpper(i))*scale), cum)
+	}
+	fmt.Fprintf(w, "%s_bucket{%sle=\"+Inf\"} %d\n", name, lp, s.Count)
+	suffix := ""
+	if labels != "" {
+		suffix = "{" + labels + "}"
+	}
+	fmt.Fprintf(w, "%s_sum%s %s\n", name, suffix, fmtFloat(float64(s.Sum)*scale))
+	fmt.Fprintf(w, "%s_count%s %d\n", name, suffix, s.Count)
+}
+
+func fmtFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

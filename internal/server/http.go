@@ -1,18 +1,23 @@
 package server
 
 import (
+	"encoding/json"
+	"expvar"
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"strings"
 	"time"
 )
 
-// The HTTP sidecar serves the two endpoints an operator points probes at:
+// The HTTP sidecar serves the endpoints an operator points probes at:
 // GET /healthz (200 while serving, 503 while draining — so a load balancer
-// stops routing before the drain grace expires) and GET /metrics
-// (Prometheus text exposition rendered from eng.Stats(), the server plane
-// included).
+// stops routing before the drain grace expires — with the engine's health
+// summary in the body), GET /metrics (Prometheus text exposition rendered
+// from eng.Stats() plus the engine's histogram/duty registry), and
+// GET /debug/slowops (the captured slow-op spans as JSON, newest first).
+// With Config.DebugEndpoints, net/http/pprof and expvar are mounted too.
 
 func (s *Server) listenHTTP() error {
 	ln, err := net.Listen("tcp", s.cfg.HTTPAddr)
@@ -23,6 +28,15 @@ func (s *Server) listenHTTP() error {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.serveHealthz)
 	mux.HandleFunc("GET /metrics", s.serveMetrics)
+	mux.HandleFunc("GET /debug/slowops", s.serveSlowOps)
+	if s.cfg.DebugEndpoints {
+		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+		mux.Handle("GET /debug/vars", expvar.Handler())
+	}
 	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
 	s.httpWg.Add(1)
 	go func() {
@@ -32,21 +46,47 @@ func (s *Server) listenHTTP() error {
 	return nil
 }
 
+// serveHealthz answers liveness probes. The status line ("ok"/"draining")
+// drives the 200/503 decision; the rest of the body is the engine's
+// health summary — how far durability and reclamation trail the clock —
+// for an operator reading the probe by hand.
 func (s *Server) serveHealthz(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	status := "ok"
 	if s.draining.Load() {
 		w.WriteHeader(http.StatusServiceUnavailable)
-		fmt.Fprintln(w, "draining")
-		return
+		status = "draining"
 	}
-	fmt.Fprintln(w, "ok")
+	h := s.eng.Health()
+	age := h.LastCheckpointAge.Seconds()
+	if h.LastCheckpointAge < 0 {
+		age = -1 // never checkpointed: the sentinel, not its nanosecond value
+	}
+	fmt.Fprintln(w, status)
+	fmt.Fprintf(w, "wal_truncation_lag %d\n", h.WALTruncationLag)
+	fmt.Fprintf(w, "last_checkpoint_age_seconds %g\n", age)
+	fmt.Fprintf(w, "gc_watermark_lag %d\n", h.GCWatermarkLag)
+	fmt.Fprintf(w, "slow_ops_captured %d\n", h.SlowOps)
+}
+
+// serveSlowOps renders the engine's slow-op trace ring as JSON, newest
+// span first.
+func (s *Server) serveSlowOps(w http.ResponseWriter, _ *http.Request) {
+	spans := s.eng.SlowOps()
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(spans)
 }
 
 // serveMetrics renders engine + server counters in the Prometheus text
 // exposition format (hand-written: no client library in a stdlib-only
-// build).
+// build), followed by the engine's observability registry — every
+// latency/size histogram as a proper _bucket/_sum/_count family plus the
+// duty-cycle and slow-op series.
 func (s *Server) serveMetrics(w http.ResponseWriter, _ *http.Request) {
 	st := s.eng.Stats()
+	h := s.eng.Health()
 	sv := s.Stats()
 	var b strings.Builder
 	m := func(name string, v int64) {
@@ -89,6 +129,10 @@ func (s *Server) serveMetrics(w http.ResponseWriter, _ *http.Request) {
 	m("engine_index_entries", st.Index.Entries)
 	m("engine_index_lookups_total", st.Index.Lookups)
 	m("engine_index_range_scans_total", st.Index.RangeScans)
+	m("engine_gc_unlinked_total", st.GC.Unlinked)
+	m("engine_gc_deallocated_total", st.GC.Deallocated)
+	m("engine_gc_watermark_lag", int64(st.GC.WatermarkLag))
+	m("engine_wal_truncation_lag", int64(h.WALTruncationLag))
 	if st.WAL.Enabled {
 		m("engine_wal_txns_total", st.WAL.Txns)
 		m("engine_wal_bytes_total", st.WAL.Bytes)
@@ -98,6 +142,11 @@ func (s *Server) serveMetrics(w http.ResponseWriter, _ *http.Request) {
 		m("engine_checkpoints_taken_total", st.Checkpoint.Taken)
 		m("engine_checkpoints_failed_total", st.Checkpoint.Failed)
 	}
+
+	// Histogram, duty-cycle, and slow-op families from the engine's
+	// observability registry (server request histograms included — they
+	// live in the same registry).
+	s.eng.Admin().Obs().WritePrometheus(&b)
 
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	_, _ = w.Write([]byte(b.String()))

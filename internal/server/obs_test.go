@@ -1,0 +1,347 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"mainline"
+)
+
+// startServerOpts is startServer with engine options (slow-op threshold,
+// WAL, ...).
+func startServerOpts(t *testing.T, cfg Config, opts ...mainline.Option) (*mainline.Engine, *Server, string) {
+	t.Helper()
+	eng, err := mainline.Open(opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { eng.Close() })
+	if cfg.Addr == "" {
+		cfg.Addr = "127.0.0.1:0"
+	}
+	srv := New(eng, cfg)
+	addr, err := srv.Listen()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Close)
+	return eng, srv, addr
+}
+
+// driveWorkload pushes a small mixed workload through the wire so every
+// server-request and engine-commit histogram has samples.
+func driveWorkload(t *testing.T, addr string) {
+	t.Helper()
+	c := mustDial(t, addr)
+	if err := c.CreateTable("obsitems", itemSchema()); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CreateIndex("obsitems", "by_id", 0, "id"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		tx, err := c.Begin()
+		if err != nil {
+			t.Fatal(err)
+		}
+		slot, err := tx.Insert("obsitems", []string{"id", "qty", "price"},
+			[]any{int64(i), int64(i * 2), float64(i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := tx.Select("obsitems", slot); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := tx.GetBy("obsitems", "by_id", []any{int64(i)}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := tx.Commit(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+var promNameRe = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+
+// promSeries is one parsed sample line.
+type promSeries struct {
+	name   string
+	labels string // raw label body, "" when bare
+	value  float64
+}
+
+// parseProm strictly parses a Prometheus text exposition: every line must
+// be a well-formed comment or sample, no series may repeat, and every
+// TYPE/HELP must name a valid metric. Returns the samples and the
+// declared types.
+func parseProm(t *testing.T, body string) ([]promSeries, map[string]string) {
+	t.Helper()
+	var series []promSeries
+	types := make(map[string]string)
+	seen := make(map[string]bool)
+	for ln, line := range strings.Split(body, "\n") {
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			f := strings.SplitN(line, " ", 4)
+			if len(f) < 4 || (f[1] != "HELP" && f[1] != "TYPE") || !promNameRe.MatchString(f[2]) {
+				t.Fatalf("line %d: malformed comment %q", ln+1, line)
+			}
+			if f[1] == "TYPE" {
+				if types[f[2]] != "" {
+					t.Fatalf("line %d: duplicate TYPE for %s", ln+1, f[2])
+				}
+				types[f[2]] = f[3]
+			}
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			t.Fatalf("line %d: no value separator in %q", ln+1, line)
+		}
+		id, valStr := line[:sp], line[sp+1:]
+		val, err := strconv.ParseFloat(valStr, 64)
+		if err != nil {
+			t.Fatalf("line %d: bad value %q: %v", ln+1, valStr, err)
+		}
+		name, labels := id, ""
+		if i := strings.IndexByte(id, '{'); i >= 0 {
+			if !strings.HasSuffix(id, "}") {
+				t.Fatalf("line %d: unterminated label set %q", ln+1, id)
+			}
+			name, labels = id[:i], id[i+1:len(id)-1]
+		}
+		if !promNameRe.MatchString(name) {
+			t.Fatalf("line %d: invalid metric name %q", ln+1, name)
+		}
+		if seen[id] {
+			t.Fatalf("line %d: duplicate series %q", ln+1, id)
+		}
+		seen[id] = true
+		series = append(series, promSeries{name: name, labels: labels, value: val})
+	}
+	return series, types
+}
+
+// stripLabel removes one label pair from a raw label body.
+func stripLabel(labels, key string) (rest, val string, ok bool) {
+	var kept []string
+	for _, p := range strings.Split(labels, ",") {
+		if p == "" {
+			continue
+		}
+		if k, v, found := strings.Cut(p, "="); found && k == key {
+			val, ok = strings.Trim(v, `"`), true
+			continue
+		}
+		kept = append(kept, p)
+	}
+	return strings.Join(kept, ","), val, ok
+}
+
+// checkHistograms verifies every declared histogram family: cumulative
+// buckets non-decreasing in le order, a mandatory +Inf bucket equal to
+// _count, and a _sum series — per label group.
+func checkHistograms(t *testing.T, series []promSeries, types map[string]string) {
+	t.Helper()
+	type group struct {
+		buckets map[float64]float64
+		sum     *float64
+		count   *float64
+	}
+	families := make(map[string]map[string]*group) // family -> label group -> data
+	get := func(fam, labels string) *group {
+		if families[fam] == nil {
+			families[fam] = make(map[string]*group)
+		}
+		g := families[fam][labels]
+		if g == nil {
+			g = &group{buckets: make(map[float64]float64)}
+			families[fam][labels] = g
+		}
+		return g
+	}
+	for _, s := range series {
+		switch {
+		case strings.HasSuffix(s.name, "_bucket") && types[strings.TrimSuffix(s.name, "_bucket")] == "histogram":
+			fam := strings.TrimSuffix(s.name, "_bucket")
+			rest, le, ok := stripLabel(s.labels, "le")
+			if !ok {
+				t.Fatalf("%s%s: bucket without le label", s.name, s.labels)
+			}
+			var bound float64
+			if le == "+Inf" {
+				bound = float64(1 << 62)
+			} else {
+				var err error
+				if bound, err = strconv.ParseFloat(le, 64); err != nil {
+					t.Fatalf("%s: bad le %q", s.name, le)
+				}
+			}
+			g := get(fam, rest)
+			if _, dup := g.buckets[bound]; dup {
+				t.Fatalf("%s{%s}: duplicate le=%s", fam, rest, le)
+			}
+			g.buckets[bound] = s.value
+		case strings.HasSuffix(s.name, "_sum") && types[strings.TrimSuffix(s.name, "_sum")] == "histogram":
+			v := s.value
+			get(strings.TrimSuffix(s.name, "_sum"), s.labels).sum = &v
+		case strings.HasSuffix(s.name, "_count") && types[strings.TrimSuffix(s.name, "_count")] == "histogram":
+			v := s.value
+			get(strings.TrimSuffix(s.name, "_count"), s.labels).count = &v
+		}
+	}
+	if len(families) == 0 {
+		t.Fatal("no histogram families in exposition")
+	}
+	for fam, groups := range families {
+		for labels, g := range groups {
+			if g.sum == nil || g.count == nil {
+				t.Fatalf("%s{%s}: missing _sum or _count", fam, labels)
+			}
+			bounds := make([]float64, 0, len(g.buckets))
+			for b := range g.buckets {
+				bounds = append(bounds, b)
+			}
+			sort.Float64s(bounds)
+			if len(bounds) == 0 || bounds[len(bounds)-1] != float64(1<<62) {
+				t.Fatalf("%s{%s}: no +Inf bucket", fam, labels)
+			}
+			prev := -1.0
+			for _, b := range bounds {
+				if g.buckets[b] < prev {
+					t.Fatalf("%s{%s}: bucket le=%g count %g below previous %g",
+						fam, labels, b, g.buckets[b], prev)
+				}
+				prev = g.buckets[b]
+			}
+			if inf := g.buckets[float64(1<<62)]; inf != *g.count {
+				t.Fatalf("%s{%s}: +Inf bucket %g != _count %g", fam, labels, inf, *g.count)
+			}
+		}
+	}
+}
+
+func TestMetricsExpositionStrict(t *testing.T) {
+	_, srv, addr := startServerOpts(t, Config{HTTPAddr: "127.0.0.1:0"})
+	driveWorkload(t, addr)
+
+	body, code := httpGet(t, "http://"+srv.HTTPAddr()+"/metrics")
+	if code != 200 {
+		t.Fatalf("metrics: %d", code)
+	}
+	series, types := parseProm(t, body)
+	checkHistograms(t, series, types)
+
+	// The histograms the acceptance criteria name must be present and
+	// non-empty after the driven workload.
+	counts := map[string]float64{}
+	for _, s := range series {
+		if strings.HasSuffix(s.name, "_count") {
+			counts[strings.TrimSuffix(s.name, "_count")] += s.value
+		}
+	}
+	for _, fam := range []string{"mainline_commit_seconds", "mainline_commit_critical_seconds",
+		"mainline_server_request_seconds", "mainline_index_lookup_seconds"} {
+		if types[fam] != "histogram" {
+			t.Errorf("%s: not declared as histogram (type %q)", fam, types[fam])
+		}
+		if counts[fam] == 0 {
+			t.Errorf("%s: empty after driven workload", fam)
+		}
+	}
+	// Per-kind request labels must be distinct series.
+	var kinds []string
+	for _, s := range series {
+		if s.name == "mainline_server_request_seconds_count" {
+			if _, kind, ok := stripLabel(s.labels, "kind"); ok && s.value > 0 {
+				kinds = append(kinds, kind)
+			}
+		}
+	}
+	for _, want := range []string{"begin", "commit", "insert", "select", "getby"} {
+		found := false
+		for _, k := range kinds {
+			found = found || k == want
+		}
+		if !found {
+			t.Errorf("no non-empty request histogram for kind=%q (got %v)", want, kinds)
+		}
+	}
+}
+
+func TestHealthzBody(t *testing.T) {
+	_, srv, addr := startServerOpts(t, Config{HTTPAddr: "127.0.0.1:0"})
+	driveWorkload(t, addr)
+	body, code := httpGet(t, "http://"+srv.HTTPAddr()+"/healthz")
+	if code != 200 || !strings.HasPrefix(body, "ok\n") {
+		t.Fatalf("healthz: %d %q", code, body)
+	}
+	for _, key := range []string{"wal_truncation_lag ", "last_checkpoint_age_seconds ",
+		"gc_watermark_lag ", "slow_ops_captured "} {
+		if !strings.Contains(body, "\n"+key) {
+			t.Errorf("healthz body missing %q:\n%s", key, body)
+		}
+	}
+}
+
+func TestSlowOpsEndpoint(t *testing.T) {
+	// Threshold 1ns: every op is a slow op, so the driven workload must
+	// populate the ring.
+	eng, srv, addr := startServerOpts(t, Config{HTTPAddr: "127.0.0.1:0"},
+		mainline.WithSlowOpThreshold(time.Nanosecond))
+	driveWorkload(t, addr)
+
+	body, code := httpGet(t, "http://"+srv.HTTPAddr()+"/debug/slowops")
+	if code != 200 {
+		t.Fatalf("slowops: %d", code)
+	}
+	var spans []mainline.SlowOp
+	if err := json.Unmarshal([]byte(body), &spans); err != nil {
+		t.Fatalf("slowops JSON: %v\n%s", err, body)
+	}
+	if len(spans) == 0 {
+		t.Fatal("no spans captured at 1ns threshold")
+	}
+	var haveServer, haveCommit bool
+	for _, sp := range spans {
+		if sp.DurNs <= 0 {
+			t.Errorf("span %q: non-positive duration %d", sp.Kind, sp.DurNs)
+		}
+		haveServer = haveServer || strings.HasPrefix(sp.Kind, "server:")
+		haveCommit = haveCommit || sp.Kind == "commit"
+	}
+	if !haveServer || !haveCommit {
+		t.Errorf("want both server:* and commit spans, got server=%v commit=%v", haveServer, haveCommit)
+	}
+	if got := eng.Health().SlowOps; got == 0 {
+		t.Errorf("Health().SlowOps = 0 after captures")
+	}
+}
+
+func TestDebugEndpointsGating(t *testing.T) {
+	_, off, _ := startServerOpts(t, Config{HTTPAddr: "127.0.0.1:0"})
+	for _, path := range []string{"/debug/pprof/", "/debug/vars"} {
+		if _, code := httpGet(t, fmt.Sprintf("http://%s%s", off.HTTPAddr(), path)); code != 404 {
+			t.Errorf("%s without DebugEndpoints: %d, want 404", path, code)
+		}
+	}
+	// /debug/slowops is NOT gated: it is an operational endpoint.
+	if _, code := httpGet(t, "http://"+off.HTTPAddr()+"/debug/slowops"); code != 200 {
+		t.Errorf("/debug/slowops gated off: want 200")
+	}
+
+	_, on, _ := startServerOpts(t, Config{HTTPAddr: "127.0.0.1:0", DebugEndpoints: true})
+	for _, path := range []string{"/debug/pprof/", "/debug/vars"} {
+		if _, code := httpGet(t, fmt.Sprintf("http://%s%s", on.HTTPAddr(), path)); code != 200 {
+			t.Errorf("%s with DebugEndpoints: %d, want 200", path, code)
+		}
+	}
+}

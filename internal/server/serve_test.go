@@ -487,7 +487,7 @@ func TestGracefulDrain(t *testing.T) {
 	}
 
 	httpAddr := srv.HTTPAddr()
-	if body, code := httpGet(t, "http://"+httpAddr+"/healthz"); code != 200 || strings.TrimSpace(body) != "ok" {
+	if body, code := httpGet(t, "http://"+httpAddr+"/healthz"); code != 200 || !strings.HasPrefix(body, "ok\n") {
 		t.Fatalf("healthz before drain: %d %q", code, body)
 	}
 	if body, code := httpGet(t, "http://"+httpAddr+"/metrics"); code != 200 || !strings.Contains(body, "mainline_server_sessions 1") {

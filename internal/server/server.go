@@ -52,6 +52,11 @@ type Config struct {
 	WriteTimeout time.Duration
 	// HandshakeTimeout bounds the initial magic exchange. Default 5s.
 	HandshakeTimeout time.Duration
+	// DebugEndpoints additionally serves net/http/pprof under
+	// /debug/pprof/ and expvar under /debug/vars on the HTTP sidecar.
+	// Off by default: profiling handlers on a production metrics port
+	// are an opt-in.
+	DebugEndpoints bool
 }
 
 func (c *Config) defaults() {
@@ -83,6 +88,7 @@ type Server struct {
 	eng *mainline.Engine
 	cfg Config
 	ctr counters
+	obs *serverObs
 
 	ln       net.Listener
 	inflight chan struct{}
@@ -104,6 +110,7 @@ func New(eng *mainline.Engine, cfg Config) *Server {
 	return &Server{
 		eng:      eng,
 		cfg:      cfg,
+		obs:      newServerObs(eng),
 		inflight: make(chan struct{}, cfg.MaxInflight),
 		sessions: make(map[*session]struct{}),
 	}

@@ -2,6 +2,7 @@ package server
 
 import (
 	"bufio"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"net"
@@ -99,10 +100,12 @@ func (s *session) serve(kind byte, payload []byte) bool {
 
 	r := rbuf{b: payload}
 	ms := r.u32() // relative deadline, milliseconds; 0 = none
+	start := time.Now()
 	var dl time.Time
 	if ms > 0 {
-		dl = time.Now().Add(time.Duration(ms) * time.Millisecond)
+		dl = start.Add(time.Duration(ms) * time.Millisecond)
 	}
+	defer s.observe(kind, payload, start, dl)
 
 	var err error
 	switch kind {
@@ -142,6 +145,41 @@ func (s *session) serve(kind byte, payload []byte) bool {
 		err = s.respondErr(fmt.Errorf("%w: unknown request kind %s", ErrBadRequest, kindName(kind)))
 	}
 	return err == nil
+}
+
+// observe records the request's latency into the per-kind histogram, the
+// deadline margin when one was set, and — past the engine's slow-op
+// threshold — a span into the shared trace ring, with the client-side
+// transaction handle peeked from the payload for transactional kinds.
+func (s *session) observe(kind byte, payload []byte, start time.Time, dl time.Time) {
+	d := time.Since(start)
+	so := s.srv.obs
+	if h := so.reqHist[kind]; h != nil {
+		h.Record(d)
+	}
+	if !dl.IsZero() {
+		// Margin left at completion; RecordValue clamps an overshot
+		// (negative) margin to the zero bucket.
+		so.deadline.RecordValue(int64(time.Until(dl)))
+	}
+	if !so.ring.Exceeds(d) {
+		return
+	}
+	sp := mainline.SlowOp{
+		Kind:  "server:" + kindName(kind),
+		Start: start,
+		DurNs: int64(d),
+	}
+	if txnIDKinds[kind] && len(payload) >= 12 {
+		// Payload layout for transactional kinds: [deadline u32][txn u64].
+		sp.TxnID = binary.LittleEndian.Uint64(payload[4:12])
+	}
+	if !dl.IsZero() {
+		sp.Phases = []mainline.SlowOpPhase{
+			{Name: "deadline_budget", DurNs: int64(dl.Sub(start))},
+		}
+	}
+	so.ring.Observe(sp)
 }
 
 // respond writes one response frame and flushes, bounded by WriteTimeout.

@@ -7,6 +7,7 @@ import (
 
 	"mainline/internal/core"
 	"mainline/internal/gc"
+	metrics "mainline/internal/obs"
 	"mainline/internal/storage"
 	"mainline/internal/txn"
 )
@@ -70,7 +71,14 @@ type Transformer struct {
 	stopCh  chan struct{}
 	doneCh  chan struct{}
 	started atomic.Bool
+
+	// duty, when set, accounts pipeline-pass busy time (the merge
+	// interference signal the maintenance scheduler will watch).
+	duty *metrics.Duty
 }
+
+// SetDuty installs the duty meter (nil disables). Call before Start.
+func (tr *Transformer) SetDuty(d *metrics.Duty) { tr.duty = d }
 
 type coolingEntry struct {
 	table *core.DataTable
@@ -104,6 +112,7 @@ func (tr *Transformer) Stats() Stats {
 // them, and attempt to freeze cooling blocks. Returns the number of blocks
 // frozen this pass.
 func (tr *Transformer) RunOnce() int {
+	defer tr.duty.Track()()
 	for _, group := range tr.obs.Sweep(tr.cfg.Threshold) {
 		tr.CompactAndQueue(group.Table, group.Blocks)
 	}

@@ -4,7 +4,9 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"mainline/internal/obs"
 	"mainline/internal/storage"
 )
 
@@ -105,6 +107,33 @@ type Manager struct {
 	// safe when no concurrent reader holds an older snapshot (tests,
 	// single-threaded tools).
 	deferrer Deferrer
+
+	// metrics are the commit path's latency instruments; obsOn gates the
+	// time.Now() calls so an unmetered manager pays nothing.
+	metrics Metrics
+	obsOn   bool
+}
+
+// Metrics is the commit path's observability hook set. Every field is
+// optional (obs histograms are nil-safe); install with SetMetrics before
+// concurrent use, like SetCommitHook.
+type Metrics struct {
+	// CommitLatency observes Manager.Commit end to end: latch wait,
+	// stamping, index publication, redo hand-off, retire.
+	CommitLatency *obs.Histogram
+	// CommitLatchWait observes the time spent acquiring the commit shard
+	// latch — the paper's critical-section contention signal.
+	CommitLatchWait *obs.Histogram
+	// BeginStampWait observes the stamping barrier in Begin, recorded
+	// only for Begins that actually spun (most see all-zero slots).
+	BeginStampWait *obs.Histogram
+}
+
+// SetMetrics installs the commit-path instruments. Call before the
+// manager sees concurrent traffic.
+func (m *Manager) SetMetrics(mt Metrics) {
+	m.metrics = mt
+	m.obsOn = mt.CommitLatency != nil || mt.CommitLatchWait != nil || mt.BeginStampWait != nil
 }
 
 // NewManager builds a transaction manager over the block registry.
@@ -179,6 +208,8 @@ func (m *Manager) Begin() *Transaction {
 // this spin is brief and most Begins see all-zero slots and never spin
 // at all.
 func (m *Manager) waitForInFlightCommits(start uint64) {
+	var t0 time.Time
+	waited := false
 	for i := range m.commitShards {
 		sh := &m.commitShards[i]
 		for {
@@ -186,8 +217,17 @@ func (m *Manager) waitForInFlightCommits(start uint64) {
 			if v == 0 || (v != stampingSentinel && v >= start) {
 				break
 			}
+			if !waited {
+				waited = true
+				if m.obsOn {
+					t0 = time.Now()
+				}
+			}
 			runtime.Gosched()
 		}
+	}
+	if waited && m.obsOn {
+		m.metrics.BeginStampWait.RecordSince(t0)
 	}
 }
 
@@ -206,8 +246,18 @@ func (m *Manager) Commit(t *Transaction, durableCallback func()) uint64 {
 	t.readOnly = t.undo.Len() == 0 && len(t.redo) == 0
 	t.durableCallback = durableCallback
 
+	var t0 time.Time
+	if m.obsOn {
+		t0 = time.Now()
+	}
 	sh := &m.commitShards[t.shard]
-	sh.mu.Lock()
+	if m.obsOn && m.metrics.CommitLatchWait != nil {
+		tl := time.Now()
+		sh.mu.Lock()
+		m.metrics.CommitLatchWait.RecordSince(tl)
+	} else {
+		sh.mu.Lock()
+	}
 	// Publish the in-flight commit to Begin BEFORE drawing the timestamp:
 	// the sentinel→timestamp→zero sequence lets new snapshots wait out
 	// stamping for commits below their start (see waitForInFlightCommits).
@@ -259,6 +309,9 @@ func (m *Manager) Commit(t *Transaction, durableCallback func()) uint64 {
 		t.InvokeDurableCallback()
 	}
 	m.retire(t)
+	if m.obsOn {
+		m.metrics.CommitLatency.RecordSince(t0)
+	}
 	return commitTs
 }
 

@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"mainline/internal/obs"
 	"mainline/internal/txn"
 )
 
@@ -131,6 +132,11 @@ type LogManager struct {
 	syncs         atomic.Int64
 	failedFlushes atomic.Int64
 
+	// metrics are the group-commit instruments; obsOn gates the
+	// time.Now() calls so an unmetered manager pays nothing.
+	metrics Metrics
+	obsOn   bool
+
 	// OnError receives background flush errors (default: panic, because a
 	// storage engine must not silently lose durability).
 	OnError func(error)
@@ -174,6 +180,28 @@ func OpenPipeline(path string, m *txn.Manager, syncLatency, syncDelay, flushInte
 	l.Attach(m)
 	l.Start(flushInterval)
 	return l, nil
+}
+
+// Metrics is the group-commit pipeline's observability hook set. Every
+// field is optional; install with SetMetrics before Start.
+type Metrics struct {
+	// SyncLatency observes the wall time of one group's write+fsync.
+	SyncLatency *obs.Histogram
+	// GroupTxns observes the number of transactions coalesced per fsync
+	// — the group-commit amortization the paper leans on (§3.4).
+	GroupTxns *obs.Histogram
+	// GroupBytes observes the bytes written per fsync.
+	GroupBytes *obs.Histogram
+	// FlushDuty accounts flusher busy time (write+sync, not the
+	// group-formation wait).
+	FlushDuty *obs.Duty
+}
+
+// SetMetrics installs the group-commit instruments. Call before Start.
+func (l *LogManager) SetMetrics(mt Metrics) {
+	l.metrics = mt
+	l.obsOn = mt.SyncLatency != nil || mt.GroupTxns != nil ||
+		mt.GroupBytes != nil || mt.FlushDuty != nil
 }
 
 // Attach wires the log manager to the transaction manager: installs the
@@ -380,6 +408,10 @@ func (l *LogManager) FlushOnce() {
 		l.chunkPool.Put(p.chunk)
 	}
 
+	var t0 time.Time
+	if l.obsOn {
+		t0 = time.Now()
+	}
 	var err error
 	if gs, ok := l.sink.(GroupSink); ok {
 		// Segmented sinks rotate between groups and track per-segment
@@ -404,6 +436,13 @@ func (l *LogManager) FlushOnce() {
 	l.syncs.Add(1)
 	l.bytesWritten.Add(int64(len(buf)))
 	l.txnsLogged.Add(int64(len(batch)))
+	if l.obsOn {
+		d := time.Since(t0)
+		l.metrics.SyncLatency.Record(d)
+		l.metrics.FlushDuty.Observe(d)
+		l.metrics.GroupTxns.RecordValue(int64(len(batch)))
+		l.metrics.GroupBytes.RecordValue(int64(len(buf)))
+	}
 
 	// Durability achieved — and with a frontier, every dependency of every
 	// member is already on disk, so acks are safe to release immediately.

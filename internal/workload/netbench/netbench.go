@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"mainline"
+	"mainline/internal/obs"
 	"mainline/internal/server"
 )
 
@@ -92,9 +93,16 @@ type Result struct {
 	// mixed-op phase wall time.
 	FinalRows int
 	Elapsed   time.Duration
+	// Latency is the per-write-transaction round-trip distribution
+	// (Begin through Commit over the wire), captured into an
+	// internal/obs histogram by every fleet member.
+	Latency obs.HistSnapshot
 	// ServerStats snapshots the server counters after the run (self-host
 	// mode only).
 	ServerStats mainline.ServerStats
+
+	// lat is the live histogram behind Latency while the fleet runs.
+	lat *obs.Histogram
 }
 
 // TxnPerSec is committed write throughput.
@@ -174,7 +182,7 @@ func Run(cfg Config) (*Result, error) {
 		clients[i] = c
 	}
 
-	res := &Result{}
+	res := &Result{lat: obs.NewHistogram("netbench_txn", "", "seconds", "")}
 	stop := make(chan struct{})
 	var wg sync.WaitGroup
 	errCh := make(chan error, cfg.Clients+1)
@@ -205,6 +213,7 @@ func Run(cfg Config) (*Result, error) {
 	close(stop)
 	wg.Wait()
 	res.Elapsed = time.Since(start)
+	res.Latency = res.lat.Snapshot()
 	select {
 	case err := <-errCh:
 		return res, err
@@ -269,6 +278,7 @@ func driveClient(cfg Config, c *server.Client, ci int, oracle map[int64]oracleEn
 
 // writeOnce is one oracle-tracked transaction against key k.
 func writeOnce(cfg Config, c *server.Client, rng *rand.Rand, k int64, oracle map[int64]oracleEntry, res *Result) error {
+	defer res.lat.RecordSince(time.Now())
 	tx, err := c.Begin()
 	if err != nil {
 		return err

@@ -11,11 +11,13 @@ package tpcc
 
 import (
 	"fmt"
+	"time"
 
 	"mainline/internal/arrow"
 	"mainline/internal/catalog"
 	"mainline/internal/core"
 	"mainline/internal/index"
+	"mainline/internal/obs"
 	"mainline/internal/storage"
 	"mainline/internal/txn"
 )
@@ -258,6 +260,10 @@ type Database struct {
 	// free).
 	Durable bool
 
+	// CommitLatency, when set, receives every terminal commit's wall time
+	// (durable wait included) — benchmarks read p50/p95/p99 off it.
+	CommitLatency *obs.Histogram
+
 	Warehouse *catalog.Table
 	District  *catalog.Table
 	Customer  *catalog.Table
@@ -390,6 +396,9 @@ func (db *Database) Projections() *projections { return db.buildProjections() }
 // commit finishes tx per the database's durability mode: asynchronous by
 // default, or blocking on the WAL group-commit fsync when Durable is set.
 func (db *Database) commit(tx *txn.Transaction) uint64 {
+	if h := db.CommitLatency; h != nil {
+		defer h.RecordSince(time.Now())
+	}
 	if !db.Durable {
 		return db.Mgr.Commit(tx, nil)
 	}

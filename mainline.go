@@ -168,6 +168,13 @@ type Engine struct {
 	ckptSegsTruncated atomic.Int64
 	ckptLastSeq       atomic.Uint64
 	ckptLastTs        atomic.Uint64
+	// ckptLastWall is the wall clock (unix nanos) of the last installed
+	// checkpoint — Health()'s checkpoint-age source. 0 = never.
+	ckptLastWall atomic.Int64
+
+	// obs bundles the engine's always-on observability instruments
+	// (latency histograms, duty meters, slow-op ring); see observe.go.
+	obs *engineObs
 
 	// recovery records what Open's bootstrap did; immutable afterwards.
 	recovery RecoveryStats
@@ -210,6 +217,11 @@ func Open(opts ...Option) (*Engine, error) {
 		OnMove:    o.OnTupleMove,
 	}
 	e.transformer = transform.New(e.mgr, e.collector, e.observer, cfg)
+	// Observability is always on: the instruments must exist before the
+	// data-directory bootstrap below (its re-anchor checkpoint records
+	// into them) and the cost is a few time.Now() calls per operation.
+	e.obs = newEngineObs(o.SlowOpThreshold, o.SlowOpLog)
+	e.obs.wire(e)
 
 	switch {
 	case o.DataDir != "" && o.LogPath != "":
@@ -240,6 +252,9 @@ func Open(opts ...Option) (*Engine, error) {
 		e.logMgr = wal.NewLogManager(sink)
 		e.logMgr.SyncDelay = o.LogSyncDelay
 		e.logMgr.Attach(e.mgr)
+	}
+	if e.logMgr != nil {
+		e.obs.wireWAL(e.logMgr)
 	}
 	if o.Background {
 		e.collector.Start(o.GCPeriod)

@@ -66,6 +66,14 @@ type Options struct {
 	DisableTransform bool
 	// OnTupleMove observes compaction movements (index maintenance).
 	OnTupleMove transform.OnMove
+	// SlowOpThreshold is the slow-op capture threshold: operations
+	// (commits, server requests) at or above it are recorded into the
+	// in-memory trace ring (Engine.SlowOps, /debug/slowops). 0 means the
+	// 100ms default; use WithSlowOpThreshold(1) to capture everything.
+	SlowOpThreshold time.Duration
+	// SlowOpLog, when set, receives each captured slow-op span
+	// synchronously — keep it fast; it only runs for slow ops.
+	SlowOpLog func(SlowOp)
 }
 
 // apply makes a legacy Options value usable as an Option: it replaces the
@@ -87,6 +95,9 @@ func (o *Options) defaults() {
 	}
 	if o.CompactionGroupSize == 0 {
 		o.CompactionGroupSize = 50
+	}
+	if o.SlowOpThreshold == 0 {
+		o.SlowOpThreshold = 100 * time.Millisecond
 	}
 }
 
@@ -176,4 +187,20 @@ func WithoutTransform() Option {
 // WithOnTupleMove observes compaction movements (index maintenance).
 func WithOnTupleMove(fn transform.OnMove) Option {
 	return optionFunc(func(o *Options) { o.OnTupleMove = fn })
+}
+
+// WithSlowOpThreshold sets the slow-op capture threshold (default
+// 100ms): commits and server requests at or above it are recorded as
+// structured spans in the in-memory trace ring, readable via
+// Engine.SlowOps and the /debug/slowops sidecar endpoint. Use 1 (one
+// nanosecond) to capture everything — useful in tests and smoke drives.
+func WithSlowOpThreshold(d time.Duration) Option {
+	return optionFunc(func(o *Options) { o.SlowOpThreshold = d })
+}
+
+// WithSlowOpLog installs a logger that receives each captured slow-op
+// span synchronously (it only runs for ops over the threshold, never on
+// the fast path).
+func WithSlowOpLog(fn func(SlowOp)) Option {
+	return optionFunc(func(o *Options) { o.SlowOpLog = fn })
 }

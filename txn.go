@@ -101,13 +101,21 @@ func (t *Txn) Commit() (uint64, error) {
 	if e.closed.Load() {
 		return 0, ErrEngineClosed
 	}
+	start := time.Now()
 	if !t.durable {
-		return e.mgr.Commit(t.raw, nil), nil
+		ts := e.mgr.Commit(t.raw, nil)
+		t.observeCommit(start, ts, time.Since(start), 0)
+		return ts, nil
 	}
 	if e.walRunning || e.logMgr == nil {
 		// Flush loop running, or no WAL at all (the callback then fires
 		// synchronously inside Commit): the plain durable wait suffices.
-		return e.mgr.CommitDurable(t.raw), nil
+		done := make(chan struct{})
+		ts := e.mgr.Commit(t.raw, func() { close(done) })
+		crit := time.Since(start)
+		<-done
+		t.observeCommit(start, ts, crit, time.Since(start)-crit)
+		return ts, nil
 	}
 	// Foreground WAL, no flush loop: drive the flush ourselves so the
 	// durable wait can never deadlock. One FlushOnce is not always
@@ -116,15 +124,40 @@ func (t *Txn) Commit() (uint64, error) {
 	// critical section — so flush until our callback fires.
 	done := make(chan struct{})
 	ts := e.mgr.Commit(t.raw, func() { close(done) })
+	crit := time.Since(start)
 	for {
 		e.logMgr.FlushOnce()
 		select {
 		case <-done:
+			t.observeCommit(start, ts, crit, time.Since(start)-crit)
 			return ts, nil
 		default:
 			runtime.Gosched()
 		}
 	}
+}
+
+// observeCommit records the public commit latency and, when the total
+// crosses the slow-op threshold, captures a span with the critical
+// section and durable wait as separate phases.
+func (t *Txn) observeCommit(start time.Time, ts uint64, crit, durableWait time.Duration) {
+	o := t.eng.obs
+	total := crit + durableWait
+	o.commit.Record(total)
+	if !o.ring.Exceeds(total) {
+		return
+	}
+	sp := SlowOp{
+		Kind:   "commit",
+		TxnID:  ts,
+		Start:  start,
+		DurNs:  int64(total),
+		Phases: []SlowOpPhase{{Name: "commit_critical", DurNs: int64(crit)}},
+	}
+	if t.durable {
+		sp.Phases = append(sp.Phases, SlowOpPhase{Name: "durable_wait", DurNs: int64(durableWait)})
+	}
+	o.ring.Observe(sp)
 }
 
 // Abort rolls the transaction back. Aborting a finished transaction
