@@ -297,3 +297,32 @@ func (a Admin) Catalog() *catalog.Catalog { return a.eng.cat }
 func (a Admin) SetServerStats(fn func() ServerStats) {
 	a.eng.serverStatsFn.Store(fn)
 }
+
+// SimulateCrash abandons the engine as a process kill would: background
+// loops stop WITHOUT final flushes or checkpoints, queued-but-unacked
+// commits are dropped (their durability callbacks fail — a real kill
+// would vaporize the waiters outright), the data directory lock is
+// released so a successor can open the same directory in-process, and
+// the engine refuses further use as if Closed. Nothing is synced,
+// truncated, or checkpointed on the way out: the on-disk state is a
+// crash image. For crash-recovery tests and the chaos harness.
+func (a Admin) SimulateCrash() {
+	e := a.eng
+	e.stopCheckpointer()
+	e.closeMu.Lock()
+	defer e.closeMu.Unlock()
+	if !e.closed.CompareAndSwap(false, true) {
+		return
+	}
+	if e.opts.Background {
+		e.transformer.Stop()
+		e.collector.Stop()
+	}
+	if e.logMgr != nil {
+		e.logMgr.Abandon()
+	}
+	if e.dirLock != nil {
+		e.dirLock()
+		e.dirLock = nil
+	}
+}

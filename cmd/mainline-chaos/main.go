@@ -1,0 +1,115 @@
+// Command mainline-chaos is the CI entry point for the fault-injection
+// torture harness (internal/workload/chaos). Three modes:
+//
+//	-mode all    run every scenario at the given seed in-process (faults +
+//	             simulated crash + reopen + verify) and exit non-zero on
+//	             any lost acked-durable commit or torn state. CI's chaos
+//	             job runs this for each of its fixed seeds.
+//	-mode run    run one scenario's workload and keep the process alive
+//	             until killed, journaling every acked commit (fsynced) to
+//	             -acked. CI SIGKILLs this process mid-workload.
+//	-mode verify reopen the directory after a real kill and check every
+//	             journaled ack survived, untorn.
+//
+// The run/verify pair is the cross-process SIGKILL test: unlike -mode
+// all's simulated crash, nothing of the first process survives but the
+// disk.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mainline/internal/workload/chaos"
+)
+
+func main() {
+	var (
+		mode     = flag.String("mode", "all", "all | run | verify")
+		dir      = flag.String("dir", "", "engine data directory (required)")
+		scenario = flag.String("scenario", "sigkill", "fsync-fail | enospc | torn-write | sigkill (run mode)")
+		seed     = flag.Int64("seed", 1, "fault/payload/crash-point seed")
+		workers  = flag.Int("workers", 4, "concurrent durable committers")
+		ops      = flag.Int("ops", 150, "durable commits per worker")
+		acked    = flag.String("acked", "", "acked-commit journal path (run/verify modes)")
+	)
+	flag.Parse()
+	if *dir == "" {
+		fmt.Fprintln(os.Stderr, "-dir is required")
+		os.Exit(2)
+	}
+
+	switch *mode {
+	case "all":
+		failed := false
+		for _, sc := range chaos.Scenarios() {
+			sub := fmt.Sprintf("%s/%s", *dir, sc)
+			if err := os.MkdirAll(sub, 0o755); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			res, err := chaos.Run(chaos.Config{
+				Dir:      sub,
+				Scenario: sc,
+				Seed:     *seed,
+				Workers:  *workers,
+				Ops:      *ops,
+			})
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "chaos %s: %v\n", sc, err)
+				os.Exit(1)
+			}
+			fmt.Println(res)
+			if !res.Ok() {
+				failed = true
+			}
+		}
+		if failed {
+			fmt.Fprintln(os.Stderr, "chaos: INVARIANT VIOLATED (lost acks or torn state)")
+			os.Exit(1)
+		}
+	case "run":
+		if *acked == "" {
+			fmt.Fprintln(os.Stderr, "-acked is required in run mode")
+			os.Exit(2)
+		}
+		// The workload runs to completion if nobody kills us; either way
+		// the journal holds exactly the acked prefix for verify mode.
+		res, err := chaos.Run(chaos.Config{
+			Dir:          *dir,
+			Scenario:     chaos.Scenario(*scenario),
+			Seed:         *seed,
+			Workers:      *workers,
+			Ops:          *ops,
+			AckedPath:    *acked,
+			ExternalKill: true,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Println(res)
+		if !res.Ok() {
+			os.Exit(1)
+		}
+	case "verify":
+		if *acked == "" {
+			fmt.Fprintln(os.Stderr, "-acked is required in verify mode")
+			os.Exit(2)
+		}
+		res, err := chaos.VerifyJournal(*dir, *acked, *seed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Println(res)
+		if !res.Ok() {
+			fmt.Fprintln(os.Stderr, "chaos: INVARIANT VIOLATED (lost acks or torn state)")
+			os.Exit(1)
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "unknown -mode %q\n", *mode)
+		os.Exit(2)
+	}
+}

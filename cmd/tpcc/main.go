@@ -181,7 +181,7 @@ func main() {
 		// than deleting it.
 		lm.FlushOnce()
 		t1 := time.Now()
-		info, err := checkpoint.Take(ckptDir, cat, mgr)
+		info, err := checkpoint.Take(nil, ckptDir, cat, mgr)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -1,6 +1,7 @@
 package mainline
 
 import (
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -57,6 +58,12 @@ func (e *Engine) Checkpoint() (CheckpointInfo, error) {
 	if e.closed.Load() {
 		return CheckpointInfo{}, ErrEngineClosed
 	}
+	// A degraded engine must not checkpoint: the snapshot could capture
+	// commits the wedged log never made durable, and the subsequent WAL
+	// truncation would then delete the only durable copy of older state.
+	if e.degraded.Load() {
+		return CheckpointInfo{}, e.degradedErr()
+	}
 	return e.checkpointLocked()
 }
 
@@ -73,7 +80,7 @@ func (e *Engine) checkpointLocked() (CheckpointInfo, error) {
 	// are released by its successor.
 	prevSnapshot := e.ckptLastTs.Load()
 	t0 := time.Now()
-	info, err := checkpoint.TakeObserved(e.ckptDir(), e.cat, e.mgr, e.obs.ckptTable)
+	info, err := checkpoint.TakeObserved(e.fsys, e.ckptDir(), e.cat, e.mgr, e.obs.ckptTable)
 	if err != nil {
 		e.ckptFailed.Add(1)
 		return CheckpointInfo{}, err
@@ -121,7 +128,7 @@ func (e *Engine) checkpointLocked() (CheckpointInfo, error) {
 func (e *Engine) bootstrapDataDir() error {
 	o := &e.opts
 	for _, dir := range []string{o.DataDir, e.walDir(), e.ckptDir()} {
-		if err := os.MkdirAll(dir, 0o755); err != nil {
+		if err := e.fsys.MkdirAll(dir); err != nil {
 			return fmt.Errorf("mainline: creating data dir: %w", err)
 		}
 	}
@@ -239,7 +246,7 @@ func (e *Engine) bootstrapDataDir() error {
 
 	// 5. Segmented WAL for new commits; old segments stay sealed behind it
 	// until the re-anchor checkpoint releases them.
-	sink, err := wal.OpenSegmentedSink(e.walDir(), o.WALSegmentSize, sealed)
+	sink, err := wal.OpenSegmentedSinkFS(e.fsys, e.walDir(), o.WALSegmentSize, sealed)
 	if err != nil {
 		return err
 	}
@@ -305,21 +312,43 @@ func truncateSegment(path string, size int64) error {
 	return f.Close()
 }
 
-// startCheckpointer launches the background checkpoint loop.
+// ckptMaxBackoffFactor caps the checkpoint retry backoff at this multiple
+// of the configured interval.
+const ckptMaxBackoffFactor = 8
+
+// startCheckpointer launches the background checkpoint loop. A failed
+// attempt (ENOSPC, a sync error on the checkpoint files) leaves the
+// previous checkpoint installed and is RETRIED with bounded exponential
+// backoff — checkpoint faults are transient and never degrade the engine;
+// the backoff just keeps a persistently full disk from being hammered
+// every interval. Success (or a terminal ErrDegraded/ErrEngineClosed)
+// resets the delay to the configured interval.
 func (e *Engine) startCheckpointer(interval time.Duration) {
 	e.ckptStop = make(chan struct{})
 	e.ckptDone = make(chan struct{})
 	go func() {
 		defer close(e.ckptDone)
-		ticker := time.NewTicker(interval)
-		defer ticker.Stop()
+		delay := interval
+		timer := time.NewTimer(delay)
+		defer timer.Stop()
 		for {
 			select {
 			case <-e.ckptStop:
 				return
-			case <-ticker.C:
-				// Failures are counted in stats; the loop keeps trying.
-				_, _ = e.Checkpoint()
+			case <-timer.C:
+				_, err := e.Checkpoint()
+				switch {
+				case err == nil, errors.Is(err, ErrDegraded), errors.Is(err, ErrEngineClosed):
+					delay = interval
+				default:
+					// Failures are counted in stats (ckptFailed); back off
+					// up to ckptMaxBackoffFactor × interval and try again.
+					delay *= 2
+					if max := interval * ckptMaxBackoffFactor; delay > max {
+						delay = max
+					}
+				}
+				timer.Reset(delay)
 			}
 		}
 	}()

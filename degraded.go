@@ -1,0 +1,65 @@
+package mainline
+
+import (
+	"fmt"
+	"time"
+)
+
+// Degraded mode is the engine's failure model for a lost log (DESIGN.md
+// "Failure model"): a WAL write or fsync error means durability can no
+// longer be promised, and an engine that kept accepting writes would be
+// acking commits a crash could silently drop. Instead the engine seals
+// itself read-only:
+//
+//   - The log manager has already failed every durable waiter (the
+//     fsync-gate rule: no transaction is acked durable against an
+//     unsynced log) and wedged before enterDegraded runs.
+//   - Durable Begins, all writes, and write/durable Commits refuse with
+//     ErrDegraded wrapping the root cause.
+//   - Reads and non-durable snapshots keep serving: the in-memory MVCC
+//     state is intact and consistent — only its durability is gone.
+//   - /healthz reports 503 with the reason; Health() carries
+//     Degraded/DegradedReason; the serving layer returns ErrDegraded
+//     across the wire.
+//
+// Checkpoint faults do NOT degrade the engine: a failed attempt leaves
+// the previous checkpoint installed and is simply retried (with bounded
+// backoff in the background loop). Degraded mode is reserved for the log,
+// whose failure breaks the commit protocol itself.
+
+// enterDegraded seals the engine into degraded read-only mode; first
+// cause wins. It is the engine's LogManager.OnError handler, called by
+// the flusher after it has wedged the log and failed every waiter.
+func (e *Engine) enterDegraded(cause error) {
+	if !e.degraded.CompareAndSwap(false, true) {
+		return
+	}
+	e.degradedCause.Store(fmt.Errorf("%w: %w", ErrDegraded, cause))
+	// Record the transition as a captured span so /debug/slowops and
+	// SlowOps() show the failing op even when the trace ring's latency
+	// threshold would not have caught it.
+	e.obs.ring.Observe(SlowOp{
+		Kind:  "degraded",
+		Start: time.Now(),
+		Phases: []SlowOpPhase{
+			{Name: "cause: " + cause.Error()},
+		},
+	})
+}
+
+// degradedErr returns the ErrDegraded-wrapped root cause.
+func (e *Engine) degradedErr() error {
+	if err, ok := e.degradedCause.Load().(error); ok {
+		return err
+	}
+	return ErrDegraded
+}
+
+// Degraded reports whether the engine has sealed itself read-only after a
+// log failure, and the cause (nil when healthy).
+func (e *Engine) Degraded() (bool, error) {
+	if !e.degraded.Load() {
+		return false, nil
+	}
+	return true, e.degradedErr()
+}

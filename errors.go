@@ -41,6 +41,15 @@ var (
 	// ErrNoDataDir is returned by Engine.Checkpoint when the engine was
 	// opened without WithDataDir — there is nowhere durable to write.
 	ErrNoDataDir = errors.New("mainline: checkpoint requires WithDataDir")
+	// ErrDegraded is returned once the engine has sealed itself into
+	// degraded read-only mode after a WAL write or fsync failure: the log
+	// can no longer make commits durable, so durable Begins, all writes,
+	// and write/durable Commits refuse with this error while reads and
+	// non-durable snapshots keep serving. The returned error wraps the
+	// root cause (match the errno with errors.Is through the chain).
+	// Degraded mode is terminal for the process: restart the engine to
+	// recover from the log's durable prefix.
+	ErrDegraded = errors.New("mainline: engine degraded (durability lost)")
 	// ErrRecoverDataDir is returned by Engine.Recover on engines opened
 	// with WithDataDir: replay bypasses the WAL, so the imported
 	// transactions would be lost by a crash before the next checkpoint.

@@ -84,11 +84,11 @@ func (t *Table) createIndex(spec catalog.IndexSpec) (*IndexHandle, error) {
 		if e.opts.DataDir != "" {
 			// Best-effort: the spec must not survive in catalog.json when
 			// the handle was never returned.
-			_ = e.cat.Save(e.catalogPath())
+			_ = e.cat.Save(e.fsys, e.catalogPath())
 		}
 	}
 	if e.opts.DataDir != "" {
-		if err := e.cat.Save(e.catalogPath()); err != nil {
+		if err := e.cat.Save(e.fsys, e.catalogPath()); err != nil {
 			t.Table.DropIndex(spec.Name)
 			return nil, fmt.Errorf("mainline: persisting catalog: %w", err)
 		}

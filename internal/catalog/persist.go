@@ -8,6 +8,7 @@ import (
 
 	"mainline/internal/arrow"
 	"mainline/internal/core"
+	"mainline/internal/fault"
 	"mainline/internal/fsutil"
 )
 
@@ -47,10 +48,11 @@ type persistedCatalog struct {
 }
 
 // Save writes the catalog's table definitions to path atomically
-// (temp file + rename + directory sync). The engine calls it on every
-// CreateTable in data-directory mode, before any transaction can log
-// records against the new table.
-func (c *Catalog) Save(path string) error {
+// (temp file + rename + directory sync) through fsys (nil = real
+// filesystem). The engine calls it on every CreateTable in
+// data-directory mode, before any transaction can log records against
+// the new table.
+func (c *Catalog) Save(fsys fault.FS, path string) error {
 	c.mu.RLock()
 	pc := persistedCatalog{FormatVersion: CatalogFormatVersion}
 	for id, t := range c.byID {
@@ -73,7 +75,10 @@ func (c *Catalog) Save(path string) error {
 	if err != nil {
 		return fmt.Errorf("catalog: encoding: %w", err)
 	}
-	if err := fsutil.AtomicWriteFile(path, data); err != nil {
+	if fsys == nil {
+		fsys = fault.OS{}
+	}
+	if err := fsutil.AtomicWriteFile(fsys, path, data); err != nil {
 		return fmt.Errorf("catalog: %w", err)
 	}
 	return nil

@@ -4,13 +4,13 @@ import (
 	"encoding/binary"
 	"encoding/json"
 	"fmt"
-	"os"
 	"path/filepath"
 	"sort"
 	"time"
 
 	"mainline/internal/arrow"
 	"mainline/internal/catalog"
+	"mainline/internal/fault"
 	"mainline/internal/fsutil"
 	"mainline/internal/obs"
 	"mainline/internal/storage"
@@ -40,19 +40,26 @@ type Info struct {
 
 // Take writes a transactionally consistent checkpoint of every catalog
 // table into dir (the checkpoints directory, created if needed) and
-// installs it atomically. The snapshot is a read-only transaction: every
-// row version visible at its start timestamp — and nothing newer — lands
-// in the table files, so the manifest's SnapshotTs cleanly partitions
-// history into "in the checkpoint" and "replay from the WAL tail".
-func Take(dir string, cat *catalog.Catalog, mgr *txn.Manager) (*Info, error) {
-	return TakeObserved(dir, cat, mgr, nil)
+// installs it atomically, performing all filesystem operations through
+// fsys (nil = real filesystem). The snapshot is a read-only transaction:
+// every row version visible at its start timestamp — and nothing newer —
+// lands in the table files, so the manifest's SnapshotTs cleanly
+// partitions history into "in the checkpoint" and "replay from the WAL
+// tail". Any error before the final rename leaves the previous
+// checkpoint installed and intact — a failed attempt is retried, never a
+// reason to degrade.
+func Take(fsys fault.FS, dir string, cat *catalog.Catalog, mgr *txn.Manager) (*Info, error) {
+	return TakeObserved(fsys, dir, cat, mgr, nil)
 }
 
 // TakeObserved is Take with per-table instrumentation: when perTable is
 // non-nil, each table's capture duration (scan + IPC write + sidecar) is
 // recorded into it.
-func TakeObserved(dir string, cat *catalog.Catalog, mgr *txn.Manager, perTable *obs.Histogram) (*Info, error) {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+func TakeObserved(fsys fault.FS, dir string, cat *catalog.Catalog, mgr *txn.Manager, perTable *obs.Histogram) (*Info, error) {
+	if fsys == nil {
+		fsys = fault.OS{}
+	}
+	if err := fsys.MkdirAll(dir); err != nil {
 		return nil, fmt.Errorf("checkpoint: creating %s: %w", dir, err)
 	}
 	seqs, err := ListSeqs(dir)
@@ -64,16 +71,18 @@ func TakeObserved(dir string, cat *catalog.Catalog, mgr *txn.Manager, perTable *
 		seq = seqs[n-1] + 1
 	}
 	tmp := filepath.Join(dir, fmt.Sprintf(".tmp-%d", seq))
-	if err := os.RemoveAll(tmp); err != nil {
+	if err := fsys.RemoveAll(tmp); err != nil {
 		return nil, err
 	}
-	if err := os.MkdirAll(tmp, 0o755); err != nil {
+	if err := fsys.MkdirAll(tmp); err != nil {
 		return nil, err
 	}
 	cleanup := true
 	defer func() {
 		if cleanup {
-			_ = os.RemoveAll(tmp)
+			// Best-effort: the aborted attempt's temp directory is garbage
+			// either way — prune sweeps stragglers on the next success.
+			_ = fsys.RemoveAll(tmp)
 		}
 	}()
 
@@ -116,7 +125,7 @@ func TakeObserved(dir string, cat *catalog.Catalog, mgr *txn.Manager, perTable *
 		if perTable != nil {
 			t0 = time.Now()
 		}
-		ti, err := writeTable(tmp, t, tx)
+		ti, err := writeTable(fsys, tmp, t, tx)
 		if err != nil {
 			return nil, err
 		}
@@ -134,25 +143,37 @@ func TakeObserved(dir string, cat *catalog.Catalog, mgr *txn.Manager, perTable *
 	if err != nil {
 		return nil, err
 	}
-	if err := fsutil.WriteFileSync(filepath.Join(tmp, ManifestName), data); err != nil {
+	if err := fsutil.WriteFileSync(fsys, filepath.Join(tmp, ManifestName), data); err != nil {
 		return nil, err
 	}
 	info.BytesWritten += int64(len(data))
-	fsutil.SyncDir(tmp)
+	// The temp directory's entries (data, sidecar, manifest) must be
+	// durable before the rename publishes them: a crash after an un-synced
+	// install could expose a checkpoint directory with missing files. A
+	// sync failure aborts the attempt — previous checkpoint stays current.
+	if err := fsys.SyncDir(tmp); err != nil {
+		return nil, fmt.Errorf("checkpoint: syncing %s: %w", tmp, err)
+	}
 
 	// Atomic install: the checkpoint exists iff the rename completed.
-	if err := os.Rename(tmp, info.Dir); err != nil {
+	if err := fsys.Rename(tmp, info.Dir); err != nil {
 		return nil, fmt.Errorf("checkpoint: installing %s: %w", info.Dir, err)
 	}
 	cleanup = false
-	fsutil.SyncDir(dir)
-	prune(dir)
+	// Failing to sync the parent leaves the rename volatile: recovery could
+	// still see the previous checkpoint after a crash. Propagate so the
+	// caller does not truncate the WAL against a checkpoint that may not
+	// survive.
+	if err := fsys.SyncDir(dir); err != nil {
+		return nil, fmt.Errorf("checkpoint: syncing %s: %w", dir, err)
+	}
+	prune(fsys, dir)
 	return info, nil
 }
 
 // writeTable writes one table's Arrow IPC stream and slot sidecar into the
-// temp checkpoint directory.
-func writeTable(tmp string, t *catalog.Table, tx *txn.Transaction) (*TableInfo, error) {
+// temp checkpoint directory through fsys.
+func writeTable(fsys fault.FS, tmp string, t *catalog.Table, tx *txn.Transaction) (*TableInfo, error) {
 	ti := &TableInfo{
 		ID:       t.ID,
 		Name:     t.Name,
@@ -163,7 +184,7 @@ func writeTable(tmp string, t *catalog.Table, tx *txn.Transaction) (*TableInfo, 
 		ti.Fields = append(ti.Fields, FieldDef{Name: f.Name, Type: uint8(f.Type), Nullable: f.Nullable})
 	}
 
-	df, err := os.OpenFile(filepath.Join(tmp, ti.DataFile), os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	df, err := fsys.Create(filepath.Join(tmp, ti.DataFile))
 	if err != nil {
 		return nil, err
 	}
@@ -174,7 +195,7 @@ func writeTable(tmp string, t *catalog.Table, tx *txn.Transaction) (*TableInfo, 
 		return nil, err
 	}
 
-	sf, err := os.OpenFile(filepath.Join(tmp, ti.SlotFile), os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	sf, err := fsys.Create(filepath.Join(tmp, ti.SlotFile))
 	if err != nil {
 		return nil, err
 	}

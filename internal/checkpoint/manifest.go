@@ -44,7 +44,7 @@ import (
 	"sort"
 	"strings"
 
-	"mainline/internal/fsutil"
+	"mainline/internal/fault"
 )
 
 // FormatVersion versions the manifest encoding.
@@ -217,8 +217,12 @@ func (cw *crcWriter) Write(p []byte) (int, error) {
 }
 
 // prune removes installed checkpoints older than the newest keepCheckpoints
-// and any leftover temp directories. Best-effort.
-func prune(dir string) {
+// and any leftover temp directories. Best-effort throughout — it only ever
+// deletes checkpoints that newer, already-durable ones supersede, so a
+// failed removal or directory sync costs disk space, never correctness;
+// the next successful checkpoint retries. It can never delete the last
+// good checkpoint: the newest keepCheckpoints sequences are always kept.
+func prune(fsys fault.FS, dir string) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		return
@@ -229,7 +233,7 @@ func prune(dir string) {
 			continue
 		}
 		if strings.HasPrefix(e.Name(), ".tmp-") {
-			_ = os.RemoveAll(filepath.Join(dir, e.Name()))
+			_ = fsys.RemoveAll(filepath.Join(dir, e.Name()))
 			continue
 		}
 		if seq, ok := parseSeqDir(e.Name()); ok {
@@ -241,7 +245,7 @@ func prune(dir string) {
 	}
 	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
 	for _, seq := range seqs[:len(seqs)-keepCheckpoints] {
-		_ = os.RemoveAll(filepath.Join(dir, seqDirName(seq)))
+		_ = fsys.RemoveAll(filepath.Join(dir, seqDirName(seq)))
 	}
-	fsutil.SyncDir(dir)
+	_ = fsys.SyncDir(dir)
 }

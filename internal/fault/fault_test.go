@@ -1,0 +1,214 @@
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestOSPassthrough exercises every FS method against a real temp dir.
+func TestOSPassthrough(t *testing.T) {
+	fsys := OS{}
+	dir := t.TempDir()
+	sub := filepath.Join(dir, "a", "b")
+	if err := fsys.MkdirAll(sub); err != nil {
+		t.Fatalf("MkdirAll: %v", err)
+	}
+	p := filepath.Join(sub, "x.dat")
+	f, err := fsys.Create(p)
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	if _, err := f.Write([]byte("hello")); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatalf("Sync: %v", err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	// Append adds to the existing content.
+	af, err := fsys.Append(p)
+	if err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	if _, err := af.Write([]byte(" world")); err != nil {
+		t.Fatalf("append write: %v", err)
+	}
+	if err := af.Close(); err != nil {
+		t.Fatalf("append close: %v", err)
+	}
+	got, err := os.ReadFile(p)
+	if err != nil || string(got) != "hello world" {
+		t.Fatalf("content = %q, %v; want %q", got, err, "hello world")
+	}
+	p2 := filepath.Join(sub, "y.dat")
+	if err := fsys.Rename(p, p2); err != nil {
+		t.Fatalf("Rename: %v", err)
+	}
+	if err := fsys.SyncDir(sub); err != nil {
+		t.Fatalf("SyncDir: %v", err)
+	}
+	if err := fsys.Remove(p2); err != nil {
+		t.Fatalf("Remove: %v", err)
+	}
+	if err := fsys.RemoveAll(filepath.Join(dir, "a")); err != nil {
+		t.Fatalf("RemoveAll: %v", err)
+	}
+	// SyncDir on a missing directory is a real error, not swallowed.
+	if err := fsys.SyncDir(filepath.Join(dir, "gone")); err == nil {
+		t.Fatal("SyncDir on missing dir: want error, got nil")
+	}
+}
+
+// TestInjectSyncSchedule checks the succeed-N / fail-M / succeed-again
+// shape of Skip+Count rules, and that injected errors wrap both
+// ErrInjected and the configured errno.
+func TestInjectSyncSchedule(t *testing.T) {
+	dir := t.TempDir()
+	in := NewInjector(OS{}, 1)
+	in.AddRule(Rule{Op: OpSync, Path: "x.log", Skip: 1, Count: 2, Err: syscall.EIO})
+
+	f, err := in.Append(filepath.Join(dir, "x.log"))
+	if err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	defer f.Close()
+	if err := f.Sync(); err != nil {
+		t.Fatalf("sync 1 (skipped): %v", err)
+	}
+	for i := 2; i <= 3; i++ {
+		err := f.Sync()
+		if err == nil {
+			t.Fatalf("sync %d: want injected error", i)
+		}
+		if !errors.Is(err, ErrInjected) || !errors.Is(err, syscall.EIO) {
+			t.Fatalf("sync %d error %v: want ErrInjected wrapping EIO", i, err)
+		}
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatalf("sync 4 (count exhausted): %v", err)
+	}
+	if got := in.FiredCount(); got != 2 {
+		t.Fatalf("FiredCount = %d, want 2", got)
+	}
+}
+
+// TestInjectTornWrite checks that a TornBytes rule leaves the prefix
+// physically on disk and fails the rest.
+func TestInjectTornWrite(t *testing.T) {
+	dir := t.TempDir()
+	in := NewInjector(OS{}, 1)
+	in.AddRule(Rule{Op: OpWrite, TornBytes: 3, Count: 1})
+
+	f, err := in.Create(filepath.Join(dir, "torn.dat"))
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	n, err := f.Write([]byte("abcdef"))
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("write: err = %v, want ErrInjected", err)
+	}
+	if n != 3 {
+		t.Fatalf("write: n = %d, want 3", n)
+	}
+	f.Close()
+	got, _ := os.ReadFile(filepath.Join(dir, "torn.dat"))
+	if string(got) != "abc" {
+		t.Fatalf("on-disk prefix = %q, want %q", got, "abc")
+	}
+	// The rule is exhausted: the next write goes through whole.
+	f2, err := in.Append(filepath.Join(dir, "torn.dat"))
+	if err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	if _, err := f2.Write([]byte("xyz")); err != nil {
+		t.Fatalf("post-schedule write: %v", err)
+	}
+	f2.Close()
+}
+
+// TestInjectENOSPC checks path-scoped ENOSPC on create.
+func TestInjectENOSPC(t *testing.T) {
+	dir := t.TempDir()
+	in := NewInjector(OS{}, 1)
+	in.AddRule(Rule{Op: OpCreate, Path: ".arrow", Err: syscall.ENOSPC})
+
+	if _, err := in.Create(filepath.Join(dir, "t-1.arrow")); !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("create .arrow: err = %v, want ENOSPC", err)
+	}
+	// Other paths are untouched.
+	f, err := in.Create(filepath.Join(dir, "t-1.slots"))
+	if err != nil {
+		t.Fatalf("create .slots: %v", err)
+	}
+	f.Close()
+}
+
+// TestInjectStall checks that a pure-latency rule delays the op but lets
+// it succeed.
+func TestInjectStall(t *testing.T) {
+	dir := t.TempDir()
+	in := NewInjector(OS{}, 1)
+	in.AddRule(Rule{Op: OpSync, Stall: 30 * time.Millisecond, Count: 1})
+
+	f, err := in.Create(filepath.Join(dir, "s.dat"))
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	defer f.Close()
+	t0 := time.Now()
+	if err := f.Sync(); err != nil {
+		t.Fatalf("stalled sync should succeed: %v", err)
+	}
+	if d := time.Since(t0); d < 25*time.Millisecond {
+		t.Fatalf("sync took %v, want >= 30ms stall", d)
+	}
+	fired := in.Fired()
+	if len(fired) != 1 || fired[0].Err != nil {
+		t.Fatalf("fired = %+v, want one nil-error stall", fired)
+	}
+}
+
+// TestInjectDeterministicReplay runs the same probabilistic schedule
+// against the same op sequence under the same seed twice and requires an
+// identical fired-fault log — the byte-for-byte replay property.
+func TestInjectDeterministicReplay(t *testing.T) {
+	// Each write goes to its own file, so the fired log's base paths
+	// identify exactly which ops in the sequence faulted.
+	run := func(seed int64) []string {
+		dir := t.TempDir()
+		in := NewInjector(OS{}, seed)
+		in.AddRule(Rule{Op: OpWrite, Prob: 0.3, Err: syscall.EIO})
+		for i := 0; i < 64; i++ {
+			f, err := in.Create(filepath.Join(dir, fmt.Sprintf("p-%02d.dat", i)))
+			if err != nil {
+				t.Fatalf("Create: %v", err)
+			}
+			_, _ = f.Write([]byte{byte(i)})
+			f.Close()
+		}
+		var fired []string
+		for _, e := range in.Fired() {
+			fired = append(fired, filepath.Base(e.Path))
+		}
+		return fired
+	}
+	a, b := run(42), run(42)
+	if len(a) == 0 || len(a) == 64 {
+		t.Fatalf("prob rule fired %d/64 times — schedule not probabilistic", len(a))
+	}
+	if len(a) != len(b) {
+		t.Fatalf("replay divergence: %d vs %d faults", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("replay divergence at %d: %s vs %s", i, a[i], b[i])
+		}
+	}
+}

@@ -1,0 +1,291 @@
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+)
+
+// ErrInjected marks every error an Injector produces, so tests and the
+// chaos harness can distinguish injected faults from real filesystem
+// failures with errors.Is. Injected errors also wrap the rule's Err
+// (syscall.ENOSPC, EIO, ...), so errno matching works through the chain.
+var ErrInjected = errors.New("fault: injected")
+
+// Rule is one fault schedule entry. Rules are evaluated in the order they
+// were added; the first rule that matches and fires decides the op's
+// fate. A zero Prob means "always fire once matched" — determinism is the
+// default; probabilistic rules draw from the injector's seeded generator.
+type Rule struct {
+	// Op selects which operations the rule considers (OpAny = all).
+	Op Op
+	// Path, when non-empty, restricts the rule to operations whose path
+	// contains it as a substring ("wal-" for segments, ".arrow" for
+	// checkpoint data files, "MANIFEST" ...).
+	Path string
+	// Skip lets the first Skip matching operations through untouched —
+	// the "fail-N-then-succeed" schedule inverted: succeed-N-then-fail.
+	Skip int
+	// Count bounds how many times the rule fires (0 = unlimited). A
+	// Count-exhausted rule stops matching, so later operations succeed
+	// again: fail-N-then-succeed.
+	Count int
+	// Prob fires the rule with this probability per matched op (0 or >=1
+	// = always). Draws come from the injector's seeded RNG, so a given
+	// seed replays the same fault sequence.
+	Prob float64
+	// Err is the error to inject (default syscall.EIO). The injected
+	// error wraps both ErrInjected and Err.
+	Err error
+	// TornBytes, for OpWrite rules, writes this many bytes of the buffer
+	// to the real file before failing — a torn write with a physical
+	// torn tail on disk, not just an error. 0 fails before writing.
+	TornBytes int
+	// Stall sleeps this long before the operation. A rule with Stall and
+	// no Err is pure latency: the op proceeds normally after the delay.
+	Stall time.Duration
+}
+
+// fail reports whether the rule injects an error (vs a pure stall).
+func (r *Rule) fail() bool { return r.Err != nil || r.Stall == 0 }
+
+// Fired records one injected fault, for assertions and replay logs.
+type Fired struct {
+	// Op and Path identify the faulted operation.
+	Op   Op
+	Path string
+	// Err is the injected error (nil for a pure latency stall).
+	Err error
+}
+
+// armedRule is a Rule plus its match/fire counters.
+type armedRule struct {
+	Rule
+	seen  int
+	fired int
+}
+
+// Injector is an FS that injects faults around an inner FS according to
+// its rules. All decisions are made under one mutex with a seeded
+// generator, so a single-writer workload (the WAL flusher, the
+// checkpointer) replays identically for a given seed and rule set.
+type Injector struct {
+	inner FS
+
+	mu    sync.Mutex
+	rng   *rand.Rand
+	rules []*armedRule
+	log   []Fired
+}
+
+// NewInjector wraps inner with a fault injector seeded with seed.
+func NewInjector(inner FS, seed int64) *Injector {
+	if inner == nil {
+		inner = OS{}
+	}
+	return &Injector{inner: inner, rng: rand.New(rand.NewSource(seed))}
+}
+
+// AddRule appends a rule to the schedule. Safe to call while the injector
+// is in use — chaos schedules arm rules mid-run.
+func (in *Injector) AddRule(r Rule) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.rules = append(in.rules, &armedRule{Rule: r})
+}
+
+// Fired snapshots the injected-fault log in firing order.
+func (in *Injector) Fired() []Fired {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return append([]Fired(nil), in.log...)
+}
+
+// FiredCount reports how many faults (stalls included) have fired.
+func (in *Injector) FiredCount() int {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return len(in.log)
+}
+
+// outcome is one decided fault: what to do to the matched operation.
+type outcome struct {
+	err   error
+	torn  int
+	stall time.Duration
+}
+
+// decide matches op/path against the rules and, when one fires, returns
+// the injected outcome (nil = pass through).
+func (in *Injector) decide(op Op, path string) *outcome {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	for _, r := range in.rules {
+		if r.Op != OpAny && r.Op != op {
+			continue
+		}
+		if r.Path != "" && !strings.Contains(path, r.Path) {
+			continue
+		}
+		r.seen++
+		if r.seen <= r.Skip {
+			continue
+		}
+		if r.Count > 0 && r.fired >= r.Count {
+			continue
+		}
+		if r.Prob > 0 && r.Prob < 1 && in.rng.Float64() >= r.Prob {
+			continue
+		}
+		r.fired++
+		o := &outcome{stall: r.Stall, torn: -1}
+		if r.fail() {
+			base := r.Err
+			if base == nil {
+				base = syscall.EIO
+			}
+			o.err = fmt.Errorf("%w: %s %s: %w", ErrInjected, op, path, base)
+			if op == OpWrite && r.TornBytes > 0 {
+				o.torn = r.TornBytes
+			}
+		}
+		in.log = append(in.log, Fired{Op: op, Path: path, Err: o.err})
+		return o
+	}
+	return nil
+}
+
+// apply sleeps out a stall and returns the outcome's error.
+func (o *outcome) apply() error {
+	if o.stall > 0 {
+		time.Sleep(o.stall)
+	}
+	return o.err
+}
+
+// Create implements FS.
+func (in *Injector) Create(path string) (File, error) {
+	if o := in.decide(OpCreate, path); o != nil {
+		if err := o.apply(); err != nil {
+			return nil, err
+		}
+	}
+	f, err := in.inner.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	return &injFile{in: in, f: f}, nil
+}
+
+// Append implements FS.
+func (in *Injector) Append(path string) (File, error) {
+	if o := in.decide(OpAppend, path); o != nil {
+		if err := o.apply(); err != nil {
+			return nil, err
+		}
+	}
+	f, err := in.inner.Append(path)
+	if err != nil {
+		return nil, err
+	}
+	return &injFile{in: in, f: f}, nil
+}
+
+// Rename implements FS; rules match against the destination path.
+func (in *Injector) Rename(oldpath, newpath string) error {
+	if o := in.decide(OpRename, newpath); o != nil {
+		if err := o.apply(); err != nil {
+			return err
+		}
+	}
+	return in.inner.Rename(oldpath, newpath)
+}
+
+// Remove implements FS.
+func (in *Injector) Remove(path string) error {
+	if o := in.decide(OpRemove, path); o != nil {
+		if err := o.apply(); err != nil {
+			return err
+		}
+	}
+	return in.inner.Remove(path)
+}
+
+// RemoveAll implements FS.
+func (in *Injector) RemoveAll(path string) error {
+	if o := in.decide(OpRemove, path); o != nil {
+		if err := o.apply(); err != nil {
+			return err
+		}
+	}
+	return in.inner.RemoveAll(path)
+}
+
+// MkdirAll implements FS.
+func (in *Injector) MkdirAll(path string) error {
+	if o := in.decide(OpMkdirAll, path); o != nil {
+		if err := o.apply(); err != nil {
+			return err
+		}
+	}
+	return in.inner.MkdirAll(path)
+}
+
+// SyncDir implements FS.
+func (in *Injector) SyncDir(dir string) error {
+	if o := in.decide(OpSyncDir, dir); o != nil {
+		if err := o.apply(); err != nil {
+			return err
+		}
+	}
+	return in.inner.SyncDir(dir)
+}
+
+// injFile routes Write and Sync through the injector's rules.
+type injFile struct {
+	in *Injector
+	f  File
+}
+
+// Write implements File. A torn-write rule (TornBytes > 0) writes the
+// prefix to the real file before failing, leaving a physically torn tail.
+func (f *injFile) Write(p []byte) (int, error) {
+	if o := f.in.decide(OpWrite, f.f.Name()); o != nil {
+		if o.stall > 0 {
+			time.Sleep(o.stall)
+		}
+		if o.err != nil {
+			if o.torn >= 0 && o.torn < len(p) {
+				n, werr := f.f.Write(p[:o.torn])
+				if werr != nil {
+					return n, werr
+				}
+				return n, o.err
+			}
+			return 0, o.err
+		}
+	}
+	return f.f.Write(p)
+}
+
+// Sync implements File.
+func (f *injFile) Sync() error {
+	if o := f.in.decide(OpSync, f.f.Name()); o != nil {
+		if err := o.apply(); err != nil {
+			return err
+		}
+	}
+	return f.f.Sync()
+}
+
+// Close implements File. Close faults are not injected: the engine's
+// failure model treats close errors as sync errors' poor cousin, and
+// every durability-bearing path syncs explicitly first.
+func (f *injFile) Close() error { return f.f.Close() }
+
+// Name implements File.
+func (f *injFile) Name() string { return f.f.Name() }

@@ -1,27 +1,23 @@
 // Package fsutil holds the small durability helpers the persistence
-// layers (WAL segments, checkpoints, catalog) share, so a future fix to
-// fsync handling lands in one place.
+// layers (WAL segments, checkpoints, catalog) share. Every helper takes a
+// fault.FS so the fault-injection layer sees each operation; production
+// callers pass fault.OS{}.
 package fsutil
 
 import (
 	"fmt"
-	"os"
 	"path/filepath"
+
+	"mainline/internal/fault"
 )
 
-// SyncDir fsyncs a directory so file creations, removals, and renames
-// inside it are durable. Best-effort: some filesystems reject directory
-// fsync, and the callers' subsequent file fsyncs carry the data itself.
-func SyncDir(dir string) {
-	if d, err := os.Open(dir); err == nil {
-		_ = d.Sync()
-		_ = d.Close()
-	}
-}
-
-// WriteFileSync writes data to path and fsyncs the file before closing.
-func WriteFileSync(path string, data []byte) error {
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+// WriteFileSync writes data to path (truncating), fsyncs the file, and —
+// because the file may be newly created — fsyncs the parent directory
+// too: a synced file whose directory entry was never synced can vanish
+// whole across a crash, which for a checkpoint manifest would silently
+// drop the checkpoint.
+func WriteFileSync(fsys fault.FS, path string, data []byte) error {
+	f, err := fsys.Create(path)
 	if err != nil {
 		return err
 	}
@@ -33,20 +29,25 @@ func WriteFileSync(path string, data []byte) error {
 		f.Close()
 		return err
 	}
-	return f.Close()
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return fsys.SyncDir(filepath.Dir(path))
 }
 
 // AtomicWriteFile installs data at path via temp file + fsync + rename +
 // directory sync, so readers observe either the old content or the new,
-// never a torn write.
-func AtomicWriteFile(path string, data []byte) error {
+// never a torn write. Every fsync error — the directory's included — is
+// returned: a swallowed directory-sync failure would let the caller
+// treat a still-volatile rename as durable (fault.FS already tolerates
+// the benign EINVAL/ENOTSUP "directories don't fsync here" case).
+func AtomicWriteFile(fsys fault.FS, path string, data []byte) error {
 	tmp := path + ".tmp"
-	if err := WriteFileSync(tmp, data); err != nil {
+	if err := WriteFileSync(fsys, tmp, data); err != nil {
 		return err
 	}
-	if err := os.Rename(tmp, path); err != nil {
+	if err := fsys.Rename(tmp, path); err != nil {
 		return fmt.Errorf("installing %s: %w", path, err)
 	}
-	SyncDir(filepath.Dir(path))
-	return nil
+	return fsys.SyncDir(filepath.Dir(path))
 }

@@ -46,23 +46,33 @@ func (s *Server) listenHTTP() error {
 	return nil
 }
 
-// serveHealthz answers liveness probes. The status line ("ok"/"draining")
-// drives the 200/503 decision; the rest of the body is the engine's
-// health summary — how far durability and reclamation trail the clock —
-// for an operator reading the probe by hand.
+// serveHealthz answers liveness probes. The status line
+// ("ok"/"draining"/"degraded") drives the 200/503 decision; the rest of
+// the body is the engine's health summary — how far durability and
+// reclamation trail the clock — for an operator reading the probe by
+// hand. A degraded engine (WAL failure, sealed read-only) reports 503
+// with the root cause so load balancers stop routing writes while an
+// operator can still read the reason.
 func (s *Server) serveHealthz(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	h := s.eng.Health()
 	status := "ok"
-	if s.draining.Load() {
+	switch {
+	case h.Degraded:
+		w.WriteHeader(http.StatusServiceUnavailable)
+		status = "degraded"
+	case s.draining.Load():
 		w.WriteHeader(http.StatusServiceUnavailable)
 		status = "draining"
 	}
-	h := s.eng.Health()
 	age := h.LastCheckpointAge.Seconds()
 	if h.LastCheckpointAge < 0 {
 		age = -1 // never checkpointed: the sentinel, not its nanosecond value
 	}
 	fmt.Fprintln(w, status)
+	if h.Degraded {
+		fmt.Fprintf(w, "degraded_reason %s\n", h.DegradedReason)
+	}
 	fmt.Fprintf(w, "wal_truncation_lag %d\n", h.WALTruncationLag)
 	fmt.Fprintf(w, "last_checkpoint_age_seconds %g\n", age)
 	fmt.Fprintf(w, "gc_watermark_lag %d\n", h.GCWatermarkLag)
@@ -133,6 +143,11 @@ func (s *Server) serveMetrics(w http.ResponseWriter, _ *http.Request) {
 	m("engine_gc_deallocated_total", st.GC.Deallocated)
 	m("engine_gc_watermark_lag", int64(st.GC.WatermarkLag))
 	m("engine_wal_truncation_lag", int64(h.WALTruncationLag))
+	if h.Degraded {
+		m("engine_degraded", 1)
+	} else {
+		m("engine_degraded", 0)
+	}
 	if st.WAL.Enabled {
 		m("engine_wal_txns_total", st.WAL.Txns)
 		m("engine_wal_bytes_total", st.WAL.Bytes)

@@ -173,6 +173,7 @@ const (
 	codeFrameTooLarge
 	codeTableExists
 	codeTooManyTxns
+	codeDegraded
 )
 
 // errCode maps an error to its wire code (codeInternal when untyped).
@@ -208,6 +209,8 @@ func errCode(err error) uint16 {
 		return codeTableExists
 	case errors.Is(err, ErrTooManyTxns):
 		return codeTooManyTxns
+	case errors.Is(err, mainline.ErrDegraded):
+		return codeDegraded
 	default:
 		return codeInternal
 	}
@@ -247,6 +250,8 @@ func codeSentinel(code uint16) error {
 		return ErrTableExists
 	case codeTooManyTxns:
 		return ErrTooManyTxns
+	case codeDegraded:
+		return mainline.ErrDegraded
 	default:
 		return nil
 	}

@@ -235,11 +235,12 @@ func (m *Manager) waitForInFlightCommits(start uint64) {
 // draws the commit timestamp, stamps every undo record with it — making
 // the transaction's versions visible to later snapshots — and hands the
 // redo buffer to the log manager's queue (still inside the latch; see
-// CommitFrontier). durableCallback (optional) fires when the commit
-// record reaches disk;
-// with logging disabled it fires immediately. The rest of the system treats
-// the transaction as committed as soon as this returns (§3.4).
-func (m *Manager) Commit(t *Transaction, durableCallback func()) uint64 {
+// CommitFrontier). durableCallback (optional) fires when the log manager
+// decides the commit record's fate — nil error once it reaches disk, a
+// wedge error if the log fails first; with logging disabled it fires
+// immediately with nil. The rest of the system treats the transaction as
+// committed as soon as this returns (§3.4).
+func (m *Manager) Commit(t *Transaction, durableCallback func(error)) uint64 {
 	if t.Finished() {
 		panic("txn: commit on finished transaction")
 	}
@@ -306,7 +307,7 @@ func (m *Manager) Commit(t *Transaction, durableCallback func()) uint64 {
 	sh.mu.Unlock()
 
 	if hook == nil {
-		t.InvokeDurableCallback()
+		t.FinishDurable(nil)
 	}
 	m.retire(t)
 	if m.obsOn {
@@ -351,12 +352,15 @@ func (m *Manager) publishIndexOps(t *Transaction) {
 // commit record; without one the callback fires synchronously inside
 // Commit and the wait is free. The caller must ensure something drives the
 // log flush (a running flush loop or an explicit FlushOnce) or the wait
-// never ends.
-func (m *Manager) CommitDurable(t *Transaction) uint64 {
+// never ends. A non-nil error means the log wedged before the commit
+// record was durable: the transaction is committed in memory but was
+// never acked durable.
+func (m *Manager) CommitDurable(t *Transaction) (uint64, error) {
 	done := make(chan struct{})
-	ts := m.Commit(t, func() { close(done) })
+	var derr error
+	ts := m.Commit(t, func(err error) { derr = err; close(done) })
 	<-done
-	return ts
+	return ts, derr
 }
 
 // CommitFrontier returns a timestamp F such that every transaction that

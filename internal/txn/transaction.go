@@ -71,9 +71,11 @@ type Transaction struct {
 	// records; deallocation waits for the epoch to pass it (§3.3).
 	unlinkTs uint64
 
-	// durableCallback fires when the log manager has persisted the commit
-	// record (§3.4); nil when logging is disabled.
-	durableCallback func()
+	// durableCallback fires when the log manager has decided the fate of
+	// the commit record (§3.4): err == nil after a successful group fsync,
+	// non-nil when the log wedged and durability was never achieved. Nil
+	// when logging is disabled.
+	durableCallback func(error)
 }
 
 // StartTs returns the transaction's snapshot timestamp.
@@ -157,12 +159,15 @@ func (t *Transaction) UnlinkTs() uint64 { return t.unlinkTs }
 // epoch proves no reader can still hold pointers into them.
 func (t *Transaction) ReleaseUndo() { t.undo.Release() }
 
-// InvokeDurableCallback fires the durability callback once; the log manager
-// calls it after fsync.
-func (t *Transaction) InvokeDurableCallback() {
+// FinishDurable fires the durability callback once: the log manager calls
+// it with nil after the group fsync, or with the wedge error when the log
+// failed before this transaction's commit record was durable. Clearing
+// the field first makes double-delivery (flush success racing a wedge
+// drain) harmless.
+func (t *Transaction) FinishDurable(err error) {
 	if t.durableCallback != nil {
 		cb := t.durableCallback
 		t.durableCallback = nil
-		cb()
+		cb(err)
 	}
 }

@@ -123,7 +123,7 @@ func TestBeginCommitLifecycle(t *testing.T) {
 		t.Fatalf("active = %d", m.ActiveCount())
 	}
 	called := false
-	ts := m.Commit(t1, func() { called = true })
+	ts := m.Commit(t1, func(error) { called = true })
 	if !t1.Committed() || t1.CommitTs() != ts || ts <= t1.StartTs() {
 		t.Fatal("commit bookkeeping wrong")
 	}
@@ -263,12 +263,12 @@ func TestCommitHookReceivesRedo(t *testing.T) {
 	var hooked *Transaction
 	m.SetCommitHook(func(tx *Transaction) {
 		hooked = tx
-		tx.InvokeDurableCallback()
+		tx.FinishDurable(nil)
 	})
 	tx := m.Begin()
 	tx.LogRedo(7, storage.NewTupleSlot(1, 2), storage.KindInsert, nil)
 	fired := false
-	m.Commit(tx, func() { fired = true })
+	m.Commit(tx, func(error) { fired = true })
 	if hooked != tx {
 		t.Fatal("hook not invoked")
 	}
@@ -286,10 +286,10 @@ func TestDurableCallbackFiresOnce(t *testing.T) {
 	tx := m.Begin()
 	count := 0
 	m.SetCommitHook(func(x *Transaction) {
-		x.InvokeDurableCallback()
-		x.InvokeDurableCallback()
+		x.FinishDurable(nil)
+		x.FinishDurable(nil)
 	})
-	m.Commit(tx, func() { count++ })
+	m.Commit(tx, func(error) { count++ })
 	if count != 1 {
 		t.Fatalf("callback fired %d times", count)
 	}

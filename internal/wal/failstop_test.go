@@ -1,0 +1,201 @@
+package wal
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// syncFailSink succeeds writes but fails Sync after `okSyncs` successes —
+// the fsync-gate failure mode: bytes reach the file, durability does not.
+type syncFailSink struct {
+	mu      sync.Mutex
+	okSyncs int
+	syncs   int
+	err     error
+}
+
+func (s *syncFailSink) Write(p []byte) (int, error) { return len(p), nil }
+func (s *syncFailSink) Sync() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.syncs++
+	if s.syncs > s.okSyncs {
+		return s.err
+	}
+	return nil
+}
+func (s *syncFailSink) Close() error { return nil }
+
+// TestGroupFailureFailsEveryWaiter is the fsync-gate regression test: a
+// WAL fsync failure mid-group must fail EVERY waiter in that group — no
+// member may be acked durable against an unsynced log — drain everything
+// queued behind it, and wedge the manager so later enqueues fail
+// immediately instead of hanging.
+func TestGroupFailureFailsEveryWaiter(t *testing.T) {
+	m, table := testTable(t)
+	cause := errors.New("fsync: device on fire")
+	sink := &syncFailSink{okSyncs: 0, err: cause}
+	lm := NewLogManager(sink)
+	var onErr error
+	lm.OnError = func(err error) { onErr = err }
+	lm.Attach(m)
+
+	const waiters = 5
+	var (
+		wg    sync.WaitGroup
+		acked atomic.Int64
+		errs  = make([]error, waiters)
+	)
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			tx := m.Begin()
+			row := table.AllColumnsProjection().NewRow()
+			row.SetInt64(0, int64(i))
+			row.SetVarlen(1, []byte("v"))
+			if _, err := table.Insert(tx, row); err != nil {
+				t.Error(err)
+				return
+			}
+			done := make(chan struct{})
+			m.Commit(tx, func(err error) {
+				if err == nil {
+					acked.Add(1)
+				}
+				errs[i] = err
+				close(done)
+			})
+			select {
+			case <-done:
+			case <-time.After(5 * time.Second):
+				t.Error("waiter hung: callback never fired")
+			}
+		}(i)
+	}
+	// Drive flushes until every waiter resolves; the first flush with a
+	// formed group hits the sync failure and must fail them all.
+	flushDone := make(chan struct{})
+	go func() {
+		defer close(flushDone)
+		for i := 0; i < 10000; i++ {
+			lm.FlushOnce()
+			if lm.FailedFlushes() > 0 {
+				return
+			}
+			time.Sleep(100 * time.Microsecond)
+		}
+	}()
+	wg.Wait()
+	<-flushDone
+
+	// The fsync-gate rule: NO commit acked durable after the injected
+	// failure point.
+	if n := acked.Load(); n != 0 {
+		t.Fatalf("%d waiters acked durable despite fsync failure", n)
+	}
+	for i, err := range errs {
+		if !errors.Is(err, ErrLogFailed) {
+			t.Fatalf("waiter %d error = %v, want ErrLogFailed", i, err)
+		}
+		if !errors.Is(err, cause) {
+			t.Fatalf("waiter %d error %v does not wrap the root cause", i, err)
+		}
+	}
+	if onErr == nil {
+		t.Fatal("OnError not called")
+	}
+	if got := lm.queued.Load(); got != 0 {
+		t.Fatalf("queued = %d after wedge, want 0 (shards drained)", got)
+	}
+
+	// A commit enqueued after the wedge fails its callback immediately.
+	tx := m.Begin()
+	row := table.AllColumnsProjection().NewRow()
+	row.SetInt64(0, 99)
+	row.SetVarlen(1, []byte("late"))
+	if _, err := table.Insert(tx, row); err != nil {
+		t.Fatal(err)
+	}
+	var lateErr error
+	fired := false
+	m.Commit(tx, func(err error) { fired = true; lateErr = err })
+	if !fired {
+		t.Fatal("post-wedge enqueue did not fail the callback synchronously")
+	}
+	if !errors.Is(lateErr, ErrLogFailed) {
+		t.Fatalf("post-wedge error = %v, want ErrLogFailed", lateErr)
+	}
+
+	// Stop must not hang on a wedged log.
+	stopDone := make(chan struct{})
+	go func() { lm.Stop(); close(stopDone) }()
+	select {
+	case <-stopDone:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Stop hung on wedged log")
+	}
+}
+
+// TestWriteFailureFailsGroup covers the other half of the gate: the sink
+// write (not the sync) failing.
+func TestWriteFailureFailsGroup(t *testing.T) {
+	m, table := testTable(t)
+	cause := errors.New("write: ENOSPC")
+	sink := &memSink{failNext: cause}
+	lm := NewLogManager(sink)
+	lm.OnError = func(error) {}
+	m.SetCommitHook(lm.Hook())
+
+	tx := m.Begin()
+	row := table.AllColumnsProjection().NewRow()
+	row.SetInt64(0, 1)
+	if _, err := table.Insert(tx, row); err != nil {
+		t.Fatal(err)
+	}
+	var derr error
+	m.Commit(tx, func(err error) { derr = err })
+	lm.FlushOnce()
+	if !errors.Is(derr, ErrLogFailed) || !errors.Is(derr, cause) {
+		t.Fatalf("callback error = %v, want ErrLogFailed wrapping cause", derr)
+	}
+	// Nothing acked: Stats counts only fsynced transactions.
+	if txns, _, _ := lm.Stats(); txns != 0 {
+		t.Fatalf("txns logged = %d after failed write", txns)
+	}
+}
+
+// TestWedgedEnqueueRecyclesChunks checks that post-wedge enqueues do not
+// leak pool chunks or distort the queued counter.
+func TestWedgedEnqueueRecyclesChunks(t *testing.T) {
+	m, table := testTable(t)
+	sink := &memSink{failNext: errors.New("boom")}
+	lm := NewLogManager(sink)
+	lm.OnError = func(error) {}
+	m.SetCommitHook(lm.Hook())
+
+	tx := m.Begin()
+	row := table.AllColumnsProjection().NewRow()
+	row.SetInt64(0, 1)
+	if _, err := table.Insert(tx, row); err != nil {
+		t.Fatal(err)
+	}
+	m.Commit(tx, nil)
+	lm.FlushOnce()
+
+	for i := 0; i < 100; i++ {
+		tx := m.Begin()
+		row := table.AllColumnsProjection().NewRow()
+		row.SetInt64(0, int64(i))
+		if _, err := table.Insert(tx, row); err != nil {
+			t.Fatal(err)
+		}
+		m.Commit(tx, nil)
+	}
+	if got := lm.queued.Load(); got != 0 {
+		t.Fatalf("queued = %d after wedged enqueues, want 0", got)
+	}
+}

@@ -69,14 +69,14 @@ func TestGroupCommitStressRecoveryEquivalence(t *testing.T) {
 					}
 				}
 				done := make(chan struct{})
-				m.Commit(tx, func() { close(done) })
+				m.Commit(tx, func(error) { close(done) })
 				<-done
 
 				if i%9 == 4 {
 					// Interleave read-only durable commits.
 					ro := m.Begin()
 					done := make(chan struct{})
-					m.Commit(ro, func() { close(done) })
+					m.Commit(ro, func(error) { close(done) })
 					<-done
 				}
 			}
@@ -171,7 +171,7 @@ func TestConcurrentEnqueueFlushRace(t *testing.T) {
 					t.Errorf("insert: %v", err)
 					return
 				}
-				m.Commit(tx, func() { fired[i]++ })
+				m.Commit(tx, func(error) { fired[i]++ })
 			}
 		}(w)
 	}
@@ -241,7 +241,7 @@ func TestWriteFrontierDependencyClosure(t *testing.T) {
 			t.Fatal(err)
 		}
 		fired := false
-		ts := m.Commit(tx, func() { fired = true })
+		ts := m.Commit(tx, func(error) { fired = true })
 		return ts, &fired
 	}
 	ts1, fired1 := commit(1)

@@ -1,16 +1,24 @@
 package wal
 
 import (
+	"errors"
 	"fmt"
-	"os"
 	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"mainline/internal/fault"
 	"mainline/internal/obs"
 	"mainline/internal/txn"
 )
+
+// ErrLogFailed marks every durability callback failed by a wedged log
+// manager: a WAL write or fsync error is fail-stop for durability — the
+// group that hit it and everything queued behind it are failed, never
+// acked. Failed callbacks receive an error wrapping both ErrLogFailed
+// and the root cause.
+var ErrLogFailed = errors.New("wal: log failed; durability unavailable")
 
 // Sink abstracts the durable device so tests can inject failures and
 // benchmarks can swap in a null device.
@@ -21,11 +29,21 @@ type Sink interface {
 }
 
 // FileSink is the production sink: an append-only file.
-type FileSink struct{ f *os.File }
+type FileSink struct{ f fault.File }
 
-// OpenFileSink opens (creating or appending) the log file at path.
+// OpenFileSink opens (creating or appending) the log file at path on the
+// real filesystem.
 func OpenFileSink(path string) (*FileSink, error) {
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	return OpenFileSinkFS(fault.OS{}, path)
+}
+
+// OpenFileSinkFS opens (creating or appending) the log file at path
+// through fsys, so fault injection covers the single-file WAL too.
+func OpenFileSinkFS(fsys fault.FS, path string) (*FileSink, error) {
+	if fsys == nil {
+		fsys = fault.OS{}
+	}
+	f, err := fsys.Append(path)
 	if err != nil {
 		return nil, fmt.Errorf("wal: opening log: %w", err)
 	}
@@ -107,10 +125,15 @@ type LogManager struct {
 	// failed wedges the manager after a write or sync error: nothing
 	// further is written, because bytes appended past a failed group
 	// would break the dependency-closed prefix (a later transaction on
-	// disk whose earlier dependency never landed). The default OnError
-	// panics before this matters; survivable OnError overrides observe
-	// FailedFlushes and must treat the log as lost.
+	// disk whose earlier dependency never landed). Wedging fails every
+	// waiter — the failed group's and everything queued (see failFlush);
+	// later Enqueues fail their callback immediately. The default
+	// OnError panics; survivable OnError overrides (the engine's
+	// degraded mode) observe FailedFlushes and must treat the log as
+	// lost.
 	failed atomic.Bool
+	// failCause is the wrapped root cause handed to failed waiters.
+	failCause atomic.Pointer[error]
 
 	// chunkPool recycles per-transaction serialization buffers.
 	chunkPool sync.Pool
@@ -229,6 +252,13 @@ func (l *LogManager) Hook() txn.CommitHook {
 // Read-only transactions contribute only a read-only commit record (the
 // paper requires their presence in the queue; recovery ignores them).
 func (l *LogManager) Enqueue(t *txn.Transaction) {
+	if l.failed.Load() {
+		// The log is wedged: this chunk can never be written, and the
+		// flusher that would have acked it is gone. Fail the committer's
+		// durability wait immediately instead of hanging it.
+		t.FinishDurable(l.wedgedErr())
+		return
+	}
 	cp := l.chunkPool.Get().(*[]byte)
 	chunk := (*cp)[:0]
 	redos := t.RedoRecords()
@@ -247,6 +277,16 @@ func (l *LogManager) Enqueue(t *txn.Transaction) {
 	sh.pending = append(sh.pending, pendingTxn{t: t, chunk: cp})
 	sh.mu.Unlock()
 	l.queued.Add(1)
+
+	// Re-check after publishing: a concurrent failFlush may have drained
+	// the shards just before our append landed. Sequential consistency of
+	// the two atomic ops guarantees either failFlush's drain sees our
+	// entry or this load sees failed — never neither — so no waiter can
+	// slip between the wedge and the drain and hang.
+	if l.failed.Load() {
+		l.failQueued(l.wedgedErr())
+		return
+	}
 
 	select {
 	case l.nudge <- struct{}{}:
@@ -310,11 +350,32 @@ func (l *LogManager) Stop() {
 	}
 }
 
+// Abandon halts the flush goroutine WITHOUT the final flush or drain —
+// the crash-simulation counterpart of Stop. Queued chunks are dropped
+// exactly as a process kill would drop them: their waiters were never
+// acked durable, so losing them breaks no promise. The manager is wedged
+// so a racing committer fails fast instead of queueing into the void.
+func (l *LogManager) Abandon() {
+	werr := fmt.Errorf("%w: abandoned (simulated crash)", ErrLogFailed)
+	l.failCause.Store(&werr)
+	l.failed.Store(true)
+	if l.started.Swap(false) {
+		close(l.stopCh)
+		<-l.doneCh
+	}
+	// Fail (rather than strand) any waiter still queued: a real kill
+	// would vaporize its goroutine, but an in-process simulation must not
+	// leave it blocked on a durability ack that can never come.
+	l.failQueued(l.wedgedErr())
+}
+
 // FlushOnce drains the enqueue shards, coalesces pre-serialized chunks
 // into one sink write, fsyncs, then fires the group's durability callbacks
-// — one group commit. On a write or sync error the group's callbacks are
-// withheld (durability was not achieved) and OnError decides whether to
-// survive.
+// — one group commit. A write or sync error is fail-stop for durability:
+// the fsync gate was never passed, so EVERY waiter in the group is failed
+// (none may be acked durable against an unsynced log), everything still
+// queued is failed behind it, the manager wedges, and OnError observes
+// the root cause last (see failFlush).
 //
 // With a frontier source attached (Attach), the written prefix of the log
 // is kept DEPENDENCY-CLOSED: only chunks whose commit timestamp lies below
@@ -422,15 +483,11 @@ func (l *LogManager) FlushOnce() {
 		_, err = l.sink.Write(buf)
 	}
 	if err != nil {
-		l.failed.Store(true)
-		l.failedFlushes.Add(1)
-		l.OnError(err)
+		l.failFlush(batch, err)
 		return
 	}
 	if err := l.sink.Sync(); err != nil {
-		l.failed.Store(true)
-		l.failedFlushes.Add(1)
-		l.OnError(err)
+		l.failFlush(batch, err)
 		return
 	}
 	l.syncs.Add(1)
@@ -447,8 +504,63 @@ func (l *LogManager) FlushOnce() {
 	// Durability achieved — and with a frontier, every dependency of every
 	// member is already on disk, so acks are safe to release immediately.
 	for _, p := range batch {
-		p.t.InvokeDurableCallback()
+		p.t.FinishDurable(nil)
 	}
+}
+
+// failFlush is the fail-stop path of a group commit: the write or sync
+// failed, so durability was NOT achieved for this group — and can never
+// be achieved for anything behind it, because appending past a failed
+// group would break the dependency-closed prefix. The manager wedges
+// (failed = true) FIRST, then fails every waiter: the group's members
+// (the fsync-gate rule — no transaction is acked durable against an
+// unsynced log), then everything still queued in the enqueue shards.
+// OnError runs last with the root cause, so an engine-level handler
+// (degraded mode) observes a manager that is already sealed and drained.
+func (l *LogManager) failFlush(batch []pendingTxn, cause error) {
+	werr := fmt.Errorf("%w: %w", ErrLogFailed, cause)
+	l.failCause.Store(&werr)
+	l.failed.Store(true)
+	l.failedFlushes.Add(1)
+	// The group's chunks were already recycled before the sink write; only
+	// the callbacks remain to fire.
+	for _, p := range batch {
+		p.t.FinishDurable(werr)
+	}
+	l.failQueued(werr)
+	l.OnError(cause)
+}
+
+// failQueued drains the enqueue shards and fails each waiter's
+// durability callback: their chunks can never be written (the log is
+// wedged), and leaving them queued would hang durable committers
+// forever. Also run by Enqueue when it loses the race with a concurrent
+// wedge (see the re-check there).
+func (l *LogManager) failQueued(err error) {
+	for i := range l.shards {
+		sh := &l.shards[i]
+		sh.mu.Lock()
+		pending := sh.pending
+		sh.pending = nil
+		sh.mu.Unlock()
+		if len(pending) == 0 {
+			continue
+		}
+		l.queued.Add(int64(-len(pending)))
+		for _, p := range pending {
+			*p.chunk = (*p.chunk)[:0]
+			l.chunkPool.Put(p.chunk)
+			p.t.FinishDurable(err)
+		}
+	}
+}
+
+// wedgedErr returns the error handed to waiters failed after the wedge.
+func (l *LogManager) wedgedErr() error {
+	if e := l.failCause.Load(); e != nil {
+		return *e
+	}
+	return ErrLogFailed
 }
 
 // Stats reports lifetime counters: transactions logged, bytes written, and

@@ -8,7 +8,7 @@ import (
 	"sync"
 	"sync/atomic"
 
-	"mainline/internal/fsutil"
+	"mainline/internal/fault"
 )
 
 // Segment file naming: wal-<8-digit-seq>.log inside the WAL directory.
@@ -108,11 +108,12 @@ type Truncator interface {
 // one segment; per-segment maximum commit timestamps then make truncation
 // an exact, crash-safe operation (delete whole files, no rewriting).
 type SegmentedSink struct {
+	fsys        fault.FS
 	dir         string
 	segmentSize int64
 
 	mu     sync.Mutex
-	f      *os.File
+	f      fault.File
 	seq    uint64 // active segment sequence
 	size   int64  // active segment bytes written
 	maxTs  uint64 // active segment max commit ts
@@ -121,16 +122,25 @@ type SegmentedSink struct {
 	truncated atomic.Int64 // lifetime segments deleted
 }
 
-// OpenSegmentedSink opens a segmented WAL in dir, creating the directory if
-// needed. sealed describes pre-existing segments (from a recovery scan)
-// that remain eligible for truncation; the active segment starts after the
-// highest pre-existing sequence so old bytes are never appended to.
-// segmentSize <= 0 selects DefaultSegmentSize.
+// OpenSegmentedSink opens a segmented WAL in dir against the real
+// filesystem; see OpenSegmentedSinkFS.
 func OpenSegmentedSink(dir string, segmentSize int64, sealed []SegmentInfo) (*SegmentedSink, error) {
+	return OpenSegmentedSinkFS(fault.OS{}, dir, segmentSize, sealed)
+}
+
+// OpenSegmentedSinkFS opens a segmented WAL in dir through fsys, creating
+// the directory if needed. sealed describes pre-existing segments (from a
+// recovery scan) that remain eligible for truncation; the active segment
+// starts after the highest pre-existing sequence so old bytes are never
+// appended to. segmentSize <= 0 selects DefaultSegmentSize.
+func OpenSegmentedSinkFS(fsys fault.FS, dir string, segmentSize int64, sealed []SegmentInfo) (*SegmentedSink, error) {
+	if fsys == nil {
+		fsys = fault.OS{}
+	}
 	if segmentSize <= 0 {
 		segmentSize = DefaultSegmentSize
 	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	if err := fsys.MkdirAll(dir); err != nil {
 		return nil, fmt.Errorf("wal: creating segment dir: %w", err)
 	}
 	next := uint64(1)
@@ -151,6 +161,7 @@ func OpenSegmentedSink(dir string, segmentSize int64, sealed []SegmentInfo) (*Se
 		}
 	}
 	ss := &SegmentedSink{
+		fsys:        fsys,
 		dir:         dir,
 		segmentSize: segmentSize,
 		sealed:      append([]SegmentInfo(nil), sealed...),
@@ -165,15 +176,22 @@ func OpenSegmentedSink(dir string, segmentSize int64, sealed []SegmentInfo) (*Se
 // constructor).
 func (ss *SegmentedSink) openSegment(seq uint64) error {
 	path := filepath.Join(ss.dir, SegmentName(seq))
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	f, err := ss.fsys.Append(path)
 	if err != nil {
 		return fmt.Errorf("wal: opening segment: %w", err)
+	}
+	// The new segment's directory entry must itself be durable before any
+	// group is acked against the segment: a crash could otherwise drop
+	// the whole file, synced bytes and all. A failed directory sync
+	// therefore fails the open (and, mid-rotation, wedges the log).
+	if err := ss.fsys.SyncDir(ss.dir); err != nil {
+		f.Close()
+		return fmt.Errorf("wal: syncing segment dir: %w", err)
 	}
 	ss.f = f
 	ss.seq = seq
 	ss.size = 0
 	ss.maxTs = 0
-	fsutil.SyncDir(ss.dir)
 	return nil
 }
 
@@ -258,7 +276,7 @@ func (ss *SegmentedSink) TruncateThrough(ts uint64) (int, error) {
 			kept = append(kept, s)
 			continue
 		}
-		if err := os.Remove(s.Path); err != nil && !os.IsNotExist(err) {
+		if err := ss.fsys.Remove(s.Path); err != nil && !os.IsNotExist(err) {
 			if firstErr == nil {
 				firstErr = err
 			}
@@ -269,7 +287,13 @@ func (ss *SegmentedSink) TruncateThrough(ts uint64) (int, error) {
 	}
 	ss.sealed = kept
 	if removed > 0 {
-		fsutil.SyncDir(ss.dir)
+		// Removal durability is load-bearing: an un-synced unlink can
+		// resurrect a deleted segment after a crash, and recovery would
+		// replay records the checkpoint already owns against recycled
+		// slots. Surface the error instead of swallowing it.
+		if err := ss.fsys.SyncDir(ss.dir); err != nil && firstErr == nil {
+			firstErr = err
+		}
 		ss.truncated.Add(int64(removed))
 	}
 	return removed, firstErr

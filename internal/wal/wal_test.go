@@ -143,7 +143,7 @@ func TestGroupCommitAndCallbacks(t *testing.T) {
 		if _, err := table.Insert(tx, row); err != nil {
 			t.Fatal(err)
 		}
-		m.Commit(tx, func() { mu.Lock(); durable++; mu.Unlock() })
+		m.Commit(tx, func(error) { mu.Lock(); durable++; mu.Unlock() })
 	}
 	mu.Lock()
 	if durable != 0 {
@@ -171,7 +171,7 @@ func TestReadOnlyCommitSkipsWrite(t *testing.T) {
 	m.SetCommitHook(lm.Hook())
 	fired := false
 	tx := m.Begin()
-	m.Commit(tx, func() { fired = true })
+	m.Commit(tx, func(error) { fired = true })
 	lm.FlushOnce()
 	if !fired {
 		t.Fatal("read-only callback not fired")
@@ -204,7 +204,7 @@ func TestBackgroundFlush(t *testing.T) {
 	if _, err := table.Insert(tx, row); err != nil {
 		t.Fatal(err)
 	}
-	m.Commit(tx, func() { close(done) })
+	m.Commit(tx, func(error) { close(done) })
 	select {
 	case <-done:
 	case <-time.After(2 * time.Second):
@@ -225,14 +225,20 @@ func TestFlushErrorSurvivable(t *testing.T) {
 	if _, err := table.Insert(tx, row); err != nil {
 		t.Fatal(err)
 	}
-	durable := false
-	m.Commit(tx, func() { durable = true })
+	var derr error
+	fired := false
+	m.Commit(tx, func(err error) { fired = true; derr = err })
 	lm.FlushOnce()
 	if got == nil {
 		t.Fatal("error not surfaced")
 	}
-	if durable {
-		t.Fatal("durability callback fired despite failed flush")
+	// Fail-stop for durability: the waiter is failed, not left hanging —
+	// and never acked with a nil error.
+	if !fired {
+		t.Fatal("durability callback not failed on flush error")
+	}
+	if !errors.Is(derr, ErrLogFailed) {
+		t.Fatalf("callback error = %v, want ErrLogFailed", derr)
 	}
 	if lm.FailedFlushes() != 1 {
 		t.Fatalf("failed flushes = %d", lm.FailedFlushes())

@@ -1,0 +1,93 @@
+package chaos
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// TestTortureAllScenarios is the in-process acceptance run: every
+// scenario at several seeds, each asserting zero lost acked-durable
+// commits and zero torn-state detections. CI's chaos job runs the same
+// matrix through cmd/mainline-chaos.
+func TestTortureAllScenarios(t *testing.T) {
+	seeds := []int64{1, 2, 3}
+	if testing.Short() {
+		seeds = seeds[:1]
+	}
+	for _, scenario := range Scenarios() {
+		for _, seed := range seeds {
+			t.Run(string(scenario)+"/"+string('0'+rune(seed)), func(t *testing.T) {
+				res, err := Run(Config{
+					Dir:      t.TempDir(),
+					Scenario: scenario,
+					Seed:     seed,
+					Workers:  4,
+					Ops:      60,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				t.Log(res)
+				if !res.Ok() {
+					t.Fatalf("invariant violated: %s", res)
+				}
+				if res.Acked == 0 {
+					t.Fatal("run acked nothing; the scenario never exercised the workload")
+				}
+				switch scenario {
+				case FsyncFail, TornWrite:
+					if !res.Degraded {
+						t.Fatal("WAL fault did not degrade the engine")
+					}
+					if res.FaultsFired == 0 {
+						t.Fatal("no fault fired")
+					}
+				case ENOSPC:
+					if res.Degraded {
+						t.Fatal("checkpoint ENOSPC degraded the engine")
+					}
+					if res.CheckpointErrs == 0 {
+						t.Fatal("no checkpoint attempt hit the injected ENOSPC")
+					}
+				case SIGKILL:
+					if res.Degraded {
+						t.Fatal("sigkill run reported degraded")
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestVerifyJournal round-trips the cross-process verification path the
+// CLI uses after a real SIGKILL: run with an acked journal, then verify
+// from the journal alone.
+func TestVerifyJournal(t *testing.T) {
+	dir := t.TempDir()
+	ackedPath := filepath.Join(t.TempDir(), "acked.log")
+	res, err := Run(Config{
+		Dir:       dir,
+		Scenario:  SIGKILL,
+		Seed:      42,
+		Workers:   2,
+		Ops:       40,
+		AckedPath: ackedPath,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Ok() {
+		t.Fatalf("run: %s", res)
+	}
+	vres, err := VerifyJournal(dir, ackedPath, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log(vres)
+	if !vres.Ok() {
+		t.Fatalf("journal verify: %s", vres)
+	}
+	if vres.Acked != res.Acked {
+		t.Fatalf("journal recorded %d acks, run recorded %d", vres.Acked, res.Acked)
+	}
+}

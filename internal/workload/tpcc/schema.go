@@ -402,7 +402,11 @@ func (db *Database) commit(tx *txn.Transaction) uint64 {
 	if !db.Durable {
 		return db.Mgr.Commit(tx, nil)
 	}
-	return db.Mgr.CommitDurable(tx)
+	// A durable-wait error means the log wedged mid-benchmark; the
+	// harness's OnError handler decides the run's fate, so the timestamp
+	// is returned either way.
+	ts, _ := db.Mgr.CommitDurable(tx)
+	return ts
 }
 
 // Key builders for the composite indexes.

@@ -41,6 +41,7 @@ import (
 	"mainline/internal/catalog"
 	"mainline/internal/core"
 	"mainline/internal/exec"
+	"mainline/internal/fault"
 	"mainline/internal/gc"
 	"mainline/internal/index"
 	"mainline/internal/storage"
@@ -153,6 +154,16 @@ type Engine struct {
 	closeMu sync.RWMutex
 	closed  atomic.Bool
 
+	// fsys is the filesystem seam every persistence path goes through:
+	// fault.OS{} in production, a fault.Injector under test/chaos.
+	fsys fault.FS
+
+	// degraded seals the engine read-only after a WAL write/fsync failure
+	// (see enterDegraded). degradedCause holds the ErrDegraded-wrapped
+	// root cause handed to refused operations.
+	degraded      atomic.Bool
+	degradedCause atomic.Value // error
+
 	// Checkpoint subsystem state (DataDir mode).
 	catSaveMu    sync.Mutex // serializes CreateTable + catalog.json install
 	ckptMu       sync.Mutex // serializes checkpoints
@@ -222,6 +233,10 @@ func Open(opts ...Option) (*Engine, error) {
 	// into them) and the cost is a few time.Now() calls per operation.
 	e.obs = newEngineObs(o.SlowOpThreshold, o.SlowOpLog)
 	e.obs.wire(e)
+	e.fsys = o.FaultFS
+	if e.fsys == nil {
+		e.fsys = fault.OS{}
+	}
 
 	switch {
 	case o.DataDir != "" && o.LogPath != "":
@@ -245,7 +260,7 @@ func Open(opts ...Option) (*Engine, error) {
 			return nil, err
 		}
 	case o.LogPath != "":
-		sink, err := wal.OpenFileSink(o.LogPath)
+		sink, err := wal.OpenFileSinkFS(e.fsys, o.LogPath)
 		if err != nil {
 			return nil, err
 		}
@@ -255,6 +270,11 @@ func Open(opts ...Option) (*Engine, error) {
 	}
 	if e.logMgr != nil {
 		e.obs.wireWAL(e.logMgr)
+		// A WAL flush failure is fail-stop for durability, not for the
+		// process: the log manager has already failed every waiter when
+		// OnError runs; the engine then seals itself degraded read-only
+		// instead of panicking (the library default).
+		e.logMgr.OnError = e.enterDegraded
 	}
 	if o.Background {
 		e.collector.Start(o.GCPeriod)
@@ -309,10 +329,15 @@ func (e *Engine) Close() error {
 // Closed reports whether Close has been called.
 func (e *Engine) Closed() bool { return e.closed.Load() }
 
-// CreateTable registers a table with the given Arrow schema.
+// CreateTable registers a table with the given Arrow schema. In degraded
+// mode it refuses with ErrDegraded: the schema could not be durably
+// recorded, so recovery would not know the table.
 func (e *Engine) CreateTable(name string, schema *Schema) (*Table, error) {
 	if e.closed.Load() {
 		return nil, ErrEngineClosed
+	}
+	if e.degraded.Load() {
+		return nil, e.degradedErr()
 	}
 	// In data-directory mode the in-memory registration and the
 	// catalog.json install must be one serialized step: concurrent
@@ -332,7 +357,7 @@ func (e *Engine) CreateTable(name string, schema *Schema) (*Table, error) {
 		// every table ID the WAL mentions must already be there. On
 		// failure the registration is rolled back, so a durable engine
 		// can never hold a table the next recovery won't know.
-		if err := e.cat.Save(e.catalogPath()); err != nil {
+		if err := e.cat.Save(e.fsys, e.catalogPath()); err != nil {
 			e.cat.Drop(name)
 			return nil, fmt.Errorf("mainline: persisting catalog: %w", err)
 		}

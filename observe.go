@@ -198,6 +198,10 @@ type HealthStats struct {
 	GCWatermarkLag uint64
 	// SlowOps is the total number of slow-op spans ever captured.
 	SlowOps int64
+	// Degraded reports the engine has sealed itself read-only after a WAL
+	// failure; DegradedReason carries the root cause. See ErrDegraded.
+	Degraded       bool
+	DegradedReason string
 }
 
 // Health reports the engine's operational health summary.
@@ -209,6 +213,10 @@ func (e *Engine) Health() HealthStats {
 	}
 	if wall := e.ckptLastWall.Load(); wall > 0 {
 		h.LastCheckpointAge = time.Since(time.Unix(0, wall))
+	}
+	if degraded, cause := e.Degraded(); degraded {
+		h.Degraded = true
+		h.DegradedReason = cause.Error()
 	}
 	if e.opts.DataDir != "" {
 		if last := e.ckptLastTs.Load(); last > 0 {

@@ -3,6 +3,7 @@ package mainline
 import (
 	"time"
 
+	"mainline/internal/fault"
 	"mainline/internal/transform"
 )
 
@@ -74,6 +75,12 @@ type Options struct {
 	// SlowOpLog, when set, receives each captured slow-op span
 	// synchronously — keep it fast; it only runs for slow ops.
 	SlowOpLog func(SlowOp)
+	// FaultFS routes every persistence-layer filesystem operation (WAL
+	// segments, checkpoints, catalog installs) through the given
+	// fault.FS. nil means the real filesystem; tests and the chaos
+	// harness pass a fault.Injector to produce deterministic fsync
+	// failures, torn writes, and ENOSPC schedules.
+	FaultFS fault.FS
 }
 
 // apply makes a legacy Options value usable as an Option: it replaces the
@@ -203,4 +210,13 @@ func WithSlowOpThreshold(d time.Duration) Option {
 // the fast path).
 func WithSlowOpLog(fn func(SlowOp)) Option {
 	return optionFunc(func(o *Options) { o.SlowOpLog = fn })
+}
+
+// WithFaultFS routes every persistence-layer filesystem operation through
+// fsys — the fault-injection seam. Production never needs this (nil means
+// the real filesystem); tests and the chaos harness pass a
+// fault.Injector carrying a seeded schedule of fsync failures, torn
+// writes, ENOSPC, and latency stalls.
+func WithFaultFS(fsys fault.FS) Option {
+	return optionFunc(func(o *Options) { o.FaultFS = fsys })
 }

@@ -52,7 +52,12 @@ func Attempts(n int) TxnOption {
 	return func(s *txnSettings) { s.attempts = n }
 }
 
-// Begin starts a transaction. It fails with ErrEngineClosed after Close.
+// Begin starts a transaction. It fails with ErrEngineClosed after Close,
+// and with ErrDegraded for Durable transactions once the engine has
+// sealed itself degraded — durability can no longer be promised, so the
+// refusal happens up front rather than at Commit. Non-durable snapshots
+// still begin (reads keep serving in degraded mode; writes are refused at
+// the table operations).
 func (e *Engine) Begin(opts ...TxnOption) (*Txn, error) {
 	if e.closed.Load() {
 		return nil, ErrEngineClosed
@@ -60,6 +65,9 @@ func (e *Engine) Begin(opts ...TxnOption) (*Txn, error) {
 	var s txnSettings
 	for _, o := range opts {
 		o(&s)
+	}
+	if s.durable && e.degraded.Load() {
+		return nil, e.degradedErr()
 	}
 	return &Txn{eng: e, raw: e.mgr.Begin(), readOnly: s.readOnly, durable: s.durable}, nil
 }
@@ -72,13 +80,19 @@ func (t *Txn) usable() error {
 	return nil
 }
 
-// writable additionally rejects read-only handles.
+// writable additionally rejects read-only handles and — the single write
+// gate every table operation flows through — refuses writes once the
+// engine is degraded: a write the log can never persist must not enter
+// the version chains.
 func (t *Txn) writable() error {
 	if err := t.usable(); err != nil {
 		return err
 	}
 	if t.readOnly {
 		return ErrReadOnlyTxn
+	}
+	if t.eng.degraded.Load() {
+		return t.eng.degradedErr()
 	}
 	return nil
 }
@@ -101,6 +115,14 @@ func (t *Txn) Commit() (uint64, error) {
 	if e.closed.Load() {
 		return 0, ErrEngineClosed
 	}
+	// Degraded engine: a write or durable commit must not be acked — the
+	// log cannot persist it. The transaction is aborted (the handle is
+	// finished; its in-memory effects roll back) and ErrDegraded returned.
+	// Read-only non-durable commits proceed: they need no log.
+	if e.degraded.Load() && (t.durable || t.raw.WriteSetSize() > 0 || len(t.raw.RedoRecords()) > 0) {
+		e.mgr.Abort(t.raw)
+		return 0, e.degradedErr()
+	}
 	start := time.Now()
 	if !t.durable {
 		ts := e.mgr.Commit(t.raw, nil)
@@ -111,9 +133,16 @@ func (t *Txn) Commit() (uint64, error) {
 		// Flush loop running, or no WAL at all (the callback then fires
 		// synchronously inside Commit): the plain durable wait suffices.
 		done := make(chan struct{})
-		ts := e.mgr.Commit(t.raw, func() { close(done) })
+		var derr error
+		ts := e.mgr.Commit(t.raw, func(err error) { derr = err; close(done) })
 		crit := time.Since(start)
 		<-done
+		if derr != nil {
+			// The log wedged before our commit record was durable: the
+			// commit is in memory but was never acked durable, and the
+			// engine is (or is about to be) degraded. Fail the ack.
+			return 0, fmt.Errorf("%w: %w", ErrDegraded, derr)
+		}
 		t.observeCommit(start, ts, crit, time.Since(start)-crit)
 		return ts, nil
 	}
@@ -123,12 +152,16 @@ func (t *Txn) Commit() (uint64, error) {
 	// our chunk while a concurrent committer sits inside its commit
 	// critical section — so flush until our callback fires.
 	done := make(chan struct{})
-	ts := e.mgr.Commit(t.raw, func() { close(done) })
+	var derr error
+	ts := e.mgr.Commit(t.raw, func(err error) { derr = err; close(done) })
 	crit := time.Since(start)
 	for {
 		e.logMgr.FlushOnce()
 		select {
 		case <-done:
+			if derr != nil {
+				return 0, fmt.Errorf("%w: %w", ErrDegraded, derr)
+			}
 			t.observeCommit(start, ts, crit, time.Since(start)-crit)
 			return ts, nil
 		default:
