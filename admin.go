@@ -24,6 +24,10 @@ type Stats struct {
 	// Checkpoint reports checkpoint subsystem activity (Enabled false
 	// without WithDataDir).
 	Checkpoint CheckpointStats
+	// Tier reports cold-tier activity — evictions, rethaws, block-cache
+	// traffic, object-store volume (Enabled false without an object
+	// store).
+	Tier TierStats
 	// Recovery reports what Open's data-directory bootstrap did
 	// (zero-valued when the engine started empty).
 	Recovery RecoveryStats
@@ -255,6 +259,7 @@ func (e *Engine) Stats() Stats {
 		WALFlush:   e.obs.walDuty.Snapshot(),
 		Checkpoint: e.obs.ckptDuty.Snapshot(),
 	}
+	s.Tier = e.tierStats()
 	s.GC.Unlinked, s.GC.Deallocated = e.collector.Totals()
 	s.GC.WatermarkLag = e.collector.WatermarkLag()
 	if e.opts.DataDir != "" {
@@ -309,6 +314,7 @@ func (a Admin) SetServerStats(fn func() ServerStats) {
 func (a Admin) SimulateCrash() {
 	e := a.eng
 	e.stopCheckpointer()
+	e.stopTierSweeper()
 	e.closeMu.Lock()
 	defer e.closeMu.Unlock()
 	if !e.closed.CompareAndSwap(false, true) {

@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	mainline-bench [flags] fig1|fig10|fig11|fig12|fig13|fig14|fig15|commit|scan|index|olap|net|recovery|all
+//	mainline-bench [flags] fig1|fig10|fig11|fig12|fig13|fig14|fig15|commit|scan|index|olap|net|recovery|cold|all
 //
 // The extra "commit" target (not a paper figure) sweeps the parallel
 // commit pipeline: durable TPC-C throughput versus terminals under WAL
@@ -21,7 +21,11 @@
 // The "net" target sweeps the serving layer under a keyed client fleet
 // (mixed OLTP writes + streaming exports, replay-verified; -addr targets
 // an external mainline-serve). The "recovery" target sweeps restart time
-// against WAL length with and without checkpoint anchoring.
+// against WAL length with and without checkpoint anchoring (including a
+// cold crash-restart with every block evicted). The "cold" target sweeps
+// batch-scan throughput over a fully evicted table across block cache
+// budgets and fails unless the cache-warm cold scan reaches >= 0.8x the
+// resident rate at an unlimited budget.
 package main
 
 import (
@@ -30,8 +34,10 @@ import (
 	"os"
 	"time"
 
+	"mainline"
 	"mainline/internal/bench"
 	"mainline/internal/benchutil"
+	"mainline/internal/coldbench"
 	"mainline/internal/recoverybench"
 )
 
@@ -49,7 +55,7 @@ func main() {
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: mainline-bench [flags] fig1|fig10|fig11|fig12|fig13|fig14|fig15|commit|scan|index|olap|net|recovery|all")
+		fmt.Fprintln(os.Stderr, "usage: mainline-bench [flags] fig1|fig10|fig11|fig12|fig13|fig14|fig15|commit|scan|index|olap|net|recovery|cold|all")
 		os.Exit(2)
 	}
 	s := func(n int) int {
@@ -141,6 +147,23 @@ func main() {
 		}
 		t, _, err := recoverybench.Recovery(cfg)
 		return t, err
+	})
+	run("cold", func() (*benchutil.Table, error) {
+		cfg := coldbench.DefaultConfig()
+		cfg.PerBlock = s(cfg.PerBlock)
+		t, pts, err := coldbench.ColdScan(cfg)
+		if err != nil {
+			return nil, err
+		}
+		// Acceptance: at an unlimited cache the steady-state cold scan
+		// keeps >= 0.8x of the resident throughput.
+		for _, pt := range pts {
+			if pt.Budget == mainline.BlockCacheUnlimited && pt.WarmRate < 0.8*pt.ResidentRate {
+				return nil, fmt.Errorf("cache-warm cold scan %.1f Mrows/s < 0.8x resident %.1f Mrows/s",
+					pt.WarmRate/1e6, pt.ResidentRate/1e6)
+			}
+		}
+		return t, nil
 	})
 }
 

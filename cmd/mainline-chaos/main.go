@@ -28,7 +28,7 @@ func main() {
 	var (
 		mode     = flag.String("mode", "all", "all | run | verify")
 		dir      = flag.String("dir", "", "engine data directory (required)")
-		scenario = flag.String("scenario", "sigkill", "fsync-fail | enospc | torn-write | sigkill (run mode)")
+		scenario = flag.String("scenario", "sigkill", "fsync-fail | enospc | torn-write | sigkill | objstore (run mode)")
 		seed     = flag.Int64("seed", 1, "fault/payload/crash-point seed")
 		workers  = flag.Int("workers", 4, "concurrent durable committers")
 		ops      = flag.Int("ops", 150, "durable commits per worker")

@@ -8,7 +8,9 @@ import (
 	"time"
 
 	"mainline/internal/checkpoint"
+	"mainline/internal/checkpoint/manifestlog"
 	"mainline/internal/fsutil"
+	"mainline/internal/objstore"
 	"mainline/internal/storage"
 	"mainline/internal/wal"
 )
@@ -80,10 +82,34 @@ func (e *Engine) checkpointLocked() (CheckpointInfo, error) {
 	// are released by its successor.
 	prevSnapshot := e.ckptLastTs.Load()
 	t0 := time.Now()
-	info, err := checkpoint.TakeObserved(e.fsys, e.ckptDir(), e.cat, e.mgr, e.obs.ckptTable)
+	// With a cold tier attached the checkpoint is tiered: table content
+	// is additionally uploaded as content-addressed chunk objects, and —
+	// only after the checkpoint installs — committed as a version record
+	// in the manifest log, where AsOf finds it.
+	var store objstore.Store
+	if e.tier != nil && e.manifest != nil {
+		store = e.tier.Store()
+	}
+	info, chunks, err := checkpoint.TakeTiered(e.fsys, e.ckptDir(), e.cat, e.mgr, e.obs.ckptTable, store)
 	if err != nil {
 		e.ckptFailed.Add(1)
 		return CheckpointInfo{}, err
+	}
+	if store != nil {
+		rec := &manifestlog.VersionRecord{
+			Version:         info.Seq,
+			SnapshotTs:      info.SnapshotTs,
+			LastTs:          info.LastTs,
+			CreatedUnixNano: time.Now().UnixNano(),
+			Tables:          chunks,
+		}
+		if err := e.manifest.AppendVersion(rec); err != nil {
+			// The checkpoint itself installed fine — recovery is intact —
+			// but the version never became visible to AsOf. Surface the
+			// failure; the caller's retry takes the next sequence number.
+			e.ckptFailed.Add(1)
+			return CheckpointInfo{}, err
+		}
 	}
 	d := time.Since(t0)
 	e.obs.ckpt.Record(d)
@@ -254,17 +280,27 @@ func (e *Engine) bootstrapDataDir() error {
 	e.logMgr.SyncDelay = o.LogSyncDelay
 	e.logMgr.Attach(e.mgr)
 
-	// 6. Re-anchor when any prior state was loaded. On failure the sink
-	// opened in step 5 must not leak its descriptor and fresh segment.
-	if restored != nil || e.recovery.TailTxnsApplied > 0 || e.recovery.TailTxnsSkipped > 0 {
-		info, err := e.checkpointLocked()
-		if err != nil {
-			_ = e.logMgr.Close()
-			e.logMgr = nil
-			return fmt.Errorf("mainline: re-anchor checkpoint: %w", err)
-		}
-		e.recovery.ReanchorSeq = info.Seq
+	// 6. Re-anchor when any prior state was loaded. The checkpoint itself
+	// is deferred to Open, which runs it only after the cold tier and
+	// manifest log are wired — that way a re-anchor on an engine with an
+	// object store commits a manifest version record like every other
+	// checkpoint, instead of silently skipping the tiered path.
+	e.needReanchor = restored != nil || e.recovery.TailTxnsApplied > 0 || e.recovery.TailTxnsSkipped > 0
+	return nil
+}
+
+// reanchor takes the bootstrap's deferred re-anchor checkpoint. On
+// failure the WAL sink opened in bootstrap step 5 must not leak its
+// descriptor and fresh segment.
+func (e *Engine) reanchor() error {
+	e.needReanchor = false
+	info, err := e.checkpointLocked()
+	if err != nil {
+		_ = e.logMgr.Close()
+		e.logMgr = nil
+		return fmt.Errorf("mainline: re-anchor checkpoint: %w", err)
 	}
+	e.recovery.ReanchorSeq = info.Seq
 	return nil
 }
 

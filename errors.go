@@ -3,6 +3,7 @@ package mainline
 import (
 	"errors"
 
+	"mainline/internal/checkpoint/manifestlog"
 	"mainline/internal/core"
 	"mainline/internal/index"
 	"mainline/internal/storage"
@@ -55,6 +56,19 @@ var (
 	// transactions would be lost by a crash before the next checkpoint.
 	// Data directories recover themselves at Open.
 	ErrRecoverDataDir = errors.New("mainline: Recover is not supported with WithDataDir (recovery happens at Open)")
+	// ErrNoSuchVersion is returned by Engine.AsOf when the requested
+	// timestamp predates all retained history — no committed snapshot
+	// version has a snapshot timestamp at or below it.
+	ErrNoSuchVersion = manifestlog.ErrNoVersion
+	// ErrVersionPruned is returned by Engine.AsOf when the version that
+	// served the requested timestamp has been pruned
+	// (Admin().PruneSnapshots) and its chunk objects may be deleted.
+	ErrVersionPruned = manifestlog.ErrVersionPruned
+	// ErrNoObjectStore is returned by the tier surface (Admin().EvictAll,
+	// Admin().TierSweep, Engine.AsOf time travel) when the engine was
+	// opened without WithObjectStore / WithObjectStoreBackend — there is
+	// no cold tier to evict to or read from.
+	ErrNoObjectStore = errors.New("mainline: no object store configured")
 	// ErrDuplicateColumn is returned when a projection — Table.Scan,
 	// Filter, ScanBatches, or NewRowFor column lists — names the same
 	// column twice. Projections are positional; a duplicated column would

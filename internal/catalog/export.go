@@ -17,6 +17,11 @@ func (t *Table) ExportBlockZeroCopy(b *storage.Block) (*arrow.RecordBatch, error
 	if b.State() != storage.StateFrozen {
 		return nil, fmt.Errorf("catalog: block %d is %s, not frozen", b.ID, b.State())
 	}
+	if !b.Resident() {
+		// The buffers this export would alias are evicted; callers fall
+		// back to MaterializeBlock, whose point reads are cold-aware.
+		return nil, fmt.Errorf("catalog: block %d is evicted, cannot export zero-copy", b.ID)
+	}
 	rows := b.FrozenRows()
 	layout := t.Layout()
 	cols := make([]*arrow.Array, 0, t.Schema.NumFields())

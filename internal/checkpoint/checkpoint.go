@@ -12,6 +12,7 @@ import (
 	"mainline/internal/catalog"
 	"mainline/internal/fault"
 	"mainline/internal/fsutil"
+	"mainline/internal/objstore"
 	"mainline/internal/obs"
 	"mainline/internal/storage"
 	"mainline/internal/txn"
@@ -56,15 +57,30 @@ func Take(fsys fault.FS, dir string, cat *catalog.Catalog, mgr *txn.Manager) (*I
 // non-nil, each table's capture duration (scan + IPC write + sidecar) is
 // recorded into it.
 func TakeObserved(fsys fault.FS, dir string, cat *catalog.Catalog, mgr *txn.Manager, perTable *obs.Histogram) (*Info, error) {
+	info, _, err := TakeTiered(fsys, dir, cat, mgr, perTable, nil)
+	return info, err
+}
+
+// TakeTiered is TakeObserved with tiered capture: when store is
+// non-nil, every table's snapshot batches are additionally encoded as
+// standalone Arrow IPC chunks and uploaded to the object store under
+// content-hash keys (see chunks.go), and the per-table chunk lists are
+// returned for the caller to commit into the manifest log. Chunk
+// uploads happen before the checkpoint installs, so a failed attempt
+// may orphan objects but never publishes a version referencing missing
+// data. A chunk upload failure (store unreachable, ENOSPC) fails the
+// whole attempt — the previous checkpoint stays installed and the
+// caller retries.
+func TakeTiered(fsys fault.FS, dir string, cat *catalog.Catalog, mgr *txn.Manager, perTable *obs.Histogram, store objstore.Store) (*Info, []TableChunks, error) {
 	if fsys == nil {
 		fsys = fault.OS{}
 	}
 	if err := fsys.MkdirAll(dir); err != nil {
-		return nil, fmt.Errorf("checkpoint: creating %s: %w", dir, err)
+		return nil, nil, fmt.Errorf("checkpoint: creating %s: %w", dir, err)
 	}
 	seqs, err := ListSeqs(dir)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	seq := uint64(1)
 	if n := len(seqs); n > 0 {
@@ -72,10 +88,10 @@ func TakeObserved(fsys fault.FS, dir string, cat *catalog.Catalog, mgr *txn.Mana
 	}
 	tmp := filepath.Join(dir, fmt.Sprintf(".tmp-%d", seq))
 	if err := fsys.RemoveAll(tmp); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if err := fsys.MkdirAll(tmp); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	cleanup := true
 	defer func() {
@@ -120,19 +136,23 @@ func TakeObserved(fsys fault.FS, dir string, cat *catalog.Catalog, mgr *txn.Mana
 		SnapshotTs:      snapshotTs,
 		CreatedUnixNano: time.Now().UnixNano(),
 	}
+	var chunks []TableChunks
 	for _, t := range tables {
 		var t0 time.Time
 		if perTable != nil {
 			t0 = time.Now()
 		}
-		ti, err := writeTable(fsys, tmp, t, tx)
+		ti, tc, err := writeTable(fsys, tmp, t, tx, store)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		perTable.RecordSince(t0)
 		man.Tables = append(man.Tables, *ti)
 		info.Rows += ti.Rows
 		info.BytesWritten += ti.DataSize + ti.SlotSize
+		if tc != nil {
+			chunks = append(chunks, *tc)
+		}
 	}
 	mgr.Abort(tx)
 	man.LastTs = mgr.CurrentTime()
@@ -141,10 +161,10 @@ func TakeObserved(fsys fault.FS, dir string, cat *catalog.Catalog, mgr *txn.Mana
 
 	data, err := json.MarshalIndent(man, "", "  ")
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if err := fsutil.WriteFileSync(fsys, filepath.Join(tmp, ManifestName), data); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	info.BytesWritten += int64(len(data))
 	// The temp directory's entries (data, sidecar, manifest) must be
@@ -152,12 +172,12 @@ func TakeObserved(fsys fault.FS, dir string, cat *catalog.Catalog, mgr *txn.Mana
 	// install could expose a checkpoint directory with missing files. A
 	// sync failure aborts the attempt — previous checkpoint stays current.
 	if err := fsys.SyncDir(tmp); err != nil {
-		return nil, fmt.Errorf("checkpoint: syncing %s: %w", tmp, err)
+		return nil, nil, fmt.Errorf("checkpoint: syncing %s: %w", tmp, err)
 	}
 
 	// Atomic install: the checkpoint exists iff the rename completed.
 	if err := fsys.Rename(tmp, info.Dir); err != nil {
-		return nil, fmt.Errorf("checkpoint: installing %s: %w", info.Dir, err)
+		return nil, nil, fmt.Errorf("checkpoint: installing %s: %w", info.Dir, err)
 	}
 	cleanup = false
 	// Failing to sync the parent leaves the rename volatile: recovery could
@@ -165,15 +185,17 @@ func TakeObserved(fsys fault.FS, dir string, cat *catalog.Catalog, mgr *txn.Mana
 	// caller does not truncate the WAL against a checkpoint that may not
 	// survive.
 	if err := fsys.SyncDir(dir); err != nil {
-		return nil, fmt.Errorf("checkpoint: syncing %s: %w", dir, err)
+		return nil, nil, fmt.Errorf("checkpoint: syncing %s: %w", dir, err)
 	}
 	prune(fsys, dir)
-	return info, nil
+	return info, chunks, nil
 }
 
 // writeTable writes one table's Arrow IPC stream and slot sidecar into the
-// temp checkpoint directory through fsys.
-func writeTable(fsys fault.FS, tmp string, t *catalog.Table, tx *txn.Transaction) (*TableInfo, error) {
+// temp checkpoint directory through fsys. With a non-nil store, each
+// snapshot batch is additionally uploaded as a content-addressed chunk
+// object and the chunk list is returned for the manifest log.
+func writeTable(fsys fault.FS, tmp string, t *catalog.Table, tx *txn.Transaction, store objstore.Store) (*TableInfo, *TableChunks, error) {
 	ti := &TableInfo{
 		ID:       t.ID,
 		Name:     t.Name,
@@ -183,21 +205,25 @@ func writeTable(fsys fault.FS, tmp string, t *catalog.Table, tx *txn.Transaction
 	for _, f := range t.Schema.Fields {
 		ti.Fields = append(ti.Fields, FieldDef{Name: f.Name, Type: uint8(f.Type), Nullable: f.Nullable})
 	}
+	var tc *TableChunks
+	if store != nil {
+		tc = &TableChunks{ID: t.ID, Name: t.Name, Fields: ti.Fields}
+	}
 
 	df, err := fsys.Create(filepath.Join(tmp, ti.DataFile))
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	defer df.Close()
 	dcw := &crcWriter{w: df}
 	wr := arrow.NewWriter(dcw)
 	if err := wr.WriteSchema(t.Schema); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 
 	sf, err := fsys.Create(filepath.Join(tmp, ti.SlotFile))
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	defer sf.Close()
 	scw := &crcWriter{w: sf}
@@ -207,6 +233,14 @@ func writeTable(fsys fault.FS, tmp string, t *catalog.Table, tx *txn.Transaction
 		if err := wr.WriteBatch(rb); err != nil {
 			return err
 		}
+		if tc != nil {
+			ref, err := writeChunk(store, t.Schema, rb)
+			if err != nil {
+				return err
+			}
+			tc.Chunks = append(tc.Chunks, ref)
+			tc.Rows += int64(rb.NumRows)
+		}
 		slotBuf = slotBuf[:0]
 		for _, s := range slots {
 			slotBuf = binary.LittleEndian.AppendUint64(slotBuf, uint64(s))
@@ -215,19 +249,19 @@ func writeTable(fsys fault.FS, tmp string, t *catalog.Table, tx *txn.Transaction
 		return err
 	})
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if err := wr.Close(); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if err := df.Sync(); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if err := sf.Sync(); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	ti.Rows = int64(rows)
 	ti.DataSize, ti.DataCRC = dcw.n, dcw.crc
 	ti.SlotSize, ti.SlotCRC = scw.n, scw.crc
-	return ti, nil
+	return ti, tc, nil
 }

@@ -1,0 +1,157 @@
+package checkpoint
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"hash/crc32"
+
+	"mainline/internal/arrow"
+	"mainline/internal/objstore"
+)
+
+// Tiered capture: alongside the local checkpoint files, each table's
+// snapshot batches are also encoded as standalone Arrow IPC chunk
+// objects and uploaded to the object store under content-hash keys.
+// The resulting TableChunks descriptions become a version record in the
+// manifest commit log (internal/checkpoint/manifestlog), which is what
+// backs Engine.AsOf time travel. Chunks are uploaded BEFORE the
+// checkpoint installs; a failed attempt can therefore leave orphan
+// objects behind, but — because the version record is only appended
+// after a successful install — never an installed version referencing a
+// half-uploaded object.
+
+// ZoneMap is the min/max/null summary of one integer column within one
+// chunk. It lives in the manifest record, not the chunk, so time-travel
+// range scans prune cold chunks before any object-store read.
+type ZoneMap struct {
+	// Col is the column's index in the table schema.
+	Col int `json:"col"`
+	// Min and Max bound the column's non-null values in this chunk
+	// (meaningless when HasValues is false).
+	Min int64 `json:"min"`
+	Max int64 `json:"max"`
+	// Nulls counts the chunk's null rows in this column.
+	Nulls int `json:"nulls,omitempty"`
+	// HasValues distinguishes an all-null chunk from a populated one.
+	HasValues bool `json:"has_values"`
+}
+
+// ChunkRef names one immutable chunk object: a standalone Arrow IPC
+// stream (schema + one record batch) stored under its content hash.
+type ChunkRef struct {
+	// Key is the object key, "chunk/" + hex(sha256(payload)).
+	Key string `json:"key"`
+	// Size and CRC (CRC-32C) guard the fetched payload.
+	Size int64  `json:"size"`
+	CRC  uint32 `json:"crc"`
+	// Rows is the chunk's row count.
+	Rows int `json:"rows"`
+	// Zones summarizes the integer columns for pruning.
+	Zones []ZoneMap `json:"zones,omitempty"`
+}
+
+// TableChunks describes one table's full content at a snapshot as an
+// ordered list of chunk objects.
+type TableChunks struct {
+	ID     uint32     `json:"id"`
+	Name   string     `json:"name"`
+	Rows   int64      `json:"rows"`
+	Fields []FieldDef `json:"fields"`
+	Chunks []ChunkRef `json:"chunks"`
+}
+
+// ChunkKey derives the content-addressed object key for a chunk payload.
+func ChunkKey(payload []byte) string {
+	sum := sha256.Sum256(payload)
+	return "chunk/" + hex.EncodeToString(sum[:])
+}
+
+// writeChunk encodes one record batch as a standalone Arrow IPC stream
+// and uploads it under its content hash. PutIfAbsent makes re-uploads of
+// unchanged data free: identical content across checkpoints hits the
+// same key.
+func writeChunk(store objstore.Store, schema *arrow.Schema, rb *arrow.RecordBatch) (ChunkRef, error) {
+	var buf bytes.Buffer
+	wr := arrow.NewWriter(&buf)
+	if err := wr.WriteSchema(schema); err != nil {
+		return ChunkRef{}, err
+	}
+	if err := wr.WriteBatch(rb); err != nil {
+		return ChunkRef{}, err
+	}
+	if err := wr.Close(); err != nil {
+		return ChunkRef{}, err
+	}
+	payload := buf.Bytes()
+	key := ChunkKey(payload)
+	if _, err := store.PutIfAbsent(key, payload); err != nil {
+		return ChunkRef{}, fmt.Errorf("checkpoint: uploading chunk %s: %w", key, err)
+	}
+	return ChunkRef{
+		Key:   key,
+		Size:  int64(len(payload)),
+		CRC:   crc32.Checksum(payload, crcTable),
+		Rows:  rb.NumRows,
+		Zones: chunkZones(rb),
+	}, nil
+}
+
+// chunkZones computes per-integer-column min/max/null summaries of one
+// batch.
+func chunkZones(rb *arrow.RecordBatch) []ZoneMap {
+	var zones []ZoneMap
+	for ci, f := range rb.Schema.Fields {
+		switch f.Type {
+		case arrow.INT8, arrow.INT16, arrow.INT32, arrow.INT64:
+		default:
+			continue
+		}
+		col := rb.Columns[ci]
+		z := ZoneMap{Col: ci}
+		for i := 0; i < rb.NumRows; i++ {
+			if col.IsNull(i) {
+				z.Nulls++
+				continue
+			}
+			var v int64
+			switch f.Type {
+			case arrow.INT8:
+				v = int64(col.Int8(i))
+			case arrow.INT16:
+				v = int64(col.Int16(i))
+			case arrow.INT32:
+				v = int64(col.Int32(i))
+			default:
+				v = col.Int64(i)
+			}
+			if !z.HasValues || v < z.Min {
+				z.Min = v
+			}
+			if !z.HasValues || v > z.Max {
+				z.Max = v
+			}
+			z.HasValues = true
+		}
+		zones = append(zones, z)
+	}
+	return zones
+}
+
+// MightMatchRange reports whether a chunk could hold rows with column
+// col in [min, max], according to its zone maps. A chunk with no zone
+// for the column (non-integer, or a record written before zones) must
+// be read.
+func (c *ChunkRef) MightMatchRange(col int, min, max int64) bool {
+	for _, z := range c.Zones {
+		if z.Col != col {
+			continue
+		}
+		if !z.HasValues {
+			return false // all null: no value can match
+		}
+		return z.Min <= max && min <= z.Max
+	}
+	return true
+}

@@ -60,6 +60,9 @@ type DataTable struct {
 	// projections (see scanProjFor).
 	scratchPools  sync.Map
 	scanProjCache sync.Map
+	// coldTier serves reads of evicted blocks and re-thaws them for
+	// writes; nil when the engine runs without an object store.
+	coldTier atomic.Pointer[coldTierRef]
 }
 
 // NewDataTable creates a table with the given layout and one empty block.
@@ -143,7 +146,9 @@ func (t *DataTable) Insert(tx *txn.Transaction, row *storage.ProjectedRow) (stor
 		return 0, ErrTxnFinished
 	}
 	block, offset := t.allocateSlot()
-	block.MarkHot()
+	if err := t.markHot(block); err != nil {
+		return 0, err
+	}
 	slot := storage.NewTupleSlot(block.ID, offset)
 
 	// Install the version chain before any in-place state becomes visible.
@@ -176,6 +181,9 @@ func (t *DataTable) InsertIntoSlot(tx *txn.Transaction, slot storage.TupleSlot, 
 	if block.Allocated(offset) {
 		return ErrSlotOccupied
 	}
+	if err := t.markHot(block); err != nil {
+		return err
+	}
 	rec := tx.NewUndoRecord(storage.KindInsert, slot, nil)
 	if !block.CASVersionPtr(offset, nil, rec) {
 		// Retract the unpublished record: rolling it back at Abort would
@@ -183,7 +191,6 @@ func (t *DataTable) InsertIntoSlot(tx *txn.Transaction, slot storage.TupleSlot, 
 		tx.DropLastUndo()
 		return ErrSlotOccupied
 	}
-	block.MarkHot()
 	t.writeRow(block, offset, row)
 	block.SetAllocated(offset, true)
 	if offset >= block.InsertHead() {
@@ -246,7 +253,9 @@ func (t *DataTable) Update(tx *txn.Transaction, slot storage.TupleSlot, update *
 	if block == nil {
 		return ErrNotFound
 	}
-	block.MarkHot()
+	if err := t.markHot(block); err != nil {
+		return err
+	}
 	offset := slot.Offset()
 
 	head := block.VersionPtr(offset)
@@ -305,7 +314,9 @@ func (t *DataTable) Delete(tx *txn.Transaction, slot storage.TupleSlot) error {
 	if block == nil {
 		return ErrNotFound
 	}
-	block.MarkHot()
+	if err := t.markHot(block); err != nil {
+		return err
+	}
 	offset := slot.Offset()
 	head := block.VersionPtr(offset)
 	if !canWrite(tx, head) {
@@ -368,6 +379,13 @@ func (t *DataTable) Select(tx *txn.Transaction, slot storage.TupleSlot, out *sto
 	// Fast path: frozen blocks are read in place with no version checks —
 	// the early materialization the paper elides for cold blocks.
 	if block.BeginInPlaceRead() {
+		if !block.Resident() {
+			// Buffers are evicted; serve the cached cold payload. The
+			// registration is released first — the payload is an immutable
+			// copy of the observed frozen epoch, so it needs no pin.
+			block.EndInPlaceRead()
+			return t.selectCold(block, offset, out)
+		}
 		if !block.Allocated(offset) {
 			block.EndInPlaceRead()
 			return false, nil
@@ -425,17 +443,30 @@ func (t *DataTable) Scan(tx *txn.Transaction, proj *storage.Projection, fn func(
 	arena := storage.GetValueArena()
 	defer storage.PutValueArena(arena)
 	for _, block := range t.Blocks() {
-		if !t.scanBlock(tx, block, proj, row, arena, fn) {
+		cont, err := t.scanBlock(tx, block, proj, row, arena, fn)
+		if err != nil {
+			return err
+		}
+		if !cont {
 			return nil
 		}
 	}
 	return nil
 }
 
-// scanBlock scans one block; returns false if fn stopped the scan.
-func (t *DataTable) scanBlock(tx *txn.Transaction, block *storage.Block, proj *storage.Projection, row *storage.ProjectedRow, arena *storage.ValueArena, fn func(storage.TupleSlot, *storage.ProjectedRow) bool) bool {
+// scanBlock scans one block; cont is false if fn stopped the scan. An
+// error means an evicted block's payload could not be fetched.
+func (t *DataTable) scanBlock(tx *txn.Transaction, block *storage.Block, proj *storage.Projection, row *storage.ProjectedRow, arena *storage.ValueArena, fn func(storage.TupleSlot, *storage.ProjectedRow) bool) (bool, error) {
 	emitted := int64(0)
 	if block.BeginInPlaceRead() {
+		if !block.Resident() {
+			block.EndInPlaceRead()
+			cb, err := t.fetchCold(block)
+			if err != nil {
+				return false, err
+			}
+			return t.scanColdBlock(block, cb, row, fn), nil
+		}
 		defer func() {
 			block.EndInPlaceRead()
 			t.scanStats.tuplesEmitted.Add(emitted)
@@ -451,10 +482,10 @@ func (t *DataTable) scanBlock(tx *txn.Transaction, block *storage.Block, proj *s
 			t.readInPlace(block, s, row, arena)
 			emitted++
 			if !fn(storage.NewTupleSlot(block.ID, s), row) {
-				return false
+				return false, nil
 			}
 		}
-		return true
+		return true, nil
 	}
 	defer func() { t.scanStats.tuplesEmitted.Add(emitted) }()
 	t.scanStats.blocksVersioned.Add(1)
@@ -472,10 +503,10 @@ func (t *DataTable) scanBlock(tx *txn.Transaction, block *storage.Block, proj *s
 		}
 		emitted++
 		if !fn(storage.NewTupleSlot(block.ID, s), row) {
-			return false
+			return false, nil
 		}
 	}
-	return true
+	return true, nil
 }
 
 // CountVisible returns the number of tuples visible to tx (test helper and

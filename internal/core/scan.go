@@ -42,6 +42,13 @@ type ScanStats struct {
 	// zone map proved no row could match the predicate — pruned blocks
 	// never take the in-place read counter.
 	BlocksPruned int64
+	// BlocksCold counts evicted blocks served from the cold tier (cache
+	// or object store).
+	BlocksCold int64
+	// BlocksPrunedCold counts the subset of BlocksPruned whose block was
+	// evicted: pruning decided on the in-RAM zone map alone, so these
+	// blocks incurred zero object-store reads.
+	BlocksPrunedCold int64
 	// TuplesEmitted counts tuples handed to scan callbacks.
 	TuplesEmitted int64
 }
@@ -51,24 +58,30 @@ func (s *ScanStats) Add(o ScanStats) {
 	s.BlocksFrozen += o.BlocksFrozen
 	s.BlocksVersioned += o.BlocksVersioned
 	s.BlocksPruned += o.BlocksPruned
+	s.BlocksCold += o.BlocksCold
+	s.BlocksPrunedCold += o.BlocksPrunedCold
 	s.TuplesEmitted += o.TuplesEmitted
 }
 
 // scanCounters is the atomic backing store for ScanStats.
 type scanCounters struct {
-	blocksFrozen    atomic.Int64
-	blocksVersioned atomic.Int64
-	blocksPruned    atomic.Int64
-	tuplesEmitted   atomic.Int64
+	blocksFrozen     atomic.Int64
+	blocksVersioned  atomic.Int64
+	blocksPruned     atomic.Int64
+	blocksCold       atomic.Int64
+	blocksPrunedCold atomic.Int64
+	tuplesEmitted    atomic.Int64
 }
 
 // ScanStatsSnapshot returns the table's cumulative scan counters.
 func (t *DataTable) ScanStatsSnapshot() ScanStats {
 	return ScanStats{
-		BlocksFrozen:    t.scanStats.blocksFrozen.Load(),
-		BlocksVersioned: t.scanStats.blocksVersioned.Load(),
-		BlocksPruned:    t.scanStats.blocksPruned.Load(),
-		TuplesEmitted:   t.scanStats.tuplesEmitted.Load(),
+		BlocksFrozen:     t.scanStats.blocksFrozen.Load(),
+		BlocksVersioned:  t.scanStats.blocksVersioned.Load(),
+		BlocksPruned:     t.scanStats.blocksPruned.Load(),
+		BlocksCold:       t.scanStats.blocksCold.Load(),
+		BlocksPrunedCold: t.scanStats.blocksPrunedCold.Load(),
+		TuplesEmitted:    t.scanStats.tuplesEmitted.Load(),
 	}
 }
 
@@ -616,19 +629,24 @@ func (t *DataTable) prepareScan(proj *storage.Projection, pred *Predicate) (scan
 }
 
 // batchScanBlock runs one block of a prepared scan: frozen path (zone-map
-// prune, kernel filter, zero-copy batch) when the block is frozen, the
+// prune, kernel filter, zero-copy batch — falling through to the cold
+// tier when the block is evicted) when the block is frozen, the
 // columnar-scratch hot path otherwise. *scr is allocated lazily (many
 // scans never meet a hot block); the caller returns it to the pool.
-// Returns false when fn stopped the scan.
-func (t *DataTable) batchScanBlock(tx *txn.Transaction, block *storage.Block, batch *Batch, scr **scratch, plan *scanPlan, fn func(*Batch) bool) bool {
-	cont, handled := t.frozenBatch(tx, block, batch, plan.pred, fn)
+// cont is false when fn stopped the scan; an error means a cold fetch
+// failed.
+func (t *DataTable) batchScanBlock(tx *txn.Transaction, block *storage.Block, batch *Batch, scr **scratch, plan *scanPlan, fn func(*Batch) bool) (bool, error) {
+	cont, handled, err := t.frozenBatch(tx, block, batch, plan.pred, fn)
+	if err != nil {
+		return false, err
+	}
 	if handled {
-		return cont
+		return cont, nil
 	}
 	if *scr == nil {
 		*scr = t.getScratch(plan.scanProj)
 	}
-	return t.hotBatches(tx, block, batch, *scr, plan.pred, plan.predIdx, fn)
+	return t.hotBatches(tx, block, batch, *scr, plan.pred, plan.predIdx, fn), nil
 }
 
 // ScanBatches visits every tuple visible to tx that satisfies pred,
@@ -652,7 +670,11 @@ func (t *DataTable) ScanBatches(tx *txn.Transaction, proj *storage.Projection, p
 		}
 	}()
 	for _, block := range t.Blocks() {
-		if !t.batchScanBlock(tx, block, batch, &scr, &plan, fn) {
+		cont, err := t.batchScanBlock(tx, block, batch, &scr, &plan, fn)
+		if err != nil {
+			return err
+		}
+		if !cont {
 			return nil
 		}
 	}
@@ -675,36 +697,49 @@ func (t *DataTable) ScanBlockBatches(tx *txn.Transaction, block *storage.Block, 
 	}
 	batch := &Batch{proj: plan.proj}
 	var scr *scratch
-	t.batchScanBlock(tx, block, batch, &scr, &plan, fn)
+	_, err = t.batchScanBlock(tx, block, batch, &scr, &plan, fn)
 	if scr != nil {
 		t.putScratch(scr)
 	}
-	return nil
+	return err
 }
 
 // frozenBatch handles one block on the frozen path: zone-map prune, kernel
-// filter, zero-copy batch. handled is false when the block is not frozen
-// (the caller falls back to the hot path); cont is false when fn stopped
-// the scan.
-func (t *DataTable) frozenBatch(tx *txn.Transaction, block *storage.Block, batch *Batch, pred *Predicate, fn func(*Batch) bool) (cont, handled bool) {
+// filter, zero-copy batch, with evicted blocks falling through to the
+// cold tier's cached payload. handled is false when the block is not
+// frozen (the caller falls back to the hot path); cont is false when fn
+// stopped the scan.
+func (t *DataTable) frozenBatch(tx *txn.Transaction, block *storage.Block, batch *Batch, pred *Predicate, fn func(*Batch) bool) (cont, handled bool, err error) {
 	_ = tx // frozen reads need no version checks; kept for symmetry
 	// Zone-map pruning happens BEFORE the reader counter is taken: the
 	// state must be observed Frozen before the map is loaded (see
-	// storage.Block.ZoneMap for why that order is sound).
+	// storage.Block.ZoneMap for why that order is sound). The map stays
+	// in RAM across eviction, so a pruned cold block never touches the
+	// object store at all.
 	if pred != nil && block.State() == storage.StateFrozen {
 		if zm := block.ZoneMap(); zm != nil && pred.prunesBlock(zm) {
 			t.scanStats.blocksPruned.Add(1)
-			return true, true
+			if !block.Resident() {
+				t.scanStats.blocksPrunedCold.Add(1)
+			}
+			return true, true, nil
 		}
 	}
 	if !block.BeginInPlaceRead() {
-		return true, false
+		return true, false, nil
+	}
+	if !block.Resident() {
+		// The payload is an immutable copy of the frozen epoch just
+		// observed; it needs no reader pin.
+		block.EndInPlaceRead()
+		cont, err := t.coldBatch(block, batch, pred, fn)
+		return cont, true, err
 	}
 	defer block.EndInPlaceRead()
 	t.scanStats.blocksFrozen.Add(1)
 	n := block.FrozenRows()
 	if n == 0 {
-		return true, true
+		return true, true, nil
 	}
 	batch.setupFrozen(block)
 	var sv *storage.SelectionVector
@@ -713,7 +748,7 @@ func (t *DataTable) frozenBatch(tx *txn.Transaction, block *storage.Block, batch
 		defer storage.PutSelectionVector(sv)
 		sv.SetIndices(evalFrozenPred(block, pred, n, sv.Indices()[:0]))
 		if sv.Len() == 0 {
-			return true, true
+			return true, true, nil
 		}
 		batch.sel = sv.Indices()
 		batch.n = sv.Len()
@@ -722,21 +757,29 @@ func (t *DataTable) frozenBatch(tx *txn.Transaction, block *storage.Block, batch
 		batch.n = n
 	}
 	t.scanStats.tuplesEmitted.Add(int64(batch.n))
-	return fn(batch), true
+	return fn(batch), true, nil
 }
 
-// evalFrozenPred runs the typed kernel for pred over block's Arrow buffers,
-// appending matching slot offsets to out.
-func evalFrozenPred(block *storage.Block, pred *Predicate, n int, out []uint32) []uint32 {
+// frozenViewSource is the common shape of resident frozen blocks and
+// decoded cold payloads: both expose typed zero-copy column views, so
+// the predicate kernels run identically over either.
+type frozenViewSource interface {
+	FrozenFixedView(storage.ColumnID) storage.FixedColView
+	FrozenVarlenView(storage.ColumnID) storage.VarlenColView
+}
+
+// evalFrozenPred runs the typed kernel for pred over the source's Arrow
+// buffers, appending matching slot offsets to out.
+func evalFrozenPred(src frozenViewSource, pred *Predicate, n int, out []uint32) []uint32 {
 	switch pred.Kind {
 	case PredInt:
-		view := block.FrozenFixedView(pred.Col)
+		view := src.FrozenFixedView(pred.Col)
 		return selIntRange(view.Data, view.Valid, view.Width, n, pred.LoInt, pred.HiInt, out)
 	case PredFloat:
-		view := block.FrozenFixedView(pred.Col)
+		view := src.FrozenFixedView(pred.Col)
 		return arrow.SelFloat64Range(view.Data, view.Valid, n, pred.LoFloat, pred.HiFloat, pred.LoFloatStrict, pred.HiFloatStrict, out)
 	default: // PredBytes
-		view := block.FrozenVarlenView(pred.Col)
+		view := src.FrozenVarlenView(pred.Col)
 		if d := view.Dict(); d != nil {
 			// Sorted dictionary: the bytes range becomes an int32 code
 			// range and values are never touched.

@@ -1,0 +1,235 @@
+package objstore
+
+import (
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// StoreOp classifies one Store operation for FaultStore rule matching.
+type StoreOp uint8
+
+// Operations a FaultStore rule can target.
+const (
+	// OpAny matches every operation.
+	OpAny StoreOp = iota
+	// OpPut matches Put and PutIfAbsent.
+	OpPut
+	// OpGet matches Get.
+	OpGet
+	// OpReadRange matches ReadRange.
+	OpReadRange
+	// OpList matches List.
+	OpList
+	// OpDelete matches Delete.
+	OpDelete
+)
+
+// Rule is one fault schedule for a FaultStore: after Skip matching calls
+// pass through, the next Count (0 = unlimited) matching calls either
+// return Err or stall for Stall before proceeding. Key matches by
+// substring; empty matches every key. Rules compose: the first armed rule
+// that matches fires.
+type Rule struct {
+	Op    StoreOp
+	Key   string
+	Skip  int
+	Count int
+	Err   error
+	Stall time.Duration
+
+	seen  int
+	fired int
+}
+
+// FaultStore wraps a Store with a deterministic read/write fault
+// schedule — the cold-tier analogue of fault.Injector, needed because
+// fault.FS is write-only and cannot inject Get/ReadRange failures. Use
+// it for "fail-N-then-succeed Get", "ENOSPC on Put", and "stall on
+// ReadRange" chaos scenarios.
+type FaultStore struct {
+	inner Store
+
+	mu    sync.Mutex
+	rules []*Rule
+	fired atomic.Int64
+}
+
+// NewFaultStore wraps inner with an empty rule table.
+func NewFaultStore(inner Store) *FaultStore { return &FaultStore{inner: inner} }
+
+// AddRule arms one fault rule.
+func (s *FaultStore) AddRule(r Rule) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rc := r
+	s.rules = append(s.rules, &rc)
+}
+
+// FiredCount reports how many faults have fired so far.
+func (s *FaultStore) FiredCount() int { return int(s.fired.Load()) }
+
+// decide returns the error to inject (nil = pass through), sleeping out
+// any stall first.
+func (s *FaultStore) decide(op StoreOp, key string) error {
+	s.mu.Lock()
+	var hit *Rule
+	for _, r := range s.rules {
+		if r.Op != OpAny && r.Op != op {
+			continue
+		}
+		if r.Key != "" && !strings.Contains(key, r.Key) {
+			continue
+		}
+		r.seen++
+		if r.seen <= r.Skip {
+			continue
+		}
+		if r.Count > 0 && r.fired >= r.Count {
+			continue
+		}
+		r.fired++
+		hit = r
+		break
+	}
+	s.mu.Unlock()
+	if hit == nil {
+		return nil
+	}
+	s.fired.Add(1)
+	if hit.Stall > 0 {
+		time.Sleep(hit.Stall)
+	}
+	return hit.Err
+}
+
+// Put implements Store.
+func (s *FaultStore) Put(key string, data []byte) error {
+	if err := s.decide(OpPut, key); err != nil {
+		return err
+	}
+	return s.inner.Put(key, data)
+}
+
+// PutIfAbsent implements Store.
+func (s *FaultStore) PutIfAbsent(key string, data []byte) (bool, error) {
+	if err := s.decide(OpPut, key); err != nil {
+		return false, err
+	}
+	return s.inner.PutIfAbsent(key, data)
+}
+
+// Get implements Store.
+func (s *FaultStore) Get(key string) ([]byte, error) {
+	if err := s.decide(OpGet, key); err != nil {
+		return nil, err
+	}
+	return s.inner.Get(key)
+}
+
+// ReadRange implements Store.
+func (s *FaultStore) ReadRange(key string, off, n int64) ([]byte, error) {
+	if err := s.decide(OpReadRange, key); err != nil {
+		return nil, err
+	}
+	return s.inner.ReadRange(key, off, n)
+}
+
+// List implements Store.
+func (s *FaultStore) List(prefix string) ([]string, error) {
+	if err := s.decide(OpList, prefix); err != nil {
+		return nil, err
+	}
+	return s.inner.List(prefix)
+}
+
+// Delete implements Store.
+func (s *FaultStore) Delete(key string) error {
+	if err := s.decide(OpDelete, key); err != nil {
+		return err
+	}
+	return s.inner.Delete(key)
+}
+
+// CountingStore wraps a Store with operation and byte counters. The
+// equivalence suite uses one to assert that zone-map-pruned cold blocks
+// incur zero object-store reads.
+type CountingStore struct {
+	inner Store
+
+	gets       atomic.Int64
+	puts       atomic.Int64
+	rangeReads atomic.Int64
+	bytesRead  atomic.Int64
+	bytesPut   atomic.Int64
+}
+
+// NewCountingStore wraps inner with zeroed counters.
+func NewCountingStore(inner Store) *CountingStore { return &CountingStore{inner: inner} }
+
+// Gets reports completed Get calls.
+func (s *CountingStore) Gets() int64 { return s.gets.Load() }
+
+// Puts reports completed Put/PutIfAbsent calls that wrote.
+func (s *CountingStore) Puts() int64 { return s.puts.Load() }
+
+// RangeReads reports completed ReadRange calls.
+func (s *CountingStore) RangeReads() int64 { return s.rangeReads.Load() }
+
+// BytesRead reports total bytes returned by Get and ReadRange.
+func (s *CountingStore) BytesRead() int64 { return s.bytesRead.Load() }
+
+// BytesPut reports total bytes written by Put and created PutIfAbsent.
+func (s *CountingStore) BytesPut() int64 { return s.bytesPut.Load() }
+
+// Put implements Store.
+func (s *CountingStore) Put(key string, data []byte) error {
+	if err := s.inner.Put(key, data); err != nil {
+		return err
+	}
+	s.puts.Add(1)
+	s.bytesPut.Add(int64(len(data)))
+	return nil
+}
+
+// PutIfAbsent implements Store.
+func (s *CountingStore) PutIfAbsent(key string, data []byte) (bool, error) {
+	created, err := s.inner.PutIfAbsent(key, data)
+	if err != nil {
+		return created, err
+	}
+	if created {
+		s.puts.Add(1)
+		s.bytesPut.Add(int64(len(data)))
+	}
+	return created, nil
+}
+
+// Get implements Store.
+func (s *CountingStore) Get(key string) ([]byte, error) {
+	data, err := s.inner.Get(key)
+	if err != nil {
+		return nil, err
+	}
+	s.gets.Add(1)
+	s.bytesRead.Add(int64(len(data)))
+	return data, nil
+}
+
+// ReadRange implements Store.
+func (s *CountingStore) ReadRange(key string, off, n int64) ([]byte, error) {
+	data, err := s.inner.ReadRange(key, off, n)
+	if err != nil {
+		return nil, err
+	}
+	s.rangeReads.Add(1)
+	s.bytesRead.Add(int64(len(data)))
+	return data, nil
+}
+
+// List implements Store.
+func (s *CountingStore) List(prefix string) ([]string, error) { return s.inner.List(prefix) }
+
+// Delete implements Store.
+func (s *CountingStore) Delete(key string) error { return s.inner.Delete(key) }

@@ -1,0 +1,313 @@
+package objstore
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"mainline/internal/fault"
+)
+
+func newStore(t *testing.T) *FSStore {
+	t.Helper()
+	s, err := NewFSStore(filepath.Join(t.TempDir(), "objects"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	s := newStore(t)
+	payload := []byte("hello cold world")
+	if err := s.Put("blk/abc", payload); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Get("blk/abc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("Get = %q, want %q", got, payload)
+	}
+	// Overwrite through Put is allowed (last write wins).
+	if err := s.Put("blk/abc", []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	got, _ = s.Get("blk/abc")
+	if string(got) != "v2" {
+		t.Fatalf("after overwrite Get = %q", got)
+	}
+}
+
+func TestGetNotFound(t *testing.T) {
+	s := newStore(t)
+	if _, err := s.Get("blk/missing"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Get(missing) = %v, want ErrNotFound", err)
+	}
+	if _, err := s.ReadRange("blk/missing", 0, 4); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("ReadRange(missing) = %v, want ErrNotFound", err)
+	}
+	if err := s.Delete("blk/missing"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Delete(missing) = %v, want ErrNotFound", err)
+	}
+}
+
+func TestPutIfAbsent(t *testing.T) {
+	s := newStore(t)
+	created, err := s.PutIfAbsent("blk/x", []byte("first"))
+	if err != nil || !created {
+		t.Fatalf("first PutIfAbsent = (%v, %v), want created", created, err)
+	}
+	created, err = s.PutIfAbsent("blk/x", []byte("second"))
+	if err != nil || created {
+		t.Fatalf("second PutIfAbsent = (%v, %v), want not created", created, err)
+	}
+	got, _ := s.Get("blk/x")
+	if string(got) != "first" {
+		t.Fatalf("content = %q, want the first write preserved", got)
+	}
+}
+
+func TestReadRange(t *testing.T) {
+	s := newStore(t)
+	if err := s.Put("k", []byte("0123456789")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.ReadRange("k", 3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "3456" {
+		t.Fatalf("ReadRange(3,4) = %q", got)
+	}
+	// A range past the end of the object is an error, not a short read.
+	if _, err := s.ReadRange("k", 8, 10); err == nil {
+		t.Fatal("ReadRange past EOF succeeded")
+	}
+}
+
+func TestListSortedAndScoped(t *testing.T) {
+	s := newStore(t)
+	for _, k := range []string{"blk/c", "blk/a", "chunk/z", "blk/b"} {
+		if err := s.Put(k, []byte(k)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	keys, err := s.List("blk/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"blk/a", "blk/b", "blk/c"}
+	if len(keys) != len(want) {
+		t.Fatalf("List = %v, want %v", keys, want)
+	}
+	for i := range want {
+		if keys[i] != want[i] {
+			t.Fatalf("List = %v, want %v", keys, want)
+		}
+	}
+	all, err := s.List("")
+	if err != nil || len(all) != 4 {
+		t.Fatalf("List(\"\") = %v, %v", all, err)
+	}
+}
+
+func TestListSkipsTempFiles(t *testing.T) {
+	s := newStore(t)
+	if err := s.Put("blk/real", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a crash mid-install: a stranded temp file in the tree.
+	if err := os.WriteFile(filepath.Join(s.Root(), "blk", "dead.tmp-42"), []byte("junk"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	keys, err := s.List("blk/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(keys) != 1 || keys[0] != "blk/real" {
+		t.Fatalf("List sees temp garbage: %v", keys)
+	}
+}
+
+func TestKeyValidation(t *testing.T) {
+	s := newStore(t)
+	for _, bad := range []string{"", "/abs", "a/../../escape", ".."} {
+		if err := s.Put(bad, []byte("x")); err == nil {
+			t.Fatalf("Put(%q) accepted", bad)
+		}
+	}
+}
+
+func TestDelete(t *testing.T) {
+	s := newStore(t)
+	if err := s.Put("blk/d", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Delete("blk/d"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Get("blk/d"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Get after Delete = %v", err)
+	}
+}
+
+// TestPutThroughFaultFSEnospc proves store writes ride the engine's
+// fault.FS seam: an injected ENOSPC on write fails the Put and leaves no
+// partial object visible.
+func TestPutThroughFaultFSEnospc(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "objects")
+	inj := fault.NewInjector(fault.OS{}, 1)
+	inj.AddRule(fault.Rule{Op: fault.OpWrite, Path: "objects", Count: 1, Err: syscall.ENOSPC})
+	s, err := NewFSStore(dir, inj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("blk/full", []byte("payload")); !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("Put under ENOSPC = %v", err)
+	}
+	if _, err := s.Get("blk/full"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("partial object visible after failed Put: %v", err)
+	}
+	// The schedule is exhausted; the retry succeeds.
+	if err := s.Put("blk/full", []byte("payload")); err != nil {
+		t.Fatalf("retry after ENOSPC: %v", err)
+	}
+}
+
+func TestFaultStoreFailNThenSucceed(t *testing.T) {
+	inner := newStore(t)
+	if err := inner.Put("blk/k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	fs := NewFaultStore(inner)
+	wantErr := errors.New("injected")
+	fs.AddRule(Rule{Op: OpGet, Key: "blk/", Count: 2, Err: wantErr})
+	for i := 0; i < 2; i++ {
+		if _, err := fs.Get("blk/k"); !errors.Is(err, wantErr) {
+			t.Fatalf("Get %d = %v, want injected error", i, err)
+		}
+	}
+	if got, err := fs.Get("blk/k"); err != nil || string(got) != "v" {
+		t.Fatalf("Get after schedule exhausted = %q, %v", got, err)
+	}
+	if fs.FiredCount() != 2 {
+		t.Fatalf("FiredCount = %d, want 2", fs.FiredCount())
+	}
+}
+
+func TestFaultStoreSkipAndOpScoping(t *testing.T) {
+	inner := newStore(t)
+	fs := NewFaultStore(inner)
+	wantErr := errors.New("boom")
+	// Skip the first Put, fail the second; Gets unaffected.
+	fs.AddRule(Rule{Op: OpPut, Skip: 1, Count: 1, Err: wantErr})
+	if err := fs.Put("a", []byte("1")); err != nil {
+		t.Fatalf("first Put should pass: %v", err)
+	}
+	if err := fs.Put("b", []byte("2")); !errors.Is(err, wantErr) {
+		t.Fatalf("second Put = %v, want injected", err)
+	}
+	if err := fs.Put("c", []byte("3")); err != nil {
+		t.Fatalf("third Put should pass: %v", err)
+	}
+	if _, err := fs.Get("a"); err != nil {
+		t.Fatalf("Get caught a Put-scoped rule: %v", err)
+	}
+}
+
+func TestFaultStoreStall(t *testing.T) {
+	inner := newStore(t)
+	if err := inner.Put("k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	fs := NewFaultStore(inner)
+	fs.AddRule(Rule{Op: OpReadRange, Count: 1, Stall: 30 * time.Millisecond})
+	t0 := time.Now()
+	if _, err := fs.ReadRange("k", 0, 1); err != nil {
+		t.Fatalf("stall-only rule must not fail the op: %v", err)
+	}
+	if d := time.Since(t0); d < 30*time.Millisecond {
+		t.Fatalf("ReadRange returned in %v, want >= 30ms stall", d)
+	}
+}
+
+func TestCountingStore(t *testing.T) {
+	inner := newStore(t)
+	cs := NewCountingStore(inner)
+	if err := cs.Put("a", []byte("12345")); err != nil {
+		t.Fatal(err)
+	}
+	if created, err := cs.PutIfAbsent("b", []byte("123")); err != nil || !created {
+		t.Fatal(err)
+	}
+	if _, err := cs.PutIfAbsent("b", []byte("123")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cs.Get("a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cs.ReadRange("a", 0, 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cs.Get("missing"); err == nil {
+		t.Fatal("expected not found")
+	}
+	// 2 successful puts (the no-op PutIfAbsent doesn't count), 1
+	// successful get, 1 range read; the failed get doesn't count.
+	if cs.Puts() != 2 || cs.Gets() != 1 || cs.RangeReads() != 1 {
+		t.Fatalf("counts = puts %d gets %d ranges %d", cs.Puts(), cs.Gets(), cs.RangeReads())
+	}
+	if cs.BytesPut() != 8 || cs.BytesRead() != 7 {
+		t.Fatalf("bytes = put %d read %d", cs.BytesPut(), cs.BytesRead())
+	}
+}
+
+// TestConcurrentPutIfAbsent races many writers at one key: exactly one
+// must win and the content must be a complete single payload.
+func TestConcurrentPutIfAbsent(t *testing.T) {
+	s := newStore(t)
+	const workers = 16
+	var wins int64
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			payload := bytes.Repeat([]byte{byte(w)}, 1024)
+			created, err := s.PutIfAbsent("blk/contended", payload)
+			if err != nil {
+				t.Errorf("worker %d: %v", w, err)
+				return
+			}
+			if created {
+				mu.Lock()
+				wins++
+				mu.Unlock()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if wins != 1 {
+		t.Fatalf("%d winners, want exactly 1", wins)
+	}
+	got, err := s.Get("blk/contended")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1024 {
+		t.Fatalf("payload length %d", len(got))
+	}
+	for _, b := range got[1:] {
+		if b != got[0] {
+			t.Fatal("payload interleaves two writers")
+		}
+	}
+}

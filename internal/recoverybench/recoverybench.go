@@ -46,6 +46,15 @@ type RecoveryPoint struct {
 	CkptWALBytes int64
 	CkptReopen   time.Duration
 	CkptTail     int
+	// Evicted* describe a crash-restart of a fully cold database: every
+	// eligible block frozen and evicted to the object store, then the
+	// engine crashes without Close. Recovery rebuilds from the local
+	// checkpoint and WAL tail alone — the cold tier is never required to
+	// be resident, because eviction state is RAM-only.
+	EvictedReopen    time.Duration
+	EvictedTail      int
+	EvictedRows      int64
+	EvictedEvictions int64
 }
 
 // Recovery measures restart time against WAL length with and without
@@ -78,7 +87,7 @@ func Recovery(cfg RecoveryConfig) (*benchutil.Table, []RecoveryPoint, error) {
 		Title: "Recovery time vs WAL length — checkpoint-anchored restart",
 		Note: fmt.Sprintf("%d rows/txn; checkpointed variant replays a %d-txn tail regardless of history",
 			cfg.RowsPerTxn, cfg.TailTxns),
-		Header: []string{"txns", "wal KB", "reopen", "tail txns", "wal KB (ckpt)", "reopen (ckpt)", "tail (ckpt)", "speedup"},
+		Header: []string{"txns", "wal KB", "reopen", "tail txns", "wal KB (ckpt)", "reopen (ckpt)", "tail (ckpt)", "speedup", "reopen (cold crash)"},
 	}
 	var points []RecoveryPoint
 	for i, n := range cfg.TxnCounts {
@@ -94,6 +103,9 @@ func Recovery(cfg RecoveryConfig) (*benchutil.Table, []RecoveryPoint, error) {
 		if err != nil {
 			return nil, nil, fmt.Errorf("recovery @%d txns (ckpt): %w", n, err)
 		}
+		if err := evictedPoint(filepath.Join(root, fmt.Sprintf("cold-%d", i)), n, cfg.RowsPerTxn, cfg.TailTxns, &pt); err != nil {
+			return nil, nil, fmt.Errorf("recovery @%d txns (cold crash): %w", n, err)
+		}
 		points = append(points, pt)
 		t.AddRow(
 			fmt.Sprintf("%d", n),
@@ -104,9 +116,107 @@ func Recovery(cfg RecoveryConfig) (*benchutil.Table, []RecoveryPoint, error) {
 			pt.CkptReopen.Round(time.Millisecond).String(),
 			fmt.Sprintf("%d", pt.CkptTail),
 			benchutil.Ratio(float64(pt.NoCkptReopen), float64(pt.CkptReopen)),
+			pt.EvictedReopen.Round(time.Millisecond).String(),
 		)
 	}
 	return t, points, nil
+}
+
+func eventsSchema() *mainline.Schema {
+	return mainline.NewSchema(
+		mainline.Field{Name: "id", Type: mainline.INT64},
+		mainline.Field{Name: "payload", Type: mainline.STRING},
+		mainline.Field{Name: "amount", Type: mainline.INT64},
+	)
+}
+
+// commitTxns commits count transactions of rowsPerTxn inserts each,
+// advancing *id across calls so payload rows stay unique.
+func commitTxns(eng *mainline.Engine, tbl *mainline.Table, count, rowsPerTxn int, id *int64) error {
+	for i := 0; i < count; i++ {
+		if err := eng.Update(func(tx *mainline.Txn) error {
+			row := tbl.NewRow()
+			for r := 0; r < rowsPerTxn; r++ {
+				row.Reset()
+				row.SetInt64(0, *id)
+				row.SetVarlen(1, []byte("recovery-sweep-payload-row"))
+				row.SetInt64(2, *id%97)
+				if _, err := tbl.Insert(tx, row); err != nil {
+					return err
+				}
+				*id++
+			}
+			return nil
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// evictedPoint measures the cold crash-restart: same checkpointed
+// workload, but every eligible block is frozen and evicted to an object
+// store before a simulated crash (no Close). The reopen must rebuild
+// the full row set from the local checkpoint and WAL tail without the
+// cold tier being resident.
+func evictedPoint(dir string, n, rowsPerTxn, tailTxns int, pt *RecoveryPoint) error {
+	cold := filepath.Join(dir, "cold")
+	open := func() (*mainline.Engine, error) {
+		return mainline.Open(mainline.WithDataDir(dir), mainline.WithObjectStore(cold))
+	}
+	eng, err := open()
+	if err != nil {
+		return err
+	}
+	tbl, err := eng.CreateTable("events", eventsSchema())
+	if err != nil {
+		return err
+	}
+	id := int64(0)
+	if err := commitTxns(eng, tbl, n, rowsPerTxn, &id); err != nil {
+		return err
+	}
+	eng.FlushLog()
+	if _, err := eng.Checkpoint(); err != nil {
+		return err
+	}
+	if _, err := eng.Checkpoint(); err != nil {
+		return err
+	}
+	if err := commitTxns(eng, tbl, tailTxns, rowsPerTxn, &id); err != nil {
+		return err
+	}
+	eng.FlushLog()
+	eng.FreezeAll(0)
+	evicted, err := eng.Admin().EvictAll()
+	if err != nil {
+		return err
+	}
+	pt.EvictedEvictions = int64(evicted)
+	eng.Admin().SimulateCrash()
+
+	start := time.Now()
+	eng2, err := open()
+	if err != nil {
+		return err
+	}
+	pt.EvictedReopen = time.Since(start)
+	pt.EvictedTail = eng2.Stats().Recovery.TailTxnsApplied
+	tbl2 := eng2.Table("events")
+	if tbl2 == nil {
+		return fmt.Errorf("recoverybench: events table missing after cold crash-restart")
+	}
+	if err := eng2.View(func(tx *mainline.Txn) error {
+		res, err := tbl2.Aggregate(tx, mainline.NewQuery().CountAll())
+		if err != nil {
+			return err
+		}
+		pt.EvictedRows = int64(res.Count(0, 0))
+		return nil
+	}); err != nil {
+		return err
+	}
+	return eng2.Close()
 }
 
 // recoveryPoint loads n transactions into a data directory (taking a
@@ -117,37 +227,12 @@ func recoveryPoint(dir string, n, rowsPerTxn, tailTxns int, checkpointed bool) (
 	if err != nil {
 		return 0, 0, 0, err
 	}
-	tbl, err := eng.CreateTable("events", mainline.NewSchema(
-		mainline.Field{Name: "id", Type: mainline.INT64},
-		mainline.Field{Name: "payload", Type: mainline.STRING},
-		mainline.Field{Name: "amount", Type: mainline.INT64},
-	))
+	tbl, err := eng.CreateTable("events", eventsSchema())
 	if err != nil {
 		return 0, 0, 0, err
 	}
 	id := int64(0)
-	commitTxns := func(count int) error {
-		for i := 0; i < count; i++ {
-			if err := eng.Update(func(tx *mainline.Txn) error {
-				row := tbl.NewRow()
-				for r := 0; r < rowsPerTxn; r++ {
-					row.Reset()
-					row.SetInt64(0, id)
-					row.SetVarlen(1, []byte("recovery-sweep-payload-row"))
-					row.SetInt64(2, id%97)
-					if _, err := tbl.Insert(tx, row); err != nil {
-						return err
-					}
-					id++
-				}
-				return nil
-			}); err != nil {
-				return err
-			}
-		}
-		return nil
-	}
-	if err := commitTxns(n); err != nil {
+	if err := commitTxns(eng, tbl, n, rowsPerTxn, &id); err != nil {
 		return 0, 0, 0, err
 	}
 	if checkpointed {
@@ -161,7 +246,7 @@ func recoveryPoint(dir string, n, rowsPerTxn, tailTxns int, checkpointed bool) (
 		if _, err := eng.Checkpoint(); err != nil {
 			return 0, 0, 0, err
 		}
-		if err := commitTxns(tailTxns); err != nil {
+		if err := commitTxns(eng, tbl, tailTxns, rowsPerTxn, &id); err != nil {
 			return 0, 0, 0, err
 		}
 	}

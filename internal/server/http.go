@@ -134,6 +134,8 @@ func (s *Server) serveMetrics(w http.ResponseWriter, _ *http.Request) {
 	m("engine_scan_frozen_blocks_total", st.Scan.BlocksFrozen)
 	m("engine_scan_versioned_blocks_total", st.Scan.BlocksVersioned)
 	m("engine_scan_pruned_blocks_total", st.Scan.BlocksPruned)
+	m("engine_scan_cold_blocks_total", st.Scan.BlocksCold)
+	m("engine_scan_pruned_cold_blocks_total", st.Scan.BlocksPrunedCold)
 	m("engine_scan_tuples_total", st.Scan.TuplesEmitted)
 	m("engine_transform_frozen_blocks_total", st.Transform.BlocksFrozen)
 	m("engine_index_entries", st.Index.Entries)
@@ -156,6 +158,17 @@ func (s *Server) serveMetrics(w http.ResponseWriter, _ *http.Request) {
 	if st.Checkpoint.Enabled {
 		m("engine_checkpoints_taken_total", st.Checkpoint.Taken)
 		m("engine_checkpoints_failed_total", st.Checkpoint.Failed)
+	}
+	if st.Tier.Enabled {
+		m("engine_tier_evictions_total", st.Tier.Evictions)
+		m("engine_tier_rethaws_total", st.Tier.Rethaws)
+		m("engine_tier_fetches_total", st.Tier.Fetches)
+		m("engine_tier_cache_hits_total", st.Tier.CacheHits)
+		m("engine_tier_cache_misses_total", st.Tier.CacheMisses)
+		m("engine_tier_cache_evictions_total", st.Tier.CacheEvictions)
+		m("engine_tier_cache_bytes", st.Tier.CacheBytes)
+		m("engine_tier_bytes_uploaded_total", st.Tier.BytesUploaded)
+		m("engine_tier_bytes_fetched_total", st.Tier.BytesFetched)
 	}
 
 	// Histogram, duty-cycle, and slow-op families from the engine's

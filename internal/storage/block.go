@@ -120,6 +120,19 @@ type Block struct {
 	// before the state flips to Frozen, invalidated when a writer flips
 	// the block back to Hot; see ZoneMap for the pruning protocol.
 	zoneMap atomic.Pointer[ZoneMap]
+
+	// residency tracks whether a frozen block's buffers are in RAM or
+	// evicted to the cold tier (see cold.go); orthogonal to state. A block
+	// is born Resident.
+	residency atomic.Uint32
+	// coldRef names the object holding the evicted block's encoded
+	// payload; non-nil from first eviction on (content-addressed, so a
+	// stale ref after re-thaw + re-freeze is replaced at next eviction).
+	coldRef atomic.Pointer[ColdRef]
+	// sweepAge counts tier sweeps the block has stayed Frozen+Resident
+	// through; the evictor demotes blocks whose age crosses its
+	// threshold. Reset whenever a writer thaws the block.
+	sweepAge atomic.Uint32
 }
 
 // NewBlock allocates a block for the layout and registers it.
@@ -196,6 +209,7 @@ func (b *Block) MarkHot() {
 				// The freeze-time statistics no longer describe the block
 				// once a write lands; drop them before any write proceeds.
 				b.zoneMap.Store(nil)
+				b.sweepAge.Store(0)
 				// Drain lingering in-place readers (paper §4.1) before the
 				// block becomes writable for anyone.
 				for b.readers.Load() > 0 {

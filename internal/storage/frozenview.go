@@ -85,6 +85,12 @@ type VarlenColView struct {
 	Valid util.Bitmap // nil when the column has no nulls
 }
 
+// NewVarlenColView assembles a view from explicit buffers — the cold
+// path builds views from decoded payloads rather than block memory.
+func NewVarlenColView(fv *FrozenVarlen, dict *FrozenDict, valid util.Bitmap) VarlenColView {
+	return VarlenColView{fv: fv, dict: dict, Valid: valid}
+}
+
 // FrozenVarlenView builds the zero-copy view of varlen column col.
 func (b *Block) FrozenVarlenView(col ColumnID) VarlenColView {
 	v := VarlenColView{fv: b.frozenVar[col], dict: b.frozenDict[col]}

@@ -1,0 +1,266 @@
+// Package tier is the cold-storage tier: a temperature-driven evictor
+// that demotes long-frozen blocks to an object store (internal/objstore)
+// and drops their in-RAM buffers, a CRC-guarded block payload codec, and
+// an LRU byte-budgeted cache with single-flight fetch that the scan
+// paths fall through to when they hit an evicted block.
+//
+// The package deliberately imports only storage and objstore — core
+// defines its own one-method-pair ColdTier interface that *Manager
+// satisfies implicitly, so there is no tier<->core cycle.
+package tier
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+
+	"mainline/internal/storage"
+	"mainline/internal/util"
+)
+
+// Payload format (all integers little-endian):
+//
+//	magic   [8]byte "MLCOLD1\n"
+//	rows    u32
+//	ncols   u32
+//	per column:
+//	  kind      u8  (0 fixed, 1 varlen, 2 dict)
+//	  width     u32 (fixed attribute size; 0 for varlen/dict)
+//	  nullCount u32
+//	  validity  u32 len + bytes (len 0 when the column has no nulls)
+//	  fixed:  data u32 len + bytes
+//	  varlen: offsets u32 len + bytes, values u32 len + bytes
+//	  dict:   codes u32 len + bytes, dictOffsets u32 len + bytes,
+//	          dictValues u32 len + bytes, numEntries u32
+//	crc u32 — CRC-32C (Castagnoli) of everything before it
+var coldMagic = [8]byte{'M', 'L', 'C', 'O', 'L', 'D', '1', '\n'}
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+func appendBytes(dst, b []byte) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(b)))
+	return append(dst, b...)
+}
+
+// Encode serializes a frozen, resident block's cold payload. The caller
+// must hold the block's Freezing exclusive section with in-place readers
+// drained — Encode reads the raw frozen buffers.
+func Encode(b *storage.Block) ([]byte, error) {
+	if b.State() != storage.StateFreezing {
+		return nil, fmt.Errorf("tier: encode of %s block", b.State())
+	}
+	rows := b.FrozenRows()
+	layout := b.Layout
+	out := make([]byte, 0, 64*1024)
+	out = append(out, coldMagic[:]...)
+	out = binary.LittleEndian.AppendUint32(out, uint32(rows))
+	out = binary.LittleEndian.AppendUint32(out, uint32(layout.NumColumns()))
+	for c := 0; c < layout.NumColumns(); c++ {
+		col := storage.ColumnID(c)
+		var kind byte
+		switch {
+		case !layout.IsVarlen(col):
+			kind = 0
+		case b.FrozenDictCol(col) != nil:
+			kind = 2
+		default:
+			kind = 1
+		}
+		out = append(out, kind)
+		width := 0
+		if kind == 0 {
+			width = layout.AttrSize(col)
+		}
+		out = binary.LittleEndian.AppendUint32(out, uint32(width))
+		out = binary.LittleEndian.AppendUint32(out, uint32(b.NullCount(col)))
+		if b.NullCount(col) > 0 {
+			out = appendBytes(out, b.FrozenValidity(col))
+		} else {
+			out = appendBytes(out, nil)
+		}
+		switch kind {
+		case 0:
+			out = appendBytes(out, b.FrozenFixedData(col))
+		case 1:
+			fv := b.FrozenVarlenCol(col)
+			if fv == nil {
+				return nil, fmt.Errorf("tier: varlen column %d has no frozen buffers", c)
+			}
+			out = appendBytes(out, fv.Offsets)
+			out = appendBytes(out, fv.Values)
+		case 2:
+			d := b.FrozenDictCol(col)
+			out = appendBytes(out, d.Codes)
+			out = appendBytes(out, d.DictOffsets)
+			out = appendBytes(out, d.DictValues)
+			out = binary.LittleEndian.AppendUint32(out, uint32(d.NumEntries))
+		}
+	}
+	out = binary.LittleEndian.AppendUint32(out, crc32.Checksum(out, crcTable))
+	return out, nil
+}
+
+type decoder struct {
+	buf []byte
+	off int
+}
+
+func (d *decoder) u8() (byte, error) {
+	if d.off+1 > len(d.buf) {
+		return 0, fmt.Errorf("tier: truncated payload at byte %d", d.off)
+	}
+	v := d.buf[d.off]
+	d.off++
+	return v, nil
+}
+
+func (d *decoder) u32() (uint32, error) {
+	if d.off+4 > len(d.buf) {
+		return 0, fmt.Errorf("tier: truncated payload at byte %d", d.off)
+	}
+	v := binary.LittleEndian.Uint32(d.buf[d.off:])
+	d.off += 4
+	return v, nil
+}
+
+func (d *decoder) bytes() ([]byte, error) {
+	n, err := d.u32()
+	if err != nil {
+		return nil, err
+	}
+	if d.off+int(n) > len(d.buf) {
+		return nil, fmt.Errorf("tier: truncated payload at byte %d (want %d more)", d.off, n)
+	}
+	v := d.buf[d.off : d.off+int(n) : d.off+int(n)]
+	d.off += int(n)
+	return v, nil
+}
+
+// Decode parses and CRC-verifies a cold payload into a ColdBlock whose
+// buffers alias the payload (immutable; safe to share with the cache).
+func Decode(payload []byte) (*storage.ColdBlock, error) {
+	if len(payload) < len(coldMagic)+12 {
+		return nil, fmt.Errorf("tier: payload too short (%d bytes)", len(payload))
+	}
+	if string(payload[:8]) != string(coldMagic[:]) {
+		return nil, fmt.Errorf("tier: bad payload magic %q", payload[:8])
+	}
+	body, trailer := payload[:len(payload)-4], payload[len(payload)-4:]
+	want := binary.LittleEndian.Uint32(trailer)
+	if got := crc32.Checksum(body, crcTable); got != want {
+		return nil, fmt.Errorf("tier: payload CRC mismatch: got %08x want %08x", got, want)
+	}
+	d := &decoder{buf: body, off: 8}
+	rows32, err := d.u32()
+	if err != nil {
+		return nil, err
+	}
+	ncols32, err := d.u32()
+	if err != nil {
+		return nil, err
+	}
+	rows, ncols := int(rows32), int(ncols32)
+	if ncols > 4096 {
+		return nil, fmt.Errorf("tier: implausible column count %d", ncols)
+	}
+	cb := &storage.ColdBlock{
+		Rows:       rows,
+		Kinds:      make([]storage.ColdColKind, ncols),
+		Fixed:      make([][]byte, ncols),
+		Validity:   make([]util.Bitmap, ncols),
+		Var:        make([]*storage.FrozenVarlen, ncols),
+		Dict:       make([]*storage.FrozenDict, ncols),
+		NullCounts: make([]int, ncols),
+		Widths:     make([]int, ncols),
+	}
+	for c := 0; c < ncols; c++ {
+		kind, err := d.u8()
+		if err != nil {
+			return nil, err
+		}
+		width, err := d.u32()
+		if err != nil {
+			return nil, err
+		}
+		nulls, err := d.u32()
+		if err != nil {
+			return nil, err
+		}
+		valid, err := d.bytes()
+		if err != nil {
+			return nil, err
+		}
+		cb.NullCounts[c] = int(nulls)
+		cb.Widths[c] = int(width)
+		if len(valid) > 0 {
+			cb.Validity[c] = util.Bitmap(valid)
+		}
+		switch kind {
+		case 0:
+			cb.Kinds[c] = storage.ColdFixed
+			if cb.Fixed[c], err = d.bytes(); err != nil {
+				return nil, err
+			}
+			if len(cb.Fixed[c]) < rows*int(width) {
+				return nil, fmt.Errorf("tier: column %d fixed data short: %d < %d", c, len(cb.Fixed[c]), rows*int(width))
+			}
+		case 1:
+			cb.Kinds[c] = storage.ColdVarlen
+			fv := &storage.FrozenVarlen{}
+			if fv.Offsets, err = d.bytes(); err != nil {
+				return nil, err
+			}
+			if fv.Values, err = d.bytes(); err != nil {
+				return nil, err
+			}
+			if len(fv.Offsets) < (rows+1)*4 {
+				return nil, fmt.Errorf("tier: column %d offsets short", c)
+			}
+			cb.Var[c] = fv
+		case 2:
+			cb.Kinds[c] = storage.ColdDict
+			fd := &storage.FrozenDict{}
+			if fd.Codes, err = d.bytes(); err != nil {
+				return nil, err
+			}
+			if fd.DictOffsets, err = d.bytes(); err != nil {
+				return nil, err
+			}
+			if fd.DictValues, err = d.bytes(); err != nil {
+				return nil, err
+			}
+			entries, err := d.u32()
+			if err != nil {
+				return nil, err
+			}
+			fd.NumEntries = int(entries)
+			if len(fd.Codes) < rows*4 || len(fd.DictOffsets) < (fd.NumEntries+1)*4 {
+				return nil, fmt.Errorf("tier: column %d dictionary buffers short", c)
+			}
+			cb.Dict[c] = fd
+		default:
+			return nil, fmt.Errorf("tier: unknown column kind %d", kind)
+		}
+	}
+	if d.off != len(body) {
+		return nil, fmt.Errorf("tier: %d trailing payload bytes", len(body)-d.off)
+	}
+	return cb, nil
+}
+
+// Size estimates the RAM footprint of a decoded cold block for cache
+// accounting.
+func Size(cb *storage.ColdBlock) int64 {
+	var n int64
+	for c := range cb.Kinds {
+		n += int64(len(cb.Validity[c]))
+		n += int64(len(cb.Fixed[c]))
+		if fv := cb.Var[c]; fv != nil {
+			n += int64(len(fv.Offsets) + len(fv.Values))
+		}
+		if fd := cb.Dict[c]; fd != nil {
+			n += int64(len(fd.Codes) + len(fd.DictOffsets) + len(fd.DictValues))
+		}
+	}
+	return n
+}

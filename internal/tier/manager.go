@@ -1,0 +1,256 @@
+package tier
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+
+	"mainline/internal/objstore"
+	"mainline/internal/storage"
+)
+
+// Manager owns the cold tier: it evicts long-frozen blocks to the
+// object store, serves cold reads through the cache, and re-installs
+// buffers when a writer needs to thaw an evicted block. One Manager per
+// engine, shared by every table.
+type Manager struct {
+	store objstore.Store
+	cache *Cache
+	// deferFn schedules a function to run once every transaction alive
+	// now has finished — the engine wires the GC's deferred-action
+	// epoch here so dropped buffers outlive straggler readers.
+	deferFn func(func())
+	// evictAfter is how many sweeps a block must stay Frozen+Resident
+	// before the sweeper demotes it.
+	evictAfter uint32
+
+	evictions     atomic.Int64
+	rethaws       atomic.Int64
+	fetches       atomic.Int64
+	bytesUploaded atomic.Int64
+	bytesFetched  atomic.Int64
+}
+
+// NewManager builds a cold-tier manager over store with the given cache
+// byte budget. deferFn defers buffer release past concurrent readers
+// (pass a direct call for tests that guarantee quiescence); evictAfter
+// is the sweep-age threshold for background demotion.
+func NewManager(store objstore.Store, cacheBudget int64, evictAfter int, deferFn func(func())) *Manager {
+	if deferFn == nil {
+		deferFn = func(fn func()) { fn() }
+	}
+	if evictAfter < 1 {
+		evictAfter = 1
+	}
+	return &Manager{
+		store:      store,
+		cache:      NewCache(cacheBudget),
+		deferFn:    deferFn,
+		evictAfter: uint32(evictAfter),
+	}
+}
+
+// Store returns the underlying object store.
+func (m *Manager) Store() objstore.Store { return m.store }
+
+// Cache returns the block cache (stats and tests).
+func (m *Manager) Cache() *Cache { return m.cache }
+
+// Counters is a snapshot of the manager's lifetime counters.
+type Counters struct {
+	Evictions     int64
+	Rethaws       int64
+	Fetches       int64
+	CacheHits     int64
+	CacheMisses   int64
+	CacheEvicts   int64
+	CacheBytes    int64
+	BytesUploaded int64
+	BytesFetched  int64
+}
+
+// Snapshot returns the current counters.
+func (m *Manager) Snapshot() Counters {
+	return Counters{
+		Evictions:     m.evictions.Load(),
+		Rethaws:       m.rethaws.Load(),
+		Fetches:       m.fetches.Load(),
+		CacheHits:     m.cache.Hits(),
+		CacheMisses:   m.cache.Misses(),
+		CacheEvicts:   m.cache.Evictions(),
+		CacheBytes:    m.cache.Bytes(),
+		BytesUploaded: m.bytesUploaded.Load(),
+		BytesFetched:  m.bytesFetched.Load(),
+	}
+}
+
+// BlockKey derives the content-addressed object key for a payload.
+func BlockKey(payload []byte) string {
+	sum := sha256.Sum256(payload)
+	return "blk/" + hex.EncodeToString(sum[:])
+}
+
+// EvictBlock demotes one frozen, resident block to the object store and
+// schedules its in-RAM buffers for release. Reports whether the block
+// was evicted; a block that is not Frozen+Resident, still carries
+// version chains, or loses the Freezing race is skipped without error.
+//
+// Protocol: CAS Frozen->Freezing claims the same exclusive section the
+// gather phase uses (writers wait in MarkHot, new in-place readers
+// bounce), readers are drained, the payload is encoded and uploaded
+// under its content hash, then — in this order — the cold ref is
+// recorded, residency flips to Evicted, and the state is restored to
+// Frozen. Readers check residency only after BeginInPlaceRead succeeds,
+// so by the time any reader can observe Frozen again the Evicted flag
+// is already visible. Buffers are dropped via deferFn because hot-path
+// readers that bounced off Freezing fall back to version-chain reads
+// that may still hold slices into the buffer.
+func (m *Manager) EvictBlock(b *storage.Block) (bool, error) {
+	if b.State() != storage.StateFrozen || !b.Resident() {
+		return false, nil
+	}
+	if !b.CASState(storage.StateFrozen, storage.StateFreezing) {
+		return false, nil
+	}
+	restore := func() { b.SetState(storage.StateFrozen) }
+	if !b.Resident() || b.HasActiveVersions() {
+		restore()
+		return false, nil
+	}
+	for b.InPlaceReaders() > 0 {
+		runtime.Gosched()
+	}
+	payload, err := Encode(b)
+	if err != nil {
+		restore()
+		return false, err
+	}
+	key := BlockKey(payload)
+	if _, err := m.store.PutIfAbsent(key, payload); err != nil {
+		restore()
+		return false, fmt.Errorf("tier: uploading %s: %w", key, err)
+	}
+	m.bytesUploaded.Add(int64(len(payload)))
+	b.SetColdRef(&storage.ColdRef{Key: key, Size: int64(len(payload))})
+	b.SetResidency(storage.ResidencyEvicted)
+	restore()
+	m.evictions.Add(1)
+	// The drop claims the Rethawing residency slot as a mutex: it cannot
+	// interleave with a writer's re-thaw install, and if a re-thaw already
+	// won (residency no longer Evicted by the time the GC epoch fires —
+	// the block may even be hot again), the drop becomes a no-op and the
+	// superseded buffers are left to the runtime GC.
+	m.deferFn(func() {
+		if b.CASResidency(storage.ResidencyEvicted, storage.ResidencyRethawing) {
+			b.DropColdBuffers()
+			b.SetResidency(storage.ResidencyEvicted)
+		}
+	})
+	return true, nil
+}
+
+// SweepBlocks ages every frozen resident block and evicts those whose
+// sweep age crosses the threshold. force evicts regardless of age.
+// Returns how many blocks were evicted; the first eviction error aborts
+// the sweep (the store is likely unreachable — retry next sweep).
+func (m *Manager) SweepBlocks(blocks []*storage.Block, force bool) (int, error) {
+	evicted := 0
+	for _, b := range blocks {
+		if b.State() != storage.StateFrozen || !b.Resident() {
+			continue
+		}
+		if !force && b.BumpSweepAge() < m.evictAfter {
+			continue
+		}
+		ok, err := m.EvictBlock(b)
+		if err != nil {
+			return evicted, err
+		}
+		if ok {
+			evicted++
+		}
+	}
+	return evicted, nil
+}
+
+// Fetch returns the decoded cold payload of an evicted block, through
+// the cache. The content-addressed key makes cached entries immune to
+// staleness: a block that re-freezes with different content gets a new
+// key at its next eviction.
+func (m *Manager) Fetch(b *storage.Block) (*storage.ColdBlock, error) {
+	ref := b.ColdKey()
+	if ref == nil {
+		return nil, fmt.Errorf("tier: block %d has no cold ref", b.ID)
+	}
+	return m.cache.GetOrFetch(ref.Key, func() (*storage.ColdBlock, error) {
+		data, err := m.store.Get(ref.Key)
+		if err != nil {
+			return nil, fmt.Errorf("tier: fetching %s: %w", ref.Key, err)
+		}
+		m.fetches.Add(1)
+		m.bytesFetched.Add(int64(len(data)))
+		return Decode(data)
+	})
+}
+
+// Rethaw re-installs an evicted block's buffers from the store so a
+// writer can thaw it. The caller must hold the Rethawing residency
+// state (won by CAS from Evicted) and flips it to Resident on success
+// or back to Evicted on error; Rethaw itself only rebuilds RAM state.
+// The block stays Frozen throughout — concurrent readers keep taking
+// the cold path until residency flips.
+func (m *Manager) Rethaw(b *storage.Block) error {
+	cb, err := m.Fetch(b)
+	if err != nil {
+		return err
+	}
+	rows := b.FrozenRows()
+	if cb.Rows != rows {
+		return fmt.Errorf("tier: cold payload rows %d != frozen rows %d", cb.Rows, rows)
+	}
+	layout := b.Layout
+	if len(cb.Kinds) != layout.NumColumns() {
+		return fmt.Errorf("tier: cold payload has %d columns, layout %d", len(cb.Kinds), layout.NumColumns())
+	}
+	b.AttachBuffer(make([]byte, storage.BlockSize))
+	for c := 0; c < layout.NumColumns(); c++ {
+		col := storage.ColumnID(c)
+		switch cb.Kinds[c] {
+		case storage.ColdFixed:
+			b.RestoreFixedData(col, cb.Fixed[c][:rows*layout.AttrSize(col)])
+		case storage.ColdVarlen:
+			fv := cb.Var[c]
+			b.SetFrozenVarlenAlias(col, fv)
+			b.SetFrozenDict(col, nil)
+			for s := 0; s < rows; s++ {
+				if !b.IsValid(col, uint32(s)) {
+					continue
+				}
+				off := binary.LittleEndian.Uint32(fv.Offsets[s*4:])
+				end := binary.LittleEndian.Uint32(fv.Offsets[(s+1)*4:])
+				b.RewriteVarlenEntry(col, uint32(s), fv.Values[off:end:end], int(off))
+			}
+		case storage.ColdDict:
+			d := cb.Dict[c]
+			b.SetFrozenDict(col, d)
+			b.SetFrozenVarlenAlias(col, &storage.FrozenVarlen{Values: d.DictValues})
+			for s := 0; s < rows; s++ {
+				if !b.IsValid(col, uint32(s)) {
+					continue
+				}
+				code := int(d.CodeAt(s))
+				off := binary.LittleEndian.Uint32(d.DictOffsets[code*4:])
+				b.RewriteVarlenEntry(col, uint32(s), d.Value(code), int(off))
+			}
+		}
+		// The serialized validity region is rebuilt from the atomic
+		// bitmaps, which stay in RAM across eviction and cannot have
+		// changed while the block was frozen.
+		b.WriteFrozenValidity(col, rows)
+	}
+	m.rethaws.Add(1)
+	return nil
+}

@@ -1,0 +1,375 @@
+package tier_test
+
+// Unit tests for the cold-tier codec and block cache: encode/decode
+// roundtrips over real frozen blocks (plain gather and dictionary,
+// with nulls), corruption detection at every truncation point plus
+// bit-flips and structural damage, and the cache's budget semantics
+// (zero retention, tiny LRU, unlimited) with single-flight fetch.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"mainline/internal/core"
+	"mainline/internal/gc"
+	"mainline/internal/storage"
+	"mainline/internal/tier"
+	"mainline/internal/transform"
+	"mainline/internal/txn"
+	"mainline/internal/util"
+)
+
+// frozenBlock builds a real table with fixed + varlen columns, inserts
+// rows (every third varlen NULL), seals, prunes, and freezes the first
+// block in the given mode, leaving it in the Freezing state ready for
+// tier.Encode.
+func frozenBlock(t *testing.T, mode transform.Mode, rows int64) *storage.Block {
+	t.Helper()
+	reg := storage.NewRegistry()
+	layout, err := storage.NewBlockLayout([]storage.AttrDef{storage.FixedAttr(8), storage.VarlenAttr()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := txn.NewManager(reg)
+	table := core.NewDataTable(reg, layout, 1, "tier-test")
+
+	tx := m.Begin()
+	row := table.AllColumnsProjection().NewRow()
+	for id := int64(0); id < rows; id++ {
+		row.Reset()
+		row.SetInt64(0, id)
+		if id%3 == 0 {
+			row.SetNull(1)
+		} else {
+			// Repetitive values so dictionary mode builds a small dict.
+			row.SetVarlen(1, []byte(fmt.Sprintf("val-%03d", id%7)))
+		}
+		if _, err := table.Insert(tx, row); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m.Commit(tx, nil)
+
+	g := gc.New(m)
+	for i := 0; i < 3; i++ {
+		g.RunOnce()
+	}
+	b := table.Blocks()[0]
+	if b.HasActiveVersions() {
+		t.Fatal("chains not pruned; cannot freeze")
+	}
+	b.SetState(storage.StateFreezing)
+	if err := transform.GatherBlock(b, mode); err != nil {
+		t.Fatal(err)
+	}
+	// GatherBlock ends in Frozen; Encode requires the Freezing exclusive
+	// section, same as the evictor's CAS.
+	if !b.CASState(storage.StateFrozen, storage.StateFreezing) {
+		t.Fatal("block not frozen after gather")
+	}
+	return b
+}
+
+func encode(t *testing.T, b *storage.Block) []byte {
+	t.Helper()
+	payload, err := tier.Encode(b)
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	return payload
+}
+
+func TestCodecRoundTripGather(t *testing.T) {
+	b := frozenBlock(t, transform.ModeGather, 100)
+	payload := encode(t, b)
+	cb, err := tier.Decode(payload)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if cb.Rows != b.FrozenRows() {
+		t.Fatalf("rows %d, want %d", cb.Rows, b.FrozenRows())
+	}
+	if cb.Kinds[0] != storage.ColdFixed || cb.Kinds[1] != storage.ColdVarlen {
+		t.Fatalf("kinds = %v", cb.Kinds)
+	}
+	if string(cb.Fixed[0]) != string(b.FrozenFixedData(0)) {
+		t.Fatal("fixed column bytes differ")
+	}
+	if cb.NullCounts[1] != b.NullCount(1) || cb.NullCounts[1] == 0 {
+		t.Fatalf("null count %d, want %d (nonzero)", cb.NullCounts[1], b.NullCount(1))
+	}
+	if string(cb.Validity[1]) != string(b.FrozenValidity(1)) {
+		t.Fatal("validity bitmap differs")
+	}
+	fv, want := cb.Var[1], b.FrozenVarlenCol(1)
+	if fv == nil || want == nil {
+		t.Fatal("missing varlen buffers")
+	}
+	if string(fv.Offsets) != string(want.Offsets) || string(fv.Values) != string(want.Values) {
+		t.Fatal("varlen buffers differ")
+	}
+}
+
+func TestCodecRoundTripDictionary(t *testing.T) {
+	b := frozenBlock(t, transform.ModeDictionary, 100)
+	payload := encode(t, b)
+	cb, err := tier.Decode(payload)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if cb.Kinds[1] != storage.ColdDict {
+		t.Fatalf("column 1 kind = %v, want dict", cb.Kinds[1])
+	}
+	fd, want := cb.Dict[1], b.FrozenDictCol(1)
+	if fd == nil || want == nil {
+		t.Fatal("missing dictionary buffers")
+	}
+	if fd.NumEntries != want.NumEntries || fd.NumEntries == 0 {
+		t.Fatalf("dict entries %d, want %d (nonzero)", fd.NumEntries, want.NumEntries)
+	}
+	if string(fd.Codes) != string(want.Codes) ||
+		string(fd.DictOffsets) != string(want.DictOffsets) ||
+		string(fd.DictValues) != string(want.DictValues) {
+		t.Fatal("dictionary buffers differ")
+	}
+}
+
+// TestCodecTruncationEveryByte: every proper prefix of a valid payload
+// must fail to decode — cleanly, never panicking.
+func TestCodecTruncationEveryByte(t *testing.T) {
+	payload := encode(t, frozenBlock(t, transform.ModeDictionary, 50))
+	for cut := 0; cut < len(payload); cut++ {
+		if _, err := tier.Decode(payload[:cut]); err == nil {
+			t.Fatalf("truncation at %d/%d decoded successfully", cut, len(payload))
+		}
+	}
+}
+
+func TestCodecBitFlips(t *testing.T) {
+	payload := encode(t, frozenBlock(t, transform.ModeGather, 50))
+	// Flip one bit at a spread of offsets covering header, body, and CRC.
+	for off := 0; off < len(payload); off += 37 {
+		mut := append([]byte(nil), payload...)
+		mut[off] ^= 0x40
+		if _, err := tier.Decode(mut); err == nil {
+			t.Fatalf("bit flip at offset %d went undetected", off)
+		}
+	}
+	// Trailing garbage after the CRC is also detected.
+	if _, err := tier.Decode(append(append([]byte(nil), payload...), 0xAA)); err == nil {
+		t.Fatal("trailing byte went undetected")
+	}
+}
+
+// reseal recomputes the trailer CRC after structural mutation, so Decode
+// exercises its semantic checks rather than the checksum.
+func reseal(payload []byte) []byte {
+	body := payload[: len(payload)-4 : len(payload)-4]
+	crc := crc32.Checksum(body, crc32.MakeTable(crc32.Castagnoli))
+	return binary.LittleEndian.AppendUint32(body, crc)
+}
+
+func TestCodecStructuralDamage(t *testing.T) {
+	payload := encode(t, frozenBlock(t, transform.ModeGather, 50))
+
+	// Bad magic.
+	mut := append([]byte(nil), payload...)
+	mut[0] = 'X'
+	if _, err := tier.Decode(reseal(mut)); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	// Unknown column kind (first column's kind byte sits right after the
+	// 8-byte magic + rows u32 + ncols u32 header).
+	mut = append([]byte(nil), payload...)
+	mut[16] = 9
+	if _, err := tier.Decode(reseal(mut)); err == nil {
+		t.Fatal("unknown column kind accepted")
+	}
+	// Implausible column count.
+	mut = append([]byte(nil), payload...)
+	binary.LittleEndian.PutUint32(mut[12:], 1<<20)
+	if _, err := tier.Decode(reseal(mut)); err == nil {
+		t.Fatal("implausible column count accepted")
+	}
+	// Row count inflated past the fixed column's data length.
+	mut = append([]byte(nil), payload...)
+	binary.LittleEndian.PutUint32(mut[8:], 1<<20)
+	if _, err := tier.Decode(reseal(mut)); err == nil {
+		t.Fatal("inflated row count accepted")
+	}
+}
+
+// --- cache ---
+
+// mkCold builds a synthetic cold block whose tier.Size is exactly n.
+func mkCold(n int) *storage.ColdBlock {
+	return &storage.ColdBlock{
+		Rows:       1,
+		Kinds:      []storage.ColdColKind{storage.ColdFixed},
+		Fixed:      [][]byte{make([]byte, n)},
+		Validity:   make([]util.Bitmap, 1),
+		Var:        make([]*storage.FrozenVarlen, 1),
+		Dict:       make([]*storage.FrozenDict, 1),
+		NullCounts: []int{0},
+		Widths:     []int{n},
+	}
+}
+
+func fetchOf(cb *storage.ColdBlock, calls *atomic.Int64) func() (*storage.ColdBlock, error) {
+	return func() (*storage.ColdBlock, error) {
+		calls.Add(1)
+		return cb, nil
+	}
+}
+
+func TestCacheUnlimited(t *testing.T) {
+	c := tier.NewCache(-1)
+	var calls atomic.Int64
+	for i := 0; i < 3; i++ {
+		if _, err := c.GetOrFetch("k", fetchOf(mkCold(100), &calls)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("fetch ran %d times, want 1", calls.Load())
+	}
+	if c.Hits() != 2 || c.Misses() != 1 || c.Evictions() != 0 {
+		t.Fatalf("hits %d misses %d evictions %d", c.Hits(), c.Misses(), c.Evictions())
+	}
+	if c.Bytes() != 100 {
+		t.Fatalf("bytes %d, want 100", c.Bytes())
+	}
+}
+
+func TestCacheZeroRetention(t *testing.T) {
+	c := tier.NewCache(0)
+	var calls atomic.Int64
+	for i := 0; i < 3; i++ {
+		if _, err := c.GetOrFetch("k", fetchOf(mkCold(100), &calls)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if calls.Load() != 3 {
+		t.Fatalf("fetch ran %d times, want 3 (no retention)", calls.Load())
+	}
+	if c.Bytes() != 0 {
+		t.Fatalf("bytes %d, want 0", c.Bytes())
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := tier.NewCache(250)
+	var calls atomic.Int64
+	get := func(key string) {
+		t.Helper()
+		if _, err := c.GetOrFetch(key, fetchOf(mkCold(100), &calls)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	get("a")
+	get("b")
+	get("a") // touch a: b is now least-recently-used
+	get("c") // 300 bytes > 250: evicts b
+	if c.Evictions() != 1 {
+		t.Fatalf("evictions %d, want 1", c.Evictions())
+	}
+	if c.Bytes() != 200 {
+		t.Fatalf("bytes %d, want 200", c.Bytes())
+	}
+	calls.Store(0)
+	get("a")
+	get("c")
+	if calls.Load() != 0 {
+		t.Fatal("a or c evicted; LRU order wrong")
+	}
+	get("b")
+	if calls.Load() != 1 {
+		t.Fatal("b should have been the evicted entry")
+	}
+}
+
+// TestCacheOversizedNewest: a block larger than the whole budget is
+// still retained alone — otherwise every scan of it double-fetches.
+func TestCacheOversizedNewest(t *testing.T) {
+	c := tier.NewCache(10)
+	var calls atomic.Int64
+	for i := 0; i < 2; i++ {
+		if _, err := c.GetOrFetch("big", fetchOf(mkCold(100), &calls)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("oversized block fetched %d times, want 1", calls.Load())
+	}
+	// A second oversized block displaces the first.
+	if _, err := c.GetOrFetch("big2", fetchOf(mkCold(100), &calls)); err != nil {
+		t.Fatal(err)
+	}
+	if c.Bytes() != 100 {
+		t.Fatalf("bytes %d, want exactly one oversized resident", c.Bytes())
+	}
+}
+
+func TestCacheSingleFlight(t *testing.T) {
+	c := tier.NewCache(-1)
+	var calls atomic.Int64
+	release := make(chan struct{})
+	cb := mkCold(64)
+	fetch := func() (*storage.ColdBlock, error) {
+		calls.Add(1)
+		<-release
+		return cb, nil
+	}
+	const workers = 8
+	var wg sync.WaitGroup
+	results := make([]*storage.ColdBlock, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			got, err := c.GetOrFetch("k", fetch)
+			if err != nil {
+				t.Error(err)
+			}
+			results[w] = got
+		}(w)
+	}
+	// Let the racers pile onto the flight, then release the one fetch.
+	for calls.Load() == 0 {
+	}
+	close(release)
+	wg.Wait()
+	if calls.Load() != 1 {
+		t.Fatalf("fetch ran %d times under %d racers", calls.Load(), workers)
+	}
+	for w, got := range results {
+		if got != cb {
+			t.Fatalf("worker %d got a different block", w)
+		}
+	}
+	if c.Misses() != 1 || c.Hits() != workers-1 {
+		t.Fatalf("misses %d hits %d, want 1 and %d", c.Misses(), c.Hits(), workers-1)
+	}
+}
+
+func TestCacheDrop(t *testing.T) {
+	c := tier.NewCache(-1)
+	var calls atomic.Int64
+	if _, err := c.GetOrFetch("k", fetchOf(mkCold(50), &calls)); err != nil {
+		t.Fatal(err)
+	}
+	c.Drop("k")
+	if c.Bytes() != 0 {
+		t.Fatalf("bytes %d after Drop", c.Bytes())
+	}
+	if _, err := c.GetOrFetch("k", fetchOf(mkCold(50), &calls)); err != nil {
+		t.Fatal(err)
+	}
+	if calls.Load() != 2 {
+		t.Fatalf("fetch ran %d times, want 2 after Drop", calls.Load())
+	}
+}

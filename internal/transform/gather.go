@@ -92,36 +92,47 @@ func GatherBlock(block *storage.Block, mode Mode) error {
 }
 
 // gatherContiguous builds the offsets+values pair for one varlen column and
-// rewrites the column's entries to point into it. The values buffer is
-// fully allocated and published before any entry is rewritten, so a reader
-// that observes a rewritten entry always resolves through valid memory.
+// rewrites the column's entries to point into it. Every value is snapshotted
+// through the column's CURRENT resolution (inline, arena, or previous frozen
+// epoch) before anything is republished: on a re-freeze — a block that was
+// frozen, possibly evicted and re-thawed, then thawed and modified — the
+// unmodified entries are frozen handles, and resolving them after the alias
+// swap would read the not-yet-filled replacement buffer. The new buffer is
+// filled completely before the alias is published and any entry rewritten,
+// so a concurrent reader resolving either entry epoch sees finished bytes.
 func gatherContiguous(block *storage.Block, col storage.ColumnID, rows int) (*storage.FrozenVarlen, error) {
+	vals := make([][]byte, rows)
 	total := 0
 	for s := uint32(0); s < uint32(rows); s++ {
 		if block.IsValid(col, s) {
-			total += len(block.ReadVarlen(col, s))
+			vals[s] = block.ReadVarlen(col, s)
+			total += len(vals[s])
 		}
 	}
 	values := make([]byte, util.Align8(total))
 	offsets := make([]byte, 0, util.Align8((rows+1)*4))
-	fv := &storage.FrozenVarlen{Values: values}
-	block.SetFrozenVarlenAlias(col, fv)
-
+	offs := make([]int, rows)
 	off := 0
-	for s := uint32(0); s < uint32(rows); s++ {
+	for s := 0; s < rows; s++ {
 		offsets = binary.LittleEndian.AppendUint32(offsets, uint32(off))
-		if !block.IsValid(col, s) {
+		offs[s] = off
+		if !block.IsValid(col, uint32(s)) {
 			continue
 		}
-		v := block.ReadVarlen(col, s)
-		n := copy(values[off:], v)
-		// Rewrite after the copy so the entry's prefix/inline bytes come
-		// from the new, stable buffer.
-		block.RewriteVarlenEntry(col, s, values[off:off+n:off+n], off)
-		off += n
+		off += copy(values[off:], vals[s])
 	}
 	offsets = binary.LittleEndian.AppendUint32(offsets, uint32(off))
-	fv.Offsets = pad8(offsets)
+	fv := &storage.FrozenVarlen{Values: values, Offsets: pad8(offsets)}
+	block.SetFrozenVarlenAlias(col, fv)
+	for s := 0; s < rows; s++ {
+		if !block.IsValid(col, uint32(s)) {
+			continue
+		}
+		// Rewrite against the new, stable buffer so the entry's
+		// prefix/inline bytes alias immutable frozen memory.
+		n := len(vals[s])
+		block.RewriteVarlenEntry(col, uint32(s), values[offs[s]:offs[s]+n:offs[s]+n], offs[s])
+	}
 	return fv, nil
 }
 
@@ -130,11 +141,16 @@ func gatherContiguous(block *storage.Block, col storage.ColumnID, rows int) (*st
 // codes and rewrite entries against dictionary storage. It returns the
 // values-buffer alias installed for frozen-handle resolution.
 func gatherDictionary(block *storage.Block, col storage.ColumnID, rows int) (*storage.FrozenVarlen, error) {
-	// Scan 1: sorted set of distinct values.
+	// Scan 1: sorted set of distinct values, snapshotted through the
+	// column's CURRENT resolution — scan 2 must not re-resolve entries
+	// after the alias swap below, since on a re-freeze the old entries are
+	// frozen handles whose offsets address the previous epoch's buffer.
+	vals := make([][]byte, rows)
 	set := make(map[string]struct{}, rows)
 	for s := uint32(0); s < uint32(rows); s++ {
 		if block.IsValid(col, s) {
-			set[string(block.ReadVarlen(col, s))] = struct{}{}
+			vals[s] = block.ReadVarlen(col, s)
+			set[string(vals[s])] = struct{}{}
 		}
 	}
 	words := make([]string, 0, len(set))
@@ -173,7 +189,7 @@ func gatherDictionary(block *storage.Block, col storage.ColumnID, rows int) (*st
 			codes = binary.LittleEndian.AppendUint32(codes, 0)
 			continue
 		}
-		w := string(block.ReadVarlen(col, s))
+		w := string(vals[s])
 		code, ok := codeOf[w]
 		if !ok {
 			return nil, fmt.Errorf("transform: value appeared during dictionary build")

@@ -33,7 +33,9 @@ import (
 
 	"mainline"
 	"mainline/internal/checkpoint"
+	"mainline/internal/checkpoint/manifestlog"
 	"mainline/internal/fault"
+	"mainline/internal/objstore"
 )
 
 // Scenario names one fault schedule.
@@ -54,10 +56,23 @@ const (
 	// (Admin().SimulateCrash in-process; the CLI variant is killed for
 	// real by CI).
 	SIGKILL Scenario = "sigkill"
+	// ObjStore attaches a cold tier whose object store fails and stalls on
+	// a seeded schedule (Get EIO, Put ENOSPC, ReadRange stalls) while an
+	// evictor and a cold reader race the committers and the checkpointer.
+	// Beyond the two standard promises, verification proves that every
+	// chunk referenced by an installed manifest version exists in the
+	// store with its recorded size and CRC — a half-uploaded object is
+	// never referenced.
+	ObjStore Scenario = "objstore"
 )
 
 // Scenarios lists every scenario, in CI order.
-func Scenarios() []Scenario { return []Scenario{FsyncFail, ENOSPC, TornWrite, SIGKILL} }
+func Scenarios() []Scenario {
+	return []Scenario{FsyncFail, ENOSPC, TornWrite, SIGKILL, ObjStore}
+}
+
+// coldDir is the object store's location inside a chaos data directory.
+func coldDir(dir string) string { return filepath.Join(dir, "cold") }
 
 // Config parameterizes one torture run.
 type Config struct {
@@ -106,6 +121,7 @@ type Result struct {
 	Refused        int  // commits failed or refused — never acked
 	CheckpointErrs int  // background checkpoint attempts that aborted
 	FaultsFired    int  // injected faults that actually fired
+	Evictions      int  // blocks demoted to the object store (ObjStore)
 	Degraded       bool // engine ended degraded
 
 	// Verification.
@@ -120,9 +136,9 @@ func (r *Result) Ok() bool { return r.Lost == 0 && r.Torn == 0 }
 
 // String renders the one-line summary the CLI prints.
 func (r *Result) String() string {
-	return fmt.Sprintf("chaos %-10s seed=%d acked=%d refused=%d ckpt_errs=%d faults=%d degraded=%v recovered=%d lost=%d torn=%d extra=%d",
+	return fmt.Sprintf("chaos %-10s seed=%d acked=%d refused=%d ckpt_errs=%d faults=%d evictions=%d degraded=%v recovered=%d lost=%d torn=%d extra=%d",
 		r.Scenario, r.Seed, r.Acked, r.Refused, r.CheckpointErrs, r.FaultsFired,
-		r.Degraded, r.Recovered, r.Lost, r.Torn, r.Extra)
+		r.Evictions, r.Degraded, r.Recovered, r.Lost, r.Torn, r.Extra)
 }
 
 var crcTable = crc32.MakeTable(crc32.Castagnoli)
@@ -218,9 +234,24 @@ func arm(inj *fault.Injector, s Scenario, rng *rand.Rand) {
 			Op: fault.OpWrite, Path: checkpoint.ManifestName,
 			Skip: rng.Intn(2), Count: 2, Err: syscall.ENOSPC,
 		})
-	case SIGKILL:
-		// No filesystem faults: the crash itself is the fault.
+	case SIGKILL, ObjStore:
+		// No filesystem faults: the crash (and, for ObjStore, the store's
+		// own fault schedule) is the fault.
 	}
+}
+
+// armStore installs the object-store fault schedule: transient Get
+// failures (fail-then-succeed), ENOSPC on uploads, and a stalled read.
+func armStore(fs *objstore.FaultStore, rng *rand.Rand) {
+	fs.AddRule(objstore.Rule{
+		Op: objstore.OpGet, Skip: rng.Intn(4), Count: 2, Err: syscall.EIO,
+	})
+	fs.AddRule(objstore.Rule{
+		Op: objstore.OpPut, Skip: 1 + rng.Intn(6), Count: 2, Err: syscall.ENOSPC,
+	})
+	fs.AddRule(objstore.Rule{
+		Op: objstore.OpReadRange, Count: 3, Stall: 2 * time.Millisecond,
+	})
 }
 
 // Run executes one torture run: workload + faults + crash, then reopen
@@ -234,11 +265,26 @@ func Run(cfg Config) (*Result, error) {
 	inj := fault.NewInjector(fault.OS{}, cfg.Seed)
 	arm(inj, cfg.Scenario, rng)
 
-	eng, err := mainline.Open(
+	opts := []mainline.Option{
 		mainline.WithDataDir(cfg.Dir),
 		mainline.WithFaultFS(inj),
-		mainline.WithWALSegmentSize(16<<10),
-	)
+		mainline.WithWALSegmentSize(16 << 10),
+	}
+	var fstore *objstore.FaultStore
+	if cfg.Scenario == ObjStore {
+		inner, serr := objstore.NewFSStore(coldDir(cfg.Dir), nil)
+		if serr != nil {
+			return nil, fmt.Errorf("chaos: cold store: %w", serr)
+		}
+		fstore = objstore.NewFaultStore(inner)
+		armStore(fstore, rng)
+		opts = append(opts,
+			mainline.WithObjectStoreBackend(fstore),
+			mainline.WithBlockCacheBytes(64<<10), // tiny: constant cache churn
+			mainline.WithTierSweepInterval(time.Hour),
+		)
+	}
+	eng, err := mainline.Open(opts...)
 	if err != nil {
 		return nil, fmt.Errorf("chaos: open: %w", err)
 	}
@@ -272,6 +318,45 @@ func Run(cfg Config) (*Result, error) {
 						ckptErrs.Add(1)
 					}
 				}
+			}
+		}()
+	}
+
+	// ObjStore scenario: an evictor keeps demoting frozen blocks to the
+	// faulty store while a cold reader forces fetches back through it.
+	// Both tolerate refusals — a failed eviction leaves the block
+	// resident, a failed fetch fails the scan; neither may corrupt.
+	tierStop := make(chan struct{})
+	var tierDone sync.WaitGroup
+	if cfg.Scenario == ObjStore {
+		tierDone.Add(2)
+		go func() {
+			defer tierDone.Done()
+			for {
+				select {
+				case <-tierStop:
+					return
+				default:
+				}
+				eng.RunGC()
+				eng.FreezeAll(1)
+				_, _ = eng.Admin().EvictAll()
+				time.Sleep(300 * time.Microsecond)
+			}
+		}()
+		go func() {
+			defer tierDone.Done()
+			for {
+				select {
+				case <-tierStop:
+					return
+				default:
+				}
+				_ = eng.View(func(tx *mainline.Txn) error {
+					return tbl.Scan(tx, []string{"worker"},
+						func(_ mainline.TupleSlot, _ *mainline.Row) bool { return true })
+				})
+				time.Sleep(500 * time.Microsecond)
 			}
 		}()
 	}
@@ -331,11 +416,17 @@ func Run(cfg Config) (*Result, error) {
 	wg.Wait()
 	close(ckptStop)
 	ckptDone.Wait()
+	close(tierStop)
+	tierDone.Wait()
 
 	res.Acked = len(acked.set)
 	res.Refused = int(refused.Load())
 	res.CheckpointErrs = int(ckptErrs.Load())
 	res.FaultsFired = inj.FiredCount()
+	if fstore != nil {
+		res.FaultsFired += fstore.FiredCount()
+		res.Evictions = int(eng.Stats().Tier.Evictions)
+	}
 	degraded, _ := eng.Degraded()
 	res.Degraded = degraded
 
@@ -449,5 +540,37 @@ func verify(dir string, seed int64, acked map[ackKey]struct{}, res *Result) erro
 			res.Torn++
 		}
 	}
+	// With a cold tier, installed manifest versions must reference only
+	// fully uploaded chunks: a version record is appended after its
+	// checkpoint installs, so a crash or a Put fault can orphan objects
+	// but never leave a version pointing at a missing or torn one.
+	manPath := filepath.Join(dir, manifestlog.LogName)
+	if _, serr := os.Stat(manPath); serr == nil {
+		log, lerr := manifestlog.Open(fault.OS{}, manPath)
+		if lerr != nil {
+			res.Torn++
+			return nil
+		}
+		store, oerr := os2store(dir)
+		if oerr != nil {
+			return oerr
+		}
+		for _, v := range log.Versions() {
+			for _, tc := range v.Tables {
+				for _, c := range tc.Chunks {
+					data, gerr := store.Get(c.Key)
+					if gerr != nil || int64(len(data)) != c.Size ||
+						crc32.Checksum(data, crcTable) != c.CRC {
+						res.Torn++
+					}
+				}
+			}
+		}
+	}
 	return nil
+}
+
+// os2store opens the run's cold store fault-free for verification.
+func os2store(dir string) (objstore.Store, error) {
+	return objstore.NewFSStore(coldDir(dir), nil)
 }

@@ -53,6 +53,13 @@ func TestTortureAllScenarios(t *testing.T) {
 					if res.Degraded {
 						t.Fatal("sigkill run reported degraded")
 					}
+				case ObjStore:
+					if res.Degraded {
+						t.Fatal("object-store faults degraded the engine")
+					}
+					if res.FaultsFired == 0 {
+						t.Fatal("no store fault fired")
+					}
 				}
 			})
 		}

@@ -34,6 +34,7 @@ package mainline
 
 import (
 	"fmt"
+	"path/filepath"
 	"sync"
 	"sync/atomic"
 
@@ -44,7 +45,10 @@ import (
 	"mainline/internal/fault"
 	"mainline/internal/gc"
 	"mainline/internal/index"
+	"mainline/internal/checkpoint/manifestlog"
+	"mainline/internal/objstore"
 	"mainline/internal/storage"
+	"mainline/internal/tier"
 	"mainline/internal/transform"
 	"mainline/internal/txn"
 	"mainline/internal/wal"
@@ -139,6 +143,8 @@ type Engine struct {
 	transformer *transform.Transformer
 	logMgr      *wal.LogManager
 	cat         *catalog.Catalog
+	tier        *tier.Manager
+	manifest    *manifestlog.Log
 
 	// walRunning records that the log flush loop was started; durable
 	// commits block on it. When false, durable commits drive the flush
@@ -171,6 +177,11 @@ type Engine struct {
 	ckptDone     chan struct{}
 	ckptStopOnce sync.Once
 
+	// Cold-tier sweeper state (object-store mode, Background).
+	tierStop     chan struct{}
+	tierDone     chan struct{}
+	tierStopOnce sync.Once
+
 	// Checkpoint counters (Stats).
 	ckptTaken         atomic.Int64
 	ckptFailed        atomic.Int64
@@ -189,6 +200,12 @@ type Engine struct {
 
 	// recovery records what Open's bootstrap did; immutable afterwards.
 	recovery RecoveryStats
+
+	// needReanchor is set by the bootstrap when prior state was loaded;
+	// Open takes the re-anchor checkpoint after the cold tier and
+	// manifest log are wired so it commits a version record like every
+	// other checkpoint. Cleared before Open returns.
+	needReanchor bool
 
 	// execCounters accumulates analytical-executor statistics
 	// (Stats().Exec) across every Aggregate/Join on this engine.
@@ -241,6 +258,14 @@ func Open(opts ...Option) (*Engine, error) {
 	switch {
 	case o.DataDir != "" && o.LogPath != "":
 		return nil, fmt.Errorf("mainline: WithDataDir and WithWAL are mutually exclusive")
+	case o.ObjectStoreDir != "" && o.ObjectStore != nil:
+		return nil, fmt.Errorf("mainline: WithObjectStore and WithObjectStoreBackend are mutually exclusive")
+	case (o.BlockCacheBytes != 0 || o.TierSweepInterval != 0 || o.TierEvictAfterSweeps != 0) &&
+		o.ObjectStoreDir == "" && o.ObjectStore == nil:
+		// A cache budget or sweep cadence with nowhere to evict to would be
+		// a silent no-op — same trap as a checkpoint interval without a
+		// data directory.
+		return nil, fmt.Errorf("mainline: block cache and tier sweep options require an object store")
 	case o.CheckpointInterval > 0 && o.DataDir == "":
 		// Without a data directory there is nothing to checkpoint; a
 		// silently ignored interval would leave the user believing their
@@ -268,6 +293,59 @@ func Open(opts ...Option) (*Engine, error) {
 		e.logMgr.SyncDelay = o.LogSyncDelay
 		e.logMgr.Attach(e.mgr)
 	}
+	if o.ObjectStoreDir != "" || o.ObjectStore != nil {
+		store := o.ObjectStore
+		if store == nil {
+			fsStore, err := objstore.NewFSStore(o.ObjectStoreDir, e.fsys)
+			if err != nil {
+				if e.dirLock != nil {
+					e.dirLock()
+				}
+				return nil, err
+			}
+			store = fsStore
+		}
+		budget := o.BlockCacheBytes
+		switch budget {
+		case BlockCacheUnlimited:
+			budget = -1 // the cache treats negative as unbounded
+		case BlockCacheNone:
+			budget = 0 // and zero as no retention
+		}
+		// Buffer drops are deferred through the GC's action epoch so
+		// readers that raced an eviction (and fell back to version-chain
+		// reads holding slices into the buffer) finish first.
+		e.tier = tier.NewManager(store, budget, o.TierEvictAfterSweeps, e.collector.RegisterAction)
+		// Tables restored by the data-directory bootstrap above get the
+		// tier too; their blocks all start resident (eviction state is
+		// in-RAM only), so no cold read can have been attempted yet.
+		for _, t := range e.cat.Tables() {
+			t.DataTable.AttachColdTier(e.tier)
+		}
+		// With a data directory too, checkpoints commit version records
+		// into the manifest log — Engine.AsOf's history source. Open
+		// tolerates (and repairs) a torn or corrupted tail.
+		if o.DataDir != "" {
+			log, err := manifestlog.Open(e.fsys, filepath.Join(o.DataDir, manifestlog.LogName))
+			if err != nil {
+				if e.dirLock != nil {
+					e.dirLock()
+				}
+				return nil, err
+			}
+			e.manifest = log
+		}
+	}
+	// Deferred from bootstrap step 6: with the tier and manifest wired,
+	// the re-anchor checkpoint is tiered too.
+	if e.needReanchor {
+		if err := e.reanchor(); err != nil {
+			if e.dirLock != nil {
+				e.dirLock()
+			}
+			return nil, err
+		}
+	}
 	if e.logMgr != nil {
 		e.obs.wireWAL(e.logMgr)
 		// A WAL flush failure is fail-stop for durability, not for the
@@ -284,6 +362,9 @@ func Open(opts ...Option) (*Engine, error) {
 		if e.logMgr != nil {
 			e.logMgr.Start(o.LogFlushInterval)
 			e.walRunning = true
+		}
+		if e.tier != nil {
+			e.startTierSweeper(o.TierSweepInterval)
 		}
 	}
 	// The checkpointer is independent of the Background loops: a
@@ -303,6 +384,9 @@ func (e *Engine) Close() error {
 	// requested: its Checkpoint calls hold the read side, and a waiting
 	// writer blocks new readers (see stopCheckpointer).
 	e.stopCheckpointer()
+	// The tier sweeper registers deferred buffer drops with the GC, so it
+	// stops before the GC does.
+	e.stopTierSweeper()
 	// The write lock waits out in-flight Commits (which hold the read
 	// side), so no committer can observe the engine open and then find
 	// the flush loop stopped underneath its durability wait.
@@ -350,6 +434,9 @@ func (e *Engine) CreateTable(name string, schema *Schema) (*Table, error) {
 	t, err := e.cat.CreateTable(name, schema)
 	if err != nil {
 		return nil, err
+	}
+	if e.tier != nil {
+		t.DataTable.AttachColdTier(e.tier)
 	}
 	if e.opts.DataDir != "" {
 		// Persist the schema before any transaction can log records

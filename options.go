@@ -4,7 +4,20 @@ import (
 	"time"
 
 	"mainline/internal/fault"
+	"mainline/internal/objstore"
 	"mainline/internal/transform"
+)
+
+// Block-cache budget sentinels for WithBlockCacheBytes. Any positive
+// value is a byte budget; zero (the field's zero value) means the 64MB
+// default.
+const (
+	// BlockCacheUnlimited caches every fetched cold block forever.
+	BlockCacheUnlimited int64 = -1
+	// BlockCacheNone disables retention: every cold read fetches from the
+	// object store (concurrent readers of the same block still share one
+	// in-flight fetch).
+	BlockCacheNone int64 = -2
 )
 
 // Option configures an Engine at Open. Options are applied in order; later
@@ -81,6 +94,29 @@ type Options struct {
 	// harness pass a fault.Injector to produce deterministic fsync
 	// failures, torn writes, and ENOSPC schedules.
 	FaultFS fault.FS
+	// ObjectStoreDir enables the cold tier backed by a local-filesystem
+	// object store rooted at the given directory: long-frozen blocks are
+	// demoted there and served back through the block cache. Mutually
+	// exclusive with ObjectStore.
+	ObjectStoreDir string
+	// ObjectStore enables the cold tier backed by the given store
+	// implementation (tests pass fault-injecting or counting wrappers).
+	// Mutually exclusive with ObjectStoreDir.
+	ObjectStore objstore.Store
+	// BlockCacheBytes is the cold-block cache budget: decoded cold
+	// payloads are retained LRU up to this many bytes. 0 means the 64MB
+	// default; BlockCacheUnlimited and BlockCacheNone are sentinels.
+	// Requires an object store.
+	BlockCacheBytes int64
+	// TierSweepInterval is the background eviction sweep period (default
+	// 100ms; the sweeper only runs with Background). Each sweep ages every
+	// frozen resident block and demotes those frozen for
+	// TierEvictAfterSweeps consecutive sweeps. Requires an object store.
+	TierSweepInterval time.Duration
+	// TierEvictAfterSweeps is how many consecutive sweeps a block must
+	// stay frozen and untouched before the sweeper evicts it (default 2).
+	// Requires an object store.
+	TierEvictAfterSweeps int
 }
 
 // apply makes a legacy Options value usable as an Option: it replaces the
@@ -105,6 +141,19 @@ func (o *Options) defaults() {
 	}
 	if o.SlowOpThreshold == 0 {
 		o.SlowOpThreshold = 100 * time.Millisecond
+	}
+	// Tier defaults are filled only when a store is configured so that a
+	// tier knob set WITHOUT a store stays visible to Open's validation.
+	if o.ObjectStoreDir != "" || o.ObjectStore != nil {
+		if o.BlockCacheBytes == 0 {
+			o.BlockCacheBytes = 64 << 20
+		}
+		if o.TierSweepInterval == 0 {
+			o.TierSweepInterval = 100 * time.Millisecond
+		}
+		if o.TierEvictAfterSweeps == 0 {
+			o.TierEvictAfterSweeps = 2
+		}
 	}
 }
 
@@ -210,6 +259,48 @@ func WithSlowOpThreshold(d time.Duration) Option {
 // the fast path).
 func WithSlowOpLog(fn func(SlowOp)) Option {
 	return optionFunc(func(o *Options) { o.SlowOpLog = fn })
+}
+
+// WithObjectStore enables the cold storage tier backed by a local
+// filesystem object store rooted at dir: the background sweeper (or
+// Admin().EvictAll) demotes long-frozen blocks there, scans and point
+// reads over evicted blocks fall through to the store via the block
+// cache, and writes re-thaw blocks on demand. All store writes go
+// through the engine's fault.FS seam (WithFaultFS), so the chaos
+// harness can inject ENOSPC and torn uploads. Mutually exclusive with
+// WithObjectStoreBackend.
+func WithObjectStore(dir string) Option {
+	return optionFunc(func(o *Options) { o.ObjectStoreDir = dir })
+}
+
+// WithObjectStoreBackend enables the cold storage tier over the given
+// store implementation — the seam tests use to count, fault, or stall
+// object reads (see objstore.FaultStore / objstore.CountingStore).
+// Mutually exclusive with WithObjectStore.
+func WithObjectStoreBackend(store objstore.Store) Option {
+	return optionFunc(func(o *Options) { o.ObjectStore = store })
+}
+
+// WithBlockCacheBytes sets the cold-block cache budget: decoded cold
+// payloads are retained LRU up to n bytes (0 = 64MB default;
+// BlockCacheUnlimited / BlockCacheNone are sentinels). Requires an
+// object store option.
+func WithBlockCacheBytes(n int64) Option {
+	return optionFunc(func(o *Options) { o.BlockCacheBytes = n })
+}
+
+// WithTierSweepInterval sets the background eviction sweep period
+// (default 100ms; runs only with WithBackground — tests drive sweeps
+// with Admin().TierSweep). Requires an object store option.
+func WithTierSweepInterval(d time.Duration) Option {
+	return optionFunc(func(o *Options) { o.TierSweepInterval = d })
+}
+
+// WithTierEvictAfterSweeps sets how many consecutive sweeps a block
+// must stay frozen and untouched before eviction (default 2). Requires
+// an object store option.
+func WithTierEvictAfterSweeps(n int) Option {
+	return optionFunc(func(o *Options) { o.TierEvictAfterSweeps = n })
 }
 
 // WithFaultFS routes every persistence-layer filesystem operation through

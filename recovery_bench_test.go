@@ -50,6 +50,19 @@ func TestRecoverySweepTailBounded(t *testing.T) {
 		if pt.CkptWALBytes >= pt.NoCkptWALBytes {
 			t.Fatalf("checkpointed WAL (%d bytes) not smaller than baseline (%d)", pt.CkptWALBytes, pt.NoCkptWALBytes)
 		}
+		// Cold crash-restart: blocks were evicted to the object store and
+		// the engine crashed without Close, yet the reopen rebuilt every
+		// row from the local checkpoint + WAL tail and replayed only the
+		// bounded tail — recovery never needs the cold tier resident.
+		if pt.EvictedEvictions == 0 {
+			t.Fatalf("cold variant @%d evicted nothing; the scenario never went cold", pt.Txns)
+		}
+		if want := int64((pt.Txns + cfg.TailTxns) * cfg.RowsPerTxn); pt.EvictedRows != want {
+			t.Fatalf("cold crash-restart @%d recovered %d rows, want %d", pt.Txns, pt.EvictedRows, want)
+		}
+		if pt.EvictedTail != cfg.TailTxns {
+			t.Fatalf("cold crash-restart @%d replayed %d txns, want the %d-txn tail", pt.Txns, pt.EvictedTail, cfg.TailTxns)
+		}
 	}
 }
 

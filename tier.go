@@ -1,0 +1,134 @@
+package mainline
+
+import (
+	"time"
+
+	"mainline/internal/tier"
+)
+
+// Engine-level wiring of the cold storage tier (internal/tier): the
+// background eviction sweeper, the administrative eviction surface, and
+// the TierStats snapshot. The tier itself is configured with
+// WithObjectStore / WithObjectStoreBackend.
+
+// TierStats counts cold-tier activity (Enabled false without an object
+// store). Eviction and cache traffic come from the tier manager; the
+// cold-scan counters (blocks served from the store, cold blocks pruned
+// by zone maps without a fetch) live in Stats().Scan.
+type TierStats struct {
+	// Enabled reports whether the engine was opened with an object store.
+	Enabled bool
+	// Evictions counts blocks demoted to the store; Rethaws counts
+	// evicted blocks whose buffers were re-installed for a write.
+	Evictions int64
+	Rethaws   int64
+	// Fetches counts object-store reads of cold payloads (cache misses
+	// that reached the store); CacheHits / CacheMisses / CacheEvictions
+	// count block-cache traffic, and CacheBytes is its current footprint.
+	Fetches        int64
+	CacheHits      int64
+	CacheMisses    int64
+	CacheEvictions int64
+	CacheBytes     int64
+	// BytesUploaded / BytesFetched total the object-store volume in each
+	// direction.
+	BytesUploaded int64
+	BytesFetched  int64
+}
+
+// startTierSweeper launches the background eviction loop: every interval
+// it ages each frozen resident block and demotes those frozen for the
+// configured number of consecutive sweeps. A sweep error (store
+// unreachable, disk full) leaves the remaining blocks resident and is
+// retried next interval — eviction is an optimization, never required
+// for correctness.
+func (e *Engine) startTierSweeper(interval time.Duration) {
+	e.tierStop = make(chan struct{})
+	e.tierDone = make(chan struct{})
+	go func() {
+		defer close(e.tierDone)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-e.tierStop:
+				return
+			case <-t.C:
+				_, _ = e.tierSweepOnce(false)
+			}
+		}
+	}()
+}
+
+// stopTierSweeper halts the background eviction loop (idempotent, no-op
+// when it never started).
+func (e *Engine) stopTierSweeper() {
+	if e.tierStop == nil {
+		return
+	}
+	e.tierStopOnce.Do(func() {
+		close(e.tierStop)
+		<-e.tierDone
+	})
+}
+
+// tierSweepOnce runs one eviction sweep over every table. force ignores
+// sweep ages. The first store error aborts the sweep.
+func (e *Engine) tierSweepOnce(force bool) (int, error) {
+	total := 0
+	for _, t := range e.cat.Tables() {
+		n, err := e.tier.SweepBlocks(t.Blocks(), force)
+		total += n
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}
+
+// TierSweep runs one synchronous age-based eviction sweep over every
+// table and reports blocks evicted — the manual drive for engines
+// without Background (tests, benchmarks). Returns ErrNoObjectStore
+// without an object store.
+func (a Admin) TierSweep() (int, error) {
+	if a.eng.tier == nil {
+		return 0, ErrNoObjectStore
+	}
+	return a.eng.tierSweepOnce(false)
+}
+
+// EvictAll force-evicts every currently frozen resident block to the
+// object store, regardless of sweep age, and reports how many were
+// demoted. Blocks that are hot, cooling, or still carry version chains
+// are skipped — freeze first (FreezeAll) for a fully cold database.
+// Returns ErrNoObjectStore without an object store.
+func (a Admin) EvictAll() (int, error) {
+	if a.eng.tier == nil {
+		return 0, ErrNoObjectStore
+	}
+	return a.eng.tierSweepOnce(true)
+}
+
+// Tier returns the cold-tier manager (nil without an object store) —
+// the seam tier tests and benchmarks program against directly.
+func (a Admin) Tier() *tier.Manager { return a.eng.tier }
+
+// tierStats snapshots the manager's counters for Stats().
+func (e *Engine) tierStats() TierStats {
+	if e.tier == nil {
+		return TierStats{}
+	}
+	c := e.tier.Snapshot()
+	return TierStats{
+		Enabled:        true,
+		Evictions:      c.Evictions,
+		Rethaws:        c.Rethaws,
+		Fetches:        c.Fetches,
+		CacheHits:      c.CacheHits,
+		CacheMisses:    c.CacheMisses,
+		CacheEvictions: c.CacheEvicts,
+		CacheBytes:     c.CacheBytes,
+		BytesUploaded:  c.BytesUploaded,
+		BytesFetched:   c.BytesFetched,
+	}
+}
